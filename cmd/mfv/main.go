@@ -1,0 +1,352 @@
+// Command mfv is the model-free verification CLI: it runs the pipeline on a
+// topology file (JSON, configs embedded) and answers verification queries.
+//
+// Usage:
+//
+//	mfv run       -topo net.json [-backend emulation|model] [-gnmi]
+//	mfv reach     -topo net.json -src r1 -dst 2.2.2.4
+//	mfv trace     -topo net.json -src r1 -dst 2.2.2.4
+//	mfv diff      -topo before.json -topo2 after.json
+//	mfv coverage  -topo net.json
+//	mfv loops     -topo net.json
+//	mfv scenarios -out DIR        (write the paper's Fig2/Fig3 topologies)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net/netip"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"mfv"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	cmd, args := os.Args[1], os.Args[2:]
+	var err error
+	switch cmd {
+	case "run":
+		err = cmdRun(args)
+	case "reach":
+		err = cmdReach(args)
+	case "trace":
+		err = cmdTrace(args)
+	case "diff":
+		err = cmdDiff(args)
+	case "coverage":
+		err = cmdCoverage(args)
+	case "loops":
+		err = cmdLoops(args)
+	case "show":
+		err = cmdShow(args)
+	case "whatif":
+		err = cmdWhatIf(args)
+	case "scenarios":
+		err = cmdScenarios(args)
+	default:
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mfv:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage: mfv <run|reach|trace|diff|coverage|loops|scenarios> [flags]
+  run       run the pipeline, print route summary and convergence timing
+  reach     answer one reachability question
+  trace     exhaustive multipath traceroute
+  diff      differential reachability between two topology files
+  coverage  model-based parsing coverage report (experiment E2 style)
+  loops     detect forwarding loops across all packet classes
+  show      operator-style router inspection (route|isis|bgp|mpls|interfaces)
+  whatif    single-link-cut exploration with per-cut differentials
+  scenarios write the paper's evaluation topologies to a directory`)
+}
+
+// common flags
+
+type runFlags struct {
+	fs      *flag.FlagSet
+	topo    string
+	topo2   string
+	backend string
+	gnmi    bool
+	src     string
+	dst     string
+	out     string
+	node    string
+	cmd     string
+}
+
+func newFlags(name string) *runFlags {
+	f := &runFlags{fs: flag.NewFlagSet(name, flag.ExitOnError)}
+	f.fs.StringVar(&f.topo, "topo", "", "topology JSON file")
+	f.fs.StringVar(&f.topo2, "topo2", "", "second topology JSON file (diff)")
+	f.fs.StringVar(&f.backend, "backend", "emulation", "emulation | model")
+	f.fs.BoolVar(&f.gnmi, "gnmi", false, "extract AFTs over the gNMI TCP service")
+	f.fs.StringVar(&f.src, "src", "", "source device")
+	f.fs.StringVar(&f.dst, "dst", "", "destination IPv4 address")
+	f.fs.StringVar(&f.out, "out", ".", "output directory")
+	f.fs.StringVar(&f.node, "node", "", "router name (show)")
+	f.fs.StringVar(&f.cmd, "cmd", "route", "show command: route|isis|isis-nbr|bgp|mpls|interfaces")
+	return f
+}
+
+func (f *runFlags) loadTopo(path string) (*mfv.Topology, error) {
+	if path == "" {
+		return nil, fmt.Errorf("missing -topo")
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return mfv.ParseTopology(data)
+}
+
+func (f *runFlags) options() mfv.Options {
+	opts := mfv.Options{UseGNMI: f.gnmi}
+	if f.backend == "model" {
+		opts.Backend = mfv.BackendModel
+	}
+	return opts
+}
+
+func (f *runFlags) run(path string) (*mfv.Result, error) {
+	topo, err := f.loadTopo(path)
+	if err != nil {
+		return nil, err
+	}
+	return mfv.Run(mfv.Snapshot{Topology: topo}, f.options())
+}
+
+func cmdRun(args []string) error {
+	f := newFlags("run")
+	f.fs.Parse(args)
+	res, err := f.run(f.topo)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("backend: %s\n", res.Backend)
+	if res.Backend == mfv.BackendEmulation {
+		fmt.Printf("startup: %v (virtual)\nconverged at: %v (virtual)\n",
+			res.StartupAt.Round(1e9), res.ConvergedAt.Round(1e9))
+	}
+	counts := res.RouteCount()
+	protos := make([]string, 0, len(counts))
+	for p := range counts {
+		protos = append(protos, p)
+	}
+	sort.Strings(protos)
+	fmt.Println("routes by protocol:")
+	for _, p := range protos {
+		fmt.Printf("  %-10s %d\n", p, counts[p])
+	}
+	fmt.Printf("devices with forwarding state: %d\n", len(res.Network.Devices()))
+	return nil
+}
+
+func cmdReach(args []string) error {
+	f := newFlags("reach")
+	f.fs.Parse(args)
+	res, err := f.run(f.topo)
+	if err != nil {
+		return err
+	}
+	dst, err := netip.ParseAddr(f.dst)
+	if err != nil {
+		return fmt.Errorf("bad -dst: %w", err)
+	}
+	if f.src == "" {
+		// All sources.
+		for _, src := range res.Network.Devices() {
+			fmt.Printf("%s -> %v: %v\n", src, dst, res.Network.Reachable(src, dst))
+		}
+		return nil
+	}
+	fmt.Printf("%s -> %v: %v\n", f.src, dst, res.Network.Reachable(f.src, dst))
+	return nil
+}
+
+func cmdTrace(args []string) error {
+	f := newFlags("trace")
+	f.fs.Parse(args)
+	res, err := f.run(f.topo)
+	if err != nil {
+		return err
+	}
+	dst, err := netip.ParseAddr(f.dst)
+	if err != nil {
+		return fmt.Errorf("bad -dst: %w", err)
+	}
+	if f.src == "" {
+		return fmt.Errorf("missing -src")
+	}
+	for _, p := range res.Network.Trace(f.src, dst).Paths {
+		fmt.Println(p)
+	}
+	return nil
+}
+
+func cmdDiff(args []string) error {
+	f := newFlags("diff")
+	f.fs.Parse(args)
+	before, err := f.run(f.topo)
+	if err != nil {
+		return err
+	}
+	after, err := f.run(f.topo2)
+	if err != nil {
+		return err
+	}
+	diffs := mfv.DifferentialReachability(before, after)
+	if len(diffs) == 0 {
+		fmt.Println("no forwarding differences")
+		return nil
+	}
+	for _, d := range diffs {
+		fmt.Println(d)
+	}
+	fmt.Printf("%d changed flows\n", len(diffs))
+	return nil
+}
+
+func cmdCoverage(args []string) error {
+	f := newFlags("coverage")
+	f.fs.Parse(args)
+	topo, err := f.loadTopo(f.topo)
+	if err != nil {
+		return err
+	}
+	res, err := mfv.Run(mfv.Snapshot{Topology: topo}, mfv.Options{Backend: mfv.BackendModel})
+	if err != nil {
+		return err
+	}
+	names := make([]string, 0, len(res.Coverage))
+	for n := range res.Coverage {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	fmt.Printf("%-12s %8s %14s %10s\n", "device", "lines", "unrecognized", "ignored")
+	for _, n := range names {
+		cov := res.Coverage[n]
+		fmt.Printf("%-12s %8d %14d %10d\n", n, cov.TotalLines, cov.UnrecognizedCount(), len(cov.Ignored))
+	}
+	return nil
+}
+
+func cmdLoops(args []string) error {
+	f := newFlags("loops")
+	f.fs.Parse(args)
+	res, err := f.run(f.topo)
+	if err != nil {
+		return err
+	}
+	loops := res.Network.DetectLoops()
+	if len(loops) == 0 {
+		fmt.Println("no forwarding loops")
+		return nil
+	}
+	for _, l := range loops {
+		fmt.Printf("loop: dst class %v from %s: %s\n", l.Dst, l.Src, l.Path)
+	}
+	return fmt.Errorf("%d loops found", len(loops))
+}
+
+func cmdShow(args []string) error {
+	f := newFlags("show")
+	f.fs.Parse(args)
+	res, err := f.run(f.topo)
+	if err != nil {
+		return err
+	}
+	if res.Emulator == nil {
+		return fmt.Errorf("show requires the emulation backend")
+	}
+	if f.node == "" {
+		return fmt.Errorf("missing -node")
+	}
+	r, ok := res.Emulator.Router(f.node)
+	if !ok {
+		return fmt.Errorf("no router %q", f.node)
+	}
+	switch f.cmd {
+	case "route":
+		fmt.Print(r.ShowIPRoute())
+	case "isis":
+		fmt.Print(r.ShowISISDatabase())
+	case "isis-nbr":
+		fmt.Print(r.ShowISISNeighbors())
+	case "bgp":
+		fmt.Print(r.ShowBGPSummary())
+	case "mpls":
+		fmt.Print(r.ShowMPLSTunnels())
+	case "interfaces":
+		fmt.Print(r.ShowInterfaces())
+	default:
+		return fmt.Errorf("unknown show command %q", f.cmd)
+	}
+	return nil
+}
+
+func cmdWhatIf(args []string) error {
+	f := newFlags("whatif")
+	f.fs.Parse(args)
+	topo, err := f.loadTopo(f.topo)
+	if err != nil {
+		return err
+	}
+	findings, err := mfv.ExploreSingleLinkFailures(mfv.Snapshot{Topology: topo}, f.options())
+	if err != nil {
+		return err
+	}
+	for _, fd := range findings {
+		verdict := "absorbed"
+		if fd.LostFlows > 0 {
+			verdict = fmt.Sprintf("loses %d flows", fd.LostFlows)
+		}
+		fmt.Printf("cut %-22s %s\n", fd.Cut, verdict)
+	}
+	ok, violations := mfv.SurvivesAnySingleLinkCut(findings)
+	fmt.Printf("survives any single link cut: %v\n", ok)
+	if !ok {
+		fmt.Printf("critical links: %v\n", violations)
+		return fmt.Errorf("%d critical links", len(violations))
+	}
+	return nil
+}
+
+func cmdScenarios(args []string) error {
+	f := newFlags("scenarios")
+	f.fs.Parse(args)
+	write := func(name string, topo *mfv.Topology) error {
+		data, err := topo.Marshal()
+		if err != nil {
+			return err
+		}
+		path := filepath.Join(f.out, name)
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			return err
+		}
+		fmt.Println("wrote", path)
+		return nil
+	}
+	if err := write("fig2.json", mfv.Fig2()); err != nil {
+		return err
+	}
+	if err := write("fig2-buggy.json", mfv.Fig2Buggy()); err != nil {
+		return err
+	}
+	if err := write("fig3.json", mfv.Fig3()); err != nil {
+		return err
+	}
+	return write("wan30.json", mfv.WAN(30, true))
+}

@@ -1,0 +1,111 @@
+// Command topogen generates topology files with production-complexity
+// configurations for use with the mfv CLI and the benchmark harness.
+//
+// Usage:
+//
+//	topogen -shape line -n 5 -out line5.json
+//	topogen -shape wan -n 30 -multivendor -out wan30.json
+//	topogen -shape clos -spines 4 -leaves 8 -out clos.json
+//	topogen -shape ring -n 6 -out ring6.json
+//
+// line/ring/clos shapes get IS-IS configurations generated for every
+// router; the wan shape additionally configures an iBGP mesh and an eBGP
+// injection edge (see internal/testnet).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net/netip"
+	"os"
+
+	"mfv/internal/confgen"
+	"mfv/internal/testnet"
+	"mfv/internal/topology"
+)
+
+func main() {
+	var (
+		shape       = flag.String("shape", "line", "line | ring | clos | wan")
+		n           = flag.Int("n", 5, "router count (line/ring/wan)")
+		spines      = flag.Int("spines", 2, "spine count (clos)")
+		leaves      = flag.Int("leaves", 4, "leaf count (clos)")
+		multivendor = flag.Bool("multivendor", false, "mix vendor dialects (wan)")
+		mgmt        = flag.Int("mgmt", 1, "management config level 0-2")
+		out         = flag.String("out", "", "output file (default stdout)")
+	)
+	flag.Parse()
+
+	var topo *topology.Topology
+	switch *shape {
+	case "line":
+		topo = topology.Line(*n, topology.VendorEOS)
+		fillISIS(topo, *mgmt)
+	case "ring":
+		topo = topology.Ring(*n, topology.VendorEOS)
+		fillISIS(topo, *mgmt)
+	case "clos":
+		topo = topology.Clos(*spines, *leaves, topology.VendorEOS)
+		fillISIS(topo, *mgmt)
+	case "wan":
+		topo = testnet.WAN(*n, *multivendor)
+	default:
+		fmt.Fprintf(os.Stderr, "topogen: unknown shape %q\n", *shape)
+		os.Exit(2)
+	}
+	if err := topo.Validate(); err != nil {
+		fmt.Fprintln(os.Stderr, "topogen:", err)
+		os.Exit(1)
+	}
+	data, err := topo.Marshal()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "topogen:", err)
+		os.Exit(1)
+	}
+	if *out == "" {
+		os.Stdout.Write(data)
+		fmt.Println()
+		return
+	}
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "topogen:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("wrote %s: %d nodes, %d links\n", *out, len(topo.Nodes), len(topo.Links))
+}
+
+// fillISIS generates an IS-IS configuration for every router of a bare
+// topology: loopback 1.1.<i/250>.<i%250>/32 plus per-link /31 transfer
+// networks.
+func fillISIS(topo *topology.Topology, mgmt int) {
+	addrs := map[topology.Endpoint]netip.Prefix{}
+	for idx, l := range topo.Links {
+		base := netip.AddrFrom4([4]byte{10, byte(idx >> 8), byte(idx & 0xff), 0})
+		addrs[l.A] = netip.PrefixFrom(base, 31)
+		addrs[l.Z] = netip.PrefixFrom(base.Next(), 31)
+	}
+	for i := range topo.Nodes {
+		node := &topo.Nodes[i]
+		num := i + 1
+		spec := confgen.Spec{
+			Hostname:   node.Name,
+			NET:        fmt.Sprintf("49.0001.0000.0000.%04d.00", num),
+			Management: mgmt,
+			Interfaces: []confgen.Iface{{
+				Name: "Loopback0",
+				Addr: netip.PrefixFrom(netip.AddrFrom4([4]byte{1, 1, byte(num / 250), byte(num % 250)}), 32),
+				ISIS: true,
+			}},
+		}
+		for _, l := range topo.NodeLinks(node.Name) {
+			ep := l.A
+			if ep.Node != node.Name {
+				ep = l.Z
+			}
+			spec.Interfaces = append(spec.Interfaces, confgen.Iface{
+				Name: ep.Interface, Addr: addrs[ep], ISIS: true,
+			})
+		}
+		node.Config = confgen.EOS(spec)
+	}
+}

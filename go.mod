@@ -1,0 +1,3 @@
+module mfv
+
+go 1.22

@@ -1,0 +1,276 @@
+// Package aft models the Abstract Forwarding Table in the shape of the
+// OpenConfig AFT data model (network-instance afts): IPv4 unicast entries
+// point at next-hop groups, which reference next hops; MPLS label entries
+// share the same next-hop-group indirection. The verification pipeline
+// consumes only this representation, pulled over the gNMI-like management
+// interface — the vendor-agnostic extraction boundary from the paper.
+package aft
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/netip"
+	"sort"
+)
+
+// NextHop is one leaf next hop.
+type NextHop struct {
+	// Index is the device-scoped next-hop id.
+	Index uint64 `json:"index"`
+	// IPAddress is the adjacent hop address; empty for drop/receive hops.
+	IPAddress string `json:"ip-address,omitempty"`
+	// Interface is the egress interface.
+	Interface string `json:"interface,omitempty"`
+	// PushedLabels is the MPLS label stack pushed on egress, outermost
+	// first.
+	PushedLabels []uint32 `json:"pushed-mpls-label-stack,omitempty"`
+	// Drop marks a discard next hop.
+	Drop bool `json:"drop,omitempty"`
+	// Receive marks delivery to the local control plane (loopbacks and
+	// local interface addresses).
+	Receive bool `json:"receive,omitempty"`
+}
+
+// NextHopGroup is an ECMP group.
+type NextHopGroup struct {
+	ID       uint64   `json:"id"`
+	NextHops []uint64 `json:"next-hops"`
+}
+
+// IPv4Entry maps a prefix to a next-hop group.
+type IPv4Entry struct {
+	Prefix       string `json:"prefix"`
+	NextHopGroup uint64 `json:"next-hop-group"`
+	// Origin records the installing protocol for inspection ("isis",
+	// "ebgp", "connected", …).
+	Origin string `json:"origin-protocol,omitempty"`
+	// Metric is the winning route's metric, for inspection only.
+	Metric uint32 `json:"metric,omitempty"`
+}
+
+// LabelEntry maps an incoming MPLS label to a next-hop group.
+type LabelEntry struct {
+	Label        uint32 `json:"label"`
+	NextHopGroup uint64 `json:"next-hop-group"`
+	// Pop marks a penultimate/tail pop entry.
+	Pop bool `json:"pop,omitempty"`
+}
+
+// AFT is one device's abstract forwarding table.
+type AFT struct {
+	// Device is the hostname the table was extracted from.
+	Device        string         `json:"device"`
+	IPv4Entries   []IPv4Entry    `json:"ipv4-unicast"`
+	LabelEntries  []LabelEntry   `json:"mpls,omitempty"`
+	NextHopGroups []NextHopGroup `json:"next-hop-groups"`
+	NextHops      []NextHop      `json:"next-hops"`
+}
+
+// Builder incrementally assembles an AFT, deduplicating next hops and
+// groups.
+type Builder struct {
+	aft      *AFT
+	nhIndex  map[string]uint64
+	nhgIndex map[string]uint64
+}
+
+// NewBuilder starts an AFT for the named device.
+func NewBuilder(device string) *Builder {
+	return &Builder{
+		aft:      &AFT{Device: device},
+		nhIndex:  map[string]uint64{},
+		nhgIndex: map[string]uint64{},
+	}
+}
+
+func nhKey(nh NextHop) string {
+	return fmt.Sprintf("%s|%s|%v|%v|%v", nh.IPAddress, nh.Interface, nh.PushedLabels, nh.Drop, nh.Receive)
+}
+
+// AddNextHop interns a next hop and returns its index.
+func (b *Builder) AddNextHop(nh NextHop) uint64 {
+	key := nhKey(nh)
+	if idx, ok := b.nhIndex[key]; ok {
+		return idx
+	}
+	nh.Index = uint64(len(b.aft.NextHops) + 1)
+	b.aft.NextHops = append(b.aft.NextHops, nh)
+	b.nhIndex[key] = nh.Index
+	return nh.Index
+}
+
+// AddGroup interns an ECMP group over next-hop indices and returns its id.
+func (b *Builder) AddGroup(nhIdx []uint64) uint64 {
+	sorted := append([]uint64{}, nhIdx...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	key := fmt.Sprint(sorted)
+	if id, ok := b.nhgIndex[key]; ok {
+		return id
+	}
+	id := uint64(len(b.aft.NextHopGroups) + 1)
+	b.aft.NextHopGroups = append(b.aft.NextHopGroups, NextHopGroup{ID: id, NextHops: sorted})
+	b.nhgIndex[key] = id
+	return id
+}
+
+// AddIPv4 appends an IPv4 entry.
+func (b *Builder) AddIPv4(prefix netip.Prefix, nhg uint64, origin string, metric uint32) {
+	b.aft.IPv4Entries = append(b.aft.IPv4Entries, IPv4Entry{
+		Prefix:       prefix.String(),
+		NextHopGroup: nhg,
+		Origin:       origin,
+		Metric:       metric,
+	})
+}
+
+// AddLabel appends an MPLS entry.
+func (b *Builder) AddLabel(label uint32, nhg uint64, pop bool) {
+	b.aft.LabelEntries = append(b.aft.LabelEntries, LabelEntry{Label: label, NextHopGroup: nhg, Pop: pop})
+}
+
+// Build finalizes the AFT with entries in canonical order.
+func (b *Builder) Build() *AFT {
+	sort.Slice(b.aft.IPv4Entries, func(i, j int) bool {
+		return b.aft.IPv4Entries[i].Prefix < b.aft.IPv4Entries[j].Prefix
+	})
+	sort.Slice(b.aft.LabelEntries, func(i, j int) bool {
+		return b.aft.LabelEntries[i].Label < b.aft.LabelEntries[j].Label
+	})
+	return b.aft
+}
+
+// Marshal encodes the AFT as JSON (the gNMI payload format).
+func (a *AFT) Marshal() ([]byte, error) { return json.Marshal(a) }
+
+// Unmarshal decodes an AFT from JSON.
+func Unmarshal(data []byte) (*AFT, error) {
+	var a AFT
+	if err := json.Unmarshal(data, &a); err != nil {
+		return nil, fmt.Errorf("aft: %w", err)
+	}
+	if err := a.Validate(); err != nil {
+		return nil, err
+	}
+	return &a, nil
+}
+
+// Validate checks referential integrity: every entry references an existing
+// group, every group references existing next hops.
+func (a *AFT) Validate() error {
+	nhs := map[uint64]bool{}
+	for _, nh := range a.NextHops {
+		if nhs[nh.Index] {
+			return fmt.Errorf("aft %s: duplicate next-hop index %d", a.Device, nh.Index)
+		}
+		nhs[nh.Index] = true
+	}
+	groups := map[uint64]bool{}
+	for _, g := range a.NextHopGroups {
+		if groups[g.ID] {
+			return fmt.Errorf("aft %s: duplicate group id %d", a.Device, g.ID)
+		}
+		groups[g.ID] = true
+		if len(g.NextHops) == 0 {
+			return fmt.Errorf("aft %s: group %d has no next hops", a.Device, g.ID)
+		}
+		for _, idx := range g.NextHops {
+			if !nhs[idx] {
+				return fmt.Errorf("aft %s: group %d references missing next hop %d", a.Device, g.ID, idx)
+			}
+		}
+	}
+	for _, e := range a.IPv4Entries {
+		if _, err := netip.ParsePrefix(e.Prefix); err != nil {
+			return fmt.Errorf("aft %s: bad prefix %q", a.Device, e.Prefix)
+		}
+		if !groups[e.NextHopGroup] {
+			return fmt.Errorf("aft %s: entry %s references missing group %d", a.Device, e.Prefix, e.NextHopGroup)
+		}
+	}
+	for _, e := range a.LabelEntries {
+		if !groups[e.NextHopGroup] {
+			return fmt.Errorf("aft %s: label %d references missing group %d", a.Device, e.Label, e.NextHopGroup)
+		}
+	}
+	return nil
+}
+
+// Group returns the group by id.
+func (a *AFT) Group(id uint64) (NextHopGroup, bool) {
+	for _, g := range a.NextHopGroups {
+		if g.ID == id {
+			return g, true
+		}
+	}
+	return NextHopGroup{}, false
+}
+
+// NextHop returns the next hop by index.
+func (a *AFT) NextHop(idx uint64) (NextHop, bool) {
+	for _, nh := range a.NextHops {
+		if nh.Index == idx {
+			return nh, true
+		}
+	}
+	return NextHop{}, false
+}
+
+// GroupHops resolves a group id to its next hops.
+func (a *AFT) GroupHops(id uint64) []NextHop {
+	g, ok := a.Group(id)
+	if !ok {
+		return nil
+	}
+	out := make([]NextHop, 0, len(g.NextHops))
+	for _, idx := range g.NextHops {
+		if nh, ok := a.NextHop(idx); ok {
+			out = append(out, nh)
+		}
+	}
+	return out
+}
+
+// Fingerprint returns a deterministic digest of forwarding-relevant state,
+// used by convergence detection: two AFTs with equal fingerprints forward
+// identically.
+func (a *AFT) Fingerprint() string {
+	var b []byte
+	for _, e := range a.IPv4Entries {
+		b = append(b, e.Prefix...)
+		for _, nh := range a.GroupHops(e.NextHopGroup) {
+			b = append(b, '|')
+			b = append(b, nhKey(nh)...)
+		}
+		b = append(b, '\n')
+	}
+	for _, e := range a.LabelEntries {
+		b = append(b, fmt.Sprintf("L%d", e.Label)...)
+		for _, nh := range a.GroupHops(e.NextHopGroup) {
+			b = append(b, '|')
+			b = append(b, nhKey(nh)...)
+		}
+		b = append(b, '\n')
+	}
+	return fmt.Sprintf("%x", fnv64(b))
+}
+
+func fnv64(b []byte) uint64 {
+	const (
+		offset = 14695981039346656037
+		prime  = 1099511628211
+	)
+	h := uint64(offset)
+	for _, c := range b {
+		h ^= uint64(c)
+		h *= prime
+	}
+	return h
+}
+
+// Equal reports whether two AFTs forward identically.
+func (a *AFT) Equal(o *AFT) bool {
+	if a == nil || o == nil {
+		return a == o
+	}
+	return a.Fingerprint() == o.Fingerprint()
+}

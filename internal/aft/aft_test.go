@@ -1,0 +1,159 @@
+package aft
+
+import (
+	"net/netip"
+	"strings"
+	"testing"
+)
+
+func pfx(s string) netip.Prefix { return netip.MustParsePrefix(s) }
+
+func sampleAFT() *AFT {
+	b := NewBuilder("r1")
+	nh1 := b.AddNextHop(NextHop{IPAddress: "10.0.0.1", Interface: "Ethernet1"})
+	nh2 := b.AddNextHop(NextHop{IPAddress: "10.0.1.1", Interface: "Ethernet2"})
+	drop := b.AddNextHop(NextHop{Drop: true})
+	g1 := b.AddGroup([]uint64{nh1})
+	g2 := b.AddGroup([]uint64{nh1, nh2})
+	gd := b.AddGroup([]uint64{drop})
+	b.AddIPv4(pfx("192.0.2.0/24"), g1, "isis", 20)
+	b.AddIPv4(pfx("10.0.0.0/8"), g2, "ebgp", 0)
+	b.AddIPv4(pfx("203.0.113.0/24"), gd, "static", 0)
+	b.AddLabel(100, g1, false)
+	return b.Build()
+}
+
+func TestBuilderDedup(t *testing.T) {
+	b := NewBuilder("r1")
+	nh1 := b.AddNextHop(NextHop{IPAddress: "10.0.0.1", Interface: "Ethernet1"})
+	nh1again := b.AddNextHop(NextHop{IPAddress: "10.0.0.1", Interface: "Ethernet1"})
+	if nh1 != nh1again {
+		t.Error("identical next hops not deduplicated")
+	}
+	nh2 := b.AddNextHop(NextHop{IPAddress: "10.0.0.1", Interface: "Ethernet2"})
+	if nh1 == nh2 {
+		t.Error("distinct next hops merged")
+	}
+	g := b.AddGroup([]uint64{nh1, nh2})
+	gReordered := b.AddGroup([]uint64{nh2, nh1})
+	if g != gReordered {
+		t.Error("group dedup not order-insensitive")
+	}
+}
+
+func TestMarshalRoundTrip(t *testing.T) {
+	a := sampleAFT()
+	data, err := a.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Unmarshal(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a.Equal(got) {
+		t.Error("round trip changed forwarding semantics")
+	}
+	if got.Device != "r1" || len(got.IPv4Entries) != 3 || len(got.LabelEntries) != 1 {
+		t.Errorf("round trip = %+v", got)
+	}
+}
+
+func TestValidateErrors(t *testing.T) {
+	tests := []struct {
+		name   string
+		mutate func(*AFT)
+		want   string
+	}{
+		{"dup nh index", func(a *AFT) { a.NextHops = append(a.NextHops, NextHop{Index: 1}) }, "duplicate next-hop"},
+		{"dup group", func(a *AFT) { a.NextHopGroups = append(a.NextHopGroups, NextHopGroup{ID: 1, NextHops: []uint64{1}}) }, "duplicate group"},
+		{"empty group", func(a *AFT) { a.NextHopGroups = append(a.NextHopGroups, NextHopGroup{ID: 99}) }, "no next hops"},
+		{"missing nh", func(a *AFT) { a.NextHopGroups[0].NextHops = []uint64{42} }, "missing next hop"},
+		{"bad prefix", func(a *AFT) { a.IPv4Entries[0].Prefix = "zoo" }, "bad prefix"},
+		{"missing group", func(a *AFT) { a.IPv4Entries[0].NextHopGroup = 42 }, "missing group"},
+		{"label missing group", func(a *AFT) { a.LabelEntries[0].NextHopGroup = 42 }, "missing group"},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			a := sampleAFT()
+			tc.mutate(a)
+			err := a.Validate()
+			if err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("Validate = %v, want %q", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestUnmarshalRejectsInvalid(t *testing.T) {
+	if _, err := Unmarshal([]byte(`{`)); err == nil {
+		t.Error("garbage accepted")
+	}
+	if _, err := Unmarshal([]byte(`{"device":"r1","ipv4-unicast":[{"prefix":"10.0.0.0/8","next-hop-group":5}],"next-hop-groups":[],"next-hops":[]}`)); err == nil {
+		t.Error("dangling group reference accepted")
+	}
+}
+
+func TestFingerprintStability(t *testing.T) {
+	a, b := sampleAFT(), sampleAFT()
+	if a.Fingerprint() != b.Fingerprint() {
+		t.Error("identical AFTs have different fingerprints")
+	}
+	// A forwarding-relevant change must alter the fingerprint.
+	b.IPv4Entries[0].NextHopGroup = 3
+	if a.Fingerprint() == b.Fingerprint() {
+		t.Error("changed forwarding, same fingerprint")
+	}
+}
+
+func TestFingerprintIgnoresMetadata(t *testing.T) {
+	a, b := sampleAFT(), sampleAFT()
+	b.IPv4Entries[0].Metric = 999
+	b.IPv4Entries[0].Origin = "other"
+	if a.Fingerprint() != b.Fingerprint() {
+		t.Error("metadata change altered fingerprint")
+	}
+}
+
+func TestGroupHops(t *testing.T) {
+	a := sampleAFT()
+	// Find the ECMP entry for 10.0.0.0/8.
+	var ecmpGroup uint64
+	for _, e := range a.IPv4Entries {
+		if e.Prefix == "10.0.0.0/8" {
+			ecmpGroup = e.NextHopGroup
+		}
+	}
+	hops := a.GroupHops(ecmpGroup)
+	if len(hops) != 2 {
+		t.Fatalf("hops = %+v, want 2", hops)
+	}
+	if a.GroupHops(999) != nil {
+		t.Error("GroupHops for missing group returned entries")
+	}
+}
+
+func TestEqualNil(t *testing.T) {
+	var a *AFT
+	if !a.Equal(nil) {
+		t.Error("nil != nil")
+	}
+	if a.Equal(sampleAFT()) {
+		t.Error("nil == non-nil")
+	}
+}
+
+func BenchmarkFingerprint(b *testing.B) {
+	bld := NewBuilder("r1")
+	for i := 0; i < 10000; i++ {
+		nh := bld.AddNextHop(NextHop{IPAddress: "10.0.0.1", Interface: "Ethernet1"})
+		g := bld.AddGroup([]uint64{nh})
+		bld.AddIPv4(netip.PrefixFrom(netip.AddrFrom4([4]byte{10, byte(i >> 8), byte(i), 0}), 24), g, "ebgp", 0)
+	}
+	a := bld.Build()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a.Fingerprint()
+	}
+}

@@ -1,0 +1,524 @@
+// Package bgp implements a BGP-4 speaker: the RFC 4271 wire codec, the
+// session state machine, the decision process with the full tie-break
+// ladder, and policy application. The same engine runs two ways:
+//
+//   - event-driven inside the emulator (internal/kne) against a sim.Clock,
+//     exchanging encoded messages over emulated links, and
+//   - in real time over TCP via Conn (conn.go), which is used by the
+//     transport ablation bench and demonstrates interoperability of the
+//     codec over a real network stack.
+//
+// Messages always travel encoded: even in-memory neighbors marshal and
+// unmarshal every UPDATE, so the codec is exercised by every experiment.
+package bgp
+
+import (
+	"encoding/binary"
+	"fmt"
+	"net/netip"
+
+	"mfv/internal/policy"
+)
+
+// Message types per RFC 4271 §4.1.
+const (
+	MsgOpen         = 1
+	MsgUpdate       = 2
+	MsgNotification = 3
+	MsgKeepalive    = 4
+)
+
+// Path attribute type codes.
+const (
+	attrOrigin      = 1
+	attrASPath      = 2
+	attrNextHop     = 3
+	attrMED         = 4
+	attrLocalPref   = 5
+	attrCommunities = 8
+)
+
+// Attribute flag bits.
+const (
+	flagOptional   = 0x80
+	flagTransitive = 0x40
+	flagExtLen     = 0x10
+)
+
+// Origin values.
+const (
+	OriginIGP        = 0
+	OriginEGP        = 1
+	OriginIncomplete = 2
+)
+
+// Header sizes.
+const (
+	headerLen = 19
+	markerLen = 16
+	// MaxMessageLen is the largest message the codec will emit or accept.
+	MaxMessageLen = 4096
+)
+
+// Notification error codes (subset).
+const (
+	NotifMessageHeaderError = 1
+	NotifOpenMessageError   = 2
+	NotifUpdateMessageError = 3
+	NotifHoldTimerExpired   = 4
+	NotifFSMError           = 5
+	NotifCease              = 6
+)
+
+// Open is a decoded OPEN message. The codec always offers the 4-octet-AS
+// capability (RFC 6793) and encodes AS_TRANS in the fixed header field when
+// the ASN does not fit 16 bits.
+type Open struct {
+	Version  uint8
+	ASN      uint32
+	HoldTime uint16 // seconds
+	RouterID netip.Addr
+}
+
+// asTrans is the reserved 16-bit ASN placeholder from RFC 6793.
+const asTrans = 23456
+
+// Update is a decoded UPDATE message.
+type Update struct {
+	Withdrawn []netip.Prefix
+	// Attrs apply to all NLRI in this message. Nil when the update only
+	// withdraws.
+	Attrs *PathAttrs
+	NLRI  []netip.Prefix
+}
+
+// PathAttrs is the attribute bundle carried by an UPDATE.
+type PathAttrs struct {
+	Origin      uint8
+	ASPath      []uint32
+	NextHop     netip.Addr
+	MED         uint32
+	HasMED      bool
+	LocalPref   uint32
+	HasLocal    bool
+	Communities []policy.Community
+}
+
+// Notification is a decoded NOTIFICATION message.
+type Notification struct {
+	Code, Subcode uint8
+	Data          []byte
+}
+
+// Error makes Notification usable as an error.
+func (n Notification) Error() string {
+	return fmt.Sprintf("bgp notification: code %d subcode %d", n.Code, n.Subcode)
+}
+
+func putHeader(buf []byte, msgType uint8) {
+	for i := 0; i < markerLen; i++ {
+		buf[i] = 0xff
+	}
+	binary.BigEndian.PutUint16(buf[16:18], uint16(len(buf)))
+	buf[18] = msgType
+}
+
+// EncodeOpen marshals an OPEN with the 4-octet-AS capability.
+func EncodeOpen(o Open) []byte {
+	// Capability: code 65 (4-octet AS), length 4.
+	capability := make([]byte, 6)
+	capability[0] = 65
+	capability[1] = 4
+	binary.BigEndian.PutUint32(capability[2:], o.ASN)
+	// Optional parameter: type 2 (capabilities).
+	optParam := append([]byte{2, byte(len(capability))}, capability...)
+
+	msg := make([]byte, headerLen+10+len(optParam))
+	body := msg[headerLen:]
+	body[0] = o.Version
+	as16 := o.ASN
+	if as16 > 0xffff {
+		as16 = asTrans
+	}
+	binary.BigEndian.PutUint16(body[1:3], uint16(as16))
+	binary.BigEndian.PutUint16(body[3:5], o.HoldTime)
+	copy(body[5:9], addr4(o.RouterID))
+	body[9] = byte(len(optParam))
+	copy(body[10:], optParam)
+	putHeader(msg, MsgOpen)
+	return msg
+}
+
+// EncodeKeepalive marshals a KEEPALIVE.
+func EncodeKeepalive() []byte {
+	msg := make([]byte, headerLen)
+	putHeader(msg, MsgKeepalive)
+	return msg
+}
+
+// EncodeNotification marshals a NOTIFICATION.
+func EncodeNotification(n Notification) []byte {
+	msg := make([]byte, headerLen+2+len(n.Data))
+	msg[headerLen] = n.Code
+	msg[headerLen+1] = n.Subcode
+	copy(msg[headerLen+2:], n.Data)
+	putHeader(msg, MsgNotification)
+	return msg
+}
+
+// EncodeUpdate marshals an UPDATE. It panics if the message would exceed
+// MaxMessageLen; callers chunk NLRI before encoding (see ChunkPrefixes).
+func EncodeUpdate(u Update) []byte {
+	withdrawn := encodeNLRI(u.Withdrawn)
+	var attrs []byte
+	if u.Attrs != nil {
+		attrs = encodeAttrs(u.Attrs)
+	}
+	nlri := encodeNLRI(u.NLRI)
+
+	total := headerLen + 2 + len(withdrawn) + 2 + len(attrs) + len(nlri)
+	if total > MaxMessageLen {
+		panic(fmt.Sprintf("bgp: update too large (%d bytes); chunk NLRI first", total))
+	}
+	msg := make([]byte, total)
+	p := msg[headerLen:]
+	binary.BigEndian.PutUint16(p[0:2], uint16(len(withdrawn)))
+	copy(p[2:], withdrawn)
+	p = p[2+len(withdrawn):]
+	binary.BigEndian.PutUint16(p[0:2], uint16(len(attrs)))
+	copy(p[2:], attrs)
+	copy(p[2+len(attrs):], nlri)
+	putHeader(msg, MsgUpdate)
+	return msg
+}
+
+// MaxNLRIPerUpdate is a conservative per-message NLRI cap that keeps any
+// update with full attributes under MaxMessageLen (5 bytes per /32 worst
+// case, ~700 bytes of headroom for attributes).
+const MaxNLRIPerUpdate = 600
+
+// ChunkPrefixes splits prefixes into slices of at most MaxNLRIPerUpdate.
+func ChunkPrefixes(ps []netip.Prefix) [][]netip.Prefix {
+	if len(ps) == 0 {
+		return nil
+	}
+	var out [][]netip.Prefix
+	for len(ps) > MaxNLRIPerUpdate {
+		out = append(out, ps[:MaxNLRIPerUpdate])
+		ps = ps[MaxNLRIPerUpdate:]
+	}
+	return append(out, ps)
+}
+
+func addr4(a netip.Addr) []byte {
+	b := a.As4()
+	return b[:]
+}
+
+func encodeNLRI(ps []netip.Prefix) []byte {
+	var out []byte
+	for _, p := range ps {
+		bits := p.Bits()
+		nbytes := (bits + 7) / 8
+		out = append(out, byte(bits))
+		a := p.Addr().As4()
+		out = append(out, a[:nbytes]...)
+	}
+	return out
+}
+
+func decodeNLRI(b []byte) ([]netip.Prefix, error) {
+	var out []netip.Prefix
+	for len(b) > 0 {
+		bits := int(b[0])
+		if bits > 32 {
+			return nil, fmt.Errorf("bgp: NLRI prefix length %d > 32", bits)
+		}
+		nbytes := (bits + 7) / 8
+		if len(b) < 1+nbytes {
+			return nil, fmt.Errorf("bgp: truncated NLRI")
+		}
+		var a [4]byte
+		copy(a[:], b[1:1+nbytes])
+		out = append(out, netip.PrefixFrom(netip.AddrFrom4(a), bits).Masked())
+		b = b[1+nbytes:]
+	}
+	return out, nil
+}
+
+func encodeAttrs(a *PathAttrs) []byte {
+	var out []byte
+	put := func(flags, typ uint8, val []byte) {
+		if len(val) > 255 {
+			flags |= flagExtLen
+			hdr := []byte{flags, typ, 0, 0}
+			binary.BigEndian.PutUint16(hdr[2:], uint16(len(val)))
+			out = append(out, hdr...)
+		} else {
+			out = append(out, flags, typ, byte(len(val)))
+		}
+		out = append(out, val...)
+	}
+	put(flagTransitive, attrOrigin, []byte{a.Origin})
+	// AS_PATH: one AS_SEQUENCE segment with 4-byte ASNs (4-octet capability
+	// is always negotiated by this codec).
+	seg := make([]byte, 2+4*len(a.ASPath))
+	if len(a.ASPath) > 0 {
+		seg[0] = 2 // AS_SEQUENCE
+		seg[1] = byte(len(a.ASPath))
+		for i, as := range a.ASPath {
+			binary.BigEndian.PutUint32(seg[2+4*i:], as)
+		}
+		put(flagTransitive, attrASPath, seg)
+	} else {
+		put(flagTransitive, attrASPath, nil)
+	}
+	put(flagTransitive, attrNextHop, addr4(a.NextHop))
+	if a.HasMED {
+		v := make([]byte, 4)
+		binary.BigEndian.PutUint32(v, a.MED)
+		put(flagOptional, attrMED, v)
+	}
+	if a.HasLocal {
+		v := make([]byte, 4)
+		binary.BigEndian.PutUint32(v, a.LocalPref)
+		put(flagTransitive, attrLocalPref, v)
+	}
+	if len(a.Communities) > 0 {
+		v := make([]byte, 4*len(a.Communities))
+		for i, c := range a.Communities {
+			binary.BigEndian.PutUint32(v[4*i:], uint32(c))
+		}
+		put(flagOptional|flagTransitive, attrCommunities, v)
+	}
+	return out
+}
+
+func decodeAttrs(b []byte) (*PathAttrs, error) {
+	a := &PathAttrs{}
+	seenNextHop := false
+	for len(b) > 0 {
+		if len(b) < 3 {
+			return nil, fmt.Errorf("bgp: truncated attribute header")
+		}
+		flags, typ := b[0], b[1]
+		var alen int
+		var val []byte
+		if flags&flagExtLen != 0 {
+			if len(b) < 4 {
+				return nil, fmt.Errorf("bgp: truncated extended attribute")
+			}
+			alen = int(binary.BigEndian.Uint16(b[2:4]))
+			b = b[4:]
+		} else {
+			alen = int(b[2])
+			b = b[3:]
+		}
+		if len(b) < alen {
+			return nil, fmt.Errorf("bgp: attribute %d overruns message", typ)
+		}
+		val, b = b[:alen], b[alen:]
+		switch typ {
+		case attrOrigin:
+			if len(val) != 1 || val[0] > 2 {
+				return nil, fmt.Errorf("bgp: bad ORIGIN")
+			}
+			a.Origin = val[0]
+		case attrASPath:
+			path, err := decodeASPath(val)
+			if err != nil {
+				return nil, err
+			}
+			a.ASPath = path
+		case attrNextHop:
+			if len(val) != 4 {
+				return nil, fmt.Errorf("bgp: bad NEXT_HOP length %d", len(val))
+			}
+			var v4 [4]byte
+			copy(v4[:], val)
+			a.NextHop = netip.AddrFrom4(v4)
+			seenNextHop = true
+		case attrMED:
+			if len(val) != 4 {
+				return nil, fmt.Errorf("bgp: bad MED")
+			}
+			a.MED = binary.BigEndian.Uint32(val)
+			a.HasMED = true
+		case attrLocalPref:
+			if len(val) != 4 {
+				return nil, fmt.Errorf("bgp: bad LOCAL_PREF")
+			}
+			a.LocalPref = binary.BigEndian.Uint32(val)
+			a.HasLocal = true
+		case attrCommunities:
+			if len(val)%4 != 0 {
+				return nil, fmt.Errorf("bgp: bad COMMUNITIES length %d", len(val))
+			}
+			for i := 0; i < len(val); i += 4 {
+				a.Communities = append(a.Communities, policy.Community(binary.BigEndian.Uint32(val[i:])))
+			}
+		default:
+			// Unknown optional attributes are tolerated (transitive pass-
+			// through is a simplification documented in DESIGN.md); unknown
+			// well-known attributes are an error.
+			if flags&flagOptional == 0 {
+				return nil, fmt.Errorf("bgp: unknown well-known attribute %d", typ)
+			}
+		}
+	}
+	if !seenNextHop {
+		return nil, fmt.Errorf("bgp: UPDATE with NLRI missing NEXT_HOP")
+	}
+	return a, nil
+}
+
+func decodeASPath(b []byte) ([]uint32, error) {
+	var path []uint32
+	for len(b) > 0 {
+		if len(b) < 2 {
+			return nil, fmt.Errorf("bgp: truncated AS_PATH segment")
+		}
+		segType, count := b[0], int(b[1])
+		if segType != 1 && segType != 2 {
+			return nil, fmt.Errorf("bgp: bad AS_PATH segment type %d", segType)
+		}
+		if len(b) < 2+4*count {
+			return nil, fmt.Errorf("bgp: truncated AS_PATH")
+		}
+		for i := 0; i < count; i++ {
+			path = append(path, binary.BigEndian.Uint32(b[2+4*i:]))
+		}
+		b = b[2+4*count:]
+	}
+	return path, nil
+}
+
+// DecodeHeader validates a message header and returns (type, bodyLen).
+func DecodeHeader(h []byte) (uint8, int, error) {
+	if len(h) < headerLen {
+		return 0, 0, fmt.Errorf("bgp: short header")
+	}
+	for i := 0; i < markerLen; i++ {
+		if h[i] != 0xff {
+			return 0, 0, Notification{Code: NotifMessageHeaderError, Subcode: 1}
+		}
+	}
+	total := int(binary.BigEndian.Uint16(h[16:18]))
+	if total < headerLen || total > MaxMessageLen {
+		return 0, 0, Notification{Code: NotifMessageHeaderError, Subcode: 2}
+	}
+	typ := h[18]
+	if typ < MsgOpen || typ > MsgKeepalive {
+		return 0, 0, Notification{Code: NotifMessageHeaderError, Subcode: 3}
+	}
+	return typ, total - headerLen, nil
+}
+
+// Decode parses one complete message (header + body).
+func Decode(msg []byte) (any, error) {
+	typ, blen, err := DecodeHeader(msg)
+	if err != nil {
+		return nil, err
+	}
+	if len(msg) != headerLen+blen {
+		return nil, fmt.Errorf("bgp: length mismatch: header says %d, have %d", headerLen+blen, len(msg))
+	}
+	body := msg[headerLen:]
+	switch typ {
+	case MsgOpen:
+		return decodeOpen(body)
+	case MsgUpdate:
+		return decodeUpdate(body)
+	case MsgKeepalive:
+		if blen != 0 {
+			return nil, Notification{Code: NotifMessageHeaderError, Subcode: 2}
+		}
+		return struct{}{}, nil
+	case MsgNotification:
+		if blen < 2 {
+			return nil, fmt.Errorf("bgp: short NOTIFICATION")
+		}
+		return Notification{Code: body[0], Subcode: body[1], Data: append([]byte{}, body[2:]...)}, nil
+	}
+	return nil, fmt.Errorf("bgp: unreachable message type %d", typ)
+}
+
+func decodeOpen(b []byte) (Open, error) {
+	if len(b) < 10 {
+		return Open{}, Notification{Code: NotifOpenMessageError, Subcode: 0}
+	}
+	o := Open{
+		Version:  b[0],
+		ASN:      uint32(binary.BigEndian.Uint16(b[1:3])),
+		HoldTime: binary.BigEndian.Uint16(b[3:5]),
+	}
+	var v4 [4]byte
+	copy(v4[:], b[5:9])
+	o.RouterID = netip.AddrFrom4(v4)
+	if o.Version != 4 {
+		return Open{}, Notification{Code: NotifOpenMessageError, Subcode: 1}
+	}
+	optLen := int(b[9])
+	opts := b[10:]
+	if len(opts) != optLen {
+		return Open{}, Notification{Code: NotifOpenMessageError, Subcode: 0}
+	}
+	// Scan capabilities for 4-octet AS.
+	for len(opts) >= 2 {
+		ptype, plen := opts[0], int(opts[1])
+		if len(opts) < 2+plen {
+			return Open{}, Notification{Code: NotifOpenMessageError, Subcode: 0}
+		}
+		if ptype == 2 { // capabilities
+			caps := opts[2 : 2+plen]
+			for len(caps) >= 2 {
+				code, clen := caps[0], int(caps[1])
+				if len(caps) < 2+clen {
+					break
+				}
+				if code == 65 && clen == 4 {
+					o.ASN = binary.BigEndian.Uint32(caps[2:6])
+				}
+				caps = caps[2+clen:]
+			}
+		}
+		opts = opts[2+plen:]
+	}
+	return o, nil
+}
+
+func decodeUpdate(b []byte) (Update, error) {
+	var u Update
+	if len(b) < 2 {
+		return u, Notification{Code: NotifUpdateMessageError, Subcode: 1}
+	}
+	wlen := int(binary.BigEndian.Uint16(b[0:2]))
+	if len(b) < 2+wlen+2 {
+		return u, Notification{Code: NotifUpdateMessageError, Subcode: 1}
+	}
+	withdrawn, err := decodeNLRI(b[2 : 2+wlen])
+	if err != nil {
+		return u, err
+	}
+	u.Withdrawn = withdrawn
+	b = b[2+wlen:]
+	alen := int(binary.BigEndian.Uint16(b[0:2]))
+	if len(b) < 2+alen {
+		return u, Notification{Code: NotifUpdateMessageError, Subcode: 1}
+	}
+	nlri, err := decodeNLRI(b[2+alen:])
+	if err != nil {
+		return u, err
+	}
+	u.NLRI = nlri
+	if alen > 0 {
+		attrs, err := decodeAttrs(b[2 : 2+alen])
+		if err != nil {
+			return u, err
+		}
+		u.Attrs = attrs
+	} else if len(nlri) > 0 {
+		return u, Notification{Code: NotifUpdateMessageError, Subcode: 3}
+	}
+	return u, nil
+}

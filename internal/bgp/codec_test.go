@@ -1,0 +1,293 @@
+package bgp
+
+import (
+	"math/rand"
+	"net/netip"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"mfv/internal/policy"
+)
+
+func addr(s string) netip.Addr  { return netip.MustParseAddr(s) }
+func pfx(s string) netip.Prefix { return netip.MustParsePrefix(s) }
+func pfxs(ss ...string) []netip.Prefix {
+	out := make([]netip.Prefix, len(ss))
+	for i, s := range ss {
+		out[i] = pfx(s)
+	}
+	return out
+}
+
+func TestOpenRoundTrip(t *testing.T) {
+	in := Open{Version: 4, ASN: 65001, HoldTime: 90, RouterID: addr("10.0.0.1")}
+	msg := EncodeOpen(in)
+	got, err := Decode(msg)
+	if err != nil {
+		t.Fatalf("Decode: %v", err)
+	}
+	if !reflect.DeepEqual(got, in) {
+		t.Errorf("round trip = %+v, want %+v", got, in)
+	}
+}
+
+func TestOpenFourOctetAS(t *testing.T) {
+	in := Open{Version: 4, ASN: 4200000001, HoldTime: 180, RouterID: addr("1.2.3.4")}
+	msg := EncodeOpen(in)
+	// The fixed 16-bit field must carry AS_TRANS.
+	if got := int(msg[headerLen+1])<<8 | int(msg[headerLen+2]); got != asTrans {
+		t.Errorf("fixed AS field = %d, want %d", got, asTrans)
+	}
+	got, err := Decode(msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.(Open).ASN != 4200000001 {
+		t.Errorf("decoded ASN = %d (capability not honoured)", got.(Open).ASN)
+	}
+}
+
+func TestKeepaliveRoundTrip(t *testing.T) {
+	msg := EncodeKeepalive()
+	if len(msg) != headerLen {
+		t.Errorf("keepalive length = %d, want %d", len(msg), headerLen)
+	}
+	if _, err := Decode(msg); err != nil {
+		t.Fatalf("Decode: %v", err)
+	}
+}
+
+func TestNotificationRoundTrip(t *testing.T) {
+	in := Notification{Code: NotifCease, Subcode: 2, Data: []byte("bye")}
+	got, err := Decode(EncodeNotification(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, in) {
+		t.Errorf("round trip = %+v, want %+v", got, in)
+	}
+	if in.Error() == "" {
+		t.Error("Notification.Error empty")
+	}
+}
+
+func fullUpdate() Update {
+	return Update{
+		Withdrawn: pfxs("10.9.0.0/16", "192.0.2.128/25"),
+		Attrs: &PathAttrs{
+			Origin:      OriginIGP,
+			ASPath:      []uint32{65001, 4200000001, 65003},
+			NextHop:     addr("100.64.0.1"),
+			MED:         50,
+			HasMED:      true,
+			LocalPref:   200,
+			HasLocal:    true,
+			Communities: []policy.Community{policy.Community(65000<<16 | 1), policy.Community(65000<<16 | 2)},
+		},
+		NLRI: pfxs("10.0.0.0/8", "172.16.0.0/12", "0.0.0.0/0", "203.0.113.7/32"),
+	}
+}
+
+func TestUpdateRoundTrip(t *testing.T) {
+	in := fullUpdate()
+	got, err := Decode(EncodeUpdate(in))
+	if err != nil {
+		t.Fatalf("Decode: %v", err)
+	}
+	if !reflect.DeepEqual(got, in) {
+		t.Errorf("round trip:\n got %+v\nwant %+v", got, in)
+	}
+}
+
+func TestUpdateWithdrawOnly(t *testing.T) {
+	in := Update{Withdrawn: pfxs("10.0.0.0/8")}
+	got, err := Decode(EncodeUpdate(in))
+	if err != nil {
+		t.Fatalf("Decode: %v", err)
+	}
+	u := got.(Update)
+	if u.Attrs != nil || len(u.NLRI) != 0 || len(u.Withdrawn) != 1 {
+		t.Errorf("withdraw-only round trip = %+v", u)
+	}
+}
+
+func TestUpdateEmptyASPath(t *testing.T) {
+	in := Update{
+		Attrs: &PathAttrs{Origin: OriginIGP, NextHop: addr("10.0.0.1")},
+		NLRI:  pfxs("192.0.2.0/24"),
+	}
+	got, err := Decode(EncodeUpdate(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	u := got.(Update)
+	if len(u.Attrs.ASPath) != 0 {
+		t.Errorf("AS path = %v, want empty (locally originated)", u.Attrs.ASPath)
+	}
+}
+
+func TestDecodeHeaderErrors(t *testing.T) {
+	good := EncodeKeepalive()
+
+	bad := append([]byte{}, good...)
+	bad[3] = 0 // corrupt marker
+	if _, _, err := DecodeHeader(bad); err == nil {
+		t.Error("corrupt marker accepted")
+	}
+
+	short := good[:10]
+	if _, _, err := DecodeHeader(short); err == nil {
+		t.Error("short header accepted")
+	}
+
+	badType := append([]byte{}, good...)
+	badType[18] = 9
+	if _, _, err := DecodeHeader(badType); err == nil {
+		t.Error("bad type accepted")
+	}
+
+	badLen := append([]byte{}, good...)
+	badLen[16], badLen[17] = 0, 5 // < headerLen
+	if _, _, err := DecodeHeader(badLen); err == nil {
+		t.Error("undersized length accepted")
+	}
+}
+
+func TestDecodeLengthMismatch(t *testing.T) {
+	msg := EncodeKeepalive()
+	if _, err := Decode(append(msg, 0)); err == nil {
+		t.Error("trailing bytes accepted")
+	}
+}
+
+func TestDecodeBadUpdate(t *testing.T) {
+	// NLRI present but no attributes: missing mandatory attrs.
+	msg := make([]byte, headerLen+2+2+2)
+	body := msg[headerLen:]
+	// withdrawn len 0, attrs len 0, NLRI "0.0.0.0/8" (len byte 8 + 1 byte)
+	body[4] = 8
+	body[5] = 10
+	putHeader(msg, MsgUpdate)
+	if _, err := Decode(msg); err == nil {
+		t.Error("attribute-less UPDATE with NLRI accepted")
+	}
+}
+
+func TestDecodeBadNLRIPrefixLen(t *testing.T) {
+	u := EncodeUpdate(Update{Withdrawn: pfxs("10.0.0.0/8")})
+	// Corrupt the withdrawn prefix length to 40.
+	u[headerLen+2] = 40
+	if _, err := Decode(u); err == nil {
+		t.Error("prefix length 40 accepted")
+	}
+}
+
+func TestChunkPrefixes(t *testing.T) {
+	if ChunkPrefixes(nil) != nil {
+		t.Error("ChunkPrefixes(nil) != nil")
+	}
+	var many []netip.Prefix
+	for i := 0; i < MaxNLRIPerUpdate*2+5; i++ {
+		many = append(many, netip.PrefixFrom(netip.AddrFrom4([4]byte{10, byte(i >> 8), byte(i), 0}), 24))
+	}
+	chunks := ChunkPrefixes(many)
+	if len(chunks) != 3 {
+		t.Fatalf("chunks = %d, want 3", len(chunks))
+	}
+	total := 0
+	for _, c := range chunks {
+		if len(c) > MaxNLRIPerUpdate {
+			t.Errorf("chunk size %d exceeds max", len(c))
+		}
+		total += len(c)
+	}
+	if total != len(many) {
+		t.Errorf("chunks lost prefixes: %d != %d", total, len(many))
+	}
+}
+
+func TestUpdateTooLargePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("oversized update did not panic")
+		}
+	}()
+	var many []netip.Prefix
+	for i := 0; i < 2000; i++ {
+		many = append(many, netip.PrefixFrom(netip.AddrFrom4([4]byte{10, byte(i >> 8), byte(i), 1}), 32))
+	}
+	EncodeUpdate(Update{NLRI: many, Attrs: &PathAttrs{NextHop: addr("1.1.1.1")}})
+}
+
+// Property: any syntactically valid Update round-trips exactly.
+func TestQuickUpdateRoundTrip(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	gen := func() Update {
+		var u Update
+		n := r.Intn(20)
+		for i := 0; i < n; i++ {
+			var a [4]byte
+			r.Read(a[:])
+			u.NLRI = append(u.NLRI, netip.PrefixFrom(netip.AddrFrom4(a), r.Intn(33)).Masked())
+		}
+		w := r.Intn(10)
+		for i := 0; i < w; i++ {
+			var a [4]byte
+			r.Read(a[:])
+			u.Withdrawn = append(u.Withdrawn, netip.PrefixFrom(netip.AddrFrom4(a), r.Intn(33)).Masked())
+		}
+		if n > 0 || r.Intn(2) == 0 {
+			var nh [4]byte
+			r.Read(nh[:])
+			attrs := &PathAttrs{
+				Origin:  uint8(r.Intn(3)),
+				NextHop: netip.AddrFrom4(nh),
+			}
+			for i := 0; i < r.Intn(6); i++ {
+				attrs.ASPath = append(attrs.ASPath, r.Uint32())
+			}
+			if r.Intn(2) == 0 {
+				attrs.MED, attrs.HasMED = r.Uint32(), true
+			}
+			if r.Intn(2) == 0 {
+				attrs.LocalPref, attrs.HasLocal = r.Uint32(), true
+			}
+			for i := 0; i < r.Intn(4); i++ {
+				attrs.Communities = append(attrs.Communities, policy.Community(r.Uint32()))
+			}
+			u.Attrs = attrs
+		}
+		return u
+	}
+	f := func(seed int64) bool {
+		u := gen()
+		got, err := Decode(EncodeUpdate(u))
+		if err != nil {
+			t.Logf("decode error: %v for %+v", err, u)
+			return false
+		}
+		return reflect.DeepEqual(got, u)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkEncodeUpdate(b *testing.B) {
+	u := fullUpdate()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		EncodeUpdate(u)
+	}
+}
+
+func BenchmarkDecodeUpdate(b *testing.B) {
+	msg := EncodeUpdate(fullUpdate())
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Decode(msg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

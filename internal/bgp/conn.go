@@ -1,0 +1,132 @@
+package bgp
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"net"
+	"net/netip"
+	"sync"
+	"time"
+
+	"mfv/internal/sim"
+)
+
+// This file bridges the event-driven Speaker onto real TCP connections. The
+// emulator never uses it — emulated sessions ride the deterministic event
+// queue — but it demonstrates that the codec and FSM interoperate over an
+// actual network stack, and it backs the TCP-vs-event transport ablation.
+
+// ReadMessage reads one complete BGP message (header + body) from r.
+func ReadMessage(r io.Reader) ([]byte, error) {
+	header := make([]byte, headerLen)
+	if _, err := io.ReadFull(r, header); err != nil {
+		return nil, err
+	}
+	_, bodyLen, err := DecodeHeader(header)
+	if err != nil {
+		return nil, err
+	}
+	msg := make([]byte, headerLen+bodyLen)
+	copy(msg, header)
+	if _, err := io.ReadFull(r, msg[headerLen:]); err != nil {
+		return nil, fmt.Errorf("bgp: truncated message body: %w", err)
+	}
+	return msg, nil
+}
+
+// WriteMessage writes one encoded message to w.
+func WriteMessage(w io.Writer, msg []byte) error {
+	_, err := w.Write(msg)
+	return err
+}
+
+// Driver serializes access to one or more Speakers that share a simulator,
+// and advances the simulator's virtual clock in lockstep with the wall
+// clock so protocol timers (keepalive, hold) fire in real time.
+type Driver struct {
+	mu   sync.Mutex
+	sim  *sim.Simulator
+	stop chan struct{}
+	wg   sync.WaitGroup
+}
+
+// NewDriver wraps a simulator for real-time use.
+func NewDriver(s *sim.Simulator) *Driver {
+	return &Driver{sim: s, stop: make(chan struct{})}
+}
+
+// Start begins advancing the virtual clock every tick of wall time.
+func (d *Driver) Start(tick time.Duration) {
+	d.wg.Add(1)
+	go func() {
+		defer d.wg.Done()
+		t := time.NewTicker(tick)
+		defer t.Stop()
+		for {
+			select {
+			case <-d.stop:
+				return
+			case <-t.C:
+				d.mu.Lock()
+				d.sim.RunFor(tick)
+				d.mu.Unlock()
+			}
+		}
+	}()
+}
+
+// Stop halts the clock pump and waits for attached readers to exit. Callers
+// must close attached connections first so readers unblock.
+func (d *Driver) Stop() {
+	close(d.stop)
+	d.wg.Wait()
+}
+
+// Locked runs fn with exclusive access to the speakers under this driver.
+func (d *Driver) Locked(fn func()) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	fn()
+}
+
+// Attach binds a TCP connection to one of spk's configured peers: outbound
+// messages are written to the conn, inbound messages are dispatched as
+// coming from peerAddr. It brings the session up and spawns the reader.
+func (d *Driver) Attach(spk *Speaker, peerAddr netip.Addr, conn net.Conn) error {
+	peer, ok := spk.Peer(peerAddr)
+	if !ok {
+		return fmt.Errorf("bgp: no configured peer %v", peerAddr)
+	}
+	w := bufio.NewWriter(conn)
+	var wmu sync.Mutex
+	send := func(msg []byte) {
+		wmu.Lock()
+		defer wmu.Unlock()
+		if err := WriteMessage(w, msg); err == nil {
+			w.Flush()
+		}
+	}
+	d.mu.Lock()
+	peer.TransportUp(send)
+	d.mu.Unlock()
+
+	d.wg.Add(1)
+	go func() {
+		defer d.wg.Done()
+		r := bufio.NewReader(conn)
+		for {
+			msg, err := ReadMessage(r)
+			if err != nil {
+				d.mu.Lock()
+				peer.TransportDown()
+				d.mu.Unlock()
+				return
+			}
+			d.mu.Lock()
+			spk.HandleMessage(peerAddr, msg)
+			d.mu.Unlock()
+		}
+	}()
+	return nil
+}

@@ -1,0 +1,147 @@
+package bgp
+
+import (
+	"net"
+	"net/netip"
+	"testing"
+	"time"
+
+	"mfv/internal/sim"
+)
+
+// TestSessionOverRealTCP establishes a BGP session between two speakers over
+// a real TCP connection on loopback and checks route propagation end to end.
+func TestSessionOverRealTCP(t *testing.T) {
+	s := sim.New(1)
+	driver := NewDriver(s)
+
+	mk := func(name string, asn uint32, id string) *Speaker {
+		return NewSpeaker(Config{
+			Hostname: name, ASN: asn, RouterID: netip.MustParseAddr(id), Clock: s,
+			Resolver: ResolverFunc(func(nh netip.Addr) (uint32, bool) { return 1, true }),
+		})
+	}
+	s1 := mk("r1", 65001, "1.1.1.1")
+	s2 := mk("r2", 65002, "2.2.2.2")
+	a1, a2 := netip.MustParseAddr("127.0.0.1"), netip.MustParseAddr("127.0.0.2")
+	driver.Locked(func() {
+		s1.AddPeer(PeerConfig{Addr: a2, LocalAddr: a1, RemoteAS: 65002})
+		s2.AddPeer(PeerConfig{Addr: a1, LocalAddr: a2, RemoteAS: 65001})
+		s1.Originate(pfx("10.0.0.0/8"), PathAttrs{})
+	})
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+
+	accepted := make(chan net.Conn, 1)
+	go func() {
+		c, err := ln.Accept()
+		if err == nil {
+			accepted <- c
+		}
+	}()
+	dialed, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	serverConn := <-accepted
+
+	if err := driver.Attach(s1, a2, dialed); err != nil {
+		t.Fatal(err)
+	}
+	if err := driver.Attach(s2, a1, serverConn); err != nil {
+		t.Fatal(err)
+	}
+	driver.Start(5 * time.Millisecond)
+
+	deadline := time.After(5 * time.Second)
+	for {
+		var established bool
+		var learned bool
+		driver.Locked(func() {
+			p1, _ := s1.Peer(a2)
+			p2, _ := s2.Peer(a1)
+			established = p1.State() == StateEstablished && p2.State() == StateEstablished
+			_, learned = s2.Best(pfx("10.0.0.0/8"))
+		})
+		if established && learned {
+			break
+		}
+		select {
+		case <-deadline:
+			t.Fatal("session or route did not come up over TCP within 5s")
+		case <-time.After(10 * time.Millisecond):
+		}
+	}
+
+	// Tear down: closing the sockets must drive both sessions to Idle and
+	// withdraw learned routes.
+	dialed.Close()
+	serverConn.Close()
+	deadline = time.After(5 * time.Second)
+	for {
+		var idle, gone bool
+		driver.Locked(func() {
+			p2, _ := s2.Peer(a1)
+			idle = p2.State() == StateIdle
+			_, ok := s2.Best(pfx("10.0.0.0/8"))
+			gone = !ok
+		})
+		if idle && gone {
+			break
+		}
+		select {
+		case <-deadline:
+			t.Fatal("teardown did not propagate within 5s")
+		case <-time.After(10 * time.Millisecond):
+		}
+	}
+	driver.Stop()
+}
+
+func TestReadMessageErrors(t *testing.T) {
+	// Short read.
+	c1, c2 := net.Pipe()
+	go func() {
+		c1.Write([]byte{0xff, 0xff})
+		c1.Close()
+	}()
+	if _, err := ReadMessage(c2); err == nil {
+		t.Error("short header accepted")
+	}
+	c2.Close()
+
+	// Corrupt marker.
+	c3, c4 := net.Pipe()
+	go func() {
+		bad := EncodeKeepalive()
+		bad[0] = 0
+		c3.Write(bad)
+		c3.Close()
+	}()
+	if _, err := ReadMessage(c4); err == nil {
+		t.Error("corrupt marker accepted")
+	}
+	c4.Close()
+}
+
+func TestReadWriteMessageRoundTrip(t *testing.T) {
+	c1, c2 := net.Pipe()
+	defer c1.Close()
+	defer c2.Close()
+	msg := EncodeUpdate(fullUpdate())
+	go func() { WriteMessage(c1, msg) }()
+	got, err := ReadMessage(c2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(msg) {
+		t.Errorf("read %d bytes, want %d", len(got), len(msg))
+	}
+	if _, err := Decode(got); err != nil {
+		t.Errorf("Decode after transport: %v", err)
+	}
+}

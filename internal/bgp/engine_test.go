@@ -1,0 +1,524 @@
+package bgp
+
+import (
+	"net/netip"
+	"testing"
+	"time"
+
+	"mfv/internal/policy"
+	"mfv/internal/sim"
+)
+
+// harness wires speakers together over simulated links with a fixed delay.
+type harness struct {
+	s     *sim.Simulator
+	delay time.Duration
+}
+
+func newHarness() *harness {
+	return &harness{s: sim.New(1), delay: time.Millisecond}
+}
+
+func (h *harness) speaker(name string, asn uint32, id string) *Speaker {
+	return NewSpeaker(Config{
+		Hostname: name,
+		ASN:      asn,
+		RouterID: netip.MustParseAddr(id),
+		Clock:    h.s,
+		Resolver: ResolverFunc(func(nh netip.Addr) (uint32, bool) { return 10, true }),
+	})
+}
+
+// connect creates a bidirectional transport between two configured peers and
+// brings both sessions up.
+func (h *harness) connect(a *Speaker, pa *Peer, b *Speaker, pb *Peer) {
+	pa.TransportUp(func(msg []byte) {
+		data := append([]byte{}, msg...)
+		h.s.After(h.delay, func() { b.HandleMessage(pa.cfg.LocalAddr, data) })
+	})
+	pb.TransportUp(func(msg []byte) {
+		data := append([]byte{}, msg...)
+		h.s.After(h.delay, func() { a.HandleMessage(pb.cfg.LocalAddr, data) })
+	})
+}
+
+// pairEBGP builds two speakers with an eBGP session on 100.64.0.0/31.
+func pairEBGP(t *testing.T) (*harness, *Speaker, *Speaker) {
+	t.Helper()
+	h := newHarness()
+	s1 := h.speaker("r1", 65001, "1.1.1.1")
+	s2 := h.speaker("r2", 65002, "2.2.2.2")
+	p1 := s1.AddPeer(PeerConfig{
+		Addr: netip.MustParseAddr("100.64.0.1"), LocalAddr: netip.MustParseAddr("100.64.0.0"),
+		RemoteAS: 65002,
+	})
+	p2 := s2.AddPeer(PeerConfig{
+		Addr: netip.MustParseAddr("100.64.0.0"), LocalAddr: netip.MustParseAddr("100.64.0.1"),
+		RemoteAS: 65001,
+	})
+	h.connect(s1, p1, s2, p2)
+	return h, s1, s2
+}
+
+func settle(h *harness) { h.s.RunFor(5 * time.Second) }
+
+func TestSessionEstablishment(t *testing.T) {
+	h, s1, s2 := pairEBGP(t)
+	settle(h)
+	p1, _ := s1.Peer(netip.MustParseAddr("100.64.0.1"))
+	p2, _ := s2.Peer(netip.MustParseAddr("100.64.0.0"))
+	if p1.State() != StateEstablished || p2.State() != StateEstablished {
+		t.Fatalf("states = %v / %v, want Established", p1.State(), p2.State())
+	}
+	if p1.routerID != netip.MustParseAddr("2.2.2.2") {
+		t.Errorf("peer router ID = %v", p1.routerID)
+	}
+}
+
+func TestEBGPPropagation(t *testing.T) {
+	h, s1, s2 := pairEBGP(t)
+	s1.Originate(pfx("10.1.0.0/16"), PathAttrs{Origin: OriginIGP})
+	settle(h)
+	best, ok := s2.Best(pfx("10.1.0.0/16"))
+	if !ok {
+		t.Fatal("r2 did not learn 10.1.0.0/16")
+	}
+	if len(best.Attrs.ASPath) != 1 || best.Attrs.ASPath[0] != 65001 {
+		t.Errorf("AS path = %v, want [65001]", best.Attrs.ASPath)
+	}
+	if best.Attrs.NextHop != netip.MustParseAddr("100.64.0.0") {
+		t.Errorf("next hop = %v, want eBGP self", best.Attrs.NextHop)
+	}
+	if best.Attrs.HasLocal {
+		t.Error("LocalPref leaked across eBGP")
+	}
+}
+
+func TestWithdrawalPropagation(t *testing.T) {
+	h, s1, s2 := pairEBGP(t)
+	s1.Originate(pfx("10.1.0.0/16"), PathAttrs{Origin: OriginIGP})
+	settle(h)
+	if _, ok := s2.Best(pfx("10.1.0.0/16")); !ok {
+		t.Fatal("route not learned")
+	}
+	s1.WithdrawLocal(pfx("10.1.0.0/16"))
+	settle(h)
+	if _, ok := s2.Best(pfx("10.1.0.0/16")); ok {
+		t.Error("withdrawn route still present on r2")
+	}
+}
+
+func TestOriginateBeforeEstablish(t *testing.T) {
+	h := newHarness()
+	s1 := h.speaker("r1", 65001, "1.1.1.1")
+	s2 := h.speaker("r2", 65002, "2.2.2.2")
+	s1.Originate(pfx("10.0.0.0/8"), PathAttrs{})
+	p1 := s1.AddPeer(PeerConfig{Addr: addr("100.64.0.1"), LocalAddr: addr("100.64.0.0"), RemoteAS: 65002})
+	p2 := s2.AddPeer(PeerConfig{Addr: addr("100.64.0.0"), LocalAddr: addr("100.64.0.1"), RemoteAS: 65001})
+	h.connect(s1, p1, s2, p2)
+	settle(h)
+	if _, ok := s2.Best(pfx("10.0.0.0/8")); !ok {
+		t.Error("pre-established origination not advertised after establish")
+	}
+}
+
+func TestASPathLoopRejected(t *testing.T) {
+	h, s1, s2 := pairEBGP(t)
+	settle(h)
+	// r1 originates a path that already contains 65002: r2 must reject.
+	s1.Originate(pfx("10.66.0.0/16"), PathAttrs{ASPath: []uint32{65002}})
+	settle(h)
+	if _, ok := s2.Best(pfx("10.66.0.0/16")); ok {
+		t.Error("looped path accepted by r2")
+	}
+}
+
+func TestTransportDownWithdrawsRoutes(t *testing.T) {
+	h, s1, s2 := pairEBGP(t)
+	s1.Originate(pfx("10.1.0.0/16"), PathAttrs{})
+	settle(h)
+	p2, _ := s2.Peer(netip.MustParseAddr("100.64.0.0"))
+	p2.TransportDown()
+	settle(h)
+	if _, ok := s2.Best(pfx("10.1.0.0/16")); ok {
+		t.Error("routes survive transport down")
+	}
+	if p2.State() != StateIdle {
+		t.Errorf("state = %v, want Idle", p2.State())
+	}
+}
+
+func TestHoldTimerExpiry(t *testing.T) {
+	h := newHarness()
+	s1 := h.speaker("r1", 65001, "1.1.1.1")
+	s2 := h.speaker("r2", 65002, "2.2.2.2")
+	p1 := s1.AddPeer(PeerConfig{Addr: addr("100.64.0.1"), LocalAddr: addr("100.64.0.0"), RemoteAS: 65002, HoldTime: 9 * time.Second})
+	p2 := s2.AddPeer(PeerConfig{Addr: addr("100.64.0.0"), LocalAddr: addr("100.64.0.1"), RemoteAS: 65001, HoldTime: 9 * time.Second})
+	h.connect(s1, p1, s2, p2)
+	settle(h)
+	if p1.State() != StateEstablished {
+		t.Fatal("session did not establish")
+	}
+	// Silence r2: its keepalives no longer reach r1.
+	p2.keepalive.Stop()
+	h.s.RunFor(20 * time.Second)
+	if p1.State() != StateIdle {
+		t.Errorf("r1 state after silence = %v, want Idle (hold timer)", p1.State())
+	}
+}
+
+func TestKeepaliveKeepsSessionAlive(t *testing.T) {
+	h, s1, _ := pairEBGP(t)
+	h.s.RunFor(10 * time.Minute)
+	p1, _ := s1.Peer(netip.MustParseAddr("100.64.0.1"))
+	if p1.State() != StateEstablished {
+		t.Errorf("session fell over despite keepalives: %v", p1.State())
+	}
+}
+
+func TestBadPeerASRefused(t *testing.T) {
+	h := newHarness()
+	s1 := h.speaker("r1", 65001, "1.1.1.1")
+	s2 := h.speaker("r2", 65002, "2.2.2.2")
+	// r1 expects AS 65003 but the real peer is 65002.
+	p1 := s1.AddPeer(PeerConfig{Addr: addr("100.64.0.1"), LocalAddr: addr("100.64.0.0"), RemoteAS: 65003})
+	p2 := s2.AddPeer(PeerConfig{Addr: addr("100.64.0.0"), LocalAddr: addr("100.64.0.1"), RemoteAS: 65001})
+	h.connect(s1, p1, s2, p2)
+	settle(h)
+	if p1.State() == StateEstablished {
+		t.Error("session established despite AS mismatch")
+	}
+}
+
+// triangle builds three speakers in AS 65100 fully meshed over iBGP, with
+// rrOnR1 controlling whether r1 treats the others as RR clients.
+func triangleIBGP(t *testing.T, rrOnR1 bool) (*harness, [3]*Speaker) {
+	t.Helper()
+	h := newHarness()
+	var spk [3]*Speaker
+	ids := []string{"1.1.1.1", "2.2.2.2", "3.3.3.3"}
+	for i := range spk {
+		spk[i] = h.speaker(ids[i], 65100, ids[i])
+	}
+	connectPair := func(i, j int, client bool) {
+		ai, aj := netip.MustParseAddr(ids[i]), netip.MustParseAddr(ids[j])
+		pi := spk[i].AddPeer(PeerConfig{Addr: aj, LocalAddr: ai, RemoteAS: 65100, RRClient: client && i == 0})
+		pj := spk[j].AddPeer(PeerConfig{Addr: ai, LocalAddr: aj, RemoteAS: 65100})
+		h.connect(spk[i], pi, spk[j], pj)
+	}
+	if rrOnR1 {
+		// Hub-and-spoke: r1 is the RR; r2 and r3 peer only with r1.
+		connectPair(0, 1, true)
+		connectPair(0, 2, true)
+	} else {
+		connectPair(0, 1, false)
+		connectPair(0, 2, false)
+		connectPair(1, 2, false)
+	}
+	return h, spk
+}
+
+func TestIBGPSplitHorizon(t *testing.T) {
+	// Without route reflection and with r2,r3 peering only via r1, a route
+	// from r2 must NOT reach r3 (r1 refuses to re-advertise iBGP routes).
+	h := newHarness()
+	ids := []string{"1.1.1.1", "2.2.2.2", "3.3.3.3"}
+	var spk [3]*Speaker
+	for i := range spk {
+		spk[i] = h.speaker(ids[i], 65100, ids[i])
+	}
+	for _, j := range []int{1, 2} {
+		ai, aj := netip.MustParseAddr(ids[0]), netip.MustParseAddr(ids[j])
+		pi := spk[0].AddPeer(PeerConfig{Addr: aj, LocalAddr: ai, RemoteAS: 65100})
+		pj := spk[j].AddPeer(PeerConfig{Addr: ai, LocalAddr: aj, RemoteAS: 65100})
+		h.connect(spk[0], pi, spk[j], pj)
+	}
+	spk[1].Originate(pfx("10.2.0.0/16"), PathAttrs{})
+	settle(h)
+	if _, ok := spk[0].Best(pfx("10.2.0.0/16")); !ok {
+		t.Fatal("r1 did not learn the route")
+	}
+	if _, ok := spk[2].Best(pfx("10.2.0.0/16")); ok {
+		t.Error("split horizon violated: r3 learned an iBGP route via r1")
+	}
+}
+
+func TestRouteReflection(t *testing.T) {
+	h, spk := triangleIBGP(t, true)
+	spk[1].Originate(pfx("10.2.0.0/16"), PathAttrs{})
+	settle(h)
+	if _, ok := spk[2].Best(pfx("10.2.0.0/16")); !ok {
+		t.Error("route reflector did not reflect client route to other client")
+	}
+}
+
+func TestFullMeshIBGP(t *testing.T) {
+	h, spk := triangleIBGP(t, false)
+	spk[1].Originate(pfx("10.2.0.0/16"), PathAttrs{})
+	settle(h)
+	for i := 0; i < 3; i++ {
+		if i == 1 {
+			continue
+		}
+		if _, ok := spk[i].Best(pfx("10.2.0.0/16")); !ok {
+			t.Errorf("r%d missing route in full mesh", i+1)
+		}
+	}
+	// iBGP preserves the original next hop (no next-hop-self configured).
+	best, _ := spk[0].Best(pfx("10.2.0.0/16"))
+	if best.Attrs.NextHop != netip.MustParseAddr("2.2.2.2") {
+		t.Errorf("next hop = %v, want 2.2.2.2 (iBGP preserves)", best.Attrs.NextHop)
+	}
+}
+
+func TestImportPolicyDeny(t *testing.T) {
+	h := newHarness()
+	s1 := h.speaker("r1", 65001, "1.1.1.1")
+	s2 := h.speaker("r2", 65002, "2.2.2.2")
+	deny := &policy.RouteMap{Name: "DENY-TEN"}
+	env := policy.MapEnv{"TEN": {Name: "TEN", Entries: []policy.PrefixListEntry{
+		{Seq: 10, Action: policy.Permit, Prefix: pfx("10.0.0.0/8"), Le: 32},
+	}}}
+	deny.Add(policy.MapClause{Seq: 10, Action: policy.Deny, MatchPrefixList: "TEN"})
+	deny.Add(policy.MapClause{Seq: 20, Action: policy.Permit})
+	p1 := s1.AddPeer(PeerConfig{Addr: addr("100.64.0.1"), LocalAddr: addr("100.64.0.0"), RemoteAS: 65002})
+	p2 := s2.AddPeer(PeerConfig{
+		Addr: addr("100.64.0.0"), LocalAddr: addr("100.64.0.1"), RemoteAS: 65001,
+		ImportPolicy: deny, Env: env,
+	})
+	h.connect(s1, p1, s2, p2)
+	s1.Originate(pfx("10.5.0.0/16"), PathAttrs{})
+	s1.Originate(pfx("192.168.0.0/16"), PathAttrs{})
+	settle(h)
+	if _, ok := s2.Best(pfx("10.5.0.0/16")); ok {
+		t.Error("import policy failed to deny 10/8 subnet")
+	}
+	if _, ok := s2.Best(pfx("192.168.0.0/16")); !ok {
+		t.Error("import policy wrongly denied unmatched prefix")
+	}
+}
+
+func TestExportPolicySetsLocalPrefOnIBGP(t *testing.T) {
+	h := newHarness()
+	s1 := h.speaker("r1", 65100, "1.1.1.1")
+	s2 := h.speaker("r2", 65100, "2.2.2.2")
+	setLP := &policy.RouteMap{Name: "SETLP"}
+	setLP.Add(policy.MapClause{Seq: 10, Action: policy.Permit, SetLocalPref: 250})
+	p1 := s1.AddPeer(PeerConfig{
+		Addr: addr("2.2.2.2"), LocalAddr: addr("1.1.1.1"), RemoteAS: 65100, ExportPolicy: setLP,
+	})
+	p2 := s2.AddPeer(PeerConfig{Addr: addr("1.1.1.1"), LocalAddr: addr("2.2.2.2"), RemoteAS: 65100})
+	h.connect(s1, p1, s2, p2)
+	s1.Originate(pfx("10.0.0.0/8"), PathAttrs{})
+	settle(h)
+	best, ok := s2.Best(pfx("10.0.0.0/8"))
+	if !ok {
+		t.Fatal("route not learned")
+	}
+	if best.EffectiveLocalPref() != 250 {
+		t.Errorf("LocalPref = %d, want 250", best.EffectiveLocalPref())
+	}
+}
+
+func TestCommunityStrippedWithoutSendCommunity(t *testing.T) {
+	h, s1, s2 := pairEBGP(t)
+	c, _ := policy.ParseCommunity("65001:77")
+	s1.Originate(pfx("10.0.0.0/8"), PathAttrs{Communities: []policy.Community{c}})
+	settle(h)
+	best, ok := s2.Best(pfx("10.0.0.0/8"))
+	if !ok {
+		t.Fatal("route not learned")
+	}
+	if len(best.Attrs.Communities) != 0 {
+		t.Errorf("communities = %v, want stripped", best.Attrs.Communities)
+	}
+}
+
+func TestSendCommunityPropagates(t *testing.T) {
+	h := newHarness()
+	s1 := h.speaker("r1", 65001, "1.1.1.1")
+	s2 := h.speaker("r2", 65002, "2.2.2.2")
+	p1 := s1.AddPeer(PeerConfig{Addr: addr("100.64.0.1"), LocalAddr: addr("100.64.0.0"), RemoteAS: 65002, SendCommunity: true})
+	p2 := s2.AddPeer(PeerConfig{Addr: addr("100.64.0.0"), LocalAddr: addr("100.64.0.1"), RemoteAS: 65001})
+	h.connect(s1, p1, s2, p2)
+	c, _ := policy.ParseCommunity("65001:77")
+	s1.Originate(pfx("10.0.0.0/8"), PathAttrs{Communities: []policy.Community{c}})
+	settle(h)
+	best, _ := s2.Best(pfx("10.0.0.0/8"))
+	if best == nil || len(best.Attrs.Communities) != 1 || best.Attrs.Communities[0] != c {
+		t.Errorf("communities not propagated: %+v", best)
+	}
+}
+
+func TestDecisionLadder(t *testing.T) {
+	h := newHarness()
+	s := h.speaker("r1", 65100, "1.1.1.1")
+	base := func() *Path {
+		return &Path{
+			Prefix: pfx("10.0.0.0/8"),
+			Attrs: PathAttrs{
+				ASPath:  []uint32{65001, 65002},
+				NextHop: addr("192.0.2.1"),
+			},
+			PeerRouterID: addr("9.9.9.9"),
+			PeerAddr:     addr("10.0.0.9"),
+		}
+	}
+	tests := []struct {
+		name    string
+		a, b    func() *Path
+		aBetter bool
+	}{
+		{"local wins", func() *Path { p := base(); p.Local = true; return p }, base, true},
+		{"higher localpref", func() *Path {
+			p := base()
+			p.Attrs.HasLocal, p.Attrs.LocalPref = true, 200
+			return p
+		}, base, true},
+		{"shorter aspath", func() *Path { p := base(); p.Attrs.ASPath = []uint32{65001}; return p }, base, true},
+		{"lower origin", base, func() *Path { p := base(); p.Attrs.Origin = OriginIncomplete; return p }, true},
+		{"lower med same as", base, func() *Path { p := base(); p.Attrs.MED = 10; p.Attrs.HasMED = true; return p }, true},
+		{"ebgp over ibgp", base, func() *Path { p := base(); p.FromIBGP = true; return p }, true},
+		{"lower router id", func() *Path { p := base(); p.PeerRouterID = addr("1.1.1.2"); return p }, base, true},
+		{"lower peer addr", func() *Path { p := base(); p.PeerAddr = addr("10.0.0.1"); return p }, base, true},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := s.better(tc.a(), tc.b()); got != tc.aBetter {
+				t.Errorf("better = %v, want %v", got, tc.aBetter)
+			}
+			if s.better(tc.b(), tc.a()) {
+				t.Error("better is not antisymmetric for this pair")
+			}
+		})
+	}
+}
+
+func TestMEDOnlyComparedSameNeighborAS(t *testing.T) {
+	h := newHarness()
+	s := h.speaker("r1", 65100, "1.1.1.1")
+	a := &Path{Attrs: PathAttrs{ASPath: []uint32{65001}, MED: 100, HasMED: true, NextHop: addr("1.0.0.1")},
+		PeerRouterID: addr("5.5.5.5"), PeerAddr: addr("10.0.0.5")}
+	b := &Path{Attrs: PathAttrs{ASPath: []uint32{65002}, MED: 10, HasMED: true, NextHop: addr("1.0.0.2")},
+		PeerRouterID: addr("6.6.6.6"), PeerAddr: addr("10.0.0.6")}
+	// Different first AS: MED ignored; falls to router ID (5.5.5.5 < 6.6.6.6).
+	if !s.better(a, b) {
+		t.Error("MED compared across different neighbor ASes")
+	}
+}
+
+func TestIGPMetricTieBreak(t *testing.T) {
+	h := newHarness()
+	metrics := map[netip.Addr]uint32{
+		addr("1.0.0.1"): 5,
+		addr("1.0.0.2"): 50,
+	}
+	s := NewSpeaker(Config{
+		Hostname: "r1", ASN: 65100, RouterID: addr("1.1.1.1"), Clock: h.s,
+		Resolver: ResolverFunc(func(nh netip.Addr) (uint32, bool) {
+			m, ok := metrics[nh]
+			return m, ok
+		}),
+	})
+	a := &Path{Attrs: PathAttrs{ASPath: []uint32{65001}, NextHop: addr("1.0.0.1")},
+		PeerRouterID: addr("9.9.9.9"), PeerAddr: addr("10.0.0.9")}
+	b := &Path{Attrs: PathAttrs{ASPath: []uint32{65001}, NextHop: addr("1.0.0.2")},
+		PeerRouterID: addr("2.2.2.2"), PeerAddr: addr("10.0.0.2")}
+	// IGP metric (5 < 50) outranks router ID.
+	if !s.better(a, b) {
+		t.Error("IGP metric tie-break not applied")
+	}
+}
+
+func TestUnresolvableNextHopExcluded(t *testing.T) {
+	h := newHarness()
+	reachable := true
+	s1 := NewSpeaker(Config{
+		Hostname: "r1", ASN: 65002, RouterID: addr("2.2.2.2"), Clock: h.s,
+		Resolver: ResolverFunc(func(nh netip.Addr) (uint32, bool) { return 10, reachable }),
+	})
+	s0 := h.speaker("r0", 65001, "1.1.1.1")
+	p0 := s0.AddPeer(PeerConfig{Addr: addr("100.64.0.1"), LocalAddr: addr("100.64.0.0"), RemoteAS: 65002})
+	p1 := s1.AddPeer(PeerConfig{Addr: addr("100.64.0.0"), LocalAddr: addr("100.64.0.1"), RemoteAS: 65001})
+	h.connect(s0, p0, s1, p1)
+	s0.Originate(pfx("10.0.0.0/8"), PathAttrs{})
+	settle(h)
+	if _, ok := s1.Best(pfx("10.0.0.0/8")); !ok {
+		t.Fatal("route not learned while next hop reachable")
+	}
+	reachable = false
+	s1.ReevaluateNextHops()
+	if _, ok := s1.Best(pfx("10.0.0.0/8")); ok {
+		t.Error("route with unresolvable next hop kept as best")
+	}
+	reachable = true
+	s1.ReevaluateNextHops()
+	if _, ok := s1.Best(pfx("10.0.0.0/8")); !ok {
+		t.Error("route not restored after next hop recovered")
+	}
+}
+
+func TestBestPathSwitchesOnWithdraw(t *testing.T) {
+	// r3 learns the same prefix from two eBGP peers and switches when the
+	// better one withdraws.
+	h := newHarness()
+	s1 := h.speaker("r1", 65001, "1.1.1.1")
+	s2 := h.speaker("r2", 65002, "2.2.2.2")
+	s3 := h.speaker("r3", 65003, "3.3.3.3")
+	pair := func(a *Speaker, b *Speaker, aAddr, bAddr string) {
+		pa := a.AddPeer(PeerConfig{Addr: addr(bAddr), LocalAddr: addr(aAddr), RemoteAS: b.ASN()})
+		pb := b.AddPeer(PeerConfig{Addr: addr(aAddr), LocalAddr: addr(bAddr), RemoteAS: a.ASN()})
+		h.connect(a, pa, b, pb)
+	}
+	pair(s1, s3, "100.64.1.0", "100.64.1.1")
+	pair(s2, s3, "100.64.2.0", "100.64.2.1")
+	p := pfx("203.0.113.0/24")
+	s1.Originate(p, PathAttrs{})
+	s2.Originate(p, PathAttrs{ASPath: []uint32{64999}}) // longer path via r2
+	settle(h)
+	best, ok := s3.Best(p)
+	if !ok || best.Attrs.ASPath[0] != 65001 {
+		t.Fatalf("best = %+v, want via AS 65001", best)
+	}
+	s1.WithdrawLocal(p)
+	settle(h)
+	best, ok = s3.Best(p)
+	if !ok || best.Attrs.ASPath[0] != 65002 {
+		t.Errorf("after withdraw best = %+v, want via AS 65002", best)
+	}
+}
+
+func TestOnBestChangeCallback(t *testing.T) {
+	h := newHarness()
+	events := 0
+	s := NewSpeaker(Config{
+		Hostname: "r1", ASN: 65001, RouterID: addr("1.1.1.1"), Clock: h.s,
+		OnBestChange: func(prefix netip.Prefix, p *Path) { events++ },
+	})
+	s.Originate(pfx("10.0.0.0/8"), PathAttrs{})
+	s.WithdrawLocal(pfx("10.0.0.0/8"))
+	if events != 2 {
+		t.Errorf("events = %d, want 2", events)
+	}
+}
+
+func TestBulkRoutes(t *testing.T) {
+	h, s1, s2 := pairEBGP(t)
+	const n = 2000
+	for i := 0; i < n; i++ {
+		p := netip.PrefixFrom(netip.AddrFrom4([4]byte{10, byte(i >> 8), byte(i), 0}), 24)
+		s1.Originate(p, PathAttrs{})
+	}
+	settle(h)
+	if got := s2.LocRIBSize(); got != n {
+		t.Errorf("r2 LocRIB = %d, want %d", got, n)
+	}
+	p2, _ := s2.Peer(netip.MustParseAddr("100.64.0.0"))
+	if p2.PrefixesReceived != n {
+		t.Errorf("PrefixesReceived = %d, want %d", p2.PrefixesReceived, n)
+	}
+	// Chunking must have produced multiple updates but far fewer than n.
+	if p2.UpdatesIn < 2 || p2.UpdatesIn > 50 {
+		t.Errorf("UpdatesIn = %d, want a handful of chunked updates", p2.UpdatesIn)
+	}
+}

@@ -1,0 +1,193 @@
+// Package confgen generates production-complexity router configurations in
+// the EOS-like dialect. The generated configs deliberately include the
+// statement families the paper found in its production snippets: management
+// daemons (PowerManager, LedPolicy, Thermostat), gRPC/gNMI and TLS
+// profiles, NTP/logging/SNMP, MPLS and MPLS-TE — i.e. the lines a reference
+// verification model does not understand. The vendor front end
+// (internal/config/eos) accepts all of them; the model baseline
+// (internal/model) fails 38–42 of the 62–82 lines, regenerating the paper's
+// coverage statistics (experiment E2).
+package confgen
+
+import (
+	"fmt"
+	"net/netip"
+	"strings"
+)
+
+// Iface describes one L3 interface to emit.
+type Iface struct {
+	Name string
+	Addr netip.Prefix
+	// ISIS enables the interface in the IS-IS instance.
+	ISIS bool
+	// Passive marks it passive (loopbacks are passive automatically).
+	Passive bool
+	Metric  uint32
+	// MPLS enables "mpls ip" on the port.
+	MPLS bool
+	// MisorderSwitchport emits "ip address" BEFORE "no switchport" — the
+	// (perfectly valid on the vendor) ordering from the paper's Fig. 3 that
+	// trips the reference model.
+	MisorderSwitchport bool
+}
+
+// Neighbor describes one BGP peer statement set.
+type Neighbor struct {
+	Addr          netip.Addr
+	RemoteAS      uint32
+	Description   string
+	UpdateSource  string
+	NextHopSelf   bool
+	SendCommunity bool
+}
+
+// BGP describes the BGP process to emit.
+type BGP struct {
+	ASN       uint32
+	RouterID  netip.Addr
+	Neighbors []Neighbor
+	Networks  []netip.Prefix
+	// RedistributeConnected adds "redistribute connected".
+	RedistributeConnected bool
+}
+
+// Spec describes one device.
+type Spec struct {
+	Hostname string
+	// NET is the IS-IS network entity title; empty disables IS-IS.
+	NET        string
+	Interfaces []Iface
+	BGP        *BGP
+	// Management selects how much non-dataplane configuration to emit:
+	// 0 none, 1 basic services, 2 full production set (daemons, TLS,
+	// telemetry, MPLS-TE plumbing).
+	Management int
+	// PolicyPadding emits that many prefix-list entries plus a small
+	// route map, mirroring the policy plumbing production configs carry.
+	PolicyPadding int
+	// MPLSTE adds global MPLS and a traffic-engineering tunnel stanza.
+	MPLSTE bool
+	// TETunnelTo, when valid and MPLSTE is set, is the tunnel destination.
+	TETunnelTo netip.Addr
+}
+
+// EOS renders the spec in the EOS-like dialect.
+func EOS(s Spec) string {
+	var b strings.Builder
+	line := func(format string, args ...any) { fmt.Fprintf(&b, format+"\n", args...) }
+
+	line("hostname %s", s.Hostname)
+	line("ip routing")
+	if s.Management >= 1 {
+		line("service routing protocols model multi-agent")
+		line("spanning-tree mode mstp")
+		line("ntp server 192.0.2.123")
+		line("logging host 192.0.2.50")
+	}
+	if s.Management >= 2 {
+		line("daemon PowerManager")
+		line("   exec /usr/bin/PowerManager")
+		line("   no shutdown")
+		line("daemon LedPolicy")
+		line("   exec /usr/bin/LedPolicy")
+		line("   no shutdown")
+		line("daemon Thermostat")
+		line("   exec /usr/bin/Thermostat")
+		line("   no shutdown")
+		line("management api gnmi")
+		line("   transport grpc default")
+		line("   ssl profile SECURE")
+		line("management api http-commands")
+		line("   no shutdown")
+		line("management ssh")
+		line("   idle-timeout 60")
+		line("management security")
+		line("   ssl profile SECURE")
+		line("   certificate device.crt key device.key")
+		line("snmp-server community ops ro")
+		line("ntp server 192.0.2.124")
+		line("aaa authorization exec default local")
+		line("username admin privilege 15 secret 0 admin")
+		line("clock timezone UTC")
+		line("transceiver qsfp default-mode 4x10G")
+		line("queue-monitor length")
+	}
+	if s.PolicyPadding > 0 {
+		for i := 0; i < s.PolicyPadding; i++ {
+			line("ip prefix-list PL-INFRA seq %d permit 10.%d.0.0/16 le 24", (i+1)*10, i)
+		}
+		line("route-map RM-INFRA permit 10")
+		line("   match ip address prefix-list PL-INFRA")
+	}
+	if s.MPLSTE {
+		line("mpls ip")
+	}
+	if s.NET != "" {
+		line("router isis default")
+		line("   net %s", s.NET)
+		line("   address-family ipv4 unicast")
+		line("   log-adjacency-changes")
+	}
+	for _, intf := range s.Interfaces {
+		line("interface %s", intf.Name)
+		loopback := strings.HasPrefix(intf.Name, "Loopback")
+		switch {
+		case loopback:
+			line("   ip address %s", intf.Addr)
+		case intf.MisorderSwitchport:
+			line("   ip address %s", intf.Addr)
+			line("   no switchport")
+		default:
+			line("   no switchport")
+			line("   ip address %s", intf.Addr)
+		}
+		if intf.ISIS {
+			line("   isis enable default")
+			if intf.Passive || loopback {
+				line("   isis passive-interface default")
+			}
+			if intf.Metric != 0 {
+				line("   isis metric %d", intf.Metric)
+			}
+		}
+		if intf.MPLS {
+			line("   mpls ip")
+		}
+	}
+	if s.BGP != nil {
+		line("router bgp %d", s.BGP.ASN)
+		if s.BGP.RouterID.IsValid() {
+			line("   router-id %s", s.BGP.RouterID)
+		}
+		for _, n := range s.BGP.Neighbors {
+			line("   neighbor %s remote-as %d", n.Addr, n.RemoteAS)
+			if n.Description != "" {
+				line("   neighbor %s description %s", n.Addr, n.Description)
+			}
+			if n.UpdateSource != "" {
+				line("   neighbor %s update-source %s", n.Addr, n.UpdateSource)
+			}
+			if n.NextHopSelf {
+				line("   neighbor %s next-hop-self", n.Addr)
+			}
+			if n.SendCommunity {
+				line("   neighbor %s send-community", n.Addr)
+			}
+		}
+		for _, p := range s.BGP.Networks {
+			line("   network %s", p)
+		}
+		if s.BGP.RedistributeConnected {
+			line("   redistribute connected")
+		}
+	}
+	if s.MPLSTE && s.TETunnelTo.IsValid() {
+		line("router traffic-engineering")
+		line("   tunnel TE-%s", s.Hostname)
+		line("      destination %s", s.TETunnelTo)
+		line("      priority 7 7")
+	}
+	line("end")
+	return b.String()
+}

@@ -1,0 +1,120 @@
+package confgen
+
+import (
+	"net/netip"
+	"strings"
+	"testing"
+
+	"mfv/internal/config/eos"
+)
+
+func pfx(s string) netip.Prefix { return netip.MustParsePrefix(s) }
+func addr(s string) netip.Addr  { return netip.MustParseAddr(s) }
+
+func fullSpec() Spec {
+	return Spec{
+		Hostname:      "edge1",
+		NET:           "49.0001.0000.0000.0001.00",
+		Management:    2,
+		PolicyPadding: 4,
+		MPLSTE:        true,
+		TETunnelTo:    addr("2.2.2.2"),
+		Interfaces: []Iface{
+			{Name: "Loopback0", Addr: pfx("2.2.2.1/32"), ISIS: true},
+			{Name: "Ethernet1", Addr: pfx("100.64.0.0/31"), ISIS: true, MPLS: true, Metric: 25},
+			{Name: "Ethernet2", Addr: pfx("100.64.1.0/31")},
+		},
+		BGP: &BGP{
+			ASN:      65001,
+			RouterID: addr("2.2.2.1"),
+			Networks: []netip.Prefix{pfx("2.2.2.1/32")},
+			Neighbors: []Neighbor{
+				{Addr: addr("2.2.2.2"), RemoteAS: 65001, UpdateSource: "Loopback0",
+					NextHopSelf: true, Description: "core peer"},
+				{Addr: addr("100.64.1.1"), RemoteAS: 65002, SendCommunity: true},
+			},
+			RedistributeConnected: true,
+		},
+	}
+}
+
+func TestGeneratedConfigParsesInVendorDialect(t *testing.T) {
+	cfg := EOS(fullSpec())
+	dev, diags, err := eos.Parse(cfg)
+	if err != nil {
+		t.Fatalf("vendor parser rejected generated config: %v\n%s", err, cfg)
+	}
+	if len(diags.Unknown) != 0 {
+		t.Errorf("unknown lines in generated config: %v", diags.Unknown)
+	}
+	if dev.Hostname != "edge1" {
+		t.Errorf("hostname = %q", dev.Hostname)
+	}
+	if dev.ISIS == nil || dev.BGP == nil || dev.MPLS == nil {
+		t.Fatalf("missing protocol intent: isis=%v bgp=%v mpls=%v", dev.ISIS, dev.BGP, dev.MPLS)
+	}
+	if !dev.MPLS.TE || len(dev.MPLS.LSPs) != 1 || dev.MPLS.LSPs[0].To != addr("2.2.2.2") {
+		t.Errorf("TE tunnel = %+v", dev.MPLS)
+	}
+	e1 := dev.Interface("Ethernet1")
+	if !e1.ISISEnabled || e1.ISISMetric != 25 || !e1.MPLSEnabled || !e1.Routed {
+		t.Errorf("Ethernet1 = %+v", e1)
+	}
+	if len(dev.BGP.Neighbors) != 2 || len(dev.BGP.Networks) != 1 || len(dev.BGP.Redistribute) != 1 {
+		t.Errorf("BGP = %+v", dev.BGP)
+	}
+	if len(dev.Management.Daemons) != 3 {
+		t.Errorf("Daemons = %v", dev.Management.Daemons)
+	}
+	if dev.PrefixLists["PL-INFRA"] == nil || len(dev.PrefixLists["PL-INFRA"].Entries) != 4 {
+		t.Errorf("policy padding missing: %+v", dev.PrefixLists)
+	}
+}
+
+func TestManagementLevels(t *testing.T) {
+	base := Spec{Hostname: "r1", Interfaces: []Iface{{Name: "Loopback0", Addr: pfx("1.1.1.1/32")}}}
+	l0 := eos.CountConfigLines(EOS(base))
+	base.Management = 1
+	l1 := eos.CountConfigLines(EOS(base))
+	base.Management = 2
+	l2 := eos.CountConfigLines(EOS(base))
+	if !(l0 < l1 && l1 < l2) {
+		t.Errorf("management levels not monotone: %d %d %d", l0, l1, l2)
+	}
+	if l2-l1 < 20 {
+		t.Errorf("full production set adds only %d lines", l2-l1)
+	}
+}
+
+func TestMisorderedSwitchport(t *testing.T) {
+	spec := Spec{
+		Hostname: "r1",
+		Interfaces: []Iface{
+			{Name: "Ethernet1", Addr: pfx("10.0.0.0/31"), MisorderSwitchport: true},
+		},
+	}
+	cfg := EOS(spec)
+	ipIdx := strings.Index(cfg, "ip address 10.0.0.0/31")
+	swIdx := strings.Index(cfg, "no switchport")
+	if ipIdx < 0 || swIdx < 0 || ipIdx > swIdx {
+		t.Errorf("misordering not emitted:\n%s", cfg)
+	}
+	// The vendor parser must still accept it with the address intact.
+	dev, _, err := eos.Parse(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dev.Interface("Ethernet1").Addresses) != 1 {
+		t.Error("vendor parser dropped the address")
+	}
+}
+
+func TestNoBGPNoISIS(t *testing.T) {
+	cfg := EOS(Spec{Hostname: "r1", Interfaces: []Iface{{Name: "Ethernet1", Addr: pfx("10.0.0.0/31")}}})
+	if strings.Contains(cfg, "router bgp") || strings.Contains(cfg, "router isis") {
+		t.Errorf("unexpected protocol blocks:\n%s", cfg)
+	}
+	if _, _, err := eos.Parse(cfg); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,54 @@
+// Package eos parses an Arista-EOS-like configuration dialect into the
+// vendor-independent IR. This parser plays the role of the vendor's own
+// configuration front end: it accepts the *entire* dialect, including
+// management-plane statements that have no dataplane effect. The deliberately
+// partial parser in internal/model plays Batfish's role and accepts only a
+// whitelist; the coverage gap between the two is the paper's experiment E2.
+package eos
+
+import "strings"
+
+// line is one logical config line.
+type line struct {
+	num    int      // 1-based line number in the source
+	indent int      // leading spaces
+	words  []string // whitespace-split tokens, comment stripped
+	raw    string   // original text, for diagnostics
+}
+
+// lex splits a config into logical lines, stripping blank lines, full-line
+// comments and trailing "! comment" text. EOS block structure is conveyed by
+// indentation, which is preserved via indent.
+func lex(src string) []line {
+	var out []line
+	for i, raw := range strings.Split(src, "\n") {
+		text := strings.TrimRight(raw, " \t\r")
+		trimmed := strings.TrimLeft(text, " \t")
+		if trimmed == "" {
+			continue
+		}
+		indent := len(text) - len(trimmed)
+		// Full-line comment or block terminator.
+		if trimmed[0] == '!' || trimmed[0] == '#' {
+			continue
+		}
+		// Trailing comment: EOS accepts "statement ! comment".
+		if idx := strings.Index(trimmed, " !"); idx >= 0 {
+			trimmed = strings.TrimRight(trimmed[:idx], " \t")
+			if trimmed == "" {
+				continue
+			}
+		}
+		out = append(out, line{
+			num:    i + 1,
+			indent: indent,
+			words:  strings.Fields(trimmed),
+			raw:    raw,
+		})
+	}
+	return out
+}
+
+// CountConfigLines returns the number of effective (non-blank, non-comment)
+// configuration lines, the denominator of the coverage experiment.
+func CountConfigLines(src string) int { return len(lex(src)) }

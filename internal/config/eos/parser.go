@@ -1,0 +1,683 @@
+package eos
+
+import (
+	"fmt"
+	"net/netip"
+	"strconv"
+	"strings"
+
+	"mfv/internal/config/ir"
+	"mfv/internal/policy"
+)
+
+// Diagnostics reports what the parser saw, mirroring the accounting the
+// paper performs for its coverage experiment.
+type Diagnostics struct {
+	// TotalLines is the number of effective configuration lines.
+	TotalLines int
+	// Unknown lists lines the parser did not understand. For this full
+	// dialect parser the list is empty on well-formed vendor configs; it is
+	// populated for genuinely malformed input in non-strict mode.
+	Unknown []string
+}
+
+// Parse parses an EOS-dialect configuration into device intent. Unknown
+// statements are an error: this parser models the vendor's own front end,
+// which rejects syntax it does not define.
+func Parse(src string) (*ir.Device, *Diagnostics, error) {
+	return parse(src, true)
+}
+
+// ParseLenient parses like Parse but records unknown lines in Diagnostics
+// instead of failing, mirroring a device that logs and skips bad lines.
+func ParseLenient(src string) (*ir.Device, *Diagnostics, error) {
+	return parse(src, false)
+}
+
+type parser struct {
+	dev    *ir.Device
+	lines  []line
+	pos    int
+	strict bool
+	diags  *Diagnostics
+}
+
+func parse(src string, strict bool) (*ir.Device, *Diagnostics, error) {
+	p := &parser{
+		dev:    ir.New("router"),
+		lines:  lex(src),
+		strict: strict,
+		diags:  &Diagnostics{},
+	}
+	p.diags.TotalLines = len(p.lines)
+	if err := p.run(); err != nil {
+		return nil, p.diags, err
+	}
+	if err := p.dev.Validate(); err != nil {
+		return nil, p.diags, err
+	}
+	return p.dev, p.diags, nil
+}
+
+func (p *parser) errf(l line, format string, args ...any) error {
+	return fmt.Errorf("eos: line %d: %s: %s", l.num, fmt.Sprintf(format, args...), strings.TrimSpace(l.raw))
+}
+
+// unknown handles an unrecognized line per the strictness mode.
+func (p *parser) unknown(l line) error {
+	if p.strict {
+		return p.errf(l, "unrecognized statement")
+	}
+	p.diags.Unknown = append(p.diags.Unknown, strings.TrimSpace(l.raw))
+	return nil
+}
+
+// block returns the lines of the sub-block opened by the header at index i
+// (every following line with indent > header indent) and the index after it.
+func (p *parser) block(i int) ([]line, int) {
+	header := p.lines[i]
+	j := i + 1
+	for j < len(p.lines) && p.lines[j].indent > header.indent {
+		j++
+	}
+	return p.lines[i+1 : j], j
+}
+
+func (p *parser) run() error {
+	for p.pos < len(p.lines) {
+		l := p.lines[p.pos]
+		var body []line
+		body, next := p.block(p.pos)
+		var err error
+		switch l.words[0] {
+		case "hostname":
+			if len(l.words) != 2 {
+				return p.errf(l, "hostname wants one argument")
+			}
+			p.dev.Hostname = l.words[1]
+		case "interface":
+			err = p.parseInterface(l, body)
+		case "router":
+			err = p.parseRouter(l, body)
+		case "ip":
+			err = p.parseIP(l, body)
+		case "route-map":
+			err = p.parseRouteMap(l, body)
+		case "mpls":
+			err = p.parseMPLSGlobal(l)
+		case "daemon":
+			err = p.parseDaemon(l, body)
+		case "management":
+			err = p.parseManagement(l, body)
+		case "username":
+			p.dev.Management.Users++
+			p.dev.Management.Lines++
+		case "service", "spanning-tree", "transceiver", "aaa", "clock", "ntp",
+			"logging", "snmp-server", "queue-monitor", "platform", "terminal",
+			"banner", "dns", "hardware", "errdisable", "load-interval", "vrf":
+			// Non-dataplane global statements: accepted and accounted.
+			p.dev.Management.Lines += 1 + len(body)
+			if l.words[0] == "ntp" || l.words[0] == "logging" || l.words[0] == "snmp-server" {
+				p.dev.Management.Services = appendUnique(p.dev.Management.Services, l.words[0])
+			}
+		case "no":
+			// Global negations (e.g. "no aaa root") — accepted.
+			p.dev.Management.Lines++
+		case "end":
+			// Terminator; ignore.
+		default:
+			err = p.unknown(l)
+		}
+		if err != nil {
+			return err
+		}
+		p.pos = next
+	}
+	return nil
+}
+
+func appendUnique(list []string, s string) []string {
+	for _, have := range list {
+		if have == s {
+			return list
+		}
+	}
+	return append(list, s)
+}
+
+func (p *parser) parseInterface(header line, body []line) error {
+	if len(header.words) != 2 {
+		return p.errf(header, "interface wants a name")
+	}
+	intf := p.dev.Interface(header.words[1])
+	for _, l := range body {
+		switch {
+		case match(l, "description"):
+			// Free text, accepted.
+		case match(l, "no", "switchport"):
+			intf.Routed = true
+		case match(l, "switchport"):
+			intf.Routed = false
+		case match(l, "ip", "address"):
+			if len(l.words) != 3 {
+				return p.errf(l, "ip address wants a prefix")
+			}
+			pfx, err := netip.ParsePrefix(l.words[2])
+			if err != nil || !pfx.Addr().Is4() {
+				return p.errf(l, "bad IPv4 prefix")
+			}
+			intf.Addresses = append(intf.Addresses, pfx)
+		case match(l, "isis", "enable"):
+			if len(l.words) != 3 {
+				return p.errf(l, "isis enable wants an instance")
+			}
+			intf.ISISEnabled = true
+		case match(l, "isis", "passive-interface") || match(l, "isis", "passive"):
+			intf.ISISPassive = true
+		case match(l, "isis", "metric"):
+			v, err := atoi(l, 2)
+			if err != nil {
+				return err
+			}
+			intf.ISISMetric = uint32(v)
+		case match(l, "mpls", "ip"):
+			intf.MPLSEnabled = true
+		case match(l, "shutdown"):
+			intf.Shutdown = true
+		case match(l, "no", "shutdown"):
+			intf.Shutdown = false
+		case match(l, "mtu"), match(l, "speed"), match(l, "load-interval"),
+			match(l, "logging", "event"), match(l, "snmp", "trap"):
+			// Accepted physical/telemetry knobs with no dataplane effect.
+		default:
+			if err := p.unknown(l); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func (p *parser) parseRouter(header line, body []line) error {
+	if len(header.words) < 2 {
+		return p.errf(header, "router wants a protocol")
+	}
+	switch header.words[1] {
+	case "isis":
+		return p.parseRouterISIS(header, body)
+	case "bgp":
+		return p.parseRouterBGP(header, body)
+	case "traffic-engineering":
+		return p.parseRouterTE(header, body)
+	default:
+		return p.unknown(header)
+	}
+}
+
+func (p *parser) parseRouterISIS(header line, body []line) error {
+	if len(header.words) != 3 {
+		return p.errf(header, "router isis wants an instance name")
+	}
+	if p.dev.ISIS == nil {
+		p.dev.ISIS = &ir.ISIS{Instance: header.words[2]}
+	}
+	isis := p.dev.ISIS
+	for _, l := range body {
+		switch {
+		case match(l, "net"):
+			if len(l.words) != 2 {
+				return p.errf(l, "net wants a NET")
+			}
+			isis.NET = l.words[1]
+		case match(l, "address-family"):
+			isis.AddressFamilies = appendUnique(isis.AddressFamilies, strings.Join(l.words[1:], " "))
+		case match(l, "passive-interface", "default"):
+			isis.PassiveDefault = true
+		case match(l, "is-type"), match(l, "log-adjacency-changes"),
+			match(l, "metric-style"), match(l, "set-overload-bit"):
+			// Accepted knobs the simplified IS-IS engine treats as defaults.
+		default:
+			if err := p.unknown(l); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func (p *parser) parseRouterBGP(header line, body []line) error {
+	if len(header.words) != 3 {
+		return p.errf(header, "router bgp wants an AS number")
+	}
+	asn, err := strconv.ParseUint(header.words[2], 10, 32)
+	if err != nil || asn == 0 {
+		return p.errf(header, "bad AS number")
+	}
+	if p.dev.BGP == nil {
+		p.dev.BGP = &ir.BGP{ASN: uint32(asn)}
+	}
+	bgp := p.dev.BGP
+	for _, l := range body {
+		switch {
+		case match(l, "router-id"):
+			a, err := parseAddr(l, 1)
+			if err != nil {
+				return err
+			}
+			bgp.RouterID = a
+		case match(l, "neighbor"):
+			if err := p.parseNeighbor(bgp, l); err != nil {
+				return err
+			}
+		case match(l, "network"):
+			if len(l.words) != 2 {
+				return p.errf(l, "network wants a prefix")
+			}
+			pfx, err := netip.ParsePrefix(l.words[1])
+			if err != nil || !pfx.Addr().Is4() {
+				return p.errf(l, "bad IPv4 prefix")
+			}
+			bgp.Networks = append(bgp.Networks, pfx.Masked())
+		case match(l, "redistribute"):
+			if len(l.words) != 2 {
+				return p.errf(l, "redistribute wants a source")
+			}
+			switch l.words[1] {
+			case "connected", "static", "isis":
+				bgp.Redistribute = appendUnique(bgp.Redistribute, l.words[1])
+			default:
+				return p.errf(l, "unsupported redistribute source")
+			}
+		case match(l, "address-family"):
+			// The sub-block (activate statements etc.) is consumed as part
+			// of body already; nothing to do for IPv4 unicast defaults.
+		case match(l, "maximum-paths"), match(l, "bgp", "log-neighbor-changes"),
+			match(l, "timers"), match(l, "graceful-restart"), match(l, "activate"),
+			match(l, "bgp", "advertise-inactive"), match(l, "no", "bgp"):
+			// Accepted tuning knobs.
+		default:
+			if err := p.unknown(l); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func (p *parser) parseNeighbor(bgp *ir.BGP, l line) error {
+	if len(l.words) < 3 {
+		return p.errf(l, "neighbor wants an address and attribute")
+	}
+	addr, err := netip.ParseAddr(l.words[1])
+	if err != nil || !addr.Is4() {
+		return p.errf(l, "bad neighbor address")
+	}
+	n := bgp.EnsureNeighbor(addr)
+	rest := l.words[2:]
+	switch rest[0] {
+	case "remote-as":
+		if len(rest) != 2 {
+			return p.errf(l, "remote-as wants an AS number")
+		}
+		as, err := strconv.ParseUint(rest[1], 10, 32)
+		if err != nil || as == 0 {
+			return p.errf(l, "bad AS number")
+		}
+		n.RemoteAS = uint32(as)
+	case "update-source":
+		if len(rest) != 2 {
+			return p.errf(l, "update-source wants an interface")
+		}
+		n.UpdateSource = rest[1]
+	case "next-hop-self":
+		n.NextHopSelf = true
+	case "send-community":
+		n.SendCommunity = true
+	case "route-reflector-client":
+		n.RouteReflectorClient = true
+	case "description":
+		n.Description = strings.Join(rest[1:], " ")
+	case "ebgp-multihop":
+		if len(rest) != 2 {
+			return p.errf(l, "ebgp-multihop wants a TTL")
+		}
+		ttl, err := strconv.ParseUint(rest[1], 10, 8)
+		if err != nil {
+			return p.errf(l, "bad TTL")
+		}
+		n.EBGPMultihop = uint8(ttl)
+	case "route-map":
+		if len(rest) != 3 || (rest[2] != "in" && rest[2] != "out") {
+			return p.errf(l, "route-map wants a name and in|out")
+		}
+		if rest[2] == "in" {
+			n.RouteMapIn = rest[1]
+		} else {
+			n.RouteMapOut = rest[1]
+		}
+	case "shutdown":
+		n.Shutdown = true
+	case "activate", "maximum-routes", "timers", "password", "allowas-in":
+		// Accepted tuning knobs with no effect on the simplified engine.
+	default:
+		return p.unknown(l)
+	}
+	return nil
+}
+
+func (p *parser) parseRouterTE(header line, body []line) error {
+	if p.dev.MPLS == nil {
+		p.dev.MPLS = &ir.MPLS{}
+	}
+	p.dev.MPLS.TE = true
+	var cur *ir.LSP
+	flush := func() {
+		if cur != nil {
+			p.dev.MPLS.LSPs = append(p.dev.MPLS.LSPs, *cur)
+			cur = nil
+		}
+	}
+	for _, l := range body {
+		switch {
+		case match(l, "tunnel"):
+			if len(l.words) != 2 {
+				return p.errf(l, "tunnel wants a name")
+			}
+			flush()
+			cur = &ir.LSP{Name: l.words[1], SetupPriority: 7, HoldPriority: 7}
+		case match(l, "destination"):
+			if cur == nil {
+				return p.errf(l, "destination outside tunnel")
+			}
+			a, err := parseAddr(l, 1)
+			if err != nil {
+				return err
+			}
+			cur.To = a
+		case match(l, "priority"):
+			if cur == nil || len(l.words) != 3 {
+				return p.errf(l, "priority wants setup and hold values inside a tunnel")
+			}
+			s, err1 := strconv.ParseUint(l.words[1], 10, 8)
+			h, err2 := strconv.ParseUint(l.words[2], 10, 8)
+			if err1 != nil || err2 != nil || s > 7 || h > 7 {
+				return p.errf(l, "bad priority")
+			}
+			cur.SetupPriority, cur.HoldPriority = uint8(s), uint8(h)
+		default:
+			if err := p.unknown(l); err != nil {
+				return err
+			}
+		}
+	}
+	flush()
+	return nil
+}
+
+func (p *parser) parseIP(l line, body []line) error {
+	switch {
+	case match(l, "ip", "routing"):
+		// Routing is always on in the virtual router.
+	case match(l, "ip", "route"):
+		return p.parseStaticRoute(l)
+	case match(l, "ip", "prefix-list"):
+		return p.parsePrefixList(l)
+	case match(l, "ip", "name-server"), match(l, "ip", "domain-name"),
+		match(l, "ip", "ssh"), match(l, "ip", "icmp"):
+		p.dev.Management.Lines += 1 + len(body)
+	default:
+		return p.unknown(l)
+	}
+	return nil
+}
+
+func (p *parser) parseStaticRoute(l line) error {
+	// ip route PREFIX (NEXTHOP|Null0|INTERFACE NEXTHOP) [distance]
+	if len(l.words) < 4 {
+		return p.errf(l, "ip route wants a prefix and next hop")
+	}
+	pfx, err := netip.ParsePrefix(l.words[2])
+	if err != nil || !pfx.Addr().Is4() {
+		return p.errf(l, "bad IPv4 prefix")
+	}
+	sr := ir.StaticRoute{Prefix: pfx.Masked()}
+	rest := l.words[3:]
+	switch {
+	case rest[0] == "Null0" || rest[0] == "null0":
+		sr.Drop = true
+		rest = rest[1:]
+	default:
+		if a, err := netip.ParseAddr(rest[0]); err == nil && a.Is4() {
+			sr.NextHop = a
+			rest = rest[1:]
+		} else {
+			// Interface form: "ip route P Ethernet1 [NH]".
+			sr.Interface = rest[0]
+			rest = rest[1:]
+			if len(rest) > 0 {
+				if a, err := netip.ParseAddr(rest[0]); err == nil && a.Is4() {
+					sr.NextHop = a
+					rest = rest[1:]
+				}
+			}
+		}
+	}
+	if len(rest) > 0 {
+		d, err := strconv.ParseUint(rest[0], 10, 8)
+		if err != nil {
+			return p.errf(l, "bad distance")
+		}
+		sr.Distance = uint8(d)
+		rest = rest[1:]
+	}
+	if len(rest) > 0 {
+		return p.errf(l, "trailing tokens")
+	}
+	p.dev.Statics = append(p.dev.Statics, sr)
+	return nil
+}
+
+func (p *parser) parsePrefixList(l line) error {
+	// ip prefix-list NAME seq N permit|deny PREFIX [ge n] [le n]
+	w := l.words
+	if len(w) < 7 || w[3] != "seq" {
+		return p.errf(l, "malformed prefix-list")
+	}
+	seq, err := strconv.Atoi(w[4])
+	if err != nil {
+		return p.errf(l, "bad seq")
+	}
+	var action policy.Action
+	switch w[5] {
+	case "permit":
+		action = policy.Permit
+	case "deny":
+		action = policy.Deny
+	default:
+		return p.errf(l, "want permit or deny")
+	}
+	pfx, err := netip.ParsePrefix(w[6])
+	if err != nil || !pfx.Addr().Is4() {
+		return p.errf(l, "bad IPv4 prefix")
+	}
+	e := policy.PrefixListEntry{Seq: seq, Action: action, Prefix: pfx.Masked()}
+	rest := w[7:]
+	for len(rest) >= 2 {
+		v, err := strconv.Atoi(rest[1])
+		if err != nil || v < 0 || v > 32 {
+			return p.errf(l, "bad ge/le value")
+		}
+		switch rest[0] {
+		case "ge":
+			e.Ge = v
+		case "le":
+			e.Le = v
+		default:
+			return p.errf(l, "want ge or le")
+		}
+		rest = rest[2:]
+	}
+	if len(rest) != 0 {
+		return p.errf(l, "trailing tokens")
+	}
+	p.dev.PrefixList(w[2]).Add(e)
+	return nil
+}
+
+func (p *parser) parseRouteMap(header line, body []line) error {
+	// route-map NAME permit|deny SEQ
+	w := header.words
+	if len(w) != 4 {
+		return p.errf(header, "route-map wants name, action, seq")
+	}
+	var action policy.Action
+	switch w[2] {
+	case "permit":
+		action = policy.Permit
+	case "deny":
+		action = policy.Deny
+	default:
+		return p.errf(header, "want permit or deny")
+	}
+	seq, err := strconv.Atoi(w[3])
+	if err != nil {
+		return p.errf(header, "bad seq")
+	}
+	cl := policy.MapClause{Seq: seq, Action: action}
+	for _, l := range body {
+		switch {
+		case match(l, "match", "ip", "address", "prefix-list"):
+			if len(l.words) != 5 {
+				return p.errf(l, "want a prefix-list name")
+			}
+			cl.MatchPrefixList = l.words[4]
+		case match(l, "match", "community"):
+			for _, cs := range l.words[2:] {
+				c, err := policy.ParseCommunity(cs)
+				if err != nil {
+					return p.errf(l, "bad community")
+				}
+				cl.MatchCommunities = append(cl.MatchCommunities, c)
+			}
+		case match(l, "match", "as-path", "contains"):
+			v, err := atoi(l, 3)
+			if err != nil {
+				return err
+			}
+			cl.MatchASInPath = uint32(v)
+		case match(l, "set", "local-preference"):
+			v, err := atoi(l, 2)
+			if err != nil {
+				return err
+			}
+			cl.SetLocalPref = uint32(v)
+		case match(l, "set", "med") || match(l, "set", "metric"):
+			v, err := atoi(l, 2)
+			if err != nil {
+				return err
+			}
+			cl.SetMED = uint32(v)
+			cl.SetMEDSet = true
+		case match(l, "set", "community"):
+			for _, cs := range l.words[2:] {
+				if cs == "additive" {
+					continue
+				}
+				c, err := policy.ParseCommunity(cs)
+				if err != nil {
+					return p.errf(l, "bad community")
+				}
+				cl.SetCommunities = append(cl.SetCommunities, c)
+			}
+		case match(l, "set", "ip", "next-hop"):
+			a, err := parseAddr(l, 3)
+			if err != nil {
+				return err
+			}
+			cl.SetNextHop = a
+		case match(l, "set", "as-path", "prepend"):
+			for _, as := range l.words[3:] {
+				v, err := strconv.ParseUint(as, 10, 32)
+				if err != nil {
+					return p.errf(l, "bad AS")
+				}
+				cl.PrependAS = append(cl.PrependAS, uint32(v))
+			}
+		default:
+			if err := p.unknown(l); err != nil {
+				return err
+			}
+		}
+	}
+	p.dev.RouteMap(w[1]).Add(cl)
+	return nil
+}
+
+func (p *parser) parseMPLSGlobal(l line) error {
+	if !match(l, "mpls", "ip") {
+		return p.unknown(l)
+	}
+	if p.dev.MPLS == nil {
+		p.dev.MPLS = &ir.MPLS{}
+	}
+	p.dev.MPLS.Enabled = true
+	return nil
+}
+
+func (p *parser) parseDaemon(header line, body []line) error {
+	if len(header.words) != 2 {
+		return p.errf(header, "daemon wants a name")
+	}
+	p.dev.Management.Daemons = appendUnique(p.dev.Management.Daemons, header.words[1])
+	p.dev.Management.Lines += 1 + len(body)
+	return nil
+}
+
+func (p *parser) parseManagement(header line, body []line) error {
+	// management api gnmi / management api http-commands / management ssh /
+	// management security — all accepted, all accounted as management lines.
+	name := strings.Join(header.words[1:], " ")
+	p.dev.Management.Services = appendUnique(p.dev.Management.Services, name)
+	p.dev.Management.Lines += 1 + len(body)
+	for _, l := range body {
+		if match(l, "ssl", "profile") && len(l.words) == 3 {
+			p.dev.Management.SSLProfiles = appendUnique(p.dev.Management.SSLProfiles, l.words[2])
+		}
+	}
+	return nil
+}
+
+// match reports whether the line begins with the given words.
+func match(l line, words ...string) bool {
+	if len(l.words) < len(words) {
+		return false
+	}
+	for i, w := range words {
+		if l.words[i] != w {
+			return false
+		}
+	}
+	return true
+}
+
+func atoi(l line, idx int) (int, error) {
+	if idx >= len(l.words) {
+		return 0, fmt.Errorf("eos: line %d: missing numeric argument", l.num)
+	}
+	v, err := strconv.Atoi(l.words[idx])
+	if err != nil || v < 0 {
+		return 0, fmt.Errorf("eos: line %d: bad number %q", l.num, l.words[idx])
+	}
+	return v, nil
+}
+
+func parseAddr(l line, idx int) (netip.Addr, error) {
+	if idx >= len(l.words) {
+		return netip.Addr{}, fmt.Errorf("eos: line %d: missing address", l.num)
+	}
+	a, err := netip.ParseAddr(l.words[idx])
+	if err != nil || !a.Is4() {
+		return netip.Addr{}, fmt.Errorf("eos: line %d: bad IPv4 address %q", l.num, l.words[idx])
+	}
+	return a, nil
+}

@@ -1,0 +1,334 @@
+package eos
+
+import (
+	"net/netip"
+	"strings"
+	"testing"
+)
+
+// fig3Config is the Router 1 configuration from the paper's Fig. 3, extended
+// with the loopback block exactly as printed.
+const fig3Config = `router isis default ! Correctly parsed.
+   net 49.0001.1010.1040.1030.00
+   address-family ipv4 unicast
+!
+interface Loopback0 ! Correctly parsed.
+   ip address 2.2.2.1/32
+   isis enable default
+   isis passive-interface default
+interface Ethernet2
+   ip address 100.64.0.1/31
+   no switchport
+   isis enable default
+!
+`
+
+func TestParseFig3(t *testing.T) {
+	dev, diags, err := Parse(fig3Config)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if len(diags.Unknown) != 0 {
+		t.Errorf("vendor parser reported unknown lines: %v", diags.Unknown)
+	}
+	if dev.ISIS == nil || dev.ISIS.NET != "49.0001.1010.1040.1030.00" {
+		t.Fatalf("ISIS = %+v", dev.ISIS)
+	}
+	sysID, err := dev.ISIS.SystemID()
+	if err != nil || sysID != "1010.1040.1030" {
+		t.Errorf("SystemID = %q, %v", sysID, err)
+	}
+	lo := dev.Interface("Loopback0")
+	if !lo.ISISEnabled || !lo.ISISPassive {
+		t.Errorf("Loopback0 = %+v, want isis enabled+passive", lo)
+	}
+	if len(lo.Addresses) != 1 || lo.Addresses[0] != netip.MustParsePrefix("2.2.2.1/32") {
+		t.Errorf("Loopback0 addresses = %v", lo.Addresses)
+	}
+	// The crucial behaviour: ip address BEFORE no switchport still takes
+	// effect — the vendor front end has no ordering assumption.
+	e2 := dev.Interface("Ethernet2")
+	if len(e2.Addresses) != 1 || e2.Addresses[0] != netip.MustParsePrefix("100.64.0.1/31") {
+		t.Errorf("Ethernet2 addresses = %v; ordering assumption leaked into vendor parser", e2.Addresses)
+	}
+	if !e2.Routed || !e2.ISISEnabled {
+		t.Errorf("Ethernet2 = %+v, want routed with isis", e2)
+	}
+}
+
+func TestCountConfigLines(t *testing.T) {
+	if got := CountConfigLines(fig3Config); got != 11 {
+		t.Errorf("CountConfigLines = %d, want 11", got)
+	}
+	if got := CountConfigLines("! all comments\n\n!\n"); got != 0 {
+		t.Errorf("CountConfigLines(comments) = %d, want 0", got)
+	}
+}
+
+func TestParseBGP(t *testing.T) {
+	cfg := `hostname r2
+router bgp 65002
+   router-id 2.2.2.2
+   neighbor 100.64.0.0 remote-as 65001
+   neighbor 100.64.0.0 description upstream transit
+   neighbor 100.64.0.0 route-map IMPORT in
+   neighbor 100.64.0.0 route-map EXPORT out
+   neighbor 100.64.0.0 send-community
+   neighbor 2.2.2.9 remote-as 65002
+   neighbor 2.2.2.9 update-source Loopback0
+   neighbor 2.2.2.9 next-hop-self
+   neighbor 2.2.2.9 route-reflector-client
+   neighbor 2.2.2.9 ebgp-multihop 4
+   network 192.0.2.0/24
+   redistribute connected
+   maximum-paths 4
+   address-family ipv4
+      neighbor 100.64.0.0 activate
+route-map IMPORT permit 10
+route-map EXPORT permit 10
+`
+	dev, _, err := Parse(cfg)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if dev.Hostname != "r2" {
+		t.Errorf("Hostname = %q", dev.Hostname)
+	}
+	b := dev.BGP
+	if b == nil || b.ASN != 65002 || b.RouterID != netip.MustParseAddr("2.2.2.2") {
+		t.Fatalf("BGP = %+v", b)
+	}
+	ext, ok := b.Neighbor(netip.MustParseAddr("100.64.0.0"))
+	if !ok || ext.RemoteAS != 65001 || ext.RouteMapIn != "IMPORT" || ext.RouteMapOut != "EXPORT" || !ext.SendCommunity {
+		t.Errorf("external neighbor = %+v", ext)
+	}
+	if ext.Description != "upstream transit" {
+		t.Errorf("Description = %q", ext.Description)
+	}
+	internal, _ := b.Neighbor(netip.MustParseAddr("2.2.2.9"))
+	if internal.UpdateSource != "Loopback0" || !internal.NextHopSelf ||
+		!internal.RouteReflectorClient || internal.EBGPMultihop != 4 {
+		t.Errorf("internal neighbor = %+v", internal)
+	}
+	if len(b.Networks) != 1 || b.Networks[0] != netip.MustParsePrefix("192.0.2.0/24") {
+		t.Errorf("Networks = %v", b.Networks)
+	}
+	if len(b.Redistribute) != 1 || b.Redistribute[0] != "connected" {
+		t.Errorf("Redistribute = %v", b.Redistribute)
+	}
+}
+
+func TestParseStaticRoutes(t *testing.T) {
+	cfg := `ip routing
+ip route 0.0.0.0/0 100.64.0.0
+ip route 10.0.0.0/8 Null0
+ip route 172.16.0.0/12 Ethernet1 10.1.1.2 250
+`
+	dev, _, err := Parse(cfg)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if len(dev.Statics) != 3 {
+		t.Fatalf("Statics = %v", dev.Statics)
+	}
+	if dev.Statics[0].NextHop != netip.MustParseAddr("100.64.0.0") {
+		t.Errorf("default route = %+v", dev.Statics[0])
+	}
+	if !dev.Statics[1].Drop {
+		t.Errorf("Null0 route not drop: %+v", dev.Statics[1])
+	}
+	s := dev.Statics[2]
+	if s.Interface != "Ethernet1" || s.NextHop != netip.MustParseAddr("10.1.1.2") || s.Distance != 250 {
+		t.Errorf("interface route = %+v", s)
+	}
+}
+
+func TestParsePrefixListAndRouteMap(t *testing.T) {
+	cfg := `ip prefix-list AGG seq 10 permit 10.0.0.0/8 ge 16 le 24
+ip prefix-list AGG seq 20 deny 0.0.0.0/0 le 32
+route-map POLICY deny 5
+   match as-path contains 64512
+route-map POLICY permit 10
+   match ip address prefix-list AGG
+   set local-preference 200
+   set med 50
+   set community 65000:100 65000:200 additive
+   set ip next-hop 192.0.2.1
+   set as-path prepend 65000 65000
+`
+	dev, _, err := Parse(cfg)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	pl := dev.PrefixLists["AGG"]
+	if pl == nil || len(pl.Entries) != 2 {
+		t.Fatalf("prefix list = %+v", pl)
+	}
+	if pl.Entries[0].Ge != 16 || pl.Entries[0].Le != 24 {
+		t.Errorf("entry 10 = %+v", pl.Entries[0])
+	}
+	rm := dev.RouteMaps["POLICY"]
+	if rm == nil || len(rm.Clauses) != 2 {
+		t.Fatalf("route map = %+v", rm)
+	}
+	if rm.Clauses[0].Seq != 5 || rm.Clauses[0].MatchASInPath != 64512 {
+		t.Errorf("clause 5 = %+v", rm.Clauses[0])
+	}
+	c10 := rm.Clauses[1]
+	if c10.MatchPrefixList != "AGG" || c10.SetLocalPref != 200 || !c10.SetMEDSet ||
+		c10.SetMED != 50 || len(c10.SetCommunities) != 2 ||
+		c10.SetNextHop != netip.MustParseAddr("192.0.2.1") || len(c10.PrependAS) != 2 {
+		t.Errorf("clause 10 = %+v", c10)
+	}
+}
+
+func TestParseManagementAndDaemons(t *testing.T) {
+	cfg := `daemon PowerManager
+   exec /usr/bin/powermanager
+   no shutdown
+daemon LedPolicy
+   exec /usr/bin/ledd
+daemon Thermostat
+   exec /usr/bin/thermostat
+management api gnmi
+   transport grpc default
+   ssl profile SECURE
+management ssh
+   idle-timeout 60
+ntp server 192.0.2.123
+logging host 192.0.2.50
+snmp-server community public ro
+username admin privilege 15 secret foo
+service routing protocols model multi-agent
+spanning-tree mode mstp
+`
+	dev, _, err := Parse(cfg)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	m := dev.Management
+	if len(m.Daemons) != 3 || m.Daemons[0] != "PowerManager" {
+		t.Errorf("Daemons = %v", m.Daemons)
+	}
+	if len(m.SSLProfiles) != 1 || m.SSLProfiles[0] != "SECURE" {
+		t.Errorf("SSLProfiles = %v", m.SSLProfiles)
+	}
+	if m.Users != 1 {
+		t.Errorf("Users = %d", m.Users)
+	}
+	found := 0
+	for _, s := range m.Services {
+		if s == "api gnmi" || s == "ntp" || s == "logging" {
+			found++
+		}
+	}
+	if found != 3 {
+		t.Errorf("Services = %v", m.Services)
+	}
+}
+
+func TestParseMPLSAndTE(t *testing.T) {
+	cfg := `mpls ip
+interface Ethernet1
+   no switchport
+   ip address 10.0.0.1/31
+   mpls ip
+   isis metric 25
+router traffic-engineering
+   tunnel TO-R3
+      destination 3.3.3.3
+      priority 5 5
+   tunnel TO-R4
+      destination 4.4.4.4
+`
+	dev, _, err := Parse(cfg)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if dev.MPLS == nil || !dev.MPLS.Enabled || !dev.MPLS.TE {
+		t.Fatalf("MPLS = %+v", dev.MPLS)
+	}
+	if len(dev.MPLS.LSPs) != 2 {
+		t.Fatalf("LSPs = %+v", dev.MPLS.LSPs)
+	}
+	if dev.MPLS.LSPs[0].To != netip.MustParseAddr("3.3.3.3") || dev.MPLS.LSPs[0].SetupPriority != 5 {
+		t.Errorf("LSP[0] = %+v", dev.MPLS.LSPs[0])
+	}
+	if dev.MPLS.LSPs[1].SetupPriority != 7 {
+		t.Errorf("LSP[1] default priority = %+v", dev.MPLS.LSPs[1])
+	}
+	if !dev.Interface("Ethernet1").MPLSEnabled {
+		t.Error("interface mpls ip not parsed")
+	}
+	if dev.Interface("Ethernet1").ISISMetric != 25 {
+		t.Errorf("isis metric = %d", dev.Interface("Ethernet1").ISISMetric)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	tests := []struct {
+		name string
+		cfg  string
+		want string
+	}{
+		{"unknown top", "florble gork\n", "unrecognized"},
+		{"bad prefix", "interface Ethernet1\n   ip address 999.0.0.1/31\n", "bad IPv4 prefix"},
+		{"bad asn", "router bgp zero\n", "bad AS number"},
+		{"neighbor junk", "router bgp 1\n   neighbor 10.0.0.1 frobnicate\n", "unrecognized"},
+		{"bad community", "route-map X permit 10\n   set community nope\n", "bad community"},
+		{"bad static", "ip route 10.0.0.0/8\n", "wants a prefix and next hop"},
+		{"route-map bad action", "route-map X frobnicate 10\n", "permit or deny"},
+		{"isis no net", "router isis default\n   address-family ipv4 unicast\n", "without a NET"},
+		{"neighbor no remote-as", "router bgp 5\n   neighbor 10.0.0.1 next-hop-self\n", "no remote-as"},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			_, _, err := Parse(tc.cfg)
+			if err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("Parse error = %v, want containing %q", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestParseLenientRecordsUnknown(t *testing.T) {
+	cfg := "florble gork\ninterface Ethernet1\n   no switchport\n   quux\n"
+	dev, diags, err := ParseLenient(cfg)
+	if err != nil {
+		t.Fatalf("ParseLenient: %v", err)
+	}
+	if len(diags.Unknown) != 2 {
+		t.Errorf("Unknown = %v, want 2 entries", diags.Unknown)
+	}
+	if diags.TotalLines != 4 {
+		t.Errorf("TotalLines = %d, want 4", diags.TotalLines)
+	}
+	if !dev.Interface("Ethernet1").Routed {
+		t.Error("known statements not applied in lenient mode")
+	}
+}
+
+func TestShutdownToggle(t *testing.T) {
+	cfg := "interface Ethernet1\n   shutdown\ninterface Ethernet2\n   shutdown\n   no shutdown\n"
+	dev, _, err := Parse(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !dev.Interface("Ethernet1").Shutdown {
+		t.Error("Ethernet1 not shut down")
+	}
+	if dev.Interface("Ethernet2").Shutdown {
+		t.Error("no shutdown did not clear shutdown")
+	}
+}
+
+func TestTrailingCommentHandling(t *testing.T) {
+	cfg := "hostname r9 ! production edge\n"
+	dev, _, err := Parse(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dev.Hostname != "r9" {
+		t.Errorf("Hostname = %q, trailing comment not stripped", dev.Hostname)
+	}
+}

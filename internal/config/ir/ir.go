@@ -1,0 +1,324 @@
+// Package ir defines the vendor-independent device intent produced by the
+// dialect parsers (internal/config/eos, internal/config/junoslike) and
+// consumed by the virtual router. It corresponds to the role vendor-internal
+// configuration databases play on real devices: the parsers translate each
+// vendor's syntax into this one structure, and everything downstream —
+// protocol engines, the AFT exporter, the management plane — reads only IR.
+package ir
+
+import (
+	"fmt"
+	"net/netip"
+	"sort"
+
+	"mfv/internal/policy"
+)
+
+// Device is the parsed intent of one router configuration.
+type Device struct {
+	Hostname string
+	// Interfaces in declaration order.
+	Interfaces []*Interface
+	ISIS       *ISIS
+	BGP        *BGP
+	MPLS       *MPLS
+	Statics    []StaticRoute
+
+	PrefixLists map[string]*policy.PrefixList
+	RouteMaps   map[string]*policy.RouteMap
+
+	// Management captures configuration that does not affect the dataplane
+	// (daemons, management services, TLS profiles). The paper's coverage
+	// experiment counts these lines: the emulated router accepts them, the
+	// model-based parser does not.
+	Management Management
+}
+
+// New returns an empty device intent with maps initialized.
+func New(hostname string) *Device {
+	return &Device{
+		Hostname:    hostname,
+		PrefixLists: map[string]*policy.PrefixList{},
+		RouteMaps:   map[string]*policy.RouteMap{},
+	}
+}
+
+// Interface returns the named interface, creating it if needed (vendor
+// configs freely reference interfaces before declaring them).
+func (d *Device) Interface(name string) *Interface {
+	for _, intf := range d.Interfaces {
+		if intf.Name == name {
+			return intf
+		}
+	}
+	intf := &Interface{Name: name}
+	d.Interfaces = append(d.Interfaces, intf)
+	return intf
+}
+
+// PrefixList returns the named prefix list, creating it if needed.
+func (d *Device) PrefixList(name string) *policy.PrefixList {
+	pl, ok := d.PrefixLists[name]
+	if !ok {
+		pl = &policy.PrefixList{Name: name}
+		d.PrefixLists[name] = pl
+	}
+	return pl
+}
+
+// RouteMap returns the named route map, creating it if needed.
+func (d *Device) RouteMap(name string) *policy.RouteMap {
+	rm, ok := d.RouteMaps[name]
+	if !ok {
+		rm = &policy.RouteMap{Name: name}
+		d.RouteMaps[name] = rm
+	}
+	return rm
+}
+
+// PolicyEnv adapts the device's prefix lists to policy.Env.
+func (d *Device) PolicyEnv() policy.Env { return deviceEnv{d} }
+
+type deviceEnv struct{ d *Device }
+
+func (e deviceEnv) PrefixList(name string) (*policy.PrefixList, bool) {
+	pl, ok := e.d.PrefixLists[name]
+	return pl, ok
+}
+
+// Interface is the L3 intent for one port.
+type Interface struct {
+	Name string
+	// Addresses carries the interface prefixes (address + mask length).
+	Addresses []netip.Prefix
+	// Routed reports the port is an L3 port ("no switchport" on EOS).
+	// Loopbacks and EOS routed ports set it; the virtual router treats an
+	// interface with addresses as routed regardless — the distinction only
+	// matters to the model-based baseline, which reproduces the documented
+	// ordering assumption around it.
+	Routed   bool
+	Shutdown bool
+
+	ISISEnabled bool
+	ISISPassive bool
+	// ISISMetric is the interface IS-IS metric; 0 means the protocol
+	// default (10).
+	ISISMetric uint32
+
+	MPLSEnabled bool
+}
+
+// PrimaryAddress returns the first configured address.
+func (i *Interface) PrimaryAddress() (netip.Prefix, bool) {
+	if len(i.Addresses) == 0 {
+		return netip.Prefix{}, false
+	}
+	return i.Addresses[0], true
+}
+
+// ISIS is the IS-IS process intent.
+type ISIS struct {
+	Instance string
+	// NET is the Network Entity Title, e.g. 49.0001.1010.1040.1030.00.
+	NET string
+	// AddressFamilies lists enabled AFs ("ipv4 unicast").
+	AddressFamilies []string
+	// PassiveDefault makes all interfaces passive unless overridden.
+	PassiveDefault bool
+}
+
+// SystemID extracts the 6-byte system identifier from the NET. The NET has
+// the form area…​.SSSS.SSSS.SSSS.SEL where the last octet is the selector.
+func (i *ISIS) SystemID() (string, error) {
+	if i == nil || i.NET == "" {
+		return "", fmt.Errorf("ir: no NET configured")
+	}
+	// Strip dots, require at least selector (2) + system id (12) hex chars.
+	var hex []byte
+	for _, c := range i.NET {
+		if c == '.' {
+			continue
+		}
+		if !isHex(byte(c)) {
+			return "", fmt.Errorf("ir: bad NET %q", i.NET)
+		}
+		hex = append(hex, byte(c))
+	}
+	if len(hex) < 14 {
+		return "", fmt.Errorf("ir: NET %q too short", i.NET)
+	}
+	sys := hex[len(hex)-14 : len(hex)-2]
+	return fmt.Sprintf("%s.%s.%s", sys[0:4], sys[4:8], sys[8:12]), nil
+}
+
+func isHex(b byte) bool {
+	return b >= '0' && b <= '9' || b >= 'a' && b <= 'f' || b >= 'A' && b <= 'F'
+}
+
+// BGP is the BGP process intent.
+type BGP struct {
+	ASN      uint32
+	RouterID netip.Addr
+	// Networks are prefixes originated with the network statement.
+	Networks []netip.Prefix
+	// Redistribute lists redistributed sources: "connected", "static",
+	// "isis".
+	Redistribute []string
+	Neighbors    []*Neighbor
+}
+
+// Neighbor is one configured BGP peer.
+type Neighbor struct {
+	Addr     netip.Addr
+	RemoteAS uint32
+	// Description is free-form operator text.
+	Description string
+	// UpdateSource names the interface whose address sources the session
+	// (conventionally Loopback0 for iBGP).
+	UpdateSource string
+	NextHopSelf  bool
+	// RouteMapIn/Out name import/export route maps.
+	RouteMapIn, RouteMapOut string
+	SendCommunity           bool
+	RouteReflectorClient    bool
+	// EBGPMultihop permits TTL > 1 sessions (loopback eBGP).
+	EBGPMultihop uint8
+	Shutdown     bool
+}
+
+// Neighbor returns the neighbor with the given address.
+func (b *BGP) Neighbor(a netip.Addr) (*Neighbor, bool) {
+	for _, n := range b.Neighbors {
+		if n.Addr == a {
+			return n, true
+		}
+	}
+	return nil, false
+}
+
+// EnsureNeighbor returns the neighbor for a, creating it if needed.
+func (b *BGP) EnsureNeighbor(a netip.Addr) *Neighbor {
+	if n, ok := b.Neighbor(a); ok {
+		return n
+	}
+	n := &Neighbor{Addr: a}
+	b.Neighbors = append(b.Neighbors, n)
+	return n
+}
+
+// MPLS is the MPLS/TE intent.
+type MPLS struct {
+	Enabled bool
+	// TE enables traffic engineering extensions.
+	TE bool
+	// LSPs are configured RSVP-TE tunnels.
+	LSPs []LSP
+}
+
+// LSP is one signaled RSVP-TE tunnel intent.
+type LSP struct {
+	Name string
+	// To is the tunnel tail-end (typically a loopback address).
+	To netip.Addr
+	// SetupPriority/HoldPriority follow RSVP-TE semantics (0 strongest).
+	SetupPriority, HoldPriority uint8
+}
+
+// Management aggregates non-dataplane configuration. Fields are counted in
+// the coverage experiment (E2) but otherwise inert.
+type Management struct {
+	// Daemons lists enabled management daemons (PowerManager, LedPolicy,
+	// Thermostat, …).
+	Daemons []string
+	// Services lists management services (gRPC, gNMI, SSH, NTP, …).
+	Services []string
+	// SSLProfiles lists configured TLS profile names.
+	SSLProfiles []string
+	// Users counts local user statements.
+	Users int
+	// Lines counts the raw config lines attributed to management blocks.
+	Lines int
+}
+
+// Validate checks intent-level invariants after parsing: addresses on
+// IS-IS-enabled interfaces, a NET when IS-IS is on, an ASN when BGP is on,
+// neighbor remote-as present, and referenced route maps defined.
+func (d *Device) Validate() error {
+	if d.ISIS != nil && d.ISIS.NET == "" {
+		return fmt.Errorf("ir %s: isis enabled without a NET", d.Hostname)
+	}
+	if d.ISIS != nil {
+		if _, err := d.ISIS.SystemID(); err != nil {
+			return fmt.Errorf("ir %s: %w", d.Hostname, err)
+		}
+	}
+	if d.BGP != nil {
+		if d.BGP.ASN == 0 {
+			return fmt.Errorf("ir %s: bgp enabled without local AS", d.Hostname)
+		}
+		for _, n := range d.BGP.Neighbors {
+			if n.RemoteAS == 0 {
+				return fmt.Errorf("ir %s: neighbor %s has no remote-as", d.Hostname, n.Addr)
+			}
+			for _, rmName := range []string{n.RouteMapIn, n.RouteMapOut} {
+				if rmName == "" {
+					continue
+				}
+				if _, ok := d.RouteMaps[rmName]; !ok {
+					return fmt.Errorf("ir %s: neighbor %s references undefined route-map %s",
+						d.Hostname, n.Addr, rmName)
+				}
+			}
+		}
+	}
+	seen := map[string]bool{}
+	for _, intf := range d.Interfaces {
+		if seen[intf.Name] {
+			return fmt.Errorf("ir %s: duplicate interface %s", d.Hostname, intf.Name)
+		}
+		seen[intf.Name] = true
+		for _, a := range intf.Addresses {
+			if !a.Addr().Is4() {
+				return fmt.Errorf("ir %s: interface %s: non-IPv4 address %v", d.Hostname, intf.Name, a)
+			}
+		}
+	}
+	return nil
+}
+
+// ConnectedPrefixes returns the network prefixes of all interface addresses,
+// deduplicated and sorted — the device's connected routes.
+func (d *Device) ConnectedPrefixes() []netip.Prefix {
+	set := map[netip.Prefix]bool{}
+	for _, intf := range d.Interfaces {
+		if intf.Shutdown {
+			continue
+		}
+		for _, a := range intf.Addresses {
+			set[a.Masked()] = true
+		}
+	}
+	out := make([]netip.Prefix, 0, len(set))
+	for p := range set {
+		out = append(out, p)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Addr() != out[j].Addr() {
+			return out[i].Addr().Less(out[j].Addr())
+		}
+		return out[i].Bits() < out[j].Bits()
+	})
+	return out
+}
+
+// StaticRoute is a configured static route.
+type StaticRoute struct {
+	Prefix  netip.Prefix
+	NextHop netip.Addr
+	// Interface optionally pins the egress port.
+	Interface string
+	// Drop is a Null0 discard route.
+	Drop bool
+	// Distance overrides the default administrative distance when nonzero.
+	Distance uint8
+}

@@ -1,0 +1,166 @@
+package ir
+
+import (
+	"net/netip"
+	"strings"
+	"testing"
+)
+
+func pfx(s string) netip.Prefix { return netip.MustParsePrefix(s) }
+func addr(s string) netip.Addr  { return netip.MustParseAddr(s) }
+
+func TestInterfaceCreateOnReference(t *testing.T) {
+	d := New("r1")
+	a := d.Interface("Ethernet1")
+	b := d.Interface("Ethernet1")
+	if a != b {
+		t.Error("Interface did not return the same object on re-reference")
+	}
+	if len(d.Interfaces) != 1 {
+		t.Errorf("Interfaces = %d, want 1", len(d.Interfaces))
+	}
+	d.Interface("Ethernet2")
+	if len(d.Interfaces) != 2 {
+		t.Errorf("Interfaces = %d, want 2", len(d.Interfaces))
+	}
+}
+
+func TestSystemID(t *testing.T) {
+	isis := &ISIS{NET: "49.0001.1010.1040.1030.00"}
+	id, err := isis.SystemID()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id != "1010.1040.1030" {
+		t.Errorf("SystemID = %q, want 1010.1040.1030", id)
+	}
+}
+
+func TestSystemIDErrors(t *testing.T) {
+	for _, net := range []string{"", "49.0001", "49.zz01.1010.1040.1030.00"} {
+		isis := &ISIS{NET: net}
+		if _, err := isis.SystemID(); err == nil {
+			t.Errorf("SystemID(%q) succeeded", net)
+		}
+	}
+	var nilISIS *ISIS
+	if _, err := nilISIS.SystemID(); err == nil {
+		t.Error("nil ISIS SystemID succeeded")
+	}
+}
+
+func TestValidate(t *testing.T) {
+	good := New("r1")
+	good.Interface("Loopback0").Addresses = []netip.Prefix{pfx("1.1.1.1/32")}
+	good.ISIS = &ISIS{NET: "49.0001.0000.0000.0001.00"}
+	good.BGP = &BGP{ASN: 65001}
+	n := good.BGP.EnsureNeighbor(addr("10.0.0.1"))
+	n.RemoteAS = 65002
+	if err := good.Validate(); err != nil {
+		t.Fatalf("Validate = %v", err)
+	}
+
+	tests := []struct {
+		name   string
+		mutate func(*Device)
+		want   string
+	}{
+		{"isis no net", func(d *Device) { d.ISIS = &ISIS{} }, "without a NET"},
+		{"bgp no asn", func(d *Device) { d.BGP = &BGP{} }, "without local AS"},
+		{"neighbor no remote-as", func(d *Device) {
+			d.BGP.EnsureNeighbor(addr("10.0.0.2"))
+		}, "no remote-as"},
+		{"missing route map", func(d *Device) {
+			nb, _ := d.BGP.Neighbor(addr("10.0.0.1"))
+			nb.RouteMapOut = "GHOST"
+		}, "undefined route-map"},
+		{"ipv6 address", func(d *Device) {
+			d.Interface("Ethernet1").Addresses = []netip.Prefix{netip.MustParsePrefix("2001:db8::1/64")}
+		}, "non-IPv4"},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			d := New("r1")
+			d.Interface("Loopback0").Addresses = []netip.Prefix{pfx("1.1.1.1/32")}
+			d.ISIS = &ISIS{NET: "49.0001.0000.0000.0001.00"}
+			d.BGP = &BGP{ASN: 65001}
+			nb := d.BGP.EnsureNeighbor(addr("10.0.0.1"))
+			nb.RemoteAS = 65002
+			tc.mutate(d)
+			err := d.Validate()
+			if err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("Validate = %v, want error containing %q", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestValidateDuplicateInterface(t *testing.T) {
+	d := New("r1")
+	d.Interfaces = append(d.Interfaces,
+		&Interface{Name: "Ethernet1"}, &Interface{Name: "Ethernet1"})
+	if err := d.Validate(); err == nil || !strings.Contains(err.Error(), "duplicate interface") {
+		t.Errorf("Validate = %v", err)
+	}
+}
+
+func TestConnectedPrefixes(t *testing.T) {
+	d := New("r1")
+	d.Interface("Ethernet1").Addresses = []netip.Prefix{pfx("100.64.0.1/31")}
+	d.Interface("Ethernet2").Addresses = []netip.Prefix{pfx("100.64.0.1/31")} // dup network
+	d.Interface("Loopback0").Addresses = []netip.Prefix{pfx("2.2.2.1/32")}
+	down := d.Interface("Ethernet3")
+	down.Addresses = []netip.Prefix{pfx("10.9.9.1/24")}
+	down.Shutdown = true
+	got := d.ConnectedPrefixes()
+	want := []netip.Prefix{pfx("2.2.2.1/32"), pfx("100.64.0.0/31")}
+	if len(got) != len(want) {
+		t.Fatalf("ConnectedPrefixes = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("ConnectedPrefixes[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestEnsureNeighborIdempotent(t *testing.T) {
+	b := &BGP{ASN: 1}
+	n1 := b.EnsureNeighbor(addr("10.0.0.1"))
+	n2 := b.EnsureNeighbor(addr("10.0.0.1"))
+	if n1 != n2 || len(b.Neighbors) != 1 {
+		t.Error("EnsureNeighbor duplicated the neighbor")
+	}
+}
+
+func TestPolicyEnv(t *testing.T) {
+	d := New("r1")
+	d.PrefixList("PL")
+	env := d.PolicyEnv()
+	if _, ok := env.PrefixList("PL"); !ok {
+		t.Error("PolicyEnv missing defined prefix list")
+	}
+	if _, ok := env.PrefixList("NOPE"); ok {
+		t.Error("PolicyEnv returned undefined prefix list")
+	}
+}
+
+func TestRouteMapCreateOnReference(t *testing.T) {
+	d := New("r1")
+	rm := d.RouteMap("RM")
+	if d.RouteMap("RM") != rm {
+		t.Error("RouteMap did not return same object")
+	}
+}
+
+func TestPrimaryAddress(t *testing.T) {
+	i := &Interface{Name: "Ethernet1"}
+	if _, ok := i.PrimaryAddress(); ok {
+		t.Error("PrimaryAddress on empty interface")
+	}
+	i.Addresses = []netip.Prefix{pfx("10.0.0.1/24"), pfx("10.0.1.1/24")}
+	p, ok := i.PrimaryAddress()
+	if !ok || p != pfx("10.0.0.1/24") {
+		t.Errorf("PrimaryAddress = %v,%v", p, ok)
+	}
+}

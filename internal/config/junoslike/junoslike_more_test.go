@@ -1,0 +1,131 @@
+package junoslike
+
+import (
+	"net/netip"
+	"strings"
+	"testing"
+)
+
+func TestRSVPAndLDPEnableMPLS(t *testing.T) {
+	for _, proto := range []string{"rsvp", "ldp"} {
+		cfg := "protocols { " + proto + " { interface all; } }"
+		dev, err := Parse(cfg)
+		if err != nil {
+			t.Fatalf("%s: %v", proto, err)
+		}
+		if dev.MPLS == nil || !dev.MPLS.Enabled {
+			t.Errorf("%s did not enable MPLS", proto)
+		}
+	}
+}
+
+func TestPolicyOptionsAccepted(t *testing.T) {
+	cfg := `policy-options {
+    policy-statement EXPORT-ALL {
+        term 1 { from protocol direct; then accept; }
+        term 2 { then reject; }
+    }
+    prefix-list LOOPBACKS { 1.1.1.0/24; }
+}`
+	dev, err := Parse(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dev.Management.Lines == 0 {
+		t.Error("policy-options not accounted")
+	}
+}
+
+func TestInterfaceOptionsAccepted(t *testing.T) {
+	cfg := `interfaces {
+    et-0/0/0 {
+        description "to core";
+        mtu 9192;
+        unit 0 { family inet { address 10.0.0.1/31; } }
+    }
+}`
+	dev, err := Parse(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dev.Interface("et-0/0/0").Addresses) != 1 {
+		t.Error("address lost among accepted options")
+	}
+}
+
+func TestNonInetFamiliesIgnored(t *testing.T) {
+	cfg := `interfaces {
+    et-0/0/0 { unit 0 { family iso { address 49.0001.0001.00; } } }
+}`
+	dev, err := Parse(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dev.Interface("et-0/0/0").Addresses) != 0 {
+		t.Error("non-inet family produced IPv4 addresses")
+	}
+}
+
+func TestNeighborMultihop(t *testing.T) {
+	cfg := `routing-options { autonomous-system 65000; }
+protocols { bgp { group g {
+    peer-as 65001;
+    neighbor 10.0.0.1 { multihop; }
+} } }`
+	dev, err := Parse(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, _ := dev.BGP.Neighbor(netip.MustParseAddr("10.0.0.1"))
+	if n == nil || n.EBGPMultihop == 0 {
+		t.Errorf("multihop not parsed: %+v", n)
+	}
+}
+
+func TestBadRouterIDAndASN(t *testing.T) {
+	if _, err := Parse("routing-options { router-id zoo; }"); err == nil ||
+		!strings.Contains(err.Error(), "router-id") {
+		t.Errorf("err = %v", err)
+	}
+	if _, err := Parse("routing-options { autonomous-system banana; }"); err == nil ||
+		!strings.Contains(err.Error(), "autonomous-system") {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestISISMetricAndUnknownOption(t *testing.T) {
+	cfg := `protocols { isis {
+    net 49.0001.0000.0000.0001.00;
+    interface et-0/0/0.0 { metric 77; }
+} }
+interfaces { et-0/0/0 { unit 0 { family inet { address 10.0.0.0/31; } } } }`
+	dev, err := Parse(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dev.Interface("et-0/0/0").ISISMetric != 77 {
+		t.Error("metric not applied")
+	}
+	bad := `protocols { isis {
+    net 49.0001.0000.0000.0001.00;
+    interface et-0/0/0.0 { frobnicate; }
+} }`
+	if _, err := Parse(bad); err == nil {
+		t.Error("unknown isis interface option accepted")
+	}
+}
+
+func TestCommentsEverywhere(t *testing.T) {
+	cfg := `/* header */
+system {
+    # inline comment
+    host-name r1; /* trailing */
+}`
+	dev, err := Parse(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dev.Hostname != "r1" {
+		t.Errorf("Hostname = %q", dev.Hostname)
+	}
+}

@@ -1,0 +1,169 @@
+package junoslike
+
+import (
+	"net/netip"
+	"strings"
+	"testing"
+)
+
+const sample = `/* core router */
+system {
+    host-name core1;
+    services { ssh; netconf; }
+}
+interfaces {
+    et-0/0/1 {
+        unit 0 { family inet { address 10.0.0.1/31; } }
+    }
+    et-0/0/2 {
+        disable;
+        unit 0 { family inet { address 10.0.0.3/31; } }
+    }
+    lo0 {
+        unit 0 { family inet { address 1.1.1.1/32; } }
+    }
+}
+protocols {
+    isis {
+        net 49.0001.0000.0000.0101.00;
+        interface et-0/0/1.0 { metric 25; }
+        interface lo0.0 { passive; }
+    }
+    bgp {
+        group ebgp {
+            type external;
+            neighbor 10.0.0.0 { peer-as 65001; }
+        }
+        group ibgp {
+            type internal;
+            local-address 1.1.1.1;
+            peer-as 65100;
+            next-hop-self;
+            neighbor 2.2.2.2;
+            neighbor 3.3.3.3 { description "rr peer"; }
+        }
+    }
+    mpls {
+        traffic-engineering;
+        interface et-0/0/1.0;
+    }
+}
+routing-options {
+    autonomous-system 65100;
+    router-id 1.1.1.1;
+    static {
+        route 0.0.0.0/0 next-hop 10.0.0.0;
+        route 192.0.2.0/24 discard;
+    }
+}
+# trailing comment
+`
+
+func TestParseSample(t *testing.T) {
+	dev, err := Parse(sample)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if dev.Hostname != "core1" {
+		t.Errorf("Hostname = %q", dev.Hostname)
+	}
+	e1 := dev.Interface("et-0/0/1")
+	if len(e1.Addresses) != 1 || e1.Addresses[0] != netip.MustParsePrefix("10.0.0.1/31") {
+		t.Errorf("et-0/0/1 addresses = %v", e1.Addresses)
+	}
+	if !e1.Routed || !e1.ISISEnabled || e1.ISISMetric != 25 || !e1.MPLSEnabled {
+		t.Errorf("et-0/0/1 = %+v", e1)
+	}
+	if !dev.Interface("et-0/0/2").Shutdown {
+		t.Error("disabled interface not shut down")
+	}
+	lo := dev.Interface("lo0")
+	if !lo.ISISPassive || !lo.ISISEnabled {
+		t.Errorf("lo0 = %+v", lo)
+	}
+	if dev.ISIS == nil || dev.ISIS.NET != "49.0001.0000.0000.0101.00" {
+		t.Fatalf("ISIS = %+v", dev.ISIS)
+	}
+	if dev.BGP == nil || dev.BGP.ASN != 65100 || dev.BGP.RouterID != netip.MustParseAddr("1.1.1.1") {
+		t.Fatalf("BGP = %+v", dev.BGP)
+	}
+	ext, ok := dev.BGP.Neighbor(netip.MustParseAddr("10.0.0.0"))
+	if !ok || ext.RemoteAS != 65001 {
+		t.Errorf("external neighbor = %+v", ext)
+	}
+	ib, _ := dev.BGP.Neighbor(netip.MustParseAddr("2.2.2.2"))
+	if ib == nil || ib.RemoteAS != 65100 || !ib.NextHopSelf || ib.UpdateSource != "lo0" {
+		t.Errorf("ibgp neighbor = %+v", ib)
+	}
+	rr, _ := dev.BGP.Neighbor(netip.MustParseAddr("3.3.3.3"))
+	if rr == nil || rr.Description != "rr peer" {
+		t.Errorf("rr neighbor = %+v", rr)
+	}
+	if dev.MPLS == nil || !dev.MPLS.Enabled || !dev.MPLS.TE {
+		t.Errorf("MPLS = %+v", dev.MPLS)
+	}
+	if len(dev.Statics) != 2 || !dev.Statics[1].Drop {
+		t.Errorf("Statics = %+v", dev.Statics)
+	}
+	if len(dev.Management.Services) != 2 {
+		t.Errorf("Services = %v", dev.Management.Services)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	tests := []struct {
+		name, cfg, want string
+	}{
+		{"unbalanced close", "system { host-name x; } }", "unbalanced"},
+		{"unterminated block", "system { host-name x;", "end of input"},
+		{"unterminated comment", "/* oops", "unterminated comment"},
+		{"unterminated string", `system { host-name "x }`, "unterminated string"},
+		{"unknown top", "frobnicate { a; }", "unrecognized top-level"},
+		{"bad address", "interfaces { e1 { unit 0 { family inet { address nope; } } } }", "bad IPv4 address"},
+		{"bad peer-as", "protocols { bgp { group g { neighbor 1.2.3.4 { peer-as x; } } } } routing-options { autonomous-system 1; }", "bad peer-as"},
+		{"brace no stmt", "{ a; }", "'{' without a statement"},
+		{"bad static", "routing-options { static { route 1.0.0.0/8 teleport; } }", "next-hop or discard"},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := Parse(tc.cfg)
+			if err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("Parse = %v, want error containing %q", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestValidationRunsOnIR(t *testing.T) {
+	// BGP group neighbor without any peer-as anywhere -> remote-as 0 -> IR
+	// validation failure.
+	cfg := `routing-options { autonomous-system 65000; }
+protocols { bgp { group g { neighbor 10.0.0.1; } } }`
+	if _, err := Parse(cfg); err == nil || !strings.Contains(err.Error(), "no remote-as") {
+		t.Errorf("Parse = %v, want remote-as validation error", err)
+	}
+}
+
+func TestBaseInterface(t *testing.T) {
+	tests := map[string]string{
+		"et-0/0/1.0": "et-0/0/1",
+		"lo0.0":      "lo0",
+		"ge-1/2/3":   "ge-1/2/3",
+	}
+	for in, want := range tests {
+		if got := baseInterface(in); got != want {
+			t.Errorf("baseInterface(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestQuotedStrings(t *testing.T) {
+	cfg := `system { host-name "edge router 9"; }`
+	dev, err := Parse(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dev.Hostname != "edge router 9" {
+		t.Errorf("Hostname = %q", dev.Hostname)
+	}
+}

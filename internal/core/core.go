@@ -1,0 +1,280 @@
+// Package core implements the paper's primary contribution: the model-free
+// verification pipeline. A Snapshot (configs + topology + external route
+// context) is run through either backend —
+//
+//   - BackendEmulation: full control-plane emulation under the KNE-like
+//     orchestrator until the dataplane stabilizes, then AFT extraction
+//     (in-process or over the gNMI service), or
+//   - BackendModel: the partial-parser + reference-model baseline
+//     (internal/model), standing in for Batfish's native IBDP path —
+//
+// and the resulting dataplanes feed the verification engine
+// (internal/verify). Because both backends emit the same AFT format, the
+// differential-reachability question runs unchanged across backends, which
+// is how the paper surfaces model bugs (experiment E3).
+package core
+
+import (
+	"fmt"
+	"net"
+	"net/netip"
+	"time"
+
+	"mfv/internal/aft"
+	"mfv/internal/gnmi"
+	"mfv/internal/kne"
+	"mfv/internal/model"
+	"mfv/internal/routegen"
+	"mfv/internal/sim"
+	"mfv/internal/topology"
+	"mfv/internal/verify"
+	"mfv/internal/vrouter"
+)
+
+// Backend selects how the dataplane is produced.
+type Backend int
+
+// Backends.
+const (
+	// BackendEmulation is the model-free path: real protocol engines under
+	// emulation.
+	BackendEmulation Backend = iota
+	// BackendModel is the reference-model baseline (Batfish-analogue).
+	BackendModel
+)
+
+// String names the backend.
+func (b Backend) String() string {
+	if b == BackendModel {
+		return "model"
+	}
+	return "emulation"
+}
+
+// InjectedFeed attaches an external BGP peer feeding routes into the
+// snapshot (the paper's production-route injection).
+type InjectedFeed struct {
+	// Router is the device that has the peer configured.
+	Router string
+	// PeerAddr is the external peer's address (must match a neighbor
+	// statement on Router).
+	PeerAddr netip.Addr
+	// PeerAS is the external AS.
+	PeerAS uint32
+	// Feeds are the announcements.
+	Feeds []routegen.Feed
+}
+
+// Snapshot is one verification input: the paper's "configs + topology +
+// context".
+type Snapshot struct {
+	Topology *topology.Topology
+	Feeds    []InjectedFeed
+	// DownLinks fails the named links before convergence (what-if context).
+	DownLinks []topology.Endpoint
+}
+
+// Options tunes a pipeline run.
+type Options struct {
+	Backend Backend
+	// ConvergenceHold is how long the dataplane must stay unchanged to be
+	// considered converged (default 30 s of virtual time).
+	ConvergenceHold time.Duration
+	// Timeout bounds the virtual-time wait for convergence (default 2 h).
+	Timeout time.Duration
+	// Seed fixes the emulation's randomness.
+	Seed int64
+	// UseGNMI extracts AFTs over the TCP gNMI service instead of reading
+	// them in-process, exercising the full management-plane boundary.
+	UseGNMI bool
+}
+
+func (o *Options) fill() {
+	if o.ConvergenceHold == 0 {
+		o.ConvergenceHold = 30 * time.Second
+	}
+	if o.Timeout == 0 {
+		o.Timeout = 2 * time.Hour
+	}
+	if o.Seed == 0 {
+		o.Seed = 42
+	}
+}
+
+// Result is a completed pipeline run.
+type Result struct {
+	Backend Backend
+	// AFTs is the extracted dataplane, per device.
+	AFTs map[string]*aft.AFT
+	// Network is the verification view over the AFTs.
+	Network *verify.Network
+	// StartupAt is the virtual time when all pods were Running (emulation
+	// backend only).
+	StartupAt time.Duration
+	// ConvergedAt is the virtual time of the last dataplane change
+	// (emulation backend only).
+	ConvergedAt time.Duration
+	// Coverage is the parsing coverage report (model backend only — the
+	// emulation backend's vendor parsers accept the full dialect).
+	Coverage map[string]model.Coverage
+	// Emulator stays alive for poking at routers (emulation backend only).
+	Emulator *kne.Emulator
+}
+
+// Run executes the pipeline on a snapshot.
+func Run(snap Snapshot, opts Options) (*Result, error) {
+	opts.fill()
+	if snap.Topology == nil {
+		return nil, fmt.Errorf("core: snapshot has no topology")
+	}
+	switch opts.Backend {
+	case BackendModel:
+		return runModel(snap)
+	case BackendEmulation:
+		return runEmulation(snap, opts)
+	default:
+		return nil, fmt.Errorf("core: unknown backend %d", opts.Backend)
+	}
+}
+
+func runModel(snap Snapshot) (*Result, error) {
+	if len(snap.Feeds) > 0 {
+		// The reference model has no route-injection path in this
+		// reproduction — one more coverage limitation of the baseline.
+		return nil, fmt.Errorf("core: the model backend does not support injected feeds")
+	}
+	res, err := model.Run(snap.Topology)
+	if err != nil {
+		return nil, err
+	}
+	network, err := verify.NewNetwork(snap.Topology, res.AFTs)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{
+		Backend:  BackendModel,
+		AFTs:     res.AFTs,
+		Network:  network,
+		Coverage: res.Coverage,
+	}, nil
+}
+
+func runEmulation(snap Snapshot, opts Options) (*Result, error) {
+	em, err := kne.New(kne.Config{Topology: snap.Topology, Sim: sim.New(opts.Seed)})
+	if err != nil {
+		return nil, err
+	}
+	for _, f := range snap.Feeds {
+		inj, err := em.AddInjector(f.Router, f.PeerAddr, f.PeerAS)
+		if err != nil {
+			return nil, err
+		}
+		for _, feed := range f.Feeds {
+			inj.Announce(feed.Prefixes, feed.Attrs)
+		}
+	}
+	if err := em.Start(); err != nil {
+		return nil, err
+	}
+	for _, ep := range snap.DownLinks {
+		if err := em.SetLinkDown(ep); err != nil {
+			return nil, err
+		}
+	}
+	convergedAt, err := em.RunUntilConverged(opts.ConvergenceHold, opts.Timeout)
+	if err != nil {
+		return nil, err
+	}
+	var afts map[string]*aft.AFT
+	if opts.UseGNMI {
+		afts, err = extractViaGNMI(em)
+		if err != nil {
+			return nil, err
+		}
+	} else {
+		afts = em.AFTs()
+	}
+	network, err := verify.NewNetwork(snap.Topology, afts)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{
+		Backend:     BackendEmulation,
+		AFTs:        afts,
+		Network:     network,
+		StartupAt:   em.StartupDone(),
+		ConvergedAt: convergedAt,
+		Emulator:    em,
+	}, nil
+}
+
+// routerTarget adapts a virtual router to the gNMI Target interface.
+type routerTarget struct{ r *vrouter.Router }
+
+func (t routerTarget) Hostname() string { return t.r.Name }
+func (t routerTarget) AFT() *aft.AFT    { return t.r.ExportAFT() }
+func (t routerTarget) RouteSummary() map[string]int {
+	out := map[string]int{}
+	for _, rt := range t.r.RIB().Routes() {
+		out[rt.Protocol.String()]++
+	}
+	return out
+}
+
+// extractViaGNMI spins up the management service on loopback TCP, connects
+// a client, and pulls every device's AFT through it — the full extraction
+// boundary from the paper's Fig. 1.
+func extractViaGNMI(em *kne.Emulator) (map[string]*aft.AFT, error) {
+	srv := gnmi.NewServer()
+	for _, r := range em.Routers() {
+		srv.AddTarget(routerTarget{r})
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, fmt.Errorf("core: gnmi listen: %w", err)
+	}
+	srv.Serve(ln)
+	defer srv.Close()
+
+	client, err := gnmi.Dial(ln.Addr().String())
+	if err != nil {
+		return nil, err
+	}
+	defer client.Close()
+	out := map[string]*aft.AFT{}
+	for _, r := range em.Routers() {
+		a, err := client.GetAFT(r.Name)
+		if err != nil {
+			return nil, fmt.Errorf("core: pulling AFT for %s: %w", r.Name, err)
+		}
+		out[r.Name] = a
+	}
+	return out, nil
+}
+
+// Differential runs differential reachability between two completed runs —
+// between two emulated snapshots (E1) or across backends on the same
+// snapshot (E3).
+func Differential(before, after *Result) []verify.Diff {
+	return verify.Differential(before.Network, after.Network)
+}
+
+// RouteCount sums installed RIB routes per protocol across the emulated
+// network, for reporting.
+func (r *Result) RouteCount() map[string]int {
+	out := map[string]int{}
+	if r.Emulator == nil {
+		for _, a := range r.AFTs {
+			for _, e := range a.IPv4Entries {
+				out[e.Origin]++
+			}
+		}
+		return out
+	}
+	for _, rt := range r.Emulator.Routers() {
+		for _, route := range rt.RIB().Routes() {
+			out[route.Protocol.String()]++
+		}
+	}
+	return out
+}

@@ -1,0 +1,298 @@
+// Package gnmi implements the management-plane extraction interface of the
+// pipeline: a gNMI-like Get/Subscribe RPC service carrying OpenConfig-shaped
+// AFT payloads as JSON over TCP. The verification stage pulls converged
+// forwarding state exclusively through this boundary when configured to,
+// mirroring the paper's vendor-agnostic "dump AFTs via gNMI" step.
+//
+// The wire protocol is newline-delimited JSON frames; one request per line,
+// one response per line (Subscribe streams multiple response lines ending
+// with a final frame marked Done).
+package gnmi
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"net"
+	"sync"
+
+	"mfv/internal/aft"
+)
+
+// Paths understood by the server.
+const (
+	PathAFT      = "/network-instances/network-instance/afts"
+	PathHostname = "/system/state/hostname"
+	PathRoutes   = "/network-instances/network-instance/protocols" // route table summary
+)
+
+// Request is one RPC frame.
+type Request struct {
+	ID     uint64 `json:"id"`
+	Method string `json:"method"` // "Capabilities" | "Get" | "Subscribe"
+	Target string `json:"target,omitempty"`
+	Path   string `json:"path,omitempty"`
+}
+
+// Response is one reply frame.
+type Response struct {
+	ID      uint64          `json:"id"`
+	Error   string          `json:"error,omitempty"`
+	Payload json.RawMessage `json:"payload,omitempty"`
+	// Done closes a Subscribe stream (and accompanies every Get reply).
+	Done bool `json:"done"`
+}
+
+// Target is a device the server can answer for.
+type Target interface {
+	// Hostname returns the device name.
+	Hostname() string
+	// AFT returns the current abstract forwarding table.
+	AFT() *aft.AFT
+	// RouteSummary returns protocol -> route count.
+	RouteSummary() map[string]int
+}
+
+// Server serves the management RPCs for a set of targets.
+type Server struct {
+	mu      sync.RWMutex
+	targets map[string]Target
+	ln      net.Listener
+	wg      sync.WaitGroup
+	closed  bool
+}
+
+// NewServer builds an empty server; register targets with AddTarget.
+func NewServer() *Server {
+	return &Server{targets: map[string]Target{}}
+}
+
+// AddTarget registers a device.
+func (s *Server) AddTarget(t Target) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.targets[t.Hostname()] = t
+}
+
+// Serve starts accepting connections on ln; it returns immediately.
+func (s *Server) Serve(ln net.Listener) {
+	s.mu.Lock()
+	s.ln = ln
+	s.mu.Unlock()
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			s.wg.Add(1)
+			go func() {
+				defer s.wg.Done()
+				s.handle(conn)
+			}()
+		}
+	}()
+}
+
+// Close stops the listener and waits for in-flight connections.
+func (s *Server) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	ln := s.ln
+	s.mu.Unlock()
+	if ln != nil {
+		ln.Close()
+	}
+	s.wg.Wait()
+}
+
+// Addr returns the listening address.
+func (s *Server) Addr() net.Addr {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if s.ln == nil {
+		return nil
+	}
+	return s.ln.Addr()
+}
+
+func (s *Server) handle(conn net.Conn) {
+	defer conn.Close()
+	r := bufio.NewReader(conn)
+	w := bufio.NewWriter(conn)
+	enc := json.NewEncoder(w)
+	for {
+		line, err := r.ReadBytes('\n')
+		if err != nil {
+			return
+		}
+		var req Request
+		if err := json.Unmarshal(line, &req); err != nil {
+			enc.Encode(Response{Error: "malformed request", Done: true})
+			w.Flush()
+			return
+		}
+		resp := s.dispatch(req)
+		if err := enc.Encode(resp); err != nil {
+			return
+		}
+		if err := w.Flush(); err != nil {
+			return
+		}
+	}
+}
+
+func (s *Server) dispatch(req Request) Response {
+	switch req.Method {
+	case "Capabilities":
+		payload, _ := json.Marshal(map[string]any{
+			"supported-models": []string{"openconfig-aft", "openconfig-system"},
+			"encodings":        []string{"JSON"},
+		})
+		return Response{ID: req.ID, Payload: payload, Done: true}
+	case "Get", "Subscribe":
+		// Subscribe is served in ONCE mode: snapshot then Done, which is
+		// exactly what the extraction step needs post-convergence.
+		return s.get(req)
+	default:
+		return Response{ID: req.ID, Error: fmt.Sprintf("unknown method %q", req.Method), Done: true}
+	}
+}
+
+func (s *Server) get(req Request) Response {
+	s.mu.RLock()
+	t, ok := s.targets[req.Target]
+	s.mu.RUnlock()
+	if !ok {
+		return Response{ID: req.ID, Error: fmt.Sprintf("unknown target %q", req.Target), Done: true}
+	}
+	var (
+		payload []byte
+		err     error
+	)
+	switch req.Path {
+	case PathAFT:
+		payload, err = t.AFT().Marshal()
+	case PathHostname:
+		payload, err = json.Marshal(t.Hostname())
+	case PathRoutes:
+		payload, err = json.Marshal(t.RouteSummary())
+	default:
+		return Response{ID: req.ID, Error: fmt.Sprintf("unsupported path %q", req.Path), Done: true}
+	}
+	if err != nil {
+		return Response{ID: req.ID, Error: err.Error(), Done: true}
+	}
+	return Response{ID: req.ID, Payload: payload, Done: true}
+}
+
+// Client is a management-plane client.
+type Client struct {
+	mu   sync.Mutex
+	conn net.Conn
+	r    *bufio.Reader
+	enc  *json.Encoder
+	w    *bufio.Writer
+	next uint64
+}
+
+// Dial connects to a server.
+func Dial(addr string) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("gnmi: %w", err)
+	}
+	return NewClient(conn), nil
+}
+
+// NewClient wraps an established connection.
+func NewClient(conn net.Conn) *Client {
+	w := bufio.NewWriter(conn)
+	return &Client{conn: conn, r: bufio.NewReader(conn), w: w, enc: json.NewEncoder(w)}
+}
+
+// Close closes the connection.
+func (c *Client) Close() error { return c.conn.Close() }
+
+// call performs one request/response exchange.
+func (c *Client) call(method, target, path string) (json.RawMessage, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.next++
+	req := Request{ID: c.next, Method: method, Target: target, Path: path}
+	if err := c.enc.Encode(req); err != nil {
+		return nil, fmt.Errorf("gnmi: send: %w", err)
+	}
+	if err := c.w.Flush(); err != nil {
+		return nil, fmt.Errorf("gnmi: flush: %w", err)
+	}
+	line, err := c.r.ReadBytes('\n')
+	if err != nil {
+		return nil, fmt.Errorf("gnmi: recv: %w", err)
+	}
+	var resp Response
+	if err := json.Unmarshal(line, &resp); err != nil {
+		return nil, fmt.Errorf("gnmi: decode: %w", err)
+	}
+	if resp.ID != req.ID {
+		return nil, fmt.Errorf("gnmi: response id %d for request %d", resp.ID, req.ID)
+	}
+	if resp.Error != "" {
+		return nil, fmt.Errorf("gnmi: remote: %s", resp.Error)
+	}
+	return resp.Payload, nil
+}
+
+// Capabilities returns the server's model list.
+func (c *Client) Capabilities() (map[string]any, error) {
+	payload, err := c.call("Capabilities", "", "")
+	if err != nil {
+		return nil, err
+	}
+	var out map[string]any
+	if err := json.Unmarshal(payload, &out); err != nil {
+		return nil, fmt.Errorf("gnmi: %w", err)
+	}
+	return out, nil
+}
+
+// GetAFT pulls the target's abstract forwarding table.
+func (c *Client) GetAFT(target string) (*aft.AFT, error) {
+	payload, err := c.call("Get", target, PathAFT)
+	if err != nil {
+		return nil, err
+	}
+	return aft.Unmarshal(payload)
+}
+
+// GetHostname fetches the device hostname.
+func (c *Client) GetHostname(target string) (string, error) {
+	payload, err := c.call("Get", target, PathHostname)
+	if err != nil {
+		return "", err
+	}
+	var name string
+	if err := json.Unmarshal(payload, &name); err != nil {
+		return "", fmt.Errorf("gnmi: %w", err)
+	}
+	return name, nil
+}
+
+// GetRouteSummary fetches protocol -> route count.
+func (c *Client) GetRouteSummary(target string) (map[string]int, error) {
+	payload, err := c.call("Get", target, PathRoutes)
+	if err != nil {
+		return nil, err
+	}
+	var out map[string]int
+	if err := json.Unmarshal(payload, &out); err != nil {
+		return nil, fmt.Errorf("gnmi: %w", err)
+	}
+	return out, nil
+}

@@ -1,0 +1,198 @@
+package gnmi
+
+import (
+	"fmt"
+	"net"
+	"net/netip"
+	"sync"
+	"testing"
+
+	"mfv/internal/aft"
+)
+
+type fakeTarget struct {
+	name string
+	a    *aft.AFT
+}
+
+func (f *fakeTarget) Hostname() string { return f.name }
+func (f *fakeTarget) AFT() *aft.AFT    { return f.a }
+func (f *fakeTarget) RouteSummary() map[string]int {
+	return map[string]int{"isis": 3, "connected": 2}
+}
+
+func newFake(name string) *fakeTarget {
+	b := aft.NewBuilder(name)
+	nh := b.AddNextHop(aft.NextHop{IPAddress: "10.0.0.1", Interface: "Ethernet1"})
+	g := b.AddGroup([]uint64{nh})
+	b.AddIPv4(netip.MustParsePrefix("192.0.2.0/24"), g, "isis", 20)
+	return &fakeTarget{name: name, a: b.Build()}
+}
+
+func startServer(t *testing.T, targets ...Target) (*Server, string) {
+	t.Helper()
+	s := NewServer()
+	for _, tg := range targets {
+		s.AddTarget(tg)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Serve(ln)
+	t.Cleanup(s.Close)
+	return s, ln.Addr().String()
+}
+
+func TestGetAFTOverTCP(t *testing.T) {
+	_, addr := startServer(t, newFake("r1"))
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	a, err := c.GetAFT("r1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Device != "r1" || len(a.IPv4Entries) != 1 || a.IPv4Entries[0].Prefix != "192.0.2.0/24" {
+		t.Errorf("AFT = %+v", a)
+	}
+}
+
+func TestGetHostnameAndRoutes(t *testing.T) {
+	_, addr := startServer(t, newFake("r1"))
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	name, err := c.GetHostname("r1")
+	if err != nil || name != "r1" {
+		t.Errorf("hostname = %q, %v", name, err)
+	}
+	rs, err := c.GetRouteSummary("r1")
+	if err != nil || rs["isis"] != 3 {
+		t.Errorf("routes = %v, %v", rs, err)
+	}
+}
+
+func TestCapabilities(t *testing.T) {
+	_, addr := startServer(t, newFake("r1"))
+	c, _ := Dial(addr)
+	defer c.Close()
+	caps, err := c.Capabilities()
+	if err != nil {
+		t.Fatal(err)
+	}
+	models, ok := caps["supported-models"].([]any)
+	if !ok || len(models) == 0 || models[0] != "openconfig-aft" {
+		t.Errorf("capabilities = %v", caps)
+	}
+}
+
+func TestErrors(t *testing.T) {
+	_, addr := startServer(t, newFake("r1"))
+	c, _ := Dial(addr)
+	defer c.Close()
+	if _, err := c.GetAFT("ghost"); err == nil {
+		t.Error("unknown target accepted")
+	}
+	if _, err := c.call("Get", "r1", "/nope"); err == nil {
+		t.Error("unsupported path accepted")
+	}
+	if _, err := c.call("Frobnicate", "", ""); err == nil {
+		t.Error("unknown method accepted")
+	}
+}
+
+func TestSubscribeOnceMode(t *testing.T) {
+	_, addr := startServer(t, newFake("r1"))
+	c, _ := Dial(addr)
+	defer c.Close()
+	payload, err := c.call("Subscribe", "r1", PathAFT)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := aft.Unmarshal(payload)
+	if err != nil || a.Device != "r1" {
+		t.Errorf("subscribe snapshot = %+v, %v", a, err)
+	}
+}
+
+func TestMultipleTargetsAndSequentialCalls(t *testing.T) {
+	_, addr := startServer(t, newFake("r1"), newFake("r2"), newFake("r3"))
+	c, _ := Dial(addr)
+	defer c.Close()
+	for _, name := range []string{"r1", "r2", "r3", "r1"} {
+		a, err := c.GetAFT(name)
+		if err != nil || a.Device != name {
+			t.Errorf("GetAFT(%s) = %v, %v", name, a, err)
+		}
+	}
+}
+
+func TestConcurrentClients(t *testing.T) {
+	var targets []Target
+	for i := 0; i < 10; i++ {
+		targets = append(targets, newFake(fmt.Sprintf("r%d", i)))
+	}
+	_, addr := startServer(t, targets...)
+	var wg sync.WaitGroup
+	errs := make(chan error, 10)
+	for i := 0; i < 10; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c, err := Dial(addr)
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer c.Close()
+			for j := 0; j < 20; j++ {
+				name := fmt.Sprintf("r%d", (i+j)%10)
+				a, err := c.GetAFT(name)
+				if err != nil {
+					errs <- err
+					return
+				}
+				if a.Device != name {
+					errs <- fmt.Errorf("got %s want %s", a.Device, name)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}
+
+func TestMalformedRequestClosesConnection(t *testing.T) {
+	_, addr := startServer(t, newFake("r1"))
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	conn.Write([]byte("this is not json\n"))
+	buf := make([]byte, 256)
+	n, _ := conn.Read(buf)
+	if n == 0 {
+		t.Fatal("no error response")
+	}
+	// Connection should be closed after the error frame.
+	if _, err := conn.Read(buf); err == nil {
+		t.Error("connection stayed open after malformed request")
+	}
+}
+
+func TestServerCloseIdempotent(t *testing.T) {
+	s, _ := startServer(t, newFake("r1"))
+	s.Close()
+	s.Close()
+}

@@ -1,0 +1,207 @@
+// Package isis implements a link-state IGP modeled on IS-IS level-2: hello
+// adjacencies with a three-way handshake, LSP generation and flooding with
+// sequence numbers, and an ECMP-capable Dijkstra SPF feeding routes to the
+// RIB. PDUs are binary-encoded and travel encoded over emulated links, as
+// with the BGP engine.
+package isis
+
+import (
+	"encoding/binary"
+	"fmt"
+	"net/netip"
+	"strings"
+)
+
+// SystemID is the 6-byte IS-IS system identifier.
+type SystemID [6]byte
+
+// ParseSystemID parses the dotted form "1010.1040.1030".
+func ParseSystemID(s string) (SystemID, error) {
+	var id SystemID
+	parts := strings.Split(s, ".")
+	if len(parts) != 3 {
+		return id, fmt.Errorf("isis: bad system ID %q", s)
+	}
+	for i, part := range parts {
+		if len(part) != 4 {
+			return id, fmt.Errorf("isis: bad system ID %q", s)
+		}
+		var v uint16
+		if _, err := fmt.Sscanf(part, "%04x", &v); err != nil {
+			return id, fmt.Errorf("isis: bad system ID %q", s)
+		}
+		binary.BigEndian.PutUint16(id[2*i:], v)
+	}
+	return id, nil
+}
+
+// String renders the dotted hex form.
+func (id SystemID) String() string {
+	return fmt.Sprintf("%02x%02x.%02x%02x.%02x%02x", id[0], id[1], id[2], id[3], id[4], id[5])
+}
+
+// PDU type codes (within this implementation's framing).
+const (
+	pduHello = 1
+	pduLSP   = 2
+)
+
+const protoDiscriminator = 0x83 // ISO 10589 NLPID
+
+// Hello is a point-to-point IIH.
+type Hello struct {
+	Source SystemID
+	// SourceIP is the sender's interface address on this link, used as the
+	// next hop by the receiver's SPF.
+	SourceIP netip.Addr
+	// HoldingTime is the adjacency expiry in seconds.
+	HoldingTime uint16
+	// Seen lists system IDs the sender has heard on this interface; seeing
+	// our own ID completes the three-way handshake.
+	Seen []SystemID
+}
+
+// Neighbor is one IS-reachability entry of an LSP.
+type Neighbor struct {
+	ID     SystemID
+	Metric uint32
+}
+
+// PrefixReach is one IP-reachability entry of an LSP.
+type PrefixReach struct {
+	Prefix netip.Prefix
+	Metric uint32
+}
+
+// LSP is a link-state PDU.
+type LSP struct {
+	Origin    SystemID
+	Seq       uint32
+	Neighbors []Neighbor
+	Prefixes  []PrefixReach
+	Hostname  string
+}
+
+// EncodeHello marshals a hello PDU.
+func EncodeHello(h Hello) []byte {
+	buf := make([]byte, 0, 16+6*len(h.Seen))
+	buf = append(buf, protoDiscriminator, pduHello)
+	buf = append(buf, h.Source[:]...)
+	ip := h.SourceIP.As4()
+	buf = append(buf, ip[:]...)
+	buf = binary.BigEndian.AppendUint16(buf, h.HoldingTime)
+	buf = append(buf, byte(len(h.Seen)))
+	for _, s := range h.Seen {
+		buf = append(buf, s[:]...)
+	}
+	return buf
+}
+
+// EncodeLSP marshals an LSP.
+func EncodeLSP(l LSP) []byte {
+	buf := make([]byte, 0, 64)
+	buf = append(buf, protoDiscriminator, pduLSP)
+	buf = append(buf, l.Origin[:]...)
+	buf = binary.BigEndian.AppendUint32(buf, l.Seq)
+	buf = binary.BigEndian.AppendUint16(buf, uint16(len(l.Neighbors)))
+	for _, n := range l.Neighbors {
+		buf = append(buf, n.ID[:]...)
+		buf = binary.BigEndian.AppendUint32(buf, n.Metric)
+	}
+	buf = binary.BigEndian.AppendUint16(buf, uint16(len(l.Prefixes)))
+	for _, p := range l.Prefixes {
+		a := p.Prefix.Addr().As4()
+		buf = append(buf, a[:]...)
+		buf = append(buf, byte(p.Prefix.Bits()))
+		buf = binary.BigEndian.AppendUint32(buf, p.Metric)
+	}
+	if len(l.Hostname) > 255 {
+		l.Hostname = l.Hostname[:255]
+	}
+	buf = append(buf, byte(len(l.Hostname)))
+	buf = append(buf, l.Hostname...)
+	return buf
+}
+
+// Decode parses a PDU, returning Hello or LSP.
+func Decode(b []byte) (any, error) {
+	if len(b) < 2 || b[0] != protoDiscriminator {
+		return nil, fmt.Errorf("isis: bad PDU header")
+	}
+	switch b[1] {
+	case pduHello:
+		return decodeHello(b[2:])
+	case pduLSP:
+		return decodeLSP(b[2:])
+	default:
+		return nil, fmt.Errorf("isis: unknown PDU type %d", b[1])
+	}
+}
+
+func decodeHello(b []byte) (Hello, error) {
+	var h Hello
+	if len(b) < 13 {
+		return h, fmt.Errorf("isis: truncated hello")
+	}
+	copy(h.Source[:], b[0:6])
+	var ip [4]byte
+	copy(ip[:], b[6:10])
+	h.SourceIP = netip.AddrFrom4(ip)
+	h.HoldingTime = binary.BigEndian.Uint16(b[10:12])
+	n := int(b[12])
+	b = b[13:]
+	if len(b) != 6*n {
+		return h, fmt.Errorf("isis: hello neighbor list length mismatch")
+	}
+	for i := 0; i < n; i++ {
+		var s SystemID
+		copy(s[:], b[6*i:])
+		h.Seen = append(h.Seen, s)
+	}
+	return h, nil
+}
+
+func decodeLSP(b []byte) (LSP, error) {
+	var l LSP
+	if len(b) < 12 {
+		return l, fmt.Errorf("isis: truncated LSP")
+	}
+	copy(l.Origin[:], b[0:6])
+	l.Seq = binary.BigEndian.Uint32(b[6:10])
+	nn := int(binary.BigEndian.Uint16(b[10:12]))
+	b = b[12:]
+	if len(b) < 10*nn+2 {
+		return l, fmt.Errorf("isis: truncated LSP neighbors")
+	}
+	for i := 0; i < nn; i++ {
+		var n Neighbor
+		copy(n.ID[:], b[10*i:])
+		n.Metric = binary.BigEndian.Uint32(b[10*i+6:])
+		l.Neighbors = append(l.Neighbors, n)
+	}
+	b = b[10*nn:]
+	np := int(binary.BigEndian.Uint16(b[0:2]))
+	b = b[2:]
+	if len(b) < 9*np+1 {
+		return l, fmt.Errorf("isis: truncated LSP prefixes")
+	}
+	for i := 0; i < np; i++ {
+		var ip [4]byte
+		copy(ip[:], b[9*i:])
+		bits := int(b[9*i+4])
+		if bits > 32 {
+			return l, fmt.Errorf("isis: bad prefix length %d", bits)
+		}
+		l.Prefixes = append(l.Prefixes, PrefixReach{
+			Prefix: netip.PrefixFrom(netip.AddrFrom4(ip), bits).Masked(),
+			Metric: binary.BigEndian.Uint32(b[9*i+5:]),
+		})
+	}
+	b = b[9*np:]
+	hl := int(b[0])
+	if len(b) != 1+hl {
+		return l, fmt.Errorf("isis: bad hostname length")
+	}
+	l.Hostname = string(b[1:])
+	return l, nil
+}

@@ -1,0 +1,126 @@
+package kne
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestApplyConfigWarmReconvergence(t *testing.T) {
+	e, err := New(Config{Topology: isisLineTopo(3)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	coldConverged := converge(t, e)
+	r1, _ := e.Router("r1")
+	if _, ok := r1.RIB().Lookup(addr("1.1.1.3")); !ok {
+		t.Fatal("not converged")
+	}
+
+	// Push a new config to r2 that raises the IS-IS metric on its r3-facing
+	// interface.
+	node, _ := e.topo.Node("r2")
+	newCfg := strings.Replace(node.Config,
+		"interface Ethernet2\n   no switchport\n   ip address 10.0.2.0/31\n   isis enable default\n",
+		"interface Ethernet2\n   no switchport\n   ip address 10.0.2.0/31\n   isis enable default\n   isis metric 50\n", 1)
+	if newCfg == node.Config {
+		t.Fatalf("fixture drift: substring not found in\n%s", node.Config)
+	}
+	applyAt := e.Sim().Now()
+	if err := e.ApplyConfig("r2", newCfg); err != nil {
+		t.Fatal(err)
+	}
+	warmConverged, err := e.RunUntilConverged(30*time.Second, time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The change must take effect: r1's route to r3 now costs 10+50.
+	rt, ok := r1.RIB().Lookup(addr("1.1.1.3"))
+	if !ok {
+		t.Fatal("r1 lost the route after reapply")
+	}
+	if rt.Metric != 60 {
+		t.Errorf("metric = %d, want 60 (new config applied)", rt.Metric)
+	}
+	// Warm reapply must be far faster than the cold bring-up (which took
+	// ~12 minutes of infra + boot).
+	warmTime := warmConverged - applyAt
+	if warmTime > 2*time.Minute {
+		t.Errorf("warm reconvergence took %v, want well under the cold startup", warmTime)
+	}
+	if coldConverged < 12*time.Minute {
+		t.Errorf("cold convergence = %v, expected infra-dominated", coldConverged)
+	}
+}
+
+func TestApplyConfigRejectsBadConfig(t *testing.T) {
+	e, err := New(Config{Topology: isisLineTopo(2)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	converge(t, e)
+	r1, _ := e.Router("r1")
+	if err := e.ApplyConfig("r1", "florble gork\n"); err == nil {
+		t.Fatal("bad config accepted")
+	}
+	// The running router must be untouched.
+	r1Again, _ := e.Router("r1")
+	if r1 != r1Again {
+		t.Error("router replaced despite rejected config")
+	}
+	if _, ok := r1.RIB().Lookup(addr("1.1.1.2")); !ok {
+		t.Error("old state lost after rejected config")
+	}
+}
+
+func TestApplyConfigErrors(t *testing.T) {
+	e, err := New(Config{Topology: isisLineTopo(2)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.ApplyConfig("r1", "hostname r1\n"); err == nil ||
+		!strings.Contains(err.Error(), "before Start") {
+		t.Errorf("err = %v", err)
+	}
+	converge(t, e)
+	if err := e.ApplyConfig("ghost", "hostname g\n"); err == nil {
+		t.Error("unknown router accepted")
+	}
+	// Address clash with another router.
+	clash := "interface Loopback0\n   ip address 1.1.1.2/32\n"
+	if err := e.ApplyConfig("r1", clash); err == nil ||
+		!strings.Contains(err.Error(), "already owned") {
+		t.Errorf("err = %v", err)
+	}
+	// After the failed clash apply, r1's original addresses must still be
+	// owned by r1 (rollback worked) and the network still converges.
+	if owner := e.addrOwner[addr("1.1.1.1")]; owner != "r1" {
+		t.Errorf("rollback lost 1.1.1.1 ownership: %q", owner)
+	}
+}
+
+func TestApplyConfigSessionReset(t *testing.T) {
+	// Reapplying the SAME config to an eBGP router must flap and then
+	// re-establish its session.
+	e, err := New(Config{Topology: twoASTopo()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	converge(t, e)
+	node, _ := e.topo.Node("r1")
+	if err := e.ApplyConfig("r1", node.Config); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.RunUntilConverged(30*time.Second, time.Hour); err != nil {
+		t.Fatal(err)
+	}
+	r1, _ := e.Router("r1")
+	p, _ := r1.BGP.Peer(addr("100.64.0.1"))
+	if p.State().String() != "Established" {
+		t.Errorf("session after reapply = %v", p.State())
+	}
+	if _, ok := r1.RIB().Lookup(addr("1.1.1.2")); !ok {
+		t.Error("routes not relearned after reapply")
+	}
+}

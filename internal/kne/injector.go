@@ -1,0 +1,120 @@
+package kne
+
+import (
+	"fmt"
+	"net/netip"
+
+	"mfv/internal/bgp"
+	"mfv/internal/vrouter"
+)
+
+// Injector is an external BGP peer that feeds routes into the emulated
+// network — the paper's "production-recorded route injection" (§5) with
+// synthetic feeds from internal/routegen. It is a full BGP speaker: the
+// session with the target router runs the real codec and FSM.
+type Injector struct {
+	em     *Emulator
+	addr   netip.Addr // the injector's address on the shared subnet
+	target string     // router name it peers with
+	spk    *bgp.Speaker
+}
+
+// AddInjector attaches an external peer at addr to the named router. The
+// router's configuration must already contain a neighbor statement for
+// addr; asn is the injector's AS. Routes are announced with Announce.
+func (e *Emulator) AddInjector(routerName string, addr netip.Addr, asn uint32) (*Injector, error) {
+	r, ok := e.routers[routerName]
+	if !ok {
+		return nil, fmt.Errorf("kne: no router %q", routerName)
+	}
+	if r.BGP == nil {
+		return nil, fmt.Errorf("kne: router %q runs no BGP", routerName)
+	}
+	peer, ok := r.BGP.Peer(addr)
+	if !ok {
+		return nil, fmt.Errorf("kne: router %q has no neighbor %v configured", routerName, addr)
+	}
+	if _, dup := e.injectors[addr]; dup {
+		return nil, fmt.Errorf("kne: injector %v already attached", addr)
+	}
+	if owner, taken := e.addrOwner[addr]; taken {
+		return nil, fmt.Errorf("kne: address %v belongs to router %s", addr, owner)
+	}
+	inj := &Injector{em: e, addr: addr, target: routerName}
+	inj.spk = bgp.NewSpeaker(bgp.Config{
+		Hostname: "injector-" + addr.String(),
+		ASN:      asn,
+		RouterID: addr,
+		Clock:    e.sim,
+		Resolver: bgp.ResolverFunc(func(netip.Addr) (uint32, bool) { return 0, true }),
+	})
+	inj.spk.AddPeer(bgp.PeerConfig{
+		Addr:      peer.Config().LocalAddr,
+		LocalAddr: addr,
+		RemoteAS:  r.BGP.ASN(),
+	})
+	e.injectors[addr] = inj
+	return inj, nil
+}
+
+// Announce originates prefixes from the injector with the given attribute
+// template (next hop is rewritten per eBGP export rules automatically).
+func (inj *Injector) Announce(prefixes []netip.Prefix, attrs bgp.PathAttrs) {
+	for _, p := range prefixes {
+		inj.spk.Originate(p, attrs)
+	}
+}
+
+// Withdraw retracts previously announced prefixes.
+func (inj *Injector) Withdraw(prefixes []netip.Prefix) {
+	for _, p := range prefixes {
+		inj.spk.WithdrawLocal(p)
+	}
+}
+
+// Sessions returns the injector's single peer state, for tests.
+func (inj *Injector) SessionState() bgp.State {
+	peers := inj.spk.Peers()
+	if len(peers) == 0 {
+		return bgp.StateIdle
+	}
+	return peers[0].State()
+}
+
+// receive handles a payload routed to the injector's address.
+func (inj *Injector) receive(srcAddr netip.Addr, payload []byte) {
+	inj.spk.HandleMessage(srcAddr, payload)
+}
+
+// probe manages the session between the target router's peer object and the
+// injector's speaker, mirroring probeRouterSession.
+func (inj *Injector) probe(r *vrouter.Router, p *bgp.Peer) {
+	cfg := p.Config()
+	up := r.CanReach(cfg.Addr) && !r.Crashed()
+	injPeers := inj.spk.Peers()
+	if len(injPeers) == 0 {
+		return
+	}
+	injPeer := injPeers[0]
+	e := inj.em
+	switch {
+	case up && p.State() == bgp.StateIdle:
+		// Bring the injector's side up first so the router's OPEN (which
+		// can arrive one link-delay later) never hits an Idle FSM.
+		if injPeer.State() == bgp.StateIdle {
+			injPeer.TransportUp(func(msg []byte) {
+				data := append([]byte{}, msg...)
+				e.sim.After(e.cfg.LinkDelay, func() {
+					r.DeliverBGP(inj.addr, data)
+				})
+			})
+		}
+		local, src := r, cfg.LocalAddr
+		p.TransportUp(func(msg []byte) {
+			e.sendRouted(local, cfg.Addr, protoBGP, src, msg, maxTTL)
+		})
+	case !up && p.State() != bgp.StateIdle:
+		p.TransportDown()
+		injPeer.TransportDown()
+	}
+}

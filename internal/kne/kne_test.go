@@ -1,0 +1,436 @@
+package kne
+
+import (
+	"fmt"
+	"net/netip"
+	"strings"
+	"testing"
+	"time"
+
+	"mfv/internal/bgp"
+	"mfv/internal/policy"
+	"mfv/internal/topology"
+)
+
+func addr(s string) netip.Addr  { return netip.MustParseAddr(s) }
+func pfx(s string) netip.Prefix { return netip.MustParsePrefix(s) }
+
+// isisLineTopo builds an n-node line where every router runs IS-IS, with
+// loopbacks 1.1.1.N/32 and /31 transfer nets 10.0.<i>.0/31.
+func isisLineTopo(n int) *topology.Topology {
+	topo := topology.Line(n, topology.VendorEOS)
+	for i := 1; i <= n; i++ {
+		var b strings.Builder
+		fmt.Fprintf(&b, "hostname r%d\n", i)
+		fmt.Fprintf(&b, "router isis default\n   net 49.0001.0000.0000.%04x.00\n   address-family ipv4 unicast\n", i)
+		fmt.Fprintf(&b, "interface Loopback0\n   ip address 1.1.1.%d/32\n   isis enable default\n", i)
+		if i > 1 {
+			fmt.Fprintf(&b, "interface Ethernet%d\n   no switchport\n   ip address 10.0.%d.1/31\n   isis enable default\n",
+				boolIdx(i > 1 && i < n, 1, 1), i-1)
+		}
+		if i < n {
+			eth := 1
+			if i > 1 {
+				eth = 2
+			}
+			fmt.Fprintf(&b, "interface Ethernet%d\n   no switchport\n   ip address 10.0.%d.0/31\n   isis enable default\n",
+				eth, i)
+		}
+		node, _ := topo.Node(fmt.Sprintf("r%d", i))
+		node.Config = b.String()
+	}
+	return topo
+}
+
+func boolIdx(cond bool, a, b int) int {
+	if cond {
+		return a
+	}
+	return b
+}
+
+func converge(t *testing.T, e *Emulator) time.Duration {
+	t.Helper()
+	if err := e.Start(); err != nil {
+		t.Fatal(err)
+	}
+	at, err := e.RunUntilConverged(30*time.Second, time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return at
+}
+
+func TestISISLineConvergence(t *testing.T) {
+	e, err := New(Config{Topology: isisLineTopo(3)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	converge(t, e)
+
+	// r1 must have an IS-IS route to r3's loopback.
+	r1, _ := e.Router("r1")
+	rt, ok := r1.RIB().Lookup(addr("1.1.1.3"))
+	if !ok {
+		t.Fatalf("r1 has no route to 1.1.1.3; RIB:\n%v", r1.RIB().Routes())
+	}
+	if rt.Prefix != pfx("1.1.1.3/32") || rt.Metric != 20 {
+		t.Errorf("route = %v", rt)
+	}
+	// All AFTs must validate and contain the remote loopbacks.
+	for name, a := range e.AFTs() {
+		if err := a.Validate(); err != nil {
+			t.Errorf("AFT %s invalid: %v", name, err)
+		}
+	}
+	// Startup must land in the paper's 12–17 minute window.
+	startup := e.StartupDone()
+	if startup < 12*time.Minute || startup > 17*time.Minute {
+		t.Errorf("startup = %v, want 12–17 min", startup)
+	}
+}
+
+func TestLinkFailureReconvergence(t *testing.T) {
+	e, err := New(Config{Topology: isisLineTopo(3)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	converge(t, e)
+	r1, _ := e.Router("r1")
+	if _, ok := r1.RIB().Lookup(addr("1.1.1.3")); !ok {
+		t.Fatal("not converged")
+	}
+	// Cut r2—r3.
+	if err := e.SetLinkDown(topology.Endpoint{Node: "r2", Interface: "Ethernet2"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.RunUntilConverged(30*time.Second, time.Hour); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := r1.RIB().Lookup(addr("1.1.1.3")); ok {
+		t.Error("r1 still routes to r3 after cut")
+	}
+	// Restore.
+	if err := e.SetLinkUp(topology.Endpoint{Node: "r2", Interface: "Ethernet2"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.RunUntilConverged(30*time.Second, time.Hour); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := r1.RIB().Lookup(addr("1.1.1.3")); !ok {
+		t.Error("r1 did not recover after link restore")
+	}
+}
+
+// twoASTopo: r1 (AS 65001) --- r2 (AS 65002) eBGP over 100.64.0.0/31, each
+// originating its loopback.
+func twoASTopo() *topology.Topology {
+	topo := topology.Line(2, topology.VendorEOS)
+	topo.Nodes[0].Config = `hostname r1
+interface Loopback0
+   ip address 1.1.1.1/32
+interface Ethernet1
+   no switchport
+   ip address 100.64.0.0/31
+router bgp 65001
+   router-id 1.1.1.1
+   neighbor 100.64.0.1 remote-as 65002
+   network 1.1.1.1/32
+`
+	topo.Nodes[1].Config = `hostname r2
+interface Loopback0
+   ip address 1.1.1.2/32
+interface Ethernet1
+   no switchport
+   ip address 100.64.0.1/31
+router bgp 65002
+   router-id 1.1.1.2
+   neighbor 100.64.0.0 remote-as 65001
+   network 1.1.1.2/32
+`
+	return topo
+}
+
+func TestEBGPSessionAndRoutes(t *testing.T) {
+	e, err := New(Config{Topology: twoASTopo()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	converge(t, e)
+	r1, _ := e.Router("r1")
+	r2, _ := e.Router("r2")
+	p, _ := r1.BGP.Peer(addr("100.64.0.1"))
+	if p.State() != bgp.StateEstablished {
+		t.Fatalf("session state = %v", p.State())
+	}
+	rt, ok := r1.RIB().Lookup(addr("1.1.1.2"))
+	if !ok || rt.Protocol.String() != "ebgp" {
+		t.Errorf("r1 route to r2 loopback = %v, %v", rt, ok)
+	}
+	rt, ok = r2.RIB().Lookup(addr("1.1.1.1"))
+	if !ok || len(rt.NextHops) != 1 || rt.NextHops[0].IP != addr("100.64.0.0") {
+		t.Errorf("r2 route = %v, %v", rt, ok)
+	}
+}
+
+// ibgpOverISISTopo: 3-node line in one AS; r1 and r3 peer iBGP between
+// loopbacks (update-source Loopback0) and r2 is a pure IS-IS transit. r1
+// originates an external-looking prefix.
+func ibgpOverISISTopo() *topology.Topology {
+	topo := isisLineTopo(3)
+	topo.Nodes[0].Config += `router bgp 65100
+   router-id 1.1.1.1
+   neighbor 1.1.1.3 remote-as 65100
+   neighbor 1.1.1.3 update-source Loopback0
+   neighbor 1.1.1.3 next-hop-self
+   network 203.0.113.0/24
+ip route 203.0.113.0/24 Null0
+`
+	topo.Nodes[2].Config += `router bgp 65100
+   router-id 1.1.1.3
+   neighbor 1.1.1.1 remote-as 65100
+   neighbor 1.1.1.1 update-source Loopback0
+`
+	return topo
+}
+
+func TestIBGPOverLoopbacksRequiresIGP(t *testing.T) {
+	e, err := New(Config{Topology: ibgpOverISISTopo()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	converge(t, e)
+	r3, _ := e.Router("r3")
+	p, _ := r3.BGP.Peer(addr("1.1.1.1"))
+	if p.State() != bgp.StateEstablished {
+		t.Fatalf("iBGP session = %v, want Established (IGP-gated)", p.State())
+	}
+	rt, ok := r3.RIB().Lookup(addr("203.0.113.9"))
+	if !ok {
+		t.Fatalf("r3 missing BGP route; RIB:\n%v", r3.RIB().Routes())
+	}
+	if rt.Protocol.String() != "ibgp" {
+		t.Errorf("route protocol = %v", rt.Protocol)
+	}
+	// The BGP next hop (r1 loopback, via next-hop-self) must recursively
+	// resolve through IS-IS: the AFT entry egresses Ethernet1 toward r2.
+	aft3 := e.AFTs()["r3"]
+	for _, entry := range aft3.IPv4Entries {
+		if entry.Prefix == "203.0.113.0/24" {
+			hops := aft3.GroupHops(entry.NextHopGroup)
+			if len(hops) != 1 || hops[0].Interface != "Ethernet1" {
+				t.Errorf("AFT hops = %+v", hops)
+			}
+			return
+		}
+	}
+	t.Error("203.0.113.0/24 not in r3 AFT")
+}
+
+func TestIBGPSessionDropsWhenIGPPathLost(t *testing.T) {
+	e, err := New(Config{Topology: ibgpOverISISTopo()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	converge(t, e)
+	r3, _ := e.Router("r3")
+	if err := e.SetLinkDown(topology.Endpoint{Node: "r2", Interface: "Ethernet2"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.RunUntilConverged(30*time.Second, time.Hour); err != nil {
+		t.Fatal(err)
+	}
+	p, _ := r3.BGP.Peer(addr("1.1.1.1"))
+	if p.State() == bgp.StateEstablished {
+		t.Error("iBGP session survived loss of the IGP path")
+	}
+	if _, ok := r3.RIB().Lookup(addr("203.0.113.9")); ok {
+		t.Error("BGP route survived session loss")
+	}
+}
+
+func TestInjectorFeedsRoutes(t *testing.T) {
+	topo := twoASTopo()
+	// r1 gets an extra neighbor on a stub subnet for the injector.
+	topo.Nodes[0].Config += `interface Ethernet9
+   no switchport
+   ip address 192.0.2.0/31
+router bgp 65001
+   neighbor 192.0.2.1 remote-as 64999
+`
+	e, err := New(Config{Topology: topo})
+	if err != nil {
+		t.Fatal(err)
+	}
+	inj, err := e.AddInjector("r1", addr("192.0.2.1"), 64999)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var feed []netip.Prefix
+	for i := 0; i < 500; i++ {
+		feed = append(feed, netip.PrefixFrom(netip.AddrFrom4([4]byte{20, byte(i >> 8), byte(i), 0}), 24))
+	}
+	inj.Announce(feed, bgp.PathAttrs{Origin: bgp.OriginIGP})
+	converge(t, e)
+
+	if inj.SessionState() != bgp.StateEstablished {
+		t.Fatalf("injector session = %v", inj.SessionState())
+	}
+	r1, _ := e.Router("r1")
+	rt, ok := r1.RIB().Lookup(addr("20.0.99.5"))
+	if !ok || rt.Protocol.String() != "ebgp" {
+		t.Errorf("injected route = %v, %v", rt, ok)
+	}
+	// r2 must learn them over the eBGP session too.
+	r2, _ := e.Router("r2")
+	if _, ok := r2.RIB().Lookup(addr("20.0.99.5")); !ok {
+		t.Error("injected route did not propagate to r2")
+	}
+	// Withdraw and verify removal.
+	inj.Withdraw(feed[:100])
+	if _, err := e.RunUntilConverged(30*time.Second, time.Hour); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := r1.RIB().Lookup(addr("20.0.0.5")); ok {
+		t.Error("withdrawn route still present")
+	}
+}
+
+func TestInjectorErrors(t *testing.T) {
+	e, err := New(Config{Topology: twoASTopo()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.AddInjector("ghost", addr("192.0.2.1"), 1); err == nil {
+		t.Error("unknown router accepted")
+	}
+	if _, err := e.AddInjector("r1", addr("9.9.9.9"), 1); err == nil {
+		t.Error("unconfigured neighbor accepted")
+	}
+	if _, err := e.AddInjector("r1", addr("100.64.0.1"), 1); err == nil {
+		t.Error("address owned by another router accepted")
+	}
+}
+
+// TestVendorCrashInterplay reproduces the outage class from §2: one vendor
+// emits an unusual-but-valid UPDATE (here, a very long community list) that
+// crashes the other vendor's routing process.
+func TestVendorCrashInterplay(t *testing.T) {
+	topo := twoASTopo()
+	topo.Nodes[1].Vendor = topology.VendorJunosLike
+	topo.Nodes[1].Config = `system { host-name r2; }
+interfaces {
+    lo0 { unit 0 { family inet { address 1.1.1.2/32; } } }
+    Ethernet1 { unit 0 { family inet { address 100.64.0.1/31; } } }
+}
+routing-options { autonomous-system 65002; router-id 1.1.1.2; }
+protocols { bgp { group ebgp { neighbor 100.64.0.0 { peer-as 65001; } } } }
+`
+	// r1 sends communities.
+	topo.Nodes[0].Config += "router bgp 65001\n   neighbor 100.64.0.1 send-community\n"
+	e, err := New(Config{Topology: topo})
+	if err != nil {
+		t.Fatal(err)
+	}
+	converge(t, e)
+	r1, _ := e.Router("r1")
+	r2, _ := e.Router("r2")
+	if p, _ := r2.BGP.Peer(addr("100.64.0.0")); p.State() != bgp.StateEstablished {
+		t.Fatalf("multi-vendor session did not establish: %v", p.State())
+	}
+	// r1 originates a route carrying 100 communities — valid BGP, but past
+	// the junoslike parser limit (64).
+	var comms []policy.Community
+	for i := 0; i < 100; i++ {
+		comms = append(comms, policy.Community(uint32(65001)<<16|uint32(i)))
+	}
+	r1.BGP.Originate(pfx("66.0.0.0/8"), bgp.PathAttrs{Communities: comms})
+	// A crash loop never converges (the killer route is re-sent after every
+	// restart), so advance time directly instead of waiting for stability.
+	e.Sim().RunFor(5 * time.Minute)
+	if r2.CrashCount < 2 {
+		t.Errorf("CrashCount = %d, want a crash loop (≥2)", r2.CrashCount)
+	}
+}
+
+func TestMultiVendorISIS(t *testing.T) {
+	topo := topology.Line(2, topology.VendorEOS)
+	topo.Nodes[1].Vendor = topology.VendorJunosLike
+	topo.Nodes[0].Config = `hostname r1
+router isis default
+   net 49.0001.0000.0000.0001.00
+   address-family ipv4 unicast
+interface Loopback0
+   ip address 1.1.1.1/32
+   isis enable default
+interface Ethernet1
+   no switchport
+   ip address 10.0.0.0/31
+   isis enable default
+`
+	topo.Nodes[1].Config = `system { host-name r2; }
+interfaces {
+    lo0 { unit 0 { family inet { address 1.1.1.2/32; } } }
+    Ethernet1 { unit 0 { family inet { address 10.0.0.1/31; } } }
+}
+protocols {
+    isis {
+        net 49.0001.0000.0000.0002.00;
+        interface Ethernet1.0;
+        interface lo0.0 { passive; }
+    }
+}
+`
+	e, err := New(Config{Topology: topo})
+	if err != nil {
+		t.Fatal(err)
+	}
+	converge(t, e)
+	r1, _ := e.Router("r1")
+	if _, ok := r1.RIB().Lookup(addr("1.1.1.2")); !ok {
+		t.Errorf("EOS router did not learn junoslike loopback; RIB:\n%v", r1.RIB().Routes())
+	}
+	r2, _ := e.Router("r2")
+	if _, ok := r2.RIB().Lookup(addr("1.1.1.1")); !ok {
+		t.Error("junoslike router did not learn EOS loopback")
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(Config{}); err == nil {
+		t.Error("nil topology accepted")
+	}
+	topo := topology.Line(2, topology.VendorEOS)
+	topo.Nodes[0].Config = "florble\n"
+	if _, err := New(Config{Topology: topo}); err == nil {
+		t.Error("bad config accepted")
+	}
+	// Duplicate address across routers.
+	topo2 := topology.Line(2, topology.VendorEOS)
+	topo2.Nodes[0].Config = "interface Loopback0\n   ip address 9.9.9.9/32\n"
+	topo2.Nodes[1].Config = "interface Loopback0\n   ip address 9.9.9.9/32\n"
+	if _, err := New(Config{Topology: topo2}); err == nil ||
+		!strings.Contains(err.Error(), "configured on both") {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestDoubleStartRejected(t *testing.T) {
+	e, err := New(Config{Topology: isisLineTopo(2)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Start(); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Start(); err == nil {
+		t.Error("double Start accepted")
+	}
+	if _, err := New(Config{Topology: isisLineTopo(2)}); err != nil {
+		t.Fatal(err)
+	}
+	e2, _ := New(Config{Topology: isisLineTopo(2)})
+	if _, err := e2.RunUntilConverged(time.Second, time.Minute); err == nil {
+		t.Error("RunUntilConverged before Start accepted")
+	}
+}

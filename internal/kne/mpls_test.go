@@ -1,0 +1,120 @@
+package kne
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"mfv/internal/routing"
+	"mfv/internal/topology"
+)
+
+// teTopo builds a 3-node IS-IS line where r1 signals an RSVP-TE tunnel to
+// r3's loopback.
+func teTopo() *topology.Topology {
+	topo := isisLineTopo(3)
+	// All nodes run MPLS (transit/tail need the RSVP process); only r1
+	// signals a tunnel.
+	for i := range topo.Nodes {
+		topo.Nodes[i].Config += "mpls ip\n"
+	}
+	topo.Nodes[0].Config += `router traffic-engineering
+   tunnel TO-R3
+      destination 1.1.1.3
+      priority 6 6
+`
+	return topo
+}
+
+// convergeTE uses a hold longer than the RSVP refresh period: tunnel
+// signaling retries on 30 s refresh ticks, so a 30 s hold races with it.
+func convergeTE(t *testing.T, e *Emulator) {
+	t.Helper()
+	if err := e.Start(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.RunUntilConverged(90*time.Second, time.Hour); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTETunnelThroughEmulation(t *testing.T) {
+	e, err := New(Config{Topology: teTopo()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	convergeTE(t, e)
+	r1, _ := e.Router("r1")
+	if r1.MPLS == nil {
+		t.Fatal("MPLS engine not built")
+	}
+	lsp, ok := r1.MPLS.LSP("TO-R3@r1")
+	if !ok || !lsp.Up {
+		t.Fatalf("tunnel = %+v, %v", lsp, ok)
+	}
+	// The TE route must win the RIB for r3's loopback (distance 2 < 115).
+	rt, ok := r1.RIB().Get(pfx("1.1.1.3/32"))
+	if !ok || rt.Protocol != routing.ProtoTE {
+		t.Fatalf("route = %v, %v; want TE", rt, ok)
+	}
+	if len(rt.NextHops) != 1 || len(rt.NextHops[0].LabelStack) != 1 {
+		t.Errorf("TE route next hops = %v, want one labeled hop", rt.NextHops)
+	}
+	// The label must appear in the exported AFT entry.
+	a := r1.ExportAFT()
+	found := false
+	for _, entry := range a.IPv4Entries {
+		if entry.Prefix == "1.1.1.3/32" {
+			hops := a.GroupHops(entry.NextHopGroup)
+			if len(hops) == 1 && len(hops[0].PushedLabels) == 1 {
+				found = true
+			}
+		}
+	}
+	if !found {
+		t.Error("labeled AFT entry missing")
+	}
+	// Transit r2 must hold an ILM entry.
+	r2, _ := e.Router("r2")
+	if r2.MPLS == nil || len(r2.MPLS.CrossConnects()) == 0 {
+		t.Error("transit has no cross connects")
+	}
+
+	// Operator inspection renders the tunnel and the labeled route.
+	show := r1.ShowMPLSTunnels()
+	if !strings.Contains(show, "TO-R3@r1") || !strings.Contains(show, "up") {
+		t.Errorf("ShowMPLSTunnels:\n%s", show)
+	}
+	if !strings.Contains(r1.ShowIPRoute(), "label") {
+		t.Errorf("ShowIPRoute missing label:\n%s", r1.ShowIPRoute())
+	}
+	if !strings.Contains(r2.ShowMPLSTunnels(), "ILM") {
+		t.Errorf("transit ShowMPLSTunnels:\n%s", r2.ShowMPLSTunnels())
+	}
+}
+
+func TestTETunnelDownAfterPathLoss(t *testing.T) {
+	e, err := New(Config{Topology: teTopo()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	convergeTE(t, e)
+	r1, _ := e.Router("r1")
+	if rt, ok := r1.RIB().Get(pfx("1.1.1.3/32")); !ok || rt.Protocol != routing.ProtoTE {
+		t.Fatal("precondition: TE route absent")
+	}
+	// Cut the only path; RSVP soft state must eventually expire and the TE
+	// route be withdrawn (leaving nothing, since IS-IS also lost the path).
+	if err := e.SetLinkDown(topology.Endpoint{Node: "r2", Interface: "Ethernet2"}); err != nil {
+		t.Fatal(err)
+	}
+	// Soft-state expiry takes up to two lifetimes plus hold detection.
+	e.Sim().RunFor(15 * time.Minute)
+	if rt, ok := r1.RIB().Get(pfx("1.1.1.3/32")); ok && rt.Protocol == routing.ProtoTE {
+		t.Errorf("TE route survived path loss: %v", rt)
+	}
+	lsp, _ := r1.MPLS.LSP("TO-R3@r1")
+	if lsp.Up {
+		t.Error("tunnel still up after path loss")
+	}
+}

@@ -1,0 +1,244 @@
+// Package kube models the Kubernetes substrate the paper's prototype runs
+// on: a cluster of worker nodes with vCPU/memory capacity, pods with
+// resource requests, a bin-packing scheduler, and pod lifecycle with boot
+// times on a simulated clock. It exists to reproduce the paper's scaling
+// arithmetic — 60 half-vCPU routers on one 32-vCPU machine, 1,000 devices
+// on a 17-node cluster — and the 12–17 minute infrastructure startup.
+package kube
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"mfv/internal/sim"
+)
+
+// MilliCPU expresses CPU in thousandths of a core (Kubernetes convention).
+type MilliCPU int64
+
+// MiB expresses memory in mebibytes.
+type MiB int64
+
+// NodeSpec describes a worker machine shape.
+type NodeSpec struct {
+	Name   string
+	CPU    MilliCPU
+	Memory MiB
+}
+
+// E2Standard32 is the paper's evaluation machine: 32 vCPU, 128 GB.
+func E2Standard32(name string) NodeSpec {
+	return NodeSpec{Name: name, CPU: 32000, Memory: 128 * 1024}
+}
+
+// PodSpec describes one pod's resource request and boot behaviour.
+type PodSpec struct {
+	Name string
+	CPU  MilliCPU
+	Mem  MiB
+	// BootTime is how long the pod takes from scheduling to Ready.
+	BootTime time.Duration
+}
+
+// AristaCEOSRequest is the per-router request the paper reports for cEOS:
+// 0.5 vCPU and 1 GB of RAM.
+func AristaCEOSRequest(name string, boot time.Duration) PodSpec {
+	return PodSpec{Name: name, CPU: 500, Mem: 1024, BootTime: boot}
+}
+
+// Phase is a pod lifecycle phase.
+type Phase uint8
+
+// Pod phases.
+const (
+	PodPending Phase = iota
+	PodScheduled
+	PodRunning
+)
+
+// String renders the phase.
+func (p Phase) String() string {
+	switch p {
+	case PodPending:
+		return "Pending"
+	case PodScheduled:
+		return "Scheduled"
+	case PodRunning:
+		return "Running"
+	default:
+		return fmt.Sprintf("Phase(%d)", uint8(p))
+	}
+}
+
+// Pod is a scheduled workload instance.
+type Pod struct {
+	Spec  PodSpec
+	Node  string
+	Phase Phase
+	// ReadyAt is the virtual time the pod became Running.
+	ReadyAt time.Duration
+}
+
+type node struct {
+	spec    NodeSpec
+	cpuUsed MilliCPU
+	memUsed MiB
+	pods    int
+}
+
+// Cluster is the scheduling domain.
+type Cluster struct {
+	clock *sim.Simulator
+	nodes []*node
+	pods  map[string]*Pod
+	// onReady fires when a pod transitions to Running.
+	onReady func(*Pod)
+}
+
+// NewCluster builds a cluster from node specs.
+func NewCluster(clock *sim.Simulator, specs ...NodeSpec) *Cluster {
+	c := &Cluster{clock: clock, pods: map[string]*Pod{}}
+	for _, s := range specs {
+		c.nodes = append(c.nodes, &node{spec: s})
+	}
+	return c
+}
+
+// OnPodReady registers the ready callback.
+func (c *Cluster) OnPodReady(fn func(*Pod)) { c.onReady = fn }
+
+// Nodes returns the node names.
+func (c *Cluster) Nodes() []string {
+	out := make([]string, len(c.nodes))
+	for i, n := range c.nodes {
+		out[i] = n.spec.Name
+	}
+	return out
+}
+
+// Schedule places a pod using best-fit-decreasing on CPU: the feasible node
+// with the least remaining CPU after placement wins (dense packing, like the
+// default scheduler's MostAllocated strategy for batch emulation jobs). It
+// returns an error when no node fits.
+func (c *Cluster) Schedule(spec PodSpec) (*Pod, error) {
+	if _, exists := c.pods[spec.Name]; exists {
+		return nil, fmt.Errorf("kube: pod %q already exists", spec.Name)
+	}
+	var best *node
+	for _, n := range c.nodes {
+		if n.cpuUsed+spec.CPU > n.spec.CPU || n.memUsed+spec.Mem > n.spec.Memory {
+			continue
+		}
+		if best == nil {
+			best = n
+			continue
+		}
+		remBest := best.spec.CPU - best.cpuUsed - spec.CPU
+		remN := n.spec.CPU - n.cpuUsed - spec.CPU
+		if remN < remBest || (remN == remBest && n.spec.Name < best.spec.Name) {
+			best = n
+		}
+	}
+	if best == nil {
+		return nil, fmt.Errorf("kube: no node can fit pod %q (%dm CPU, %d MiB)", spec.Name, spec.CPU, spec.Mem)
+	}
+	best.cpuUsed += spec.CPU
+	best.memUsed += spec.Mem
+	best.pods++
+	pod := &Pod{Spec: spec, Node: best.spec.Name, Phase: PodScheduled}
+	c.pods[spec.Name] = pod
+	c.clock.After(spec.BootTime, func() {
+		pod.Phase = PodRunning
+		pod.ReadyAt = c.clock.Now()
+		if c.onReady != nil {
+			c.onReady(pod)
+		}
+	})
+	return pod, nil
+}
+
+// Delete removes a pod and releases its resources.
+func (c *Cluster) Delete(name string) error {
+	pod, ok := c.pods[name]
+	if !ok {
+		return fmt.Errorf("kube: no pod %q", name)
+	}
+	for _, n := range c.nodes {
+		if n.spec.Name == pod.Node {
+			n.cpuUsed -= pod.Spec.CPU
+			n.memUsed -= pod.Spec.Mem
+			n.pods--
+		}
+	}
+	delete(c.pods, name)
+	return nil
+}
+
+// Pod returns the named pod.
+func (c *Cluster) Pod(name string) (*Pod, bool) {
+	p, ok := c.pods[name]
+	return p, ok
+}
+
+// Pods returns all pods sorted by name.
+func (c *Cluster) Pods() []*Pod {
+	out := make([]*Pod, 0, len(c.pods))
+	for _, p := range c.pods {
+		out = append(out, p)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Spec.Name < out[j].Spec.Name })
+	return out
+}
+
+// AllRunning reports whether every pod has reached Running.
+func (c *Cluster) AllRunning() bool {
+	for _, p := range c.pods {
+		if p.Phase != PodRunning {
+			return false
+		}
+	}
+	return true
+}
+
+// NodeUtilization reports a node's used/total CPU and memory.
+type NodeUtilization struct {
+	Name     string
+	CPUUsed  MilliCPU
+	CPUTotal MilliCPU
+	MemUsed  MiB
+	MemTotal MiB
+	PodCount int
+}
+
+// Utilization returns per-node utilization sorted by node name.
+func (c *Cluster) Utilization() []NodeUtilization {
+	out := make([]NodeUtilization, 0, len(c.nodes))
+	for _, n := range c.nodes {
+		out = append(out, NodeUtilization{
+			Name:     n.spec.Name,
+			CPUUsed:  n.cpuUsed,
+			CPUTotal: n.spec.CPU,
+			MemUsed:  n.memUsed,
+			MemTotal: n.spec.Memory,
+			PodCount: n.pods,
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// Capacity returns how many pods of the given spec fit on an empty cluster
+// of these nodes — the paper's static scaling arithmetic.
+func Capacity(specs []NodeSpec, pod PodSpec) int {
+	total := 0
+	for _, n := range specs {
+		byCPU := int(n.CPU / pod.CPU)
+		byMem := int(n.Memory / pod.Mem)
+		if byMem < byCPU {
+			byCPU = byMem
+		}
+		total += byCPU
+	}
+	return total
+}

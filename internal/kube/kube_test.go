@@ -1,0 +1,181 @@
+package kube
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"mfv/internal/sim"
+)
+
+func TestCapacityPaperArithmetic(t *testing.T) {
+	// The paper: 0.5 vCPU + 1 GB per Arista container, e2-standard-32 with
+	// 32 vCPU / 128 GB → about 60 routers per machine (CPU-bound: 64 by
+	// CPU, the paper observed 60 with system overhead).
+	pod := AristaCEOSRequest("r", time.Minute)
+	got := Capacity([]NodeSpec{E2Standard32("n1")}, pod)
+	if got != 64 {
+		t.Errorf("Capacity = %d, want 64 (raw CPU bound)", got)
+	}
+}
+
+func TestScheduleAndBoot(t *testing.T) {
+	s := sim.New(1)
+	c := NewCluster(s, E2Standard32("n1"))
+	var ready []string
+	c.OnPodReady(func(p *Pod) { ready = append(ready, p.Spec.Name) })
+	pod, err := c.Schedule(AristaCEOSRequest("r1", 90*time.Second))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pod.Phase != PodScheduled || pod.Node != "n1" {
+		t.Errorf("pod = %+v", pod)
+	}
+	s.RunFor(89 * time.Second)
+	if pod.Phase == PodRunning {
+		t.Error("pod ready before boot time")
+	}
+	s.RunFor(2 * time.Second)
+	if pod.Phase != PodRunning || len(ready) != 1 {
+		t.Errorf("pod = %+v, ready = %v", pod, ready)
+	}
+	if pod.ReadyAt != 90*time.Second {
+		t.Errorf("ReadyAt = %v", pod.ReadyAt)
+	}
+	if !c.AllRunning() {
+		t.Error("AllRunning false with all pods running")
+	}
+}
+
+func TestScheduleRejectsWhenFull(t *testing.T) {
+	s := sim.New(1)
+	c := NewCluster(s, NodeSpec{Name: "tiny", CPU: 1000, Memory: 2048})
+	if _, err := c.Schedule(PodSpec{Name: "a", CPU: 600, Mem: 512}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Schedule(PodSpec{Name: "b", CPU: 600, Mem: 512}); err == nil {
+		t.Error("overcommit accepted")
+	}
+	// Memory bound too.
+	if _, err := c.Schedule(PodSpec{Name: "c", CPU: 100, Mem: 4096}); err == nil {
+		t.Error("memory overcommit accepted")
+	}
+}
+
+func TestScheduleDuplicateName(t *testing.T) {
+	s := sim.New(1)
+	c := NewCluster(s, E2Standard32("n1"))
+	c.Schedule(PodSpec{Name: "a", CPU: 100, Mem: 100})
+	if _, err := c.Schedule(PodSpec{Name: "a", CPU: 100, Mem: 100}); err == nil ||
+		!strings.Contains(err.Error(), "already exists") {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestDeleteReleasesResources(t *testing.T) {
+	s := sim.New(1)
+	c := NewCluster(s, NodeSpec{Name: "n1", CPU: 1000, Memory: 1024})
+	c.Schedule(PodSpec{Name: "a", CPU: 1000, Mem: 1024})
+	if _, err := c.Schedule(PodSpec{Name: "b", CPU: 1000, Mem: 1024}); err == nil {
+		t.Fatal("full node accepted second pod")
+	}
+	if err := c.Delete("a"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Schedule(PodSpec{Name: "b", CPU: 1000, Mem: 1024}); err != nil {
+		t.Errorf("free capacity not reusable: %v", err)
+	}
+	if err := c.Delete("ghost"); err == nil {
+		t.Error("deleting unknown pod succeeded")
+	}
+}
+
+func TestBinPackingDensity(t *testing.T) {
+	// Best-fit should fill node A completely before spilling to B.
+	s := sim.New(1)
+	c := NewCluster(s,
+		NodeSpec{Name: "a", CPU: 2000, Memory: 8192},
+		NodeSpec{Name: "b", CPU: 2000, Memory: 8192})
+	for i := 0; i < 4; i++ {
+		if _, err := c.Schedule(PodSpec{Name: fmt.Sprintf("p%d", i), CPU: 500, Mem: 512}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	util := c.Utilization()
+	if util[0].PodCount != 4 || util[1].PodCount != 0 {
+		t.Errorf("packing spread pods: %+v", util)
+	}
+}
+
+func TestSixtyRoutersOnOneNode(t *testing.T) {
+	// The paper's single-machine experiment: 60 routers on one
+	// e2-standard-32.
+	s := sim.New(1)
+	c := NewCluster(s, E2Standard32("n1"))
+	for i := 0; i < 60; i++ {
+		if _, err := c.Schedule(AristaCEOSRequest(fmt.Sprintf("r%d", i), time.Minute)); err != nil {
+			t.Fatalf("router %d did not fit: %v", i, err)
+		}
+	}
+	util := c.Utilization()[0]
+	if util.CPUUsed != 30000 {
+		t.Errorf("CPU used = %dm, want 30000m", util.CPUUsed)
+	}
+	if util.MemUsed != 60*1024 {
+		t.Errorf("Mem used = %d MiB, want %d", util.MemUsed, 60*1024)
+	}
+	s.Run()
+	if !c.AllRunning() {
+		t.Error("pods did not all boot")
+	}
+}
+
+func TestThousandPodsOnSeventeenNodes(t *testing.T) {
+	// The paper's cluster experiment: 1,000 devices on a 17-node cluster.
+	s := sim.New(1)
+	specs := make([]NodeSpec, 17)
+	for i := range specs {
+		specs[i] = E2Standard32(fmt.Sprintf("n%d", i))
+	}
+	c := NewCluster(s, specs...)
+	for i := 0; i < 1000; i++ {
+		if _, err := c.Schedule(AristaCEOSRequest(fmt.Sprintf("r%d", i), time.Minute)); err != nil {
+			t.Fatalf("router %d did not fit: %v", i, err)
+		}
+	}
+	if got := len(c.Pods()); got != 1000 {
+		t.Errorf("pods = %d", got)
+	}
+	s.Run()
+	if !c.AllRunning() {
+		t.Error("cluster did not boot all pods")
+	}
+}
+
+func TestPhaseString(t *testing.T) {
+	if PodPending.String() != "Pending" || PodRunning.String() != "Running" ||
+		PodScheduled.String() != "Scheduled" || Phase(9).String() != "Phase(9)" {
+		t.Error("Phase.String wrong")
+	}
+}
+
+func TestPodsSortedAndLookup(t *testing.T) {
+	s := sim.New(1)
+	c := NewCluster(s, E2Standard32("n1"))
+	c.Schedule(PodSpec{Name: "z", CPU: 1, Mem: 1})
+	c.Schedule(PodSpec{Name: "a", CPU: 1, Mem: 1})
+	pods := c.Pods()
+	if pods[0].Spec.Name != "a" || pods[1].Spec.Name != "z" {
+		t.Error("Pods not sorted")
+	}
+	if _, ok := c.Pod("a"); !ok {
+		t.Error("Pod lookup failed")
+	}
+	if _, ok := c.Pod("nope"); ok {
+		t.Error("ghost pod found")
+	}
+	if len(c.Nodes()) != 1 || c.Nodes()[0] != "n1" {
+		t.Errorf("Nodes = %v", c.Nodes())
+	}
+}

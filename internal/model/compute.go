@@ -1,0 +1,612 @@
+package model
+
+import (
+	"fmt"
+	"net/netip"
+	"sort"
+
+	"mfv/internal/aft"
+	"mfv/internal/topology"
+)
+
+// Result is the output of a model-based run: the computed dataplanes plus
+// the parsing-coverage report.
+type Result struct {
+	AFTs     map[string]*aft.AFT
+	Coverage map[string]Coverage
+}
+
+// Run executes the model-based pipeline over a topology: partial parsing,
+// then a synchronous control-plane fixed point, then AFT export. Devices in
+// dialects the model has no parser for (everything but the EOS-like one)
+// fail the parsing phase entirely — as the paper observed with production
+// configurations — and produce empty dataplanes.
+func Run(topo *topology.Topology) (*Result, error) {
+	if err := topo.Validate(); err != nil {
+		return nil, err
+	}
+	res := &Result{AFTs: map[string]*aft.AFT{}, Coverage: map[string]Coverage{}}
+	devs := map[string]*devConfig{}
+	for i := range topo.Nodes {
+		n := &topo.Nodes[i]
+		if n.Vendor != topology.VendorEOS {
+			// No parser for this vendor: every line is unrecognized.
+			cov := Coverage{Device: n.Name}
+			for num, line := range nonCommentLines(n.Config) {
+				cov.TotalLines++
+				cov.Unrecognized = append(cov.Unrecognized,
+					Warning{Line: num, Text: line, Why: "no parser for vendor " + string(n.Vendor)})
+			}
+			res.Coverage[n.Name] = cov
+			devs[n.Name] = &devConfig{name: n.Name, interfaces: map[string]*mIface{}}
+			continue
+		}
+		dev, cov := parseDevice(n.Name, n.Config)
+		devs[n.Name] = dev
+		res.Coverage[n.Name] = cov
+	}
+
+	c := newComputation(topo, devs)
+	c.run()
+	for name := range devs {
+		res.AFTs[name] = c.export(name)
+	}
+	return res, nil
+}
+
+func nonCommentLines(src string) map[int]string {
+	out := map[int]string{}
+	num := 0
+	for _, raw := range splitLines(src) {
+		num++
+		t := trimSpace(raw)
+		if t == "" || t[0] == '!' || t[0] == '#' {
+			continue
+		}
+		out[num] = t
+	}
+	return out
+}
+
+func splitLines(s string) []string {
+	var out []string
+	cur := ""
+	for _, c := range s {
+		if c == '\n' {
+			out = append(out, cur)
+			cur = ""
+			continue
+		}
+		cur += string(c)
+	}
+	return append(out, cur)
+}
+
+func trimSpace(s string) string {
+	start, end := 0, len(s)
+	for start < end && (s[start] == ' ' || s[start] == '\t' || s[start] == '\r') {
+		start++
+	}
+	for end > start && (s[end-1] == ' ' || s[end-1] == '\t' || s[end-1] == '\r') {
+		end--
+	}
+	return s[start:end]
+}
+
+// mRoute is one model RIB entry.
+type mRoute struct {
+	prefix  netip.Prefix
+	proto   string // "connected", "local", "static", "isis", "bgp"
+	metric  uint32
+	nextHop netip.Addr // invalid for connected/local
+	egress  string     // interface for connected/local/isis
+	drop    bool
+	receive bool
+	// BGP arbitration fields.
+	asPathLen int
+	fromIBGP  bool
+}
+
+type computation struct {
+	topo *topology.Topology
+	devs map[string]*devConfig
+	// ribs[device][prefix] = chosen route (per-protocol arbitration is
+	// folded into install order: connected > static > isis > bgp).
+	ribs map[string]map[netip.Prefix]*mRoute
+	// addrOwner maps addresses to (device, interface).
+	addrOwner map[netip.Addr]ownerRef
+}
+
+type ownerRef struct {
+	dev  string
+	intf string
+}
+
+func newComputation(topo *topology.Topology, devs map[string]*devConfig) *computation {
+	c := &computation{
+		topo:      topo,
+		devs:      devs,
+		ribs:      map[string]map[netip.Prefix]*mRoute{},
+		addrOwner: map[netip.Addr]ownerRef{},
+	}
+	for name := range devs {
+		c.ribs[name] = map[netip.Prefix]*mRoute{}
+	}
+	return c
+}
+
+func (c *computation) devNames() []string {
+	out := make([]string, 0, len(c.devs))
+	for name := range c.devs {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func (c *computation) run() {
+	c.installConnected()
+	c.installStatics()
+	c.runISIS()
+	c.runBGP()
+}
+
+func (c *computation) installConnected() {
+	for _, name := range c.devNames() {
+		dev := c.devs[name]
+		for _, ifName := range dev.order {
+			intf := dev.interfaces[ifName]
+			if intf.shut || !intf.routed {
+				continue
+			}
+			for _, p := range intf.addrs {
+				c.ribs[name][p.Masked()] = &mRoute{
+					prefix: p.Masked(), proto: "connected", egress: ifName,
+				}
+				host := netip.PrefixFrom(p.Addr(), 32)
+				c.ribs[name][host] = &mRoute{prefix: host, proto: "local", receive: true}
+				c.addrOwner[p.Addr()] = ownerRef{dev: name, intf: ifName}
+			}
+		}
+	}
+}
+
+func (c *computation) installStatics() {
+	for _, name := range c.devNames() {
+		for _, st := range c.devs[name].statics {
+			if _, exists := c.ribs[name][st.prefix]; exists {
+				continue // connected wins
+			}
+			c.ribs[name][st.prefix] = &mRoute{
+				prefix: st.prefix, proto: "static", nextHop: st.nextHop, drop: st.drop,
+			}
+		}
+	}
+}
+
+// isisEdge is a usable adjacency in the model's IGP graph.
+type isisEdge struct {
+	to      string
+	nextHop netip.Addr // neighbor's interface address
+	egress  string     // our interface
+}
+
+// runISIS builds the model's IGP graph and computes SPF per device. The
+// model's auto-inclusion assumption: every routed, addressed, non-loopback
+// interface of a device running "router isis" is an IS-IS circuit with
+// metric 10. (This is where the Fig. 3 divergence materializes: an address
+// dropped by the ordering assumption removes the circuit entirely.)
+func (c *computation) runISIS() {
+	edges := map[string][]isisEdge{}
+	for _, l := range c.topo.Links {
+		a, z := l.A, l.Z
+		ea, okA := c.circuitAddr(a)
+		ez, okZ := c.circuitAddr(z)
+		if !okA || !okZ {
+			continue
+		}
+		edges[a.Node] = append(edges[a.Node], isisEdge{to: z.Node, nextHop: ez, egress: a.Interface})
+		edges[z.Node] = append(edges[z.Node], isisEdge{to: a.Node, nextHop: ea, egress: z.Interface})
+	}
+	for _, src := range c.devNames() {
+		if !c.devs[src].isis {
+			continue
+		}
+		dist := map[string]uint32{src: 0}
+		first := map[string]isisEdge{}
+		visited := map[string]bool{}
+		for {
+			cur, ok := minUnvisited(dist, visited)
+			if !ok {
+				break
+			}
+			visited[cur] = true
+			for _, e := range edges[cur] {
+				if !c.devs[e.to].isis {
+					continue
+				}
+				nd := dist[cur] + 10
+				if old, seen := dist[e.to]; !seen || nd < old {
+					dist[e.to] = nd
+					if cur == src {
+						first[e.to] = e
+					} else {
+						first[e.to] = first[cur]
+					}
+				}
+			}
+		}
+		for dst, d := range dist {
+			if dst == src {
+				continue
+			}
+			fe := first[dst]
+			for _, ifName := range c.devs[dst].order {
+				intf := c.devs[dst].interfaces[ifName]
+				if intf.shut || !intf.routed {
+					continue
+				}
+				for _, p := range intf.addrs {
+					masked := p.Masked()
+					if have, exists := c.ribs[src][masked]; exists {
+						if have.proto != "isis" || have.metric <= d {
+							continue
+						}
+					}
+					c.ribs[src][masked] = &mRoute{
+						prefix: masked, proto: "isis", metric: d,
+						nextHop: fe.nextHop, egress: fe.egress,
+					}
+				}
+			}
+		}
+	}
+}
+
+// circuitAddr returns the interface address if the endpoint is a usable
+// IS-IS circuit in the model's view.
+func (c *computation) circuitAddr(ep topology.Endpoint) (netip.Addr, bool) {
+	dev, ok := c.devs[ep.Node]
+	if !ok || !dev.isis {
+		return netip.Addr{}, false
+	}
+	intf, ok := dev.interfaces[ep.Interface]
+	if !ok || intf.shut || !intf.routed || len(intf.addrs) == 0 {
+		return netip.Addr{}, false
+	}
+	return intf.addrs[0].Addr(), true
+}
+
+func minUnvisited(dist map[string]uint32, visited map[string]bool) (string, bool) {
+	best, found := "", false
+	for n, d := range dist {
+		if visited[n] {
+			continue
+		}
+		if !found || d < dist[best] || (d == dist[best] && n < best) {
+			best, found = n, true
+		}
+	}
+	return best, found
+}
+
+// bgpPath is one candidate in the synchronous BGP fixed point.
+type bgpPath struct {
+	prefix   netip.Prefix
+	asPath   []uint32
+	nextHop  netip.Addr
+	fromIBGP bool
+	local    bool
+	fromRID  netip.Addr
+}
+
+type bgpSession struct {
+	a, b             string // device names
+	aAddr, bAddr     netip.Addr
+	ibgp             bool
+	aNHSelf, bNHSelf bool
+}
+
+// runBGP runs a simplified synchronous route exchange to a fixed point.
+func (c *computation) runBGP() {
+	sessions := c.bgpSessions()
+	// locRIB[device][prefix] = best path.
+	loc := map[string]map[netip.Prefix]*bgpPath{}
+	for _, name := range c.devNames() {
+		loc[name] = map[netip.Prefix]*bgpPath{}
+		dev := c.devs[name]
+		if dev.bgp == nil {
+			continue
+		}
+		for _, p := range dev.bgp.networks {
+			loc[name][p] = &bgpPath{prefix: p, local: true}
+		}
+		for proto := range dev.bgp.redist {
+			for _, rt := range c.ribs[name] {
+				if rt.proto == proto {
+					if _, have := loc[name][rt.prefix]; !have {
+						loc[name][rt.prefix] = &bgpPath{prefix: rt.prefix, local: true}
+					}
+				}
+			}
+		}
+	}
+	for iter := 0; iter < 64; iter++ {
+		changed := false
+		for _, s := range sessions {
+			// a -> b: next-hop-self rewrites to a's session address.
+			if c.exchange(loc, s.a, s.b, s.aAddr, s.ibgp, s.aNHSelf) {
+				changed = true
+			}
+			if c.exchange(loc, s.b, s.a, s.bAddr, s.ibgp, s.bNHSelf) {
+				changed = true
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+	// Install winners.
+	for _, name := range c.devNames() {
+		for prefix, p := range loc[name] {
+			if p.local {
+				continue
+			}
+			if have, exists := c.ribs[name][prefix]; exists && have.proto != "bgp" {
+				continue // lower admin distance wins
+			}
+			c.ribs[name][prefix] = &mRoute{
+				prefix: prefix, proto: "bgp", nextHop: p.nextHop,
+				asPathLen: len(p.asPath), fromIBGP: p.fromIBGP,
+			}
+		}
+	}
+}
+
+// bgpSessions derives sessions from configuration. Reference-model
+// assumption: a session exists whenever both sides configure each other
+// with matching AS numbers — TCP reachability is NOT modeled.
+func (c *computation) bgpSessions() []bgpSession {
+	var out []bgpSession
+	for _, aName := range c.devNames() {
+		a := c.devs[aName]
+		if a.bgp == nil {
+			continue
+		}
+		for _, nAddr := range a.bgp.order {
+			n := a.bgp.neighbors[nAddr]
+			owner, ok := c.addrOwner[n.addr]
+			if !ok || owner.dev == aName {
+				continue
+			}
+			if owner.dev < aName {
+				continue // each pair is derived once, from the smaller name
+			}
+			b := c.devs[owner.dev]
+			if b.bgp == nil || b.bgp.asn != n.remoteAS {
+				continue
+			}
+			// Find b's reciprocal neighbor entry pointing at one of a's
+			// addresses.
+			var bAddrLocal netip.Addr
+			var bNH bool
+			recip := false
+			for _, bn := range b.bgp.neighbors {
+				if o, ok := c.addrOwner[bn.addr]; ok && o.dev == aName && bn.remoteAS == a.bgp.asn {
+					recip = true
+					bAddrLocal = bn.addr // address on a that b peers with
+					bNH = bn.nextHopSelf
+					break
+				}
+			}
+			if !recip {
+				continue
+			}
+			out = append(out, bgpSession{
+				a: aName, b: owner.dev,
+				aAddr: bAddrLocal, bAddr: n.addr,
+				ibgp:    a.bgp.asn == b.bgp.asn,
+				aNHSelf: n.nextHopSelf, bNHSelf: bNH,
+			})
+		}
+	}
+	return out
+}
+
+// exchange advertises from's best paths to to; returns true on any change.
+// fromAddr is from's session address (the next-hop-self / eBGP next hop).
+func (c *computation) exchange(loc map[string]map[netip.Prefix]*bgpPath, from, to string, fromAddr netip.Addr, ibgp, nhSelf bool) bool {
+	fromASN := c.devs[from].bgp.asn
+	changed := false
+	prefixes := make([]netip.Prefix, 0, len(loc[from]))
+	for p := range loc[from] {
+		prefixes = append(prefixes, p)
+	}
+	sort.Slice(prefixes, func(i, j int) bool {
+		if prefixes[i].Addr() != prefixes[j].Addr() {
+			return prefixes[i].Addr().Less(prefixes[j].Addr())
+		}
+		return prefixes[i].Bits() < prefixes[j].Bits()
+	})
+	for _, prefix := range prefixes {
+		p := loc[from][prefix]
+		// iBGP split horizon.
+		if p.fromIBGP && ibgp {
+			continue
+		}
+		adv := &bgpPath{prefix: prefix, fromIBGP: ibgp, fromRID: ridOf(c.devs[from])}
+		if ibgp {
+			adv.asPath = p.asPath
+			adv.nextHop = p.nextHop
+			if p.local || nhSelf || !adv.nextHop.IsValid() {
+				adv.nextHop = fromAddr
+			}
+		} else {
+			adv.asPath = append([]uint32{fromASN}, p.asPath...)
+			adv.nextHop = fromAddr
+			// Loop check.
+			toASN := c.devs[to].bgp.asn
+			looped := false
+			for _, as := range adv.asPath {
+				if as == toASN {
+					looped = true
+					break
+				}
+			}
+			if looped {
+				continue
+			}
+		}
+		have, exists := loc[to][prefix]
+		if !exists || betterModelPath(adv, have) {
+			if exists && samePath(adv, have) {
+				continue
+			}
+			loc[to][prefix] = adv
+			changed = true
+		}
+	}
+	return changed
+}
+
+func ridOf(d *devConfig) netip.Addr {
+	if d.bgp != nil && d.bgp.routerID.IsValid() {
+		return d.bgp.routerID
+	}
+	return netip.Addr{}
+}
+
+func samePath(a, b *bgpPath) bool {
+	if a.nextHop != b.nextHop || a.fromIBGP != b.fromIBGP || len(a.asPath) != len(b.asPath) {
+		return false
+	}
+	for i := range a.asPath {
+		if a.asPath[i] != b.asPath[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// betterModelPath is the model's simplified decision process: local wins,
+// shorter AS path, eBGP over iBGP, lower advertising router ID.
+func betterModelPath(a, b *bgpPath) bool {
+	if b.local {
+		return false
+	}
+	if a.local {
+		return true
+	}
+	if len(a.asPath) != len(b.asPath) {
+		return len(a.asPath) < len(b.asPath)
+	}
+	if a.fromIBGP != b.fromIBGP {
+		return !a.fromIBGP
+	}
+	if a.fromRID != b.fromRID {
+		if !b.fromRID.IsValid() {
+			return true
+		}
+		if !a.fromRID.IsValid() {
+			return false
+		}
+		return a.fromRID.Less(b.fromRID)
+	}
+	return false
+}
+
+// export renders a device's model RIB as an AFT.
+func (c *computation) export(name string) *aft.AFT {
+	b := aft.NewBuilder(name)
+	rib := c.ribs[name]
+	prefixes := make([]netip.Prefix, 0, len(rib))
+	for p := range rib {
+		prefixes = append(prefixes, p)
+	}
+	sort.Slice(prefixes, func(i, j int) bool {
+		if prefixes[i].Addr() != prefixes[j].Addr() {
+			return prefixes[i].Addr().Less(prefixes[j].Addr())
+		}
+		return prefixes[i].Bits() < prefixes[j].Bits()
+	})
+	for _, prefix := range prefixes {
+		rt := rib[prefix]
+		nh, ok := c.resolve(name, rt, 0)
+		if !ok {
+			continue
+		}
+		idx := b.AddNextHop(nh)
+		b.AddIPv4(prefix, b.AddGroup([]uint64{idx}), rt.proto, rt.metric)
+	}
+	return b.Build()
+}
+
+// resolve maps a model route to a concrete AFT next hop.
+func (c *computation) resolve(dev string, rt *mRoute, depth int) (aft.NextHop, bool) {
+	if depth > 4 {
+		return aft.NextHop{}, false
+	}
+	switch {
+	case rt.receive:
+		return aft.NextHop{Receive: true}, true
+	case rt.drop:
+		return aft.NextHop{Drop: true}, true
+	case rt.egress != "":
+		nh := aft.NextHop{Interface: rt.egress}
+		if rt.nextHop.IsValid() {
+			nh.IPAddress = rt.nextHop.String()
+		}
+		return nh, true
+	case rt.nextHop.IsValid():
+		// Recursive resolution through the model RIB.
+		via, ok := c.lookup(dev, rt.nextHop)
+		if !ok {
+			return aft.NextHop{}, false
+		}
+		inner, ok := c.resolve(dev, via, depth+1)
+		if !ok {
+			return aft.NextHop{}, false
+		}
+		if via.proto == "connected" {
+			inner.IPAddress = rt.nextHop.String()
+		}
+		if inner.Receive {
+			return aft.NextHop{}, false // next hop is ourselves: nonsense
+		}
+		return inner, true
+	default:
+		return aft.NextHop{}, false
+	}
+}
+
+// lookup is a longest-prefix match over the model RIB.
+func (c *computation) lookup(dev string, a netip.Addr) (*mRoute, bool) {
+	var best *mRoute
+	for _, rt := range c.ribs[dev] {
+		if rt.prefix.Contains(a) {
+			if best == nil || rt.prefix.Bits() > best.prefix.Bits() {
+				best = rt
+			}
+		}
+	}
+	if best == nil {
+		return nil, false
+	}
+	return best, true
+}
+
+// CoverageSummary formats per-device coverage like the paper reports it.
+func (r *Result) CoverageSummary() string {
+	var b []byte
+	names := make([]string, 0, len(r.Coverage))
+	for n := range r.Coverage {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		cov := r.Coverage[n]
+		b = append(b, fmt.Sprintf("%-10s total=%3d unrecognized=%3d ignored=%2d\n",
+			n, cov.TotalLines, len(cov.Unrecognized), len(cov.Ignored))...)
+	}
+	return string(b)
+}

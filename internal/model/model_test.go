@@ -1,0 +1,283 @@
+package model
+
+import (
+	"net/netip"
+	"strings"
+	"testing"
+
+	"mfv/internal/topology"
+	"mfv/internal/verify"
+)
+
+func addr(s string) netip.Addr { return netip.MustParseAddr(s) }
+
+// fig3Router builds the Fig. 3-style config for router i of a 3-node line:
+// loopback 2.2.2.i/32, IS-IS everywhere, and crucially "ip address" BEFORE
+// "no switchport" on Ethernet interfaces.
+func fig3Router(i int, left, right bool) string {
+	var b strings.Builder
+	b.WriteString("router isis default\n")
+	b.WriteString("   net 49.0001.1010.1040.10" + string(rune('2'+i)) + "0.00\n")
+	b.WriteString("   address-family ipv4 unicast\n")
+	b.WriteString("interface Loopback0\n")
+	b.WriteString("   ip address 2.2.2." + string(rune('0'+i)) + "/32\n")
+	b.WriteString("   isis enable default\n")
+	b.WriteString("   isis passive-interface default\n")
+	if left {
+		b.WriteString("interface Ethernet1\n")
+		b.WriteString("   ip address 100.64." + string(rune('0'+i-1)) + ".1/31\n")
+		b.WriteString("   no switchport\n")
+		b.WriteString("   isis enable default\n")
+	}
+	if right {
+		eth := "Ethernet2"
+		if !left {
+			eth = "Ethernet1"
+		}
+		b.WriteString("interface " + eth + "\n")
+		b.WriteString("   ip address 100.64." + string(rune('0'+i)) + ".0/31\n")
+		b.WriteString("   no switchport\n")
+		b.WriteString("   isis enable default\n")
+	}
+	return b.String()
+}
+
+func fig3Topology() *topology.Topology {
+	topo := topology.Line(3, topology.VendorEOS)
+	topo.Nodes[0].Config = fig3Router(1, false, true)
+	topo.Nodes[1].Config = fig3Router(2, true, true)
+	topo.Nodes[2].Config = fig3Router(3, true, false)
+	return topo
+}
+
+func TestParserOrderingAssumption(t *testing.T) {
+	cfg := "interface Ethernet2\n   ip address 100.64.0.1/31\n   no switchport\n"
+	dev, cov := parseDevice("r1", cfg)
+	intf := dev.interfaces["Ethernet2"]
+	if intf == nil {
+		t.Fatal("interface not parsed")
+	}
+	if len(intf.addrs) != 0 {
+		t.Errorf("address survived despite ordering assumption: %v", intf.addrs)
+	}
+	if len(cov.Ignored) != 1 || !strings.Contains(cov.Ignored[0].Why, "ordering assumption") {
+		t.Errorf("Ignored = %+v", cov.Ignored)
+	}
+	// Correct order parses fine.
+	dev2, cov2 := parseDevice("r1", "interface Ethernet2\n   no switchport\n   ip address 100.64.0.1/31\n")
+	if len(dev2.interfaces["Ethernet2"].addrs) != 1 || len(cov2.Ignored) != 0 {
+		t.Errorf("correctly ordered config mangled: %+v", dev2.interfaces["Ethernet2"])
+	}
+}
+
+func TestParserLoopbackRoutedByDefault(t *testing.T) {
+	dev, cov := parseDevice("r1", "interface Loopback0\n   ip address 2.2.2.1/32\n")
+	if len(dev.interfaces["Loopback0"].addrs) != 1 {
+		t.Errorf("loopback address dropped: %+v; cov %+v", dev.interfaces["Loopback0"], cov)
+	}
+}
+
+func TestParserRejectsISISEnable(t *testing.T) {
+	_, cov := parseDevice("r1", "interface Loopback0\n   isis enable default\n")
+	if len(cov.Unrecognized) != 1 || !strings.Contains(cov.Unrecognized[0].Why, "invalid syntax") {
+		t.Errorf("Unrecognized = %+v", cov.Unrecognized)
+	}
+}
+
+func TestParserCountsManagementLines(t *testing.T) {
+	cfg := `daemon PowerManager
+   exec /usr/bin/powermanager
+daemon LedPolicy
+   exec /usr/bin/led
+management api gnmi
+   transport grpc default
+mpls ip
+ntp server 192.0.2.1
+service routing protocols model multi-agent
+hostname r1
+ip routing
+`
+	_, cov := parseDevice("r1", cfg)
+	if cov.TotalLines != 11 {
+		t.Errorf("TotalLines = %d, want 11", cov.TotalLines)
+	}
+	// Everything except hostname and ip routing is outside the model:
+	// daemon×2(+bodies×2), management(+body), mpls, ntp, service = 9.
+	if got := cov.UnrecognizedCount(); got != 9 {
+		for _, w := range cov.Unrecognized {
+			t.Logf("unrecognized: %q (%s)", w.Text, w.Why)
+		}
+		t.Errorf("UnrecognizedCount = %d, want 9", got)
+	}
+}
+
+func TestRunFig3ReproducesModelGap(t *testing.T) {
+	topo := fig3Topology()
+	res, err := Run(topo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every router should report the isis-enable rejections and address
+	// ordering drops.
+	for _, name := range []string{"r1", "r2", "r3"} {
+		cov := res.Coverage[name]
+		if cov.UnrecognizedCount() == 0 {
+			t.Errorf("%s: no unrecognized lines, want isis syntax rejections", name)
+		}
+		if len(cov.Ignored) == 0 {
+			t.Errorf("%s: no ignored lines, want ordering-assumption drops", name)
+		}
+	}
+	net, err := verify.NewNetwork(topo, res.AFTs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The model's dataplane must NOT have reachability from r2 to r1's
+	// loopback — the Ethernet addresses were dropped, so the model's IGP
+	// graph has no circuits at all.
+	if net.Reachable("r2", addr("2.2.2.1")) {
+		t.Error("model-based dataplane unexpectedly reaches r1 (ordering assumption not applied?)")
+	}
+	// Loopbacks still self-deliver.
+	if !net.Reachable("r1", addr("2.2.2.1")) {
+		t.Error("r1 cannot deliver its own loopback")
+	}
+}
+
+func TestRunCorrectlyOrderedConfigWorks(t *testing.T) {
+	// With "no switchport" first, the model's IGP works and r1 reaches r3.
+	topo := topology.Line(3, topology.VendorEOS)
+	mk := func(i int, left, right bool) string {
+		var b strings.Builder
+		b.WriteString("router isis default\n   net 49.0001.0000.0000.000" + string(rune('0'+i)) + ".00\n")
+		b.WriteString("interface Loopback0\n   ip address 2.2.2." + string(rune('0'+i)) + "/32\n")
+		if left {
+			b.WriteString("interface Ethernet1\n   no switchport\n   ip address 100.64." + string(rune('0'+i-1)) + ".1/31\n")
+		}
+		if right {
+			eth := "Ethernet2"
+			if !left {
+				eth = "Ethernet1"
+			}
+			b.WriteString("interface " + eth + "\n   no switchport\n   ip address 100.64." + string(rune('0'+i)) + ".0/31\n")
+		}
+		return b.String()
+	}
+	topo.Nodes[0].Config = mk(1, false, true)
+	topo.Nodes[1].Config = mk(2, true, true)
+	topo.Nodes[2].Config = mk(3, true, false)
+	res, err := Run(topo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	net, err := verify.NewNetwork(topo, res.AFTs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !net.Reachable("r1", addr("2.2.2.3")) {
+		t.Errorf("model IGP broken on well-ordered config; r1 AFT: %+v", res.AFTs["r1"].IPv4Entries)
+	}
+	if !net.Reachable("r3", addr("2.2.2.1")) {
+		t.Error("reverse path broken")
+	}
+}
+
+func TestRunModelBGP(t *testing.T) {
+	topo := topology.Line(2, topology.VendorEOS)
+	topo.Nodes[0].Config = `interface Loopback0
+   ip address 1.1.1.1/32
+interface Ethernet1
+   no switchport
+   ip address 100.64.0.0/31
+router bgp 65001
+   router-id 1.1.1.1
+   neighbor 100.64.0.1 remote-as 65002
+   network 1.1.1.1/32
+`
+	topo.Nodes[1].Config = `interface Loopback0
+   ip address 1.1.1.2/32
+interface Ethernet1
+   no switchport
+   ip address 100.64.0.1/31
+router bgp 65002
+   router-id 1.1.1.2
+   neighbor 100.64.0.0 remote-as 65001
+   network 1.1.1.2/32
+`
+	res, err := Run(topo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	net, err := verify.NewNetwork(topo, res.AFTs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !net.Reachable("r1", addr("1.1.1.2")) {
+		t.Errorf("model BGP did not propagate; r1 AFT: %+v", res.AFTs["r1"].IPv4Entries)
+	}
+	if !net.Reachable("r2", addr("1.1.1.1")) {
+		t.Error("reverse direction broken")
+	}
+}
+
+func TestRunUnknownVendorFailsParsing(t *testing.T) {
+	topo := topology.Line(2, topology.VendorEOS)
+	topo.Nodes[1].Vendor = topology.VendorJunosLike
+	topo.Nodes[0].Config = "hostname r1\n"
+	topo.Nodes[1].Config = "system { host-name r2; }\nprotocols { isis { net 49.0001.0000.0000.0002.00; } }\n"
+	res, err := Run(topo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cov := res.Coverage["r2"]
+	if cov.TotalLines == 0 || cov.UnrecognizedCount() != cov.TotalLines {
+		t.Errorf("junoslike coverage = %d/%d, want total parse failure",
+			cov.UnrecognizedCount(), cov.TotalLines)
+	}
+	if len(res.AFTs["r2"].IPv4Entries) != 0 {
+		t.Error("unparseable device produced forwarding state")
+	}
+}
+
+func TestRunStaticAndDropRoutes(t *testing.T) {
+	topo := topology.Line(1, topology.VendorEOS)
+	topo.Nodes[0].Config = `interface Ethernet1
+   no switchport
+   ip address 10.0.0.0/31
+ip route 0.0.0.0/0 10.0.0.1
+ip route 203.0.113.0/24 Null0
+`
+	res, err := Run(topo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := res.AFTs["r1"]
+	var sawDefault, sawDrop bool
+	for _, e := range a.IPv4Entries {
+		if e.Prefix == "0.0.0.0/0" {
+			sawDefault = true
+			hops := a.GroupHops(e.NextHopGroup)
+			if len(hops) != 1 || hops[0].Interface != "Ethernet1" {
+				t.Errorf("default route hops = %+v", hops)
+			}
+		}
+		if e.Prefix == "203.0.113.0/24" {
+			sawDrop = true
+			if !a.GroupHops(e.NextHopGroup)[0].Drop {
+				t.Error("Null0 route not a drop")
+			}
+		}
+	}
+	if !sawDefault || !sawDrop {
+		t.Errorf("AFT = %+v", a.IPv4Entries)
+	}
+}
+
+func TestCoverageSummary(t *testing.T) {
+	topo := fig3Topology()
+	res, _ := Run(topo)
+	s := res.CoverageSummary()
+	if !strings.Contains(s, "r1") || !strings.Contains(s, "unrecognized=") {
+		t.Errorf("summary = %q", s)
+	}
+}

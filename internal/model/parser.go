@@ -1,0 +1,362 @@
+// Package model implements the model-based control-plane verification
+// baseline — the role Batfish's parsing layer and Incremental Batfish
+// Dataplane (IBDP) play in the paper. It is a deliberately partial,
+// independent implementation:
+//
+//   - the parsing layer recognizes only a whitelist of statements and
+//     counts every line it cannot interpret (the paper's coverage
+//     experiment, E2, measures exactly this);
+//   - the control-plane model applies documented reference-model
+//     assumptions, most importantly the interface ordering assumption that
+//     an "ip address" is ignored unless the port was already configured as
+//     routed ("no switchport" first), and the rejection of the
+//     "isis enable <instance>" syntax — the two Fig. 3 issues;
+//   - route computation is a synchronous fixed-point over a simplified
+//     best-path model rather than a real distributed protocol exchange.
+//
+// Comparing this package's dataplanes against the emulation pipeline's
+// reproduces the paper's model-vs-model-free findings (E3).
+package model
+
+import (
+	"fmt"
+	"net/netip"
+	"strings"
+)
+
+// Warning is one diagnostic from the partial parser.
+type Warning struct {
+	Line int
+	Text string
+	Why  string
+}
+
+// Coverage summarizes how much of a config the model understood.
+type Coverage struct {
+	Device string
+	// TotalLines counts effective (non-blank, non-comment) lines.
+	TotalLines int
+	// Unrecognized lists lines the parsing layer could not interpret.
+	Unrecognized []Warning
+	// Ignored lists lines that were syntactically known but discarded by a
+	// model assumption (e.g. the switchport ordering rule).
+	Ignored []Warning
+}
+
+// UnrecognizedCount returns the number of unparsed lines.
+func (c Coverage) UnrecognizedCount() int { return len(c.Unrecognized) }
+
+// devConfig is the model's (partial) view of one device.
+type devConfig struct {
+	name       string
+	interfaces map[string]*mIface
+	order      []string
+	isis       bool
+	bgp        *mBGP
+	statics    []mStatic
+}
+
+type mIface struct {
+	name    string
+	routed  bool
+	addrs   []netip.Prefix
+	shut    bool
+	passive bool
+}
+
+type mBGP struct {
+	asn       uint32
+	routerID  netip.Addr
+	networks  []netip.Prefix
+	redist    map[string]bool
+	neighbors map[netip.Addr]*mNeighbor
+	order     []netip.Addr
+}
+
+type mNeighbor struct {
+	addr         netip.Addr
+	remoteAS     uint32
+	updateSource string
+	nextHopSelf  bool
+}
+
+type mStatic struct {
+	prefix  netip.Prefix
+	nextHop netip.Addr
+	drop    bool
+}
+
+func (d *devConfig) iface(name string) *mIface {
+	if i, ok := d.interfaces[name]; ok {
+		return i
+	}
+	i := &mIface{name: name}
+	// Reference-model assumption: loopbacks are born routed; Ethernet ports
+	// start as switchports.
+	if strings.HasPrefix(name, "Loopback") {
+		i.routed = true
+		i.passive = true
+	}
+	d.interfaces[name] = i
+	d.order = append(d.order, name)
+	return i
+}
+
+// parseDevice runs the partial parsing layer over one EOS-dialect config.
+func parseDevice(name, src string) (*devConfig, Coverage) {
+	dev := &devConfig{name: name, interfaces: map[string]*mIface{}}
+	cov := Coverage{Device: name}
+
+	type ctxKind int
+	const (
+		ctxTop ctxKind = iota
+		ctxIface
+		ctxISIS
+		ctxBGP
+		ctxOther // recognized container whose body we skip silently
+		ctxUnknown
+	)
+	ctx := ctxTop
+	var curIface *mIface
+
+	lineNum := 0
+	for _, raw := range strings.Split(src, "\n") {
+		lineNum++
+		text := strings.TrimRight(raw, " \t\r")
+		trimmed := strings.TrimLeft(text, " \t")
+		if trimmed == "" || trimmed[0] == '!' || trimmed[0] == '#' {
+			continue
+		}
+		if idx := strings.Index(trimmed, " !"); idx >= 0 {
+			trimmed = strings.TrimRight(trimmed[:idx], " \t")
+			if trimmed == "" {
+				continue
+			}
+		}
+		cov.TotalLines++
+		indent := len(text) - len(trimmed)
+		w := strings.Fields(trimmed)
+		top := indent == 0
+
+		unrecognized := func(why string) {
+			cov.Unrecognized = append(cov.Unrecognized, Warning{Line: lineNum, Text: trimmed, Why: why})
+		}
+		ignored := func(why string) {
+			cov.Ignored = append(cov.Ignored, Warning{Line: lineNum, Text: trimmed, Why: why})
+		}
+
+		if top {
+			curIface = nil
+			switch w[0] {
+			case "hostname":
+				ctx = ctxTop
+			case "interface":
+				if len(w) == 2 {
+					curIface = dev.iface(w[1])
+					ctx = ctxIface
+				} else {
+					unrecognized("malformed interface")
+					ctx = ctxUnknown
+				}
+			case "router":
+				switch {
+				case len(w) >= 2 && w[1] == "isis":
+					dev.isis = true
+					ctx = ctxISIS
+				case len(w) == 3 && w[1] == "bgp":
+					var asn uint32
+					fmt.Sscanf(w[2], "%d", &asn)
+					if dev.bgp == nil {
+						dev.bgp = &mBGP{asn: asn, redist: map[string]bool{}, neighbors: map[netip.Addr]*mNeighbor{}}
+					}
+					ctx = ctxBGP
+				default:
+					// e.g. router traffic-engineering: not in the model.
+					unrecognized("unsupported routing process")
+					ctx = ctxUnknown
+				}
+			case "ip":
+				ctx = ctxTop
+				parseTopIP(dev, &cov, lineNum, trimmed, w, unrecognized)
+			case "route-map":
+				// Recognized container, contents not modeled: route maps in
+				// the baseline pass everything (a known simplification).
+				ctx = ctxOther
+			case "end", "no":
+				ctx = ctxTop
+			default:
+				// daemon, management, mpls, ntp, service, spanning-tree,
+				// snmp-server, username, transceiver, queue-monitor, …
+				unrecognized("unsupported top-level statement")
+				ctx = ctxUnknown
+			}
+			continue
+		}
+
+		// Indented lines: dispatch on the open context.
+		switch ctx {
+		case ctxIface:
+			parseIfaceLine(curIface, &cov, lineNum, trimmed, w, unrecognized, ignored)
+		case ctxISIS:
+			switch w[0] {
+			case "net", "address-family", "is-type", "log-adjacency-changes":
+				// accepted (NET content is not needed by the model's graph)
+			case "passive-interface":
+				// accepted
+			default:
+				unrecognized("unsupported isis statement")
+			}
+		case ctxBGP:
+			parseBGPLine(dev.bgp, &cov, lineNum, trimmed, w, unrecognized)
+		case ctxOther:
+			// body of a recognized-but-unmodeled container: silently skipped
+		default:
+			unrecognized("statement in unsupported block")
+		}
+	}
+	return dev, cov
+}
+
+func parseTopIP(dev *devConfig, cov *Coverage, line int, text string, w []string, unrecognized func(string)) {
+	switch {
+	case len(w) == 2 && w[1] == "routing":
+		// supported
+	case len(w) >= 4 && w[1] == "route":
+		pfx, err := netip.ParsePrefix(w[2])
+		if err != nil {
+			unrecognized("bad static route")
+			return
+		}
+		st := mStatic{prefix: pfx.Masked()}
+		if w[3] == "Null0" || w[3] == "null0" {
+			st.drop = true
+		} else if a, err := netip.ParseAddr(w[3]); err == nil {
+			st.nextHop = a
+		} else {
+			// Interface-form statics are not in the model.
+			unrecognized("unsupported static route form")
+			return
+		}
+		dev.statics = append(dev.statics, st)
+	case len(w) >= 3 && w[1] == "prefix-list":
+		// Recognized, not modeled (policies pass-through).
+	default:
+		unrecognized("unsupported ip statement")
+	}
+}
+
+func parseIfaceLine(intf *mIface, cov *Coverage, line int, text string, w []string, unrecognized, ignored func(string)) {
+	if intf == nil {
+		unrecognized("statement outside interface")
+		return
+	}
+	switch {
+	case w[0] == "description":
+	case len(w) == 2 && w[0] == "no" && w[1] == "switchport":
+		intf.routed = true
+	case len(w) == 1 && w[0] == "switchport":
+		intf.routed = false
+	case len(w) == 3 && w[0] == "ip" && w[1] == "address":
+		pfx, err := netip.ParsePrefix(w[2])
+		if err != nil {
+			unrecognized("bad address")
+			return
+		}
+		// THE ordering assumption (Fig. 3 issue #1): an address on a port
+		// not yet configured as routed is silently discarded, because the
+		// reference model applies interface configuration in order and
+		// assumes a switchport cannot hold an address.
+		if !intf.routed {
+			ignored("ip address before 'no switchport' — dropped by model ordering assumption")
+			return
+		}
+		intf.addrs = append(intf.addrs, pfx)
+	case w[0] == "shutdown":
+		intf.shut = true
+	case w[0] == "no" && len(w) == 2 && w[1] == "shutdown":
+		intf.shut = false
+	case w[0] == "isis":
+		// Fig. 3 issue #2: the reference model does not know this syntax
+		// family at all ("isis enable default" reported as invalid).
+		unrecognized("invalid syntax: isis interface statement not in model grammar")
+	case w[0] == "mpls":
+		unrecognized("mpls not supported by model")
+	case w[0] == "mtu" || w[0] == "speed" || w[0] == "load-interval":
+		// accepted physical knobs
+	default:
+		unrecognized("unsupported interface statement")
+	}
+}
+
+func parseBGPLine(b *mBGP, cov *Coverage, line int, text string, w []string, unrecognized func(string)) {
+	if b == nil {
+		unrecognized("statement outside router bgp")
+		return
+	}
+	switch w[0] {
+	case "router-id":
+		if len(w) == 2 {
+			if a, err := netip.ParseAddr(w[1]); err == nil {
+				b.routerID = a
+				return
+			}
+		}
+		unrecognized("bad router-id")
+	case "neighbor":
+		if len(w) < 3 {
+			unrecognized("malformed neighbor")
+			return
+		}
+		a, err := netip.ParseAddr(w[1])
+		if err != nil {
+			unrecognized("bad neighbor address")
+			return
+		}
+		n, ok := b.neighbors[a]
+		if !ok {
+			n = &mNeighbor{addr: a}
+			b.neighbors[a] = n
+			b.order = append(b.order, a)
+		}
+		switch w[2] {
+		case "remote-as":
+			if len(w) == 4 {
+				fmt.Sscanf(w[3], "%d", &n.remoteAS)
+				return
+			}
+			unrecognized("bad remote-as")
+		case "update-source":
+			if len(w) == 4 {
+				n.updateSource = w[3]
+				return
+			}
+			unrecognized("bad update-source")
+		case "next-hop-self":
+			n.nextHopSelf = true
+		case "description", "route-map", "activate":
+			// recognized, pass-through in the baseline
+		default:
+			// send-community, route-reflector-client, ebgp-multihop,
+			// maximum-routes: outside the modeled subset.
+			unrecognized("unsupported neighbor attribute")
+		}
+	case "network":
+		if len(w) == 2 {
+			if p, err := netip.ParsePrefix(w[1]); err == nil {
+				b.networks = append(b.networks, p.Masked())
+				return
+			}
+		}
+		unrecognized("bad network")
+	case "redistribute":
+		if len(w) == 2 && (w[1] == "connected" || w[1] == "static") {
+			b.redist[w[1]] = true
+			return
+		}
+		unrecognized("unsupported redistribute source")
+	case "address-family", "maximum-paths", "bgp", "timers":
+		// accepted containers/knobs
+	default:
+		unrecognized("unsupported bgp statement")
+	}
+}

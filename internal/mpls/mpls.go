@@ -1,0 +1,407 @@
+// Package mpls implements a lightweight RSVP-TE-style tunnel signaling
+// engine: PATH messages travel hop-by-hop toward the tunnel tail along the
+// IGP shortest path, RESV messages return allocating labels, and each hop
+// installs an incoming-label map entry. The head end learns the outgoing
+// label and next hop for the tunnel.
+//
+// Soft state is refreshed periodically; state that is not refreshed for a
+// vendor-specific multiple of the refresh interval is cleaned up. The
+// per-vendor timer profiles reproduce the interplay pathology the paper
+// describes (two vendors with mismatched RSVP-TE timers reconverging very
+// slowly after a link cut).
+package mpls
+
+import (
+	"encoding/binary"
+	"fmt"
+	"net/netip"
+	"sort"
+	"time"
+
+	"mfv/internal/sim"
+)
+
+// Message types.
+const (
+	msgPath = 1
+	msgResv = 2
+)
+
+// Timers is a vendor RSVP-TE timer profile.
+type Timers struct {
+	// Refresh is the soft-state refresh interval.
+	Refresh time.Duration
+	// CleanupMultiplier: state expires after Refresh × CleanupMultiplier
+	// without a refresh.
+	CleanupMultiplier int
+}
+
+// DefaultTimers follows the RFC 2205 defaults (30 s refresh, lifetime 3×).
+func DefaultTimers() Timers { return Timers{Refresh: 30 * time.Second, CleanupMultiplier: 3} }
+
+// SlowTimers models a vendor with long refresh and a generous lifetime —
+// the profile that interacts badly with a fast-timer vendor after failures.
+func SlowTimers() Timers { return Timers{Refresh: 3 * time.Minute, CleanupMultiplier: 4} }
+
+// LSPState is the head-end view of one signaled tunnel.
+type LSPState struct {
+	Name     string
+	To       netip.Addr
+	Up       bool
+	OutLabel uint32
+	NextHop  netip.Addr
+	// Hops is the recorded route (router IDs) from head to tail.
+	Hops []netip.Addr
+}
+
+// CrossConnect is one ILM (incoming label map) entry on a transit/tail node.
+type CrossConnect struct {
+	InLabel  uint32
+	OutLabel uint32 // 0 = pop (we are the tail)
+	NextHop  netip.Addr
+	LSPName  string
+}
+
+// Hop resolution: the engine asks the router for the next hop toward a
+// destination (backed by the RIB/IGP).
+type HopResolver interface {
+	NextHopToward(dst netip.Addr) (netip.Addr, bool)
+}
+
+// HopResolverFunc adapts a function.
+type HopResolverFunc func(netip.Addr) (netip.Addr, bool)
+
+// NextHopToward implements HopResolver.
+func (f HopResolverFunc) NextHopToward(dst netip.Addr) (netip.Addr, bool) { return f(dst) }
+
+// Config configures an Engine.
+type Config struct {
+	// RouterID is this node's loopback/stable address.
+	RouterID netip.Addr
+	Clock    *sim.Simulator
+	Resolver HopResolver
+	Timers   Timers
+	// Forward delivers an encoded message to the engine owning addr (the
+	// emulation substrate wires this to hop-by-hop delivery).
+	Forward func(addr netip.Addr, data []byte)
+	// OnLSPChange fires when a head-end tunnel changes state.
+	OnLSPChange func(LSPState)
+}
+
+type pathState struct {
+	name     string
+	from, to netip.Addr
+	prevHop  netip.Addr // where PATH came from (upstream)
+	nextHop  netip.Addr // where PATH went (downstream); invalid at tail
+	inLabel  uint32     // label we allocated toward upstream
+	outLabel uint32     // label downstream allocated for us
+	// lastPath is refreshed by PATH arrivals from upstream (transit/tail);
+	// lastResv is refreshed by RESV arrivals from downstream. Keeping them
+	// separate is what produces the vendor timer-interplay pathology: a
+	// transit node keeps confirming reservations from stored RESV state
+	// until its own lifetime expires that state.
+	lastPath time.Duration
+	lastResv time.Duration
+	resvSent bool
+}
+
+// Engine is one router's RSVP-TE process.
+type Engine struct {
+	cfg       Config
+	nextLabel uint32
+	// sessions keyed by LSP name (names are globally unique per head end by
+	// convention name@head).
+	sessions map[string]*pathState
+	// headLSPs tracks tunnels this node originated.
+	headLSPs map[string]*LSPState
+	sweep    *sim.Ticker
+	refresh  *sim.Ticker
+}
+
+// New builds an engine. Start begins the refresh/cleanup timers.
+func New(cfg Config) *Engine {
+	if cfg.Clock == nil {
+		panic("mpls: engine needs a clock")
+	}
+	if cfg.Timers.Refresh == 0 {
+		cfg.Timers = DefaultTimers()
+	}
+	return &Engine{
+		cfg:       cfg,
+		nextLabel: 16, // labels below 16 are reserved
+		sessions:  map[string]*pathState{},
+		headLSPs:  map[string]*LSPState{},
+	}
+}
+
+// Start arms the soft-state timers.
+func (e *Engine) Start() {
+	e.refresh = e.cfg.Clock.NewTicker(e.cfg.Timers.Refresh, e.refreshAll)
+	e.sweep = e.cfg.Clock.NewTicker(e.cfg.Timers.Refresh, e.cleanup)
+}
+
+// Stop cancels timers.
+func (e *Engine) Stop() {
+	if e.refresh != nil {
+		e.refresh.Stop()
+	}
+	if e.sweep != nil {
+		e.sweep.Stop()
+	}
+}
+
+// Signal initiates (or re-initiates) a tunnel from this head end to tail.
+func (e *Engine) Signal(name string, to netip.Addr) {
+	lsp := &LSPState{Name: name, To: to}
+	e.headLSPs[name] = lsp
+	e.sendPath(name, to)
+}
+
+func (e *Engine) sendPath(name string, to netip.Addr) {
+	nh, ok := e.cfg.Resolver.NextHopToward(to)
+	if !ok {
+		return // no route toward tail yet; the refresh timer retries
+	}
+	msg := encodeMsg(msgPath, name, e.cfg.RouterID, to, 0, []netip.Addr{e.cfg.RouterID})
+	st, ok := e.sessions[name]
+	if !ok {
+		// lastResv tracks confirmations: a head end that stops hearing
+		// RESVs must notice, so refreshing PATH does not touch it.
+		st = &pathState{name: name, from: e.cfg.RouterID, to: to, lastResv: e.cfg.Clock.Now()}
+		e.sessions[name] = st
+	}
+	st.nextHop = nh
+	e.cfg.Forward(nh, msg)
+}
+
+// HandleMessage processes a received RSVP message.
+func (e *Engine) HandleMessage(data []byte) {
+	typ, name, from, to, label, hops, err := decodeMsg(data)
+	if err != nil {
+		return
+	}
+	switch typ {
+	case msgPath:
+		e.handlePath(name, from, to, hops)
+	case msgResv:
+		e.handleResv(name, from, to, label, hops)
+	}
+}
+
+func (e *Engine) handlePath(name string, from, to netip.Addr, hops []netip.Addr) {
+	st, ok := e.sessions[name]
+	if !ok {
+		st = &pathState{name: name, from: from, to: to}
+		e.sessions[name] = st
+	}
+	now := e.cfg.Clock.Now()
+	st.lastPath = now
+	if len(hops) > 0 {
+		st.prevHop = hops[len(hops)-1]
+	}
+	recorded := append(append([]netip.Addr{}, hops...), e.cfg.RouterID)
+
+	if to == e.cfg.RouterID {
+		// Tail: allocate a label toward upstream and send RESV back. The
+		// tail is the RESV origin, so its reservation is always fresh.
+		if st.inLabel == 0 {
+			st.inLabel = e.allocLabel()
+		}
+		st.resvSent = true
+		st.lastResv = now
+		e.cfg.Forward(st.prevHop, encodeMsg(msgResv, name, from, to, st.inLabel, recorded))
+		return
+	}
+	// Soft-state confirmation: while our stored reservation is within OUR
+	// lifetime, re-confirm upstream even if downstream has gone quiet or
+	// unreachable. This is the behaviour that makes mismatched vendor
+	// timers interact badly: a slow-timer transit node keeps validating a
+	// reservation that is already dead downstream.
+	lifetime := e.cfg.Timers.Refresh * time.Duration(e.cfg.Timers.CleanupMultiplier)
+	if st.resvSent && now-st.lastResv <= lifetime {
+		e.cfg.Forward(st.prevHop, encodeMsg(msgResv, name, from, to, st.inLabel, recorded))
+	}
+	nh, ok := e.cfg.Resolver.NextHopToward(to)
+	if !ok {
+		return // dead ends age out via cleanup
+	}
+	st.nextHop = nh
+	e.cfg.Forward(nh, encodeMsg(msgPath, name, from, to, 0, recorded))
+}
+
+func (e *Engine) handleResv(name string, from, to netip.Addr, label uint32, hops []netip.Addr) {
+	if head, ok := e.headLSPs[name]; ok && from == e.cfg.RouterID {
+		// We are the head end: tunnel is up.
+		st := e.sessions[name]
+		if st == nil {
+			return
+		}
+		st.outLabel = label
+		st.lastResv = e.cfg.Clock.Now()
+		changed := !head.Up || head.OutLabel != label || head.NextHop != st.nextHop
+		head.Up = true
+		head.OutLabel = label
+		head.NextHop = st.nextHop
+		head.Hops = hops
+		if changed && e.cfg.OnLSPChange != nil {
+			e.cfg.OnLSPChange(*head)
+		}
+		return
+	}
+	st, ok := e.sessions[name]
+	if !ok {
+		return
+	}
+	st.lastResv = e.cfg.Clock.Now()
+	st.outLabel = label
+	if st.inLabel == 0 {
+		st.inLabel = e.allocLabel()
+	}
+	st.resvSent = true
+	e.cfg.Forward(st.prevHop, encodeMsg(msgResv, name, from, to, st.inLabel, hops))
+}
+
+func (e *Engine) allocLabel() uint32 {
+	l := e.nextLabel
+	e.nextLabel++
+	return l
+}
+
+// refreshAll re-sends PATH for sessions we originated or transit.
+func (e *Engine) refreshAll() {
+	names := make([]string, 0, len(e.headLSPs))
+	for name := range e.headLSPs {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		e.sendPath(name, e.headLSPs[name].To)
+	}
+}
+
+// cleanup expires soft state that has not been refreshed.
+func (e *Engine) cleanup() {
+	lifetime := e.cfg.Timers.Refresh * time.Duration(e.cfg.Timers.CleanupMultiplier)
+	now := e.cfg.Clock.Now()
+	for name, st := range e.sessions {
+		if _, isHead := e.headLSPs[name]; isHead {
+			continue // head state is re-signaled, not expired
+		}
+		if now-st.lastPath > lifetime {
+			delete(e.sessions, name)
+		}
+	}
+	// Head LSPs whose session stopped being confirmed go down.
+	for name, head := range e.headLSPs {
+		st := e.sessions[name]
+		if st == nil {
+			continue
+		}
+		if head.Up && now-st.lastResv > lifetime {
+			head.Up = false
+			if e.cfg.OnLSPChange != nil {
+				e.cfg.OnLSPChange(*head)
+			}
+		}
+	}
+}
+
+// CrossConnects returns this node's ILM entries for transit/tail sessions.
+func (e *Engine) CrossConnects() []CrossConnect {
+	var out []CrossConnect
+	names := make([]string, 0, len(e.sessions))
+	for name := range e.sessions {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		st := e.sessions[name]
+		if st.inLabel == 0 {
+			continue // head end or not yet reserved
+		}
+		out = append(out, CrossConnect{
+			InLabel:  st.inLabel,
+			OutLabel: st.outLabel, // 0 at tail = pop
+			NextHop:  st.nextHop,
+			LSPName:  name,
+		})
+	}
+	return out
+}
+
+// LSP returns the head-end state for a tunnel.
+func (e *Engine) LSP(name string) (LSPState, bool) {
+	l, ok := e.headLSPs[name]
+	if !ok {
+		return LSPState{}, false
+	}
+	return *l, true
+}
+
+// LSPs returns all head-end tunnels sorted by name.
+func (e *Engine) LSPs() []LSPState {
+	names := make([]string, 0, len(e.headLSPs))
+	for name := range e.headLSPs {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	out := make([]LSPState, 0, len(names))
+	for _, name := range names {
+		out = append(out, *e.headLSPs[name])
+	}
+	return out
+}
+
+// Message layout: type(1) nameLen(1) name from(4) to(4) label(4) nHops(1)
+// hops(4 each).
+func encodeMsg(typ uint8, name string, from, to netip.Addr, label uint32, hops []netip.Addr) []byte {
+	if len(name) > 255 || len(hops) > 255 {
+		panic("mpls: message field overflow")
+	}
+	buf := make([]byte, 0, 16+len(name)+4*len(hops))
+	buf = append(buf, typ, byte(len(name)))
+	buf = append(buf, name...)
+	f, t := from.As4(), to.As4()
+	buf = append(buf, f[:]...)
+	buf = append(buf, t[:]...)
+	buf = binary.BigEndian.AppendUint32(buf, label)
+	buf = append(buf, byte(len(hops)))
+	for _, h := range hops {
+		a := h.As4()
+		buf = append(buf, a[:]...)
+	}
+	return buf
+}
+
+func decodeMsg(b []byte) (typ uint8, name string, from, to netip.Addr, label uint32, hops []netip.Addr, err error) {
+	if len(b) < 2 {
+		err = fmt.Errorf("mpls: short message")
+		return
+	}
+	typ = b[0]
+	nameLen := int(b[1])
+	b = b[2:]
+	if len(b) < nameLen+13 {
+		err = fmt.Errorf("mpls: truncated message")
+		return
+	}
+	name = string(b[:nameLen])
+	b = b[nameLen:]
+	var f, t [4]byte
+	copy(f[:], b[0:4])
+	copy(t[:], b[4:8])
+	from, to = netip.AddrFrom4(f), netip.AddrFrom4(t)
+	label = binary.BigEndian.Uint32(b[8:12])
+	n := int(b[12])
+	b = b[13:]
+	if len(b) != 4*n {
+		err = fmt.Errorf("mpls: bad hop list")
+		return
+	}
+	for i := 0; i < n; i++ {
+		var h [4]byte
+		copy(h[:], b[4*i:])
+		hops = append(hops, netip.AddrFrom4(h))
+	}
+	return
+}

@@ -1,0 +1,91 @@
+package mpls
+
+import (
+	"net/netip"
+	"testing"
+	"time"
+)
+
+func TestLSPFollowsIGPRerouting(t *testing.T) {
+	// Start with r1 -> r2 -> r3; then change r1's routing so the next hop
+	// toward r3 becomes r3 directly (as after an IGP reroute). Refresh must
+	// re-signal along the new path.
+	f, e1, _, _ := line3(DefaultTimers(), DefaultTimers(), DefaultTimers())
+	e1.Signal("T1", addr("3.3.3.3"))
+	f.s.RunFor(time.Second)
+	lsp, _ := e1.LSP("T1")
+	if !lsp.Up || lsp.NextHop != addr("2.2.2.2") {
+		t.Fatalf("initial LSP = %+v", lsp)
+	}
+	// IGP reroute: r1 now reaches r3 directly (new link appears).
+	f.nexthop[addr("1.1.1.1")][addr("3.3.3.3")] = addr("3.3.3.3")
+	f.s.RunFor(2 * DefaultTimers().Refresh)
+	lsp, _ = e1.LSP("T1")
+	if !lsp.Up {
+		t.Fatal("LSP lost after reroute")
+	}
+	if lsp.NextHop != addr("3.3.3.3") {
+		t.Errorf("next hop = %v, want direct path after reroute", lsp.NextHop)
+	}
+	if len(lsp.Hops) != 2 {
+		t.Errorf("recorded route = %v, want 2 hops", lsp.Hops)
+	}
+}
+
+func TestMultipleLSPsDistinctLabels(t *testing.T) {
+	f, e1, e2, e3 := line3(DefaultTimers(), DefaultTimers(), DefaultTimers())
+	e1.Signal("A", addr("3.3.3.3"))
+	e1.Signal("B", addr("3.3.3.3"))
+	e3.Signal("C", addr("1.1.1.1"))
+	f.s.RunFor(2 * time.Second)
+	lsps := e1.LSPs()
+	if len(lsps) != 2 || !lsps[0].Up || !lsps[1].Up {
+		t.Fatalf("e1 LSPs = %+v", lsps)
+	}
+	if lsps[0].OutLabel == lsps[1].OutLabel {
+		t.Error("two LSPs share an out-label at the same downstream")
+	}
+	// Transit r2 must hold three cross-connects with unique in-labels.
+	xcs := e2.CrossConnects()
+	if len(xcs) != 3 {
+		t.Fatalf("r2 cross connects = %+v", xcs)
+	}
+	seen := map[uint32]bool{}
+	for _, xc := range xcs {
+		if seen[xc.InLabel] {
+			t.Errorf("duplicate in-label %d", xc.InLabel)
+		}
+		seen[xc.InLabel] = true
+	}
+	if c, _ := e3.LSP("C"); !c.Up {
+		t.Error("reverse-direction LSP not up")
+	}
+}
+
+func TestStopHaltsRefresh(t *testing.T) {
+	f, e1, _, _ := line3(DefaultTimers(), DefaultTimers(), DefaultTimers())
+	e1.Signal("T1", addr("3.3.3.3"))
+	f.s.RunFor(time.Second)
+	e1.Stop()
+	// With refreshes stopped, downstream state ages out.
+	lifetime := DefaultTimers().Refresh * time.Duration(DefaultTimers().CleanupMultiplier)
+	f.s.RunFor(2*lifetime + 2*DefaultTimers().Refresh)
+	// The head no longer runs cleanup either, but transit state must have
+	// expired at r2 (its PATH state went stale).
+	if f.engines[addr("2.2.2.2")].sessions["T1"] != nil {
+		t.Error("transit soft state survived without refreshes")
+	}
+}
+
+func TestLSPLookupMisses(t *testing.T) {
+	e := New(Config{RouterID: addr("1.1.1.1"), Clock: newFabric().s,
+		Resolver: HopResolverFunc(func(netip.Addr) (netip.Addr, bool) { return netip.Addr{}, false }),
+		Forward:  func(netip.Addr, []byte) {},
+	})
+	if _, ok := e.LSP("nope"); ok {
+		t.Error("unknown LSP found")
+	}
+	if len(e.LSPs()) != 0 || len(e.CrossConnects()) != 0 {
+		t.Error("fresh engine has state")
+	}
+}

@@ -1,0 +1,218 @@
+package mpls
+
+import (
+	"net/netip"
+	"testing"
+	"time"
+
+	"mfv/internal/sim"
+)
+
+func addr(s string) netip.Addr { return netip.MustParseAddr(s) }
+
+// fabric wires engines together by router ID with static next-hop tables.
+type fabric struct {
+	s       *sim.Simulator
+	engines map[netip.Addr]*Engine
+	// nexthop[src][dst] = next hop router ID.
+	nexthop map[netip.Addr]map[netip.Addr]netip.Addr
+	// down marks unreachable (src -> nh) pairs to simulate link cuts.
+	down map[[2]netip.Addr]bool
+	lsps map[string]LSPState
+}
+
+func newFabric() *fabric {
+	return &fabric{
+		s:       sim.New(1),
+		engines: map[netip.Addr]*Engine{},
+		nexthop: map[netip.Addr]map[netip.Addr]netip.Addr{},
+		down:    map[[2]netip.Addr]bool{},
+		lsps:    map[string]LSPState{},
+	}
+}
+
+func (f *fabric) add(id string, timers Timers) *Engine {
+	rid := addr(id)
+	f.nexthop[rid] = map[netip.Addr]netip.Addr{}
+	e := New(Config{
+		RouterID: rid,
+		Clock:    f.s,
+		Timers:   timers,
+		Resolver: HopResolverFunc(func(dst netip.Addr) (netip.Addr, bool) {
+			nh, ok := f.nexthop[rid][dst]
+			if !ok || f.down[[2]netip.Addr{rid, nh}] {
+				return netip.Addr{}, false
+			}
+			return nh, true
+		}),
+		Forward: func(to netip.Addr, data []byte) {
+			if f.down[[2]netip.Addr{rid, to}] {
+				return
+			}
+			d := append([]byte{}, data...)
+			f.s.After(time.Millisecond, func() {
+				if peer, ok := f.engines[to]; ok {
+					peer.HandleMessage(d)
+				}
+			})
+		},
+		OnLSPChange: func(l LSPState) { f.lsps[l.Name] = l },
+	})
+	f.engines[rid] = e
+	e.Start()
+	return e
+}
+
+// line3 builds r1 -> r2 -> r3 forwarding in both directions.
+func line3(t1, t2, t3 Timers) (*fabric, *Engine, *Engine, *Engine) {
+	f := newFabric()
+	e1 := f.add("1.1.1.1", t1)
+	e2 := f.add("2.2.2.2", t2)
+	e3 := f.add("3.3.3.3", t3)
+	f.nexthop[addr("1.1.1.1")][addr("3.3.3.3")] = addr("2.2.2.2")
+	f.nexthop[addr("1.1.1.1")][addr("2.2.2.2")] = addr("2.2.2.2")
+	f.nexthop[addr("2.2.2.2")][addr("3.3.3.3")] = addr("3.3.3.3")
+	f.nexthop[addr("2.2.2.2")][addr("1.1.1.1")] = addr("1.1.1.1")
+	f.nexthop[addr("3.3.3.3")][addr("1.1.1.1")] = addr("2.2.2.2")
+	f.nexthop[addr("3.3.3.3")][addr("2.2.2.2")] = addr("2.2.2.2")
+	return f, e1, e2, e3
+}
+
+func TestLSPSignaling(t *testing.T) {
+	f, e1, e2, _ := line3(DefaultTimers(), DefaultTimers(), DefaultTimers())
+	e1.Signal("T1", addr("3.3.3.3"))
+	f.s.RunFor(time.Second)
+
+	lsp, ok := e1.LSP("T1")
+	if !ok || !lsp.Up {
+		t.Fatalf("LSP = %+v, want up", lsp)
+	}
+	if lsp.NextHop != addr("2.2.2.2") {
+		t.Errorf("next hop = %v", lsp.NextHop)
+	}
+	if lsp.OutLabel < 16 {
+		t.Errorf("out label = %d, want >= 16", lsp.OutLabel)
+	}
+	if len(lsp.Hops) != 3 || lsp.Hops[0] != addr("1.1.1.1") || lsp.Hops[2] != addr("3.3.3.3") {
+		t.Errorf("recorded route = %v", lsp.Hops)
+	}
+	// Transit node r2 must have a cross-connect swapping to the tail label.
+	xcs := e2.CrossConnects()
+	if len(xcs) != 1 {
+		t.Fatalf("r2 cross connects = %+v", xcs)
+	}
+	if xcs[0].InLabel != lsp.OutLabel {
+		t.Errorf("head out-label %d != transit in-label %d", lsp.OutLabel, xcs[0].InLabel)
+	}
+	if xcs[0].NextHop != addr("3.3.3.3") {
+		t.Errorf("transit next hop = %v", xcs[0].NextHop)
+	}
+	// OnLSPChange fired.
+	if got := f.lsps["T1"]; !got.Up {
+		t.Error("OnLSPChange did not deliver up state")
+	}
+}
+
+func TestTailCrossConnectPops(t *testing.T) {
+	f, e1, _, e3 := line3(DefaultTimers(), DefaultTimers(), DefaultTimers())
+	e1.Signal("T1", addr("3.3.3.3"))
+	f.s.RunFor(time.Second)
+	xcs := e3.CrossConnects()
+	if len(xcs) != 1 || xcs[0].OutLabel != 0 {
+		t.Errorf("tail cross connects = %+v, want pop entry", xcs)
+	}
+}
+
+func TestSignalingWaitsForRoute(t *testing.T) {
+	f := newFabric()
+	e1 := f.add("1.1.1.1", DefaultTimers())
+	f.add("2.2.2.2", DefaultTimers())
+	// No route toward the tail yet.
+	e1.Signal("T1", addr("2.2.2.2"))
+	f.s.RunFor(time.Second)
+	if lsp, _ := e1.LSP("T1"); lsp.Up {
+		t.Fatal("LSP came up without a route")
+	}
+	// Route appears; the refresh cycle must establish the tunnel.
+	f.nexthop[addr("1.1.1.1")][addr("2.2.2.2")] = addr("2.2.2.2")
+	f.nexthop[addr("2.2.2.2")][addr("1.1.1.1")] = addr("1.1.1.1")
+	f.s.RunFor(2 * DefaultTimers().Refresh)
+	if lsp, _ := e1.LSP("T1"); !lsp.Up {
+		t.Error("LSP did not come up after route appeared")
+	}
+}
+
+func TestLSPDownAfterCut(t *testing.T) {
+	f, e1, _, _ := line3(DefaultTimers(), DefaultTimers(), DefaultTimers())
+	e1.Signal("T1", addr("3.3.3.3"))
+	f.s.RunFor(time.Second)
+	// Cut r2 -> r3 both ways.
+	f.down[[2]netip.Addr{addr("2.2.2.2"), addr("3.3.3.3")}] = true
+	f.down[[2]netip.Addr{addr("3.3.3.3"), addr("2.2.2.2")}] = true
+	// Detection takes up to two lifetimes: the transit node keeps
+	// confirming from stored state for one lifetime, then the head end
+	// times out after another.
+	lifetime := DefaultTimers().Refresh * time.Duration(DefaultTimers().CleanupMultiplier)
+	f.s.RunFor(2*lifetime + 4*DefaultTimers().Refresh)
+	lsp, _ := e1.LSP("T1")
+	if lsp.Up {
+		t.Error("LSP still up after the path was cut past its lifetime")
+	}
+}
+
+// TestTimerInterplay reproduces the paper's observation: when one vendor
+// runs slow RSVP timers, reconvergence after a cut takes several times
+// longer than in a homogeneous fast-timer deployment.
+func TestTimerInterplay(t *testing.T) {
+	detectDown := func(transitTimers Timers) time.Duration {
+		f, e1, _, _ := line3(DefaultTimers(), transitTimers, DefaultTimers())
+		e1.Signal("T1", addr("3.3.3.3"))
+		f.s.RunFor(time.Second)
+		if lsp, _ := e1.LSP("T1"); !lsp.Up {
+			t.Fatal("LSP not up")
+		}
+		cutAt := f.s.Now()
+		f.down[[2]netip.Addr{addr("2.2.2.2"), addr("3.3.3.3")}] = true
+		f.down[[2]netip.Addr{addr("3.3.3.3"), addr("2.2.2.2")}] = true
+		// Head-end down detection: poll until the LSP reports down.
+		for f.s.Now() < cutAt+2*time.Hour {
+			f.s.RunFor(10 * time.Second)
+			if lsp, _ := e1.LSP("T1"); !lsp.Up {
+				return f.s.Now() - cutAt
+			}
+		}
+		t.Fatal("LSP never went down")
+		return 0
+	}
+	fast := detectDown(DefaultTimers())
+	slow := detectDown(SlowTimers())
+	if slow < 3*fast {
+		t.Errorf("slow-timer interplay detected in %v, fast in %v; want ≥3× gap", slow, fast)
+	}
+}
+
+func TestCodecErrors(t *testing.T) {
+	e := New(Config{RouterID: addr("1.1.1.1"), Clock: sim.New(1),
+		Resolver: HopResolverFunc(func(netip.Addr) (netip.Addr, bool) { return netip.Addr{}, false }),
+		Forward:  func(netip.Addr, []byte) {},
+	})
+	// Malformed messages must be ignored, not panic.
+	e.HandleMessage(nil)
+	e.HandleMessage([]byte{1})
+	e.HandleMessage([]byte{msgPath, 200, 'x'})
+	msg := encodeMsg(msgResv, "GHOST", addr("9.9.9.9"), addr("8.8.8.8"), 99, nil)
+	e.HandleMessage(msg) // RESV for unknown session
+}
+
+func TestMessageRoundTrip(t *testing.T) {
+	hops := []netip.Addr{addr("1.1.1.1"), addr("2.2.2.2")}
+	msg := encodeMsg(msgPath, "TUN-A", addr("1.1.1.1"), addr("3.3.3.3"), 77, hops)
+	typ, name, from, to, label, gotHops, err := decodeMsg(msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if typ != msgPath || name != "TUN-A" || from != addr("1.1.1.1") ||
+		to != addr("3.3.3.3") || label != 77 || len(gotHops) != 2 || gotHops[1] != addr("2.2.2.2") {
+		t.Errorf("round trip = %v %q %v %v %d %v", typ, name, from, to, label, gotHops)
+	}
+}

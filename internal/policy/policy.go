@@ -1,0 +1,255 @@
+// Package policy implements routing policy primitives shared by the config
+// IR and the BGP engine: prefix lists, community lists, and route maps with
+// match/set clauses. Semantics follow the common EOS/IOS behaviour: route
+// maps are evaluated sequence by sequence, the first sequence whose matches
+// all pass decides permit/deny, and an unmatched route is denied.
+package policy
+
+import (
+	"fmt"
+	"net/netip"
+	"sort"
+	"strings"
+)
+
+// Action is a permit/deny disposition.
+type Action bool
+
+// Dispositions.
+const (
+	Permit Action = true
+	Deny   Action = false
+)
+
+// String renders the action as CLI keywords.
+func (a Action) String() string {
+	if a == Permit {
+		return "permit"
+	}
+	return "deny"
+}
+
+// PrefixListEntry is one seq of an ip prefix-list.
+type PrefixListEntry struct {
+	Seq    int
+	Action Action
+	Prefix netip.Prefix
+	// Ge/Le extend matching to more-specific prefixes: a candidate matches
+	// when it is contained in Prefix and its length is within [ge, le]
+	// (zero means unset; unset ge defaults to the prefix's own length, and
+	// with neither set only the exact prefix matches).
+	Ge, Le int
+}
+
+// PrefixList is an ordered ip prefix-list.
+type PrefixList struct {
+	Name    string
+	Entries []PrefixListEntry
+}
+
+// Add appends an entry keeping entries sorted by Seq.
+func (pl *PrefixList) Add(e PrefixListEntry) {
+	pl.Entries = append(pl.Entries, e)
+	sort.SliceStable(pl.Entries, func(i, j int) bool { return pl.Entries[i].Seq < pl.Entries[j].Seq })
+}
+
+// Match evaluates p against the list. Like real devices, the first matching
+// entry decides; an empty or exhausted list denies.
+func (pl *PrefixList) Match(p netip.Prefix) Action {
+	for _, e := range pl.Entries {
+		if entryMatches(e, p) {
+			return e.Action
+		}
+	}
+	return Deny
+}
+
+func entryMatches(e PrefixListEntry, p netip.Prefix) bool {
+	// The candidate must be at least as long as, and contained in, the
+	// entry's prefix.
+	if p.Bits() < e.Prefix.Bits() || !e.Prefix.Masked().Contains(p.Addr()) {
+		return false
+	}
+	ge, le := e.Ge, e.Le
+	switch {
+	case ge == 0 && le == 0:
+		return p.Bits() == e.Prefix.Bits()
+	case ge == 0:
+		ge = e.Prefix.Bits()
+	}
+	if le == 0 {
+		le = 32
+	}
+	return p.Bits() >= ge && p.Bits() <= le
+}
+
+// Community is a 32-bit BGP community, conventionally written AS:value.
+type Community uint32
+
+// ParseCommunity parses "AS:value" or a bare decimal.
+func ParseCommunity(s string) (Community, error) {
+	if hi, lo, ok := strings.Cut(s, ":"); ok {
+		var h, l uint32
+		if _, err := fmt.Sscanf(hi, "%d", &h); err != nil || h > 0xffff {
+			return 0, fmt.Errorf("policy: bad community %q", s)
+		}
+		if _, err := fmt.Sscanf(lo, "%d", &l); err != nil || l > 0xffff {
+			return 0, fmt.Errorf("policy: bad community %q", s)
+		}
+		return Community(h<<16 | l), nil
+	}
+	var v uint32
+	if _, err := fmt.Sscanf(s, "%d", &v); err != nil {
+		return 0, fmt.Errorf("policy: bad community %q", s)
+	}
+	return Community(v), nil
+}
+
+// String renders the community as AS:value.
+func (c Community) String() string { return fmt.Sprintf("%d:%d", uint32(c)>>16, uint32(c)&0xffff) }
+
+// Subject is the mutable view of a BGP route that a route map evaluates and
+// transforms. The BGP engine converts its path representation to a Subject,
+// applies policy, and converts back.
+type Subject struct {
+	Prefix      netip.Prefix
+	NextHop     netip.Addr
+	LocalPref   uint32
+	MED         uint32
+	Communities []Community
+	ASPath      []uint32
+}
+
+// HasCommunity reports whether c is attached.
+func (s *Subject) HasCommunity(c Community) bool {
+	for _, have := range s.Communities {
+		if have == c {
+			return true
+		}
+	}
+	return false
+}
+
+// AddCommunity attaches c if not already present, keeping the set sorted.
+func (s *Subject) AddCommunity(c Community) {
+	if s.HasCommunity(c) {
+		return
+	}
+	s.Communities = append(s.Communities, c)
+	sort.Slice(s.Communities, func(i, j int) bool { return s.Communities[i] < s.Communities[j] })
+}
+
+// MapClause is one sequence of a route map.
+type MapClause struct {
+	Seq    int
+	Action Action
+
+	// Match conditions; all configured conditions must hold (AND).
+	MatchPrefixList  string      // name of a prefix list, empty = no condition
+	MatchCommunities []Community // route must carry all of these
+	MatchASInPath    uint32      // nonzero: AS must appear in the AS path
+
+	// Set actions applied when the clause permits.
+	SetLocalPref   uint32 // nonzero = set
+	SetMED         uint32
+	SetMEDSet      bool // distinguishes "set med 0"
+	SetCommunities []Community
+	SetNextHop     netip.Addr
+	PrependAS      []uint32
+}
+
+// RouteMap is an ordered list of clauses.
+type RouteMap struct {
+	Name    string
+	Clauses []MapClause
+}
+
+// Add appends a clause keeping Seq order.
+func (rm *RouteMap) Add(c MapClause) {
+	rm.Clauses = append(rm.Clauses, c)
+	sort.SliceStable(rm.Clauses, func(i, j int) bool { return rm.Clauses[i].Seq < rm.Clauses[j].Seq })
+}
+
+// Env resolves names referenced by route maps.
+type Env interface {
+	PrefixList(name string) (*PrefixList, bool)
+}
+
+// MapEnv is a map-backed Env.
+type MapEnv map[string]*PrefixList
+
+// PrefixList implements Env.
+func (m MapEnv) PrefixList(name string) (*PrefixList, bool) {
+	pl, ok := m[name]
+	return pl, ok
+}
+
+// Apply evaluates the route map against subj, mutating it with set clauses
+// when permitted. It returns the final disposition. Per device convention an
+// unmatched route is denied; a nil route map permits everything unchanged.
+func (rm *RouteMap) Apply(subj *Subject, env Env) Action {
+	if rm == nil {
+		return Permit
+	}
+	for _, cl := range rm.Clauses {
+		if !clauseMatches(cl, subj, env) {
+			continue
+		}
+		if cl.Action == Deny {
+			return Deny
+		}
+		applySets(cl, subj)
+		return Permit
+	}
+	return Deny
+}
+
+func clauseMatches(cl MapClause, subj *Subject, env Env) bool {
+	if cl.MatchPrefixList != "" {
+		var pl *PrefixList
+		if env != nil {
+			pl, _ = env.PrefixList(cl.MatchPrefixList)
+		}
+		// Referencing a missing prefix list matches nothing, the safe
+		// behaviour most NOSes implement.
+		if pl == nil || pl.Match(subj.Prefix) != Permit {
+			return false
+		}
+	}
+	for _, c := range cl.MatchCommunities {
+		if !subj.HasCommunity(c) {
+			return false
+		}
+	}
+	if cl.MatchASInPath != 0 {
+		found := false
+		for _, as := range subj.ASPath {
+			if as == cl.MatchASInPath {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return false
+		}
+	}
+	return true
+}
+
+func applySets(cl MapClause, subj *Subject) {
+	if cl.SetLocalPref != 0 {
+		subj.LocalPref = cl.SetLocalPref
+	}
+	if cl.SetMEDSet {
+		subj.MED = cl.SetMED
+	}
+	for _, c := range cl.SetCommunities {
+		subj.AddCommunity(c)
+	}
+	if cl.SetNextHop.IsValid() {
+		subj.NextHop = cl.SetNextHop
+	}
+	if len(cl.PrependAS) > 0 {
+		subj.ASPath = append(append([]uint32{}, cl.PrependAS...), subj.ASPath...)
+	}
+}

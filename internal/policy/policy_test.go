@@ -1,0 +1,207 @@
+package policy
+
+import (
+	"net/netip"
+	"testing"
+)
+
+func pfx(s string) netip.Prefix { return netip.MustParsePrefix(s) }
+func addr(s string) netip.Addr  { return netip.MustParseAddr(s) }
+
+func TestPrefixListExactMatch(t *testing.T) {
+	pl := &PrefixList{Name: "PL"}
+	pl.Add(PrefixListEntry{Seq: 10, Action: Permit, Prefix: pfx("10.0.0.0/8")})
+	if pl.Match(pfx("10.0.0.0/8")) != Permit {
+		t.Error("exact prefix not permitted")
+	}
+	if pl.Match(pfx("10.1.0.0/16")) != Deny {
+		t.Error("more-specific permitted without ge/le")
+	}
+	if pl.Match(pfx("11.0.0.0/8")) != Deny {
+		t.Error("outside prefix permitted")
+	}
+}
+
+func TestPrefixListGeLe(t *testing.T) {
+	pl := &PrefixList{Name: "PL"}
+	pl.Add(PrefixListEntry{Seq: 10, Action: Permit, Prefix: pfx("10.0.0.0/8"), Ge: 16, Le: 24})
+	tests := []struct {
+		p    string
+		want Action
+	}{
+		{"10.0.0.0/8", Deny},      // shorter than ge
+		{"10.1.0.0/16", Permit},   // == ge
+		{"10.1.2.0/24", Permit},   // == le
+		{"10.1.2.0/25", Deny},     // longer than le
+		{"172.16.0.0/16", Deny},   // outside
+		{"10.255.0.0/20", Permit}, // inside range
+	}
+	for _, tc := range tests {
+		if got := pl.Match(pfx(tc.p)); got != tc.want {
+			t.Errorf("Match(%s) = %v, want %v", tc.p, got, tc.want)
+		}
+	}
+}
+
+func TestPrefixListLeOnly(t *testing.T) {
+	// le alone: ge defaults to the entry length.
+	pl := &PrefixList{Name: "PL"}
+	pl.Add(PrefixListEntry{Seq: 10, Action: Permit, Prefix: pfx("10.0.0.0/8"), Le: 32})
+	if pl.Match(pfx("10.0.0.0/8")) != Permit || pl.Match(pfx("10.1.2.3/32")) != Permit {
+		t.Error("le-only list should permit the prefix and all more-specifics")
+	}
+}
+
+func TestPrefixListFirstMatchWinsAndDefaultDeny(t *testing.T) {
+	pl := &PrefixList{Name: "PL"}
+	pl.Add(PrefixListEntry{Seq: 20, Action: Permit, Prefix: pfx("10.0.0.0/8"), Le: 32})
+	pl.Add(PrefixListEntry{Seq: 10, Action: Deny, Prefix: pfx("10.13.0.0/16"), Le: 32})
+	if pl.Match(pfx("10.13.1.0/24")) != Deny {
+		t.Error("seq 10 deny should win over seq 20 permit")
+	}
+	if pl.Match(pfx("10.14.0.0/16")) != Permit {
+		t.Error("non-denied inside /8 should permit")
+	}
+	empty := &PrefixList{Name: "E"}
+	if empty.Match(pfx("10.0.0.0/8")) != Deny {
+		t.Error("empty prefix-list should deny")
+	}
+}
+
+func TestParseCommunity(t *testing.T) {
+	c, err := ParseCommunity("65001:100")
+	if err != nil || c != Community(65001<<16|100) {
+		t.Errorf("ParseCommunity = %v, %v", c, err)
+	}
+	if c.String() != "65001:100" {
+		t.Errorf("String = %q", c.String())
+	}
+	if _, err := ParseCommunity("70000:1"); err == nil {
+		t.Error("accepted AS > 65535")
+	}
+	if _, err := ParseCommunity("1:99999"); err == nil {
+		t.Error("accepted value > 65535")
+	}
+	if _, err := ParseCommunity("abc"); err == nil {
+		t.Error("accepted garbage")
+	}
+	bare, err := ParseCommunity("4259840100")
+	if err != nil || bare != Community(4259840100) {
+		t.Errorf("bare decimal = %v, %v", bare, err)
+	}
+}
+
+func TestRouteMapNilPermitsUnchanged(t *testing.T) {
+	var rm *RouteMap
+	subj := &Subject{Prefix: pfx("10.0.0.0/8"), LocalPref: 100}
+	if rm.Apply(subj, nil) != Permit {
+		t.Error("nil route map denied")
+	}
+	if subj.LocalPref != 100 {
+		t.Error("nil route map mutated subject")
+	}
+}
+
+func TestRouteMapFirstClauseDecides(t *testing.T) {
+	env := MapEnv{
+		"TEN": {Name: "TEN", Entries: []PrefixListEntry{
+			{Seq: 10, Action: Permit, Prefix: pfx("10.0.0.0/8"), Le: 32},
+		}},
+	}
+	rm := &RouteMap{Name: "RM"}
+	rm.Add(MapClause{Seq: 20, Action: Permit}) // match-all
+	rm.Add(MapClause{Seq: 10, Action: Deny, MatchPrefixList: "TEN"})
+	if rm.Apply(&Subject{Prefix: pfx("10.1.0.0/16")}, env) != Deny {
+		t.Error("seq 10 deny did not win")
+	}
+	if rm.Apply(&Subject{Prefix: pfx("192.168.0.0/16")}, env) != Permit {
+		t.Error("match-all seq 20 did not permit")
+	}
+}
+
+func TestRouteMapImplicitDeny(t *testing.T) {
+	env := MapEnv{"NONE": {Name: "NONE"}}
+	rm := &RouteMap{Name: "RM"}
+	rm.Add(MapClause{Seq: 10, Action: Permit, MatchPrefixList: "NONE"})
+	if rm.Apply(&Subject{Prefix: pfx("10.0.0.0/8")}, env) != Deny {
+		t.Error("unmatched route not denied")
+	}
+}
+
+func TestRouteMapMissingPrefixListMatchesNothing(t *testing.T) {
+	rm := &RouteMap{Name: "RM"}
+	rm.Add(MapClause{Seq: 10, Action: Permit, MatchPrefixList: "GHOST"})
+	rm.Add(MapClause{Seq: 20, Action: Permit})
+	subj := &Subject{Prefix: pfx("10.0.0.0/8")}
+	if rm.Apply(subj, MapEnv{}) != Permit {
+		t.Error("route should fall through to seq 20")
+	}
+}
+
+func TestRouteMapSets(t *testing.T) {
+	c1, _ := ParseCommunity("65000:1")
+	c2, _ := ParseCommunity("65000:2")
+	rm := &RouteMap{Name: "RM"}
+	rm.Add(MapClause{
+		Seq: 10, Action: Permit,
+		SetLocalPref:   200,
+		SetMED:         5,
+		SetMEDSet:      true,
+		SetCommunities: []Community{c2, c1},
+		SetNextHop:     addr("192.0.2.99"),
+		PrependAS:      []uint32{65000, 65000},
+	})
+	subj := &Subject{Prefix: pfx("10.0.0.0/8"), LocalPref: 100, MED: 50, ASPath: []uint32{65010}}
+	if rm.Apply(subj, nil) != Permit {
+		t.Fatal("permit clause denied")
+	}
+	if subj.LocalPref != 200 || subj.MED != 5 {
+		t.Errorf("sets not applied: %+v", subj)
+	}
+	if subj.NextHop != addr("192.0.2.99") {
+		t.Errorf("next hop not set: %v", subj.NextHop)
+	}
+	if len(subj.ASPath) != 3 || subj.ASPath[0] != 65000 || subj.ASPath[2] != 65010 {
+		t.Errorf("prepend wrong: %v", subj.ASPath)
+	}
+	if len(subj.Communities) != 2 || subj.Communities[0] != c1 {
+		t.Errorf("communities not sorted/added: %v", subj.Communities)
+	}
+}
+
+func TestRouteMapMatchCommunityAndASPath(t *testing.T) {
+	c, _ := ParseCommunity("65000:666")
+	rm := &RouteMap{Name: "RM"}
+	rm.Add(MapClause{Seq: 10, Action: Deny, MatchCommunities: []Community{c}})
+	rm.Add(MapClause{Seq: 20, Action: Deny, MatchASInPath: 64512})
+	rm.Add(MapClause{Seq: 30, Action: Permit})
+
+	tagged := &Subject{Prefix: pfx("10.0.0.0/8"), Communities: []Community{c}}
+	if rm.Apply(tagged, nil) != Deny {
+		t.Error("community-tagged route not denied")
+	}
+	badAS := &Subject{Prefix: pfx("10.0.0.0/8"), ASPath: []uint32{65001, 64512}}
+	if rm.Apply(badAS, nil) != Deny {
+		t.Error("AS-path match not denied")
+	}
+	clean := &Subject{Prefix: pfx("10.0.0.0/8"), ASPath: []uint32{65001}}
+	if rm.Apply(clean, nil) != Permit {
+		t.Error("clean route denied")
+	}
+}
+
+func TestSubjectAddCommunityIdempotent(t *testing.T) {
+	s := &Subject{}
+	c, _ := ParseCommunity("1:1")
+	s.AddCommunity(c)
+	s.AddCommunity(c)
+	if len(s.Communities) != 1 {
+		t.Errorf("duplicate community added: %v", s.Communities)
+	}
+}
+
+func TestActionString(t *testing.T) {
+	if Permit.String() != "permit" || Deny.String() != "deny" {
+		t.Error("Action.String wrong")
+	}
+}

@@ -1,0 +1,135 @@
+// Package routegen synthesizes BGP route feeds standing in for the
+// production-recorded advertisements the paper injects during its
+// convergence experiment: deterministic, seeded prefix sets with a
+// realistic length distribution and varied path attributes.
+package routegen
+
+import (
+	"math/rand"
+	"net/netip"
+
+	"mfv/internal/bgp"
+	"mfv/internal/policy"
+)
+
+// Feed is one external peer's announcement set.
+type Feed struct {
+	Prefixes []netip.Prefix
+	Attrs    bgp.PathAttrs
+}
+
+// Generator produces deterministic synthetic feeds.
+type Generator struct {
+	rng *rand.Rand
+}
+
+// New returns a generator; the seed fixes the whole sequence.
+func New(seed int64) *Generator {
+	return &Generator{rng: rand.New(rand.NewSource(seed))}
+}
+
+// lengthDist approximates the public-table prefix-length distribution:
+// mostly /24, then /22–/23, some /16–/21, few short prefixes.
+func (g *Generator) length() int {
+	switch v := g.rng.Intn(100); {
+	case v < 55:
+		return 24
+	case v < 70:
+		return 23
+	case v < 80:
+		return 22
+	case v < 88:
+		return 21
+	case v < 94:
+		return 20
+	case v < 97:
+		return 19
+	case v < 99:
+		return 16
+	default:
+		return 12
+	}
+}
+
+// Prefixes generates n unique prefixes. Addresses are drawn from the
+// globally-routable-looking space (avoiding 0/8, 10/8, 127/8, 224/4 and the
+// test nets this repository uses for infrastructure).
+func (g *Generator) Prefixes(n int) []netip.Prefix {
+	seen := make(map[netip.Prefix]bool, n)
+	out := make([]netip.Prefix, 0, n)
+	for len(out) < n {
+		var b [4]byte
+		b[0] = byte(20 + g.rng.Intn(180)) // 20..199
+		switch b[0] {
+		case 100, 127, 192, 198, 203:
+			continue // reserved/test/infra ranges
+		}
+		b[1] = byte(g.rng.Intn(256))
+		b[2] = byte(g.rng.Intn(256))
+		p := netip.PrefixFrom(netip.AddrFrom4(b), g.length()).Masked()
+		if seen[p] {
+			continue
+		}
+		seen[p] = true
+		out = append(out, p)
+	}
+	return out
+}
+
+// ASPath generates a plausible upstream AS path of 1–5 hops starting at
+// originAS.
+func (g *Generator) ASPath(originAS uint32) []uint32 {
+	n := 1 + g.rng.Intn(5)
+	path := make([]uint32, 0, n)
+	path = append(path, originAS)
+	for i := 1; i < n; i++ {
+		path = append(path, 1000+uint32(g.rng.Intn(64000)))
+	}
+	return path
+}
+
+// FullTable generates a feed of n prefixes as announced by peerAS,
+// partitioned into groups sharing attribute bundles (as real tables do).
+func (g *Generator) FullTable(peerAS uint32, n int) []Feed {
+	prefixes := g.Prefixes(n)
+	// ~32 attribute bundles.
+	groups := 32
+	if n < groups {
+		groups = n
+	}
+	if groups == 0 {
+		return nil
+	}
+	feeds := make([]Feed, groups)
+	for i := range feeds {
+		// The path is as seen AT the peer (its own ASN is prepended by the
+		// injector's eBGP export, so it must not appear here).
+		attrs := bgp.PathAttrs{
+			Origin: uint8(g.rng.Intn(3)),
+			ASPath: g.ASPath(1000 + uint32(g.rng.Intn(64000))),
+		}
+		if g.rng.Intn(2) == 0 {
+			attrs.MED = uint32(g.rng.Intn(1000))
+			attrs.HasMED = true
+		}
+		for c := 0; c < g.rng.Intn(4); c++ {
+			attrs.Communities = append(attrs.Communities,
+				policy.Community(peerAS<<16|uint32(g.rng.Intn(1000))))
+		}
+		feeds[i] = Feed{Attrs: attrs}
+	}
+	for i, p := range prefixes {
+		f := &feeds[i%groups]
+		f.Prefixes = append(f.Prefixes, p)
+	}
+	return feeds
+}
+
+// Total counts the prefixes across feeds.
+func Total(feeds []Feed) int {
+	n := 0
+	for _, f := range feeds {
+		n += len(f.Prefixes)
+	}
+	return n
+}

@@ -1,0 +1,93 @@
+package routegen
+
+import (
+	"testing"
+)
+
+func TestPrefixesUniqueAndDeterministic(t *testing.T) {
+	a := New(7).Prefixes(5000)
+	b := New(7).Prefixes(5000)
+	if len(a) != 5000 {
+		t.Fatalf("len = %d", len(a))
+	}
+	seen := map[string]bool{}
+	for i, p := range a {
+		if seen[p.String()] {
+			t.Fatalf("duplicate prefix %v", p)
+		}
+		seen[p.String()] = true
+		if p != b[i] {
+			t.Fatalf("same seed diverged at %d: %v vs %v", i, p, b[i])
+		}
+		if p.Masked() != p {
+			t.Errorf("unmasked prefix %v", p)
+		}
+	}
+	if c := New(8).Prefixes(100); c[0] == a[0] && c[1] == a[1] && c[2] == a[2] {
+		t.Error("different seeds produced the same sequence")
+	}
+}
+
+func TestPrefixesAvoidReservedSpace(t *testing.T) {
+	for _, p := range New(3).Prefixes(5000) {
+		b := p.Addr().As4()
+		switch b[0] {
+		case 0, 10, 100, 127, 192, 198, 203:
+			t.Fatalf("prefix in reserved/infra space: %v", p)
+		}
+		if b[0] >= 224 {
+			t.Fatalf("multicast prefix: %v", p)
+		}
+	}
+}
+
+func TestLengthDistribution(t *testing.T) {
+	counts := map[int]int{}
+	for _, p := range New(11).Prefixes(10000) {
+		counts[p.Bits()]++
+	}
+	if counts[24] < 4000 {
+		t.Errorf("/24 share = %d/10000, want realistic majority", counts[24])
+	}
+	if counts[12] > 500 {
+		t.Errorf("/12 share = %d, want rare", counts[12])
+	}
+	for bits := range counts {
+		if bits < 12 || bits > 24 {
+			t.Errorf("unexpected length /%d", bits)
+		}
+	}
+}
+
+func TestFullTable(t *testing.T) {
+	feeds := New(5).FullTable(64700, 10000)
+	if Total(feeds) != 10000 {
+		t.Fatalf("Total = %d", Total(feeds))
+	}
+	if len(feeds) != 32 {
+		t.Errorf("groups = %d, want 32", len(feeds))
+	}
+	for _, f := range feeds {
+		if len(f.Prefixes) == 0 {
+			t.Error("empty feed group")
+		}
+		if len(f.Attrs.ASPath) == 0 || len(f.Attrs.ASPath) > 5 {
+			t.Errorf("AS path = %v", f.Attrs.ASPath)
+		}
+		for _, as := range f.Attrs.ASPath {
+			if as == 64700 {
+				t.Error("peer AS embedded in announced path (double prepend)")
+			}
+		}
+	}
+}
+
+func TestFullTableSmall(t *testing.T) {
+	feeds := New(5).FullTable(64700, 3)
+	if Total(feeds) != 3 || len(feeds) != 3 {
+		t.Errorf("small table = %d groups %d prefixes", len(feeds), Total(feeds))
+	}
+	if New(5).FullTable(1, 0) != nil {
+		t.Error("zero-size table not nil")
+	}
+}

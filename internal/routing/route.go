@@ -1,0 +1,170 @@
+package routing
+
+import (
+	"fmt"
+	"net/netip"
+	"sort"
+	"strings"
+)
+
+// Protocol identifies the source of a route, in the sense of a router's
+// "show ip route" origin column.
+type Protocol uint8
+
+// Route sources in ascending default administrative distance.
+const (
+	ProtoConnected Protocol = iota
+	ProtoStatic
+	ProtoTE // RSVP-TE tunnel route to the tail-end loopback
+	ProtoEBGP
+	ProtoISIS
+	ProtoIBGP
+	ProtoAggregate
+	ProtoLocal // /32 for the interface address itself
+)
+
+// String returns the router-CLI style protocol code.
+func (p Protocol) String() string {
+	switch p {
+	case ProtoConnected:
+		return "connected"
+	case ProtoStatic:
+		return "static"
+	case ProtoTE:
+		return "te"
+	case ProtoEBGP:
+		return "ebgp"
+	case ProtoISIS:
+		return "isis"
+	case ProtoIBGP:
+		return "ibgp"
+	case ProtoAggregate:
+		return "aggregate"
+	case ProtoLocal:
+		return "local"
+	default:
+		return fmt.Sprintf("proto(%d)", uint8(p))
+	}
+}
+
+// DefaultDistance returns the administrative distance used when a config does
+// not override it. Values follow the common EOS/IOS convention.
+func (p Protocol) DefaultDistance() uint8 {
+	switch p {
+	case ProtoConnected, ProtoLocal:
+		return 0
+	case ProtoStatic:
+		return 1
+	case ProtoTE:
+		return 2
+	case ProtoEBGP:
+		return 20
+	case ProtoISIS:
+		return 115
+	case ProtoIBGP:
+		return 200
+	case ProtoAggregate:
+		return 210
+	default:
+		return 255
+	}
+}
+
+// NextHop is one element of a route's ECMP set.
+type NextHop struct {
+	// IP is the next-hop address; the zero Addr means the route is directly
+	// attached (deliver on Interface).
+	IP netip.Addr
+	// Interface is the egress interface name when known. Recursive routes
+	// (e.g. BGP next hops) leave it empty until FIB resolution.
+	Interface string
+	// LabelStack carries MPLS labels to push, outermost first.
+	LabelStack []uint32
+}
+
+// String renders the next hop as "ip via intf [labels …]".
+func (nh NextHop) String() string {
+	var b strings.Builder
+	if nh.IP.IsValid() {
+		b.WriteString(nh.IP.String())
+	} else {
+		b.WriteString("direct")
+	}
+	if nh.Interface != "" {
+		fmt.Fprintf(&b, " via %s", nh.Interface)
+	}
+	if len(nh.LabelStack) > 0 {
+		fmt.Fprintf(&b, " labels %v", nh.LabelStack)
+	}
+	return b.String()
+}
+
+// Equal reports full next-hop equality including label stacks.
+func (nh NextHop) Equal(o NextHop) bool {
+	if nh.IP != o.IP || nh.Interface != o.Interface || len(nh.LabelStack) != len(o.LabelStack) {
+		return false
+	}
+	for i := range nh.LabelStack {
+		if nh.LabelStack[i] != o.LabelStack[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Route is a candidate RIB entry as installed by one protocol.
+type Route struct {
+	Prefix   netip.Prefix
+	Protocol Protocol
+	// Distance is the administrative distance; 0 is meaningful only for
+	// connected/local routes, so protocols should populate it via
+	// Protocol.DefaultDistance unless configured otherwise.
+	Distance uint8
+	// Metric is the protocol-internal metric (IGP cost, BGP MED is NOT
+	// carried here — BGP arbitration happens inside the BGP engine and only
+	// the winner is installed).
+	Metric uint32
+	// NextHops is the ECMP set, kept sorted by (IP, Interface).
+	NextHops []NextHop
+	// Drop marks a null/discard route (e.g. aggregate discard or static
+	// Null0); such routes forward to nowhere and blackhole matching traffic.
+	Drop bool
+}
+
+// SortNextHops normalizes the ECMP set ordering in place.
+func (r *Route) SortNextHops() {
+	sort.Slice(r.NextHops, func(i, j int) bool {
+		a, b := r.NextHops[i], r.NextHops[j]
+		if a.IP != b.IP {
+			return a.IP.Less(b.IP)
+		}
+		return a.Interface < b.Interface
+	})
+}
+
+// Equal reports semantic route equality (used by convergence detection).
+func (r Route) Equal(o Route) bool {
+	if r.Prefix != o.Prefix || r.Protocol != o.Protocol || r.Distance != o.Distance ||
+		r.Metric != o.Metric || r.Drop != o.Drop || len(r.NextHops) != len(o.NextHops) {
+		return false
+	}
+	for i := range r.NextHops {
+		if !r.NextHops[i].Equal(o.NextHops[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the route in a show-ip-route-like single line.
+func (r Route) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s %v [%d/%d]", r.Protocol, r.Prefix, r.Distance, r.Metric)
+	if r.Drop {
+		b.WriteString(" drop")
+	}
+	for _, nh := range r.NextHops {
+		fmt.Fprintf(&b, " -> %s", nh)
+	}
+	return b.String()
+}

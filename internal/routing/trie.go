@@ -1,0 +1,181 @@
+// Package routing provides the route data structures shared by every control
+// plane in the repository: a binary prefix trie for longest-prefix match, a
+// RIB with administrative-distance arbitration, and the route types that
+// protocols install.
+package routing
+
+import (
+	"fmt"
+	"net/netip"
+)
+
+// Trie is a binary (one bit per level) prefix trie over IPv4 prefixes mapping
+// each prefix to an arbitrary value. The zero value is not usable; call
+// NewTrie.
+type Trie[V any] struct {
+	root *trieNode[V]
+	size int
+}
+
+type trieNode[V any] struct {
+	child [2]*trieNode[V]
+	val   V
+	set   bool
+}
+
+// NewTrie returns an empty trie.
+func NewTrie[V any]() *Trie[V] {
+	return &Trie[V]{root: &trieNode[V]{}}
+}
+
+// Len returns the number of prefixes stored.
+func (t *Trie[V]) Len() int { return t.size }
+
+func bitAt(a netip.Addr, i int) int {
+	b := a.As4()
+	return int(b[i/8]>>(7-i%8)) & 1
+}
+
+func checkPrefix(p netip.Prefix) netip.Prefix {
+	if !p.IsValid() || !p.Addr().Is4() {
+		panic(fmt.Sprintf("routing: invalid or non-IPv4 prefix %v", p))
+	}
+	return p.Masked()
+}
+
+// Insert stores val under p, replacing any existing value. It reports whether
+// the prefix was newly added.
+func (t *Trie[V]) Insert(p netip.Prefix, val V) bool {
+	p = checkPrefix(p)
+	n := t.root
+	for i := 0; i < p.Bits(); i++ {
+		b := bitAt(p.Addr(), i)
+		if n.child[b] == nil {
+			n.child[b] = &trieNode[V]{}
+		}
+		n = n.child[b]
+	}
+	added := !n.set
+	n.val, n.set = val, true
+	if added {
+		t.size++
+	}
+	return added
+}
+
+// Get returns the value stored at exactly p.
+func (t *Trie[V]) Get(p netip.Prefix) (V, bool) {
+	p = checkPrefix(p)
+	n := t.root
+	for i := 0; i < p.Bits(); i++ {
+		n = n.child[bitAt(p.Addr(), i)]
+		if n == nil {
+			var zero V
+			return zero, false
+		}
+	}
+	return n.val, n.set
+}
+
+// Delete removes the value stored at exactly p and reports whether a value
+// was present. Interior nodes are pruned lazily: unreferenced branches are
+// trimmed on the way back up.
+func (t *Trie[V]) Delete(p netip.Prefix) bool {
+	p = checkPrefix(p)
+	path := make([]*trieNode[V], 0, p.Bits()+1)
+	n := t.root
+	path = append(path, n)
+	for i := 0; i < p.Bits(); i++ {
+		n = n.child[bitAt(p.Addr(), i)]
+		if n == nil {
+			return false
+		}
+		path = append(path, n)
+	}
+	if !n.set {
+		return false
+	}
+	var zero V
+	n.val, n.set = zero, false
+	t.size--
+	// Prune empty leaves.
+	for i := len(path) - 1; i > 0; i-- {
+		node := path[i]
+		if node.set || node.child[0] != nil || node.child[1] != nil {
+			break
+		}
+		parent := path[i-1]
+		b := bitAt(p.Addr(), i-1)
+		if parent.child[b] == node {
+			parent.child[b] = nil
+		}
+	}
+	return true
+}
+
+// Lookup returns the value of the longest prefix containing addr.
+func (t *Trie[V]) Lookup(addr netip.Addr) (netip.Prefix, V, bool) {
+	if !addr.Is4() {
+		var zero V
+		return netip.Prefix{}, zero, false
+	}
+	n := t.root
+	var (
+		best     V
+		bestLen  = -1
+		hasMatch bool
+	)
+	for i := 0; ; i++ {
+		if n.set {
+			best, bestLen, hasMatch = n.val, i, true
+		}
+		if i == 32 {
+			break
+		}
+		n = n.child[bitAt(addr, i)]
+		if n == nil {
+			break
+		}
+	}
+	if !hasMatch {
+		var zero V
+		return netip.Prefix{}, zero, false
+	}
+	return netip.PrefixFrom(addr, bestLen).Masked(), best, true
+}
+
+// Walk visits every stored prefix in trie (lexicographic bit) order. If fn
+// returns false the walk stops early.
+func (t *Trie[V]) Walk(fn func(p netip.Prefix, val V) bool) {
+	var rec func(n *trieNode[V], addr [4]byte, depth int) bool
+	rec = func(n *trieNode[V], addr [4]byte, depth int) bool {
+		if n == nil {
+			return true
+		}
+		if n.set {
+			p := netip.PrefixFrom(netip.AddrFrom4(addr), depth)
+			if !fn(p, n.val) {
+				return false
+			}
+		}
+		if depth == 32 {
+			return true
+		}
+		if !rec(n.child[0], addr, depth+1) {
+			return false
+		}
+		addr[depth/8] |= 1 << (7 - depth%8)
+		return rec(n.child[1], addr, depth+1)
+	}
+	rec(t.root, [4]byte{}, 0)
+}
+
+// Prefixes returns every stored prefix in bit order.
+func (t *Trie[V]) Prefixes() []netip.Prefix {
+	out := make([]netip.Prefix, 0, t.size)
+	t.Walk(func(p netip.Prefix, _ V) bool {
+		out = append(out, p)
+		return true
+	})
+	return out
+}

@@ -1,0 +1,235 @@
+package routing
+
+import (
+	"math/rand"
+	"net/netip"
+	"testing"
+	"testing/quick"
+)
+
+func mustPrefix(s string) netip.Prefix { return netip.MustParsePrefix(s) }
+func mustAddr(s string) netip.Addr     { return netip.MustParseAddr(s) }
+
+func TestTrieInsertGet(t *testing.T) {
+	tr := NewTrie[string]()
+	if !tr.Insert(mustPrefix("10.0.0.0/8"), "a") {
+		t.Error("first insert reported not-added")
+	}
+	if tr.Insert(mustPrefix("10.0.0.0/8"), "b") {
+		t.Error("replacing insert reported added")
+	}
+	if v, ok := tr.Get(mustPrefix("10.0.0.0/8")); !ok || v != "b" {
+		t.Errorf("Get = %q,%v; want b,true", v, ok)
+	}
+	if _, ok := tr.Get(mustPrefix("10.0.0.0/9")); ok {
+		t.Error("Get on absent longer prefix succeeded")
+	}
+	if tr.Len() != 1 {
+		t.Errorf("Len = %d, want 1", tr.Len())
+	}
+}
+
+func TestTrieZeroLengthPrefix(t *testing.T) {
+	tr := NewTrie[int]()
+	tr.Insert(mustPrefix("0.0.0.0/0"), 1)
+	p, v, ok := tr.Lookup(mustAddr("203.0.113.9"))
+	if !ok || v != 1 || p != mustPrefix("0.0.0.0/0") {
+		t.Errorf("default route lookup = %v,%v,%v", p, v, ok)
+	}
+}
+
+func TestTrieHostRoute(t *testing.T) {
+	tr := NewTrie[int]()
+	tr.Insert(mustPrefix("192.0.2.1/32"), 7)
+	if _, _, ok := tr.Lookup(mustAddr("192.0.2.2")); ok {
+		t.Error("host route matched a different address")
+	}
+	if p, v, ok := tr.Lookup(mustAddr("192.0.2.1")); !ok || v != 7 || p.Bits() != 32 {
+		t.Errorf("host lookup = %v,%v,%v", p, v, ok)
+	}
+}
+
+func TestTrieLongestMatchWins(t *testing.T) {
+	tr := NewTrie[string]()
+	tr.Insert(mustPrefix("10.0.0.0/8"), "eight")
+	tr.Insert(mustPrefix("10.1.0.0/16"), "sixteen")
+	tr.Insert(mustPrefix("10.1.2.0/24"), "twentyfour")
+	tests := []struct {
+		addr string
+		want string
+	}{
+		{"10.1.2.3", "twentyfour"},
+		{"10.1.3.4", "sixteen"},
+		{"10.2.0.1", "eight"},
+	}
+	for _, tc := range tests {
+		if _, v, ok := tr.Lookup(mustAddr(tc.addr)); !ok || v != tc.want {
+			t.Errorf("Lookup(%s) = %q,%v; want %q", tc.addr, v, ok, tc.want)
+		}
+	}
+	if _, _, ok := tr.Lookup(mustAddr("11.0.0.1")); ok {
+		t.Error("lookup outside all prefixes matched")
+	}
+}
+
+func TestTrieDelete(t *testing.T) {
+	tr := NewTrie[int]()
+	tr.Insert(mustPrefix("10.0.0.0/8"), 1)
+	tr.Insert(mustPrefix("10.1.0.0/16"), 2)
+	if !tr.Delete(mustPrefix("10.1.0.0/16")) {
+		t.Error("Delete existing returned false")
+	}
+	if tr.Delete(mustPrefix("10.1.0.0/16")) {
+		t.Error("second Delete returned true")
+	}
+	if tr.Delete(mustPrefix("172.16.0.0/12")) {
+		t.Error("Delete absent returned true")
+	}
+	if _, v, ok := tr.Lookup(mustAddr("10.1.2.3")); !ok || v != 1 {
+		t.Errorf("after delete, Lookup = %v,%v; want 1,true", v, ok)
+	}
+	if tr.Len() != 1 {
+		t.Errorf("Len = %d, want 1", tr.Len())
+	}
+}
+
+func TestTrieDeleteKeepsCoveringEntry(t *testing.T) {
+	// Deleting a shorter prefix must not disturb a longer one sharing the path.
+	tr := NewTrie[int]()
+	tr.Insert(mustPrefix("10.0.0.0/8"), 1)
+	tr.Insert(mustPrefix("10.0.0.0/24"), 2)
+	tr.Delete(mustPrefix("10.0.0.0/8"))
+	if _, v, ok := tr.Lookup(mustAddr("10.0.0.5")); !ok || v != 2 {
+		t.Errorf("Lookup = %v,%v; want 2,true", v, ok)
+	}
+	if _, _, ok := tr.Lookup(mustAddr("10.9.0.5")); ok {
+		t.Error("deleted /8 still matching")
+	}
+}
+
+func TestTrieWalkOrderAndEarlyStop(t *testing.T) {
+	tr := NewTrie[int]()
+	ps := []string{"10.0.0.0/8", "10.0.0.0/24", "192.168.0.0/16", "0.0.0.0/0"}
+	for i, p := range ps {
+		tr.Insert(mustPrefix(p), i)
+	}
+	got := tr.Prefixes()
+	want := []string{"0.0.0.0/0", "10.0.0.0/8", "10.0.0.0/24", "192.168.0.0/16"}
+	if len(got) != len(want) {
+		t.Fatalf("Prefixes len = %d, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != mustPrefix(want[i]) {
+			t.Errorf("Prefixes[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+	n := 0
+	tr.Walk(func(netip.Prefix, int) bool { n++; return n < 2 })
+	if n != 2 {
+		t.Errorf("early-stopped walk visited %d, want 2", n)
+	}
+}
+
+func TestTrieUnmaskedInsert(t *testing.T) {
+	tr := NewTrie[int]()
+	tr.Insert(netip.PrefixFrom(mustAddr("10.1.2.3"), 8), 5) // host bits set
+	if v, ok := tr.Get(mustPrefix("10.0.0.0/8")); !ok || v != 5 {
+		t.Errorf("unmasked insert not normalized: %v %v", v, ok)
+	}
+}
+
+func TestTriePanicsOnIPv6(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("IPv6 insert did not panic")
+		}
+	}()
+	NewTrie[int]().Insert(netip.MustParsePrefix("2001:db8::/32"), 1)
+}
+
+// linearLPM is the obviously-correct reference: scan all prefixes, pick the
+// longest containing addr.
+func linearLPM(prefixes []netip.Prefix, addr netip.Addr) (netip.Prefix, bool) {
+	best := netip.Prefix{}
+	found := false
+	for _, p := range prefixes {
+		if p.Contains(addr) && (!found || p.Bits() > best.Bits()) {
+			best, found = p, true
+		}
+	}
+	return best, found
+}
+
+func randomPrefix(r *rand.Rand) netip.Prefix {
+	var b [4]byte
+	r.Read(b[:])
+	bits := r.Intn(33)
+	return netip.PrefixFrom(netip.AddrFrom4(b), bits).Masked()
+}
+
+// Property: trie LPM agrees with the linear reference on random route tables
+// and random probe addresses.
+func TestQuickTrieMatchesLinear(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	f := func(seed int64) bool {
+		rr := rand.New(rand.NewSource(seed))
+		tr := NewTrie[int]()
+		var prefixes []netip.Prefix
+		for i := 0; i < 50; i++ {
+			p := randomPrefix(rr)
+			if tr.Insert(p, i) {
+				prefixes = append(prefixes, p)
+			}
+		}
+		for i := 0; i < 100; i++ {
+			var ab [4]byte
+			rr.Read(ab[:])
+			addr := netip.AddrFrom4(ab)
+			wantP, wantOK := linearLPM(prefixes, addr)
+			gotP, _, gotOK := tr.Lookup(addr)
+			if wantOK != gotOK {
+				return false
+			}
+			if wantOK && wantP != gotP {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50, Rand: r}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: after random interleaved inserts and deletes, Len equals the size
+// of a reference map and every remaining prefix is Get-able.
+func TestQuickTrieInsertDeleteConsistent(t *testing.T) {
+	f := func(seed int64) bool {
+		rr := rand.New(rand.NewSource(seed))
+		tr := NewTrie[int]()
+		ref := map[netip.Prefix]int{}
+		for i := 0; i < 200; i++ {
+			p := randomPrefix(rr)
+			if rr.Intn(3) == 0 {
+				delete(ref, p)
+				tr.Delete(p)
+			} else {
+				ref[p] = i
+				tr.Insert(p, i)
+			}
+		}
+		if tr.Len() != len(ref) {
+			return false
+		}
+		for p, v := range ref {
+			got, ok := tr.Get(p)
+			if !ok || got != v {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30, Rand: rand.New(rand.NewSource(12))}); err != nil {
+		t.Error(err)
+	}
+}

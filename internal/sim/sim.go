@@ -1,0 +1,269 @@
+// Package sim provides a deterministic discrete-event simulator used as the
+// timing substrate for control-plane emulation.
+//
+// The emulator in internal/kne runs hundreds to thousands of virtual routers.
+// Running them against the wall clock would make convergence experiments slow
+// and non-reproducible, so protocol engines are written against sim.Clock and
+// scheduled on a single event queue with a virtual clock. Events at the same
+// virtual instant are ordered by insertion sequence, which makes every run
+// with the same seed bit-for-bit repeatable.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+// Event is a scheduled callback.
+type Event struct {
+	at     time.Duration // virtual time
+	seq    uint64        // tie-break for same-instant events
+	fn     func()
+	index  int // heap index; -1 when popped or canceled
+	cancel bool
+}
+
+// Canceled reports whether the event was canceled before firing.
+func (e *Event) Canceled() bool { return e.cancel }
+
+// At returns the virtual time the event is scheduled for.
+func (e *Event) At() time.Duration { return e.at }
+
+type eventQueue []*Event
+
+func (q eventQueue) Len() int { return len(q) }
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+func (q eventQueue) Swap(i, j int) {
+	q[i], q[j] = q[j], q[i]
+	q[i].index = i
+	q[j].index = j
+}
+func (q *eventQueue) Push(x any) {
+	e := x.(*Event)
+	e.index = len(*q)
+	*q = append(*q, e)
+}
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.index = -1
+	*q = old[:n-1]
+	return e
+}
+
+// Clock exposes virtual time to protocol engines. It is satisfied by
+// *Simulator; engines never read the wall clock directly so they behave
+// identically under emulation and unit test.
+type Clock interface {
+	// Now returns the current virtual time since simulation start.
+	Now() time.Duration
+	// After schedules fn to run d after the current virtual time and
+	// returns a handle that can cancel it.
+	After(d time.Duration, fn func()) *Event
+}
+
+// Simulator owns the virtual clock and event queue.
+type Simulator struct {
+	now   time.Duration
+	seq   uint64
+	queue eventQueue
+	rng   *rand.Rand
+
+	// Executed counts events that have fired; useful for loop detection in
+	// tests and for reporting simulation effort.
+	executed uint64
+}
+
+// New returns a simulator with the virtual clock at zero. The seed fixes all
+// randomness drawn through Rand, making runs reproducible.
+func New(seed int64) *Simulator {
+	return &Simulator{rng: rand.New(rand.NewSource(seed))}
+}
+
+// Now returns the current virtual time.
+func (s *Simulator) Now() time.Duration { return s.now }
+
+// Rand returns the simulation's seeded random source.
+func (s *Simulator) Rand() *rand.Rand { return s.rng }
+
+// Executed returns the number of events that have fired so far.
+func (s *Simulator) Executed() uint64 { return s.executed }
+
+// Pending returns the number of events waiting in the queue.
+func (s *Simulator) Pending() int { return len(s.queue) }
+
+// After schedules fn at now+d. Negative d is treated as zero. The returned
+// event can be canceled with Cancel.
+func (s *Simulator) After(d time.Duration, fn func()) *Event {
+	if fn == nil {
+		panic("sim: After called with nil fn")
+	}
+	if d < 0 {
+		d = 0
+	}
+	e := &Event{at: s.now + d, seq: s.seq, fn: fn}
+	s.seq++
+	heap.Push(&s.queue, e)
+	return e
+}
+
+// Cancel removes a scheduled event. Canceling an already-fired or
+// already-canceled event is a no-op.
+func (s *Simulator) Cancel(e *Event) {
+	if e == nil || e.cancel || e.index < 0 {
+		if e != nil {
+			e.cancel = true
+		}
+		return
+	}
+	e.cancel = true
+	heap.Remove(&s.queue, e.index)
+}
+
+// Step fires the earliest pending event. It returns false when the queue is
+// empty.
+func (s *Simulator) Step() bool {
+	for len(s.queue) > 0 {
+		e := heap.Pop(&s.queue).(*Event)
+		if e.cancel {
+			continue
+		}
+		if e.at < s.now {
+			panic(fmt.Sprintf("sim: event scheduled in the past: %v < %v", e.at, s.now))
+		}
+		s.now = e.at
+		s.executed++
+		e.fn()
+		return true
+	}
+	return false
+}
+
+// Run fires events until the queue drains. It returns the number of events
+// executed during this call.
+func (s *Simulator) Run() uint64 {
+	start := s.executed
+	for s.Step() {
+	}
+	return s.executed - start
+}
+
+// RunUntil fires events with virtual time ≤ deadline. Events scheduled for
+// later remain queued; the clock is advanced to deadline if the queue drains
+// or only later events remain. It returns the number of events executed.
+func (s *Simulator) RunUntil(deadline time.Duration) uint64 {
+	start := s.executed
+	for len(s.queue) > 0 {
+		next := s.peek()
+		if next == nil {
+			break
+		}
+		if next.at > deadline {
+			break
+		}
+		s.Step()
+	}
+	if s.now < deadline {
+		s.now = deadline
+	}
+	return s.executed - start
+}
+
+// RunFor advances the clock by d, firing everything due in the window.
+func (s *Simulator) RunFor(d time.Duration) uint64 {
+	return s.RunUntil(s.now + d)
+}
+
+// peek returns the earliest non-canceled event without firing it.
+func (s *Simulator) peek() *Event {
+	for len(s.queue) > 0 {
+		e := s.queue[0]
+		if !e.cancel {
+			return e
+		}
+		heap.Pop(&s.queue)
+	}
+	return nil
+}
+
+// NextAt returns the virtual time of the next pending event and true, or
+// zero and false when the queue is empty.
+func (s *Simulator) NextAt() (time.Duration, bool) {
+	e := s.peek()
+	if e == nil {
+		return 0, false
+	}
+	return e.at, true
+}
+
+// Ticker repeatedly invokes fn every period until stopped. It is the virtual
+// analogue of time.Ticker for protocol keepalive and refresh timers.
+type Ticker struct {
+	s       *Simulator
+	period  time.Duration
+	fn      func()
+	ev      *Event
+	stopped bool
+}
+
+// NewTicker schedules fn every period, first firing one period from now.
+func (s *Simulator) NewTicker(period time.Duration, fn func()) *Ticker {
+	if period <= 0 {
+		panic("sim: NewTicker requires a positive period")
+	}
+	t := &Ticker{s: s, period: period, fn: fn}
+	t.arm()
+	return t
+}
+
+func (t *Ticker) arm() {
+	t.ev = t.s.After(t.period, func() {
+		if t.stopped {
+			return
+		}
+		t.fn()
+		if !t.stopped {
+			t.arm()
+		}
+	})
+}
+
+// Stop cancels future ticks.
+func (t *Ticker) Stop() {
+	t.stopped = true
+	t.s.Cancel(t.ev)
+}
+
+// RealClock adapts the wall clock to the Clock interface, so protocol engines
+// can also run in real time (e.g. the TCP BGP speaker in internal/bgp).
+type RealClock struct{ start time.Time }
+
+// NewRealClock returns a Clock backed by the wall clock.
+func NewRealClock() *RealClock { return &RealClock{start: time.Now()} }
+
+// Now returns wall time elapsed since the clock was created.
+func (c *RealClock) Now() time.Duration { return time.Since(c.start) }
+
+// After schedules fn on a new goroutine after d of wall time. The returned
+// event's cancellation is best-effort: fn may still run if the timer has
+// already fired.
+func (c *RealClock) After(d time.Duration, fn func()) *Event {
+	e := &Event{at: c.Now() + d}
+	timer := time.AfterFunc(d, func() {
+		if !e.cancel {
+			fn()
+		}
+	})
+	// Wrap cancellation through the timer.
+	e.fn = func() { timer.Stop() }
+	return e
+}

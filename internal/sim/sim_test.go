@@ -1,0 +1,273 @@
+package sim
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestAfterOrdering(t *testing.T) {
+	s := New(1)
+	var got []int
+	s.After(30*time.Millisecond, func() { got = append(got, 3) })
+	s.After(10*time.Millisecond, func() { got = append(got, 1) })
+	s.After(20*time.Millisecond, func() { got = append(got, 2) })
+	s.Run()
+	want := []int{1, 2, 3}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("order = %v, want %v", got, want)
+		}
+	}
+	if s.Now() != 30*time.Millisecond {
+		t.Errorf("Now() = %v, want 30ms", s.Now())
+	}
+}
+
+func TestSameInstantFIFO(t *testing.T) {
+	s := New(1)
+	var got []int
+	for i := 0; i < 10; i++ {
+		i := i
+		s.After(5*time.Millisecond, func() { got = append(got, i) })
+	}
+	s.Run()
+	for i := range got {
+		if got[i] != i {
+			t.Fatalf("same-instant events out of insertion order: %v", got)
+		}
+	}
+}
+
+func TestCancel(t *testing.T) {
+	s := New(1)
+	fired := false
+	e := s.After(time.Second, func() { fired = true })
+	s.Cancel(e)
+	s.Run()
+	if fired {
+		t.Error("canceled event fired")
+	}
+	if !e.Canceled() {
+		t.Error("Canceled() = false after Cancel")
+	}
+	// Double-cancel is a no-op.
+	s.Cancel(e)
+	s.Cancel(nil)
+}
+
+func TestCancelDuringRun(t *testing.T) {
+	s := New(1)
+	var e2 *Event
+	fired := false
+	s.After(time.Millisecond, func() { s.Cancel(e2) })
+	e2 = s.After(2*time.Millisecond, func() { fired = true })
+	s.Run()
+	if fired {
+		t.Error("event canceled by an earlier event still fired")
+	}
+}
+
+func TestNestedScheduling(t *testing.T) {
+	s := New(1)
+	depth := 0
+	var recur func()
+	recur = func() {
+		depth++
+		if depth < 100 {
+			s.After(time.Millisecond, recur)
+		}
+	}
+	s.After(0, recur)
+	n := s.Run()
+	if depth != 100 {
+		t.Errorf("depth = %d, want 100", depth)
+	}
+	if n != 100 {
+		t.Errorf("executed = %d, want 100", n)
+	}
+	if s.Now() != 99*time.Millisecond {
+		t.Errorf("Now() = %v, want 99ms", s.Now())
+	}
+}
+
+func TestRunUntil(t *testing.T) {
+	s := New(1)
+	var fired []time.Duration
+	for _, d := range []time.Duration{10, 20, 30, 40} {
+		d := d * time.Millisecond
+		s.After(d, func() { fired = append(fired, d) })
+	}
+	s.RunUntil(25 * time.Millisecond)
+	if len(fired) != 2 {
+		t.Fatalf("fired %d events, want 2", len(fired))
+	}
+	if s.Now() != 25*time.Millisecond {
+		t.Errorf("Now() = %v, want 25ms (clock advances to deadline)", s.Now())
+	}
+	if s.Pending() != 2 {
+		t.Errorf("Pending() = %d, want 2", s.Pending())
+	}
+	s.RunFor(15 * time.Millisecond) // to 40ms
+	if len(fired) != 4 {
+		t.Errorf("fired %d events after RunFor, want 4", len(fired))
+	}
+}
+
+func TestNextAt(t *testing.T) {
+	s := New(1)
+	if _, ok := s.NextAt(); ok {
+		t.Error("NextAt on empty queue reported an event")
+	}
+	e := s.After(7*time.Millisecond, func() {})
+	if at, ok := s.NextAt(); !ok || at != 7*time.Millisecond {
+		t.Errorf("NextAt = %v,%v; want 7ms,true", at, ok)
+	}
+	s.Cancel(e)
+	if _, ok := s.NextAt(); ok {
+		t.Error("NextAt reported a canceled event")
+	}
+}
+
+func TestTicker(t *testing.T) {
+	s := New(1)
+	count := 0
+	tk := s.NewTicker(10*time.Millisecond, func() { count++ })
+	s.RunUntil(55 * time.Millisecond)
+	if count != 5 {
+		t.Errorf("ticks = %d, want 5", count)
+	}
+	tk.Stop()
+	s.RunUntil(200 * time.Millisecond)
+	if count != 5 {
+		t.Errorf("ticks after Stop = %d, want 5", count)
+	}
+}
+
+func TestTickerStopFromTick(t *testing.T) {
+	s := New(1)
+	count := 0
+	var tk *Ticker
+	tk = s.NewTicker(time.Millisecond, func() {
+		count++
+		if count == 3 {
+			tk.Stop()
+		}
+	})
+	s.Run()
+	if count != 3 {
+		t.Errorf("ticks = %d, want 3", count)
+	}
+}
+
+func TestNegativeDelayClamped(t *testing.T) {
+	s := New(1)
+	s.RunFor(time.Second)
+	fired := false
+	s.After(-time.Hour, func() { fired = true })
+	s.Step()
+	if !fired {
+		t.Error("negative-delay event did not fire immediately")
+	}
+	if s.Now() != time.Second {
+		t.Errorf("Now() = %v, want 1s (clock must not go backwards)", s.Now())
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	run := func(seed int64) []int {
+		s := New(seed)
+		var got []int
+		for i := 0; i < 200; i++ {
+			i := i
+			d := time.Duration(s.Rand().Intn(1000)) * time.Microsecond
+			s.After(d, func() { got = append(got, i) })
+		}
+		s.Run()
+		return got
+	}
+	a, b := run(42), run(42)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed produced different orderings at %d: %d vs %d", i, a[i], b[i])
+		}
+	}
+}
+
+// Property: events always fire in nondecreasing virtual-time order, whatever
+// the insertion order of delays.
+func TestQuickMonotoneFiring(t *testing.T) {
+	f := func(delaysMS []uint16) bool {
+		s := New(7)
+		var fired []time.Duration
+		for _, d := range delaysMS {
+			d := time.Duration(d) * time.Millisecond
+			s.After(d, func() { fired = append(fired, s.Now()) })
+		}
+		s.Run()
+		return sort.SliceIsSorted(fired, func(i, j int) bool { return fired[i] < fired[j] })
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200, Rand: rand.New(rand.NewSource(1))}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Run executes exactly as many events as were scheduled and not
+// canceled.
+func TestQuickExecutedCount(t *testing.T) {
+	f := func(delaysMS []uint16, cancelMask []bool) bool {
+		s := New(3)
+		events := make([]*Event, len(delaysMS))
+		for i, d := range delaysMS {
+			events[i] = s.After(time.Duration(d)*time.Millisecond, func() {})
+		}
+		canceled := 0
+		for i, e := range events {
+			if i < len(cancelMask) && cancelMask[i] {
+				s.Cancel(e)
+				canceled++
+			}
+		}
+		return s.Run() == uint64(len(delaysMS)-canceled)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200, Rand: rand.New(rand.NewSource(2))}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRealClock(t *testing.T) {
+	c := NewRealClock()
+	ch := make(chan struct{})
+	c.After(time.Millisecond, func() { close(ch) })
+	select {
+	case <-ch:
+	case <-time.After(2 * time.Second):
+		t.Fatal("RealClock.After never fired")
+	}
+	if c.Now() <= 0 {
+		t.Error("RealClock.Now() not advancing")
+	}
+}
+
+func TestPanicOnNilFn(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("After(nil) did not panic")
+		}
+	}()
+	New(1).After(0, nil)
+}
+
+func BenchmarkEventThroughput(b *testing.B) {
+	s := New(1)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s.After(time.Duration(i%1000)*time.Microsecond, func() {})
+		if s.Pending() > 10000 {
+			s.Run()
+		}
+	}
+	s.Run()
+}

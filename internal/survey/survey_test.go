@@ -1,0 +1,85 @@
+package survey
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestDatasetMatchesPaperAggregates(t *testing.T) {
+	s := Aggregate(Dataset())
+	if s.N != 30 {
+		t.Fatalf("n = %d, want 30", s.N)
+	}
+	// Sector counts from §2.
+	want := map[Sector]int{
+		SectorEnterprise: 8, SectorISP: 7, SectorCSP: 4, SectorGovernment: 3, SectorOther: 8,
+	}
+	for sec, n := range want {
+		if s.BySector[sec] != n {
+			t.Errorf("sector %s = %d, want %d", sec, s.BySector[sec], n)
+		}
+	}
+	// Size bands approximately even (7 or 8 each).
+	for band, n := range s.BySize {
+		if n < 7 || n > 8 {
+			t.Errorf("size band %s = %d, want 7–8", band, n)
+		}
+	}
+	if s.MultiVendorPct != 93 {
+		t.Errorf("multi-vendor = %d%%, want 93%%", s.MultiVendorPct)
+	}
+	// "two thirds of respondents had heard of network verification".
+	if s.HeardPct < 65 || s.HeardPct > 68 {
+		t.Errorf("heard = %d%%, want ~66%%", s.HeardPct)
+	}
+	// "only 30% had attempted to use it".
+	if s.AttemptedPct != 30 {
+		t.Errorf("attempted = %d%%, want 30%%", s.AttemptedPct)
+	}
+	// "the most frequent (74%) of biggest barriers ... do not support the
+	// specific features or protocols".
+	if s.BarrierPct[BarrierFeatureCoverage] != 73 && s.BarrierPct[BarrierFeatureCoverage] != 74 {
+		t.Errorf("feature barrier = %d%%, want 74%% (±1 rounding)", s.BarrierPct[BarrierFeatureCoverage])
+	}
+	// "52% selected lack of integration with existing workflows".
+	if s.BarrierPct[BarrierWorkflowIntegration] != 52 {
+		t.Errorf("workflow barrier = %d%%, want 52%%", s.BarrierPct[BarrierWorkflowIntegration])
+	}
+	// "nearly half rating ... 4 or 5 out of 5".
+	if s.HighImportancePct < 45 || s.HighImportancePct > 55 {
+		t.Errorf("high importance = %d%%, want ~50%%", s.HighImportancePct)
+	}
+	// The feature barrier must be the most frequent.
+	for b, pct := range s.BarrierPct {
+		if b != BarrierFeatureCoverage && pct >= s.BarrierPct[BarrierFeatureCoverage] {
+			t.Errorf("barrier %q (%d%%) outranks feature coverage", b, pct)
+		}
+	}
+}
+
+func TestAggregateEmpty(t *testing.T) {
+	s := Aggregate(nil)
+	if s.N != 0 || s.HeardPct != 0 {
+		t.Errorf("empty aggregate = %+v", s)
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	out := Aggregate(Dataset()).Table()
+	for _, want := range []string{"n=30", "93%", "30%", "feature coverage", "workflow integration"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestFunnelConsistency(t *testing.T) {
+	for _, r := range Dataset() {
+		if r.AttemptedVerification && !r.HeardOfVerification {
+			t.Errorf("respondent %d attempted without having heard", r.ID)
+		}
+		if len(r.Barriers) > 0 && !r.FamiliarWithTooling {
+			t.Errorf("respondent %d answered barriers without familiarity", r.ID)
+		}
+	}
+}

@@ -1,0 +1,158 @@
+package testnet
+
+import (
+	"strings"
+	"testing"
+
+	"mfv/internal/config/eos"
+	"mfv/internal/config/junoslike"
+	"mfv/internal/topology"
+)
+
+func TestFig2Shape(t *testing.T) {
+	topo := Fig2()
+	if err := topo.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(topo.Nodes) != 6 || len(topo.Links) != 5 {
+		t.Errorf("nodes=%d links=%d, want 6/5", len(topo.Nodes), len(topo.Links))
+	}
+	if !topo.Connected() {
+		t.Error("Fig2 not connected")
+	}
+	for _, n := range topo.Nodes {
+		total := eos.CountConfigLines(n.Config)
+		if total < 62 || total > 82 {
+			t.Errorf("%s: %d lines, want 62–82 (paper range)", n.Name, total)
+		}
+		if _, diags, err := eos.Parse(n.Config); err != nil || len(diags.Unknown) > 0 {
+			t.Errorf("%s: config invalid: %v %v", n.Name, err, diags)
+		}
+	}
+}
+
+func TestFig2BuggyRemovesOnlyEBGPSession(t *testing.T) {
+	good, bad := Fig2(), Fig2Buggy()
+	for i := range good.Nodes {
+		g, b := good.Nodes[i], bad.Nodes[i]
+		if g.Name == "r2" || g.Name == "r3" {
+			if !strings.Contains(g.Config, "neighbor 100.64.23.") {
+				t.Errorf("%s: good config lacks eBGP neighbor", g.Name)
+			}
+			if strings.Contains(b.Config, "neighbor 100.64.23.") {
+				t.Errorf("%s: buggy config still has eBGP neighbor", b.Name)
+			}
+			// Everything else identical line-for-line.
+			gl := strings.Split(g.Config, "\n")
+			var kept []string
+			for _, l := range gl {
+				if !strings.Contains(l, "neighbor 100.64.23.") {
+					kept = append(kept, l)
+				}
+			}
+			if strings.Join(kept, "\n") != b.Config {
+				t.Errorf("%s: buggy config differs beyond the session", g.Name)
+			}
+			continue
+		}
+		if g.Config != b.Config {
+			t.Errorf("%s: non-border config changed", g.Name)
+		}
+	}
+}
+
+func TestFig2Helpers(t *testing.T) {
+	if Fig2ASOf("r1") != 65002 || Fig2ASOf("r4") != 65003 || Fig2ASOf("r6") != 65001 || Fig2ASOf("zz") != 0 {
+		t.Error("Fig2ASOf wrong")
+	}
+	if Fig2Loopback("r3").String() != "2.2.2.3" {
+		t.Error("Fig2Loopback wrong")
+	}
+}
+
+func TestFig3Shape(t *testing.T) {
+	topo := Fig3()
+	if err := topo.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(topo.Nodes) != 3 || len(topo.Links) != 2 {
+		t.Fatalf("nodes=%d links=%d", len(topo.Nodes), len(topo.Links))
+	}
+	// Every Ethernet block must carry the misordering and the NETs must
+	// match the paper's Fig. 3 style.
+	for _, n := range topo.Nodes {
+		if !strings.Contains(n.Config, "net 49.0001.1010.1040.10") {
+			t.Errorf("%s: NET missing:\n%s", n.Name, n.Config)
+		}
+		lines := strings.Split(n.Config, "\n")
+		for i, l := range lines {
+			if strings.Contains(l, "no switchport") {
+				if i == 0 || !strings.Contains(lines[i-1], "ip address") {
+					t.Errorf("%s: switchport misordering not present near line %d", n.Name, i)
+				}
+			}
+		}
+		if _, _, err := eos.Parse(n.Config); err != nil {
+			t.Errorf("%s: %v", n.Name, err)
+		}
+	}
+}
+
+func TestWANShapes(t *testing.T) {
+	for _, n := range []int{2, 5, 9, 30} {
+		topo := WAN(n, false)
+		if err := topo.Validate(); err != nil {
+			t.Fatalf("WAN(%d): %v", n, err)
+		}
+		if len(topo.Nodes) != n {
+			t.Errorf("WAN(%d) has %d nodes", n, len(topo.Nodes))
+		}
+		if !topo.Connected() {
+			t.Errorf("WAN(%d) not connected", n)
+		}
+		for _, node := range topo.Nodes {
+			if _, _, err := eos.Parse(node.Config); err != nil {
+				t.Errorf("WAN(%d) %s: %v", n, node.Name, err)
+			}
+		}
+	}
+}
+
+func TestWANMultiVendor(t *testing.T) {
+	topo := WAN(30, true)
+	if err := topo.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	junos := 0
+	for _, n := range topo.Nodes {
+		if n.Vendor == topology.VendorJunosLike {
+			junos++
+			if _, err := junoslike.Parse(n.Config); err != nil {
+				t.Errorf("%s: junoslike config invalid: %v\n%s", n.Name, err, n.Config)
+			}
+		}
+	}
+	if junos == 0 {
+		t.Error("multi-vendor WAN has no junoslike nodes")
+	}
+}
+
+func TestWANInjectionEdge(t *testing.T) {
+	topo := WAN(9, false)
+	first := topo.Nodes[0]
+	if !strings.Contains(first.Config, "neighbor 198.51.100.1 remote-as 64700") {
+		t.Errorf("injection edge missing:\n%s", first.Config)
+	}
+	if !strings.Contains(first.Config, "198.51.100.0/31") {
+		t.Error("injection subnet missing")
+	}
+}
+
+func TestWANPanicsOnTiny(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("WAN(1) did not panic")
+		}
+	}()
+	WAN(1, false)
+}

@@ -1,0 +1,118 @@
+package topology
+
+import "fmt"
+
+// The builders below generate common topology shapes used by tests, examples,
+// and the scale benchmarks. Interface naming follows the EOS convention
+// (Ethernet1, Ethernet2, …) with per-node counters, matching what the config
+// generator emits.
+
+// namer hands out sequential EthernetN names per node.
+type namer map[string]int
+
+func (n namer) next(node string) string {
+	n[node]++
+	return fmt.Sprintf("Ethernet%d", n[node])
+}
+
+// Line returns a chain r1 — r2 — … — rN.
+func Line(n int, vendor Vendor) *Topology {
+	t := &Topology{Name: fmt.Sprintf("line-%d", n)}
+	nm := namer{}
+	for i := 1; i <= n; i++ {
+		t.Nodes = append(t.Nodes, Node{Name: fmt.Sprintf("r%d", i), Vendor: vendor})
+	}
+	for i := 1; i < n; i++ {
+		a, z := fmt.Sprintf("r%d", i), fmt.Sprintf("r%d", i+1)
+		t.Links = append(t.Links, Link{
+			A: Endpoint{Node: a, Interface: nm.next(a)},
+			Z: Endpoint{Node: z, Interface: nm.next(z)},
+		})
+	}
+	return t
+}
+
+// Ring returns a cycle of n nodes (n ≥ 3).
+func Ring(n int, vendor Vendor) *Topology {
+	t := Line(n, vendor)
+	t.Name = fmt.Sprintf("ring-%d", n)
+	if n >= 3 {
+		// Close the loop; the line builder used one interface on r1 and rN.
+		t.Links = append(t.Links, Link{
+			A: Endpoint{Node: "r1", Interface: fmt.Sprintf("Ethernet%d", 2)},
+			Z: Endpoint{Node: fmt.Sprintf("r%d", n), Interface: fmt.Sprintf("Ethernet%d", 2)},
+		})
+	}
+	return t
+}
+
+// Clos returns a two-tier leaf/spine fabric with the given counts; every leaf
+// connects to every spine. Node names are spineI / leafJ.
+func Clos(spines, leaves int, vendor Vendor) *Topology {
+	t := &Topology{Name: fmt.Sprintf("clos-%ds%dl", spines, leaves)}
+	nm := namer{}
+	for i := 1; i <= spines; i++ {
+		t.Nodes = append(t.Nodes, Node{Name: fmt.Sprintf("spine%d", i), Vendor: vendor})
+	}
+	for j := 1; j <= leaves; j++ {
+		t.Nodes = append(t.Nodes, Node{Name: fmt.Sprintf("leaf%d", j), Vendor: vendor})
+	}
+	for i := 1; i <= spines; i++ {
+		for j := 1; j <= leaves; j++ {
+			s, l := fmt.Sprintf("spine%d", i), fmt.Sprintf("leaf%d", j)
+			t.Links = append(t.Links, Link{
+				A: Endpoint{Node: s, Interface: nm.next(s)},
+				Z: Endpoint{Node: l, Interface: nm.next(l)},
+			})
+		}
+	}
+	return t
+}
+
+// Star returns a hub-and-spoke topology with one hub and n spokes.
+func Star(n int, vendor Vendor) *Topology {
+	t := &Topology{Name: fmt.Sprintf("star-%d", n)}
+	nm := namer{}
+	t.Nodes = append(t.Nodes, Node{Name: "hub", Vendor: vendor})
+	for i := 1; i <= n; i++ {
+		name := fmt.Sprintf("spoke%d", i)
+		t.Nodes = append(t.Nodes, Node{Name: name, Vendor: vendor})
+		t.Links = append(t.Links, Link{
+			A: Endpoint{Node: "hub", Interface: nm.next("hub")},
+			Z: Endpoint{Node: name, Interface: nm.next(name)},
+		})
+	}
+	return t
+}
+
+// Grid returns a rows×cols mesh where each node links to its right and down
+// neighbours — a rough stand-in for a WAN backbone.
+func Grid(rows, cols int, vendor Vendor) *Topology {
+	t := &Topology{Name: fmt.Sprintf("grid-%dx%d", rows, cols)}
+	nm := namer{}
+	name := func(r, c int) string { return fmt.Sprintf("r%d-%d", r, c) }
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			t.Nodes = append(t.Nodes, Node{Name: name(r, c), Vendor: vendor})
+		}
+	}
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			if c+1 < cols {
+				a, z := name(r, c), name(r, c+1)
+				t.Links = append(t.Links, Link{
+					A: Endpoint{Node: a, Interface: nm.next(a)},
+					Z: Endpoint{Node: z, Interface: nm.next(z)},
+				})
+			}
+			if r+1 < rows {
+				a, z := name(r, c), name(r+1, c)
+				t.Links = append(t.Links, Link{
+					A: Endpoint{Node: a, Interface: nm.next(a)},
+					Z: Endpoint{Node: z, Interface: nm.next(z)},
+				})
+			}
+		}
+	}
+	return t
+}

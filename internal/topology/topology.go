@@ -1,0 +1,205 @@
+// Package topology defines the network topology input format shared by the
+// emulation and model-based pipelines: the set of devices, their vendor, and
+// the point-to-point links between named interfaces.
+//
+// The on-disk format is JSON, mirroring the role KNE's topology textproto
+// plays in the paper's prototype: it tells the orchestrator which router
+// images to boot and which interface pairs to wire together.
+package topology
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Vendor identifies which configuration dialect and behaviour profile a node
+// runs.
+type Vendor string
+
+// Supported vendors. EOS is the Arista-like dialect the paper evaluates;
+// JUNOSLIKE is the hierarchical dialect used for multi-vendor topologies.
+const (
+	VendorEOS       Vendor = "eos"
+	VendorJunosLike Vendor = "junoslike"
+)
+
+// Valid reports whether v names a known vendor.
+func (v Vendor) Valid() bool { return v == VendorEOS || v == VendorJunosLike }
+
+// Node is one device in the topology.
+type Node struct {
+	// Name is the unique device name, e.g. "r1".
+	Name string `json:"name"`
+	// Vendor selects the config dialect and vendor behaviour profile.
+	Vendor Vendor `json:"vendor"`
+	// Config is the device configuration text in the vendor's dialect.
+	Config string `json:"config,omitempty"`
+}
+
+// Endpoint names one side of a link as node:interface.
+type Endpoint struct {
+	Node      string `json:"node"`
+	Interface string `json:"interface"`
+}
+
+// String renders the endpoint as "node:interface".
+func (e Endpoint) String() string { return e.Node + ":" + e.Interface }
+
+// ParseEndpoint parses "node:interface".
+func ParseEndpoint(s string) (Endpoint, error) {
+	node, intf, ok := strings.Cut(s, ":")
+	if !ok || node == "" || intf == "" {
+		return Endpoint{}, fmt.Errorf("topology: malformed endpoint %q (want node:interface)", s)
+	}
+	return Endpoint{Node: node, Interface: intf}, nil
+}
+
+// Link is a point-to-point wire between two endpoints.
+type Link struct {
+	A Endpoint `json:"a"`
+	Z Endpoint `json:"z"`
+}
+
+// String renders the link as "a <-> z".
+func (l Link) String() string { return l.A.String() + " <-> " + l.Z.String() }
+
+// Topology is the full input network description.
+type Topology struct {
+	// Name labels the topology in reports.
+	Name  string `json:"name"`
+	Nodes []Node `json:"nodes"`
+	Links []Link `json:"links"`
+}
+
+// Parse decodes and validates a JSON topology.
+func Parse(data []byte) (*Topology, error) {
+	var t Topology
+	if err := json.Unmarshal(data, &t); err != nil {
+		return nil, fmt.Errorf("topology: %w", err)
+	}
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	return &t, nil
+}
+
+// Marshal encodes the topology as indented JSON.
+func (t *Topology) Marshal() ([]byte, error) {
+	return json.MarshalIndent(t, "", "  ")
+}
+
+// Validate checks structural invariants: unique node names, known vendors,
+// link endpoints referencing declared nodes, and no interface wired twice.
+func (t *Topology) Validate() error {
+	if len(t.Nodes) == 0 {
+		return fmt.Errorf("topology %q: no nodes", t.Name)
+	}
+	nodes := make(map[string]bool, len(t.Nodes))
+	for _, n := range t.Nodes {
+		if n.Name == "" {
+			return fmt.Errorf("topology %q: node with empty name", t.Name)
+		}
+		if nodes[n.Name] {
+			return fmt.Errorf("topology %q: duplicate node %q", t.Name, n.Name)
+		}
+		if !n.Vendor.Valid() {
+			return fmt.Errorf("topology %q: node %q has unknown vendor %q", t.Name, n.Name, n.Vendor)
+		}
+		nodes[n.Name] = true
+	}
+	used := make(map[string]bool) // endpoint string -> wired
+	for i, l := range t.Links {
+		if l.A.Node == l.Z.Node && l.A.Interface == l.Z.Interface {
+			return fmt.Errorf("topology %q: link %d connects an interface to itself", t.Name, i)
+		}
+		for _, ep := range []Endpoint{l.A, l.Z} {
+			if !nodes[ep.Node] {
+				return fmt.Errorf("topology %q: link %d references unknown node %q", t.Name, i, ep.Node)
+			}
+			if ep.Interface == "" {
+				return fmt.Errorf("topology %q: link %d has empty interface on %q", t.Name, i, ep.Node)
+			}
+			key := ep.String()
+			if used[key] {
+				return fmt.Errorf("topology %q: interface %s wired into multiple links", t.Name, key)
+			}
+			used[key] = true
+		}
+	}
+	return nil
+}
+
+// Node returns the named node.
+func (t *Topology) Node(name string) (*Node, bool) {
+	for i := range t.Nodes {
+		if t.Nodes[i].Name == name {
+			return &t.Nodes[i], true
+		}
+	}
+	return nil, false
+}
+
+// Peer returns the endpoint wired to the given endpoint, if any.
+func (t *Topology) Peer(ep Endpoint) (Endpoint, bool) {
+	for _, l := range t.Links {
+		if l.A == ep {
+			return l.Z, true
+		}
+		if l.Z == ep {
+			return l.A, true
+		}
+	}
+	return Endpoint{}, false
+}
+
+// NodeLinks returns the links attached to node, in declaration order.
+func (t *Topology) NodeLinks(node string) []Link {
+	var out []Link
+	for _, l := range t.Links {
+		if l.A.Node == node || l.Z.Node == node {
+			out = append(out, l)
+		}
+	}
+	return out
+}
+
+// NodeNames returns the sorted node names.
+func (t *Topology) NodeNames() []string {
+	out := make([]string, len(t.Nodes))
+	for i, n := range t.Nodes {
+		out[i] = n.Name
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Degree returns the number of links attached to node.
+func (t *Topology) Degree(node string) int { return len(t.NodeLinks(node)) }
+
+// Connected reports whether the topology's link graph is a single connected
+// component (ignoring nodes with no links only if the topology has one node).
+func (t *Topology) Connected() bool {
+	if len(t.Nodes) <= 1 {
+		return true
+	}
+	adj := make(map[string][]string)
+	for _, l := range t.Links {
+		adj[l.A.Node] = append(adj[l.A.Node], l.Z.Node)
+		adj[l.Z.Node] = append(adj[l.Z.Node], l.A.Node)
+	}
+	seen := map[string]bool{t.Nodes[0].Name: true}
+	stack := []string{t.Nodes[0].Name}
+	for len(stack) > 0 {
+		n := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, m := range adj[n] {
+			if !seen[m] {
+				seen[m] = true
+				stack = append(stack, m)
+			}
+		}
+	}
+	return len(seen) == len(t.Nodes)
+}

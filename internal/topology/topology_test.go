@@ -1,0 +1,175 @@
+package topology
+
+import (
+	"strings"
+	"testing"
+)
+
+func validTopo() *Topology {
+	return &Topology{
+		Name: "t",
+		Nodes: []Node{
+			{Name: "r1", Vendor: VendorEOS},
+			{Name: "r2", Vendor: VendorJunosLike},
+		},
+		Links: []Link{{
+			A: Endpoint{Node: "r1", Interface: "Ethernet1"},
+			Z: Endpoint{Node: "r2", Interface: "Ethernet1"},
+		}},
+	}
+}
+
+func TestValidateOK(t *testing.T) {
+	if err := validTopo().Validate(); err != nil {
+		t.Fatalf("Validate() = %v", err)
+	}
+}
+
+func TestValidateErrors(t *testing.T) {
+	tests := []struct {
+		name   string
+		mutate func(*Topology)
+		want   string
+	}{
+		{"no nodes", func(tp *Topology) { tp.Nodes = nil }, "no nodes"},
+		{"empty name", func(tp *Topology) { tp.Nodes[0].Name = "" }, "empty name"},
+		{"dup node", func(tp *Topology) { tp.Nodes[1].Name = "r1" }, "duplicate node"},
+		{"bad vendor", func(tp *Topology) { tp.Nodes[0].Vendor = "ios" }, "unknown vendor"},
+		{"unknown node in link", func(tp *Topology) { tp.Links[0].A.Node = "r9" }, "unknown node"},
+		{"empty interface", func(tp *Topology) { tp.Links[0].Z.Interface = "" }, "empty interface"},
+		{"double wire", func(tp *Topology) {
+			tp.Links = append(tp.Links, Link{
+				A: Endpoint{Node: "r1", Interface: "Ethernet1"},
+				Z: Endpoint{Node: "r2", Interface: "Ethernet2"},
+			})
+		}, "multiple links"},
+		{"self loop", func(tp *Topology) {
+			tp.Links[0] = Link{
+				A: Endpoint{Node: "r1", Interface: "Ethernet1"},
+				Z: Endpoint{Node: "r1", Interface: "Ethernet1"},
+			}
+		}, "itself"},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			tp := validTopo()
+			tc.mutate(tp)
+			err := tp.Validate()
+			if err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("Validate() = %v, want error containing %q", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestParseRoundTrip(t *testing.T) {
+	tp := validTopo()
+	data, err := tp.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Parse(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Name != tp.Name || len(got.Nodes) != 2 || len(got.Links) != 1 {
+		t.Errorf("round trip mismatch: %+v", got)
+	}
+}
+
+func TestParseRejectsInvalid(t *testing.T) {
+	if _, err := Parse([]byte(`{"name":"x","nodes":[]}`)); err == nil {
+		t.Error("Parse accepted empty topology")
+	}
+	if _, err := Parse([]byte(`{garbage`)); err == nil {
+		t.Error("Parse accepted malformed JSON")
+	}
+}
+
+func TestParseEndpoint(t *testing.T) {
+	ep, err := ParseEndpoint("r1:Ethernet2")
+	if err != nil || ep.Node != "r1" || ep.Interface != "Ethernet2" {
+		t.Errorf("ParseEndpoint = %v,%v", ep, err)
+	}
+	for _, bad := range []string{"r1", "r1:", ":Ethernet1", ""} {
+		if _, err := ParseEndpoint(bad); err == nil {
+			t.Errorf("ParseEndpoint(%q) succeeded", bad)
+		}
+	}
+}
+
+func TestPeerAndNodeLinks(t *testing.T) {
+	tp := Line(3, VendorEOS)
+	peer, ok := tp.Peer(Endpoint{Node: "r1", Interface: "Ethernet1"})
+	if !ok || peer.Node != "r2" {
+		t.Errorf("Peer = %v,%v; want r2", peer, ok)
+	}
+	if _, ok := tp.Peer(Endpoint{Node: "r1", Interface: "Ethernet9"}); ok {
+		t.Error("Peer found for unwired interface")
+	}
+	if got := len(tp.NodeLinks("r2")); got != 2 {
+		t.Errorf("NodeLinks(r2) = %d, want 2", got)
+	}
+	if tp.Degree("r1") != 1 || tp.Degree("r2") != 2 {
+		t.Errorf("Degree wrong: r1=%d r2=%d", tp.Degree("r1"), tp.Degree("r2"))
+	}
+}
+
+func TestNodeLookup(t *testing.T) {
+	tp := Line(2, VendorEOS)
+	n, ok := tp.Node("r2")
+	if !ok || n.Name != "r2" {
+		t.Errorf("Node(r2) = %v,%v", n, ok)
+	}
+	if _, ok := tp.Node("r9"); ok {
+		t.Error("Node(r9) found")
+	}
+	names := tp.NodeNames()
+	if len(names) != 2 || names[0] != "r1" {
+		t.Errorf("NodeNames = %v", names)
+	}
+}
+
+func TestBuilders(t *testing.T) {
+	tests := []struct {
+		name        string
+		topo        *Topology
+		nodes, link int
+	}{
+		{"line", Line(5, VendorEOS), 5, 4},
+		{"ring", Ring(4, VendorEOS), 4, 4},
+		{"clos", Clos(2, 4, VendorEOS), 6, 8},
+		{"star", Star(6, VendorEOS), 7, 6},
+		{"grid", Grid(3, 4, VendorEOS), 12, 17},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			if err := tc.topo.Validate(); err != nil {
+				t.Fatalf("Validate: %v", err)
+			}
+			if len(tc.topo.Nodes) != tc.nodes {
+				t.Errorf("nodes = %d, want %d", len(tc.topo.Nodes), tc.nodes)
+			}
+			if len(tc.topo.Links) != tc.link {
+				t.Errorf("links = %d, want %d", len(tc.topo.Links), tc.link)
+			}
+			if !tc.topo.Connected() {
+				t.Error("builder topology not connected")
+			}
+		})
+	}
+}
+
+func TestConnected(t *testing.T) {
+	tp := &Topology{
+		Name:  "split",
+		Nodes: []Node{{Name: "a", Vendor: VendorEOS}, {Name: "b", Vendor: VendorEOS}},
+	}
+	if tp.Connected() {
+		t.Error("two isolated nodes reported connected")
+	}
+	single := &Topology{Name: "one", Nodes: []Node{{Name: "a", Vendor: VendorEOS}}}
+	if !single.Connected() {
+		t.Error("single node reported disconnected")
+	}
+}

@@ -1,0 +1,136 @@
+package verify
+
+import (
+	"math"
+	"testing"
+
+	"mfv/internal/aft"
+	"mfv/internal/topology"
+)
+
+func TestUtilizationSinglePath(t *testing.T) {
+	topo, afts := lineNet()
+	n := mustNet(t, topo, afts)
+	rep := n.Utilization([]Demand{{Src: "r1", Dst: addr("9.9.9.9"), Rate: 10}})
+	if len(rep.Undeliverable) != 0 {
+		t.Fatalf("undeliverable = %+v", rep.Undeliverable)
+	}
+	// Both hops of the r1->r2->r3 path must carry 10 units.
+	if len(rep.Links) != 2 {
+		t.Fatalf("links = %+v", rep.Links)
+	}
+	for _, l := range rep.Links {
+		if l.Load != 10 {
+			t.Errorf("load = %v, want 10", l.Load)
+		}
+	}
+	if rep.MaxLoad() != 10 {
+		t.Errorf("MaxLoad = %v", rep.MaxLoad())
+	}
+}
+
+func TestUtilizationECMPSplit(t *testing.T) {
+	topo := &topology.Topology{
+		Name: "ecmp",
+		Nodes: []topology.Node{
+			{Name: "r1", Vendor: topology.VendorEOS},
+			{Name: "r2", Vendor: topology.VendorEOS},
+			{Name: "r3", Vendor: topology.VendorEOS},
+		},
+		Links: []topology.Link{
+			{A: topology.Endpoint{Node: "r1", Interface: "Ethernet1"}, Z: topology.Endpoint{Node: "r2", Interface: "Ethernet1"}},
+			{A: topology.Endpoint{Node: "r1", Interface: "Ethernet2"}, Z: topology.Endpoint{Node: "r3", Interface: "Ethernet1"}},
+		},
+	}
+	afts := map[string]*aft.AFT{
+		"r1": buildAFT(aftSpec{device: "r1", routes: map[string]string{"9.0.0.0/8": "Ethernet1|Ethernet2"}}),
+		"r2": buildAFT(aftSpec{device: "r2", routes: map[string]string{"9.0.0.0/8": "recv"}}),
+		"r3": buildAFT(aftSpec{device: "r3", routes: map[string]string{"9.0.0.0/8": "recv"}}),
+	}
+	n := mustNet(t, topo, afts)
+	rep := n.Utilization([]Demand{{Src: "r1", Dst: addr("9.1.1.1"), Rate: 8}})
+	if len(rep.Links) != 2 {
+		t.Fatalf("links = %+v", rep.Links)
+	}
+	for _, l := range rep.Links {
+		if math.Abs(l.Load-4) > 1e-9 {
+			t.Errorf("ECMP split load = %v, want 4", l.Load)
+		}
+	}
+}
+
+func TestUtilizationDropAndNoRoute(t *testing.T) {
+	topo, afts := lineNet()
+	n := mustNet(t, topo, afts)
+	rep := n.Utilization([]Demand{
+		{Src: "r1", Dst: addr("9.5.0.1"), Rate: 5}, // dropped at r3
+		{Src: "r1", Dst: addr("8.0.0.1"), Rate: 3}, // no route at r1
+	})
+	if len(rep.Undeliverable) != 2 {
+		t.Fatalf("undeliverable = %+v", rep.Undeliverable)
+	}
+	for _, u := range rep.Undeliverable {
+		if math.Abs(u.LostFraction-1) > 1e-9 {
+			t.Errorf("lost fraction = %v, want 1", u.LostFraction)
+		}
+	}
+	// The dropped demand still loaded the links on its way to r3.
+	if rep.MaxLoad() != 5 {
+		t.Errorf("MaxLoad = %v, want 5 (traffic burns links before the drop)", rep.MaxLoad())
+	}
+}
+
+func TestUtilizationLoopCountsAsLost(t *testing.T) {
+	topo := topology.Line(2, topology.VendorEOS)
+	afts := map[string]*aft.AFT{
+		"r1": buildAFT(aftSpec{device: "r1", routes: map[string]string{"9.0.0.0/8": "Ethernet1"}}),
+		"r2": buildAFT(aftSpec{device: "r2", routes: map[string]string{"9.0.0.0/8": "Ethernet1"}}),
+	}
+	n := mustNet(t, topo, afts)
+	rep := n.Utilization([]Demand{{Src: "r1", Dst: addr("9.0.0.1"), Rate: 7}})
+	if len(rep.Undeliverable) != 1 || rep.Undeliverable[0].LostFraction < 0.99 {
+		t.Errorf("loop not reported lost: %+v", rep.Undeliverable)
+	}
+}
+
+func TestUtilizationAggregatesAcrossDemands(t *testing.T) {
+	topo, afts := lineNet()
+	n := mustNet(t, topo, afts)
+	rep := n.Utilization([]Demand{
+		{Src: "r1", Dst: addr("9.9.9.9"), Rate: 10},
+		{Src: "r2", Dst: addr("9.9.9.9"), Rate: 5},
+	})
+	// r2->r3 carries both demands (15); r1->r2 only the first (10).
+	var r2r3, r1r2 float64
+	for _, l := range rep.Links {
+		switch l.From.Node {
+		case "r2":
+			r2r3 = l.Load
+		case "r1":
+			r1r2 = l.Load
+		}
+	}
+	if r2r3 != 15 || r1r2 != 10 {
+		t.Errorf("loads r1->r2=%v r2->r3=%v, want 10/15", r1r2, r2r3)
+	}
+	over := rep.OverCapacity(func(topology.Endpoint) float64 { return 12 })
+	if len(over) != 1 || over[0].From.Node != "r2" {
+		t.Errorf("OverCapacity = %+v", over)
+	}
+	if rep.String() == "" {
+		t.Error("empty report string")
+	}
+}
+
+func TestUtilizationExitsNetworkDelivers(t *testing.T) {
+	topo := topology.Line(2, topology.VendorEOS)
+	afts := map[string]*aft.AFT{
+		"r1": buildAFT(aftSpec{device: "r1", routes: map[string]string{"0.0.0.0/0": "Ethernet9"}}),
+		"r2": buildAFT(aftSpec{device: "r2", routes: map[string]string{}}),
+	}
+	n := mustNet(t, topo, afts)
+	rep := n.Utilization([]Demand{{Src: "r1", Dst: addr("203.0.113.9"), Rate: 4}})
+	if len(rep.Undeliverable) != 0 {
+		t.Errorf("edge exit counted as loss: %+v", rep.Undeliverable)
+	}
+}

@@ -1,0 +1,473 @@
+// Package verify is the dataplane verification engine — the component that
+// plays Batfish's verification role in the pipeline. It consumes only the
+// extracted AFTs plus the physical topology (to map egress interfaces to
+// neighbors), partitions the IPv4 destination space into packet equivalence
+// classes, and answers exhaustive queries: traceroute, reachability,
+// all-pairs matrices, loop/black-hole detection, and the differential
+// reachability query the paper's experiments are built on.
+package verify
+
+import (
+	"encoding/binary"
+	"fmt"
+	"net/netip"
+	"sort"
+	"strings"
+
+	"mfv/internal/aft"
+	"mfv/internal/routing"
+	"mfv/internal/topology"
+)
+
+// Disposition classifies the fate of a packet.
+type Disposition uint8
+
+// Dispositions.
+const (
+	// Delivered: a device owned the destination and received it.
+	Delivered Disposition = iota
+	// ExitsNetwork: forwarded out an interface with no emulated neighbor
+	// (toward an external peer).
+	ExitsNetwork
+	// Dropped: matched an explicit discard route.
+	Dropped
+	// NoRoute: no matching FIB entry (implicit drop).
+	NoRoute
+	// Loop: the packet revisited a device.
+	Loop
+)
+
+// String renders the disposition.
+func (d Disposition) String() string {
+	switch d {
+	case Delivered:
+		return "Delivered"
+	case ExitsNetwork:
+		return "ExitsNetwork"
+	case Dropped:
+		return "Dropped"
+	case NoRoute:
+		return "NoRoute"
+	case Loop:
+		return "Loop"
+	default:
+		return fmt.Sprintf("Disposition(%d)", uint8(d))
+	}
+}
+
+// Hop is one step of a forwarding path.
+type Hop struct {
+	Device string
+	// Matched is the FIB prefix that matched (empty at a NoRoute hop).
+	Matched string
+	// Egress is the interface the packet left on (empty on terminal hops).
+	Egress string
+}
+
+// Path is one branch of a (possibly ECMP-split) trace.
+type Path struct {
+	Hops        []Hop
+	Disposition Disposition
+	// Final is the device where the path ended.
+	Final string
+}
+
+// String renders "r1[10.0.0.0/8→Ethernet1] r2[…] : Delivered@r2".
+func (p Path) String() string {
+	var b strings.Builder
+	for i, h := range p.Hops {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		fmt.Fprintf(&b, "%s[%s→%s]", h.Device, h.Matched, h.Egress)
+	}
+	fmt.Fprintf(&b, " : %s@%s", p.Disposition, p.Final)
+	return b.String()
+}
+
+// Trace is the full result for one (source, destination) query.
+type Trace struct {
+	Src   string
+	Dst   netip.Addr
+	Paths []Path
+}
+
+// Delivered reports whether any branch delivers.
+func (t Trace) Delivered() bool {
+	for _, p := range t.Paths {
+		if p.Disposition == Delivered {
+			return true
+		}
+	}
+	return false
+}
+
+// Outcome canonicalizes a trace for differential comparison: the sorted set
+// of (disposition, final device) pairs across branches.
+func (t Trace) Outcome() string {
+	set := map[string]bool{}
+	for _, p := range t.Paths {
+		set[p.Disposition.String()+"@"+p.Final] = true
+	}
+	keys := make([]string, 0, len(set))
+	for k := range set {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return strings.Join(keys, ",")
+}
+
+// maxPathHops bounds forwarding walks (TTL analogue).
+const maxPathHops = 64
+
+// maxBranches bounds ECMP path explosion per trace.
+const maxBranches = 64
+
+// device is the verification view of one router.
+type device struct {
+	name string
+	fib  *routing.Trie[*fibEntry]
+}
+
+type fibEntry struct {
+	prefix string
+	hops   []aft.NextHop
+}
+
+// Network is an immutable verification snapshot: topology + AFTs indexed
+// for fast longest-prefix matching.
+type Network struct {
+	topo    *topology.Topology
+	devices map[string]*device
+	// peerOf maps endpoint -> endpoint for egress resolution.
+	peerOf map[topology.Endpoint]topology.Endpoint
+	// owners maps every Receive-delivering /32 prefix address to its device
+	// (used for all-pairs matrices).
+	owners map[netip.Addr]string
+}
+
+// NewNetwork indexes AFTs for verification. Unknown devices in afts (not in
+// the topology) are rejected.
+func NewNetwork(topo *topology.Topology, afts map[string]*aft.AFT) (*Network, error) {
+	n := &Network{
+		topo:    topo,
+		devices: map[string]*device{},
+		peerOf:  map[topology.Endpoint]topology.Endpoint{},
+		owners:  map[netip.Addr]string{},
+	}
+	for _, l := range topo.Links {
+		n.peerOf[l.A] = l.Z
+		n.peerOf[l.Z] = l.A
+	}
+	for name, a := range afts {
+		if _, ok := topo.Node(name); !ok {
+			return nil, fmt.Errorf("verify: AFT for unknown device %q", name)
+		}
+		if err := a.Validate(); err != nil {
+			return nil, fmt.Errorf("verify: %w", err)
+		}
+		d := &device{name: name, fib: routing.NewTrie[*fibEntry]()}
+		for _, e := range a.IPv4Entries {
+			p := netip.MustParsePrefix(e.Prefix)
+			hops := a.GroupHops(e.NextHopGroup)
+			d.fib.Insert(p, &fibEntry{prefix: e.Prefix, hops: hops})
+			if p.Bits() == 32 {
+				for _, h := range hops {
+					if h.Receive {
+						n.owners[p.Addr()] = name
+					}
+				}
+			}
+		}
+		n.devices[name] = d
+	}
+	return n, nil
+}
+
+// Devices returns the devices with forwarding state, sorted.
+func (n *Network) Devices() []string {
+	out := make([]string, 0, len(n.devices))
+	for name := range n.devices {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Owner returns the device owning addr (delivering it locally).
+func (n *Network) Owner(addr netip.Addr) (string, bool) {
+	d, ok := n.owners[addr]
+	return d, ok
+}
+
+// OwnedAddrs returns every locally delivered address, sorted.
+func (n *Network) OwnedAddrs() []netip.Addr {
+	out := make([]netip.Addr, 0, len(n.owners))
+	for a := range n.owners {
+		out = append(out, a)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Less(out[j]) })
+	return out
+}
+
+// Trace performs an exhaustive multipath forwarding walk from src toward
+// dst.
+func (n *Network) Trace(src string, dst netip.Addr) Trace {
+	t := Trace{Src: src, Dst: dst}
+	d, ok := n.devices[src]
+	if !ok {
+		t.Paths = []Path{{Disposition: NoRoute, Final: src}}
+		return t
+	}
+	visited := map[string]bool{}
+	n.walk(d, dst, nil, visited, &t.Paths)
+	if len(t.Paths) == 0 {
+		t.Paths = []Path{{Disposition: NoRoute, Final: src}}
+	}
+	return t
+}
+
+func (n *Network) walk(d *device, dst netip.Addr, hops []Hop, visited map[string]bool, out *[]Path) {
+	if len(*out) >= maxBranches {
+		return
+	}
+	if visited[d.name] || len(hops) >= maxPathHops {
+		*out = append(*out, Path{Hops: hops, Disposition: Loop, Final: d.name})
+		return
+	}
+	visited[d.name] = true
+	defer delete(visited, d.name) // backtrack for sibling ECMP branches
+
+	_, entry, ok := d.fib.Lookup(dst)
+	if !ok {
+		*out = append(*out, Path{Hops: hops, Disposition: NoRoute, Final: d.name})
+		return
+	}
+	for _, h := range entry.hops {
+		if len(*out) >= maxBranches {
+			return
+		}
+		step := Hop{Device: d.name, Matched: entry.prefix, Egress: h.Interface}
+		branch := append(append([]Hop{}, hops...), step)
+		switch {
+		case h.Receive:
+			step.Egress = ""
+			branch[len(branch)-1] = step
+			*out = append(*out, Path{Hops: branch, Disposition: Delivered, Final: d.name})
+		case h.Drop:
+			step.Egress = ""
+			branch[len(branch)-1] = step
+			*out = append(*out, Path{Hops: branch, Disposition: Dropped, Final: d.name})
+		default:
+			ep := topology.Endpoint{Node: d.name, Interface: h.Interface}
+			peer, wired := n.peerOf[ep]
+			if !wired {
+				*out = append(*out, Path{Hops: branch, Disposition: ExitsNetwork, Final: d.name})
+				continue
+			}
+			next, ok := n.devices[peer.Node]
+			if !ok {
+				*out = append(*out, Path{Hops: branch, Disposition: ExitsNetwork, Final: d.name})
+				continue
+			}
+			n.walk(next, dst, branch, visited, out)
+		}
+	}
+}
+
+// Reachable reports whether any forwarding branch delivers dst from src.
+func (n *Network) Reachable(src string, dst netip.Addr) bool {
+	return n.Trace(src, dst).Delivered()
+}
+
+// EquivalenceClasses computes the atomic destination ranges induced by
+// every FIB prefix in the network and returns one representative address
+// per class. Two addresses in the same class are forwarded identically by
+// every device, so checking representatives is exhaustive over the whole
+// IPv4 space.
+func (n *Network) EquivalenceClasses() []netip.Addr {
+	// Boundary set: start of each prefix and successor of each prefix end.
+	bounds := map[uint32]bool{0: true}
+	add := func(p netip.Prefix) {
+		start := addrU32(p.Addr())
+		bounds[start] = true
+		size := uint64(1) << (32 - p.Bits())
+		end := uint64(start) + size
+		if end <= 1<<32-1 {
+			bounds[uint32(end)] = true
+		}
+	}
+	for _, d := range n.devices {
+		d.fib.Walk(func(p netip.Prefix, _ *fibEntry) bool {
+			add(p)
+			return true
+		})
+	}
+	out := make([]netip.Addr, 0, len(bounds))
+	for b := range bounds {
+		out = append(out, u32Addr(b))
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Less(out[j]) })
+	return out
+}
+
+func addrU32(a netip.Addr) uint32 {
+	b := a.As4()
+	return binary.BigEndian.Uint32(b[:])
+}
+
+func u32Addr(v uint32) netip.Addr {
+	var b [4]byte
+	binary.BigEndian.PutUint32(b[:], v)
+	return netip.AddrFrom4(b)
+}
+
+// LoopReport is one detected forwarding loop.
+type LoopReport struct {
+	Dst  netip.Addr
+	Src  string
+	Path Path
+}
+
+// DetectLoops exhaustively checks every equivalence class from every device
+// for forwarding loops.
+func (n *Network) DetectLoops() []LoopReport {
+	var out []LoopReport
+	for _, rep := range n.EquivalenceClasses() {
+		for _, src := range n.Devices() {
+			t := n.Trace(src, rep)
+			for _, p := range t.Paths {
+				if p.Disposition == Loop {
+					out = append(out, LoopReport{Dst: rep, Src: src, Path: p})
+					break
+				}
+			}
+		}
+	}
+	return out
+}
+
+// BlackHole is a destination class dropped (explicitly or by missing route)
+// at some device.
+type BlackHole struct {
+	Dst         netip.Addr
+	Src         string
+	Disposition Disposition
+}
+
+// DetectBlackHoles reports classes that neither deliver nor exit from some
+// source.
+func (n *Network) DetectBlackHoles() []BlackHole {
+	var out []BlackHole
+	for _, rep := range n.EquivalenceClasses() {
+		for _, src := range n.Devices() {
+			t := n.Trace(src, rep)
+			for _, p := range t.Paths {
+				if p.Disposition == Dropped || p.Disposition == NoRoute {
+					out = append(out, BlackHole{Dst: rep, Src: src, Disposition: p.Disposition})
+					break
+				}
+			}
+		}
+	}
+	return out
+}
+
+// ReachMatrix is the all-pairs reachability over owned (loopback and
+// interface) addresses: Matrix[src][dstAddr] = delivered.
+type ReachMatrix struct {
+	Sources []string
+	Dsts    []netip.Addr
+	Reach   map[string]map[netip.Addr]bool
+}
+
+// AllPairs computes the full reachability matrix over owned addresses.
+func (n *Network) AllPairs() ReachMatrix {
+	m := ReachMatrix{
+		Sources: n.Devices(),
+		Dsts:    n.OwnedAddrs(),
+		Reach:   map[string]map[netip.Addr]bool{},
+	}
+	for _, src := range m.Sources {
+		row := map[netip.Addr]bool{}
+		for _, dst := range m.Dsts {
+			row[dst] = n.Reachable(src, dst)
+		}
+		m.Reach[src] = row
+	}
+	return m
+}
+
+// FullMesh reports whether every device reaches every owned address.
+func (m ReachMatrix) FullMesh() bool {
+	for _, row := range m.Reach {
+		for _, ok := range row {
+			if !ok {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// Diff is one differential-reachability finding: a (source, destination
+// class) flow whose outcome differs between two snapshots.
+type Diff struct {
+	Src string
+	// Dst is the representative address of the affected class.
+	Dst netip.Addr
+	// Before/After are canonicalized outcomes (Trace.Outcome).
+	Before, After string
+}
+
+// String renders "r5 -> 2.2.2.1: Delivered@r2 => NoRoute@r5".
+func (d Diff) String() string {
+	return fmt.Sprintf("%s -> %v: %s => %s", d.Src, d.Dst, d.Before, d.After)
+}
+
+// Differential runs the differential reachability question between two
+// snapshots: it traces every equivalence class of either network from every
+// device and reports flows whose outcome changed. This is the query the
+// paper uses to validate the pipeline (experiment E1) and to compare
+// model-based against model-free dataplanes (experiment E3).
+func Differential(before, after *Network) []Diff {
+	// Union of equivalence classes so classes that exist in only one
+	// snapshot are still compared.
+	classSet := map[netip.Addr]bool{}
+	for _, rep := range before.EquivalenceClasses() {
+		classSet[rep] = true
+	}
+	for _, rep := range after.EquivalenceClasses() {
+		classSet[rep] = true
+	}
+	classes := make([]netip.Addr, 0, len(classSet))
+	for a := range classSet {
+		classes = append(classes, a)
+	}
+	sort.Slice(classes, func(i, j int) bool { return classes[i].Less(classes[j]) })
+
+	srcSet := map[string]bool{}
+	for _, s := range before.Devices() {
+		srcSet[s] = true
+	}
+	for _, s := range after.Devices() {
+		srcSet[s] = true
+	}
+	sources := make([]string, 0, len(srcSet))
+	for s := range srcSet {
+		sources = append(sources, s)
+	}
+	sort.Strings(sources)
+
+	var out []Diff
+	for _, src := range sources {
+		for _, rep := range classes {
+			a := before.Trace(src, rep).Outcome()
+			b := after.Trace(src, rep).Outcome()
+			if a != b {
+				out = append(out, Diff{Src: src, Dst: rep, Before: a, After: b})
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,179 @@
+package vrouter
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"mfv/internal/routing"
+)
+
+// This file renders operator-style "show" output for the emulated router.
+// The paper's §5 calls out that poking at the control plane with familiar
+// tooling (inspecting RIBs, IS-IS databases, BGP summaries) is a core
+// benefit of emulation over models; these are the emulated equivalents of
+// the CLI commands its authors used while debugging their configs.
+
+// ShowIPRoute renders the RIB like "show ip route".
+func (r *Router) ShowIPRoute() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s# show ip route\n", r.Name)
+	codes := map[routing.Protocol]string{
+		routing.ProtoConnected: "C",
+		routing.ProtoLocal:     "L",
+		routing.ProtoStatic:    "S",
+		routing.ProtoTE:        "T",
+		routing.ProtoISIS:      "I",
+		routing.ProtoEBGP:      "B E",
+		routing.ProtoIBGP:      "B I",
+	}
+	for _, rt := range r.rib.Routes() {
+		code := codes[rt.Protocol]
+		if code == "" {
+			code = "?"
+		}
+		fmt.Fprintf(&b, " %-3s %-18s [%d/%d]", code, rt.Prefix, rt.Distance, rt.Metric)
+		if rt.Drop {
+			b.WriteString(" is a null route")
+		}
+		for _, nh := range rt.NextHops {
+			if nh.IP.IsValid() {
+				fmt.Fprintf(&b, " via %s", nh.IP)
+			}
+			if nh.Interface != "" {
+				fmt.Fprintf(&b, ", %s", nh.Interface)
+			}
+			if len(nh.LabelStack) > 0 {
+				fmt.Fprintf(&b, ", label %v", nh.LabelStack)
+			}
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// ShowISISDatabase renders the LSDB like "show isis database".
+func (r *Router) ShowISISDatabase() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s# show isis database\n", r.Name)
+	if r.ISIS == nil {
+		b.WriteString(" IS-IS is not running\n")
+		return b.String()
+	}
+	fmt.Fprintf(&b, " %-16s %-10s %-6s %s\n", "LSPID", "Hostname", "Seq", "Contents")
+	for _, lsp := range r.ISIS.LSDB() {
+		var contents []string
+		for _, n := range lsp.Neighbors {
+			contents = append(contents, fmt.Sprintf("IS %s metric %d", n.ID, n.Metric))
+		}
+		for _, p := range lsp.Prefixes {
+			contents = append(contents, fmt.Sprintf("IP %s", p.Prefix))
+		}
+		fmt.Fprintf(&b, " %-16s %-10s %-6d %s\n",
+			lsp.Origin, lsp.Hostname, lsp.Seq, strings.Join(contents, "; "))
+	}
+	return b.String()
+}
+
+// ShowISISNeighbors renders adjacency state like "show isis neighbors".
+func (r *Router) ShowISISNeighbors() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s# show isis neighbors\n", r.Name)
+	if r.ISIS == nil {
+		b.WriteString(" IS-IS is not running\n")
+		return b.String()
+	}
+	fmt.Fprintf(&b, " %-14s %-16s %s\n", "Interface", "System Id", "State")
+	for _, a := range r.ISIS.Adjacencies() {
+		state := "DOWN"
+		if a.Up {
+			state = "UP"
+		}
+		fmt.Fprintf(&b, " %-14s %-16s %s\n", a.Interface, a.Neighbor, state)
+	}
+	return b.String()
+}
+
+// ShowBGPSummary renders session state like "show ip bgp summary".
+func (r *Router) ShowBGPSummary() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s# show ip bgp summary\n", r.Name)
+	if r.BGP == nil {
+		b.WriteString(" BGP is not running\n")
+		return b.String()
+	}
+	fmt.Fprintf(&b, " local AS %d, router ID %s\n", r.BGP.ASN(), r.BGP.RouterID())
+	fmt.Fprintf(&b, " %-16s %-8s %-12s %10s %10s\n", "Neighbor", "AS", "State", "MsgRcvd", "PfxRcvd")
+	for _, p := range r.BGP.Peers() {
+		cfg := p.Config()
+		fmt.Fprintf(&b, " %-16s %-8d %-12s %10d %10d\n",
+			cfg.Addr, cfg.RemoteAS, p.State(), p.MsgsIn, p.PrefixesReceived)
+	}
+	fmt.Fprintf(&b, " %d prefixes in Loc-RIB\n", r.BGP.LocRIBSize())
+	return b.String()
+}
+
+// ShowMPLSTunnels renders head-end tunnel state.
+func (r *Router) ShowMPLSTunnels() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s# show mpls tunnels\n", r.Name)
+	if r.MPLS == nil {
+		b.WriteString(" MPLS is not running\n")
+		return b.String()
+	}
+	for _, l := range r.MPLS.LSPs() {
+		state := "down"
+		if l.Up {
+			state = "up"
+		}
+		fmt.Fprintf(&b, " %-20s to %-14s %-5s", l.Name, l.To, state)
+		if l.Up {
+			hops := make([]string, len(l.Hops))
+			for i, h := range l.Hops {
+				hops[i] = h.String()
+			}
+			fmt.Fprintf(&b, " out-label %d path %s", l.OutLabel, strings.Join(hops, " > "))
+		}
+		b.WriteByte('\n')
+	}
+	for _, xc := range r.MPLS.CrossConnects() {
+		action := fmt.Sprintf("swap %d", xc.OutLabel)
+		if xc.OutLabel == 0 {
+			action = "pop"
+		}
+		fmt.Fprintf(&b, " ILM %d -> %s via %s (%s)\n", xc.InLabel, action, xc.NextHop, xc.LSPName)
+	}
+	return b.String()
+}
+
+// ShowInterfaces renders interface state like "show ip interface brief".
+func (r *Router) ShowInterfaces() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s# show ip interface brief\n", r.Name)
+	names := make([]string, 0, len(r.ifaces))
+	for name := range r.ifaces {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	fmt.Fprintf(&b, " %-14s %-20s %-8s %s\n", "Interface", "IP Address", "Status", "Protocols")
+	for _, name := range names {
+		iface := r.ifaces[name]
+		addr := "unassigned"
+		if len(iface.Cfg.Addresses) > 0 {
+			addr = iface.Cfg.Addresses[0].String()
+		}
+		status := "up"
+		if iface.Cfg.Shutdown || !iface.Up {
+			status = "down"
+		}
+		var protos []string
+		if iface.Cfg.ISISEnabled {
+			protos = append(protos, "isis")
+		}
+		if iface.Cfg.MPLSEnabled {
+			protos = append(protos, "mpls")
+		}
+		fmt.Fprintf(&b, " %-14s %-20s %-8s %s\n", name, addr, status, strings.Join(protos, ","))
+	}
+	return b.String()
+}

@@ -1,0 +1,97 @@
+package vrouter
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestShowIPRoute(t *testing.T) {
+	r, s := build(t, baseCfg)
+	r.Start()
+	s.RunFor(time.Second)
+	out := r.ShowIPRoute()
+	for _, want := range []string{"show ip route", "C", "L", "S", "10.0.0.0/31",
+		"1.1.1.1/32", "0.0.0.0/0", "null route"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("ShowIPRoute missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestShowWithoutProtocols(t *testing.T) {
+	r, _ := build(t, baseCfg)
+	if !strings.Contains(r.ShowISISDatabase(), "IS-IS is not running") {
+		t.Error("missing not-running notice")
+	}
+	if !strings.Contains(r.ShowISISNeighbors(), "IS-IS is not running") {
+		t.Error("missing not-running notice")
+	}
+	if !strings.Contains(r.ShowBGPSummary(), "BGP is not running") {
+		t.Error("missing not-running notice")
+	}
+	if !strings.Contains(r.ShowMPLSTunnels(), "MPLS is not running") {
+		t.Error("missing not-running notice")
+	}
+}
+
+func TestShowBGPSummary(t *testing.T) {
+	r, _ := build(t, baseCfg+"router bgp 65001\n   router-id 9.9.9.9\n   neighbor 10.0.0.1 remote-as 65002\n")
+	out := r.ShowBGPSummary()
+	for _, want := range []string{"local AS 65001", "router ID 9.9.9.9", "10.0.0.1", "65002", "Idle"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("ShowBGPSummary missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestShowInterfaces(t *testing.T) {
+	cfg := `hostname r1
+router isis default
+   net 49.0001.0000.0000.0001.00
+interface Loopback0
+   ip address 1.1.1.1/32
+   isis enable default
+interface Ethernet1
+   no switchport
+   ip address 10.0.0.0/31
+   isis enable default
+   mpls ip
+interface Ethernet2
+   no switchport
+   ip address 10.0.1.0/31
+   shutdown
+`
+	r, _ := build(t, cfg)
+	out := r.ShowInterfaces()
+	for _, want := range []string{"Loopback0", "1.1.1.1/32", "isis,mpls", "down"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("ShowInterfaces missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestShowISISAfterStart(t *testing.T) {
+	cfg := `hostname r1
+router isis default
+   net 49.0001.0000.0000.0001.00
+interface Loopback0
+   ip address 1.1.1.1/32
+   isis enable default
+interface Ethernet1
+   no switchport
+   ip address 10.0.0.0/31
+   isis enable default
+`
+	r, s := build(t, cfg)
+	r.Start()
+	s.RunFor(time.Second)
+	db := r.ShowISISDatabase()
+	if !strings.Contains(db, "IP 1.1.1.1/32") {
+		t.Errorf("LSDB missing own prefix:\n%s", db)
+	}
+	nbrs := r.ShowISISNeighbors()
+	if !strings.Contains(nbrs, "Ethernet1") || !strings.Contains(nbrs, "DOWN") {
+		t.Errorf("neighbors output:\n%s", nbrs)
+	}
+}

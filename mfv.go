@@ -1,0 +1,178 @@
+// Package mfv is the public API of the model-free verification toolkit, a
+// reproduction of "Towards Accessible Model-Free Verification" (HotNets
+// '25). It verifies network configurations by emulating the control plane
+// to convergence with real protocol engines, extracting the dataplane as
+// OpenConfig-style AFTs, and running exhaustive dataplane verification
+// queries — plus a deliberately partial model-based baseline for
+// comparison.
+//
+// The minimal flow:
+//
+//	topo := mfv.Fig2()                           // or your own topology+configs
+//	res, err := mfv.Run(mfv.Snapshot{Topology: topo}, mfv.Options{})
+//	if err != nil { ... }
+//	ok := res.Network.Reachable("r1", netip.MustParseAddr("2.2.2.4"))
+//
+// Differential reachability across two snapshots (the paper's E1):
+//
+//	before, _ := mfv.Run(mfv.Snapshot{Topology: mfv.Fig2()}, mfv.Options{})
+//	after, _ := mfv.Run(mfv.Snapshot{Topology: mfv.Fig2Buggy()}, mfv.Options{})
+//	for _, d := range mfv.DifferentialReachability(before, after) {
+//	    fmt.Println(d)
+//	}
+package mfv
+
+import (
+	"mfv/internal/core"
+	"mfv/internal/routegen"
+	"mfv/internal/testnet"
+	"mfv/internal/topology"
+	"mfv/internal/verify"
+)
+
+// Core pipeline types.
+type (
+	// Snapshot is one verification input: topology with embedded vendor
+	// configs, optional injected BGP feeds, and link-state context.
+	Snapshot = core.Snapshot
+	// Options tunes a pipeline run (backend, convergence hold, gNMI
+	// extraction).
+	Options = core.Options
+	// Result is a completed run: AFTs, the queryable Network, and timing.
+	Result = core.Result
+	// Backend selects emulation (model-free) or the model baseline.
+	Backend = core.Backend
+	// InjectedFeed attaches an external BGP peer announcing routes.
+	InjectedFeed = core.InjectedFeed
+)
+
+// Backend values.
+const (
+	// BackendEmulation is the model-free path (the paper's contribution).
+	BackendEmulation = core.BackendEmulation
+	// BackendModel is the reference-model baseline (Batfish analogue).
+	BackendModel = core.BackendModel
+)
+
+// Topology types, re-exported so callers can build networks without
+// touching internal packages.
+type (
+	// Topology is the device + link input description.
+	Topology = topology.Topology
+	// Node is one device with its vendor dialect and configuration.
+	Node = topology.Node
+	// Link wires two endpoints.
+	Link = topology.Link
+	// Endpoint names node:interface.
+	Endpoint = topology.Endpoint
+)
+
+// Vendor dialects.
+const (
+	// VendorEOS selects the Arista-EOS-like dialect.
+	VendorEOS = topology.VendorEOS
+	// VendorJunosLike selects the hierarchical Junos-like dialect.
+	VendorJunosLike = topology.VendorJunosLike
+)
+
+// Verification query types.
+type (
+	// Network answers dataplane queries over a set of AFTs.
+	Network = verify.Network
+	// Trace is a multipath forwarding walk result.
+	Trace = verify.Trace
+	// Path is one branch of a trace.
+	Path = verify.Path
+	// Diff is one differential-reachability finding.
+	Diff = verify.Diff
+	// Disposition classifies a packet's fate.
+	Disposition = verify.Disposition
+)
+
+// Dispositions.
+const (
+	Delivered    = verify.Delivered
+	ExitsNetwork = verify.ExitsNetwork
+	Dropped      = verify.Dropped
+	NoRoute      = verify.NoRoute
+	Loop         = verify.Loop
+)
+
+// Run executes the verification pipeline on a snapshot: emulate (or model)
+// the control plane, extract the converged dataplane, and return a
+// queryable Result.
+func Run(snap Snapshot, opts Options) (*Result, error) { return core.Run(snap, opts) }
+
+// DifferentialReachability exhaustively compares forwarding outcomes for
+// every packet equivalence class from every device across two completed
+// runs, returning the flows whose fate changed.
+func DifferentialReachability(before, after *Result) []Diff {
+	return core.Differential(before, after)
+}
+
+// ParseTopology decodes a JSON topology file.
+func ParseTopology(data []byte) (*Topology, error) { return topology.Parse(data) }
+
+// Scenario constructors from the paper's evaluation.
+
+// Fig2 returns the paper's 6-node, three-AS test network (iBGP + eBGP +
+// IS-IS, production-complexity configs).
+func Fig2() *Topology { return testnet.Fig2() }
+
+// Fig2Buggy returns Fig2 with the r2–r3 eBGP session removed (E1's buggy
+// variant).
+func Fig2Buggy() *Topology { return testnet.Fig2Buggy() }
+
+// Fig3 returns the 3-node line with the misordered interface configuration
+// that exposes the reference-model bug (E3).
+func Fig3() *Topology { return testnet.Fig3() }
+
+// WAN returns an n-router backbone replica with an eBGP injection edge on
+// its first router, used by the convergence experiment (E6).
+func WAN(n int, multiVendor bool) *Topology { return testnet.WAN(n, multiVendor) }
+
+// FeedGenerator builds synthetic BGP route feeds for injection.
+type FeedGenerator = routegen.Generator
+
+// NewFeedGenerator returns a deterministic feed generator.
+func NewFeedGenerator(seed int64) *FeedGenerator { return routegen.New(seed) }
+
+// LineTopology returns a bare n-node chain (configs must be filled in).
+func LineTopology(n int, vendor topology.Vendor) *Topology { return topology.Line(n, vendor) }
+
+// What-if exploration (§6 of the paper).
+type (
+	// FailureFinding is the differential result of one link-cut context.
+	FailureFinding = core.FailureFinding
+	// OrderingReport compares dataplanes across event orderings.
+	OrderingReport = core.OrderingReport
+	// Invariant is a named predicate over a verification network.
+	Invariant = core.Invariant
+)
+
+// ExploreSingleLinkFailures emulates one context per single link cut and
+// differences each against the intact baseline.
+func ExploreSingleLinkFailures(snap Snapshot, opts Options) ([]FailureFinding, error) {
+	return core.ExploreSingleLinkFailures(snap, opts)
+}
+
+// SurvivesAnySingleLinkCut summarizes findings into a pass/fail with the
+// violating cuts.
+func SurvivesAnySingleLinkCut(f []FailureFinding) (bool, []Endpoint) {
+	return core.SurvivesAnySingleLinkCut(f)
+}
+
+// ExploreOrderings re-emulates a snapshot under several event orderings and
+// reports whether the converged dataplanes agree (the paper's
+// non-determinism check).
+func ExploreOrderings(snap Snapshot, opts Options, seeds []int64) (*OrderingReport, error) {
+	return core.ExploreOrderings(snap, opts, seeds)
+}
+
+// Performance checking on the produced dataplane (§6).
+type (
+	// Demand is one traffic intent for utilization checking.
+	Demand = verify.Demand
+	// UtilizationReport carries per-link loads and undelivered demands.
+	UtilizationReport = verify.UtilizationReport
+)

@@ -1,0 +1,82 @@
+package mfv
+
+import (
+	"net/netip"
+	"testing"
+)
+
+// TestPublicAPIQuickstart exercises the documented minimal flow end to end
+// through the public surface only.
+func TestPublicAPIQuickstart(t *testing.T) {
+	res, err := Run(Snapshot{Topology: Fig3()}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Network.Reachable("r1", netip.MustParseAddr("2.2.2.3")) {
+		t.Error("quickstart reachability failed")
+	}
+	tr := res.Network.Trace("r1", netip.MustParseAddr("2.2.2.3"))
+	if !tr.Delivered() || tr.Paths[0].Final != "r3" {
+		t.Errorf("trace = %+v", tr.Paths)
+	}
+}
+
+func TestPublicAPIDifferential(t *testing.T) {
+	before, err := Run(Snapshot{Topology: Fig2()}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	after, err := Run(Snapshot{Topology: Fig2Buggy()}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	diffs := DifferentialReachability(before, after)
+	if len(diffs) == 0 {
+		t.Error("no diffs through public API")
+	}
+}
+
+func TestPublicAPIModelBackend(t *testing.T) {
+	res, err := Run(Snapshot{Topology: Fig3()}, Options{Backend: BackendModel})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Coverage) != 3 {
+		t.Errorf("coverage entries = %d", len(res.Coverage))
+	}
+}
+
+func TestPublicTopologyRoundTrip(t *testing.T) {
+	topo := Fig2()
+	data, err := topo.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := ParseTopology(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Nodes) != 6 {
+		t.Errorf("nodes = %d", len(got.Nodes))
+	}
+}
+
+func TestPublicFeedGenerator(t *testing.T) {
+	feeds := NewFeedGenerator(1).FullTable(64700, 100)
+	total := 0
+	for _, f := range feeds {
+		total += len(f.Prefixes)
+	}
+	if total != 100 {
+		t.Errorf("total = %d", total)
+	}
+}
+
+func TestPublicWANAndLine(t *testing.T) {
+	if topo := WAN(9, true); len(topo.Nodes) != 9 {
+		t.Error("WAN wrong size")
+	}
+	if topo := LineTopology(4, VendorEOS); len(topo.Links) != 3 {
+		t.Error("LineTopology wrong shape")
+	}
+}

@@ -382,3 +382,26 @@ func BenchmarkGNMIExtraction(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkObsOverhead measures the observability layer's cost on the E1
+// pipeline body: nil observer (instrumented code, sink disabled) versus a
+// metrics-only sink versus full trace collection. The disabled case is the
+// one that must stay within noise of the pre-instrumentation pipeline.
+func BenchmarkObsOverhead(b *testing.B) {
+	body := func(b *testing.B, mk func() *Observer) {
+		for i := 0; i < b.N; i++ {
+			var o *Observer
+			if mk != nil {
+				o = mk()
+			}
+			good := mustRun(b, Snapshot{Topology: Fig2()}, Options{Obs: o})
+			bad := mustRun(b, Snapshot{Topology: Fig2Buggy()}, Options{})
+			if len(DifferentialReachability(good, bad)) == 0 {
+				b.Fatal("no differences")
+			}
+		}
+	}
+	b.Run("disabled", func(b *testing.B) { body(b, nil) })
+	b.Run("metrics", func(b *testing.B) { body(b, NewMetricsObserver) })
+	b.Run("trace", func(b *testing.B) { body(b, NewObserver) })
+}

@@ -60,10 +60,21 @@ func header(id, title string) {
 	fmt.Printf("── %s: %s %s\n", strings.ToUpper(id), title, strings.Repeat("─", 50-len(title)))
 }
 
+// phaseLine renders an observer's phase records as one compact summary line.
+func phaseLine(o *mfv.Observer) string {
+	var parts []string
+	for _, p := range o.Phases() {
+		parts = append(parts, fmt.Sprintf("%s=%v/%v", p.Name,
+			p.VDur().Round(time.Second), p.Wall.Round(time.Millisecond)))
+	}
+	return strings.Join(parts, " ")
+}
+
 // e1: differential reachability uncovers the r2–r3 eBGP session loss.
 func e1(bool) error {
 	header("e1", "differential reachability (Fig. 2)")
-	good, err := mfv.Run(mfv.Snapshot{Topology: mfv.Fig2()}, mfv.Options{})
+	o := mfv.NewMetricsObserver()
+	good, err := mfv.Run(mfv.Snapshot{Topology: mfv.Fig2()}, mfv.Options{Obs: o})
 	if err != nil {
 		return err
 	}
@@ -82,6 +93,10 @@ func e1(bool) error {
 	}
 	fmt.Printf("changed flows total:              %d\n", len(diffs))
 	fmt.Printf("AS3->AS2 loopback flows lost:     %d   (paper: query surfaces AS3->AS2 loss; expect 4)\n", as3LostAS2)
+	fmt.Printf("phases (virtual/wall):            %s\n", phaseLine(o))
+	fmt.Printf("effort: sim events %d, BGP updates %d, SPF runs %d, ECs %d\n",
+		o.Gauge("sim_events_total").Value(), o.Counter("bgp_updates_total").Value(),
+		o.Counter("spf_runs_total").Value(), o.Gauge("ec_count").Value())
 	ok := "REPRODUCED"
 	if as3LostAS2 != 4 {
 		ok = "MISMATCH"
@@ -211,13 +226,14 @@ func e6(quick bool) error {
 	}
 	topo := mfv.WAN(30, true)
 	feeds := mfv.NewFeedGenerator(7).FullTable(64700, nPrefixes)
+	o := mfv.NewMetricsObserver()
 	res, err := mfv.Run(mfv.Snapshot{
 		Topology: topo,
 		Feeds: []mfv.InjectedFeed{{
 			Router: topo.Nodes[0].Name, PeerAddr: netip.MustParseAddr("198.51.100.1"),
 			PeerAS: 64700, Feeds: feeds,
 		}},
-	}, mfv.Options{})
+	}, mfv.Options{Obs: o})
 	if err != nil {
 		return err
 	}
@@ -225,6 +241,10 @@ func e6(quick bool) error {
 	fmt.Printf("injected prefixes:                %d   (paper: millions; scaled 10x with proc rate)\n", nPrefixes)
 	fmt.Printf("one-time startup:                 %v   (paper: 12-17 min)\n", res.StartupAt.Round(time.Second))
 	fmt.Printf("convergence incl. injection:      %v   (paper: ~3 min)\n", conv.Round(time.Second))
+	fmt.Printf("phases (virtual/wall):            %s\n", phaseLine(o))
+	fmt.Printf("effort: sim events %d (queue peak %d), BGP msgs in %d, prefixes in %d\n",
+		o.Gauge("sim_events_total").Value(), o.Gauge("sim_queue_peak").Value(),
+		o.Counter("bgp_msgs_in_total").Value(), o.Counter("bgp_prefixes_in_total").Value())
 	ok := "REPRODUCED"
 	if res.StartupAt < 12*time.Minute || res.StartupAt > 17*time.Minute {
 		ok = "MISMATCH"

@@ -4,15 +4,20 @@
 // Usage:
 //
 //	mfv run       -topo net.json [-backend emulation|model] [-gnmi]
+//	              [-trace out.jsonl] [-metrics] [-timeline]
 //	mfv reach     -topo net.json -src r1 -dst 2.2.2.4
 //	mfv trace     -topo net.json -src r1 -dst 2.2.2.4
 //	mfv diff      -topo before.json -topo2 after.json
 //	mfv coverage  -topo net.json
 //	mfv loops     -topo net.json
 //	mfv scenarios -out DIR        (write the paper's Fig2/Fig3 topologies)
+//
+// Exit codes: 0 success, 1 operational error, 2 usage error, 3 verification
+// violation (unreachable flows, differential changes, loops, critical links).
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"net/netip"
@@ -23,10 +28,29 @@ import (
 	"mfv"
 )
 
+// Exit codes.
+const (
+	exitOK        = 0
+	exitError     = 1 // operational failure (bad input, emulation error, I/O)
+	exitUsage     = 2
+	exitViolation = 3 // the network is broken, not the tool
+)
+
+// violationError marks a verification violation — the pipeline worked and
+// found the network broken — so scripts can distinguish it (exit 3) from
+// operational failures (exit 1).
+type violationError struct{ msg string }
+
+func (e violationError) Error() string { return e.msg }
+
+func violationf(format string, args ...any) error {
+	return violationError{msg: fmt.Sprintf(format, args...)}
+}
+
 func main() {
 	if len(os.Args) < 2 {
 		usage()
-		os.Exit(2)
+		os.Exit(exitUsage)
 	}
 	cmd, args := os.Args[1], os.Args[2:]
 	var err error
@@ -51,11 +75,15 @@ func main() {
 		err = cmdScenarios(args)
 	default:
 		usage()
-		os.Exit(2)
+		os.Exit(exitUsage)
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "mfv:", err)
-		os.Exit(1)
+		var v violationError
+		if errors.As(err, &v) {
+			os.Exit(exitViolation)
+		}
+		os.Exit(exitError)
 	}
 }
 
@@ -69,22 +97,32 @@ func usage() {
   loops     detect forwarding loops across all packet classes
   show      operator-style router inspection (route|isis|bgp|mpls|interfaces)
   whatif    single-link-cut exploration with per-cut differentials
-  scenarios write the paper's evaluation topologies to a directory`)
+  scenarios write the paper's evaluation topologies to a directory
+
+observability flags (run): -trace FILE (JSONL event trace, virtual time),
+  -metrics (phase timings + metrics registry), -timeline (per-router
+  convergence report)
+exit codes: 0 ok, 1 operational error, 2 usage, 3 verification violation`)
 }
 
 // common flags
 
 type runFlags struct {
-	fs      *flag.FlagSet
-	topo    string
-	topo2   string
-	backend string
-	gnmi    bool
-	src     string
-	dst     string
-	out     string
-	node    string
-	cmd     string
+	fs       *flag.FlagSet
+	topo     string
+	topo2    string
+	backend  string
+	gnmi     bool
+	src      string
+	dst      string
+	out      string
+	node     string
+	cmd      string
+	trace    string
+	metrics  bool
+	timeline bool
+
+	obs *mfv.Observer
 }
 
 func newFlags(name string) *runFlags {
@@ -98,7 +136,62 @@ func newFlags(name string) *runFlags {
 	f.fs.StringVar(&f.out, "out", ".", "output directory")
 	f.fs.StringVar(&f.node, "node", "", "router name (show)")
 	f.fs.StringVar(&f.cmd, "cmd", "route", "show command: route|isis|isis-nbr|bgp|mpls|interfaces")
+	f.fs.StringVar(&f.trace, "trace", "", "write the virtual-time trace as JSONL to this file")
+	f.fs.BoolVar(&f.metrics, "metrics", false, "print phase timings and the metrics registry")
+	f.fs.BoolVar(&f.timeline, "timeline", false, "print the per-router convergence timeline")
 	return f
+}
+
+// observer lazily builds the observer implied by the observability flags
+// (nil when none are set). Trace collection is enabled only when a trace
+// file is requested; -metrics/-timeline alone use the cheaper metrics-only
+// sink.
+func (f *runFlags) observer() *mfv.Observer {
+	if f.obs == nil {
+		switch {
+		case f.trace != "":
+			f.obs = mfv.NewObserver()
+		case f.metrics || f.timeline:
+			f.obs = mfv.NewMetricsObserver()
+		}
+	}
+	return f.obs
+}
+
+// report writes the requested observability outputs for a completed run.
+func (f *runFlags) report(res *mfv.Result) error {
+	if f.timeline {
+		if res.Emulator == nil {
+			return fmt.Errorf("-timeline requires the emulation backend")
+		}
+		fmt.Printf("%-12s %16s %10s\n", "router", "last-change", "routes")
+		for _, t := range res.Emulator.ConvergenceTimeline() {
+			fmt.Printf("%-12s %16v %10d\n", t.Router, t.LastChange.Round(1e6), t.Routes)
+		}
+	}
+	if f.metrics {
+		if pt := f.obs.PhaseTable(); pt != "" {
+			fmt.Print(pt)
+		}
+		if mt := f.obs.MetricsTable(); mt != "" {
+			fmt.Print(mt)
+		}
+	}
+	if f.trace != "" {
+		w, err := os.Create(f.trace)
+		if err != nil {
+			return err
+		}
+		if err := f.obs.WriteJSONL(w); err != nil {
+			w.Close()
+			return err
+		}
+		if err := w.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("trace: %d events -> %s\n", len(f.obs.Events()), f.trace)
+	}
+	return nil
 }
 
 func (f *runFlags) loadTopo(path string) (*mfv.Topology, error) {
@@ -113,7 +206,7 @@ func (f *runFlags) loadTopo(path string) (*mfv.Topology, error) {
 }
 
 func (f *runFlags) options() mfv.Options {
-	opts := mfv.Options{UseGNMI: f.gnmi}
+	opts := mfv.Options{UseGNMI: f.gnmi, Obs: f.observer()}
 	if f.backend == "model" {
 		opts.Backend = mfv.BackendModel
 	}
@@ -151,7 +244,7 @@ func cmdRun(args []string) error {
 		fmt.Printf("  %-10s %d\n", p, counts[p])
 	}
 	fmt.Printf("devices with forwarding state: %d\n", len(res.Network.Devices()))
-	return nil
+	return f.report(res)
 }
 
 func cmdReach(args []string) error {
@@ -167,12 +260,24 @@ func cmdReach(args []string) error {
 	}
 	if f.src == "" {
 		// All sources.
+		unreachable := 0
 		for _, src := range res.Network.Devices() {
-			fmt.Printf("%s -> %v: %v\n", src, dst, res.Network.Reachable(src, dst))
+			ok := res.Network.Reachable(src, dst)
+			if !ok {
+				unreachable++
+			}
+			fmt.Printf("%s -> %v: %v\n", src, dst, ok)
+		}
+		if unreachable > 0 {
+			return violationf("%d sources cannot reach %v", unreachable, dst)
 		}
 		return nil
 	}
-	fmt.Printf("%s -> %v: %v\n", f.src, dst, res.Network.Reachable(f.src, dst))
+	ok := res.Network.Reachable(f.src, dst)
+	fmt.Printf("%s -> %v: %v\n", f.src, dst, ok)
+	if !ok {
+		return violationf("%s cannot reach %v", f.src, dst)
+	}
 	return nil
 }
 
@@ -216,7 +321,7 @@ func cmdDiff(args []string) error {
 		fmt.Println(d)
 	}
 	fmt.Printf("%d changed flows\n", len(diffs))
-	return nil
+	return violationf("%d changed flows", len(diffs))
 }
 
 func cmdCoverage(args []string) error {
@@ -258,7 +363,7 @@ func cmdLoops(args []string) error {
 	for _, l := range loops {
 		fmt.Printf("loop: dst class %v from %s: %s\n", l.Dst, l.Src, l.Path)
 	}
-	return fmt.Errorf("%d loops found", len(loops))
+	return violationf("%d loops found", len(loops))
 }
 
 func cmdShow(args []string) error {
@@ -319,7 +424,7 @@ func cmdWhatIf(args []string) error {
 	fmt.Printf("survives any single link cut: %v\n", ok)
 	if !ok {
 		fmt.Printf("critical links: %v\n", violations)
-		return fmt.Errorf("%d critical links", len(violations))
+		return violationf("%d critical links", len(violations))
 	}
 	return nil
 }

@@ -17,14 +17,31 @@ func main() {
 	// interface configuration ordering that trips model-based tools.
 	topo := mfv.Fig3()
 
+	// Collect a virtual-time trace and phase timings while the pipeline
+	// runs. Same-seed runs produce byte-identical traces.
+	o := mfv.NewObserver()
+
 	// Emulate the control plane until the dataplane stabilizes, then
 	// extract AFTs and build the verification view.
-	res, err := mfv.Run(mfv.Snapshot{Topology: topo}, mfv.Options{})
+	res, err := mfv.Run(mfv.Snapshot{Topology: topo}, mfv.Options{Obs: o})
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("emulation startup: %v (virtual), converged at %v\n\n",
 		res.StartupAt.Round(1e9), res.ConvergedAt.Round(1e9))
+
+	// Where did the pipeline spend its time?
+	fmt.Println("pipeline phases (virtual time / wall time):")
+	for _, p := range o.Phases() {
+		fmt.Printf("  %-10s %12v %12v\n", p.Name, p.VDur().Round(1e6), p.Wall.Round(1e4))
+	}
+	fmt.Printf("trace captured %d events; adjacency transitions:\n", len(o.Events()))
+	for _, ev := range o.Events() {
+		if ev.Type == mfv.EvISISAdjacency {
+			fmt.Printf("  %12v %s %s\n", ev.At, ev.Device, ev.Detail)
+		}
+	}
+	fmt.Println()
 
 	// All-pairs loopback reachability.
 	fmt.Println("reachability (src -> loopback):")

@@ -6,6 +6,7 @@ import (
 	"sort"
 	"time"
 
+	"mfv/internal/obs"
 	"mfv/internal/policy"
 	"mfv/internal/sim"
 )
@@ -150,6 +151,8 @@ type Speaker struct {
 	resolver NextHopResolver
 
 	peers map[netip.Addr]*Peer
+	// peerList mirrors peers sorted by address, for deterministic fan-out.
+	peerList []*Peer
 	// adjIn holds received paths per peer per prefix (post-import-policy).
 	adjIn map[netip.Addr]map[netip.Prefix]*Path
 	// nhRefs counts Adj-RIB-In paths per distinct next hop, so next-hop
@@ -166,6 +169,15 @@ type Speaker struct {
 
 	// advDelay batches advertisement flushes (a coarse MRAI analogue).
 	advDelay time.Duration
+
+	// obs and the pre-resolved metric handles below are nil (no-op) unless
+	// SetObserver wires the speaker into an observability sink.
+	obs          *obs.Observer
+	cMsgsIn      *obs.Counter
+	cMsgsOut     *obs.Counter
+	cUpdatesIn   *obs.Counter
+	cPrefixesIn  *obs.Counter
+	cEstablished *obs.Counter
 }
 
 // Config bundles Speaker construction parameters.
@@ -209,6 +221,40 @@ func NewSpeaker(cfg Config) *Speaker {
 	}
 }
 
+// SetObserver wires the speaker into the observability layer: session FSM
+// transitions become trace events and message/update volumes become
+// counters. Metric handles are resolved once here so the hot paths stay
+// allocation-free. A nil observer (the default) disables everything.
+func (s *Speaker) SetObserver(o *obs.Observer) {
+	s.obs = o
+	s.cMsgsIn = o.Counter("bgp_msgs_in_total")
+	s.cMsgsOut = o.Counter("bgp_msgs_out_total")
+	s.cUpdatesIn = o.Counter("bgp_updates_total")
+	s.cPrefixesIn = o.Counter("bgp_prefixes_in_total")
+	s.cEstablished = o.Counter("bgp_sessions_established_total")
+}
+
+// setState performs an FSM transition, counting establishments and emitting
+// the session-transition trace event.
+func (p *Peer) setState(st State) {
+	if st == p.state {
+		return
+	}
+	old := p.state
+	p.state = st
+	if st == StateEstablished {
+		p.spk.cEstablished.Inc()
+	}
+	if p.spk.obs.Enabled() {
+		p.spk.obs.Emit(obs.Event{
+			Type:   obs.EvBGPSession,
+			Device: p.spk.hostname,
+			Peer:   p.cfg.Addr.String(),
+			Detail: old.String() + ">" + st.String(),
+		})
+	}
+}
+
 // ASN returns the local AS number.
 func (s *Speaker) ASN() uint32 { return s.asn }
 
@@ -227,6 +273,13 @@ func (s *Speaker) AddPeer(cfg PeerConfig) *Peer {
 		dirty:  map[netip.Prefix]bool{},
 	}
 	s.peers[cfg.Addr] = p
+	// peerList keeps a sorted view for iteration: advertisement fan-out must
+	// visit peers in a deterministic order or same-seed runs diverge in
+	// message (and therefore trace) ordering.
+	s.peerList = append(s.peerList, p)
+	sort.Slice(s.peerList, func(i, j int) bool {
+		return s.peerList[i].cfg.Addr.Less(s.peerList[j].cfg.Addr)
+	})
 	s.adjIn[cfg.Addr] = map[netip.Prefix]*Path{}
 	return p
 }
@@ -300,7 +353,7 @@ func (p *Peer) TransportUp(send func([]byte)) {
 		return
 	}
 	p.send = send
-	p.state = StateOpenSent
+	p.setState(StateOpenSent)
 	p.transmit(EncodeOpen(Open{
 		Version:  4,
 		ASN:      p.spk.asn,
@@ -329,7 +382,7 @@ func (p *Peer) teardown() {
 		p.flush = nil
 	}
 	p.send = nil
-	p.state = StateIdle
+	p.setState(StateIdle)
 	p.adjOut = map[netip.Prefix]string{}
 	p.dirty = map[netip.Prefix]bool{}
 	// Flush Adj-RIB-In and rerun decision for the affected prefixes.
@@ -363,6 +416,7 @@ func (s *Speaker) DistinctNextHops() []netip.Addr {
 func (p *Peer) transmit(msg []byte) {
 	if p.send != nil {
 		p.MsgsOut++
+		p.spk.cMsgsOut.Inc()
 		p.send(msg)
 	}
 }
@@ -385,6 +439,7 @@ func (s *Speaker) HandleMessage(from netip.Addr, data []byte) {
 		return // message from an unconfigured neighbor: ignore
 	}
 	p.MsgsIn++
+	s.cMsgsIn.Inc()
 	decoded, err := Decode(data)
 	if err != nil {
 		if n, ok := err.(Notification); ok {
@@ -429,7 +484,7 @@ func (p *Peer) handleOpen(o Open) {
 		p.cfg.HoldTime = theirs
 	}
 	p.peerRouterIDSet(o.RouterID)
-	p.state = StateOpenConfirm
+	p.setState(StateOpenConfirm)
 	p.transmit(EncodeKeepalive())
 	p.resetHoldTimer()
 }
@@ -449,7 +504,7 @@ func (p *Peer) handleKeepalive() {
 }
 
 func (p *Peer) establish() {
-	p.state = StateEstablished
+	p.setState(StateEstablished)
 	p.everEstablished = true
 	p.establishedAt = p.spk.clock.Now()
 	p.resetHoldTimer()
@@ -479,6 +534,8 @@ func (p *Peer) handleUpdate(u Update) {
 		}
 	}
 	p.UpdatesIn++
+	p.spk.cUpdatesIn.Inc()
+	p.spk.cPrefixesIn.Add(uint64(len(u.NLRI) + len(u.Withdrawn)))
 	p.resetHoldTimer()
 	in := p.spk.adjIn[p.cfg.Addr]
 	changed := map[netip.Prefix]bool{}
@@ -611,7 +668,7 @@ func (s *Speaker) decide(prefix netip.Prefix) {
 	if s.onBest != nil {
 		s.onBest(prefix, winner)
 	}
-	for _, peer := range s.peers {
+	for _, peer := range s.peerList {
 		if peer.state == StateEstablished {
 			peer.markDirty(prefix)
 			peer.scheduleFlush()
@@ -873,7 +930,7 @@ func (s *Speaker) ReevaluateNextHops() {
 // FlushPending forces all peers' pending advertisements out immediately;
 // used by tests and by convergence detection at quiescence boundaries.
 func (s *Speaker) FlushPending() {
-	for _, p := range s.peers {
+	for _, p := range s.peerList {
 		if p.flush != nil {
 			s.clock.Cancel(p.flush)
 			p.flush = nil

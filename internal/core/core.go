@@ -24,6 +24,7 @@ import (
 	"mfv/internal/gnmi"
 	"mfv/internal/kne"
 	"mfv/internal/model"
+	"mfv/internal/obs"
 	"mfv/internal/routegen"
 	"mfv/internal/sim"
 	"mfv/internal/topology"
@@ -87,6 +88,9 @@ type Options struct {
 	// UseGNMI extracts AFTs over the TCP gNMI service instead of reading
 	// them in-process, exercising the full management-plane boundary.
 	UseGNMI bool
+	// Obs collects trace events, metrics, and phase timings from the whole
+	// pipeline. Nil disables observability.
+	Obs *obs.Observer
 }
 
 func (o *Options) fill() {
@@ -129,7 +133,7 @@ func Run(snap Snapshot, opts Options) (*Result, error) {
 	}
 	switch opts.Backend {
 	case BackendModel:
-		return runModel(snap)
+		return runModel(snap, opts)
 	case BackendEmulation:
 		return runEmulation(snap, opts)
 	default:
@@ -137,20 +141,25 @@ func Run(snap Snapshot, opts Options) (*Result, error) {
 	}
 }
 
-func runModel(snap Snapshot) (*Result, error) {
+func runModel(snap Snapshot, opts Options) (*Result, error) {
 	if len(snap.Feeds) > 0 {
 		// The reference model has no route-injection path in this
 		// reproduction — one more coverage limitation of the baseline.
 		return nil, fmt.Errorf("core: the model backend does not support injected feeds")
 	}
+	sp := opts.Obs.StartPhase("parse")
 	res, err := model.Run(snap.Topology)
+	sp.End()
 	if err != nil {
 		return nil, err
 	}
+	sp = opts.Obs.StartPhase("verify")
 	network, err := verify.NewNetwork(snap.Topology, res.AFTs)
+	sp.End()
 	if err != nil {
 		return nil, err
 	}
+	network.SetObserver(opts.Obs)
 	return &Result{
 		Backend:  BackendModel,
 		AFTs:     res.AFTs,
@@ -160,10 +169,13 @@ func runModel(snap Snapshot) (*Result, error) {
 }
 
 func runEmulation(snap Snapshot, opts Options) (*Result, error) {
-	em, err := kne.New(kne.Config{Topology: snap.Topology, Sim: sim.New(opts.Seed)})
+	sp := opts.Obs.StartPhase("parse")
+	em, err := kne.New(kne.Config{Topology: snap.Topology, Sim: sim.New(opts.Seed), Obs: opts.Obs})
+	sp.End()
 	if err != nil {
 		return nil, err
 	}
+	sp = opts.Obs.StartPhase("schedule")
 	for _, f := range snap.Feeds {
 		inj, err := em.AddInjector(f.Router, f.PeerAddr, f.PeerAS)
 		if err != nil {
@@ -181,22 +193,35 @@ func runEmulation(snap Snapshot, opts Options) (*Result, error) {
 			return nil, err
 		}
 	}
+	sp.End()
+	// Boot and converge phases are recorded inside RunUntilConverged, where
+	// the startup/churn boundary is actually observed.
 	convergedAt, err := em.RunUntilConverged(opts.ConvergenceHold, opts.Timeout)
 	if err != nil {
 		return nil, err
 	}
+	sp = opts.Obs.StartPhase("extract")
 	var afts map[string]*aft.AFT
 	if opts.UseGNMI {
-		afts, err = extractViaGNMI(em)
-		if err != nil {
-			return nil, err
-		}
+		afts, err = extractViaGNMI(em, opts.Obs)
 	} else {
 		afts = em.AFTs()
 	}
-	network, err := verify.NewNetwork(snap.Topology, afts)
+	sp.End()
 	if err != nil {
 		return nil, err
+	}
+	sp = opts.Obs.StartPhase("verify")
+	network, err := verify.NewNetwork(snap.Topology, afts)
+	sp.End()
+	if err != nil {
+		return nil, err
+	}
+	network.SetObserver(opts.Obs)
+	if opts.Obs != nil {
+		// Populate ec_count (and the traces counter baseline) eagerly so a
+		// metrics dump right after Run already shows the EC population.
+		network.EquivalenceClasses()
 	}
 	return &Result{
 		Backend:     BackendEmulation,
@@ -224,8 +249,9 @@ func (t routerTarget) RouteSummary() map[string]int {
 // extractViaGNMI spins up the management service on loopback TCP, connects
 // a client, and pulls every device's AFT through it — the full extraction
 // boundary from the paper's Fig. 1.
-func extractViaGNMI(em *kne.Emulator) (map[string]*aft.AFT, error) {
+func extractViaGNMI(em *kne.Emulator, o *obs.Observer) (map[string]*aft.AFT, error) {
 	srv := gnmi.NewServer()
+	srv.SetObserver(o)
 	for _, r := range em.Routers() {
 		srv.AddTarget(routerTarget{r})
 	}

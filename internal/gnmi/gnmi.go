@@ -15,8 +15,10 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"time"
 
 	"mfv/internal/aft"
+	"mfv/internal/obs"
 )
 
 // Paths understood by the server.
@@ -60,6 +62,21 @@ type Server struct {
 	ln      net.Listener
 	wg      sync.WaitGroup
 	closed  bool
+
+	// Per-RPC metrics. RPC handlers run on per-connection goroutines, so
+	// the server records metrics only (atomic) and emits no trace events —
+	// trace ordering would not be deterministic here.
+	cRPCs  *obs.Counter
+	cBytes *obs.Counter
+	hRPCNs *obs.Histogram
+}
+
+// SetObserver enables per-RPC metrics: gnmi_rpcs_total, gnmi_bytes_total
+// (response payload bytes), and the gnmi_rpc_ns wall-latency histogram.
+func (s *Server) SetObserver(o *obs.Observer) {
+	s.cRPCs = o.Counter("gnmi_rpcs_total")
+	s.cBytes = o.Counter("gnmi_bytes_total")
+	s.hRPCNs = o.Histogram("gnmi_rpc_ns")
 }
 
 // NewServer builds an empty server; register targets with AddTarget.
@@ -149,6 +166,11 @@ func (s *Server) handle(conn net.Conn) {
 }
 
 func (s *Server) dispatch(req Request) Response {
+	if s.cRPCs != nil {
+		start := time.Now()
+		defer func() { s.hRPCNs.Observe(time.Since(start).Nanoseconds()) }()
+		s.cRPCs.Inc()
+	}
 	switch req.Method {
 	case "Capabilities":
 		payload, _ := json.Marshal(map[string]any{
@@ -189,6 +211,7 @@ func (s *Server) get(req Request) Response {
 	if err != nil {
 		return Response{ID: req.ID, Error: err.Error(), Done: true}
 	}
+	s.cBytes.Add(uint64(len(payload)))
 	return Response{ID: req.ID, Payload: payload, Done: true}
 }
 

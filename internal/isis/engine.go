@@ -5,6 +5,7 @@ import (
 	"sort"
 	"time"
 
+	"mfv/internal/obs"
 	"mfv/internal/sim"
 )
 
@@ -25,6 +26,18 @@ const (
 	adjInit          // heard the neighbor, it has not heard us
 	adjUp
 )
+
+// String names the adjacency state for trace events.
+func (s adjState) String() string {
+	switch s {
+	case adjInit:
+		return "init"
+	case adjUp:
+		return "up"
+	default:
+		return "down"
+	}
+}
 
 // Route is one SPF result installed toward the RIB.
 type Route struct {
@@ -93,6 +106,12 @@ type Engine struct {
 	// Statistics.
 	SPFRuns     uint64
 	LSPsFlooded uint64
+
+	// Observability (nil handles are no-ops).
+	obs       *obs.Observer
+	cSPFRuns  *obs.Counter
+	cLSPFlood *obs.Counter
+	hSPFNanos *obs.Histogram
 }
 
 // New builds an IS-IS engine. Start must be called after interfaces are
@@ -120,6 +139,27 @@ func New(cfg Config) *Engine {
 // SystemID returns the engine's system ID.
 func (e *Engine) SystemID() SystemID { return e.cfg.SystemID }
 
+// SetObserver wires the engine into the observability layer: adjacency
+// transitions become trace events, SPF runs and LSP floods become counters,
+// and SPF compute time feeds a wall-clock histogram.
+func (e *Engine) SetObserver(o *obs.Observer) {
+	e.obs = o
+	e.cSPFRuns = o.Counter("spf_runs_total")
+	e.cLSPFlood = o.Counter("lsps_flooded_total")
+	e.hSPFNanos = o.Histogram("spf_ns")
+}
+
+// emitAdjacency traces one circuit's adjacency transition.
+func (e *Engine) emitAdjacency(c *circuit, st adjState) {
+	if e.obs.Enabled() {
+		e.obs.Emit(obs.Event{
+			Type:   obs.EvISISAdjacency,
+			Device: e.cfg.Hostname,
+			Detail: c.cfg.Name + ":" + st.String(),
+		})
+	}
+}
+
 // AddInterface registers a circuit before Start.
 func (e *Engine) AddInterface(cfg InterfaceConfig) {
 	if cfg.Metric == 0 {
@@ -132,8 +172,15 @@ func (e *Engine) AddInterface(cfg InterfaceConfig) {
 // circuits whose transport is already attached.
 func (e *Engine) Start() {
 	e.originate()
-	for _, c := range e.circuits {
-		e.startHellos(c)
+	// Sorted iteration: hello timers must be armed in a deterministic order
+	// so same-seed runs interleave identically.
+	names := make([]string, 0, len(e.circuits))
+	for name := range e.circuits {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		e.startHellos(e.circuits[name])
 	}
 	e.refresh = e.cfg.Clock.NewTicker(defaultLSPRefresh, func() { e.originate() })
 }
@@ -242,6 +289,9 @@ func (e *Engine) handleHello(c *circuit, h Hello) {
 	}
 	c.hold = e.cfg.Clock.After(hold, func() { e.adjacencyDown(c) })
 
+	if prev != c.state {
+		e.emitAdjacency(c, c.state)
+	}
 	if prev != c.state && c.send != nil {
 		// State changed: answer immediately so the three-way handshake
 		// completes in milliseconds instead of waiting for hello ticks.
@@ -258,6 +308,7 @@ func (e *Engine) handleHello(c *circuit, h Hello) {
 		for _, lsp := range e.lsdbSorted() {
 			c.send(EncodeLSP(*lsp))
 			e.LSPsFlooded++
+			e.cLSPFlood.Inc()
 		}
 		e.scheduleSPF()
 	} else if prev == adjUp && c.state != adjUp {
@@ -275,6 +326,7 @@ func (e *Engine) adjacencyDown(c *circuit) {
 		return
 	}
 	c.state = adjDown
+	e.emitAdjacency(c, adjDown)
 	e.originate()
 	e.scheduleSPF()
 }
@@ -333,6 +385,7 @@ func (e *Engine) floodExcept(lsp *LSP, skip *circuit) {
 		names = append(names, name)
 	}
 	sort.Strings(names)
+	flooded := 0
 	for _, name := range names {
 		c := e.circuits[name]
 		if c == skip || c.send == nil || c.cfg.Passive || c.state != adjUp {
@@ -340,6 +393,13 @@ func (e *Engine) floodExcept(lsp *LSP, skip *circuit) {
 		}
 		c.send(data)
 		e.LSPsFlooded++
+		flooded++
+	}
+	if flooded > 0 {
+		e.cLSPFlood.Add(uint64(flooded))
+		if e.obs.Enabled() {
+			e.obs.Emit(obs.Event{Type: obs.EvLSPFlood, Device: e.cfg.Hostname, Value: int64(flooded)})
+		}
 	}
 }
 
@@ -403,6 +463,12 @@ func (e *Engine) scheduleSPF() {
 // exported for tests and for forced recomputation.
 func (e *Engine) RunSPF() {
 	e.SPFRuns++
+	e.cSPFRuns.Inc()
+	var spfStart time.Time
+	if e.obs != nil {
+		spfStart = time.Now()
+		defer func() { e.hSPFNanos.Observe(time.Since(spfStart).Nanoseconds()) }()
+	}
 	self := e.cfg.SystemID
 
 	// Build the adjacency-verified graph: an edge A->B counts only if B

@@ -53,6 +53,7 @@ func (e *Emulator) AddInjector(routerName string, addr netip.Addr, asn uint32) (
 		LocalAddr: addr,
 		RemoteAS:  r.BGP.ASN(),
 	})
+	inj.spk.SetObserver(e.obs)
 	e.injectors[addr] = inj
 	return inj, nil
 }

@@ -11,6 +11,7 @@ import (
 	"fmt"
 	"net/netip"
 	"sort"
+	"strings"
 	"time"
 
 	"mfv/internal/aft"
@@ -19,6 +20,7 @@ import (
 	"mfv/internal/config/ir"
 	"mfv/internal/config/junoslike"
 	"mfv/internal/kube"
+	"mfv/internal/obs"
 	"mfv/internal/sim"
 	"mfv/internal/topology"
 	"mfv/internal/vrouter"
@@ -53,6 +55,9 @@ type Config struct {
 	// 4 minutes, which lands total startup (init + container boot) in the
 	// paper's observed 12–17 minute window across topology sizes.
 	InfraInit time.Duration
+	// Obs receives trace events and metrics from the emulator and every
+	// router it builds. Nil disables observability at near-zero cost.
+	Obs *obs.Observer
 }
 
 type linkEnd struct {
@@ -80,10 +85,14 @@ type Emulator struct {
 	// lastActivity is the virtual time of the last dataplane-relevant
 	// change anywhere.
 	lastActivity time.Duration
+	// lastChange is the per-router virtual time of the last RIB change,
+	// feeding the convergence timeline and straggler diagnostics.
+	lastChange map[string]time.Duration
 	// startupDone is the virtual time all pods reached Running.
 	startupDone time.Duration
 	started     bool
 
+	obs   *obs.Observer
 	probe *sim.Ticker
 }
 
@@ -113,15 +122,18 @@ func New(cfg Config) (*Emulator, error) {
 		cfg.InfraInit = 11*time.Minute + perNode
 	}
 	e := &Emulator{
-		cfg:       cfg,
-		sim:       cfg.Sim,
-		topo:      cfg.Topology,
-		routers:   map[string]*vrouter.Router{},
-		peer:      map[topology.Endpoint]topology.Endpoint{},
-		linkDown:  map[string]bool{},
-		addrOwner: map[netip.Addr]string{},
-		injectors: map[netip.Addr]*Injector{},
+		cfg:        cfg,
+		sim:        cfg.Sim,
+		topo:       cfg.Topology,
+		routers:    map[string]*vrouter.Router{},
+		peer:       map[topology.Endpoint]topology.Endpoint{},
+		linkDown:   map[string]bool{},
+		addrOwner:  map[netip.Addr]string{},
+		injectors:  map[netip.Addr]*Injector{},
+		lastChange: map[string]time.Duration{},
+		obs:        cfg.Obs,
 	}
+	e.obs.SetClock(e.sim)
 	if cfg.Cluster == nil {
 		per := kube.Capacity([]kube.NodeSpec{kube.E2Standard32("n")}, kube.AristaCEOSRequest("r", 0))
 		nodes := (len(cfg.Topology.Nodes) + per - 1) / per
@@ -156,7 +168,15 @@ func New(cfg Config) (*Emulator, error) {
 				e.sendRouted(r, dst, protoRSVP, netip.Addr{}, payload, maxTTL)
 			}
 		}(r)
-		r.OnStateChange(func() { e.lastActivity = e.sim.Now() })
+		r.SetObserver(e.obs)
+		name := n.Name
+		r.OnStateChange(func() {
+			e.lastActivity = e.sim.Now()
+			e.lastChange[name] = e.sim.Now()
+			if e.obs.Enabled() {
+				e.obs.Emit(obs.Event{Type: obs.EvRouteChurn, Device: name, Value: int64(r.RIB().Version())})
+			}
+		})
 		e.routers[n.Name] = r
 		for _, a := range r.LocalAddrs() {
 			if owner, dup := e.addrOwner[a]; dup && owner != n.Name {
@@ -223,6 +243,9 @@ func (e *Emulator) Start() error {
 			return
 		}
 		ready[name] = true
+		if e.obs.Enabled() {
+			e.obs.Emit(obs.Event{Type: obs.EvPodReady, Device: name, Detail: p.Node})
+		}
 		r.Start()
 		e.lastActivity = e.sim.Now()
 		// Bring up links whose both ends are ready.
@@ -234,6 +257,9 @@ func (e *Emulator) Start() error {
 		}
 		if e.cluster.AllRunning() {
 			e.startupDone = e.sim.Now()
+			if e.obs.Enabled() {
+				e.obs.Emit(obs.Event{Type: obs.EvStartupDone, Value: int64(len(e.routers))})
+			}
 		}
 	})
 	e.sim.After(e.cfg.InfraInit, func() {
@@ -272,6 +298,9 @@ func (e *Emulator) linkDelay() time.Duration {
 func (e *Emulator) attachLink(a, z topology.Endpoint) {
 	ra, rz := e.routers[a.Node], e.routers[z.Node]
 	key := linkKey(a, z)
+	if e.obs.Enabled() {
+		e.obs.Emit(obs.Event{Type: obs.EvLinkUp, Detail: key})
+	}
 	ra.AttachLink(a.Interface, func(data []byte) {
 		d := append([]byte{}, data...)
 		e.sim.After(e.linkDelay(), func() {
@@ -297,6 +326,9 @@ func (e *Emulator) SetLinkDown(ep topology.Endpoint) error {
 		return fmt.Errorf("kne: endpoint %v not in any link", ep)
 	}
 	e.linkDown[linkKey(ep, other)] = true
+	if e.obs.Enabled() {
+		e.obs.Emit(obs.Event{Type: obs.EvLinkDown, Detail: linkKey(ep, other)})
+	}
 	e.routers[ep.Node].DetachLink(ep.Interface)
 	e.routers[other.Node].DetachLink(other.Interface)
 	e.lastActivity = e.sim.Now()
@@ -413,10 +445,15 @@ func (e *Emulator) activityMark() uint64 {
 // RunUntilConverged advances virtual time until the dataplane has been
 // stable at every router for hold, or timeout elapses. It returns the
 // virtual time at which the network last changed (the convergence point).
+// On timeout the error names the stragglers — the routers whose RIBs
+// changed most recently — with their last-activity marks.
 func (e *Emulator) RunUntilConverged(hold, timeout time.Duration) (time.Duration, error) {
 	if !e.started {
 		return 0, fmt.Errorf("kne: not started")
 	}
+	wallStart := time.Now()
+	var bootWall time.Duration
+	bootSeen := false
 	deadline := e.sim.Now() + timeout
 	poll := hold / 4
 	if poll <= 0 {
@@ -427,6 +464,15 @@ func (e *Emulator) RunUntilConverged(hold, timeout time.Duration) (time.Duration
 	lastChange := e.sim.Now()
 	for e.sim.Now() < deadline {
 		e.sim.RunFor(poll)
+		// All pods must exist and be Running before quiet counts as
+		// convergence — before infra init completes the network is silent
+		// but certainly not converged.
+		booted := e.startupDone > 0 && e.cluster.AllRunning()
+		if booted && !bootSeen {
+			bootSeen = true
+			bootWall = time.Since(wallStart)
+			e.obs.RecordPhase("boot", 0, e.startupDone, bootWall)
+		}
 		mark := e.activityMark()
 		if mark != lastMark {
 			lastMark = mark
@@ -434,15 +480,85 @@ func (e *Emulator) RunUntilConverged(hold, timeout time.Duration) (time.Duration
 			lastChange = e.sim.Now()
 			continue
 		}
-		// All pods must exist and be Running before quiet counts as
-		// convergence — before infra init completes the network is silent
-		// but certainly not converged.
-		booted := e.startupDone > 0 && e.cluster.AllRunning()
 		if booted && e.sim.Now()-stableSince >= hold {
+			e.recordSimMetrics()
+			e.obs.RecordPhase("converge", e.startupDone, lastChange, time.Since(wallStart)-bootWall)
+			if e.obs.Enabled() {
+				e.obs.Emit(obs.Event{At: lastChange, Type: obs.EvConverged, Value: int64(len(e.routers))})
+			}
 			return lastChange, nil
 		}
 	}
-	return 0, fmt.Errorf("kne: no convergence within %v", timeout)
+	e.recordSimMetrics()
+	return 0, fmt.Errorf("kne: no convergence within %v%s", timeout, e.stragglerSummary())
+}
+
+// recordSimMetrics publishes simulation-effort and table-size gauges.
+func (e *Emulator) recordSimMetrics() {
+	if e.obs == nil {
+		return
+	}
+	m := e.obs.Metrics()
+	m.Gauge("sim_events_total").Set(int64(e.sim.Executed()))
+	m.Gauge("sim_queue_peak").Set(int64(e.sim.MaxPending()))
+	m.Gauge("sim_canceled_total").Set(int64(e.sim.CanceledCount()))
+	var running int64
+	for _, p := range e.cluster.Pods() {
+		if p.Phase == kube.PodRunning {
+			running++
+		}
+	}
+	m.Gauge("pods_running").Set(running)
+	for _, r := range e.Routers() {
+		m.Gauge("rib_routes." + r.Name).Set(int64(r.RIB().Len()))
+	}
+}
+
+// TimelineEntry describes one router's convergence state: when its RIB last
+// changed (virtual time; zero if it never did) and how many routes it holds.
+type TimelineEntry struct {
+	Router     string
+	LastChange time.Duration
+	Routes     int
+}
+
+// ConvergenceTimeline returns one entry per router sorted by name. It is
+// meaningful both after successful convergence (per-router settle times) and
+// after a timeout (which routers were still churning).
+func (e *Emulator) ConvergenceTimeline() []TimelineEntry {
+	out := make([]TimelineEntry, 0, len(e.routers))
+	for _, r := range e.Routers() {
+		out = append(out, TimelineEntry{
+			Router:     r.Name,
+			LastChange: e.lastChange[r.Name],
+			Routes:     r.RIB().Len(),
+		})
+	}
+	return out
+}
+
+// stragglerSummary renders the most recently churning routers for timeout
+// diagnostics.
+func (e *Emulator) stragglerSummary() string {
+	tl := e.ConvergenceTimeline()
+	if len(tl) == 0 {
+		return ""
+	}
+	sort.SliceStable(tl, func(i, j int) bool { return tl[i].LastChange > tl[j].LastChange })
+	const show = 5
+	n := len(tl)
+	if n > show {
+		n = show
+	}
+	parts := make([]string, 0, n)
+	for _, t := range tl[:n] {
+		parts = append(parts, fmt.Sprintf("%s(last change %v, %d routes)", t.Router, t.LastChange, t.Routes))
+	}
+	s := "; stragglers: " + strings.Join(parts, ", ")
+	if len(tl) > show {
+		s += fmt.Sprintf(", and %d more", len(tl)-show)
+	}
+	return s
 }
 
 // AFTs extracts every router's abstract forwarding table directly (the
@@ -450,8 +566,12 @@ func (e *Emulator) RunUntilConverged(hold, timeout time.Duration) (time.Duration
 // over the management interface).
 func (e *Emulator) AFTs() map[string]*aft.AFT {
 	out := make(map[string]*aft.AFT, len(e.routers))
-	for name, r := range e.routers {
-		out[name] = r.ExportAFT()
+	for _, r := range e.Routers() {
+		a := r.ExportAFT()
+		out[r.Name] = a
+		if e.obs.Enabled() {
+			e.obs.Emit(obs.Event{Type: obs.EvAFTExport, Device: r.Name, Value: int64(len(a.IPv4Entries))})
+		}
 	}
 	return out
 }

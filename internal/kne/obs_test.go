@@ -1,0 +1,133 @@
+package kne
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"mfv/internal/obs"
+)
+
+// TestObservedConvergence checks the emulator's event stream, phase records,
+// and metrics over a full IS-IS convergence.
+func TestObservedConvergence(t *testing.T) {
+	o := obs.New()
+	e, err := New(Config{Topology: isisLineTopo(3), Obs: o})
+	if err != nil {
+		t.Fatal(err)
+	}
+	converge(t, e)
+
+	counts := map[string]int{}
+	for _, ev := range o.Events() {
+		counts[ev.Type]++
+		if ev.At < 0 {
+			t.Errorf("event %+v has negative virtual time", ev)
+		}
+	}
+	if counts[obs.EvPodReady] != 3 {
+		t.Errorf("pod_ready events = %d, want 3", counts[obs.EvPodReady])
+	}
+	if counts[obs.EvStartupDone] != 1 {
+		t.Errorf("startup_done events = %d, want 1", counts[obs.EvStartupDone])
+	}
+	if counts[obs.EvLinkUp] != 2 {
+		t.Errorf("link_up events = %d, want 2", counts[obs.EvLinkUp])
+	}
+	if counts[obs.EvISISAdjacency] == 0 || counts[obs.EvRouteChurn] == 0 {
+		t.Errorf("missing protocol events: %v", counts)
+	}
+	if counts[obs.EvConverged] != 1 {
+		t.Errorf("converged events = %d, want 1", counts[obs.EvConverged])
+	}
+
+	// Boot and converge phases recorded with a sane virtual split.
+	var names []string
+	for _, p := range o.Phases() {
+		names = append(names, p.Name)
+	}
+	joined := strings.Join(names, ",")
+	if !strings.Contains(joined, "boot") || !strings.Contains(joined, "converge") {
+		t.Errorf("phases = %v", names)
+	}
+	for _, p := range o.Phases() {
+		if p.Name == "boot" && (p.VEnd != e.StartupDone() || p.VDur() <= 0) {
+			t.Errorf("boot phase = %+v, startup = %v", p, e.StartupDone())
+		}
+	}
+
+	if v := o.Gauge("sim_events_total").Value(); v <= 0 {
+		t.Errorf("sim_events_total = %d", v)
+	}
+	if v := o.Counter("spf_runs_total").Value(); v == 0 {
+		t.Error("spf_runs_total = 0")
+	}
+	if v := o.Gauge("rib_routes.r1").Value(); v <= 0 {
+		t.Errorf("rib_routes.r1 = %d", v)
+	}
+
+	// AFT extraction emits one sorted event per device.
+	e.AFTs()
+	var aftDevs []string
+	for _, ev := range o.Events() {
+		if ev.Type == obs.EvAFTExport {
+			aftDevs = append(aftDevs, ev.Device)
+		}
+	}
+	if len(aftDevs) != 3 || aftDevs[0] != "r1" || aftDevs[2] != "r3" {
+		t.Errorf("aft_export devices = %v", aftDevs)
+	}
+}
+
+// TestConvergenceTimeline checks per-router settle marks after convergence.
+func TestConvergenceTimeline(t *testing.T) {
+	e, err := New(Config{Topology: isisLineTopo(3)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	converge(t, e)
+	tl := e.ConvergenceTimeline()
+	if len(tl) != 3 {
+		t.Fatalf("timeline = %+v", tl)
+	}
+	for i, entry := range tl {
+		if entry.Router != []string{"r1", "r2", "r3"}[i] {
+			t.Errorf("timeline order: %+v", tl)
+		}
+		if entry.LastChange <= 0 {
+			t.Errorf("%s never changed", entry.Router)
+		}
+		if entry.Routes <= 0 {
+			t.Errorf("%s has no routes", entry.Router)
+		}
+	}
+}
+
+// TestTimeoutNamesStragglers checks the enriched convergence-timeout error:
+// it must identify which routers were still churning.
+func TestTimeoutNamesStragglers(t *testing.T) {
+	e, err := New(Config{Topology: isisLineTopo(3)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Start(); err != nil {
+		t.Fatal(err)
+	}
+	// Far too short for the ~13-minute infra init: guaranteed timeout.
+	_, err = e.RunUntilConverged(30*time.Second, time.Minute)
+	if err == nil {
+		t.Fatal("expected timeout")
+	}
+	msg := err.Error()
+	if !strings.Contains(msg, "stragglers:") {
+		t.Errorf("timeout error lacks stragglers: %q", msg)
+	}
+	for _, r := range []string{"r1", "r2", "r3"} {
+		if !strings.Contains(msg, r) {
+			t.Errorf("timeout error omits %s: %q", r, msg)
+		}
+	}
+	if !strings.Contains(msg, "routes") {
+		t.Errorf("timeout error lacks route counts: %q", msg)
+	}
+}

@@ -291,8 +291,15 @@ func (e *Engine) cleanup() {
 			delete(e.sessions, name)
 		}
 	}
-	// Head LSPs whose session stopped being confirmed go down.
-	for name, head := range e.headLSPs {
+	// Head LSPs whose session stopped being confirmed go down. Sorted so
+	// the down-notifications (which feed the trace) fire deterministically.
+	names := make([]string, 0, len(e.headLSPs))
+	for name := range e.headLSPs {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		head := e.headLSPs[name]
 		st := e.sessions[name]
 		if st == nil {
 			continue

@@ -1,0 +1,304 @@
+package obs
+
+import (
+	"fmt"
+	"math/bits"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing metric. The zero value is ready to
+// use; a nil *Counter is a no-op, so disabled runs pay one nil check.
+type Counter struct{ v atomic.Uint64 }
+
+// Add increments the counter by n.
+func (c *Counter) Add(n uint64) {
+	if c != nil {
+		c.v.Add(n)
+	}
+}
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value returns the current count (zero on nil).
+func (c *Counter) Value() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is a set-to-latest metric. A nil *Gauge is a no-op.
+type Gauge struct{ v atomic.Int64 }
+
+// Set records the current value.
+func (g *Gauge) Set(v int64) {
+	if g != nil {
+		g.v.Store(v)
+	}
+}
+
+// Add adjusts the gauge by delta.
+func (g *Gauge) Add(delta int64) {
+	if g != nil {
+		g.v.Add(delta)
+	}
+}
+
+// Value returns the current value (zero on nil).
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// histBuckets is the number of power-of-two histogram buckets: bucket i
+// holds values v with bits.Len64(v) == i, i.e. 0, 1, 2–3, 4–7, ... so the
+// highest bucket absorbs everything ≥ 2^62.
+const histBuckets = 64
+
+// Histogram accumulates int64 observations (typically nanoseconds or sizes)
+// in power-of-two buckets with lock-free recording. A nil *Histogram is a
+// no-op.
+type Histogram struct {
+	counts [histBuckets]atomic.Uint64
+	count  atomic.Uint64
+	sum    atomic.Uint64
+}
+
+// bucketIndex maps a value to its bucket: the bit length of v, so bucket i
+// spans [2^(i-1), 2^i). Negative values clamp to bucket 0.
+func bucketIndex(v int64) int {
+	if v <= 0 {
+		return 0
+	}
+	return bits.Len64(uint64(v))
+}
+
+// BucketLow returns the inclusive lower bound of bucket i.
+func BucketLow(i int) int64 {
+	if i <= 0 {
+		return 0
+	}
+	return 1 << (i - 1)
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v int64) {
+	if h == nil {
+		return
+	}
+	h.counts[bucketIndex(v)].Add(1)
+	h.count.Add(1)
+	if v > 0 {
+		h.sum.Add(uint64(v))
+	}
+}
+
+// Count returns the number of observations (zero on nil).
+func (h *Histogram) Count() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum returns the total of all positive observations.
+func (h *Histogram) Sum() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.sum.Load()
+}
+
+// Quantile returns an upper bound for the q-th quantile (0 < q ≤ 1): the
+// exclusive upper edge of the bucket containing that rank. Zero when empty.
+func (h *Histogram) Quantile(q float64) int64 {
+	if h == nil {
+		return 0
+	}
+	total := h.count.Load()
+	if total == 0 {
+		return 0
+	}
+	rank := uint64(q * float64(total))
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > total {
+		rank = total
+	}
+	var seen uint64
+	for i := 0; i < histBuckets; i++ {
+		seen += h.counts[i].Load()
+		if seen >= rank {
+			if i == 0 {
+				return 0
+			}
+			return 1<<i - 1
+		}
+	}
+	return 1<<63 - 1
+}
+
+// Buckets returns the non-empty buckets as (low-bound, count) pairs in
+// ascending order.
+func (h *Histogram) Buckets() (lows []int64, counts []uint64) {
+	if h == nil {
+		return nil, nil
+	}
+	for i := 0; i < histBuckets; i++ {
+		if c := h.counts[i].Load(); c > 0 {
+			lows = append(lows, BucketLow(i))
+			counts = append(counts, c)
+		}
+	}
+	return lows, counts
+}
+
+// Registry holds named metrics. The zero value is ready to use; a nil
+// *Registry hands out nil (no-op) handles, so a disabled observer costs
+// nothing down the whole chain.
+type Registry struct {
+	mu         sync.Mutex
+	counters   map[string]*Counter
+	gauges     map[string]*Gauge
+	histograms map[string]*Histogram
+}
+
+// Counter returns (creating if needed) the named counter.
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.counters == nil {
+		r.counters = map[string]*Counter{}
+	}
+	c, ok := r.counters[name]
+	if !ok {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns (creating if needed) the named gauge.
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.gauges == nil {
+		r.gauges = map[string]*Gauge{}
+	}
+	g, ok := r.gauges[name]
+	if !ok {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns (creating if needed) the named histogram.
+func (r *Registry) Histogram(name string) *Histogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.histograms == nil {
+		r.histograms = map[string]*Histogram{}
+	}
+	h, ok := r.histograms[name]
+	if !ok {
+		h = &Histogram{}
+		r.histograms[name] = h
+	}
+	return h
+}
+
+// MetricKind distinguishes snapshot entries.
+type MetricKind uint8
+
+// Metric kinds.
+const (
+	KindCounter MetricKind = iota
+	KindGauge
+	KindHistogram
+)
+
+// Metric is one snapshot entry.
+type Metric struct {
+	Name  string
+	Kind  MetricKind
+	Value int64 // counter/gauge value; histogram count
+	// P50/P99/Sum are histogram-only.
+	P50, P99 int64
+	Sum      uint64
+}
+
+// Render formats the metric's value column.
+func (m Metric) Render() string {
+	if m.Kind == KindHistogram {
+		return fmt.Sprintf("count=%d p50<=%d p99<=%d sum=%d", m.Value, m.P50, m.P99, m.Sum)
+	}
+	return fmt.Sprintf("%d", m.Value)
+}
+
+// Snapshot returns every metric sorted by name.
+func (r *Registry) Snapshot() []Metric {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	counters := make(map[string]*Counter, len(r.counters))
+	for k, v := range r.counters {
+		counters[k] = v
+	}
+	gauges := make(map[string]*Gauge, len(r.gauges))
+	for k, v := range r.gauges {
+		gauges[k] = v
+	}
+	hists := make(map[string]*Histogram, len(r.histograms))
+	for k, v := range r.histograms {
+		hists[k] = v
+	}
+	r.mu.Unlock()
+
+	out := make([]Metric, 0, len(counters)+len(gauges)+len(hists))
+	for _, name := range sortedNames(counters) {
+		out = append(out, Metric{Name: name, Kind: KindCounter, Value: int64(counters[name].Value())})
+	}
+	for _, name := range sortedNames(gauges) {
+		out = append(out, Metric{Name: name, Kind: KindGauge, Value: gauges[name].Value()})
+	}
+	for _, name := range sortedNames(hists) {
+		h := hists[name]
+		out = append(out, Metric{
+			Name: name, Kind: KindHistogram,
+			Value: int64(h.Count()), P50: h.Quantile(0.50), P99: h.Quantile(0.99), Sum: h.Sum(),
+		})
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// Names returns every registered metric name, sorted and de-duplicated.
+func (r *Registry) Names() []string {
+	snap := r.Snapshot()
+	out := make([]string, 0, len(snap))
+	var last string
+	for _, m := range snap {
+		if m.Name != last {
+			out = append(out, m.Name)
+			last = m.Name
+		}
+	}
+	return out
+}

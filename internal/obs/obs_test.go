@@ -1,0 +1,309 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	var c Counter
+	c.Inc()
+	c.Add(4)
+	if got := c.Value(); got != 5 {
+		t.Errorf("counter = %d, want 5", got)
+	}
+	var g Gauge
+	g.Set(7)
+	g.Add(-3)
+	if got := g.Value(); got != 4 {
+		t.Errorf("gauge = %d, want 4", got)
+	}
+}
+
+func TestNilHandlesAreNoOps(t *testing.T) {
+	var c *Counter
+	c.Inc()
+	c.Add(10)
+	if c.Value() != 0 {
+		t.Error("nil counter not zero")
+	}
+	var g *Gauge
+	g.Set(3)
+	if g.Value() != 0 {
+		t.Error("nil gauge not zero")
+	}
+	var h *Histogram
+	h.Observe(5)
+	if h.Count() != 0 || h.Sum() != 0 || h.Quantile(0.5) != 0 {
+		t.Error("nil histogram not zero")
+	}
+	var o *Observer
+	o.Emit(Event{Type: EvConverged})
+	o.SetClock(nil)
+	o.RecordPhase("x", 0, 0, 0)
+	o.StartPhase("y").End()
+	if o.Enabled() || o.Events() != nil || o.Phases() != nil || o.Metrics() != nil {
+		t.Error("nil observer leaked state")
+	}
+	if err := o.WriteJSONL(&bytes.Buffer{}); err != nil {
+		t.Error(err)
+	}
+	var r *Registry
+	if r.Counter("a") != nil || r.Gauge("b") != nil || r.Histogram("c") != nil {
+		t.Error("nil registry handed out non-nil handles")
+	}
+	if r.Snapshot() != nil {
+		t.Error("nil registry snapshot not nil")
+	}
+}
+
+func TestHistogramBucketMath(t *testing.T) {
+	cases := []struct {
+		v    int64
+		want int // bucket index
+	}{
+		{-5, 0}, {0, 0}, {1, 1}, {2, 2}, {3, 2}, {4, 3}, {7, 3},
+		{8, 4}, {1023, 10}, {1024, 11},
+	}
+	for _, c := range cases {
+		if got := bucketIndex(c.v); got != c.want {
+			t.Errorf("bucketIndex(%d) = %d, want %d", c.v, got, c.want)
+		}
+	}
+	// Each bucket's lower bound round-trips: a value at BucketLow(i) lands
+	// in bucket i, and BucketLow(i+1)-1 still lands in bucket i.
+	for i := 1; i < 20; i++ {
+		low := BucketLow(i)
+		if got := bucketIndex(low); got != i {
+			t.Errorf("bucketIndex(BucketLow(%d)=%d) = %d", i, low, got)
+		}
+		if got := bucketIndex(2*low - 1); got != i {
+			t.Errorf("bucketIndex(%d) = %d, want %d", 2*low-1, got, i)
+		}
+	}
+}
+
+func TestHistogramObserveAndQuantile(t *testing.T) {
+	var h Histogram
+	for v := int64(1); v <= 100; v++ {
+		h.Observe(v)
+	}
+	if h.Count() != 100 {
+		t.Errorf("count = %d", h.Count())
+	}
+	if h.Sum() != 5050 {
+		t.Errorf("sum = %d", h.Sum())
+	}
+	// Power-of-two buckets: rank 50 falls in bucket [32,64), whose
+	// exclusive upper bound is 63; rank 99/100 in [64,128) -> 127.
+	if got := h.Quantile(0.5); got != 63 {
+		t.Errorf("p50 = %d, want 63", got)
+	}
+	if got := h.Quantile(0.99); got != 127 {
+		t.Errorf("p99 = %d, want 127", got)
+	}
+	lows, counts := h.Buckets()
+	if len(lows) != len(counts) || len(lows) == 0 {
+		t.Fatalf("buckets: %v %v", lows, counts)
+	}
+	var total uint64
+	for i, c := range counts {
+		total += c
+		if i > 0 && lows[i] <= lows[i-1] {
+			t.Error("bucket lows not ascending")
+		}
+	}
+	if total != 100 {
+		t.Errorf("bucket counts sum to %d", total)
+	}
+}
+
+func TestHistogramNegativeAndZero(t *testing.T) {
+	var h Histogram
+	h.Observe(-3)
+	h.Observe(0)
+	if h.Count() != 2 {
+		t.Errorf("count = %d", h.Count())
+	}
+	if h.Sum() != 0 {
+		t.Errorf("sum = %d, want 0 (non-positive values excluded)", h.Sum())
+	}
+	if h.Quantile(1.0) != 0 {
+		t.Errorf("q1.0 = %d, want 0", h.Quantile(1.0))
+	}
+}
+
+func TestRegistryHandleIdentity(t *testing.T) {
+	var r Registry
+	if r.Counter("x") != r.Counter("x") {
+		t.Error("same-name counters differ")
+	}
+	if r.Gauge("y") != r.Gauge("y") {
+		t.Error("same-name gauges differ")
+	}
+	if r.Histogram("z") != r.Histogram("z") {
+		t.Error("same-name histograms differ")
+	}
+	r.Counter("x").Add(2)
+	r.Gauge("y").Set(-1)
+	r.Histogram("z").Observe(9)
+	snap := r.Snapshot()
+	if len(snap) != 3 {
+		t.Fatalf("snapshot: %+v", snap)
+	}
+	names := r.Names()
+	for i := 1; i < len(names); i++ {
+		if names[i] <= names[i-1] {
+			t.Error("names not sorted")
+		}
+	}
+}
+
+type fakeClock struct{ now time.Duration }
+
+func (c *fakeClock) Now() time.Duration { return c.now }
+
+func TestEmitStampsVirtualTime(t *testing.T) {
+	o := New()
+	clk := &fakeClock{}
+	o.SetClock(clk)
+	clk.now = 5 * time.Second
+	o.Emit(Event{Type: EvPodReady, Device: "r1"})
+	// A nonzero At is kept verbatim.
+	o.Emit(Event{At: time.Second, Type: EvConverged})
+	evs := o.Events()
+	if len(evs) != 2 || evs[0].At != 5*time.Second || evs[1].At != time.Second {
+		t.Fatalf("events = %+v", evs)
+	}
+}
+
+func TestWriteJSONLFormat(t *testing.T) {
+	o := New()
+	o.SetClock(&fakeClock{now: 3 * time.Millisecond})
+	o.Emit(Event{Type: EvBGPSession, Device: "r1", Peer: "10.0.0.1", Detail: "OpenConfirm>Established"})
+	o.Emit(Event{Type: EvLSPFlood, Device: "r2", Value: 3})
+	var buf bytes.Buffer
+	if err := o.WriteJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(buf.String(), "\n"), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("lines = %q", lines)
+	}
+	var e Event
+	if err := json.Unmarshal([]byte(lines[0]), &e); err != nil {
+		t.Fatal(err)
+	}
+	if e != (Event{At: 3 * time.Millisecond, Type: EvBGPSession, Device: "r1", Peer: "10.0.0.1", Detail: "OpenConfirm>Established"}) {
+		t.Errorf("round-trip = %+v", e)
+	}
+	if !strings.Contains(lines[0], `"at_ns":3000000`) {
+		t.Errorf("virtual-time field missing: %s", lines[0])
+	}
+
+	// Identical emissions serialize byte-identically.
+	o2 := New()
+	o2.SetClock(&fakeClock{now: 3 * time.Millisecond})
+	o2.Emit(Event{Type: EvBGPSession, Device: "r1", Peer: "10.0.0.1", Detail: "OpenConfirm>Established"})
+	o2.Emit(Event{Type: EvLSPFlood, Device: "r2", Value: 3})
+	var buf2 bytes.Buffer
+	if err := o2.WriteJSONL(&buf2); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), buf2.Bytes()) {
+		t.Error("same emissions produced different bytes")
+	}
+}
+
+func TestMetricsOnlyDiscardsTrace(t *testing.T) {
+	o := NewMetricsOnly()
+	if o.Enabled() {
+		t.Error("metrics-only observer reports Enabled")
+	}
+	o.Emit(Event{Type: EvPodReady})
+	if len(o.Events()) != 0 {
+		t.Error("metrics-only observer kept events")
+	}
+	o.Counter("c").Inc()
+	if o.Counter("c").Value() != 1 {
+		t.Error("metrics-only observer dropped metrics")
+	}
+}
+
+func TestPhases(t *testing.T) {
+	o := New()
+	clk := &fakeClock{}
+	o.SetClock(clk)
+	s := o.StartPhase("parse")
+	clk.now = 2 * time.Second
+	s.End()
+	o.RecordPhase("boot", 2*time.Second, 10*time.Second, 123*time.Microsecond)
+	ph := o.Phases()
+	if len(ph) != 2 {
+		t.Fatalf("phases = %+v", ph)
+	}
+	if ph[0].Name != "parse" || ph[0].VDur() != 2*time.Second {
+		t.Errorf("parse phase = %+v", ph[0])
+	}
+	if ph[1].VStart != 2*time.Second || ph[1].VEnd != 10*time.Second || ph[1].Wall != 123*time.Microsecond {
+		t.Errorf("boot phase = %+v", ph[1])
+	}
+	// Span events bracket each phase at the correct virtual instants.
+	evs := o.Events()
+	if len(evs) != 4 || evs[0].Type != EvSpanStart || evs[1].Type != EvSpanEnd ||
+		evs[1].Value != int64(2*time.Second) || evs[3].At != 10*time.Second {
+		t.Errorf("span events = %+v", evs)
+	}
+	if !strings.Contains(o.PhaseTable(), "parse") {
+		t.Error("PhaseTable missing phase")
+	}
+}
+
+func TestTables(t *testing.T) {
+	o := New()
+	o.Counter("bgp_updates_total").Add(3)
+	o.Histogram("spf_ns").Observe(100)
+	tbl := o.MetricsTable()
+	if !strings.Contains(tbl, "bgp_updates_total") || !strings.Contains(tbl, "count=1") {
+		t.Errorf("MetricsTable:\n%s", tbl)
+	}
+}
+
+// TestNoOpZeroAllocs pins the disabled-path contract: a nil observer and nil
+// metric handles must not allocate, so uninstrumented runs pay only nil
+// checks.
+func TestNoOpZeroAllocs(t *testing.T) {
+	var o *Observer
+	var c *Counter
+	var g *Gauge
+	var h *Histogram
+	ev := Event{Type: EvBGPSession, Device: "r1", Detail: "Idle>OpenSent"}
+	if n := testing.AllocsPerRun(100, func() {
+		if o.Enabled() {
+			o.Emit(ev)
+		}
+		c.Inc()
+		c.Add(2)
+		g.Set(1)
+		h.Observe(42)
+	}); n != 0 {
+		t.Errorf("no-op path allocates %v per op", n)
+	}
+}
+
+// TestHotPathZeroAllocs pins the enabled metrics hot path: pre-resolved
+// handles record atomically without allocating.
+func TestHotPathZeroAllocs(t *testing.T) {
+	o := NewMetricsOnly()
+	c := o.Counter("c")
+	h := o.Histogram("h")
+	if n := testing.AllocsPerRun(100, func() {
+		c.Inc()
+		h.Observe(17)
+	}); n != 0 {
+		t.Errorf("metrics hot path allocates %v per op", n)
+	}
+}

@@ -81,6 +81,11 @@ type Simulator struct {
 	// Executed counts events that have fired; useful for loop detection in
 	// tests and for reporting simulation effort.
 	executed uint64
+	// maxPending is the queue-depth high-water mark, and canceled the number
+	// of events canceled before firing — the observability layer reports
+	// both as simulation-effort metrics.
+	maxPending int
+	canceled   uint64
 }
 
 // New returns a simulator with the virtual clock at zero. The seed fixes all
@@ -101,6 +106,12 @@ func (s *Simulator) Executed() uint64 { return s.executed }
 // Pending returns the number of events waiting in the queue.
 func (s *Simulator) Pending() int { return len(s.queue) }
 
+// MaxPending returns the highest queue depth observed so far.
+func (s *Simulator) MaxPending() int { return s.maxPending }
+
+// CanceledCount returns the number of events canceled before firing.
+func (s *Simulator) CanceledCount() uint64 { return s.canceled }
+
 // After schedules fn at now+d. Negative d is treated as zero. The returned
 // event can be canceled with Cancel.
 func (s *Simulator) After(d time.Duration, fn func()) *Event {
@@ -113,6 +124,9 @@ func (s *Simulator) After(d time.Duration, fn func()) *Event {
 	e := &Event{at: s.now + d, seq: s.seq, fn: fn}
 	s.seq++
 	heap.Push(&s.queue, e)
+	if len(s.queue) > s.maxPending {
+		s.maxPending = len(s.queue)
+	}
 	return e
 }
 
@@ -126,6 +140,7 @@ func (s *Simulator) Cancel(e *Event) {
 		return
 	}
 	e.cancel = true
+	s.canceled++
 	heap.Remove(&s.queue, e.index)
 }
 

@@ -15,6 +15,7 @@ import (
 	"strings"
 
 	"mfv/internal/aft"
+	"mfv/internal/obs"
 	"mfv/internal/routing"
 	"mfv/internal/topology"
 )
@@ -144,6 +145,17 @@ type Network struct {
 	// owners maps every Receive-delivering /32 prefix address to its device
 	// (used for all-pairs matrices).
 	owners map[netip.Addr]string
+
+	// Observability handles (nil = no-op).
+	cTraces *obs.Counter
+	gECs    *obs.Gauge
+}
+
+// SetObserver enables verification metrics: verify_traces_total counts
+// forwarding walks and ec_count records the equivalence-class population.
+func (n *Network) SetObserver(o *obs.Observer) {
+	n.cTraces = o.Counter("verify_traces_total")
+	n.gECs = o.Gauge("ec_count")
 }
 
 // NewNetwork indexes AFTs for verification. Unknown devices in afts (not in
@@ -213,6 +225,7 @@ func (n *Network) OwnedAddrs() []netip.Addr {
 // Trace performs an exhaustive multipath forwarding walk from src toward
 // dst.
 func (n *Network) Trace(src string, dst netip.Addr) Trace {
+	n.cTraces.Inc()
 	t := Trace{Src: src, Dst: dst}
 	d, ok := n.devices[src]
 	if !ok {
@@ -308,6 +321,7 @@ func (n *Network) EquivalenceClasses() []netip.Addr {
 		out = append(out, u32Addr(b))
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Less(out[j]) })
+	n.gECs.Set(int64(len(out)))
 	return out
 }
 

@@ -22,6 +22,7 @@ import (
 	"mfv/internal/dataplane"
 	"mfv/internal/isis"
 	"mfv/internal/mpls"
+	"mfv/internal/obs"
 	"mfv/internal/routing"
 	"mfv/internal/sim"
 )
@@ -121,6 +122,11 @@ type Router struct {
 	// nhState caches the last observed resolution of each BGP next hop, so
 	// post-RIB-change revalidation is O(distinct next hops).
 	nhState map[netip.Addr]nhResolution
+
+	// Observability (nil handles are no-ops).
+	obs       *obs.Observer
+	hFIBNanos *obs.Histogram
+	cCrashes  *obs.Counter
 }
 
 type nhResolution struct {
@@ -147,6 +153,21 @@ func New(name string, dev *ir.Device, profile Profile, clock *sim.Simulator) (*R
 	}
 	r.rib.OnChange(func(netip.Prefix, *routing.Route) { r.scheduleRIBSettled() })
 	return r, nil
+}
+
+// SetObserver wires the router and its protocol engines into the
+// observability layer. Call before Start so session and adjacency
+// transitions are traced from the first event.
+func (r *Router) SetObserver(o *obs.Observer) {
+	r.obs = o
+	r.hFIBNanos = o.Histogram("fib_recompute_ns")
+	r.cCrashes = o.Counter("bgp_crashes_total")
+	if r.BGP != nil {
+		r.BGP.SetObserver(o)
+	}
+	if r.ISIS != nil {
+		r.ISIS.SetObserver(o)
+	}
 }
 
 // Device returns the parsed intent the router runs.
@@ -629,11 +650,19 @@ func (r *Router) ensureFIB() *dataplane.FIB {
 
 // ExportAFT renders the current forwarding state.
 func (r *Router) ExportAFT() *aft.AFT {
+	var start time.Time
+	if r.obs != nil {
+		start = time.Now()
+	}
 	var xcs []mpls.CrossConnect
 	if r.MPLS != nil {
 		xcs = r.MPLS.CrossConnects()
 	}
-	return r.ensureFIB().ExportAFT(r.Name, xcs)
+	a := r.ensureFIB().ExportAFT(r.Name, xcs)
+	if r.obs != nil {
+		r.hFIBNanos.Observe(time.Since(start).Nanoseconds())
+	}
+	return a
 }
 
 // --- Substrate hooks -------------------------------------------------------
@@ -747,6 +776,10 @@ func (r *Router) processBGP(from netip.Addr, data []byte) {
 func (r *Router) crashRoutingProcess() {
 	r.CrashCount++
 	r.crashed = true
+	r.cCrashes.Inc()
+	if r.obs.Enabled() {
+		r.obs.Emit(obs.Event{Type: obs.EvCrash, Device: r.Name, Value: int64(r.CrashCount)})
+	}
 	if r.BGP != nil {
 		for _, p := range r.BGP.Peers() {
 			p.TransportDown()

@@ -24,6 +24,8 @@ package mfv
 
 import (
 	"mfv/internal/core"
+	"mfv/internal/kne"
+	"mfv/internal/obs"
 	"mfv/internal/routegen"
 	"mfv/internal/testnet"
 	"mfv/internal/topology"
@@ -176,3 +178,43 @@ type (
 	// UtilizationReport carries per-link loads and undelivered demands.
 	UtilizationReport = verify.UtilizationReport
 )
+
+// Observability: traces, metrics, and phase timing.
+type (
+	// Observer collects virtual-time trace events, metrics, and phase
+	// timings from a pipeline run. Attach via Options.Obs; nil disables
+	// observability at near-zero cost.
+	Observer = obs.Observer
+	// TraceEvent is one virtual-time trace record.
+	TraceEvent = obs.Event
+	// PhaseRecord is one completed pipeline phase (virtual + wall timing).
+	PhaseRecord = obs.PhaseRecord
+	// TimelineEntry is one router's convergence state (last RIB change,
+	// route count), from Result.Emulator.ConvergenceTimeline().
+	TimelineEntry = kne.TimelineEntry
+)
+
+// Trace event types (TraceEvent.Type values).
+const (
+	EvPodReady      = obs.EvPodReady
+	EvStartupDone   = obs.EvStartupDone
+	EvLinkUp        = obs.EvLinkUp
+	EvLinkDown      = obs.EvLinkDown
+	EvBGPSession    = obs.EvBGPSession
+	EvISISAdjacency = obs.EvISISAdjacency
+	EvLSPFlood      = obs.EvLSPFlood
+	EvRouteChurn    = obs.EvRouteChurn
+	EvCrash         = obs.EvCrash
+	EvConverged     = obs.EvConverged
+	EvAFTExport     = obs.EvAFTExport
+	EvSpanStart     = obs.EvSpanStart
+	EvSpanEnd       = obs.EvSpanEnd
+)
+
+// NewObserver returns an observer collecting the full trace, metrics, and
+// phase records. Same-seed runs produce byte-identical traces.
+func NewObserver() *Observer { return obs.New() }
+
+// NewMetricsObserver returns an observer recording metrics and phases but
+// discarding trace events — the right sink for large runs.
+func NewMetricsObserver() *Observer { return obs.NewMetricsOnly() }

@@ -1,0 +1,112 @@
+package mfv
+
+// End-to-end observability contracts on the public API: trace determinism
+// across same-seed runs, and the presence of every event family the paper's
+// debugging workflow leans on.
+
+import (
+	"bytes"
+	"testing"
+)
+
+func traceRun(t *testing.T, topo *Topology) (*Observer, []byte) {
+	t.Helper()
+	o := NewObserver()
+	if _, err := Run(Snapshot{Topology: topo}, Options{Obs: o}); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := o.WriteJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return o, buf.Bytes()
+}
+
+// TestTraceDeterminism: two same-seed Fig. 2 pipeline runs must serialize
+// byte-identical traces — virtual-time stamping means the trace is evidence,
+// not a log.
+func TestTraceDeterminism(t *testing.T) {
+	_, a := traceRun(t, Fig2())
+	_, b := traceRun(t, Fig2())
+	if !bytes.Equal(a, b) {
+		t.Fatalf("same-seed traces differ:\nlen(a)=%d len(b)=%d", len(a), len(b))
+	}
+	if len(a) == 0 {
+		t.Fatal("empty trace")
+	}
+}
+
+// TestTraceEventFamilies: the Fig. 2 trace must cover pod lifecycle, BGP
+// sessions, IS-IS adjacencies, route churn, phase spans, and convergence.
+func TestTraceEventFamilies(t *testing.T) {
+	o, _ := traceRun(t, Fig2())
+	counts := map[string]int{}
+	var spans []string
+	for _, ev := range o.Events() {
+		counts[ev.Type]++
+		if ev.Type == EvSpanStart {
+			spans = append(spans, ev.Detail)
+		}
+	}
+	for _, want := range []string{
+		EvPodReady, EvStartupDone, EvLinkUp, EvBGPSession,
+		EvISISAdjacency, EvRouteChurn, EvConverged, EvAFTExport,
+		EvSpanStart, EvSpanEnd,
+	} {
+		if counts[want] == 0 {
+			t.Errorf("no %s events in trace; have %v", want, counts)
+		}
+	}
+	// All six pipeline phases appear as spans.
+	want := map[string]bool{"parse": true, "schedule": true, "boot": true,
+		"converge": true, "extract": true, "verify": true}
+	for _, s := range spans {
+		delete(want, s)
+	}
+	if len(want) != 0 {
+		t.Errorf("missing phase spans: %v (have %v)", want, spans)
+	}
+}
+
+// TestMetricsPopulated: a full run must register the headline metrics with
+// plausible values.
+func TestMetricsPopulated(t *testing.T) {
+	o, _ := traceRun(t, Fig2())
+	names := map[string]bool{}
+	for _, n := range o.Metrics().Names() {
+		names[n] = true
+	}
+	for _, want := range []string{
+		"bgp_updates_total", "bgp_sessions_established_total", "spf_runs_total",
+		"spf_ns", "lsps_flooded_total", "fib_recompute_ns", "ec_count",
+		"sim_events_total", "sim_queue_peak", "pods_running", "rib_routes.r1",
+	} {
+		if !names[want] {
+			t.Errorf("metric %s not registered; have %v", want, o.Metrics().Names())
+		}
+	}
+	if v := o.Counter("bgp_sessions_established_total").Value(); v == 0 {
+		t.Error("no BGP sessions established")
+	}
+	if v := o.Gauge("ec_count").Value(); v <= 0 {
+		t.Errorf("ec_count = %d", v)
+	}
+}
+
+// TestModelBackendPhases: the model baseline records parse and verify phases
+// with zero virtual time (no simulation clock).
+func TestModelBackendPhases(t *testing.T) {
+	o := NewMetricsObserver()
+	if _, err := Run(Snapshot{Topology: Fig3()}, Options{Backend: BackendModel, Obs: o}); err != nil {
+		t.Fatal(err)
+	}
+	ph := o.Phases()
+	if len(ph) != 2 || ph[0].Name != "parse" || ph[1].Name != "verify" {
+		t.Fatalf("model phases = %+v", ph)
+	}
+	for _, p := range ph {
+		if p.VDur() != 0 {
+			t.Errorf("model phase %s has virtual duration %v", p.Name, p.VDur())
+		}
+	}
+}

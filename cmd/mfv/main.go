@@ -11,6 +11,11 @@
 //	mfv coverage  -topo net.json
 //	mfv loops     -topo net.json
 //	mfv scenarios -out DIR        (write the paper's Fig2/Fig3 topologies)
+//	mfv chaos     [-write DIR]    (list built-in fault scenarios)
+//
+// The run command also takes -chaos NAME|FILE to inject a deterministic
+// fault scenario after convergence and -degraded to accept partial
+// convergence on timeout.
 //
 // Exit codes: 0 success, 1 operational error, 2 usage error, 3 verification
 // violation (unreachable flows, differential changes, loops, critical links).
@@ -73,6 +78,8 @@ func main() {
 		err = cmdWhatIf(args)
 	case "scenarios":
 		err = cmdScenarios(args)
+	case "chaos":
+		err = cmdChaos(args)
 	default:
 		usage()
 		os.Exit(exitUsage)
@@ -88,7 +95,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: mfv <run|reach|trace|diff|coverage|loops|scenarios> [flags]
+	fmt.Fprintln(os.Stderr, `usage: mfv <run|reach|trace|diff|coverage|loops|scenarios|chaos> [flags]
   run       run the pipeline, print route summary and convergence timing
   reach     answer one reachability question
   trace     exhaustive multipath traceroute
@@ -98,7 +105,11 @@ func usage() {
   show      operator-style router inspection (route|isis|bgp|mpls|interfaces)
   whatif    single-link-cut exploration with per-cut differentials
   scenarios write the paper's evaluation topologies to a directory
+  chaos     list built-in fault scenarios (-write DIR emits them as JSON)
 
+robustness flags (run): -chaos NAME|FILE (inject a fault scenario after
+  convergence and verify across it), -degraded (accept partial convergence
+  on timeout; stragglers are reported, not fatal)
 observability flags (run): -trace FILE (JSONL event trace, virtual time),
   -metrics (phase timings + metrics registry), -timeline (per-router
   convergence report)
@@ -121,6 +132,8 @@ type runFlags struct {
 	trace    string
 	metrics  bool
 	timeline bool
+	chaos    string
+	degraded bool
 
 	obs *mfv.Observer
 }
@@ -139,7 +152,25 @@ func newFlags(name string) *runFlags {
 	f.fs.StringVar(&f.trace, "trace", "", "write the virtual-time trace as JSONL to this file")
 	f.fs.BoolVar(&f.metrics, "metrics", false, "print phase timings and the metrics registry")
 	f.fs.BoolVar(&f.timeline, "timeline", false, "print the per-router convergence timeline")
+	f.fs.StringVar(&f.chaos, "chaos", "", "fault scenario: builtin name or JSON file (run)")
+	f.fs.BoolVar(&f.degraded, "degraded", false, "accept partial convergence on timeout, report stragglers")
 	return f
+}
+
+// loadChaos resolves the -chaos flag: a builtin scenario name first, else a
+// JSON scenario file.
+func (f *runFlags) loadChaos() (*mfv.ChaosScenario, error) {
+	if f.chaos == "" {
+		return nil, nil
+	}
+	if sc, ok := mfv.ChaosBuiltin(f.chaos); ok {
+		return sc, nil
+	}
+	data, err := os.ReadFile(f.chaos)
+	if err != nil {
+		return nil, fmt.Errorf("-chaos %q is neither a builtin scenario nor a readable file: %w", f.chaos, err)
+	}
+	return mfv.ParseChaosScenario(data)
 }
 
 // observer lazily builds the observer implied by the observability flags
@@ -205,12 +236,17 @@ func (f *runFlags) loadTopo(path string) (*mfv.Topology, error) {
 	return mfv.ParseTopology(data)
 }
 
-func (f *runFlags) options() mfv.Options {
-	opts := mfv.Options{UseGNMI: f.gnmi, Obs: f.observer()}
+func (f *runFlags) options() (mfv.Options, error) {
+	opts := mfv.Options{UseGNMI: f.gnmi, Obs: f.observer(), Degraded: f.degraded}
 	if f.backend == "model" {
 		opts.Backend = mfv.BackendModel
 	}
-	return opts
+	sc, err := f.loadChaos()
+	if err != nil {
+		return opts, err
+	}
+	opts.Chaos = sc
+	return opts, nil
 }
 
 func (f *runFlags) run(path string) (*mfv.Result, error) {
@@ -218,7 +254,11 @@ func (f *runFlags) run(path string) (*mfv.Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	return mfv.Run(mfv.Snapshot{Topology: topo}, f.options())
+	opts, err := f.options()
+	if err != nil {
+		return nil, err
+	}
+	return mfv.Run(mfv.Snapshot{Topology: topo}, opts)
 }
 
 func cmdRun(args []string) error {
@@ -233,6 +273,9 @@ func cmdRun(args []string) error {
 		fmt.Printf("startup: %v (virtual)\nconverged at: %v (virtual)\n",
 			res.StartupAt.Round(1e9), res.ConvergedAt.Round(1e9))
 	}
+	if len(res.DegradedRouters) > 0 {
+		fmt.Printf("DEGRADED: %d routers never settled: %v\n", len(res.DegradedRouters), res.DegradedRouters)
+	}
 	counts := res.RouteCount()
 	protos := make([]string, 0, len(counts))
 	for p := range counts {
@@ -244,7 +287,16 @@ func cmdRun(args []string) error {
 		fmt.Printf("  %-10s %d\n", p, counts[p])
 	}
 	fmt.Printf("devices with forwarding state: %d\n", len(res.Network.Devices()))
-	return f.report(res)
+	if res.Chaos != nil {
+		fmt.Print(res.Chaos)
+	}
+	if err := f.report(res); err != nil {
+		return err
+	}
+	if res.Chaos != nil && !res.Chaos.Recovered {
+		return violationf("%d flows permanently lost under chaos", res.Chaos.PermanentFlowsLost)
+	}
+	return nil
 }
 
 func cmdReach(args []string) error {
@@ -409,7 +461,11 @@ func cmdWhatIf(args []string) error {
 	if err != nil {
 		return err
 	}
-	findings, err := mfv.ExploreSingleLinkFailures(mfv.Snapshot{Topology: topo}, f.options())
+	opts, err := f.options()
+	if err != nil {
+		return err
+	}
+	findings, err := mfv.ExploreSingleLinkFailures(mfv.Snapshot{Topology: topo}, opts)
 	if err != nil {
 		return err
 	}
@@ -454,4 +510,28 @@ func cmdScenarios(args []string) error {
 		return err
 	}
 	return write("wan30.json", mfv.WAN(30, true))
+}
+
+func cmdChaos(args []string) error {
+	fs := flag.NewFlagSet("chaos", flag.ExitOnError)
+	write := fs.String("write", "", "also write each scenario as <name>.json into this directory")
+	fs.Parse(args)
+	for _, sc := range mfv.ChaosBuiltins() {
+		fmt.Printf("%-14s seed=%-4d faults=%d  %s\n", sc.Name, sc.Seed, len(sc.Faults), sc.Description)
+		for _, f := range sc.Faults {
+			fmt.Printf("    t+%-8v %s\n", f.After, f.Describe())
+		}
+		if *write != "" {
+			data, err := sc.Marshal()
+			if err != nil {
+				return err
+			}
+			path := filepath.Join(*write, sc.Name+".json")
+			if err := os.WriteFile(path, data, 0o644); err != nil {
+				return err
+			}
+			fmt.Println("    wrote", path)
+		}
+	}
+	return nil
 }

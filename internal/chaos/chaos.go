@@ -1,0 +1,294 @@
+// Package chaos is a deterministic, virtual-time fault-injection engine:
+// it schedules faults — link flaps, router pod crashes, kube node failures,
+// BGP session resets, probabilistic loss/delay — against a running
+// emulation and verifies invariants across the churn. After each fault
+// settles, it snapshots every router's AFT and runs differential
+// reachability against the pre-fault baseline, producing a per-fault
+// verdict timeline: flows lost, flows recovered, reconvergence time on the
+// virtual clock. Because every source of randomness is the emulation's
+// seeded RNG, a scenario replays bit-identically: same seed + same scenario
+// ⇒ same fault timeline, same traces.
+package chaos
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Kind names a fault type.
+type Kind string
+
+// Fault kinds.
+const (
+	// KindLinkCut administratively fails a link and never restores it —
+	// the partition question.
+	KindLinkCut Kind = "link-cut"
+	// KindLinkFlap bounces a link down/up Flaps times with per-flap
+	// jittered dwell, ending up.
+	KindLinkFlap Kind = "link-flap"
+	// KindPodCrash kills a router pod; kube reschedules it and the router
+	// reboots from its config.
+	KindPodCrash Kind = "pod-crash"
+	// KindNodeFail fails a kube worker for Duration, evicting and
+	// rescheduling every resident pod, then recovers the node.
+	KindNodeFail Kind = "node-fail"
+	// KindBGPReset drops every BGP session on a router ("clear ip bgp *").
+	KindBGPReset Kind = "bgp-reset"
+	// KindLinkDegrade imposes probabilistic loss and extra delay on a link
+	// for Duration, then clears it.
+	KindLinkDegrade Kind = "link-degrade"
+)
+
+// Fault is one timed fault specification. After is the virtual delay from
+// the previous fault's settled point (or from scenario start for the first
+// fault). Link targets use "node:interface" endpoint syntax; either end of
+// the link works.
+type Fault struct {
+	Kind  Kind   `json:"kind"`
+	After time.Duration `json:"after_ns,omitempty"`
+	// Node targets a router (pod-crash, bgp-reset) or a kube worker
+	// (node-fail).
+	Node string `json:"node,omitempty"`
+	// Link targets a link by endpoint, e.g. "r2:Ethernet2".
+	Link string `json:"link,omitempty"`
+	// Duration is the dwell per flap half-cycle (link-flap), the outage
+	// length (node-fail), or the impairment window (link-degrade).
+	Duration time.Duration `json:"duration_ns,omitempty"`
+	// Flaps is the number of down/up cycles for link-flap (default 1).
+	Flaps int `json:"flaps,omitempty"`
+	// LossPct and ExtraDelay parameterize link-degrade.
+	LossPct    int           `json:"loss_pct,omitempty"`
+	ExtraDelay time.Duration `json:"extra_delay_ns,omitempty"`
+}
+
+// Describe renders the fault for traces and reports: "pod-crash r3",
+// "link-degrade r1:Ethernet1 30% +10ms".
+func (f Fault) Describe() string {
+	target := f.Node
+	if f.Link != "" {
+		target = f.Link
+	}
+	s := fmt.Sprintf("%s %s", f.Kind, target)
+	switch f.Kind {
+	case KindLinkFlap:
+		if f.Flaps > 1 {
+			s += fmt.Sprintf(" x%d", f.Flaps)
+		}
+	case KindLinkDegrade:
+		s += fmt.Sprintf(" %d%% +%v", f.LossPct, f.ExtraDelay)
+	}
+	return s
+}
+
+// validate checks the fault references the right target field.
+func (f Fault) validate() error {
+	switch f.Kind {
+	case KindLinkCut, KindLinkFlap, KindLinkDegrade:
+		if f.Link == "" {
+			return fmt.Errorf("chaos: %s fault needs a link target", f.Kind)
+		}
+	case KindPodCrash, KindNodeFail, KindBGPReset:
+		if f.Node == "" {
+			return fmt.Errorf("chaos: %s fault needs a node target", f.Kind)
+		}
+	default:
+		return fmt.Errorf("chaos: unknown fault kind %q", f.Kind)
+	}
+	if f.Kind == KindLinkDegrade && (f.LossPct < 0 || f.LossPct > 100) {
+		return fmt.Errorf("chaos: loss_pct %d out of range", f.LossPct)
+	}
+	return nil
+}
+
+// Scenario is a named, seeded sequence of timed faults.
+type Scenario struct {
+	Name        string `json:"name"`
+	Description string `json:"description,omitempty"`
+	// Seed overrides the run's simulation seed when non-zero, making the
+	// scenario self-contained and replayable.
+	Seed int64 `json:"seed,omitempty"`
+	// SpareNodes asks the emulator for extra empty kube workers, so
+	// node-fail faults have somewhere to reschedule evicted pods.
+	SpareNodes int `json:"spare_nodes,omitempty"`
+	// SettleHold and SettleTimeout tune post-fault quiescence detection
+	// (defaults: 2m hold — longer than the BGP HoldTime, so silent link
+	// cuts are observed through their hold-timer expiry — and 30m timeout,
+	// both in virtual time).
+	SettleHold    time.Duration `json:"settle_hold_ns,omitempty"`
+	SettleTimeout time.Duration `json:"settle_timeout_ns,omitempty"`
+	Faults        []Fault       `json:"faults"`
+}
+
+// Validate checks every fault specification.
+func (s *Scenario) Validate() error {
+	if len(s.Faults) == 0 {
+		return fmt.Errorf("chaos: scenario %q has no faults", s.Name)
+	}
+	for i, f := range s.Faults {
+		if err := f.validate(); err != nil {
+			return fmt.Errorf("fault %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// Parse decodes a scenario from JSON and validates it.
+func Parse(data []byte) (*Scenario, error) {
+	var s Scenario
+	if err := json.Unmarshal(data, &s); err != nil {
+		return nil, fmt.Errorf("chaos: %w", err)
+	}
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	return &s, nil
+}
+
+// Marshal encodes the scenario as indented JSON.
+func (s *Scenario) Marshal() ([]byte, error) {
+	return json.MarshalIndent(s, "", "  ")
+}
+
+// Verdict is the per-fault outcome of differential verification.
+type Verdict struct {
+	Fault Fault `json:"fault"`
+	// InjectedAt/ClearedAt/SettledAt are virtual timestamps; ClearedAt is
+	// zero for permanent faults (link-cut).
+	InjectedAt time.Duration `json:"injected_at_ns"`
+	ClearedAt  time.Duration `json:"cleared_at_ns,omitempty"`
+	SettledAt  time.Duration `json:"settled_at_ns"`
+	// ReconvergedIn is SettledAt-InjectedAt: how long the network took to
+	// reach its final stable state after injection, on the virtual clock.
+	ReconvergedIn time.Duration `json:"reconverged_in_ns"`
+	// FlowsLostTransient counts (source, class) flows delivered in the
+	// pre-fault baseline but lost at fault impact; FlowsLost counts those
+	// still lost after the fault cleared and the network settled;
+	// FlowsRecovered is the difference.
+	FlowsLostTransient int `json:"flows_lost_transient"`
+	FlowsLost          int `json:"flows_lost"`
+	FlowsRecovered     int `json:"flows_recovered"`
+	// RoutesLost/RoutesRecovered count forwarding entries (summed over all
+	// routers) missing at impact and restored by the final settle.
+	RoutesLost      int `json:"routes_lost"`
+	RoutesRecovered int `json:"routes_recovered"`
+	// Recovered is true when no flow loss survived the fault.
+	Recovered bool `json:"recovered"`
+	// Degraded lists routers that had not settled when the post-fault wait
+	// timed out.
+	Degraded []string `json:"degraded,omitempty"`
+	// Diffs are the surviving per-flow outcome changes vs the pre-fault
+	// baseline ("r5 -> 2.2.2.1: Delivered@r2 => NoRoute@r5").
+	Diffs []string `json:"diffs,omitempty"`
+}
+
+// Report is the full scenario outcome.
+type Report struct {
+	Scenario   string        `json:"scenario"`
+	Seed       int64         `json:"seed,omitempty"`
+	StartedAt  time.Duration `json:"started_at_ns"`
+	FinishedAt time.Duration `json:"finished_at_ns"`
+	Verdicts   []Verdict     `json:"verdicts"`
+	// PermanentFlowsLost compares the final network against the pre-chaos
+	// baseline: flows that never came back.
+	PermanentFlowsLost int `json:"permanent_flows_lost"`
+	// Recovered is true when the network ended where it started.
+	Recovered bool `json:"recovered"`
+}
+
+// String renders the verdict timeline as a fixed-width table.
+func (r *Report) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "chaos scenario %q: %d fault(s), %v virtual time\n",
+		r.Scenario, len(r.Verdicts), r.FinishedAt-r.StartedAt)
+	fmt.Fprintf(&b, "%-32s %12s %12s %10s %8s %8s  %s\n",
+		"FAULT", "INJECTED", "RECONVERGED", "LOST", "RECOV", "PERM", "STATUS")
+	for _, v := range r.Verdicts {
+		status := "recovered"
+		if !v.Recovered {
+			status = "NOT RECOVERED"
+		}
+		if len(v.Degraded) > 0 {
+			status += " (degraded: " + strings.Join(v.Degraded, ",") + ")"
+		}
+		fmt.Fprintf(&b, "%-32s %12v %12v %10d %8d %8d  %s\n",
+			v.Fault.Describe(), v.InjectedAt, v.ReconvergedIn,
+			v.FlowsLostTransient, v.FlowsRecovered, v.FlowsLost, status)
+	}
+	if r.PermanentFlowsLost > 0 {
+		fmt.Fprintf(&b, "permanent flow loss vs pre-chaos baseline: %d\n", r.PermanentFlowsLost)
+	} else {
+		fmt.Fprintf(&b, "network fully recovered to pre-chaos reachability\n")
+	}
+	return b.String()
+}
+
+// Builtin returns a named built-in scenario (a deep copy, safe to mutate).
+func Builtin(name string) (*Scenario, bool) {
+	for _, s := range builtins {
+		if s.Name == name {
+			cp := *s
+			cp.Faults = append([]Fault(nil), s.Faults...)
+			return &cp, true
+		}
+	}
+	return nil, false
+}
+
+// Builtins returns the built-in scenarios sorted by name.
+func Builtins() []*Scenario {
+	out := make([]*Scenario, 0, len(builtins))
+	for _, s := range builtins {
+		cp, _ := Builtin(s.Name)
+		out = append(out, cp)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// The built-in scenarios target the paper's Fig. 2 testnet (6 routers,
+// 3 ASes) but run on any topology with matching node/link names.
+var builtins = []*Scenario{
+	{
+		Name:        "crash-reboot",
+		Description: "crash r3's pod mid-run; kube reschedules it, the router reboots and sessions re-establish with zero permanent loss",
+		Seed:        42,
+		Faults:      []Fault{{Kind: KindPodCrash, Node: "r3", After: 10 * time.Second}},
+	},
+	{
+		Name:        "partition",
+		Description: "cut the r2-r3 bridge link, permanently partitioning AS65003; the loss is reported as not recovered",
+		Seed:        42,
+		Faults:      []Fault{{Kind: KindLinkCut, Link: "r2:Ethernet2", After: 10 * time.Second}},
+	},
+	{
+		Name:        "flap",
+		Description: "flap the r6-r1 inter-AS link twice with jittered dwell; routes converge back after the final up",
+		Seed:        42,
+		Faults:      []Fault{{Kind: KindLinkFlap, Link: "r6:Ethernet2", After: 10 * time.Second, Flaps: 2, Duration: 5 * time.Second}},
+	},
+	{
+		Name:        "session-reset",
+		Description: "hard-reset every BGP session on r2; the prober re-establishes them",
+		Seed:        42,
+		Faults:      []Fault{{Kind: KindBGPReset, Node: "r2", After: 10 * time.Second}},
+	},
+	{
+		Name:        "lossy-core",
+		Description: "30% loss and +10ms on the r1-r2 core link for a minute, then clear",
+		Seed:        42,
+		Faults: []Fault{{
+			Kind: KindLinkDegrade, Link: "r1:Ethernet1", After: 10 * time.Second,
+			Duration: time.Minute, LossPct: 30, ExtraDelay: 10 * time.Millisecond,
+		}},
+	},
+	{
+		Name:        "node-outage",
+		Description: "fail kube worker node1 for two minutes; resident pods evict, reschedule, and reboot elsewhere",
+		Seed:        42,
+		SpareNodes:  1,
+		Faults:      []Fault{{Kind: KindNodeFail, Node: "node1", After: 10 * time.Second, Duration: 2 * time.Minute}},
+	},
+}

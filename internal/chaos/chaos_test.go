@@ -1,0 +1,289 @@
+package chaos
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+
+	"mfv/internal/bgp"
+	"mfv/internal/kne"
+	"mfv/internal/kube"
+	"mfv/internal/sim"
+	"mfv/internal/testnet"
+	"mfv/internal/topology"
+)
+
+// startFig2 boots the paper's Fig. 2 testnet to initial convergence.
+func startFig2(t *testing.T, seed int64, spare int) *kne.Emulator {
+	t.Helper()
+	em, err := kne.New(kne.Config{
+		Topology:   testnet.Fig2(),
+		Sim:        sim.New(seed),
+		SpareNodes: spare,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := em.Start(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := em.RunUntilConverged(30*time.Second, time.Hour); err != nil {
+		t.Fatal(err)
+	}
+	return em
+}
+
+func run(t *testing.T, em *kne.Emulator, sc *Scenario) *Report {
+	t.Helper()
+	rep, err := NewEngine(em, testnet.Fig2(), nil).Execute(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rep
+}
+
+func TestScenarioJSONRoundTrip(t *testing.T) {
+	for _, sc := range Builtins() {
+		data, err := sc.Marshal()
+		if err != nil {
+			t.Fatal(err)
+		}
+		back, err := Parse(data)
+		if err != nil {
+			t.Fatalf("%s: %v", sc.Name, err)
+		}
+		a, _ := json.Marshal(sc)
+		b, _ := json.Marshal(back)
+		if string(a) != string(b) {
+			t.Errorf("%s: round trip changed scenario:\n%s\n%s", sc.Name, a, b)
+		}
+	}
+	if _, err := Parse([]byte(`{"name":"x","faults":[]}`)); err == nil {
+		t.Error("empty fault list accepted")
+	}
+	if _, err := Parse([]byte(`{"name":"x","faults":[{"kind":"pod-crash"}]}`)); err == nil {
+		t.Error("pod-crash without node accepted")
+	}
+	if _, err := Parse([]byte(`{"name":"x","faults":[{"kind":"link-cut"}]}`)); err == nil {
+		t.Error("link-cut without link accepted")
+	}
+	if _, err := Parse([]byte(`{"name":"x","faults":[{"kind":"meteor","node":"r1"}]}`)); err == nil {
+		t.Error("unknown kind accepted")
+	}
+	if _, err := Parse([]byte(`{"name":"x","faults":[{"kind":"link-degrade","link":"a:b","loss_pct":400}]}`)); err == nil {
+		t.Error("out-of-range loss accepted")
+	}
+	if _, err := Parse([]byte(`not json`)); err == nil {
+		t.Error("garbage accepted")
+	}
+}
+
+func TestBuiltins(t *testing.T) {
+	all := Builtins()
+	if len(all) < 5 {
+		t.Fatalf("only %d builtins", len(all))
+	}
+	for _, sc := range all {
+		if err := sc.Validate(); err != nil {
+			t.Errorf("%s: %v", sc.Name, err)
+		}
+	}
+	cp, ok := Builtin("partition")
+	if !ok {
+		t.Fatal("no partition builtin")
+	}
+	cp.Faults[0].Link = "mutated"
+	again, _ := Builtin("partition")
+	if again.Faults[0].Link == "mutated" {
+		t.Error("Builtin returned a shared slice")
+	}
+	if _, ok := Builtin("no-such"); ok {
+		t.Error("unknown builtin found")
+	}
+}
+
+// TestCrashRebootRecovers is the tentpole acceptance scenario: crash a
+// router mid-run; the pod reschedules, the router reboots from config,
+// sessions re-establish, and differential reachability vs. the pre-fault
+// baseline reports zero permanent flow loss.
+func TestCrashRebootRecovers(t *testing.T) {
+	em := startFig2(t, 42, 0)
+	sc, _ := Builtin("crash-reboot")
+	rep := run(t, em, sc)
+
+	if len(rep.Verdicts) != 1 {
+		t.Fatalf("verdicts = %d", len(rep.Verdicts))
+	}
+	v := rep.Verdicts[0]
+	if v.FlowsLostTransient == 0 {
+		t.Error("crash caused no transient flow loss — neighbors never withdrew")
+	}
+	if v.FlowsLost != 0 || !v.Recovered {
+		t.Errorf("permanent loss after reboot: FlowsLost=%d, diffs=%v", v.FlowsLost, v.Diffs)
+	}
+	if v.FlowsRecovered != v.FlowsLostTransient {
+		t.Errorf("recovered %d of %d lost flows", v.FlowsRecovered, v.FlowsLostTransient)
+	}
+	if v.ReconvergedIn <= 0 {
+		t.Error("no reconvergence time measured")
+	}
+	if !rep.Recovered || rep.PermanentFlowsLost != 0 {
+		t.Errorf("report: recovered=%v permanent=%d", rep.Recovered, rep.PermanentFlowsLost)
+	}
+
+	// The router really rebooted: fresh object, pod Running, sessions up.
+	r3, ok := em.Router("r3")
+	if !ok || r3.Crashed() {
+		t.Fatal("r3 not rebuilt after crash")
+	}
+	if em.RouterDown("r3") {
+		t.Error("r3 still marked down")
+	}
+	pod, ok := em.Cluster().Pod("r3")
+	if !ok || pod.Phase != kube.PodRunning {
+		t.Fatalf("r3 pod = %+v", pod)
+	}
+	established := 0
+	for _, p := range r3.BGP.Peers() {
+		if p.State() == bgp.StateEstablished {
+			established++
+		}
+	}
+	if established == 0 {
+		t.Error("no BGP session re-established on rebooted r3")
+	}
+}
+
+// TestPartitionReportedLost cuts the r2-r3 bridge link: AS65003 partitions
+// and the engine must report the loss as not recovered — without hanging
+// or erroring.
+func TestPartitionReportedLost(t *testing.T) {
+	em := startFig2(t, 42, 0)
+	sc, _ := Builtin("partition")
+	rep := run(t, em, sc)
+
+	v := rep.Verdicts[0]
+	if v.FlowsLost == 0 {
+		t.Fatal("partition reported no lost flows")
+	}
+	if v.Recovered || rep.Recovered {
+		t.Error("partition reported as recovered")
+	}
+	if v.FlowsLost != v.FlowsLostTransient || v.FlowsRecovered != 0 {
+		t.Errorf("permanent cut shows recovery: %+v", v)
+	}
+	if rep.PermanentFlowsLost != v.FlowsLost {
+		t.Errorf("report permanent=%d, verdict=%d", rep.PermanentFlowsLost, v.FlowsLost)
+	}
+	if len(v.Diffs) == 0 || !strings.Contains(strings.Join(v.Diffs, "\n"), "Delivered") {
+		t.Errorf("diffs = %v", v.Diffs)
+	}
+	if !strings.Contains(rep.String(), "NOT RECOVERED") {
+		t.Errorf("report rendering:\n%s", rep.String())
+	}
+}
+
+// TestSessionResetTransient resets r2's BGP sessions: routes vanish
+// transiently and return once the prober re-establishes the sessions.
+func TestSessionResetTransient(t *testing.T) {
+	em := startFig2(t, 42, 0)
+	sc, _ := Builtin("session-reset")
+	rep := run(t, em, sc)
+
+	v := rep.Verdicts[0]
+	if v.FlowsLostTransient == 0 {
+		t.Error("session reset caused no transient loss")
+	}
+	if v.FlowsLost != 0 || !v.Recovered {
+		t.Errorf("session reset not recovered: %+v", v)
+	}
+}
+
+// TestFlapRecovers bounces an inter-AS link and expects full recovery
+// after the final up.
+func TestFlapRecovers(t *testing.T) {
+	em := startFig2(t, 42, 0)
+	sc, _ := Builtin("flap")
+	rep := run(t, em, sc)
+	v := rep.Verdicts[0]
+	if v.FlowsLostTransient == 0 {
+		t.Error("flap caused no transient loss")
+	}
+	if v.FlowsLost != 0 {
+		t.Errorf("flap left permanent loss: %v", v.Diffs)
+	}
+	if v.ClearedAt <= v.InjectedAt {
+		t.Error("flap never cleared")
+	}
+}
+
+// TestNodeOutageRecovers fails the kube worker hosting all of Fig2's pods;
+// everything evicts, queues, reschedules onto the spare, and recovers.
+func TestNodeOutageRecovers(t *testing.T) {
+	em := startFig2(t, 42, 1)
+	sc, _ := Builtin("node-outage")
+	rep := run(t, em, sc)
+	v := rep.Verdicts[0]
+	if v.FlowsLostTransient == 0 {
+		t.Error("node failure caused no transient loss")
+	}
+	if v.FlowsLost != 0 || !rep.Recovered {
+		t.Errorf("node outage not recovered: FlowsLost=%d diffs=%v", v.FlowsLost, v.Diffs)
+	}
+}
+
+// TestDeterministicTimeline runs an identical scenario twice from the same
+// seed and requires byte-identical reports — fault timeline, flow counts,
+// reconvergence times.
+func TestDeterministicTimeline(t *testing.T) {
+	sc, _ := Builtin("flap")
+	reports := make([]string, 2)
+	for i := range reports {
+		em := startFig2(t, 7, 0)
+		rep := run(t, em, sc)
+		data, err := json.Marshal(rep)
+		if err != nil {
+			t.Fatal(err)
+		}
+		reports[i] = string(data)
+	}
+	if reports[0] != reports[1] {
+		t.Errorf("same seed, different timelines:\n%s\n%s", reports[0], reports[1])
+	}
+}
+
+func TestExecuteValidates(t *testing.T) {
+	em := startFig2(t, 42, 0)
+	en := NewEngine(em, testnet.Fig2(), nil)
+	if _, err := en.Execute(&Scenario{Name: "empty"}); err == nil {
+		t.Error("empty scenario executed")
+	}
+	bad := &Scenario{Name: "bad", Faults: []Fault{{Kind: KindPodCrash, Node: "ghost"}}}
+	if _, err := en.Execute(bad); err == nil {
+		t.Error("crash of unknown router succeeded")
+	}
+	badLink := &Scenario{Name: "bad", Faults: []Fault{{Kind: KindLinkCut, Link: "r1:NoSuchIntf"}}}
+	if _, err := en.Execute(badLink); err == nil {
+		t.Error("cut of unknown link succeeded")
+	}
+}
+
+func TestFaultDescribe(t *testing.T) {
+	f := Fault{Kind: KindLinkDegrade, Link: "r1:Ethernet1", LossPct: 30, ExtraDelay: 10 * time.Millisecond}
+	if got := f.Describe(); got != "link-degrade r1:Ethernet1 30% +10ms" {
+		t.Errorf("Describe = %q", got)
+	}
+	f2 := Fault{Kind: KindLinkFlap, Link: "a:b", Flaps: 3}
+	if got := f2.Describe(); got != "link-flap a:b x3" {
+		t.Errorf("Describe = %q", got)
+	}
+}
+
+// Exercise endpoint parsing errors through the topology package the engine
+// uses, so scenario files with malformed links fail loudly.
+func TestMalformedLinkEndpoint(t *testing.T) {
+	if _, err := topology.ParseEndpoint("no-colon"); err == nil {
+		t.Error("malformed endpoint parsed")
+	}
+}

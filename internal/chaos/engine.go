@@ -1,0 +1,342 @@
+package chaos
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"mfv/internal/kne"
+	"mfv/internal/kube"
+	"mfv/internal/obs"
+	"mfv/internal/topology"
+	"mfv/internal/verify"
+)
+
+// Engine executes scenarios against a running emulation. The emulator must
+// already be started and converged; Execute advances virtual time itself.
+type Engine struct {
+	em   *kne.Emulator
+	topo *topology.Topology
+	obs  *obs.Observer
+
+	hold, timeout time.Duration
+}
+
+// NewEngine builds an engine over an emulator. The observer may be nil.
+func NewEngine(em *kne.Emulator, topo *topology.Topology, o *obs.Observer) *Engine {
+	return &Engine{em: em, topo: topo, obs: o}
+}
+
+// snap is one dataplane snapshot: the reachability network plus the total
+// forwarding-entry count across all routers.
+type snap struct {
+	net    *verify.Network
+	routes int
+}
+
+func (en *Engine) snapshot() (snap, error) {
+	afts := en.em.AFTs()
+	n, err := verify.NewNetwork(en.topo, afts)
+	if err != nil {
+		return snap{}, err
+	}
+	total := 0
+	for _, a := range afts {
+		total += len(a.IPv4Entries)
+	}
+	return snap{net: n, routes: total}, nil
+}
+
+func deliveredIn(outcome string) bool { return strings.Contains(outcome, "Delivered") }
+
+// lostFlows keys the (source, class) flows that were delivered before a
+// fault but not after it.
+func lostFlows(diffs []verify.Diff) map[string]bool {
+	out := map[string]bool{}
+	for _, d := range diffs {
+		if deliveredIn(d.Before) && !deliveredIn(d.After) {
+			out[d.Src+">"+d.Dst.String()] = true
+		}
+	}
+	return out
+}
+
+// Execute runs the scenario: for each fault, advance virtual time by its
+// After offset, inject it, let the network settle, snapshot AFTs, and run
+// differential reachability against the pre-fault baseline. Faults execute
+// in listed order; each fault's baseline is the settled state the previous
+// fault left behind, while the report's permanent-loss figure compares the
+// final state against the pre-chaos network.
+func (en *Engine) Execute(sc *Scenario) (*Report, error) {
+	if err := sc.Validate(); err != nil {
+		return nil, err
+	}
+	en.hold = sc.SettleHold
+	if en.hold == 0 {
+		// The default hold must exceed the BGP HoldTime (90s): a silently
+		// cut link tears sessions down only when the hold timer expires,
+		// and a shorter quiet window would snapshot "impact" before the
+		// withdrawals even begin.
+		en.hold = 2 * time.Minute
+	}
+	en.timeout = sc.SettleTimeout
+	if en.timeout == 0 {
+		en.timeout = 30 * time.Minute
+	}
+	rep := &Report{Scenario: sc.Name, Seed: sc.Seed, StartedAt: en.em.Sim().Now()}
+	initial, err := en.snapshot()
+	if err != nil {
+		return nil, err
+	}
+	baseline := initial
+	for _, f := range sc.Faults {
+		if f.After > 0 {
+			en.em.Sim().RunFor(f.After)
+		}
+		v, after, err := en.runFault(f, baseline)
+		if err != nil {
+			return nil, err
+		}
+		rep.Verdicts = append(rep.Verdicts, *v)
+		baseline = after
+	}
+	rep.FinishedAt = en.em.Sim().Now()
+	rep.PermanentFlowsLost = len(lostFlows(verify.Differential(initial.net, baseline.net)))
+	rep.Recovered = rep.PermanentFlowsLost == 0
+	return rep, nil
+}
+
+// runFault injects one fault, waits out its lifecycle, and scores the
+// outcome against baseline. It returns the verdict and the settled
+// post-fault snapshot, which becomes the next fault's baseline.
+func (en *Engine) runFault(f Fault, baseline snap) (*Verdict, snap, error) {
+	em, clk := en.em, en.em.Sim()
+	v := &Verdict{Fault: f, InjectedAt: clk.Now()}
+	en.emit(obs.EvFaultInject, f)
+
+	fail := func(e error) (*Verdict, snap, error) { return nil, snap{}, e }
+	clear := func() {
+		v.ClearedAt = clk.Now()
+		en.emit(obs.EvFaultClear, f)
+	}
+	var impact snap
+	var conv kne.Convergence
+	var err error
+
+	switch f.Kind {
+	case KindLinkCut:
+		ep, perr := topology.ParseEndpoint(f.Link)
+		if perr != nil {
+			return fail(perr)
+		}
+		if err = em.SetLinkDown(ep); err != nil {
+			return fail(err)
+		}
+		conv = em.Settle(en.hold, en.timeout)
+		if impact, err = en.snapshot(); err != nil {
+			return fail(err)
+		}
+		// Permanent fault: the impact state is the final state.
+
+	case KindLinkFlap:
+		ep, perr := topology.ParseEndpoint(f.Link)
+		if perr != nil {
+			return fail(perr)
+		}
+		flaps := f.Flaps
+		if flaps < 1 {
+			flaps = 1
+		}
+		dwell := f.Duration
+		if dwell == 0 {
+			dwell = 5 * time.Second
+		}
+		if err = em.SetLinkDown(ep); err != nil {
+			return fail(err)
+		}
+		em.Settle(en.hold, en.timeout)
+		if impact, err = en.snapshot(); err != nil {
+			return fail(err)
+		}
+		for i := 1; i < flaps; i++ {
+			if err = em.SetLinkUp(ep); err != nil {
+				return fail(err)
+			}
+			clk.RunFor(en.jitter(dwell))
+			if err = em.SetLinkDown(ep); err != nil {
+				return fail(err)
+			}
+			clk.RunFor(en.jitter(dwell))
+		}
+		if err = em.SetLinkUp(ep); err != nil {
+			return fail(err)
+		}
+		clear()
+		conv = em.Settle(en.hold, en.timeout)
+
+	case KindPodCrash:
+		if err = em.CrashRouter(f.Node); err != nil {
+			return fail(err)
+		}
+		// Impact settles while the replacement pod is still booting: the
+		// neighbors' withdrawals are the fault's blast radius. A short
+		// hold is essential — withdrawal churn (prober teardown, IS-IS
+		// holding expiry) ends well before the ~90s reboot, and waiting
+		// the full hold would snapshot the already-recovered network.
+		em.Settle(en.impactHold(), en.timeout)
+		if impact, err = en.snapshot(); err != nil {
+			return fail(err)
+		}
+		if err = en.waitRunning(f.Node); err != nil {
+			return fail(err)
+		}
+		clear()
+		conv = em.Settle(en.hold, en.timeout)
+
+	case KindNodeFail:
+		evicted, ferr := em.FailKubeNode(f.Node)
+		if ferr != nil {
+			return fail(ferr)
+		}
+		// Same short-hold reasoning as pod-crash: measure the outage
+		// before the evicted pods finish rebooting elsewhere.
+		em.Settle(en.impactHold(), en.timeout)
+		if impact, err = en.snapshot(); err != nil {
+			return fail(err)
+		}
+		outage := f.Duration
+		if outage == 0 {
+			outage = time.Minute
+		}
+		if down := clk.Now() - v.InjectedAt; down < outage {
+			clk.RunFor(outage - down)
+		}
+		if err = em.RecoverKubeNode(f.Node); err != nil {
+			return fail(err)
+		}
+		for _, name := range evicted {
+			if err = en.waitRunning(name); err != nil {
+				return fail(err)
+			}
+		}
+		clear()
+		conv = em.Settle(en.hold, en.timeout)
+
+	case KindBGPReset:
+		if err = em.ResetBGP(f.Node); err != nil {
+			return fail(err)
+		}
+		// Session teardown withdraws routes synchronously; snapshot the
+		// transient hole before the prober restores the sessions.
+		if impact, err = en.snapshot(); err != nil {
+			return fail(err)
+		}
+		clear()
+		conv = em.Settle(en.hold, en.timeout)
+
+	case KindLinkDegrade:
+		ep, perr := topology.ParseEndpoint(f.Link)
+		if perr != nil {
+			return fail(perr)
+		}
+		imp := kne.Impairment{LossPct: f.LossPct, ExtraDelay: f.ExtraDelay}
+		if err = em.SetLinkImpairment(ep, imp); err != nil {
+			return fail(err)
+		}
+		window := f.Duration
+		if window == 0 {
+			window = time.Minute
+		}
+		clk.RunFor(window)
+		// Snapshot mid-impairment: a lossy link may never settle, so the
+		// impact view is time-bounded rather than quiescence-bounded.
+		if impact, err = en.snapshot(); err != nil {
+			return fail(err)
+		}
+		if err = em.ClearLinkImpairment(ep); err != nil {
+			return fail(err)
+		}
+		clear()
+		conv = em.Settle(en.hold, en.timeout)
+
+	default:
+		return fail(fmt.Errorf("chaos: unknown fault kind %q", f.Kind))
+	}
+
+	final, err := en.snapshot()
+	if err != nil {
+		return fail(err)
+	}
+	v.SettledAt = conv.ConvergedAt
+	if v.SettledAt < v.InjectedAt {
+		v.SettledAt = v.InjectedAt
+	}
+	v.ReconvergedIn = v.SettledAt - v.InjectedAt
+	v.Degraded = conv.Stragglers
+
+	impactLost := lostFlows(verify.Differential(baseline.net, impact.net))
+	finalDiffs := verify.Differential(baseline.net, final.net)
+	finalLost := lostFlows(finalDiffs)
+	v.FlowsLostTransient = len(impactLost)
+	v.FlowsLost = len(finalLost)
+	for k := range impactLost {
+		if !finalLost[k] {
+			v.FlowsRecovered++
+		}
+	}
+	if lost := baseline.routes - impact.routes; lost > 0 {
+		v.RoutesLost = lost
+		perm := baseline.routes - final.routes
+		if perm < 0 {
+			perm = 0
+		}
+		if rec := lost - perm; rec > 0 {
+			v.RoutesRecovered = rec
+		}
+	}
+	v.Recovered = v.FlowsLost == 0
+	for _, d := range finalDiffs {
+		v.Diffs = append(v.Diffs, d.String())
+	}
+	if en.obs.Enabled() {
+		en.obs.Emit(obs.Event{Type: obs.EvChaosVerdict, Detail: f.Describe(), Value: int64(v.FlowsLost)})
+	}
+	return v, final, nil
+}
+
+// impactHold bounds the quiet window for mid-fault impact snapshots: long
+// enough to ride out withdrawal churn, short enough to finish before a
+// rebooting pod (90s+) comes back and erases the evidence.
+func (en *Engine) impactHold() time.Duration {
+	const h = 30 * time.Second
+	if en.hold < h {
+		return en.hold
+	}
+	return h
+}
+
+// waitRunning advances virtual time until the named pod reaches Running,
+// bounded by the settle timeout.
+func (en *Engine) waitRunning(name string) error {
+	clk := en.em.Sim()
+	deadline := clk.Now() + en.timeout
+	for clk.Now() < deadline {
+		if p, ok := en.em.Cluster().Pod(name); ok && p.Phase == kube.PodRunning {
+			return nil
+		}
+		clk.RunFor(time.Second)
+	}
+	return fmt.Errorf("chaos: pod %s not Running within %v", name, en.timeout)
+}
+
+// jitter perturbs a dwell by up to 25% drawn from the sim RNG: flap phasing
+// varies across seeds while any single seed replays identically.
+func (en *Engine) jitter(d time.Duration) time.Duration {
+	return d + time.Duration(en.em.Sim().Rand().Int63n(int64(d)/4+1))
+}
+
+func (en *Engine) emit(typ string, f Fault) {
+	if en.obs.Enabled() {
+		en.obs.Emit(obs.Event{Type: typ, Device: f.Node, Detail: f.Describe()})
+	}
+}

@@ -21,6 +21,7 @@ import (
 	"time"
 
 	"mfv/internal/aft"
+	"mfv/internal/chaos"
 	"mfv/internal/gnmi"
 	"mfv/internal/kne"
 	"mfv/internal/model"
@@ -88,9 +89,20 @@ type Options struct {
 	// UseGNMI extracts AFTs over the TCP gNMI service instead of reading
 	// them in-process, exercising the full management-plane boundary.
 	UseGNMI bool
+	// Retry governs gNMI extraction retries; the zero value uses
+	// gnmi.DefaultRetry. Only consulted when UseGNMI is set.
+	Retry gnmi.RetryPolicy
 	// Obs collects trace events, metrics, and phase timings from the whole
 	// pipeline. Nil disables observability.
 	Obs *obs.Observer
+	// Chaos, when set, executes the fault scenario after initial
+	// convergence and verifies reachability across every fault (emulation
+	// backend only). A non-zero scenario Seed overrides Seed.
+	Chaos *chaos.Scenario
+	// Degraded converges in graceful-degradation mode: if the timeout
+	// expires, the run proceeds with partial AFTs and the straggler
+	// devices recorded in Result.DegradedRouters instead of failing.
+	Degraded bool
 }
 
 func (o *Options) fill() {
@@ -102,6 +114,9 @@ func (o *Options) fill() {
 	}
 	if o.Seed == 0 {
 		o.Seed = 42
+	}
+	if o.Chaos != nil && o.Chaos.Seed != 0 {
+		o.Seed = o.Chaos.Seed
 	}
 }
 
@@ -123,6 +138,11 @@ type Result struct {
 	Coverage map[string]model.Coverage
 	// Emulator stays alive for poking at routers (emulation backend only).
 	Emulator *kne.Emulator
+	// Chaos is the fault-injection report when Options.Chaos was set.
+	Chaos *chaos.Report
+	// DegradedRouters lists devices that had not settled when a degraded
+	// run's timeout expired; their AFTs may be mid-churn.
+	DegradedRouters []string
 }
 
 // Run executes the pipeline on a snapshot.
@@ -142,6 +162,11 @@ func Run(snap Snapshot, opts Options) (*Result, error) {
 }
 
 func runModel(snap Snapshot, opts Options) (*Result, error) {
+	if opts.Chaos != nil {
+		// Fault injection needs live protocol engines to react; the static
+		// model computes one fixed point and has nothing to perturb.
+		return nil, fmt.Errorf("core: the model backend does not support chaos scenarios")
+	}
 	if len(snap.Feeds) > 0 {
 		// The reference model has no route-injection path in this
 		// reproduction — one more coverage limitation of the baseline.
@@ -169,8 +194,12 @@ func runModel(snap Snapshot, opts Options) (*Result, error) {
 }
 
 func runEmulation(snap Snapshot, opts Options) (*Result, error) {
+	spare := 0
+	if opts.Chaos != nil {
+		spare = opts.Chaos.SpareNodes
+	}
 	sp := opts.Obs.StartPhase("parse")
-	em, err := kne.New(kne.Config{Topology: snap.Topology, Sim: sim.New(opts.Seed), Obs: opts.Obs})
+	em, err := kne.New(kne.Config{Topology: snap.Topology, Sim: sim.New(opts.Seed), Obs: opts.Obs, SpareNodes: spare})
 	sp.End()
 	if err != nil {
 		return nil, err
@@ -196,14 +225,34 @@ func runEmulation(snap Snapshot, opts Options) (*Result, error) {
 	sp.End()
 	// Boot and converge phases are recorded inside RunUntilConverged, where
 	// the startup/churn boundary is actually observed.
-	convergedAt, err := em.RunUntilConverged(opts.ConvergenceHold, opts.Timeout)
-	if err != nil {
-		return nil, err
+	var convergedAt time.Duration
+	var stragglers []string
+	if opts.Degraded {
+		conv, cerr := em.RunUntilConvergedDegraded(opts.ConvergenceHold, opts.Timeout)
+		if cerr != nil {
+			return nil, cerr
+		}
+		convergedAt = conv.ConvergedAt
+		stragglers = conv.Stragglers
+	} else {
+		convergedAt, err = em.RunUntilConverged(opts.ConvergenceHold, opts.Timeout)
+		if err != nil {
+			return nil, err
+		}
+	}
+	var chaosRep *chaos.Report
+	if opts.Chaos != nil {
+		sp = opts.Obs.StartPhase("chaos")
+		chaosRep, err = chaos.NewEngine(em, snap.Topology, opts.Obs).Execute(opts.Chaos)
+		sp.End()
+		if err != nil {
+			return nil, err
+		}
 	}
 	sp = opts.Obs.StartPhase("extract")
 	var afts map[string]*aft.AFT
 	if opts.UseGNMI {
-		afts, err = extractViaGNMI(em, opts.Obs)
+		afts, err = extractViaGNMI(em, opts.Retry, opts.Obs)
 	} else {
 		afts = em.AFTs()
 	}
@@ -224,12 +273,14 @@ func runEmulation(snap Snapshot, opts Options) (*Result, error) {
 		network.EquivalenceClasses()
 	}
 	return &Result{
-		Backend:     BackendEmulation,
-		AFTs:        afts,
-		Network:     network,
-		StartupAt:   em.StartupDone(),
-		ConvergedAt: convergedAt,
-		Emulator:    em,
+		Backend:         BackendEmulation,
+		AFTs:            afts,
+		Network:         network,
+		StartupAt:       em.StartupDone(),
+		ConvergedAt:     convergedAt,
+		Emulator:        em,
+		Chaos:           chaosRep,
+		DegradedRouters: stragglers,
 	}, nil
 }
 
@@ -248,8 +299,9 @@ func (t routerTarget) RouteSummary() map[string]int {
 
 // extractViaGNMI spins up the management service on loopback TCP, connects
 // a client, and pulls every device's AFT through it — the full extraction
-// boundary from the paper's Fig. 1.
-func extractViaGNMI(em *kne.Emulator, o *obs.Observer) (map[string]*aft.AFT, error) {
+// boundary from the paper's Fig. 1. Pulls run under the retry policy so a
+// transiently unresponsive target costs backoff, not the run.
+func extractViaGNMI(em *kne.Emulator, retry gnmi.RetryPolicy, o *obs.Observer) (map[string]*aft.AFT, error) {
 	srv := gnmi.NewServer()
 	srv.SetObserver(o)
 	for _, r := range em.Routers() {
@@ -267,9 +319,12 @@ func extractViaGNMI(em *kne.Emulator, o *obs.Observer) (map[string]*aft.AFT, err
 		return nil, err
 	}
 	defer client.Close()
+	if retry.Attempts == 0 {
+		retry = gnmi.DefaultRetry
+	}
 	out := map[string]*aft.AFT{}
 	for _, r := range em.Routers() {
-		a, err := client.GetAFT(r.Name)
+		a, err := retry.GetAFT(client, r.Name)
 		if err != nil {
 			return nil, fmt.Errorf("core: pulling AFT for %s: %w", r.Name, err)
 		}

@@ -7,6 +7,7 @@ import (
 	"testing"
 	"time"
 
+	"mfv/internal/chaos"
 	"mfv/internal/config/eos"
 	"mfv/internal/routegen"
 	"mfv/internal/testnet"
@@ -239,5 +240,69 @@ func TestRunValidation(t *testing.T) {
 func TestBackendString(t *testing.T) {
 	if BackendEmulation.String() != "emulation" || BackendModel.String() != "model" {
 		t.Error("Backend.String wrong")
+	}
+}
+
+// TestChaosThroughPipeline runs a builtin scenario end to end through
+// core.Run: the report must land on the Result and the scenario seed must
+// override the default emulation seed.
+func TestChaosThroughPipeline(t *testing.T) {
+	sc, ok := chaos.Builtin("session-reset")
+	if !ok {
+		t.Fatal("no session-reset builtin")
+	}
+	res, err := Run(Snapshot{Topology: testnet.Fig2()}, Options{
+		Backend: BackendEmulation,
+		Chaos:   sc,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Chaos == nil {
+		t.Fatal("no chaos report on result")
+	}
+	if res.Chaos.Seed != sc.Seed {
+		t.Errorf("report seed = %d, want scenario seed %d", res.Chaos.Seed, sc.Seed)
+	}
+	if len(res.Chaos.Verdicts) != len(sc.Faults) {
+		t.Errorf("verdicts = %d, faults = %d", len(res.Chaos.Verdicts), len(sc.Faults))
+	}
+	if !res.Chaos.Recovered {
+		t.Errorf("session reset not recovered: %s", res.Chaos)
+	}
+	// The post-chaos network is what gets verified: still fully meshed.
+	if !res.Network.Reachable("r1", testnet.Fig2Loopback("r4")) {
+		t.Error("post-chaos network lost reachability")
+	}
+}
+
+func TestChaosRejectedByModelBackend(t *testing.T) {
+	sc, _ := chaos.Builtin("session-reset")
+	if _, err := Run(Snapshot{Topology: testnet.Fig2()}, Options{
+		Backend: BackendModel,
+		Chaos:   sc,
+	}); err == nil {
+		t.Error("model backend accepted a chaos scenario")
+	}
+}
+
+// TestDegradedRun forces a timeout shorter than Fig2's convergence: strict
+// mode fails, degraded mode returns partial AFTs with stragglers named.
+func TestDegradedRun(t *testing.T) {
+	snap := Snapshot{Topology: testnet.Fig2()}
+	short := Options{Backend: BackendEmulation, ConvergenceHold: 30 * time.Second, Timeout: 100 * time.Second}
+	if _, err := Run(snap, short); err == nil {
+		t.Fatal("strict run converged within 100s — timeout no longer forces degradation")
+	}
+	short.Degraded = true
+	res, err := Run(snap, short)
+	if err != nil {
+		t.Fatalf("degraded run failed: %v", err)
+	}
+	if len(res.DegradedRouters) == 0 {
+		t.Error("degraded run named no stragglers")
+	}
+	if len(res.AFTs) != 6 {
+		t.Errorf("partial extraction returned %d AFTs", len(res.AFTs))
 	}
 }

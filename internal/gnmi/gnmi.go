@@ -215,29 +215,56 @@ func (s *Server) get(req Request) Response {
 	return Response{ID: req.ID, Payload: payload, Done: true}
 }
 
+// DefaultTimeout bounds each RPC exchange. A wedged server (accepted the
+// connection, never answers) otherwise hangs extraction forever; the paper's
+// pipeline treats a device that stops answering as a failed pull, not a
+// stalled run.
+const DefaultTimeout = 10 * time.Second
+
 // Client is a management-plane client.
 type Client struct {
-	mu   sync.Mutex
-	conn net.Conn
-	r    *bufio.Reader
-	enc  *json.Encoder
-	w    *bufio.Writer
-	next uint64
+	mu      sync.Mutex
+	conn    net.Conn
+	r       *bufio.Reader
+	enc     *json.Encoder
+	w       *bufio.Writer
+	next    uint64
+	timeout time.Duration
 }
 
-// Dial connects to a server.
+// Dial connects to a server using DefaultTimeout for both the connection
+// attempt and subsequent RPCs.
 func Dial(addr string) (*Client, error) {
-	conn, err := net.Dial("tcp", addr)
+	return DialTimeout(addr, DefaultTimeout)
+}
+
+// DialTimeout connects with an explicit per-RPC (and dial) deadline;
+// timeout <= 0 disables deadlines entirely.
+func DialTimeout(addr string, timeout time.Duration) (*Client, error) {
+	d := net.Dialer{Timeout: timeout}
+	if timeout <= 0 {
+		d.Timeout = 0
+	}
+	conn, err := d.Dial("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("gnmi: %w", err)
 	}
-	return NewClient(conn), nil
+	c := NewClient(conn)
+	c.SetTimeout(timeout)
+	return c, nil
 }
 
 // NewClient wraps an established connection.
 func NewClient(conn net.Conn) *Client {
 	w := bufio.NewWriter(conn)
-	return &Client{conn: conn, r: bufio.NewReader(conn), w: w, enc: json.NewEncoder(w)}
+	return &Client{conn: conn, r: bufio.NewReader(conn), w: w, enc: json.NewEncoder(w), timeout: DefaultTimeout}
+}
+
+// SetTimeout changes the per-RPC deadline; <= 0 disables it.
+func (c *Client) SetTimeout(d time.Duration) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.timeout = d
 }
 
 // Close closes the connection.
@@ -247,6 +274,10 @@ func (c *Client) Close() error { return c.conn.Close() }
 func (c *Client) call(method, target, path string) (json.RawMessage, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	if c.timeout > 0 {
+		c.conn.SetDeadline(time.Now().Add(c.timeout))
+		defer c.conn.SetDeadline(time.Time{})
+	}
 	c.next++
 	req := Request{ID: c.next, Method: method, Target: target, Path: path}
 	if err := c.enc.Encode(req); err != nil {

@@ -1,0 +1,97 @@
+package gnmi
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"mfv/internal/aft"
+)
+
+// RetryPolicy retries transient management-plane failures with capped
+// exponential backoff and full jitter. Extraction runs against emulated
+// devices that may be mid-reboot when polled; a bounded retry turns those
+// windows into short delays instead of failed runs, while the cap keeps a
+// genuinely dead target from stalling the pipeline.
+type RetryPolicy struct {
+	// Attempts is the total number of tries (not retries); <= 0 means 1.
+	Attempts int
+	// Base is the first backoff delay; doubled each attempt. Zero means
+	// 100ms.
+	Base time.Duration
+	// Max caps the backoff growth. Zero means 5s.
+	Max time.Duration
+	// Jitter, when true, replaces each delay with a uniform draw from
+	// [0, delay] ("full jitter") so synchronized clients fan out.
+	Jitter bool
+
+	// Sleep and Rand are test seams; nil means time.Sleep and the global
+	// math/rand source.
+	Sleep func(time.Duration)
+	Rand  func(int64) int64
+}
+
+// DefaultRetry is the policy the extraction pipeline uses: 4 tries over
+// roughly 100ms + 200ms + 400ms of backoff before giving up.
+var DefaultRetry = RetryPolicy{Attempts: 4, Base: 100 * time.Millisecond, Max: 5 * time.Second, Jitter: true}
+
+// Do runs fn until it succeeds or attempts are exhausted, sleeping the
+// backoff schedule between tries. The last error is returned, annotated
+// with the attempt count when more than one was made.
+func (p RetryPolicy) Do(fn func() error) error {
+	attempts := p.Attempts
+	if attempts <= 0 {
+		attempts = 1
+	}
+	base := p.Base
+	if base == 0 {
+		base = 100 * time.Millisecond
+	}
+	max := p.Max
+	if max == 0 {
+		max = 5 * time.Second
+	}
+	sleep := p.Sleep
+	if sleep == nil {
+		sleep = time.Sleep
+	}
+	rnd := p.Rand
+	if rnd == nil {
+		rnd = rand.Int63n
+	}
+
+	var err error
+	delay := base
+	for i := 0; i < attempts; i++ {
+		if err = fn(); err == nil {
+			return nil
+		}
+		if i == attempts-1 {
+			break
+		}
+		d := delay
+		if p.Jitter {
+			d = time.Duration(rnd(int64(d) + 1))
+		}
+		sleep(d)
+		if delay *= 2; delay > max {
+			delay = max
+		}
+	}
+	if attempts > 1 {
+		return fmt.Errorf("gnmi: after %d attempts: %w", attempts, err)
+	}
+	return err
+}
+
+// GetAFT is Client.GetAFT under this retry policy. Reconnecting is the
+// caller's concern: the same client is reused across attempts.
+func (p RetryPolicy) GetAFT(c *Client, target string) (*aft.AFT, error) {
+	var a *aft.AFT
+	err := p.Do(func() error {
+		var e error
+		a, e = c.GetAFT(target)
+		return e
+	})
+	return a, err
+}

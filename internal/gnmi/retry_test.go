@@ -1,0 +1,172 @@
+package gnmi
+
+import (
+	"errors"
+	"net"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestHungServerTimesOut points the client at a listener that accepts the
+// connection and then never responds. Without a deadline the RPC would block
+// forever; with one it returns a timeout error promptly.
+func TestHungServerTimesOut(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go func() {
+		conn, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		// Hold the connection open, read nothing, answer nothing.
+		defer conn.Close()
+		time.Sleep(5 * time.Second)
+	}()
+
+	c, err := DialTimeout(ln.Addr().String(), 50*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	done := make(chan error, 1)
+	go func() {
+		_, err := c.GetAFT("r1")
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Fatal("hung server produced no error")
+		}
+		var ne net.Error
+		if !errors.As(err, &ne) || !ne.Timeout() {
+			t.Errorf("want timeout error, got %v", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("RPC still blocked after 2s — deadline not applied")
+	}
+}
+
+// TestTimeoutDisabled verifies SetTimeout(0) removes deadlines: a slow (but
+// not dead) server inside the old 50ms window still gets its answer through.
+func TestTimeoutDisabled(t *testing.T) {
+	_, addr := startServer(t, newFake("r1"))
+	c, err := DialTimeout(addr, 50*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	c.SetTimeout(0)
+	if _, err := c.GetAFT("r1"); err != nil {
+		t.Errorf("deadline-free call failed: %v", err)
+	}
+}
+
+func TestRetryEventualSuccess(t *testing.T) {
+	var slept []time.Duration
+	p := RetryPolicy{
+		Attempts: 5,
+		Base:     100 * time.Millisecond,
+		Max:      250 * time.Millisecond,
+		Sleep:    func(d time.Duration) { slept = append(slept, d) },
+	}
+	calls := 0
+	err := p.Do(func() error {
+		if calls++; calls < 4 {
+			return errors.New("transient")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("Do = %v", err)
+	}
+	if calls != 4 {
+		t.Errorf("calls = %d", calls)
+	}
+	// Exponential and capped: 100ms, 200ms, then clamped at 250ms.
+	want := []time.Duration{100 * time.Millisecond, 200 * time.Millisecond, 250 * time.Millisecond}
+	if len(slept) != len(want) {
+		t.Fatalf("slept = %v", slept)
+	}
+	for i := range want {
+		if slept[i] != want[i] {
+			t.Errorf("sleep[%d] = %v, want %v", i, slept[i], want[i])
+		}
+	}
+}
+
+func TestRetryExhausted(t *testing.T) {
+	p := RetryPolicy{Attempts: 3, Sleep: func(time.Duration) {}}
+	calls := 0
+	err := p.Do(func() error { calls++; return errors.New("down") })
+	if calls != 3 {
+		t.Errorf("calls = %d", calls)
+	}
+	if err == nil || !strings.Contains(err.Error(), "after 3 attempts") {
+		t.Errorf("err = %v", err)
+	}
+	if !strings.Contains(err.Error(), "down") {
+		t.Errorf("underlying error lost: %v", err)
+	}
+}
+
+func TestRetryJitterDeterministicWithSeam(t *testing.T) {
+	var slept []time.Duration
+	p := RetryPolicy{
+		Attempts: 3,
+		Base:     100 * time.Millisecond,
+		Jitter:   true,
+		Sleep:    func(d time.Duration) { slept = append(slept, d) },
+		Rand:     func(n int64) int64 { return n / 2 },
+	}
+	p.Do(func() error { return errors.New("x") })
+	// Full jitter draws from [0, delay]; the seam returns delay/2.
+	want := []time.Duration{50 * time.Millisecond, 100 * time.Millisecond}
+	for i := range want {
+		if slept[i] != want[i] {
+			t.Errorf("sleep[%d] = %v, want %v", i, slept[i], want[i])
+		}
+	}
+}
+
+func TestRetryZeroValuePolicy(t *testing.T) {
+	calls := 0
+	if err := (RetryPolicy{}).Do(func() error { calls++; return errors.New("x") }); err == nil {
+		t.Error("zero-value policy swallowed the error")
+	} else if strings.Contains(err.Error(), "attempts") {
+		t.Errorf("single attempt should not be annotated: %v", err)
+	}
+	if calls != 1 {
+		t.Errorf("zero-value policy made %d calls", calls)
+	}
+}
+
+// TestRetryGetAFT retries through a real server: the first attempts hit an
+// unknown target, then the target is registered and the pull succeeds.
+func TestRetryGetAFT(t *testing.T) {
+	s, addr := startServer(t)
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	attempt := 0
+	p := RetryPolicy{Attempts: 3, Sleep: func(time.Duration) {
+		if attempt++; attempt == 1 {
+			s.AddTarget(newFake("r1"))
+		}
+	}}
+	a, err := p.GetAFT(c, "r1")
+	if err != nil {
+		t.Fatalf("GetAFT = %v", err)
+	}
+	if a.Device != "r1" {
+		t.Errorf("device = %q", a.Device)
+	}
+}

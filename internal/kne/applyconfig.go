@@ -2,7 +2,6 @@ package kne
 
 import (
 	"fmt"
-	"net/netip"
 	"time"
 
 	"mfv/internal/kube"
@@ -77,10 +76,7 @@ func (e *Emulator) ApplyConfig(nodeName, config string) error {
 		old.DetachLink(ep.Interface)
 	}
 	node.Config = config
-	fresh.SendToAddr = func(dst netip.Addr, payload []byte) {
-		e.sendRouted(fresh, dst, protoRSVP, netip.Addr{}, payload, maxTTL)
-	}
-	fresh.OnStateChange(func() { e.lastActivity = e.sim.Now() })
+	e.wireRouter(fresh)
 	e.routers[nodeName] = fresh
 	e.lastActivity = e.sim.Now()
 

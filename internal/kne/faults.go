@@ -1,0 +1,132 @@
+package kne
+
+import (
+	"fmt"
+
+	"mfv/internal/kube"
+	"mfv/internal/obs"
+)
+
+// Fault-injection hooks for the chaos engine (internal/chaos). Each hook
+// mutates the substrate the way the corresponding production failure would,
+// then lets the protocol machinery react on the virtual clock: neighbors
+// notice via hold/holding-timer expiry or the reachability prober, withdraw
+// routes, and re-establish sessions when the fault clears.
+
+// CrashRouter kills a router's pod. The router object is shut down (all
+// timers canceled, dataplane gated off, AFT empty), the pod is deleted, and
+// a replacement is scheduled — queued if the cluster is momentarily full.
+// When the replacement reaches Running, podReady rebuilds the router from
+// its config, exactly as Kubernetes restarts a container from its image.
+func (e *Emulator) CrashRouter(name string) error {
+	if !e.started {
+		return fmt.Errorf("kne: CrashRouter before Start")
+	}
+	r, ok := e.routers[name]
+	if !ok {
+		return fmt.Errorf("kne: no router %q", name)
+	}
+	if e.routerDown[name] {
+		return fmt.Errorf("kne: router %q already down", name)
+	}
+	e.routerDown[name] = true
+	e.ready[name] = false
+	r.Shutdown()
+	if e.obs.Enabled() {
+		e.obs.Emit(obs.Event{Type: obs.EvPodCrash, Device: name})
+	}
+	if _, exists := e.cluster.Pod(name); exists {
+		if err := e.cluster.Delete(name); err != nil {
+			return err
+		}
+	}
+	spec := kube.AristaCEOSRequest(name, r.Profile.BootTime)
+	if _, err := e.cluster.ScheduleOrQueue(spec); err != nil {
+		return err
+	}
+	e.lastActivity = e.sim.Now()
+	return nil
+}
+
+// FailKubeNode fails a worker machine: every resident router goes through
+// the crash path above, then the cluster evicts the pods and reschedules
+// them (or queues them as Pending) on the surviving nodes. It returns the
+// evicted pod names in sorted order.
+func (e *Emulator) FailKubeNode(nodeName string) ([]string, error) {
+	if !e.started {
+		return nil, fmt.Errorf("kne: FailKubeNode before Start")
+	}
+	evicted, err := e.cluster.FailNode(nodeName)
+	if err != nil {
+		return nil, err
+	}
+	// No virtual time passes between the eviction and this loop, so the
+	// rescheduled replacements cannot boot before their routers are marked
+	// down for rebuild.
+	for _, name := range evicted {
+		r, ok := e.routers[name]
+		if !ok || e.routerDown[name] {
+			continue
+		}
+		e.routerDown[name] = true
+		e.ready[name] = false
+		r.Shutdown()
+		if e.obs.Enabled() {
+			e.obs.Emit(obs.Event{Type: obs.EvPodCrash, Device: name, Detail: nodeName})
+		}
+	}
+	if e.obs.Enabled() {
+		e.obs.Emit(obs.Event{Type: obs.EvNodeDown, Device: nodeName, Value: int64(len(evicted))})
+	}
+	e.lastActivity = e.sim.Now()
+	return evicted, nil
+}
+
+// RecoverKubeNode brings a failed worker back; queued Pending pods get a
+// placement retry immediately.
+func (e *Emulator) RecoverKubeNode(nodeName string) error {
+	if err := e.cluster.RecoverNode(nodeName); err != nil {
+		return err
+	}
+	if e.obs.Enabled() {
+		e.obs.Emit(obs.Event{Type: obs.EvNodeUp, Device: nodeName})
+	}
+	e.lastActivity = e.sim.Now()
+	return nil
+}
+
+// ResetBGP drops every BGP session on the named router (the emulated
+// "clear ip bgp *"): both session endpoints go to Idle with withdrawal
+// semantics, and the reachability prober re-establishes them on its next
+// tick.
+func (e *Emulator) ResetBGP(name string) error {
+	r, ok := e.routers[name]
+	if !ok {
+		return fmt.Errorf("kne: no router %q", name)
+	}
+	if r.BGP == nil {
+		return fmt.Errorf("kne: router %q runs no BGP", name)
+	}
+	for _, p := range r.BGP.Peers() {
+		cfg := p.Config()
+		p.TransportDown()
+		// A TCP reset kills both ends; tear down the remote half too so it
+		// does not linger Established against an Idle peer.
+		if owner, ok := e.addrOwner[cfg.Addr]; ok {
+			if remote := e.routers[owner]; remote != nil && remote.BGP != nil {
+				if rp, ok := remote.BGP.Peer(cfg.LocalAddr); ok {
+					rp.TransportDown()
+				}
+			}
+		}
+	}
+	if e.obs.Enabled() {
+		e.obs.Emit(obs.Event{Type: obs.EvBGPReset, Device: name})
+	}
+	e.lastActivity = e.sim.Now()
+	return nil
+}
+
+// RouterDown reports whether the named router's pod is currently crashed
+// and awaiting reboot.
+func (e *Emulator) RouterDown(name string) bool { return e.routerDown[name] }

@@ -1,0 +1,103 @@
+package kne
+
+import (
+	"testing"
+	"time"
+
+	"mfv/internal/bgp"
+	"mfv/internal/sim"
+	"mfv/internal/testnet"
+	"mfv/internal/topology"
+)
+
+// TestLinkDownTearsDownSessionsAndWithdraws is the silent-failure teardown
+// path: cutting the r2-r3 inter-AS link does NOT remove the connected route
+// (the interface stays configured), so the prober keeps believing the peer
+// is reachable. The session must still die — via hold-timer expiry — within
+// HoldTime plus a few probe intervals, and the routes learned over it must
+// vanish from the border routers' AFTs.
+func TestLinkDownTearsDownSessionsAndWithdraws(t *testing.T) {
+	clk := sim.New(1)
+	e, err := New(Config{Topology: testnet.Fig2(), Sim: clk})
+	if err != nil {
+		t.Fatal(err)
+	}
+	converge(t, e)
+
+	r2, _ := e.Router("r2")
+	p, ok := r2.BGP.Peer(addr("100.64.23.1"))
+	if !ok || p.State() != bgp.StateEstablished {
+		t.Fatalf("r2-r3 eBGP session not Established before cut")
+	}
+	hasPrefix := func(router, prefix string) bool {
+		for _, en := range e.AFTs()[router].IPv4Entries {
+			if en.Prefix == prefix {
+				return true
+			}
+		}
+		return false
+	}
+	if !hasPrefix("r2", "2.2.2.3/32") {
+		t.Fatal("r2 missing r3 loopback before cut")
+	}
+
+	if err := e.SetLinkDown(topology.Endpoint{Node: "r2", Interface: "Ethernet2"}); err != nil {
+		t.Fatal(err)
+	}
+
+	// The session may outlive the cut only until the hold timer fires: bound
+	// the wait by HoldTime (90s) plus three probe intervals of slack.
+	const bound = 90*time.Second + 3*5*time.Second
+	var toreDownAfter time.Duration
+	for toreDownAfter = 0; toreDownAfter <= bound; toreDownAfter += 5 * time.Second {
+		if p.State() != bgp.StateEstablished {
+			break
+		}
+		clk.RunFor(5 * time.Second)
+	}
+	if p.State() == bgp.StateEstablished {
+		t.Fatalf("session still Established %v after link cut", bound)
+	}
+	t.Logf("session left Established %v after cut", toreDownAfter)
+
+	// Withdrawals propagate: AS65003 loopbacks leave r2's AFT (and the iBGP
+	// re-advertisement leaves r1's), symmetrically for r3.
+	if _, err := e.RunUntilConverged(30*time.Second, time.Hour); err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range []struct{ router, prefix string }{
+		{"r2", "2.2.2.3/32"}, {"r2", "2.2.2.4/32"},
+		{"r1", "2.2.2.3/32"},
+		{"r3", "2.2.2.2/32"}, {"r3", "2.2.2.1/32"},
+	} {
+		if hasPrefix(c.router, c.prefix) {
+			t.Errorf("%s still has %s after session teardown", c.router, c.prefix)
+		}
+	}
+}
+
+func TestFaultAPIErrors(t *testing.T) {
+	e, err := New(Config{Topology: isisLineTopo(2)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.CrashRouter("r1"); err == nil {
+		t.Error("CrashRouter before Start accepted")
+	}
+	converge(t, e)
+	if err := e.CrashRouter("ghost"); err == nil {
+		t.Error("CrashRouter of unknown router accepted")
+	}
+	if err := e.ResetBGP("ghost"); err == nil {
+		t.Error("ResetBGP of unknown router accepted")
+	}
+	if _, err := e.FailKubeNode("no-such-node"); err == nil {
+		t.Error("FailKubeNode of unknown node accepted")
+	}
+	if err := e.RecoverKubeNode("no-such-node"); err == nil {
+		t.Error("RecoverKubeNode of unknown node accepted")
+	}
+	if err := e.SetLinkImpairment(topology.Endpoint{Node: "r1", Interface: "NoIntf"}, Impairment{LossPct: 10}); err == nil {
+		t.Error("impairment on unknown link accepted")
+	}
+}

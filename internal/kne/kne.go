@@ -55,6 +55,10 @@ type Config struct {
 	// 4 minutes, which lands total startup (init + container boot) in the
 	// paper's observed 12–17 minute window across topology sizes.
 	InfraInit time.Duration
+	// SpareNodes adds empty worker machines to the auto-created cluster,
+	// leaving headroom for chaos scenarios that fail a node and need its
+	// evicted pods rescheduled elsewhere. Ignored when Cluster is set.
+	SpareNodes int
 	// Obs receives trace events and metrics from the emulator and every
 	// router it builds. Nil disables observability at near-zero cost.
 	Obs *obs.Observer
@@ -77,6 +81,14 @@ type Emulator struct {
 	peer map[topology.Endpoint]topology.Endpoint
 	// linkDown marks administratively failed links by canonical key.
 	linkDown map[string]bool
+	// impair holds per-link probabilistic loss / extra delay by canonical
+	// link key.
+	impair map[string]Impairment
+	// ready tracks which routers' pods are currently Running.
+	ready map[string]bool
+	// routerDown marks routers whose pod crashed; the router object is an
+	// inert husk until the replacement pod boots and podReady rebuilds it.
+	routerDown map[string]bool
 	// addrOwner maps interface addresses to router names.
 	addrOwner map[netip.Addr]string
 
@@ -88,12 +100,21 @@ type Emulator struct {
 	// lastChange is the per-router virtual time of the last RIB change,
 	// feeding the convergence timeline and straggler diagnostics.
 	lastChange map[string]time.Duration
-	// startupDone is the virtual time all pods reached Running.
+	// startupDone is the virtual time all pods first reached Running.
 	startupDone time.Duration
 	started     bool
+	// bootRecorded guards the one-time "boot" phase record across repeated
+	// convergence calls.
+	bootRecorded bool
 
 	obs   *obs.Observer
 	probe *sim.Ticker
+	// stuck counts consecutive probes a BGP session spent parked in an
+	// in-between FSM state (OpenSent/OpenConfirm). An OPEN lost on a dead
+	// or lossy link would otherwise deadlock the session forever; after a
+	// few probes the transport is reset and retried — the ConnectRetry
+	// analogue.
+	stuck map[*bgp.Peer]int
 }
 
 // New builds an emulator: parses every device config in its vendor dialect
@@ -128,15 +149,19 @@ func New(cfg Config) (*Emulator, error) {
 		routers:    map[string]*vrouter.Router{},
 		peer:       map[topology.Endpoint]topology.Endpoint{},
 		linkDown:   map[string]bool{},
+		impair:     map[string]Impairment{},
+		ready:      map[string]bool{},
+		routerDown: map[string]bool{},
 		addrOwner:  map[netip.Addr]string{},
 		injectors:  map[netip.Addr]*Injector{},
 		lastChange: map[string]time.Duration{},
+		stuck:      map[*bgp.Peer]int{},
 		obs:        cfg.Obs,
 	}
 	e.obs.SetClock(e.sim)
 	if cfg.Cluster == nil {
 		per := kube.Capacity([]kube.NodeSpec{kube.E2Standard32("n")}, kube.AristaCEOSRequest("r", 0))
-		nodes := (len(cfg.Topology.Nodes) + per - 1) / per
+		nodes := (len(cfg.Topology.Nodes)+per-1)/per + cfg.SpareNodes
 		if nodes < 1 {
 			nodes = 1
 		}
@@ -155,28 +180,10 @@ func New(cfg Config) (*Emulator, error) {
 	}
 	for i := range e.topo.Nodes {
 		n := &e.topo.Nodes[i]
-		dev, err := parseConfig(n)
-		if err != nil {
-			return nil, fmt.Errorf("kne: node %s: %w", n.Name, err)
-		}
-		r, err := vrouter.New(n.Name, dev, vrouter.ProfileFor(string(n.Vendor)), e.sim)
+		r, err := e.buildRouter(n)
 		if err != nil {
 			return nil, err
 		}
-		r.SendToAddr = func(r *vrouter.Router) func(netip.Addr, []byte) {
-			return func(dst netip.Addr, payload []byte) {
-				e.sendRouted(r, dst, protoRSVP, netip.Addr{}, payload, maxTTL)
-			}
-		}(r)
-		r.SetObserver(e.obs)
-		name := n.Name
-		r.OnStateChange(func() {
-			e.lastActivity = e.sim.Now()
-			e.lastChange[name] = e.sim.Now()
-			if e.obs.Enabled() {
-				e.obs.Emit(obs.Event{Type: obs.EvRouteChurn, Device: name, Value: int64(r.RIB().Version())})
-			}
-		})
 		e.routers[n.Name] = r
 		for _, a := range r.LocalAddrs() {
 			if owner, dup := e.addrOwner[a]; dup && owner != n.Name {
@@ -186,6 +193,40 @@ func New(cfg Config) (*Emulator, error) {
 		}
 	}
 	return e, nil
+}
+
+// buildRouter parses a node's current config and constructs a fully wired
+// router — the single construction path shared by startup, ApplyConfig, and
+// crashed-pod reboot (a rebooted container re-parses its config from
+// scratch, exactly like a Kubernetes restart from the image).
+func (e *Emulator) buildRouter(n *topology.Node) (*vrouter.Router, error) {
+	dev, err := parseConfig(n)
+	if err != nil {
+		return nil, fmt.Errorf("kne: node %s: %w", n.Name, err)
+	}
+	r, err := vrouter.New(n.Name, dev, vrouter.ProfileFor(string(n.Vendor)), e.sim)
+	if err != nil {
+		return nil, err
+	}
+	e.wireRouter(r)
+	return r, nil
+}
+
+// wireRouter hooks a router into routed delivery, observability, and
+// convergence tracking.
+func (e *Emulator) wireRouter(r *vrouter.Router) {
+	r.SendToAddr = func(dst netip.Addr, payload []byte) {
+		e.sendRouted(r, dst, protoRSVP, netip.Addr{}, payload, maxTTL)
+	}
+	r.SetObserver(e.obs)
+	name := r.Name
+	r.OnStateChange(func() {
+		e.lastActivity = e.sim.Now()
+		e.lastChange[name] = e.sim.Now()
+		if e.obs.Enabled() {
+			e.obs.Emit(obs.Event{Type: obs.EvRouteChurn, Device: name, Value: int64(r.RIB().Version())})
+		}
+	})
 }
 
 func parseConfig(n *topology.Node) (*ir.Device, error) {
@@ -235,46 +276,70 @@ func (e *Emulator) Start() error {
 		return fmt.Errorf("kne: already started")
 	}
 	e.started = true
-	ready := map[string]bool{}
-	e.cluster.OnPodReady(func(p *kube.Pod) {
-		name := p.Spec.Name
-		r := e.routers[name]
-		if r == nil {
-			return
-		}
-		ready[name] = true
-		if e.obs.Enabled() {
-			e.obs.Emit(obs.Event{Type: obs.EvPodReady, Device: name, Detail: p.Node})
-		}
-		r.Start()
-		e.lastActivity = e.sim.Now()
-		// Bring up links whose both ends are ready.
-		for _, l := range e.topo.NodeLinks(name) {
-			a, z := l.A, l.Z
-			if ready[a.Node] && ready[z.Node] && !e.linkDown[linkKey(a, z)] {
-				e.attachLink(a, z)
-			}
-		}
-		if e.cluster.AllRunning() {
-			e.startupDone = e.sim.Now()
-			if e.obs.Enabled() {
-				e.obs.Emit(obs.Event{Type: obs.EvStartupDone, Value: int64(len(e.routers))})
-			}
-		}
-	})
+	e.cluster.OnPodReady(e.podReady)
 	e.sim.After(e.cfg.InfraInit, func() {
 		for _, n := range e.topo.Nodes {
 			r := e.routers[n.Name]
 			spec := kube.AristaCEOSRequest(n.Name, r.Profile.BootTime)
-			if _, err := e.cluster.Schedule(spec); err != nil {
-				// Scheduling failures surface through Pods(); the paper's
-				// scale experiments probe exactly this boundary.
+			// Queue rather than reject when the cluster is momentarily
+			// full: a Pending pod keeps AllRunning false, so convergence
+			// (or its degraded variant) reports the shortfall instead of
+			// silently shrinking the topology.
+			if _, err := e.cluster.ScheduleOrQueue(spec); err != nil {
 				continue
 			}
 		}
 	})
 	e.probe = e.sim.NewTicker(e.cfg.ProbeInterval, e.probeSessions)
 	return nil
+}
+
+// podReady is the cluster's pod-Running callback: it (re)starts the
+// resident router and brings up links whose both ends are ready. A pod
+// rescheduled after CrashRouter/FailKubeNode gets a freshly built router —
+// config re-parsed, protocol state empty — so sessions and adjacencies
+// re-establish from scratch while neighbors have already withdrawn its
+// routes.
+func (e *Emulator) podReady(p *kube.Pod) {
+	name := p.Spec.Name
+	r := e.routers[name]
+	if r == nil {
+		return
+	}
+	if e.routerDown[name] {
+		node, ok := e.topo.Node(name)
+		if !ok {
+			return
+		}
+		fresh, err := e.buildRouter(node)
+		if err != nil {
+			// The config parsed when the router was first built; a reboot
+			// cannot invalidate it. Leave the inert husk in place.
+			return
+		}
+		delete(e.routerDown, name)
+		e.routers[name] = fresh
+		r = fresh
+	}
+	e.ready[name] = true
+	if e.obs.Enabled() {
+		e.obs.Emit(obs.Event{Type: obs.EvPodReady, Device: name, Detail: p.Node})
+	}
+	r.Start()
+	e.lastActivity = e.sim.Now()
+	// Bring up links whose both ends are ready.
+	for _, l := range e.topo.NodeLinks(name) {
+		a, z := l.A, l.Z
+		if e.ready[a.Node] && e.ready[z.Node] && !e.linkDown[linkKey(a, z)] {
+			e.attachLink(a, z)
+		}
+	}
+	if e.startupDone == 0 && e.cluster.AllRunning() {
+		e.startupDone = e.sim.Now()
+		if e.obs.Enabled() {
+			e.obs.Emit(obs.Event{Type: obs.EvStartupDone, Value: int64(len(e.routers))})
+		}
+	}
 }
 
 func linkKey(a, z topology.Endpoint) string {
@@ -302,21 +367,75 @@ func (e *Emulator) attachLink(a, z topology.Endpoint) {
 		e.obs.Emit(obs.Event{Type: obs.EvLinkUp, Detail: key})
 	}
 	ra.AttachLink(a.Interface, func(data []byte) {
+		delay, deliver := e.impairedDelay(key)
+		if !deliver {
+			return
+		}
 		d := append([]byte{}, data...)
-		e.sim.After(e.linkDelay(), func() {
+		e.sim.After(delay, func() {
 			if !e.linkDown[key] {
 				rz.HandleLinkFrame(z.Interface, d)
 			}
 		})
 	})
 	rz.AttachLink(z.Interface, func(data []byte) {
+		delay, deliver := e.impairedDelay(key)
+		if !deliver {
+			return
+		}
 		d := append([]byte{}, data...)
-		e.sim.After(e.linkDelay(), func() {
+		e.sim.After(delay, func() {
 			if !e.linkDown[key] {
 				ra.HandleLinkFrame(a.Interface, d)
 			}
 		})
 	})
+}
+
+// Impairment degrades a link without cutting it: each frame is dropped
+// with LossPct percent probability (drawn from the seeded sim RNG, so runs
+// stay reproducible) and surviving frames carry ExtraDelay on top of the
+// normal propagation delay.
+type Impairment struct {
+	LossPct    int
+	ExtraDelay time.Duration
+}
+
+// SetLinkImpairment installs loss/delay impairment on the link containing
+// endpoint ep; both directions are affected.
+func (e *Emulator) SetLinkImpairment(ep topology.Endpoint, imp Impairment) error {
+	other, ok := e.peer[ep]
+	if !ok {
+		return fmt.Errorf("kne: endpoint %v not in any link", ep)
+	}
+	e.impair[linkKey(ep, other)] = imp
+	e.lastActivity = e.sim.Now()
+	return nil
+}
+
+// ClearLinkImpairment restores the link to its configured behaviour.
+func (e *Emulator) ClearLinkImpairment(ep topology.Endpoint) error {
+	other, ok := e.peer[ep]
+	if !ok {
+		return fmt.Errorf("kne: endpoint %v not in any link", ep)
+	}
+	delete(e.impair, linkKey(ep, other))
+	e.lastActivity = e.sim.Now()
+	return nil
+}
+
+// impairedDelay draws one frame's fate on a link: dropped (false), or
+// delivered after the jittered link delay plus any impairment extra delay.
+func (e *Emulator) impairedDelay(key string) (time.Duration, bool) {
+	d := e.linkDelay()
+	imp, found := e.impair[key]
+	if !found {
+		return d, true
+	}
+	if imp.LossPct > 0 && e.sim.Rand().Intn(100) < imp.LossPct {
+		return 0, false
+	}
+	return d + imp.ExtraDelay, true
 }
 
 // SetLinkDown administratively fails the link containing endpoint ep.
@@ -374,8 +493,12 @@ func (e *Emulator) sendRouted(from *vrouter.Router, dst netip.Addr, tag uint8, s
 		return
 	}
 	next := e.routers[other.Node]
+	delay, deliver := e.impairedDelay(linkKey(ep, other))
+	if !deliver {
+		return // impaired link dropped the packet
+	}
 	data := append([]byte{}, payload...)
-	e.sim.After(e.linkDelay(), func() {
+	e.sim.After(delay, func() {
 		e.sendRouted(next, dst, tag, srcAddr, data, ttl-1)
 	})
 }
@@ -414,17 +537,34 @@ func (e *Emulator) probeSessions() {
 	}
 }
 
+// stuckProbeLimit is how many consecutive probes a session may sit in
+// OpenSent/OpenConfirm before its transport is reset and retried.
+const stuckProbeLimit = 3
+
 func (e *Emulator) probeRouterSession(r *vrouter.Router, p *bgp.Peer, remote *vrouter.Router) {
 	cfg := p.Config()
 	up := r.CanReach(cfg.Addr) && remote.CanReach(cfg.LocalAddr) && !remote.Crashed()
+	st := p.State()
 	switch {
-	case up && p.State() == bgp.StateIdle:
+	case up && st == bgp.StateIdle:
+		delete(e.stuck, p)
 		local, src := r, cfg.LocalAddr
 		p.TransportUp(func(msg []byte) {
 			e.sendRouted(local, cfg.Addr, protoBGP, src, msg, maxTTL)
 		})
-	case !up && p.State() != bgp.StateIdle:
+	case !up && st != bgp.StateIdle:
+		delete(e.stuck, p)
 		p.TransportDown()
+	case up && (st == bgp.StateOpenSent || st == bgp.StateOpenConfirm):
+		// Reachable but the handshake is parked: the OPEN (or its reply)
+		// was lost in flight — e.g. sent while the link was down. Reset
+		// the transport; the next probe re-attempts establishment.
+		if e.stuck[p]++; e.stuck[p] >= stuckProbeLimit {
+			delete(e.stuck, p)
+			p.TransportDown()
+		}
+	default:
+		delete(e.stuck, p)
 	}
 }
 
@@ -442,18 +582,52 @@ func (e *Emulator) activityMark() uint64 {
 	return total
 }
 
+// Convergence is the outcome of a convergence or settle wait.
+type Convergence struct {
+	// ConvergedAt is the virtual time of the last dataplane change before
+	// the network went quiet (the convergence point).
+	ConvergedAt time.Duration
+	// Degraded is set when the wait timed out and partial results were
+	// accepted instead of failing the run.
+	Degraded bool
+	// Stragglers lists (sorted) the routers that never settled: pod not
+	// Running, or RIB still churning inside the hold window.
+	Stragglers []string
+}
+
 // RunUntilConverged advances virtual time until the dataplane has been
 // stable at every router for hold, or timeout elapses. It returns the
 // virtual time at which the network last changed (the convergence point).
 // On timeout the error names the stragglers — the routers whose RIBs
 // changed most recently — with their last-activity marks.
 func (e *Emulator) RunUntilConverged(hold, timeout time.Duration) (time.Duration, error) {
+	c, err := e.converge(hold, timeout, true, false)
+	return c.ConvergedAt, err
+}
+
+// RunUntilConvergedDegraded is the graceful-degradation variant: on timeout
+// it returns the partial state reached so far with Degraded set and the
+// stragglers marked, instead of an error. Extraction can then proceed on
+// the routers that did settle.
+func (e *Emulator) RunUntilConvergedDegraded(hold, timeout time.Duration) (Convergence, error) {
+	return e.converge(hold, timeout, true, true)
+}
+
+// Settle waits for post-fault quiescence without requiring every pod to be
+// Running — the chaos engine measures fault impact while a crashed pod is
+// still rebooting. It never fails on timeout; unsettled routers come back
+// as stragglers.
+func (e *Emulator) Settle(hold, timeout time.Duration) Convergence {
+	c, _ := e.converge(hold, timeout, false, true)
+	return c
+}
+
+func (e *Emulator) converge(hold, timeout time.Duration, needAllRunning, degradeOK bool) (Convergence, error) {
 	if !e.started {
-		return 0, fmt.Errorf("kne: not started")
+		return Convergence{}, fmt.Errorf("kne: not started")
 	}
 	wallStart := time.Now()
 	var bootWall time.Duration
-	bootSeen := false
 	deadline := e.sim.Now() + timeout
 	poll := hold / 4
 	if poll <= 0 {
@@ -468,8 +642,8 @@ func (e *Emulator) RunUntilConverged(hold, timeout time.Duration) (time.Duration
 		// convergence — before infra init completes the network is silent
 		// but certainly not converged.
 		booted := e.startupDone > 0 && e.cluster.AllRunning()
-		if booted && !bootSeen {
-			bootSeen = true
+		if booted && !e.bootRecorded {
+			e.bootRecorded = true
 			bootWall = time.Since(wallStart)
 			e.obs.RecordPhase("boot", 0, e.startupDone, bootWall)
 		}
@@ -480,17 +654,47 @@ func (e *Emulator) RunUntilConverged(hold, timeout time.Duration) (time.Duration
 			lastChange = e.sim.Now()
 			continue
 		}
-		if booted && e.sim.Now()-stableSince >= hold {
+		if !needAllRunning && e.startupDone == 0 {
+			continue // nothing ever booted: quiet is not convergence
+		}
+		if (booted || !needAllRunning) && e.sim.Now()-stableSince >= hold {
 			e.recordSimMetrics()
-			e.obs.RecordPhase("converge", e.startupDone, lastChange, time.Since(wallStart)-bootWall)
+			if needAllRunning {
+				e.obs.RecordPhase("converge", e.startupDone, lastChange, time.Since(wallStart)-bootWall)
+			}
 			if e.obs.Enabled() {
 				e.obs.Emit(obs.Event{At: lastChange, Type: obs.EvConverged, Value: int64(len(e.routers))})
 			}
-			return lastChange, nil
+			return Convergence{ConvergedAt: lastChange}, nil
 		}
 	}
 	e.recordSimMetrics()
-	return 0, fmt.Errorf("kne: no convergence within %v%s", timeout, e.stragglerSummary())
+	if degradeOK {
+		c := Convergence{ConvergedAt: lastChange, Degraded: true, Stragglers: e.stragglers(hold)}
+		if e.obs.Enabled() {
+			e.obs.Emit(obs.Event{Type: obs.EvDegraded, Detail: strings.Join(c.Stragglers, ","), Value: int64(len(c.Stragglers))})
+		}
+		return c, nil
+	}
+	return Convergence{}, fmt.Errorf("kne: no convergence within %v%s", timeout, e.stragglerSummary())
+}
+
+// stragglers lists the routers that have not settled: pod missing or not
+// Running, or RIB changed within the trailing hold window.
+func (e *Emulator) stragglers(hold time.Duration) []string {
+	now := e.sim.Now()
+	var out []string
+	for _, r := range e.Routers() {
+		pod, ok := e.cluster.Pod(r.Name)
+		if !ok || pod.Phase != kube.PodRunning {
+			out = append(out, r.Name)
+			continue
+		}
+		if lc, ok := e.lastChange[r.Name]; ok && now-lc < hold {
+			out = append(out, r.Name)
+		}
+	}
+	return out
 }
 
 // recordSimMetrics publishes simulation-effort and table-size gauges.

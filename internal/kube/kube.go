@@ -78,6 +78,9 @@ type Pod struct {
 	Phase Phase
 	// ReadyAt is the virtual time the pod became Running.
 	ReadyAt time.Duration
+	// boot is the pending boot-completion event; canceled on Delete so a
+	// deleted pod can never transition to Running afterwards.
+	boot *sim.Event
 }
 
 type node struct {
@@ -85,6 +88,8 @@ type node struct {
 	cpuUsed MilliCPU
 	memUsed MiB
 	pods    int
+	// down marks a failed node: unschedulable until RecoverNode.
+	down bool
 }
 
 // Cluster is the scheduling domain.
@@ -92,6 +97,9 @@ type Cluster struct {
 	clock *sim.Simulator
 	nodes []*node
 	pods  map[string]*Pod
+	// pending holds pod names queued by ScheduleOrQueue, FIFO; retried
+	// whenever capacity frees up (Delete, RecoverNode).
+	pending []string
 	// onReady fires when a pod transitions to Running.
 	onReady func(*Pod)
 }
@@ -125,9 +133,38 @@ func (c *Cluster) Schedule(spec PodSpec) (*Pod, error) {
 	if _, exists := c.pods[spec.Name]; exists {
 		return nil, fmt.Errorf("kube: pod %q already exists", spec.Name)
 	}
+	pod, ok := c.place(spec)
+	if !ok {
+		return nil, fmt.Errorf("kube: no node can fit pod %q (%dm CPU, %d MiB)", spec.Name, spec.CPU, spec.Mem)
+	}
+	c.pods[spec.Name] = pod
+	return pod, nil
+}
+
+// ScheduleOrQueue places a pod like Schedule, but a pod that fits nowhere is
+// registered as Pending and queued instead of rejected; it is retried in
+// FIFO order whenever capacity frees up (Delete, RecoverNode). This is the
+// reschedule path for crash/eviction loops, where "unschedulable right now"
+// must not mean "gone".
+func (c *Cluster) ScheduleOrQueue(spec PodSpec) (*Pod, error) {
+	if _, exists := c.pods[spec.Name]; exists {
+		return nil, fmt.Errorf("kube: pod %q already exists", spec.Name)
+	}
+	pod, ok := c.place(spec)
+	if !ok {
+		pod = &Pod{Spec: spec, Phase: PodPending}
+		c.pending = append(c.pending, spec.Name)
+	}
+	c.pods[spec.Name] = pod
+	return pod, nil
+}
+
+// place finds a node via best-fit-decreasing and arms the boot timer. It
+// does not register the pod in the cluster map.
+func (c *Cluster) place(spec PodSpec) (*Pod, bool) {
 	var best *node
 	for _, n := range c.nodes {
-		if n.cpuUsed+spec.CPU > n.spec.CPU || n.memUsed+spec.Mem > n.spec.Memory {
+		if n.down || n.cpuUsed+spec.CPU > n.spec.CPU || n.memUsed+spec.Mem > n.spec.Memory {
 			continue
 		}
 		if best == nil {
@@ -141,28 +178,43 @@ func (c *Cluster) Schedule(spec PodSpec) (*Pod, error) {
 		}
 	}
 	if best == nil {
-		return nil, fmt.Errorf("kube: no node can fit pod %q (%dm CPU, %d MiB)", spec.Name, spec.CPU, spec.Mem)
+		return nil, false
 	}
 	best.cpuUsed += spec.CPU
 	best.memUsed += spec.Mem
 	best.pods++
 	pod := &Pod{Spec: spec, Node: best.spec.Name, Phase: PodScheduled}
-	c.pods[spec.Name] = pod
-	c.clock.After(spec.BootTime, func() {
+	pod.boot = c.clock.After(spec.BootTime, func() {
 		pod.Phase = PodRunning
 		pod.ReadyAt = c.clock.Now()
 		if c.onReady != nil {
 			c.onReady(pod)
 		}
 	})
-	return pod, nil
+	return pod, true
 }
 
-// Delete removes a pod and releases its resources.
+// Delete removes a pod, releases its node's reserved CPU/memory, and cancels
+// its pending boot event, so crash/reschedule loops neither leak capacity
+// nor resurrect deleted pods as Running. Freed capacity is offered to the
+// pending queue.
 func (c *Cluster) Delete(name string) error {
 	pod, ok := c.pods[name]
 	if !ok {
 		return fmt.Errorf("kube: no pod %q", name)
+	}
+	c.release(pod)
+	delete(c.pods, name)
+	c.dropPending(name)
+	c.retryPending()
+	return nil
+}
+
+// release returns a pod's reservation to its node and cancels its boot.
+func (c *Cluster) release(pod *Pod) {
+	if pod.boot != nil {
+		c.clock.Cancel(pod.boot)
+		pod.boot = nil
 	}
 	for _, n := range c.nodes {
 		if n.spec.Name == pod.Node {
@@ -171,8 +223,90 @@ func (c *Cluster) Delete(name string) error {
 			n.pods--
 		}
 	}
-	delete(c.pods, name)
-	return nil
+}
+
+func (c *Cluster) dropPending(name string) {
+	for i, p := range c.pending {
+		if p == name {
+			c.pending = append(c.pending[:i], c.pending[i+1:]...)
+			return
+		}
+	}
+}
+
+// retryPending attempts to place queued pods in FIFO order.
+func (c *Cluster) retryPending() {
+	var still []string
+	for _, name := range c.pending {
+		pod, ok := c.pods[name]
+		if !ok {
+			continue
+		}
+		placed, fit := c.place(pod.Spec)
+		if !fit {
+			still = append(still, name)
+			continue
+		}
+		c.pods[name] = placed
+	}
+	c.pending = still
+}
+
+// FailNode models a worker machine dying: the node becomes unschedulable and
+// every resident pod is evicted (boot canceled, resources released) and
+// immediately rescheduled onto the surviving nodes — queuing as Pending when
+// nothing fits. It returns the evicted pod names in sorted order.
+func (c *Cluster) FailNode(name string) ([]string, error) {
+	var target *node
+	for _, n := range c.nodes {
+		if n.spec.Name == name {
+			target = n
+			break
+		}
+	}
+	if target == nil {
+		return nil, fmt.Errorf("kube: no node %q", name)
+	}
+	if target.down {
+		return nil, fmt.Errorf("kube: node %q already down", name)
+	}
+	target.down = true
+	var evicted []string
+	for podName, pod := range c.pods {
+		if pod.Node == name && pod.Phase != PodPending {
+			evicted = append(evicted, podName)
+		}
+	}
+	sort.Strings(evicted)
+	specs := make([]PodSpec, 0, len(evicted))
+	for _, podName := range evicted {
+		pod := c.pods[podName]
+		specs = append(specs, pod.Spec)
+		c.release(pod)
+		delete(c.pods, podName)
+	}
+	for _, spec := range specs {
+		// Cannot collide: the names were just removed above.
+		_, _ = c.ScheduleOrQueue(spec)
+	}
+	return evicted, nil
+}
+
+// RecoverNode brings a failed node back as schedulable capacity and offers
+// it to the pending queue. Pods evicted by FailNode stay wherever they were
+// rescheduled; nothing migrates back.
+func (c *Cluster) RecoverNode(name string) error {
+	for _, n := range c.nodes {
+		if n.spec.Name == name {
+			if !n.down {
+				return fmt.Errorf("kube: node %q is not down", name)
+			}
+			n.down = false
+			c.retryPending()
+			return nil
+		}
+	}
+	return fmt.Errorf("kube: no node %q", name)
 }
 
 // Pod returns the named pod.

@@ -179,3 +179,152 @@ func TestPodsSortedAndLookup(t *testing.T) {
 		t.Errorf("Nodes = %v", c.Nodes())
 	}
 }
+
+func TestDeleteCancelsBoot(t *testing.T) {
+	// Regression: Delete used to leave the boot event armed, so a deleted
+	// pod's callback could fire later — and on a full cluster the stale
+	// reservation (or resurrected Running phase) broke reschedule loops.
+	s := sim.New(1)
+	c := NewCluster(s, NodeSpec{Name: "n1", CPU: 500, Memory: 1024})
+	var ready []string
+	c.OnPodReady(func(p *Pod) { ready = append(ready, p.Spec.Name) })
+
+	old, err := c.Schedule(PodSpec{Name: "r1", CPU: 500, Mem: 1024, BootTime: 90 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.RunFor(10 * time.Second)
+	if err := c.Delete("r1"); err != nil {
+		t.Fatal(err)
+	}
+	// Reschedule the same pod to the now-free (previously full) node.
+	repl, err := c.Schedule(PodSpec{Name: "r1", CPU: 500, Mem: 1024, BootTime: 90 * time.Second})
+	if err != nil {
+		t.Fatalf("reschedule to freed capacity failed: %v", err)
+	}
+	// The OLD boot (armed for t=90s) must not fire; the replacement,
+	// rescheduled at t=10s, boots at t=100s.
+	s.RunFor(95 * time.Second)
+	if old.Phase == PodRunning {
+		t.Error("deleted pod transitioned to Running")
+	}
+	if repl.Phase != PodRunning {
+		t.Errorf("replacement phase = %v, want Running", repl.Phase)
+	}
+	if len(ready) != 1 || ready[0] != "r1" {
+		t.Errorf("ready callbacks = %v, want exactly one for the replacement", ready)
+	}
+	if repl.ReadyAt != 100*time.Second {
+		t.Errorf("replacement ReadyAt = %v, want 100s", repl.ReadyAt)
+	}
+}
+
+func TestScheduleOrQueuePendingThenPlaced(t *testing.T) {
+	s := sim.New(1)
+	c := NewCluster(s, NodeSpec{Name: "n1", CPU: 1000, Memory: 2048})
+	if _, err := c.ScheduleOrQueue(PodSpec{Name: "a", CPU: 800, Mem: 512, BootTime: time.Second}); err != nil {
+		t.Fatal(err)
+	}
+	b, err := c.ScheduleOrQueue(PodSpec{Name: "b", CPU: 800, Mem: 512, BootTime: time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Phase != PodPending || b.Node != "" {
+		t.Errorf("overflow pod = %+v, want Pending/unassigned", b)
+	}
+	if c.AllRunning() {
+		t.Error("AllRunning true with a pending pod")
+	}
+	// Freeing capacity must place the queued pod.
+	if err := c.Delete("a"); err != nil {
+		t.Fatal(err)
+	}
+	b2, _ := c.Pod("b")
+	if b2.Phase != PodScheduled || b2.Node != "n1" {
+		t.Errorf("queued pod after capacity freed = %+v", b2)
+	}
+	s.RunFor(2 * time.Second)
+	if b2.Phase != PodRunning {
+		t.Error("queued pod never booted after placement")
+	}
+}
+
+func TestFailNodeEvictsAndReschedules(t *testing.T) {
+	s := sim.New(1)
+	c := NewCluster(s,
+		NodeSpec{Name: "n1", CPU: 1000, Memory: 2048},
+		NodeSpec{Name: "n2", CPU: 1000, Memory: 2048})
+	// Two pods packed on n1 (best-fit density).
+	for _, name := range []string{"a", "b"} {
+		if _, err := c.Schedule(PodSpec{Name: name, CPU: 400, Mem: 512, BootTime: time.Second}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.RunFor(2 * time.Second)
+	evicted, err := c.FailNode("n1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(evicted) != 2 || evicted[0] != "a" || evicted[1] != "b" {
+		t.Errorf("evicted = %v", evicted)
+	}
+	for _, name := range evicted {
+		p, ok := c.Pod(name)
+		if !ok {
+			t.Fatalf("pod %s vanished after eviction", name)
+		}
+		if p.Node != "n2" || p.Phase != PodScheduled {
+			t.Errorf("pod %s = %+v, want rescheduled to n2", name, p)
+		}
+	}
+	// The failed node holds no reservations and refuses placements.
+	for _, u := range c.Utilization() {
+		if u.Name == "n1" && (u.CPUUsed != 0 || u.PodCount != 0) {
+			t.Errorf("failed node still holds resources: %+v", u)
+		}
+	}
+	if _, err := c.FailNode("n1"); err == nil {
+		t.Error("double FailNode succeeded")
+	}
+	if _, err := c.FailNode("ghost"); err == nil {
+		t.Error("failing unknown node succeeded")
+	}
+	s.RunFor(2 * time.Second)
+	if !c.AllRunning() {
+		t.Error("rescheduled pods did not reboot")
+	}
+}
+
+func TestFailNodeQueuesWhenNoCapacityThenRecover(t *testing.T) {
+	s := sim.New(1)
+	c := NewCluster(s, NodeSpec{Name: "n1", CPU: 500, Memory: 1024})
+	if _, err := c.Schedule(PodSpec{Name: "a", CPU: 500, Mem: 1024, BootTime: time.Second}); err != nil {
+		t.Fatal(err)
+	}
+	s.RunFor(2 * time.Second)
+	if _, err := c.FailNode("n1"); err != nil {
+		t.Fatal(err)
+	}
+	a, _ := c.Pod("a")
+	if a.Phase != PodPending {
+		t.Errorf("pod on sole failed node = %v, want Pending", a.Phase)
+	}
+	if err := c.RecoverNode("ghost"); err == nil {
+		t.Error("recovering unknown node succeeded")
+	}
+	if err := c.RecoverNode("n1"); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.RecoverNode("n1"); err == nil {
+		t.Error("recovering an up node succeeded")
+	}
+	a, _ = c.Pod("a")
+	if a.Phase != PodScheduled || a.Node != "n1" {
+		t.Errorf("pod after node recovery = %+v", a)
+	}
+	s.RunFor(2 * time.Second)
+	a, _ = c.Pod("a")
+	if a.Phase != PodRunning {
+		t.Error("pod did not boot after node recovery")
+	}
+}

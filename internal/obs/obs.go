@@ -67,6 +67,25 @@ const (
 	// EvSpanEnd carries Value=virtual duration in ns).
 	EvSpanStart = "span_start"
 	EvSpanEnd   = "span_end"
+	// EvPodCrash: a router pod died and is being rescheduled (Device=router,
+	// Detail=kube node when the crash came from a node failure).
+	EvPodCrash = "pod_crash"
+	// EvNodeDown / EvNodeUp: a kube worker node failed (Value=evicted pods)
+	// or recovered (Device=node).
+	EvNodeDown = "node_down"
+	EvNodeUp   = "node_up"
+	// EvBGPReset: an operator-initiated session reset on a router (Device).
+	EvBGPReset = "bgp_reset"
+	// EvDegraded: convergence timed out in degraded mode and partial results
+	// were accepted (Detail=comma-joined stragglers, Value=count).
+	EvDegraded = "converge_degraded"
+	// EvFaultInject / EvFaultClear: the chaos engine injected or cleared a
+	// fault (Detail=fault description).
+	EvFaultInject = "fault_inject"
+	EvFaultClear  = "fault_clear"
+	// EvChaosVerdict: per-fault differential verification verdict
+	// (Detail=fault, Value=permanently lost flows).
+	EvChaosVerdict = "chaos_verdict"
 )
 
 // Event is one trace record. At is virtual time; the remaining fields are a

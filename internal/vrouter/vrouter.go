@@ -115,6 +115,7 @@ type Router struct {
 
 	ribDirty   *sim.Event
 	crashed    bool
+	down       bool
 	CrashCount int
 	// busyUntil is the virtual time the BGP process finishes its queued
 	// work; inbound updates are paced behind it.
@@ -492,6 +493,24 @@ func (r *Router) Stop() {
 	}
 }
 
+// Shutdown makes the router permanently inert, modelling the pod dying: all
+// protocol timers are canceled, sessions torn down, and every inbound and
+// dataplane path gated off. A shutdown router is never restarted — the
+// orchestrator builds a fresh Router when the replacement pod boots, exactly
+// as Kubernetes restarts a container from its image.
+func (r *Router) Shutdown() {
+	if r.down {
+		return
+	}
+	r.down = true
+	r.onStateChange = nil
+	r.Stop()
+	if r.ribDirty != nil {
+		r.clock.Cancel(r.ribDirty)
+		r.ribDirty = nil
+	}
+}
+
 func (r *Router) installConnected() {
 	for _, intf := range r.dev.Interfaces {
 		iface := r.ifaces[intf.Name]
@@ -648,8 +667,12 @@ func (r *Router) ensureFIB() *dataplane.FIB {
 	return r.fib
 }
 
-// ExportAFT renders the current forwarding state.
+// ExportAFT renders the current forwarding state. A shutdown router exports
+// an empty table: its forwarding plane is gone with the pod.
 func (r *Router) ExportAFT() *aft.AFT {
+	if r.down {
+		return dataplane.New(routing.NewRIB(), nil).ExportAFT(r.Name, nil)
+	}
 	var start time.Time
 	if r.obs != nil {
 		start = time.Now()
@@ -699,7 +722,7 @@ func (r *Router) DetachLink(intfName string) {
 // IS-IS PDUs are the only link-local frames; routed payloads (BGP, RSVP)
 // are delivered by the substrate via DeliverBGP/DeliverRSVP.
 func (r *Router) HandleLinkFrame(intfName string, data []byte) {
-	if r.crashed {
+	if r.Crashed() {
 		return
 	}
 	if r.ISIS != nil {
@@ -714,7 +737,7 @@ func (r *Router) HandleLinkFrame(intfName string, data []byte) {
 // an update the implementation cannot parse crashes the routing process
 // (all sessions reset), reproducing the cross-vendor outage class.
 func (r *Router) DeliverBGP(from netip.Addr, data []byte) {
-	if r.crashed {
+	if r.Crashed() {
 		return
 	}
 	// Keepalives bypass the processing queue: were they paced behind a
@@ -754,7 +777,7 @@ func (r *Router) procCost(data []byte) time.Duration {
 }
 
 func (r *Router) processBGP(from netip.Addr, data []byte) {
-	if r.crashed {
+	if r.Crashed() {
 		return
 	}
 	if r.Profile.MaxCommunities > 0 {
@@ -790,12 +813,13 @@ func (r *Router) crashRoutingProcess() {
 	r.clock.After(30*time.Second, func() { r.crashed = false })
 }
 
-// Crashed reports whether the routing process is currently down.
-func (r *Router) Crashed() bool { return r.crashed }
+// Crashed reports whether the routing process is currently down — either
+// the vendor-bug BGP process crash (auto-recovers) or a full Shutdown.
+func (r *Router) Crashed() bool { return r.crashed || r.down }
 
 // DeliverRSVP hands an RSVP message addressed to this router.
 func (r *Router) DeliverRSVP(data []byte) {
-	if r.crashed {
+	if r.Crashed() {
 		return
 	}
 	if r.MPLS != nil {
@@ -806,6 +830,9 @@ func (r *Router) DeliverRSVP(data []byte) {
 // ForwardingInterface resolves the egress interface and adjacent address a
 // packet to dst would use; ok is false for drops/unroutable.
 func (r *Router) ForwardingInterface(dst netip.Addr) (intf string, adjacent netip.Addr, ok bool) {
+	if r.down {
+		return "", netip.Addr{}, false
+	}
 	if r.OwnsAddr(dst) {
 		return "", netip.Addr{}, false // local delivery, not forwarded
 	}
@@ -832,6 +859,9 @@ func (r *Router) ForwardingInterface(dst netip.Addr) (intf string, adjacent neti
 // local ownership) for dst — the substrate's TCP-connectivity check for BGP
 // session establishment.
 func (r *Router) CanReach(dst netip.Addr) bool {
+	if r.down {
+		return false
+	}
 	if r.OwnsAddr(dst) {
 		return true
 	}

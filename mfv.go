@@ -23,6 +23,7 @@
 package mfv
 
 import (
+	"mfv/internal/chaos"
 	"mfv/internal/core"
 	"mfv/internal/kne"
 	"mfv/internal/obs"
@@ -209,6 +210,14 @@ const (
 	EvAFTExport     = obs.EvAFTExport
 	EvSpanStart     = obs.EvSpanStart
 	EvSpanEnd       = obs.EvSpanEnd
+	EvPodCrash      = obs.EvPodCrash
+	EvNodeDown      = obs.EvNodeDown
+	EvNodeUp        = obs.EvNodeUp
+	EvBGPReset      = obs.EvBGPReset
+	EvDegraded      = obs.EvDegraded
+	EvFaultInject   = obs.EvFaultInject
+	EvFaultClear    = obs.EvFaultClear
+	EvChaosVerdict  = obs.EvChaosVerdict
 )
 
 // NewObserver returns an observer collecting the full trace, metrics, and
@@ -218,3 +227,30 @@ func NewObserver() *Observer { return obs.New() }
 // NewMetricsObserver returns an observer recording metrics and phases but
 // discarding trace events — the right sink for large runs.
 func NewMetricsObserver() *Observer { return obs.NewMetricsOnly() }
+
+// Chaos engineering: deterministic fault injection with differential
+// verification after every fault (set Options.Chaos, or drive the engine
+// directly against Result.Emulator).
+type (
+	// ChaosScenario is a named, seeded fault timeline (JSON-serializable).
+	ChaosScenario = chaos.Scenario
+	// ChaosFault is one timed fault: link cut/flap/degrade, pod crash,
+	// kube-node failure, or BGP session reset.
+	ChaosFault = chaos.Fault
+	// ChaosReport is the executed timeline with per-fault verdicts.
+	ChaosReport = chaos.Report
+	// ChaosVerdict scores one fault: flows lost, recovered, and the
+	// reconvergence time on the virtual clock.
+	ChaosVerdict = chaos.Verdict
+	// Convergence is the outcome of a degraded or post-fault settle wait.
+	Convergence = kne.Convergence
+)
+
+// ParseChaosScenario decodes and validates a scenario JSON file.
+func ParseChaosScenario(data []byte) (*ChaosScenario, error) { return chaos.Parse(data) }
+
+// ChaosBuiltin returns the named built-in scenario (a private copy).
+func ChaosBuiltin(name string) (*ChaosScenario, bool) { return chaos.Builtin(name) }
+
+// ChaosBuiltins lists the built-in scenarios, sorted by name.
+func ChaosBuiltins() []*ChaosScenario { return chaos.Builtins() }

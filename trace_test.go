@@ -93,6 +93,47 @@ func TestMetricsPopulated(t *testing.T) {
 	}
 }
 
+// TestChaosTraceDeterminism extends the trace-determinism contract to fault
+// injection: two same-seed runs of the same chaos scenario must serialize
+// byte-identical traces, and the trace must carry the fault-lifecycle event
+// families.
+func TestChaosTraceDeterminism(t *testing.T) {
+	chaosRun := func() (*Observer, []byte) {
+		t.Helper()
+		sc, ok := ChaosBuiltin("crash-reboot")
+		if !ok {
+			t.Fatal("no crash-reboot builtin")
+		}
+		o := NewObserver()
+		res, err := Run(Snapshot{Topology: Fig2()}, Options{Obs: o, Chaos: sc})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Chaos == nil || !res.Chaos.Recovered {
+			t.Fatalf("chaos run did not recover: %v", res.Chaos)
+		}
+		var buf bytes.Buffer
+		if err := o.WriteJSONL(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return o, buf.Bytes()
+	}
+	oa, a := chaosRun()
+	_, b := chaosRun()
+	if !bytes.Equal(a, b) {
+		t.Fatalf("same-seed chaos traces differ:\nlen(a)=%d len(b)=%d", len(a), len(b))
+	}
+	counts := map[string]int{}
+	for _, ev := range oa.Events() {
+		counts[ev.Type]++
+	}
+	for _, want := range []string{EvFaultInject, EvFaultClear, EvPodCrash, EvChaosVerdict} {
+		if counts[want] == 0 {
+			t.Errorf("no %s events in chaos trace", want)
+		}
+	}
+}
+
 // TestModelBackendPhases: the model baseline records parse and verify phases
 // with zero virtual time (no simulation clock).
 func TestModelBackendPhases(t *testing.T) {

@@ -15,7 +15,9 @@
 //
 // The run command also takes -chaos NAME|FILE to inject a deterministic
 // fault scenario after convergence and -degraded to accept partial
-// convergence on timeout.
+// convergence on timeout. Every command takes -workers N to size the
+// verification worker pool (default NumCPU; results are byte-identical at
+// any worker count).
 //
 // Exit codes: 0 success, 1 operational error, 2 usage error, 3 verification
 // violation (unreachable flows, differential changes, loops, critical links).
@@ -113,6 +115,8 @@ robustness flags (run): -chaos NAME|FILE (inject a fault scenario after
 observability flags (run): -trace FILE (JSONL event trace, virtual time),
   -metrics (phase timings + metrics registry), -timeline (per-router
   convergence report)
+performance flags: -workers N (verification worker-pool size, default
+  NumCPU; query results are byte-identical at any worker count)
 exit codes: 0 ok, 1 operational error, 2 usage, 3 verification violation`)
 }
 
@@ -134,6 +138,7 @@ type runFlags struct {
 	timeline bool
 	chaos    string
 	degraded bool
+	workers  int
 
 	obs *mfv.Observer
 }
@@ -154,6 +159,7 @@ func newFlags(name string) *runFlags {
 	f.fs.BoolVar(&f.timeline, "timeline", false, "print the per-router convergence timeline")
 	f.fs.StringVar(&f.chaos, "chaos", "", "fault scenario: builtin name or JSON file (run)")
 	f.fs.BoolVar(&f.degraded, "degraded", false, "accept partial convergence on timeout, report stragglers")
+	f.fs.IntVar(&f.workers, "workers", 0, "verification worker-pool size (0 = NumCPU; results identical at any setting)")
 	return f
 }
 
@@ -237,7 +243,7 @@ func (f *runFlags) loadTopo(path string) (*mfv.Topology, error) {
 }
 
 func (f *runFlags) options() (mfv.Options, error) {
-	opts := mfv.Options{UseGNMI: f.gnmi, Obs: f.observer(), Degraded: f.degraded}
+	opts := mfv.Options{UseGNMI: f.gnmi, Obs: f.observer(), Degraded: f.degraded, Workers: f.workers}
 	if f.backend == "model" {
 		opts.Backend = mfv.BackendModel
 	}
@@ -365,6 +371,11 @@ func cmdDiff(args []string) error {
 		return err
 	}
 	diffs := mfv.DifferentialReachability(before, after)
+	// Both runs share one observer, so the report covers the pipelines and
+	// the differential query (including the batch engine's memo counters).
+	if err := f.report(after); err != nil {
+		return err
+	}
 	if len(diffs) == 0 {
 		fmt.Println("no forwarding differences")
 		return nil

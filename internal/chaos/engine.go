@@ -15,9 +15,10 @@ import (
 // Engine executes scenarios against a running emulation. The emulator must
 // already be started and converged; Execute advances virtual time itself.
 type Engine struct {
-	em   *kne.Emulator
-	topo *topology.Topology
-	obs  *obs.Observer
+	em      *kne.Emulator
+	topo    *topology.Topology
+	obs     *obs.Observer
+	workers int
 
 	hold, timeout time.Duration
 }
@@ -25,6 +26,13 @@ type Engine struct {
 // NewEngine builds an engine over an emulator. The observer may be nil.
 func NewEngine(em *kne.Emulator, topo *topology.Topology, o *obs.Observer) *Engine {
 	return &Engine{em: em, topo: topo, obs: o}
+}
+
+// WithWorkers sizes the worker pool the per-fault differential queries run
+// on (0 = GOMAXPROCS) and returns the engine for chaining.
+func (en *Engine) WithWorkers(w int) *Engine {
+	en.workers = w
+	return en
 }
 
 // snap is one dataplane snapshot: the reachability network plus the total
@@ -40,6 +48,8 @@ func (en *Engine) snapshot() (snap, error) {
 	if err != nil {
 		return snap{}, err
 	}
+	n.SetObserver(en.obs)
+	n.SetWorkers(en.workers)
 	total := 0
 	for _, a := range afts {
 		total += len(a.IPv4Entries)

@@ -103,6 +103,11 @@ type Options struct {
 	// expires, the run proceeds with partial AFTs and the straggler
 	// devices recorded in Result.DegradedRouters instead of failing.
 	Degraded bool
+	// Workers sizes the worker pool the batch verification queries
+	// (differential, all-pairs, loop and black-hole sweeps) shard flows
+	// across. Zero selects runtime.GOMAXPROCS; one forces sequential
+	// evaluation. Output is byte-identical at any setting.
+	Workers int
 }
 
 func (o *Options) fill() {
@@ -185,6 +190,7 @@ func runModel(snap Snapshot, opts Options) (*Result, error) {
 		return nil, err
 	}
 	network.SetObserver(opts.Obs)
+	network.SetWorkers(opts.Workers)
 	return &Result{
 		Backend:  BackendModel,
 		AFTs:     res.AFTs,
@@ -243,7 +249,7 @@ func runEmulation(snap Snapshot, opts Options) (*Result, error) {
 	var chaosRep *chaos.Report
 	if opts.Chaos != nil {
 		sp = opts.Obs.StartPhase("chaos")
-		chaosRep, err = chaos.NewEngine(em, snap.Topology, opts.Obs).Execute(opts.Chaos)
+		chaosRep, err = chaos.NewEngine(em, snap.Topology, opts.Obs).WithWorkers(opts.Workers).Execute(opts.Chaos)
 		sp.End()
 		if err != nil {
 			return nil, err
@@ -267,6 +273,7 @@ func runEmulation(snap Snapshot, opts Options) (*Result, error) {
 		return nil, err
 	}
 	network.SetObserver(opts.Obs)
+	network.SetWorkers(opts.Workers)
 	if opts.Obs != nil {
 		// Populate ec_count (and the traces counter baseline) eagerly so a
 		// metrics dump right after Run already shows the EC population.

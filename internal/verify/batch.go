@@ -1,0 +1,418 @@
+package verify
+
+import (
+	"net/netip"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"mfv/internal/topology"
+)
+
+// This file is the parallel batch-query engine. The exhaustive queries
+// (AllPairs, Differential, DetectLoops, DetectBlackHoles) all reduce to the
+// same shape — evaluate every (source, equivalence-class) flow over an
+// immutable Network — so they share one worker pool that shards flows by
+// destination class and one per-device memoization layer that computes
+// shared path suffixes once instead of once per source.
+//
+// Determinism contract: results are merged by stable flow key, so output is
+// byte-identical regardless of worker count. Outcome fragments are exact
+// (the solver never truncates), whereas path enumeration via Trace caps at
+// maxBranches and flags Trace.Truncated; the two agree whenever no trace is
+// truncated, which the memoization quickcheck asserts on random networks.
+
+// Queries configures the batch engine. The zero value runs with
+// runtime.GOMAXPROCS(0) workers.
+type Queries struct {
+	// Workers is the worker-pool size; values <= 0 select GOMAXPROCS.
+	Workers int
+}
+
+func (q Queries) workers() int {
+	if q.Workers > 0 {
+		return q.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// run evaluates fn(i) for i in [0, n) across the pool. Each index owns its
+// result slot, so scheduling order never affects output.
+func (q Queries) run(n int, fn func(int)) {
+	w := q.workers()
+	if w > n {
+		w = n
+	}
+	if w <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(w)
+	for g := 0; g < w; g++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// outcomeSet is the canonical forwarding outcome of one (device, class)
+// flow: the sorted set of "Disposition@final" fragments, matching
+// Trace.Outcome exactly.
+type outcomeSet struct {
+	canon string
+	frags []string
+}
+
+// has reports whether any fragment carries the given disposition prefix
+// (e.g. "Loop@", "Delivered@").
+func (o outcomeSet) has(prefix string) bool {
+	for _, f := range o.frags {
+		if strings.HasPrefix(f, prefix) {
+			return true
+		}
+	}
+	return false
+}
+
+// dstOutcomes maps every device to its outcome for one destination class.
+type dstOutcomes map[string]outcomeSet
+
+// outcome returns the canonical outcome for src, falling back to the
+// NoRoute self-outcome Trace produces for devices without forwarding state.
+func (m dstOutcomes) outcome(src string) string {
+	if o, ok := m[src]; ok && o.canon != "" {
+		return o.canon
+	}
+	return NoRoute.String() + "@" + src
+}
+
+// outcomesFor returns (computing and memoizing on first use) the per-device
+// outcomes for one destination class. The cache lives on the Network, so
+// repeated queries against the same immutable snapshot — the chaos engine's
+// per-fault differentials, a Differential after a DetectLoops — pay once.
+func (n *Network) outcomesFor(dst netip.Addr) dstOutcomes {
+	n.memoMu.Lock()
+	if m, ok := n.memo[dst]; ok {
+		n.memoMu.Unlock()
+		n.cMemoHits.Inc()
+		return m
+	}
+	n.memoMu.Unlock()
+
+	var m dstOutcomes
+	if len(n.devices) >= maxPathHops {
+		// Simple paths can reach the walk's depth cap: defer to the exact
+		// legacy enumeration per device so depth truncation semantics match.
+		m = n.outcomesByTrace(dst)
+	} else {
+		m = n.solveOutcomes(dst)
+	}
+
+	n.memoMu.Lock()
+	if prior, ok := n.memo[dst]; ok {
+		m = prior // a concurrent query computed it first; keep one copy
+	} else {
+		if n.memo == nil {
+			n.memo = map[netip.Addr]dstOutcomes{}
+		}
+		n.memo[dst] = m
+	}
+	n.memoMu.Unlock()
+	return m
+}
+
+// outcomesByTrace is the fallback for very deep networks: one full
+// enumeration per device, no suffix sharing.
+func (n *Network) outcomesByTrace(dst netip.Addr) dstOutcomes {
+	out := make(dstOutcomes, len(n.devices))
+	for name := range n.devices {
+		t := n.Trace(name, dst)
+		set := map[string]bool{}
+		for _, p := range t.Paths {
+			set[p.Disposition.String()+"@"+p.Final] = true
+		}
+		frags := make([]string, 0, len(set))
+		for f := range set {
+			frags = append(frags, f)
+		}
+		sort.Strings(frags)
+		out[name] = outcomeSet{canon: strings.Join(frags, ","), frags: frags}
+		n.cMemoMisses.Inc()
+	}
+	return out
+}
+
+// solver computes outcome fragments for every device toward one destination
+// with per-device memoization. A device's fragment set is cached only when
+// its exploration saw no back edge ("clean"): such a set is the closure of
+// an acyclic region, so no future entry path can intersect it and the set
+// is context-free. Loop fragments are labeled with the first revisited
+// device, which depends on the entry point, so loopy regions are recomputed
+// per source — exactly matching the sequential walk's semantics.
+type solver struct {
+	n            *Network
+	dst          netip.Addr
+	frag         map[string][]string // device -> cached clean fragments
+	stack        map[string]bool     // devices on the current DFS path
+	hits, misses uint64
+}
+
+// visit returns the fragment set reachable from d and whether the
+// exploration was clean (saw no back edge anywhere in the subtree).
+func (s *solver) visit(d *device) ([]string, bool) {
+	if f, ok := s.frag[d.name]; ok {
+		s.hits++
+		return f, true
+	}
+	if s.stack[d.name] {
+		return []string{Loop.String() + "@" + d.name}, false
+	}
+	s.misses++
+	_, entry, ok := d.fib.Lookup(s.dst)
+	if !ok {
+		f := []string{NoRoute.String() + "@" + d.name}
+		s.frag[d.name] = f
+		return f, true
+	}
+	s.stack[d.name] = true
+	clean := true
+	var acc []string
+	for _, h := range entry.hops {
+		switch {
+		case h.Receive:
+			acc = append(acc, Delivered.String()+"@"+d.name)
+		case h.Drop:
+			acc = append(acc, Dropped.String()+"@"+d.name)
+		default:
+			peer, wired := s.n.peerOf[topology.Endpoint{Node: d.name, Interface: h.Interface}]
+			if !wired {
+				acc = append(acc, ExitsNetwork.String()+"@"+d.name)
+				continue
+			}
+			next, ok := s.n.devices[peer.Node]
+			if !ok {
+				acc = append(acc, ExitsNetwork.String()+"@"+d.name)
+				continue
+			}
+			sub, subClean := s.visit(next)
+			acc = append(acc, sub...)
+			clean = clean && subClean
+		}
+	}
+	delete(s.stack, d.name)
+	acc = sortDedupe(acc)
+	if clean {
+		s.frag[d.name] = acc
+	}
+	return acc, clean
+}
+
+// solveOutcomes runs the memoized solver from every device toward dst.
+func (n *Network) solveOutcomes(dst netip.Addr) dstOutcomes {
+	s := &solver{n: n, dst: dst, frag: map[string][]string{}, stack: map[string]bool{}}
+	roots := make(map[string][]string, len(n.devices))
+	for name, d := range n.devices {
+		f, _ := s.visit(d)
+		roots[name] = f
+	}
+	out := make(dstOutcomes, len(roots))
+	for name, frags := range roots {
+		out[name] = outcomeSet{canon: strings.Join(frags, ","), frags: frags}
+	}
+	n.cMemoHits.Add(s.hits)
+	n.cMemoMisses.Add(s.misses)
+	return out
+}
+
+func sortDedupe(in []string) []string {
+	if len(in) < 2 {
+		return in
+	}
+	sort.Strings(in)
+	out := in[:1]
+	for _, v := range in[1:] {
+		if v != out[len(out)-1] {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// unionAddrs merges sorted address slices into one sorted, deduplicated
+// slice.
+func unionAddrs(a, b []netip.Addr) []netip.Addr {
+	out := make([]netip.Addr, 0, len(a)+len(b))
+	out = append(out, a...)
+	out = append(out, b...)
+	sort.Slice(out, func(i, j int) bool { return out[i].Less(out[j]) })
+	dedup := out[:0]
+	for i, v := range out {
+		if i == 0 || v != dedup[len(dedup)-1] {
+			dedup = append(dedup, v)
+		}
+	}
+	return dedup
+}
+
+func unionStrings(a, b []string) []string {
+	out := append(append([]string{}, a...), b...)
+	return sortDedupe(out)
+}
+
+// Differential runs the differential-reachability query over the pool:
+// flows are sharded by destination class, each class evaluates every source
+// against both snapshots' memoized outcomes, and the merged result is
+// sorted by (source, class) — the exact order the sequential implementation
+// produced.
+func (q Queries) Differential(before, after *Network) []Diff {
+	defer before.observeWall("differential", time.Now())
+	before.cQueries.Inc()
+	classes := unionAddrs(before.EquivalenceClasses(), after.EquivalenceClasses())
+	sources := unionStrings(before.Devices(), after.Devices())
+
+	results := make([][]Diff, len(classes))
+	q.run(len(classes), func(i int) {
+		rep := classes[i]
+		ob := before.outcomesFor(rep)
+		oa := after.outcomesFor(rep)
+		var ds []Diff
+		for _, src := range sources {
+			a, b := ob.outcome(src), oa.outcome(src)
+			if a != b {
+				ds = append(ds, Diff{Src: src, Dst: rep, Before: a, After: b})
+			}
+		}
+		before.cFlows.Add(uint64(len(sources)))
+		results[i] = ds
+	})
+
+	var out []Diff
+	for _, ds := range results {
+		out = append(out, ds...)
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].Src != out[j].Src {
+			return out[i].Src < out[j].Src
+		}
+		return out[i].Dst.Less(out[j].Dst)
+	})
+	return out
+}
+
+// AllPairs computes the reachability matrix over the pool, sharded by
+// destination address.
+func (q Queries) AllPairs(n *Network) ReachMatrix {
+	defer n.observeWall("allpairs", time.Now())
+	n.cQueries.Inc()
+	m := ReachMatrix{
+		Sources: n.Devices(),
+		Dsts:    n.OwnedAddrs(),
+		Reach:   map[string]map[netip.Addr]bool{},
+	}
+	cols := make([][]bool, len(m.Dsts))
+	q.run(len(m.Dsts), func(i int) {
+		oc := n.outcomesFor(m.Dsts[i])
+		col := make([]bool, len(m.Sources))
+		for j, src := range m.Sources {
+			if o, ok := oc[src]; ok {
+				col[j] = o.has("Delivered@")
+			}
+		}
+		cols[i] = col
+		n.cFlows.Add(uint64(len(m.Sources)))
+	})
+	for j, src := range m.Sources {
+		row := make(map[netip.Addr]bool, len(m.Dsts))
+		for i, dst := range m.Dsts {
+			row[dst] = cols[i][j]
+		}
+		m.Reach[src] = row
+	}
+	return m
+}
+
+// DetectLoops checks every (source, class) flow over the pool. Classes whose
+// memoized outcome carries a Loop fragment are re-traced with the exact
+// path walk, so the reported paths (and truncation behavior) match the
+// sequential implementation branch for branch.
+func (q Queries) DetectLoops(n *Network) []LoopReport {
+	defer n.observeWall("loops", time.Now())
+	n.cQueries.Inc()
+	classes := n.EquivalenceClasses()
+	sources := n.Devices()
+	results := make([][]LoopReport, len(classes))
+	q.run(len(classes), func(i int) {
+		rep := classes[i]
+		oc := n.outcomesFor(rep)
+		n.cFlows.Add(uint64(len(sources)))
+		var reports []LoopReport
+		for _, src := range sources {
+			if o, ok := oc[src]; !ok || !o.has("Loop@") {
+				continue
+			}
+			t := n.Trace(src, rep)
+			for _, p := range t.Paths {
+				if p.Disposition == Loop {
+					reports = append(reports, LoopReport{Dst: rep, Src: src, Path: p})
+					break
+				}
+			}
+		}
+		results[i] = reports
+	})
+	var out []LoopReport
+	for _, r := range results {
+		out = append(out, r...)
+	}
+	return out
+}
+
+// DetectBlackHoles checks every (source, class) flow over the pool,
+// re-tracing flagged flows so the reported disposition is the first one the
+// sequential walk would have encountered.
+func (q Queries) DetectBlackHoles(n *Network) []BlackHole {
+	defer n.observeWall("blackholes", time.Now())
+	n.cQueries.Inc()
+	classes := n.EquivalenceClasses()
+	sources := n.Devices()
+	results := make([][]BlackHole, len(classes))
+	q.run(len(classes), func(i int) {
+		rep := classes[i]
+		oc := n.outcomesFor(rep)
+		n.cFlows.Add(uint64(len(sources)))
+		var holes []BlackHole
+		for _, src := range sources {
+			if o, ok := oc[src]; !ok || (!o.has("Dropped@") && !o.has("NoRoute@")) {
+				continue
+			}
+			t := n.Trace(src, rep)
+			for _, p := range t.Paths {
+				if p.Disposition == Dropped || p.Disposition == NoRoute {
+					holes = append(holes, BlackHole{Dst: rep, Src: src, Disposition: p.Disposition})
+					break
+				}
+			}
+		}
+		results[i] = holes
+	})
+	var out []BlackHole
+	for _, h := range results {
+		out = append(out, h...)
+	}
+	return out
+}

@@ -127,6 +127,56 @@ func TestQuickDifferentialReflexive(t *testing.T) {
 	}
 }
 
+// Property: Differential output is byte-identical for workers = 1, 2, 8 on
+// random networks — parallelism must never change what a query returns.
+func TestQuickDifferentialDeterministicAcrossWorkers(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		_, before, err := buildRandom(r, 3+r.Intn(4), 1+r.Intn(15))
+		if err != nil {
+			return false
+		}
+		_, after, err := buildRandom(r, 3+r.Intn(4), 1+r.Intn(15))
+		if err != nil {
+			return false
+		}
+		ref := fmt.Sprintf("%+v", Queries{Workers: 1}.Differential(before, after))
+		for _, w := range []int{2, 8} {
+			if fmt.Sprintf("%+v", Queries{Workers: w}.Differential(before, after)) != ref {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20, Rand: rand.New(rand.NewSource(47))}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: the memoized per-device solver agrees with the unmemoized Trace
+// walk for every (source, class-representative) flow on random networks.
+func TestQuickMemoizationMatchesTrace(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		_, net, err := buildRandom(r, 3+r.Intn(4), 1+r.Intn(15))
+		if err != nil {
+			return false
+		}
+		for _, rep := range net.EquivalenceClasses() {
+			oc := net.outcomesFor(rep)
+			for _, src := range net.Devices() {
+				if oc.outcome(src) != net.Trace(src, rep).Outcome() {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20, Rand: rand.New(rand.NewSource(53))}); err != nil {
+		t.Error(err)
+	}
+}
+
 // Property: utilization conservation — for a single demand, load on any
 // link never exceeds the offered rate, and delivered + lost == 1.
 func TestQuickUtilizationConservation(t *testing.T) {

@@ -13,6 +13,8 @@ import (
 	"net/netip"
 	"sort"
 	"strings"
+	"sync"
+	"time"
 
 	"mfv/internal/aft"
 	"mfv/internal/obs"
@@ -91,6 +93,11 @@ type Trace struct {
 	Src   string
 	Dst   netip.Addr
 	Paths []Path
+	// Truncated reports that the ECMP branch enumeration hit maxBranches
+	// and further paths were discarded: the Paths list (and any Outcome
+	// derived from it) may be incomplete. Capped explosions also count into
+	// the verify_trace_truncated_total metric.
+	Truncated bool
 }
 
 // Delivered reports whether any branch delivers.
@@ -146,16 +153,70 @@ type Network struct {
 	// (used for all-pairs matrices).
 	owners map[netip.Addr]string
 
+	// workers is the default batch-query pool size (0 = GOMAXPROCS); the
+	// convenience query methods wrap it in a Queries value.
+	workers int
+
+	// Equivalence classes are a pure function of the immutable FIBs, so
+	// they are computed once per snapshot and cached.
+	ecOnce sync.Once
+	ecs    []netip.Addr
+
+	// memo caches per-class outcome maps (see batch.go).
+	memoMu sync.Mutex
+	memo   map[netip.Addr]dstOutcomes
+
 	// Observability handles (nil = no-op).
-	cTraces *obs.Counter
-	gECs    *obs.Gauge
+	cTraces     *obs.Counter
+	cQueries    *obs.Counter
+	cFlows      *obs.Counter
+	cMemoHits   *obs.Counter
+	cMemoMisses *obs.Counter
+	cTruncated  *obs.Counter
+	gECs        *obs.Gauge
+	wallHist    map[string]*obs.Histogram
 }
 
 // SetObserver enables verification metrics: verify_traces_total counts
-// forwarding walks and ec_count records the equivalence-class population.
+// forwarding walks, ec_count records the equivalence-class population,
+// verify_queries_total / verify_flows_total count batch queries and the
+// (source, class) flows they evaluate, verify_memo_{hits,misses}_total
+// expose the memoization hit rate, verify_trace_truncated_total counts
+// capped ECMP enumerations, and verify_wall_ns.<query> histograms record
+// per-query wall time.
 func (n *Network) SetObserver(o *obs.Observer) {
 	n.cTraces = o.Counter("verify_traces_total")
+	n.cQueries = o.Counter("verify_queries_total")
+	n.cFlows = o.Counter("verify_flows_total")
+	n.cMemoHits = o.Counter("verify_memo_hits_total")
+	n.cMemoMisses = o.Counter("verify_memo_misses_total")
+	n.cTruncated = o.Counter("verify_trace_truncated_total")
 	n.gECs = o.Gauge("ec_count")
+	if o != nil {
+		n.wallHist = map[string]*obs.Histogram{
+			"differential": o.Histogram("verify_wall_ns.differential"),
+			"allpairs":     o.Histogram("verify_wall_ns.allpairs"),
+			"loops":        o.Histogram("verify_wall_ns.loops"),
+			"blackholes":   o.Histogram("verify_wall_ns.blackholes"),
+		}
+	}
+}
+
+// SetWorkers fixes the worker-pool size used by this network's batch
+// queries (AllPairs, DetectLoops, DetectBlackHoles, and Differential runs
+// it participates in). Zero or negative selects GOMAXPROCS.
+func (n *Network) SetWorkers(w int) {
+	if w < 0 {
+		w = 0
+	}
+	n.workers = w
+}
+
+// observeWall records one batch query's wall time (no-op when unobserved).
+func (n *Network) observeWall(kind string, start time.Time) {
+	if h := n.wallHist[kind]; h != nil {
+		h.Observe(time.Since(start).Nanoseconds())
+	}
 }
 
 // NewNetwork indexes AFTs for verification. Unknown devices in afts (not in
@@ -233,19 +294,23 @@ func (n *Network) Trace(src string, dst netip.Addr) Trace {
 		return t
 	}
 	visited := map[string]bool{}
-	n.walk(d, dst, nil, visited, &t.Paths)
+	n.walk(d, dst, nil, visited, &t)
 	if len(t.Paths) == 0 {
 		t.Paths = []Path{{Disposition: NoRoute, Final: src}}
+	}
+	if t.Truncated {
+		n.cTruncated.Inc()
 	}
 	return t
 }
 
-func (n *Network) walk(d *device, dst netip.Addr, hops []Hop, visited map[string]bool, out *[]Path) {
-	if len(*out) >= maxBranches {
+func (n *Network) walk(d *device, dst netip.Addr, hops []Hop, visited map[string]bool, t *Trace) {
+	if len(t.Paths) >= maxBranches {
+		t.Truncated = true
 		return
 	}
 	if visited[d.name] || len(hops) >= maxPathHops {
-		*out = append(*out, Path{Hops: hops, Disposition: Loop, Final: d.name})
+		t.Paths = append(t.Paths, Path{Hops: hops, Disposition: Loop, Final: d.name})
 		return
 	}
 	visited[d.name] = true
@@ -253,11 +318,12 @@ func (n *Network) walk(d *device, dst netip.Addr, hops []Hop, visited map[string
 
 	_, entry, ok := d.fib.Lookup(dst)
 	if !ok {
-		*out = append(*out, Path{Hops: hops, Disposition: NoRoute, Final: d.name})
+		t.Paths = append(t.Paths, Path{Hops: hops, Disposition: NoRoute, Final: d.name})
 		return
 	}
 	for _, h := range entry.hops {
-		if len(*out) >= maxBranches {
+		if len(t.Paths) >= maxBranches {
+			t.Truncated = true
 			return
 		}
 		step := Hop{Device: d.name, Matched: entry.prefix, Egress: h.Interface}
@@ -266,24 +332,24 @@ func (n *Network) walk(d *device, dst netip.Addr, hops []Hop, visited map[string
 		case h.Receive:
 			step.Egress = ""
 			branch[len(branch)-1] = step
-			*out = append(*out, Path{Hops: branch, Disposition: Delivered, Final: d.name})
+			t.Paths = append(t.Paths, Path{Hops: branch, Disposition: Delivered, Final: d.name})
 		case h.Drop:
 			step.Egress = ""
 			branch[len(branch)-1] = step
-			*out = append(*out, Path{Hops: branch, Disposition: Dropped, Final: d.name})
+			t.Paths = append(t.Paths, Path{Hops: branch, Disposition: Dropped, Final: d.name})
 		default:
 			ep := topology.Endpoint{Node: d.name, Interface: h.Interface}
 			peer, wired := n.peerOf[ep]
 			if !wired {
-				*out = append(*out, Path{Hops: branch, Disposition: ExitsNetwork, Final: d.name})
+				t.Paths = append(t.Paths, Path{Hops: branch, Disposition: ExitsNetwork, Final: d.name})
 				continue
 			}
 			next, ok := n.devices[peer.Node]
 			if !ok {
-				*out = append(*out, Path{Hops: branch, Disposition: ExitsNetwork, Final: d.name})
+				t.Paths = append(t.Paths, Path{Hops: branch, Disposition: ExitsNetwork, Final: d.name})
 				continue
 			}
-			n.walk(next, dst, branch, visited, out)
+			n.walk(next, dst, branch, visited, t)
 		}
 	}
 }
@@ -298,30 +364,44 @@ func (n *Network) Reachable(src string, dst netip.Addr) bool {
 // per class. Two addresses in the same class are forwarded identically by
 // every device, so checking representatives is exhaustive over the whole
 // IPv4 space.
+//
+// The classes are a pure function of the immutable snapshot, so they are
+// computed once — by merging the sorted prefix interval boundaries, not by
+// rebuilding a boundary map — and cached on the Network. Callers must not
+// mutate the returned slice.
 func (n *Network) EquivalenceClasses() []netip.Addr {
-	// Boundary set: start of each prefix and successor of each prefix end.
-	bounds := map[uint32]bool{0: true}
-	add := func(p netip.Prefix) {
-		start := addrU32(p.Addr())
-		bounds[start] = true
-		size := uint64(1) << (32 - p.Bits())
-		end := uint64(start) + size
-		if end <= 1<<32-1 {
-			bounds[uint32(end)] = true
-		}
-	}
+	n.ecOnce.Do(func() { n.ecs = n.computeClasses() })
+	n.gECs.Set(int64(len(n.ecs)))
+	return n.ecs
+}
+
+// computeClasses merges every FIB prefix's [start, end) interval boundary
+// into one sorted, deduplicated cut list: each prefix contributes its start
+// and its end's successor, and every cut starts one equivalence class.
+func (n *Network) computeClasses() []netip.Addr {
+	bounds := make([]uint32, 0, 64)
+	bounds = append(bounds, 0)
 	for _, d := range n.devices {
 		d.fib.Walk(func(p netip.Prefix, _ *fibEntry) bool {
-			add(p)
+			start := addrU32(p.Addr())
+			bounds = append(bounds, start)
+			size := uint64(1) << (32 - p.Bits())
+			if end := uint64(start) + size; end <= 1<<32-1 {
+				bounds = append(bounds, uint32(end))
+			}
 			return true
 		})
 	}
+	sort.Slice(bounds, func(i, j int) bool { return bounds[i] < bounds[j] })
 	out := make([]netip.Addr, 0, len(bounds))
-	for b := range bounds {
+	var last uint32
+	for i, b := range bounds {
+		if i > 0 && b == last {
+			continue
+		}
 		out = append(out, u32Addr(b))
+		last = b
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].Less(out[j]) })
-	n.gECs.Set(int64(len(out)))
 	return out
 }
 
@@ -344,21 +424,9 @@ type LoopReport struct {
 }
 
 // DetectLoops exhaustively checks every equivalence class from every device
-// for forwarding loops.
+// for forwarding loops, in parallel over the network's worker pool.
 func (n *Network) DetectLoops() []LoopReport {
-	var out []LoopReport
-	for _, rep := range n.EquivalenceClasses() {
-		for _, src := range n.Devices() {
-			t := n.Trace(src, rep)
-			for _, p := range t.Paths {
-				if p.Disposition == Loop {
-					out = append(out, LoopReport{Dst: rep, Src: src, Path: p})
-					break
-				}
-			}
-		}
-	}
-	return out
+	return Queries{Workers: n.workers}.DetectLoops(n)
 }
 
 // BlackHole is a destination class dropped (explicitly or by missing route)
@@ -370,21 +438,9 @@ type BlackHole struct {
 }
 
 // DetectBlackHoles reports classes that neither deliver nor exit from some
-// source.
+// source, in parallel over the network's worker pool.
 func (n *Network) DetectBlackHoles() []BlackHole {
-	var out []BlackHole
-	for _, rep := range n.EquivalenceClasses() {
-		for _, src := range n.Devices() {
-			t := n.Trace(src, rep)
-			for _, p := range t.Paths {
-				if p.Disposition == Dropped || p.Disposition == NoRoute {
-					out = append(out, BlackHole{Dst: rep, Src: src, Disposition: p.Disposition})
-					break
-				}
-			}
-		}
-	}
-	return out
+	return Queries{Workers: n.workers}.DetectBlackHoles(n)
 }
 
 // ReachMatrix is the all-pairs reachability over owned (loopback and
@@ -395,21 +451,10 @@ type ReachMatrix struct {
 	Reach   map[string]map[netip.Addr]bool
 }
 
-// AllPairs computes the full reachability matrix over owned addresses.
+// AllPairs computes the full reachability matrix over owned addresses, in
+// parallel over the network's worker pool.
 func (n *Network) AllPairs() ReachMatrix {
-	m := ReachMatrix{
-		Sources: n.Devices(),
-		Dsts:    n.OwnedAddrs(),
-		Reach:   map[string]map[netip.Addr]bool{},
-	}
-	for _, src := range m.Sources {
-		row := map[netip.Addr]bool{}
-		for _, dst := range m.Dsts {
-			row[dst] = n.Reachable(src, dst)
-		}
-		m.Reach[src] = row
-	}
-	return m
+	return Queries{Workers: n.workers}.AllPairs(n)
 }
 
 // FullMesh reports whether every device reaches every owned address.
@@ -440,48 +485,18 @@ func (d Diff) String() string {
 }
 
 // Differential runs the differential reachability question between two
-// snapshots: it traces every equivalence class of either network from every
-// device and reports flows whose outcome changed. This is the query the
-// paper uses to validate the pipeline (experiment E1) and to compare
-// model-based against model-free dataplanes (experiment E3).
+// snapshots: it evaluates every equivalence class of either network from
+// every device and reports flows whose outcome changed. This is the query
+// the paper uses to validate the pipeline (experiment E1) and to compare
+// model-based against model-free dataplanes (experiment E3). It runs on the
+// batch engine: flows are sharded across a worker pool (sized by whichever
+// snapshot has SetWorkers configured) and per-device outcomes are memoized
+// on each network, while the merged output stays byte-identical to the
+// sequential evaluation order regardless of worker count.
 func Differential(before, after *Network) []Diff {
-	// Union of equivalence classes so classes that exist in only one
-	// snapshot are still compared.
-	classSet := map[netip.Addr]bool{}
-	for _, rep := range before.EquivalenceClasses() {
-		classSet[rep] = true
+	w := before.workers
+	if w == 0 {
+		w = after.workers
 	}
-	for _, rep := range after.EquivalenceClasses() {
-		classSet[rep] = true
-	}
-	classes := make([]netip.Addr, 0, len(classSet))
-	for a := range classSet {
-		classes = append(classes, a)
-	}
-	sort.Slice(classes, func(i, j int) bool { return classes[i].Less(classes[j]) })
-
-	srcSet := map[string]bool{}
-	for _, s := range before.Devices() {
-		srcSet[s] = true
-	}
-	for _, s := range after.Devices() {
-		srcSet[s] = true
-	}
-	sources := make([]string, 0, len(srcSet))
-	for s := range srcSet {
-		sources = append(sources, s)
-	}
-	sort.Strings(sources)
-
-	var out []Diff
-	for _, src := range sources {
-		for _, rep := range classes {
-			a := before.Trace(src, rep).Outcome()
-			b := after.Trace(src, rep).Outcome()
-			if a != b {
-				out = append(out, Diff{Src: src, Dst: rep, Before: a, After: b})
-			}
-		}
-	}
-	return out
+	return Queries{Workers: w}.Differential(before, after)
 }

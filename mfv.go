@@ -80,6 +80,13 @@ const (
 
 // Verification query types.
 type (
+	// BatchQueries is the parallel batch-query engine: it shards
+	// (source, equivalence-class) flows across a worker pool with
+	// per-device memoization. The zero value uses GOMAXPROCS workers;
+	// results are byte-identical at any worker count. The Network query
+	// methods and DifferentialReachability use it implicitly (sized by
+	// Options.Workers); construct one directly to override per query.
+	BatchQueries = verify.Queries
 	// Network answers dataplane queries over a set of AFTs.
 	Network = verify.Network
 	// Trace is a multipath forwarding walk result.

@@ -30,6 +30,8 @@ import (
 	"net/netip"
 	"os"
 	"path/filepath"
+	"runtime"
+	"runtime/pprof"
 	"sort"
 
 	"mfv"
@@ -116,7 +118,8 @@ observability flags (run): -trace FILE (JSONL event trace, virtual time),
   -metrics (phase timings + metrics registry), -timeline (per-router
   convergence report)
 performance flags: -workers N (verification worker-pool size, default
-  NumCPU; query results are byte-identical at any worker count)
+  NumCPU; query results are byte-identical at any worker count);
+  run and diff also take -cpuprofile FILE / -memprofile FILE (pprof)
 exit codes: 0 ok, 1 operational error, 2 usage, 3 verification violation`)
 }
 
@@ -139,6 +142,8 @@ type runFlags struct {
 	chaos    string
 	degraded bool
 	workers  int
+	cpuprof  string
+	memprof  string
 
 	obs *mfv.Observer
 }
@@ -160,7 +165,48 @@ func newFlags(name string) *runFlags {
 	f.fs.StringVar(&f.chaos, "chaos", "", "fault scenario: builtin name or JSON file (run)")
 	f.fs.BoolVar(&f.degraded, "degraded", false, "accept partial convergence on timeout, report stragglers")
 	f.fs.IntVar(&f.workers, "workers", 0, "verification worker-pool size (0 = NumCPU; results identical at any setting)")
+	f.fs.StringVar(&f.cpuprof, "cpuprofile", "", "write a CPU profile to this file (go tool pprof format)")
+	f.fs.StringVar(&f.memprof, "memprofile", "", "write a heap profile to this file on exit")
 	return f
+}
+
+// profile starts CPU profiling if requested and returns a stop function
+// that finishes the CPU profile and writes the heap profile. Call it after
+// flag parsing and defer the stop.
+func (f *runFlags) profile() (func() error, error) {
+	var cpuFile *os.File
+	if f.cpuprof != "" {
+		var err error
+		cpuFile, err = os.Create(f.cpuprof)
+		if err != nil {
+			return nil, err
+		}
+		if err := pprof.StartCPUProfile(cpuFile); err != nil {
+			cpuFile.Close()
+			return nil, err
+		}
+	}
+	return func() error {
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			if err := cpuFile.Close(); err != nil {
+				return err
+			}
+		}
+		if f.memprof != "" {
+			w, err := os.Create(f.memprof)
+			if err != nil {
+				return err
+			}
+			runtime.GC() // up-to-date live-object statistics
+			if err := pprof.WriteHeapProfile(w); err != nil {
+				w.Close()
+				return err
+			}
+			return w.Close()
+		}
+		return nil
+	}, nil
 }
 
 // loadChaos resolves the -chaos flag: a builtin scenario name first, else a
@@ -267,9 +313,28 @@ func (f *runFlags) run(path string) (*mfv.Result, error) {
 	return mfv.Run(mfv.Snapshot{Topology: topo}, opts)
 }
 
+// withProfiles brackets a command body with the -cpuprofile/-memprofile
+// hooks, keeping the body's error (a violation exit code must survive
+// profile teardown).
+func (f *runFlags) withProfiles(body func() error) error {
+	stop, err := f.profile()
+	if err != nil {
+		return err
+	}
+	bodyErr := body()
+	if perr := stop(); perr != nil && bodyErr == nil {
+		return perr
+	}
+	return bodyErr
+}
+
 func cmdRun(args []string) error {
 	f := newFlags("run")
 	f.fs.Parse(args)
+	return f.withProfiles(func() error { return runBody(f) })
+}
+
+func runBody(f *runFlags) error {
 	res, err := f.run(f.topo)
 	if err != nil {
 		return err
@@ -362,6 +427,10 @@ func cmdTrace(args []string) error {
 func cmdDiff(args []string) error {
 	f := newFlags("diff")
 	f.fs.Parse(args)
+	return f.withProfiles(func() error { return diffBody(f) })
+}
+
+func diffBody(f *runFlags) error {
 	before, err := f.run(f.topo)
 	if err != nil {
 		return err

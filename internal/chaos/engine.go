@@ -2,7 +2,7 @@ package chaos
 
 import (
 	"fmt"
-	"strings"
+	"sort"
 	"time"
 
 	"mfv/internal/kne"
@@ -20,12 +20,21 @@ type Engine struct {
 	obs     *obs.Observer
 	workers int
 
+	// incremental (default on) chains snapshots through
+	// verify.Network.UpdateFrom and scores faults with the delta
+	// differential, so per-fault cost tracks blast radius instead of
+	// network size. Results are byte-identical either way.
+	incremental bool
+	// last is the most recent snapshot, the base the next incremental
+	// snapshot updates from.
+	last *snap
+
 	hold, timeout time.Duration
 }
 
 // NewEngine builds an engine over an emulator. The observer may be nil.
 func NewEngine(em *kne.Emulator, topo *topology.Topology, o *obs.Observer) *Engine {
-	return &Engine{em: em, topo: topo, obs: o}
+	return &Engine{em: em, topo: topo, obs: o, incremental: true}
 }
 
 // WithWorkers sizes the worker pool the per-fault differential queries run
@@ -35,16 +44,37 @@ func (en *Engine) WithWorkers(w int) *Engine {
 	return en
 }
 
-// snap is one dataplane snapshot: the reachability network plus the total
-// forwarding-entry count across all routers.
+// WithIncremental toggles the incremental snapshot + delta-differential
+// path (on by default). Disabling forces a full network rebuild and a full
+// differential per fault — the reference the equivalence tests and the
+// BenchmarkChaosFaultLoop comparison run against.
+func (en *Engine) WithIncremental(on bool) *Engine {
+	en.incremental = on
+	return en
+}
+
+// snap is one dataplane snapshot: the reachability network, the total
+// forwarding-entry count across all routers, and the per-router generation
+// stamps the dirty-device computation keys on.
 type snap struct {
 	net    *verify.Network
 	routes int
+	stamps map[string]kne.GenStamp
 }
 
 func (en *Engine) snapshot() (snap, error) {
 	afts := en.em.AFTs()
-	n, err := verify.NewNetwork(en.topo, afts)
+	stamps := en.em.FIBGenerations()
+	var n *verify.Network
+	var err error
+	if en.incremental && en.last != nil {
+		// Routers whose stamp moved since the previous snapshot are the
+		// only ones whose AFT can differ; every other device's trie and
+		// equivalence-interval cache carries over.
+		n, err = en.last.net.UpdateFrom(afts, stampDiff(en.last.stamps, stamps))
+	} else {
+		n, err = verify.NewNetwork(en.topo, afts)
+	}
 	if err != nil {
 		return snap{}, err
 	}
@@ -54,17 +84,49 @@ func (en *Engine) snapshot() (snap, error) {
 	for _, a := range afts {
 		total += len(a.IPv4Entries)
 	}
-	return snap{net: n, routes: total}, nil
+	s := snap{net: n, routes: total, stamps: stamps}
+	en.last = &s
+	return s, nil
 }
 
-func deliveredIn(outcome string) bool { return strings.Contains(outcome, "Delivered") }
+// differential compares two snapshots, delta-driven when incremental
+// verification is on and the blast radius is small enough. Past half the
+// network the per-class prune bookkeeping stops paying for itself, so wide
+// faults fall back to the full recompute.
+func (en *Engine) differential(before, after snap) []verify.Diff {
+	if en.incremental {
+		dirty := stampDiff(before.stamps, after.stamps)
+		if len(dirty)*2 <= len(before.stamps) {
+			return verify.DeltaDifferential(before.net, after.net, dirty)
+		}
+	}
+	return verify.Differential(before.net, after.net)
+}
+
+// stampDiff returns the routers whose generation stamp differs between two
+// snapshots (or that exist in only one), sorted.
+func stampDiff(a, b map[string]kne.GenStamp) []string {
+	var out []string
+	for name, sa := range a {
+		if sb, ok := b[name]; !ok || sb != sa {
+			out = append(out, name)
+		}
+	}
+	for name := range b {
+		if _, ok := a[name]; !ok {
+			out = append(out, name)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
 
 // lostFlows keys the (source, class) flows that were delivered before a
 // fault but not after it.
 func lostFlows(diffs []verify.Diff) map[string]bool {
 	out := map[string]bool{}
 	for _, d := range diffs {
-		if deliveredIn(d.Before) && !deliveredIn(d.After) {
+		if verify.OutcomeDelivered(d.Before) && !verify.OutcomeDelivered(d.After) {
 			out[d.Src+">"+d.Dst.String()] = true
 		}
 	}
@@ -111,7 +173,7 @@ func (en *Engine) Execute(sc *Scenario) (*Report, error) {
 		baseline = after
 	}
 	rep.FinishedAt = en.em.Sim().Now()
-	rep.PermanentFlowsLost = len(lostFlows(verify.Differential(initial.net, baseline.net)))
+	rep.PermanentFlowsLost = len(lostFlows(en.differential(initial, baseline)))
 	rep.Recovered = rep.PermanentFlowsLost == 0
 	return rep, nil
 }
@@ -284,8 +346,8 @@ func (en *Engine) runFault(f Fault, baseline snap) (*Verdict, snap, error) {
 	v.ReconvergedIn = v.SettledAt - v.InjectedAt
 	v.Degraded = conv.Stragglers
 
-	impactLost := lostFlows(verify.Differential(baseline.net, impact.net))
-	finalDiffs := verify.Differential(baseline.net, final.net)
+	impactLost := lostFlows(en.differential(baseline, impact))
+	finalDiffs := en.differential(baseline, final)
 	finalLost := lostFlows(finalDiffs)
 	v.FlowsLostTransient = len(impactLost)
 	v.FlowsLost = len(finalLost)

@@ -1,0 +1,124 @@
+package chaos
+
+import (
+	"encoding/json"
+	"math/rand"
+	"testing"
+	"time"
+
+	"mfv/internal/kne"
+	"mfv/internal/testnet"
+)
+
+// reportJSON boots a fresh Fig. 2 emulation from seed, executes sc with the
+// given engine configuration, and returns the marshaled report. Fresh
+// emulators per run keep the virtual timelines identical, so any report
+// divergence is the verification path's fault.
+func reportJSON(t *testing.T, seed int64, spare int, sc *Scenario, incremental bool, workers int) string {
+	t.Helper()
+	em := startFig2(t, seed, spare)
+	en := NewEngine(em, testnet.Fig2(), nil).WithIncremental(incremental).WithWorkers(workers)
+	rep, err := en.Execute(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(data)
+}
+
+// TestIncrementalMatchesFullBuiltins: the incremental snapshot + delta
+// differential path must produce byte-identical reports to the full-rebuild
+// path on the builtin scenarios, including the pod-crash one that exercises
+// the router-incarnation (epoch) handling and the permanent partition.
+func TestIncrementalMatchesFullBuiltins(t *testing.T) {
+	for _, name := range []string{"crash-reboot", "partition", "session-reset"} {
+		sc, ok := Builtin(name)
+		if !ok {
+			t.Fatalf("no builtin %q", name)
+		}
+		full := reportJSON(t, 42, 0, sc, false, 1)
+		incr := reportJSON(t, 42, 0, sc, true, 1)
+		if full != incr {
+			t.Errorf("%s: incremental report differs from full:\n%s\n%s", name, full, incr)
+		}
+	}
+}
+
+// TestIncrementalDeterministicAcrossWorkers: the delta path's report is
+// byte-identical for workers 1, 2, and 8, and matches the full recompute.
+func TestIncrementalDeterministicAcrossWorkers(t *testing.T) {
+	sc, _ := Builtin("flap")
+	ref := reportJSON(t, 7, 0, sc, false, 1)
+	for _, w := range []int{1, 2, 8} {
+		if got := reportJSON(t, 7, 0, sc, true, w); got != ref {
+			t.Errorf("workers=%d: incremental report differs from full:\n%s\n%s", w, ref, got)
+		}
+	}
+}
+
+// TestQuickIncrementalMatchesFullRandomFaults: seeded random fault
+// sequences drawn from a pool of valid Fig. 2 faults must score identically
+// under full and incremental verification. This is the fault-sequence half
+// of the delta-equivalence acceptance check (the random-network half lives
+// in internal/verify).
+func TestQuickIncrementalMatchesFullRandomFaults(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-boot equivalence sweep")
+	}
+	pool := []Fault{
+		{Kind: KindLinkFlap, Link: "r6:Ethernet2", Flaps: 2, Duration: 5 * time.Second},
+		{Kind: KindBGPReset, Node: "r2"},
+		{Kind: KindLinkCut, Link: "r2:Ethernet2"},
+		{Kind: KindPodCrash, Node: "r3"},
+		{Kind: KindLinkDegrade, Link: "r1:Ethernet1", LossPct: 30, ExtraDelay: 10 * time.Millisecond, Duration: time.Minute},
+	}
+	for _, seed := range []int64{3, 11} {
+		r := rand.New(rand.NewSource(seed))
+		sc := &Scenario{Name: "random", Seed: seed}
+		for i := 0; i < 2; i++ {
+			f := pool[r.Intn(len(pool))]
+			f.After = time.Duration(1+r.Intn(20)) * time.Second
+			sc.Faults = append(sc.Faults, f)
+		}
+		full := reportJSON(t, seed, 0, sc, false, 1)
+		incr := reportJSON(t, seed, 0, sc, true, 2)
+		if full != incr {
+			t.Errorf("seed %d (%v): incremental report differs from full:\n%s\n%s",
+				seed, sc.Faults, full, incr)
+		}
+	}
+}
+
+// TestStampDiff covers the dirty-set derivation directly: changed
+// generations, changed epochs (rebuilt router), and one-sided devices all
+// count as dirty; identical stamps do not.
+func TestStampDiff(t *testing.T) {
+	a := map[string]kne.GenStamp{
+		"r1": {Epoch: 0, Gen: 5},
+		"r2": {Epoch: 0, Gen: 7},
+		"r3": {Epoch: 1, Gen: 2},
+		"r5": {Epoch: 0, Gen: 1},
+	}
+	b := map[string]kne.GenStamp{
+		"r1": {Epoch: 0, Gen: 5}, // clean
+		"r2": {Epoch: 0, Gen: 8}, // generation moved
+		"r3": {Epoch: 2, Gen: 2}, // rebuilt: epoch moved, gen reset
+		"r4": {Epoch: 0, Gen: 1}, // new
+	}
+	got := stampDiff(a, b)
+	want := []string{"r2", "r3", "r4", "r5"}
+	if len(got) != len(want) {
+		t.Fatalf("stampDiff = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("stampDiff = %v, want %v", got, want)
+		}
+	}
+	if d := stampDiff(a, a); len(d) != 0 {
+		t.Errorf("stampDiff(x, x) = %v", d)
+	}
+}

@@ -10,8 +10,10 @@ package kne
 import (
 	"fmt"
 	"net/netip"
+	"runtime"
 	"sort"
 	"strings"
+	"sync"
 	"time"
 
 	"mfv/internal/aft"
@@ -89,6 +91,10 @@ type Emulator struct {
 	// routerDown marks routers whose pod crashed; the router object is an
 	// inert husk until the replacement pod boots and podReady rebuilds it.
 	routerDown map[string]bool
+	// epoch counts router rebuilds by name. A rebooted pod gets a freshly
+	// built Router whose FIB generation restarts from zero; bumping the
+	// epoch keeps GenStamp comparisons sound across incarnations.
+	epoch map[string]uint64
 	// addrOwner maps interface addresses to router names.
 	addrOwner map[netip.Addr]string
 
@@ -152,6 +158,7 @@ func New(cfg Config) (*Emulator, error) {
 		impair:     map[string]Impairment{},
 		ready:      map[string]bool{},
 		routerDown: map[string]bool{},
+		epoch:      map[string]uint64{},
 		addrOwner:  map[netip.Addr]string{},
 		injectors:  map[netip.Addr]*Injector{},
 		lastChange: map[string]time.Duration{},
@@ -318,6 +325,7 @@ func (e *Emulator) podReady(p *kube.Pod) {
 			return
 		}
 		delete(e.routerDown, name)
+		e.epoch[name]++
 		e.routers[name] = fresh
 		r = fresh
 	}
@@ -765,12 +773,67 @@ func (e *Emulator) stragglerSummary() string {
 	return s
 }
 
+// GenStamp identifies one router incarnation's forwarding state: Epoch
+// counts rebuilds of the named router (a crashed pod's replacement is a
+// fresh Router whose counters restart from zero) and Gen is that
+// incarnation's FIB generation. Two equal stamps imply an identical
+// exported AFT, which is what the chaos engine's delta verification keys
+// its dirty-device sets on.
+type GenStamp struct {
+	Epoch uint64
+	Gen   uint64
+}
+
+// FIBGenerations returns the current stamp for every router.
+func (e *Emulator) FIBGenerations() map[string]GenStamp {
+	out := make(map[string]GenStamp, len(e.routers))
+	for name, r := range e.routers {
+		out[name] = GenStamp{Epoch: e.epoch[name], Gen: r.FIBGeneration()}
+	}
+	return out
+}
+
 // AFTs extracts every router's abstract forwarding table directly (the
 // in-process path; the gNMI service in internal/gnmi provides the same data
-// over the management interface).
+// over the management interface). Only dirty routers — those whose FIB
+// generation moved since their last export — are re-rendered, in parallel
+// across a worker pool; clean routers return their cached table. Trace
+// events are emitted afterward in sorted router order, so the event stream
+// is identical to the sequential export's.
 func (e *Emulator) AFTs() map[string]*aft.AFT {
-	out := make(map[string]*aft.AFT, len(e.routers))
-	for _, r := range e.Routers() {
+	routers := e.Routers()
+	var dirty []*vrouter.Router
+	for _, r := range routers {
+		if !r.AFTCacheValid() {
+			dirty = append(dirty, r)
+		}
+	}
+	if w := runtime.GOMAXPROCS(0); len(dirty) > 1 && w > 1 {
+		if w > len(dirty) {
+			w = len(dirty)
+		}
+		// Each worker owns disjoint routers; rendering is a pure read of the
+		// quiescent RIB/MPLS state plus atomic metric updates, so the only
+		// shared writes are each router's own cache fields.
+		idx := make(chan int, len(dirty))
+		for i := range dirty {
+			idx <- i
+		}
+		close(idx)
+		var wg sync.WaitGroup
+		wg.Add(w)
+		for g := 0; g < w; g++ {
+			go func() {
+				defer wg.Done()
+				for i := range idx {
+					dirty[i].ExportAFT()
+				}
+			}()
+		}
+		wg.Wait()
+	}
+	out := make(map[string]*aft.AFT, len(routers))
+	for _, r := range routers {
 		a := r.ExportAFT()
 		out[r.Name] = a
 		if e.obs.Enabled() {

@@ -116,7 +116,17 @@ type Engine struct {
 	headLSPs map[string]*LSPState
 	sweep    *sim.Ticker
 	refresh  *sim.Ticker
+	// version counts CrossConnects-visible mutations (label allocation,
+	// out-label or next-hop change, reserved-session expiry). Pure soft-state
+	// refreshes do not bump it, so an idle engine reports a stable version.
+	version uint64
 }
+
+// StateVersion returns a monotonic counter that increments whenever the
+// CrossConnects output could have changed. Equal versions imply an identical
+// ILM table, which is what lets the FIB-generation layer skip re-rendering
+// AFTs for routers whose label state is quiescent.
+func (e *Engine) StateVersion() uint64 { return e.version }
 
 // New builds an engine. Start begins the refresh/cleanup timers.
 func New(cfg Config) *Engine {
@@ -170,6 +180,9 @@ func (e *Engine) sendPath(name string, to netip.Addr) {
 		st = &pathState{name: name, from: e.cfg.RouterID, to: to, lastResv: e.cfg.Clock.Now()}
 		e.sessions[name] = st
 	}
+	if st.inLabel != 0 && st.nextHop != nh {
+		e.version++
+	}
 	st.nextHop = nh
 	e.cfg.Forward(nh, msg)
 }
@@ -206,6 +219,7 @@ func (e *Engine) handlePath(name string, from, to netip.Addr, hops []netip.Addr)
 		// tail is the RESV origin, so its reservation is always fresh.
 		if st.inLabel == 0 {
 			st.inLabel = e.allocLabel()
+			e.version++
 		}
 		st.resvSent = true
 		st.lastResv = now
@@ -224,6 +238,9 @@ func (e *Engine) handlePath(name string, from, to netip.Addr, hops []netip.Addr)
 	nh, ok := e.cfg.Resolver.NextHopToward(to)
 	if !ok {
 		return // dead ends age out via cleanup
+	}
+	if st.inLabel != 0 && st.nextHop != nh {
+		e.version++
 	}
 	st.nextHop = nh
 	e.cfg.Forward(nh, encodeMsg(msgPath, name, from, to, 0, recorded))
@@ -253,9 +270,13 @@ func (e *Engine) handleResv(name string, from, to netip.Addr, label uint32, hops
 		return
 	}
 	st.lastResv = e.cfg.Clock.Now()
+	if st.outLabel != label && st.inLabel != 0 {
+		e.version++
+	}
 	st.outLabel = label
 	if st.inLabel == 0 {
 		st.inLabel = e.allocLabel()
+		e.version++
 	}
 	st.resvSent = true
 	e.cfg.Forward(st.prevHop, encodeMsg(msgResv, name, from, to, st.inLabel, hops))
@@ -288,6 +309,9 @@ func (e *Engine) cleanup() {
 			continue // head state is re-signaled, not expired
 		}
 		if now-st.lastPath > lifetime {
+			if st.inLabel != 0 {
+				e.version++
+			}
 			delete(e.sessions, name)
 		}
 	}

@@ -107,6 +107,81 @@ func TestTrieDeleteKeepsCoveringEntry(t *testing.T) {
 	}
 }
 
+func TestTrieDeleteLongerKeepsShorter(t *testing.T) {
+	// Deleting the more-specific entry must fall traffic back to the
+	// covering prefix, not to a miss.
+	tr := NewTrie[int]()
+	tr.Insert(mustPrefix("10.0.0.0/8"), 1)
+	tr.Insert(mustPrefix("10.0.0.0/24"), 2)
+	if !tr.Delete(mustPrefix("10.0.0.0/24")) {
+		t.Fatal("Delete existing /24 returned false")
+	}
+	if _, v, ok := tr.Lookup(mustAddr("10.0.0.5")); !ok || v != 1 {
+		t.Errorf("Lookup after delete = %v,%v; want 1,true", v, ok)
+	}
+}
+
+func TestTrieDeleteAllPrunesAndReinserts(t *testing.T) {
+	// Emptying a shared branch must prune it completely: lookups miss, Len
+	// drops to zero, Prefixes is empty, and the trie is fully reusable.
+	tr := NewTrie[int]()
+	ps := []string{"10.0.0.0/8", "10.0.0.0/16", "10.0.0.0/24", "10.0.1.0/24"}
+	for i, p := range ps {
+		tr.Insert(mustPrefix(p), i)
+	}
+	for _, p := range ps {
+		if !tr.Delete(mustPrefix(p)) {
+			t.Fatalf("Delete(%s) returned false", p)
+		}
+	}
+	if tr.Len() != 0 {
+		t.Errorf("Len after deleting all = %d", tr.Len())
+	}
+	if got := tr.Prefixes(); len(got) != 0 {
+		t.Errorf("Prefixes after deleting all = %v", got)
+	}
+	if _, _, ok := tr.Lookup(mustAddr("10.0.0.1")); ok {
+		t.Error("lookup matched in an emptied trie")
+	}
+	tr.Insert(mustPrefix("10.0.0.0/16"), 9)
+	if _, v, ok := tr.Lookup(mustAddr("10.0.5.5")); !ok || v != 9 {
+		t.Errorf("reinsert after full prune: Lookup = %v,%v; want 9,true", v, ok)
+	}
+}
+
+func TestTrieOverwriteVisibleToLookup(t *testing.T) {
+	// An overwriting insert must update what Lookup (not just Get) returns,
+	// without changing Len.
+	tr := NewTrie[string]()
+	tr.Insert(mustPrefix("192.0.2.0/24"), "old")
+	tr.Insert(mustPrefix("192.0.2.0/24"), "new")
+	if _, v, ok := tr.Lookup(mustAddr("192.0.2.7")); !ok || v != "new" {
+		t.Errorf("Lookup after overwrite = %q,%v; want new,true", v, ok)
+	}
+	if tr.Len() != 1 {
+		t.Errorf("Len after overwrite = %d, want 1", tr.Len())
+	}
+	tr.Delete(mustPrefix("192.0.2.0/24"))
+	if tr.Len() != 0 {
+		t.Errorf("Len after delete = %d, want 0", tr.Len())
+	}
+}
+
+func TestTrieDeleteDefaultRoute(t *testing.T) {
+	tr := NewTrie[int]()
+	tr.Insert(mustPrefix("0.0.0.0/0"), 1)
+	tr.Insert(mustPrefix("10.0.0.0/8"), 2)
+	if !tr.Delete(mustPrefix("0.0.0.0/0")) {
+		t.Fatal("Delete default route returned false")
+	}
+	if _, _, ok := tr.Lookup(mustAddr("203.0.113.9")); ok {
+		t.Error("deleted default route still matching")
+	}
+	if _, v, ok := tr.Lookup(mustAddr("10.1.2.3")); !ok || v != 2 {
+		t.Errorf("covered lookup after root delete = %v,%v; want 2,true", v, ok)
+	}
+}
+
 func TestTrieWalkOrderAndEarlyStop(t *testing.T) {
 	tr := NewTrie[int]()
 	ps := []string{"10.0.0.0/8", "10.0.0.0/24", "192.168.0.0/16", "0.0.0.0/0"}

@@ -1,0 +1,237 @@
+package verify
+
+import (
+	"fmt"
+	"math/rand"
+	"net/netip"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"mfv/internal/aft"
+	"mfv/internal/topology"
+)
+
+// randomAFT builds one device's random AFT with the same distribution as
+// buildRandom, so delta tests can regenerate individual devices.
+func randomAFT(r *rand.Rand, name string, prefixes int) *aft.AFT {
+	b := aft.NewBuilder(name)
+	for p := 0; p < prefixes; p++ {
+		var a [4]byte
+		r.Read(a[:])
+		prefix := netip.PrefixFrom(netip.AddrFrom4(a), 1+r.Intn(32)).Masked()
+		var idx uint64
+		switch r.Intn(4) {
+		case 0:
+			idx = b.AddNextHop(aft.NextHop{Receive: true})
+		case 1:
+			idx = b.AddNextHop(aft.NextHop{Drop: true})
+		case 2:
+			idx = b.AddNextHop(aft.NextHop{Interface: "Ethernet1", IPAddress: "10.0.0.1"})
+		default:
+			idx = b.AddNextHop(aft.NextHop{Interface: "Ethernet2", IPAddress: "10.0.0.2"})
+		}
+		b.AddIPv4(prefix, b.AddGroup([]uint64{idx}), "test", 0)
+	}
+	return b.Build()
+}
+
+// randomSnapshotPair builds a random before snapshot, then a mutated after
+// snapshot in which a random non-empty subset of devices got fresh AFTs and
+// every other device shares the before AFT pointer — the same sharing shape
+// the incremental pipeline produces. Returns both AFT maps and the sorted
+// dirty-device names.
+func randomSnapshotPair(r *rand.Rand, nodes, prefixes int) (*topology.Topology, map[string]*aft.AFT, map[string]*aft.AFT, []string) {
+	topo := topology.Ring(nodes, topology.VendorEOS)
+	before := map[string]*aft.AFT{}
+	for i := 1; i <= nodes; i++ {
+		name := fmt.Sprintf("r%d", i)
+		before[name] = randomAFT(r, name, prefixes)
+	}
+	after := map[string]*aft.AFT{}
+	for name, a := range before {
+		after[name] = a
+	}
+	var dirty []string
+	for i := 1; i <= nodes; i++ {
+		name := fmt.Sprintf("r%d", i)
+		if r.Intn(3) == 0 {
+			after[name] = randomAFT(r, name, 1+r.Intn(prefixes+1))
+			dirty = append(dirty, name)
+		}
+	}
+	if len(dirty) == 0 { // force at least one changed device
+		name := fmt.Sprintf("r%d", 1+r.Intn(nodes))
+		after[name] = randomAFT(r, name, 1+r.Intn(prefixes+1))
+		dirty = append(dirty, name)
+	}
+	sort.Strings(dirty)
+	return topo, before, after, dirty
+}
+
+// Property: DeltaDifferential is byte-identical to the full Differential on
+// random snapshot pairs, for workers 1, 2, and 8, whether the after network
+// is built from scratch or incrementally via UpdateFrom, and whether dirty
+// is exact or a superset (all devices).
+func TestQuickDeltaMatchesFullDifferential(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		topo, beforeAFTs, afterAFTs, dirty := randomSnapshotPair(r, 3+r.Intn(4), 1+r.Intn(12))
+		before, err := NewNetwork(topo, beforeAFTs)
+		if err != nil {
+			return false
+		}
+		afterFresh, err := NewNetwork(topo, afterAFTs)
+		if err != nil {
+			return false
+		}
+		afterIncr, err := before.UpdateFrom(afterAFTs, dirty)
+		if err != nil {
+			return false
+		}
+		ref := fmt.Sprintf("%+v", Queries{Workers: 1}.Differential(before, afterFresh))
+		superset := before.Devices()
+		for _, w := range []int{1, 2, 8} {
+			q := Queries{Workers: w}
+			for _, after := range []*Network{afterFresh, afterIncr} {
+				if fmt.Sprintf("%+v", q.DeltaDifferential(before, after, dirty)) != ref {
+					return false
+				}
+				if fmt.Sprintf("%+v", q.DeltaDifferential(before, after, superset)) != ref {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20, Rand: rand.New(rand.NewSource(83))}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: a network rebuilt incrementally with UpdateFrom is
+// indistinguishable from one built from scratch — same devices, same
+// equivalence classes, same owners, and an empty differential between them.
+func TestQuickUpdateFromEquivalentToRebuild(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		topo, beforeAFTs, afterAFTs, dirty := randomSnapshotPair(r, 3+r.Intn(4), 1+r.Intn(12))
+		before, err := NewNetwork(topo, beforeAFTs)
+		if err != nil {
+			return false
+		}
+		fresh, err := NewNetwork(topo, afterAFTs)
+		if err != nil {
+			return false
+		}
+		incr, err := before.UpdateFrom(afterAFTs, dirty)
+		if err != nil {
+			return false
+		}
+		if fmt.Sprintf("%v", incr.Devices()) != fmt.Sprintf("%v", fresh.Devices()) {
+			return false
+		}
+		if fmt.Sprintf("%v", incr.EquivalenceClasses()) != fmt.Sprintf("%v", fresh.EquivalenceClasses()) {
+			return false
+		}
+		if fmt.Sprintf("%v", incr.OwnedAddrs()) != fmt.Sprintf("%v", fresh.OwnedAddrs()) {
+			return false
+		}
+		return len(Differential(fresh, incr)) == 0 && len(Differential(incr, fresh)) == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20, Rand: rand.New(rand.NewSource(89))}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: DeltaDifferential(x, x, any dirty set) is always empty — dirty
+// devices that did not actually change forward nothing to the diff.
+func TestQuickDeltaReflexive(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		_, net, err := buildRandom(r, 3+r.Intn(3), 1+r.Intn(12))
+		if err != nil {
+			return false
+		}
+		return len(DeltaDifferential(net, net, net.Devices())) == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20, Rand: rand.New(rand.NewSource(97))}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestUpdateFromRejectsUnknownDevice(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	topo, afts, _, _ := randomSnapshotPair(r, 3, 4)
+	n, err := NewNetwork(topo, afts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := map[string]*aft.AFT{}
+	for name, a := range afts {
+		bad[name] = a
+	}
+	bad["ghost"] = randomAFT(r, "ghost", 2)
+	if _, err := n.UpdateFrom(bad, []string{"ghost"}); err == nil {
+		t.Error("UpdateFrom accepted an AFT for a device outside the topology")
+	}
+}
+
+// UpdateFrom must handle devices leaving (crashed, empty snapshot) and
+// rejoining the snapshot, not only in-place changes.
+func TestUpdateFromDeviceRemovalAndReturn(t *testing.T) {
+	r := rand.New(rand.NewSource(6))
+	topo, afts, _, _ := randomSnapshotPair(r, 4, 5)
+	n, err := NewNetwork(topo, afts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	without := map[string]*aft.AFT{}
+	for name, a := range afts {
+		if name != "r2" {
+			without[name] = a
+		}
+	}
+	gone, err := n.UpdateFrom(without, []string{"r2"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(gone.Devices()) != 3 {
+		t.Fatalf("devices after removal = %v", gone.Devices())
+	}
+	back, err := gone.UpdateFrom(afts, []string{"r2"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fresh, err := NewNetwork(topo, afts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(Differential(fresh, back)) != 0 {
+		t.Error("returning device differs from a scratch rebuild")
+	}
+}
+
+func TestOutcomeDelivered(t *testing.T) {
+	tests := []struct {
+		outcome string
+		want    bool
+	}{
+		{"Delivered@r1", true},
+		{"Dropped@r2", false},
+		{"NoRoute@r1", false},
+		{"Dropped@r2,Delivered@r3", true},
+		{"Delivered@r1,Dropped@r2", true},
+		{"Loop@r1,NoRoute@r2", false},
+		{"", false},
+		{"Delivered", false},            // missing device part
+		{"Undelivered@r1", false},       // disposition containing the word
+		{"NoRoute@rDelivered", false},   // device name containing the word
+		{"ExitsNetwork@Delivered", false},
+	}
+	for _, tc := range tests {
+		if got := OutcomeDelivered(tc.outcome); got != tc.want {
+			t.Errorf("OutcomeDelivered(%q) = %v, want %v", tc.outcome, got, tc.want)
+		}
+	}
+}

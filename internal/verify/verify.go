@@ -125,16 +125,47 @@ func (t Trace) Outcome() string {
 	return strings.Join(keys, ",")
 }
 
+// OutcomeDelivered reports whether a canonical outcome string — the format
+// produced by Trace.Outcome and carried in Diff.Before/Diff.After — contains
+// a Delivered fragment. Fragments are "Disposition@device" joined by commas;
+// the disposition segment is matched exactly, so a device name (or a future
+// disposition label) containing "Delivered" as a substring cannot
+// misclassify the flow.
+func OutcomeDelivered(outcome string) bool {
+	for len(outcome) > 0 {
+		frag := outcome
+		if i := strings.IndexByte(outcome, ','); i >= 0 {
+			frag, outcome = outcome[:i], outcome[i+1:]
+		} else {
+			outcome = ""
+		}
+		if disp, _, ok := strings.Cut(frag, "@"); ok && disp == Delivered.String() {
+			return true
+		}
+	}
+	return false
+}
+
 // maxPathHops bounds forwarding walks (TTL analogue).
 const maxPathHops = 64
 
 // maxBranches bounds ECMP path explosion per trace.
 const maxBranches = 64
 
-// device is the verification view of one router.
+// device is the verification view of one router. Devices are immutable
+// once built, so an incremental snapshot (UpdateFrom) can share them with
+// its predecessor.
 type device struct {
 	name string
 	fib  *routing.Trie[*fibEntry]
+	// bounds are the equivalence-class interval cuts this device's prefixes
+	// contribute (each prefix's start and end-successor as u32), cached at
+	// build time so computeClasses only re-derives intervals for rebuilt
+	// devices.
+	bounds []uint32
+	// owned are this device's locally delivered /32 addresses, cached for
+	// the same reason.
+	owned []netip.Addr
 }
 
 type fibEntry struct {
@@ -236,25 +267,107 @@ func NewNetwork(topo *topology.Topology, afts map[string]*aft.AFT) (*Network, er
 		if _, ok := topo.Node(name); !ok {
 			return nil, fmt.Errorf("verify: AFT for unknown device %q", name)
 		}
-		if err := a.Validate(); err != nil {
-			return nil, fmt.Errorf("verify: %w", err)
-		}
-		d := &device{name: name, fib: routing.NewTrie[*fibEntry]()}
-		for _, e := range a.IPv4Entries {
-			p := netip.MustParsePrefix(e.Prefix)
-			hops := a.GroupHops(e.NextHopGroup)
-			d.fib.Insert(p, &fibEntry{prefix: e.Prefix, hops: hops})
-			if p.Bits() == 32 {
-				for _, h := range hops {
-					if h.Receive {
-						n.owners[p.Addr()] = name
-					}
-				}
-			}
+		d, err := buildDevice(name, a)
+		if err != nil {
+			return nil, err
 		}
 		n.devices[name] = d
 	}
+	n.rebuildOwners()
 	return n, nil
+}
+
+// buildDevice validates and indexes one AFT, caching the device's
+// equivalence-class interval cuts and owned addresses alongside the trie.
+func buildDevice(name string, a *aft.AFT) (*device, error) {
+	if err := a.Validate(); err != nil {
+		return nil, fmt.Errorf("verify: %w", err)
+	}
+	d := &device{name: name, fib: routing.NewTrie[*fibEntry]()}
+	for _, e := range a.IPv4Entries {
+		p := netip.MustParsePrefix(e.Prefix)
+		hops := a.GroupHops(e.NextHopGroup)
+		d.fib.Insert(p, &fibEntry{prefix: e.Prefix, hops: hops})
+		start := addrU32(p.Addr())
+		d.bounds = append(d.bounds, start)
+		size := uint64(1) << (32 - p.Bits())
+		if end := uint64(start) + size; end <= 1<<32-1 {
+			d.bounds = append(d.bounds, uint32(end))
+		}
+		if p.Bits() == 32 {
+			for _, h := range hops {
+				if h.Receive {
+					d.owned = append(d.owned, p.Addr())
+					break
+				}
+			}
+		}
+	}
+	return d, nil
+}
+
+// rebuildOwners re-derives the owners map from the per-device caches, in
+// sorted device order so ownership conflicts resolve deterministically.
+func (n *Network) rebuildOwners() {
+	names := make([]string, 0, len(n.devices))
+	for name := range n.devices {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		for _, a := range n.devices[name].owned {
+			n.owners[a] = name
+		}
+	}
+}
+
+// UpdateFrom builds the verification snapshot that follows n after only the
+// dirty devices changed. Clean devices — present in both snapshots and not
+// named in dirty — reuse n's indexed tries and cached equivalence-class
+// interval contributions, so the rebuild cost is proportional to the blast
+// radius rather than the network size. afts must be the complete AFT set
+// for the new snapshot, and dirty must name every device whose AFT differs
+// from n's (a superset is fine; the chaos engine derives it from the
+// emulator's FIB-generation stamps). Worker-pool size and observability
+// handles carry over; the memoized per-class outcomes do not, since path
+// outcomes are a global property.
+func (n *Network) UpdateFrom(afts map[string]*aft.AFT, dirty []string) (*Network, error) {
+	out := &Network{
+		topo:    n.topo,
+		devices: make(map[string]*device, len(afts)),
+		peerOf:  n.peerOf,
+		owners:  map[netip.Addr]string{},
+		workers: n.workers,
+
+		cTraces:     n.cTraces,
+		cQueries:    n.cQueries,
+		cFlows:      n.cFlows,
+		cMemoHits:   n.cMemoHits,
+		cMemoMisses: n.cMemoMisses,
+		cTruncated:  n.cTruncated,
+		gECs:        n.gECs,
+		wallHist:    n.wallHist,
+	}
+	dirtySet := make(map[string]bool, len(dirty))
+	for _, name := range dirty {
+		dirtySet[name] = true
+	}
+	for name, a := range afts {
+		if d, ok := n.devices[name]; ok && !dirtySet[name] {
+			out.devices[name] = d
+			continue
+		}
+		if _, ok := n.topo.Node(name); !ok {
+			return nil, fmt.Errorf("verify: AFT for unknown device %q", name)
+		}
+		d, err := buildDevice(name, a)
+		if err != nil {
+			return nil, err
+		}
+		out.devices[name] = d
+	}
+	out.rebuildOwners()
+	return out, nil
 }
 
 // Devices returns the devices with forwarding state, sorted.
@@ -377,20 +490,18 @@ func (n *Network) EquivalenceClasses() []netip.Addr {
 
 // computeClasses merges every FIB prefix's [start, end) interval boundary
 // into one sorted, deduplicated cut list: each prefix contributes its start
-// and its end's successor, and every cut starts one equivalence class.
+// and its end's successor, and every cut starts one equivalence class. The
+// per-device boundary lists are cached at build time (see buildDevice), so
+// an incremental snapshot pays only the merge here, not the trie walks.
 func (n *Network) computeClasses() []netip.Addr {
-	bounds := make([]uint32, 0, 64)
+	total := 1
+	for _, d := range n.devices {
+		total += len(d.bounds)
+	}
+	bounds := make([]uint32, 0, total)
 	bounds = append(bounds, 0)
 	for _, d := range n.devices {
-		d.fib.Walk(func(p netip.Prefix, _ *fibEntry) bool {
-			start := addrU32(p.Addr())
-			bounds = append(bounds, start)
-			size := uint64(1) << (32 - p.Bits())
-			if end := uint64(start) + size; end <= 1<<32-1 {
-				bounds = append(bounds, uint32(end))
-			}
-			return true
-		})
+		bounds = append(bounds, d.bounds...)
 	}
 	sort.Slice(bounds, func(i, j int) bool { return bounds[i] < bounds[j] })
 	out := make([]netip.Addr, 0, len(bounds))

@@ -1,0 +1,100 @@
+package vrouter
+
+import (
+	"testing"
+	"time"
+
+	"mfv/internal/routing"
+)
+
+// The AFT cache must serve repeated exports from the same immutable table
+// while the FIB generation is unchanged, and RenderAFT must stay the
+// cache-bypassing reference that always re-resolves.
+func TestExportAFTCachedWhileClean(t *testing.T) {
+	r, s := build(t, baseCfg)
+	r.Start()
+	s.RunFor(time.Second)
+	a1 := r.ExportAFT()
+	if len(a1.IPv4Entries) == 0 {
+		t.Fatal("converged router exported an empty AFT")
+	}
+	if !r.AFTCacheValid() {
+		t.Error("cache invalid immediately after export")
+	}
+	if r.ExportAFT() != a1 {
+		t.Error("re-export while clean rebuilt the AFT instead of reusing the cache")
+	}
+	ra := r.RenderAFT()
+	if ra == a1 {
+		t.Error("RenderAFT returned the cached table instead of re-rendering")
+	}
+	if !ra.Equal(a1) {
+		t.Error("RenderAFT disagrees with the cached export")
+	}
+}
+
+// A RIB mutation must bump the FIB generation and invalidate the cache; the
+// next export reflects the new route.
+func TestExportAFTInvalidatedByRIBChange(t *testing.T) {
+	r, s := build(t, baseCfg)
+	r.Start()
+	s.RunFor(time.Second)
+	a1 := r.ExportAFT()
+	gen := r.FIBGeneration()
+	r.RIB().Install(routing.Route{
+		Prefix:   pfx("198.51.100.0/24"),
+		Protocol: routing.ProtoStatic,
+		Distance: 1,
+		NextHops: []routing.NextHop{{IP: addr("10.0.0.1")}},
+	})
+	if r.FIBGeneration() == gen {
+		t.Fatal("RIB change did not bump the FIB generation")
+	}
+	if r.AFTCacheValid() {
+		t.Error("cache still valid after a RIB change")
+	}
+	a2 := r.ExportAFT()
+	if a2 == a1 {
+		t.Fatal("export after a RIB change returned the stale cached AFT")
+	}
+	found := false
+	for _, e := range a2.IPv4Entries {
+		if e.Prefix == "198.51.100.0/24" {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("new route missing from the re-rendered AFT")
+	}
+	if !r.AFTCacheValid() {
+		t.Error("cache not revalidated by the re-export")
+	}
+}
+
+// Shutdown gates the forwarding plane off; a cached pre-shutdown AFT must
+// not leak into any later export (the stale-snapshot hazard ISSUE 4 calls
+// out), and the generation must move even though no route was withdrawn.
+func TestExportAFTShutdownDropsStaleCache(t *testing.T) {
+	r, s := build(t, baseCfg)
+	r.Start()
+	s.RunFor(time.Second)
+	a1 := r.ExportAFT()
+	if len(a1.IPv4Entries) == 0 {
+		t.Fatal("converged router exported an empty AFT")
+	}
+	gen := r.FIBGeneration()
+	r.Shutdown()
+	if r.FIBGeneration() == gen {
+		t.Fatal("Shutdown did not move the FIB generation")
+	}
+	if r.AFTCacheValid() {
+		t.Error("pre-shutdown cache still valid")
+	}
+	a2 := r.ExportAFT()
+	if len(a2.IPv4Entries) != 0 {
+		t.Fatalf("shutdown router exported %d stale entries", len(a2.IPv4Entries))
+	}
+	if r.ExportAFT() != a2 {
+		t.Error("empty post-shutdown AFT not cached")
+	}
+}

@@ -124,6 +124,11 @@ type Router struct {
 	// post-RIB-change revalidation is O(distinct next hops).
 	nhState map[netip.Addr]nhResolution
 
+	// aftCache holds the last rendered AFT and the FIB generation it was
+	// rendered at; ExportAFT reuses it while the generation is unchanged.
+	aftCache *aft.AFT
+	aftGen   uint64
+
 	// Observability (nil handles are no-ops).
 	obs       *obs.Observer
 	hFIBNanos *obs.Histogram
@@ -667,9 +672,52 @@ func (r *Router) ensureFIB() *dataplane.FIB {
 	return r.fib
 }
 
+// FIBGeneration returns a monotonic counter covering every input of the
+// exported AFT: the RIB's elected-route version, the MPLS cross-connect
+// state version, and the shutdown flag. Equal generations imply an
+// identical AFT, so callers can skip re-rendering (and re-verifying)
+// routers whose generation has not moved. The counter is per-incarnation:
+// a rebuilt router restarts from zero, which the orchestrator disambiguates
+// with an epoch (see kne.GenStamp).
+func (r *Router) FIBGeneration() uint64 {
+	g := r.rib.Version()
+	if r.MPLS != nil {
+		g += r.MPLS.StateVersion()
+	}
+	if r.down {
+		// Shutdown gates the whole forwarding plane off; the terms above
+		// never decrease, so the +1 keeps the sum strictly increasing across
+		// the transition even when no route was withdrawn.
+		g++
+	}
+	return g
+}
+
 // ExportAFT renders the current forwarding state. A shutdown router exports
-// an empty table: its forwarding plane is gone with the pod.
+// an empty table: its forwarding plane is gone with the pod. The rendered
+// AFT is cached per FIB generation: while no RIB, cross-connect, or
+// shutdown change occurred, repeated exports return the same (immutable)
+// table without re-resolving anything.
 func (r *Router) ExportAFT() *aft.AFT {
+	gen := r.FIBGeneration()
+	if r.aftCache != nil && r.aftGen == gen {
+		return r.aftCache
+	}
+	a := r.RenderAFT()
+	r.aftCache, r.aftGen = a, gen
+	return a
+}
+
+// AFTCacheValid reports whether ExportAFT would be served from the cache —
+// i.e. the router's forwarding state is clean since the last export.
+func (r *Router) AFTCacheValid() bool {
+	return r.aftCache != nil && r.aftGen == r.FIBGeneration()
+}
+
+// RenderAFT renders the forwarding state from scratch, bypassing the
+// generation cache. This is the reference (full re-export) path used by the
+// incremental-vs-full benchmarks and the cache-invalidation tests.
+func (r *Router) RenderAFT() *aft.AFT {
 	if r.down {
 		return dataplane.New(routing.NewRIB(), nil).ExportAFT(r.Name, nil)
 	}

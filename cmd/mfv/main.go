@@ -5,6 +5,7 @@
 //
 //	mfv run       -topo net.json [-backend emulation|model] [-gnmi]
 //	              [-trace out.jsonl] [-metrics] [-timeline]
+//	mfv lint      -topo net.json [-live]
 //	mfv reach     -topo net.json -src r1 -dst 2.2.2.4
 //	mfv trace     -topo net.json -src r1 -dst 2.2.2.4
 //	mfv diff      -topo before.json -topo2 after.json
@@ -20,7 +21,8 @@
 // any worker count).
 //
 // Exit codes: 0 success, 1 operational error, 2 usage error, 3 verification
-// violation (unreachable flows, differential changes, loops, critical links).
+// violation (unreachable flows, differential changes, loops, critical links),
+// 4 degraded run (quarantined or never-settled routers taint the result).
 package main
 
 import (
@@ -43,6 +45,7 @@ const (
 	exitError     = 1 // operational failure (bad input, emulation error, I/O)
 	exitUsage     = 2
 	exitViolation = 3 // the network is broken, not the tool
+	exitDegraded  = 4 // the run completed, but quarantined/unsettled routers taint the result
 )
 
 // violationError marks a verification violation — the pipeline worked and
@@ -56,6 +59,18 @@ func violationf(format string, args ...any) error {
 	return violationError{msg: fmt.Sprintf(format, args...)}
 }
 
+// degradedError marks a run that completed with contained damage: routers
+// quarantined after hostile input, or stragglers that never settled under
+// -degraded. The verdict is trustworthy for the healthy routers but exit 4
+// tells scripts the result is partial.
+type degradedError struct{ msg string }
+
+func (e degradedError) Error() string { return e.msg }
+
+func degradedf(format string, args ...any) error {
+	return degradedError{msg: fmt.Sprintf(format, args...)}
+}
+
 func main() {
 	if len(os.Args) < 2 {
 		usage()
@@ -66,6 +81,8 @@ func main() {
 	switch cmd {
 	case "run":
 		err = cmdRun(args)
+	case "lint":
+		err = cmdLint(args)
 	case "reach":
 		err = cmdReach(args)
 	case "trace":
@@ -94,13 +111,19 @@ func main() {
 		if errors.As(err, &v) {
 			os.Exit(exitViolation)
 		}
+		var d degradedError
+		if errors.As(err, &d) {
+			os.Exit(exitDegraded)
+		}
 		os.Exit(exitError)
 	}
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: mfv <run|reach|trace|diff|coverage|loops|scenarios|chaos> [flags]
+	fmt.Fprintln(os.Stderr, `usage: mfv <run|lint|reach|trace|diff|coverage|loops|scenarios|chaos> [flags]
   run       run the pipeline, print route summary and convergence timing
+  lint      preflight snapshot validation without booting the emulation
+            (-live additionally runs the pipeline and audits AFTs vs RIBs)
   reach     answer one reachability question
   trace     exhaustive multipath traceroute
   diff      differential reachability between two topology files
@@ -120,7 +143,8 @@ observability flags (run): -trace FILE (JSONL event trace, virtual time),
 performance flags: -workers N (verification worker-pool size, default
   NumCPU; query results are byte-identical at any worker count);
   run and diff also take -cpuprofile FILE / -memprofile FILE (pprof)
-exit codes: 0 ok, 1 operational error, 2 usage, 3 verification violation`)
+exit codes: 0 ok, 1 operational error, 2 usage, 3 verification violation,
+  4 degraded run (quarantined or never-settled routers)`)
 }
 
 // common flags
@@ -347,6 +371,15 @@ func runBody(f *runFlags) error {
 	if len(res.DegradedRouters) > 0 {
 		fmt.Printf("DEGRADED: %d routers never settled: %v\n", len(res.DegradedRouters), res.DegradedRouters)
 	}
+	if len(res.QuarantinedRouters) > 0 {
+		fmt.Printf("QUARANTINED: %d routers contained after hostile input: %v\n",
+			len(res.QuarantinedRouters), res.QuarantinedRouters)
+		for _, name := range res.QuarantinedRouters {
+			if reason, ok := res.Emulator.QuarantineReason(name); ok {
+				fmt.Printf("  %s: %s\n", name, reason)
+			}
+		}
+	}
 	counts := res.RouteCount()
 	protos := make([]string, 0, len(counts))
 	for p := range counts {
@@ -364,9 +397,63 @@ func runBody(f *runFlags) error {
 	if err := f.report(res); err != nil {
 		return err
 	}
+	// Quarantine is the more specific diagnosis: the flow loss is the
+	// contained router's expected blast radius, not an unexplained break.
+	if len(res.QuarantinedRouters) > 0 {
+		return degradedf("%d routers quarantined: %v", len(res.QuarantinedRouters), res.QuarantinedRouters)
+	}
 	if res.Chaos != nil && !res.Chaos.Recovered {
 		return violationf("%d flows permanently lost under chaos", res.Chaos.PermanentFlowsLost)
 	}
+	if len(res.DegradedRouters) > 0 {
+		return degradedf("%d routers never settled: %v", len(res.DegradedRouters), res.DegradedRouters)
+	}
+	return nil
+}
+
+// cmdLint runs the preflight snapshot validator: parse every device config
+// and cross-check the snapshot before anything expensive boots. With -live
+// (and a snapshot clean enough to boot) it also runs the pipeline and audits
+// the extracted AFTs against the topology and the routers' RIBs.
+func cmdLint(args []string) error {
+	f := newFlags("lint")
+	live := f.fs.Bool("live", false, "also run the pipeline and cross-check extracted AFTs against RIBs")
+	f.fs.Parse(args)
+	topo, err := f.loadTopo(f.topo)
+	if err != nil {
+		return err
+	}
+	findings := mfv.LintSnapshot(topo)
+	if *live && findings.Max() < mfv.SevFatal {
+		opts, err := f.options()
+		if err != nil {
+			return err
+		}
+		res, err := mfv.Run(mfv.Snapshot{Topology: topo}, opts)
+		if err != nil {
+			return err
+		}
+		findings = append(findings, mfv.LintAFTs(topo, res.AFTs)...)
+		if res.Emulator != nil {
+			findings = append(findings, mfv.LintLive(res.Emulator)...)
+		}
+		findings.Sort()
+	}
+	if len(findings) == 0 {
+		fmt.Println("lint: clean")
+		return nil
+	}
+	errs := 0
+	for _, d := range findings {
+		fmt.Println(d)
+		if d.Sev >= mfv.SevError {
+			errs++
+		}
+	}
+	if errs > 0 {
+		return violationf("lint: %d findings at error or above (%d total)", errs, len(findings))
+	}
+	fmt.Printf("lint: %d warnings\n", len(findings))
 	return nil
 }
 

@@ -11,6 +11,8 @@ import (
 	"fmt"
 	"net/netip"
 	"sort"
+
+	"mfv/internal/diag"
 )
 
 // NextHop is one leaf next hop.
@@ -142,11 +144,13 @@ func (b *Builder) Build() *AFT {
 // Marshal encodes the AFT as JSON (the gNMI payload format).
 func (a *AFT) Marshal() ([]byte, error) { return json.Marshal(a) }
 
-// Unmarshal decodes an AFT from JSON.
+// Unmarshal decodes an AFT from JSON. Failures — malformed JSON or an AFT
+// that fails Validate — come back as *diag.Error so ingestion layers can
+// attribute them to a device and contain the blast radius.
 func Unmarshal(data []byte) (*AFT, error) {
 	var a AFT
 	if err := json.Unmarshal(data, &a); err != nil {
-		return nil, fmt.Errorf("aft: %w", err)
+		return nil, diag.Wrap(err, diag.SevError, "aft", "")
 	}
 	if err := a.Validate(); err != nil {
 		return nil, err
@@ -154,42 +158,63 @@ func Unmarshal(data []byte) (*AFT, error) {
 	return &a, nil
 }
 
-// Validate checks referential integrity: every entry references an existing
-// group, every group references existing next hops.
+// Validate checks referential integrity — every entry references an existing
+// group, every group references existing next hops — and that every prefix
+// and next-hop address is well-formed IPv4. The address checks are the
+// ingestion screen for the verification tries, which only model IPv4: a
+// hostile or corrupted AFT is rejected here with a structured error instead
+// of reaching a forwarding structure. Errors are *diag.Error with source
+// "aft" and the device name filled in.
 func (a *AFT) Validate() error {
+	verr := func(format string, args ...any) error {
+		return diag.Newf(diag.SevError, "aft", a.Device, format, args...)
+	}
 	nhs := map[uint64]bool{}
 	for _, nh := range a.NextHops {
 		if nhs[nh.Index] {
-			return fmt.Errorf("aft %s: duplicate next-hop index %d", a.Device, nh.Index)
+			return verr("duplicate next-hop index %d", nh.Index)
 		}
 		nhs[nh.Index] = true
+		if nh.IPAddress != "" {
+			ip, err := netip.ParseAddr(nh.IPAddress)
+			if err != nil {
+				return verr("next hop %d: bad address %q", nh.Index, nh.IPAddress)
+			}
+			if !ip.Is4() && !ip.Is4In6() {
+				return verr("next hop %d: non-IPv4 address %q", nh.Index, nh.IPAddress)
+			}
+		}
 	}
 	groups := map[uint64]bool{}
 	for _, g := range a.NextHopGroups {
 		if groups[g.ID] {
-			return fmt.Errorf("aft %s: duplicate group id %d", a.Device, g.ID)
+			return verr("duplicate group id %d", g.ID)
 		}
 		groups[g.ID] = true
 		if len(g.NextHops) == 0 {
-			return fmt.Errorf("aft %s: group %d has no next hops", a.Device, g.ID)
+			return verr("group %d has no next hops", g.ID)
 		}
 		for _, idx := range g.NextHops {
 			if !nhs[idx] {
-				return fmt.Errorf("aft %s: group %d references missing next hop %d", a.Device, g.ID, idx)
+				return verr("group %d references missing next hop %d", g.ID, idx)
 			}
 		}
 	}
 	for _, e := range a.IPv4Entries {
-		if _, err := netip.ParsePrefix(e.Prefix); err != nil {
-			return fmt.Errorf("aft %s: bad prefix %q", a.Device, e.Prefix)
+		p, err := netip.ParsePrefix(e.Prefix)
+		if err != nil {
+			return verr("bad prefix %q", e.Prefix)
+		}
+		if !p.Addr().Is4() && !p.Addr().Is4In6() {
+			return verr("non-IPv4 prefix %q in ipv4-unicast", e.Prefix)
 		}
 		if !groups[e.NextHopGroup] {
-			return fmt.Errorf("aft %s: entry %s references missing group %d", a.Device, e.Prefix, e.NextHopGroup)
+			return verr("entry %s references missing group %d", e.Prefix, e.NextHopGroup)
 		}
 	}
 	for _, e := range a.LabelEntries {
 		if !groups[e.NextHopGroup] {
-			return fmt.Errorf("aft %s: label %d references missing group %d", a.Device, e.Label, e.NextHopGroup)
+			return verr("label %d references missing group %d", e.Label, e.NextHopGroup)
 		}
 	}
 	return nil

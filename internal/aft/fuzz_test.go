@@ -1,0 +1,51 @@
+package aft
+
+import (
+	"errors"
+	"net/netip"
+	"testing"
+
+	"mfv/internal/diag"
+)
+
+// FuzzUnmarshal throws arbitrary bytes at the AFT JSON ingestion path — the
+// payload a hostile gNMI target controls. Properties: ingestion never
+// panics, every rejection is a typed *diag.Error, and an accepted AFT
+// survives Marshal/Unmarshal with its fingerprint intact.
+func FuzzUnmarshal(f *testing.F) {
+	b := NewBuilder("r1")
+	nh := b.AddNextHop(NextHop{IPAddress: "10.0.0.1", Interface: "Ethernet1", PushedLabels: []uint32{500}})
+	g := b.AddGroup([]uint64{nh})
+	b.AddIPv4(netip.MustParsePrefix("2.2.2.2/32"), g, "bgp", 20)
+	b.AddLabel(500, g, true)
+	seed, err := b.Build().Marshal()
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(seed)
+	f.Add([]byte(`{"device":"r1"}`))
+	f.Add([]byte(`{"device":"r1","ipv4-unicast":[{"prefix":"2.2.2.2/32","next-hop-group":7}]}`))
+	f.Add([]byte(`{"device":"r1","next-hops":[{"index":1,"ip-address":"::1"}]}`))
+	f.Add([]byte(`not json`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		a, err := Unmarshal(data)
+		if err != nil {
+			var de *diag.Error
+			if !errors.As(err, &de) {
+				t.Fatalf("ingestion error is not a *diag.Error: %v", err)
+			}
+			return
+		}
+		enc, err := a.Marshal()
+		if err != nil {
+			t.Fatalf("re-marshaling accepted AFT: %v", err)
+		}
+		a2, err := Unmarshal(enc)
+		if err != nil {
+			t.Fatalf("re-unmarshaling accepted AFT: %v", err)
+		}
+		if !a2.Equal(a) || a2.Fingerprint() != a.Fingerprint() {
+			t.Fatal("AFT JSON round trip changed the table")
+		}
+	})
+}

@@ -17,6 +17,7 @@ import (
 	"fmt"
 	"net/netip"
 
+	"mfv/internal/diag"
 	"mfv/internal/policy"
 )
 
@@ -166,21 +167,92 @@ func EncodeNotification(n Notification) []byte {
 	return msg
 }
 
-// EncodeUpdate marshals an UPDATE. It panics if the message would exceed
-// MaxMessageLen; callers chunk NLRI before encoding (see ChunkPrefixes).
+// EncodeUpdate marshals an UPDATE known to fit one message. Oversized
+// updates no longer panic: they are auto-chunked (see EncodeUpdates) and the
+// first chunk is returned, so hostile or miscalculated input degrades to a
+// partial announcement instead of killing the process. Callers that may
+// exceed MaxMessageLen must use EncodeUpdates.
 func EncodeUpdate(u Update) []byte {
-	withdrawn := encodeNLRI(u.Withdrawn)
+	msgs, err := EncodeUpdates(u)
+	if err != nil || len(msgs) == 0 {
+		// Unencodable attrs: emit an empty UPDATE rather than crash. The
+		// engine-side callers check EncodeUpdates' error themselves.
+		return assembleUpdate(nil, nil, nil)
+	}
+	return msgs[0]
+}
+
+// EncodeUpdates marshals an UPDATE as one or more wire messages, each within
+// MaxMessageLen. Withdrawn routes and NLRI are auto-chunked: withdrawals are
+// packed first (attribute-less messages), then the path attributes are
+// repeated in front of each NLRI chunk, per RFC 4271 semantics. The only
+// error case is an attribute bundle so large that no NLRI fits beside it —
+// input-driven (e.g. an absurd AS path), so it is reported, not panicked.
+func EncodeUpdates(u Update) ([][]byte, error) {
 	var attrs []byte
 	if u.Attrs != nil {
 		attrs = encodeAttrs(u.Attrs)
 	}
-	nlri := encodeNLRI(u.NLRI)
+	// 2-byte withdrawn length + 2-byte attribute length after the header.
+	const fixed = headerLen + 4
 
-	total := headerLen + 2 + len(withdrawn) + 2 + len(attrs) + len(nlri)
-	if total > MaxMessageLen {
-		panic(fmt.Sprintf("bgp: update too large (%d bytes); chunk NLRI first", total))
+	// The common case — everything fits in one message — keeps withdrawals,
+	// attributes, and NLRI together exactly as a non-chunking encoder would.
+	wd, nl := encodeNLRI(u.Withdrawn), encodeNLRI(u.NLRI)
+	if fixed+len(wd)+len(attrs)+len(nl) <= MaxMessageLen {
+		return [][]byte{assembleUpdate(wd, attrs, nl)}, nil
 	}
-	msg := make([]byte, total)
+
+	var msgs [][]byte
+	// Withdrawn-only messages first.
+	withdrawn := u.Withdrawn
+	for len(withdrawn) > 0 {
+		chunk, used := takePrefixes(withdrawn, MaxMessageLen-fixed)
+		msgs = append(msgs, assembleUpdate(encodeNLRI(chunk), nil, nil))
+		withdrawn = withdrawn[used:]
+	}
+
+	nlri := u.NLRI
+	if len(nlri) == 0 {
+		if len(attrs) > 0 || len(msgs) == 0 {
+			// Attribute-only update (or a fully empty one: End-of-RIB).
+			if fixed+len(attrs) > MaxMessageLen {
+				return nil, fmt.Errorf("bgp: path attributes (%d bytes) exceed max message size", len(attrs))
+			}
+			msgs = append(msgs, assembleUpdate(nil, attrs, nil))
+		}
+		return msgs, nil
+	}
+	avail := MaxMessageLen - fixed - len(attrs)
+	for len(nlri) > 0 {
+		chunk, used := takePrefixes(nlri, avail)
+		if used == 0 {
+			return nil, fmt.Errorf("bgp: path attributes (%d bytes) leave no room for NLRI", len(attrs))
+		}
+		msgs = append(msgs, assembleUpdate(nil, attrs, encodeNLRI(chunk)))
+		nlri = nlri[used:]
+	}
+	return msgs, nil
+}
+
+// takePrefixes returns the longest leading run of ps whose encoded NLRI form
+// fits in budget bytes, and how many prefixes it consumed.
+func takePrefixes(ps []netip.Prefix, budget int) ([]netip.Prefix, int) {
+	used, size := 0, 0
+	for _, p := range ps {
+		n := 1 + (p.Bits()+7)/8
+		if size+n > budget {
+			break
+		}
+		size += n
+		used++
+	}
+	return ps[:used], used
+}
+
+// assembleUpdate lays out one UPDATE from already-encoded sections.
+func assembleUpdate(withdrawn, attrs, nlri []byte) []byte {
+	msg := make([]byte, headerLen+4+len(withdrawn)+len(attrs)+len(nlri))
 	p := msg[headerLen:]
 	binary.BigEndian.PutUint16(p[0:2], uint16(len(withdrawn)))
 	copy(p[2:], withdrawn)
@@ -210,7 +282,13 @@ func ChunkPrefixes(ps []netip.Prefix) [][]netip.Prefix {
 	return append(out, ps)
 }
 
+// addr4 renders an address as 4 wire bytes. Non-IPv4 (invalid or v6)
+// addresses — hostile or unset input — encode as 0.0.0.0 instead of
+// panicking in As4.
 func addr4(a netip.Addr) []byte {
+	if !a.Is4() && !a.Is4In6() {
+		return make([]byte, 4)
+	}
 	b := a.As4()
 	return b[:]
 }
@@ -218,11 +296,18 @@ func addr4(a netip.Addr) []byte {
 func encodeNLRI(ps []netip.Prefix) []byte {
 	var out []byte
 	for _, p := range ps {
+		// Unencodable prefixes (non-IPv4, invalid) are dropped: BGP-4 NLRI
+		// carries only IPv4, and panicking on a hostile prefix would kill
+		// the whole process for one bad route.
+		a := p.Addr()
 		bits := p.Bits()
+		if (!a.Is4() && !a.Is4In6()) || bits < 0 || bits > 32 {
+			continue
+		}
 		nbytes := (bits + 7) / 8
 		out = append(out, byte(bits))
-		a := p.Addr().As4()
-		out = append(out, a[:nbytes]...)
+		a4 := a.As4()
+		out = append(out, a4[:nbytes]...)
 	}
 	return out
 }
@@ -260,14 +345,25 @@ func encodeAttrs(a *PathAttrs) []byte {
 		out = append(out, val...)
 	}
 	put(flagTransitive, attrOrigin, []byte{a.Origin})
-	// AS_PATH: one AS_SEQUENCE segment with 4-byte ASNs (4-octet capability
-	// is always negotiated by this codec).
-	seg := make([]byte, 2+4*len(a.ASPath))
+	// AS_PATH: AS_SEQUENCE segments with 4-byte ASNs (4-octet capability is
+	// always negotiated by this codec). The segment count is one byte, so a
+	// path longer than 255 hops is split across segments — the decoder
+	// concatenates them back — instead of silently wrapping the count.
 	if len(a.ASPath) > 0 {
-		seg[0] = 2 // AS_SEQUENCE
-		seg[1] = byte(len(a.ASPath))
-		for i, as := range a.ASPath {
-			binary.BigEndian.PutUint32(seg[2+4*i:], as)
+		var seg []byte
+		for rest := a.ASPath; len(rest) > 0; {
+			n := len(rest)
+			if n > 255 {
+				n = 255
+			}
+			s := make([]byte, 2+4*n)
+			s[0] = 2 // AS_SEQUENCE
+			s[1] = byte(n)
+			for i, as := range rest[:n] {
+				binary.BigEndian.PutUint32(s[2+4*i:], as)
+			}
+			seg = append(seg, s...)
+			rest = rest[n:]
 		}
 		put(flagTransitive, attrASPath, seg)
 	} else {
@@ -414,8 +510,18 @@ func DecodeHeader(h []byte) (uint8, int, error) {
 	return typ, total - headerLen, nil
 }
 
-// Decode parses one complete message (header + body).
+// Decode parses one complete message (header + body). Errors are *diag.Error
+// (source "bgp"); a wire-protocol Notification cause stays reachable through
+// errors.As so the session layer can echo it to the peer.
 func Decode(msg []byte) (any, error) {
+	v, err := decode(msg)
+	if err != nil {
+		return nil, diag.Wrap(err, diag.SevError, "bgp", "")
+	}
+	return v, nil
+}
+
+func decode(msg []byte) (any, error) {
 	typ, blen, err := DecodeHeader(msg)
 	if err != nil {
 		return nil, err

@@ -207,17 +207,173 @@ func TestChunkPrefixes(t *testing.T) {
 	}
 }
 
-func TestUpdateTooLargePanics(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Error("oversized update did not panic")
-		}
-	}()
+func mustDecodeUpdate(t *testing.T, m []byte) Update {
+	t.Helper()
+	if len(m) > MaxMessageLen {
+		t.Fatalf("message is %d bytes, exceeds max %d", len(m), MaxMessageLen)
+	}
+	v, err := Decode(m)
+	if err != nil {
+		t.Fatalf("Decode: %v", err)
+	}
+	u, ok := v.(Update)
+	if !ok {
+		t.Fatalf("Decode returned %T, want Update", v)
+	}
+	return u
+}
+
+func TestEncodeUpdatesAutoChunk(t *testing.T) {
 	var many []netip.Prefix
 	for i := 0; i < 2000; i++ {
 		many = append(many, netip.PrefixFrom(netip.AddrFrom4([4]byte{10, byte(i >> 8), byte(i), 1}), 32))
 	}
-	EncodeUpdate(Update{NLRI: many, Attrs: &PathAttrs{NextHop: addr("1.1.1.1")}})
+	attrs := &PathAttrs{NextHop: addr("1.1.1.1"), ASPath: []uint32{65001}}
+	msgs, err := EncodeUpdates(Update{NLRI: many, Attrs: attrs})
+	if err != nil {
+		t.Fatalf("EncodeUpdates: %v", err)
+	}
+	if len(msgs) < 2 {
+		t.Fatalf("oversized update produced %d messages, want auto-chunking", len(msgs))
+	}
+	var got []netip.Prefix
+	for i, m := range msgs {
+		u := mustDecodeUpdate(t, m)
+		if u.Attrs == nil || u.Attrs.NextHop != addr("1.1.1.1") {
+			t.Fatalf("message %d lost path attributes", i)
+		}
+		got = append(got, u.NLRI...)
+	}
+	if len(got) != len(many) {
+		t.Fatalf("chunking lost prefixes: %d != %d", len(got), len(many))
+	}
+	for i := range got {
+		if got[i] != many[i] {
+			t.Fatalf("prefix %d = %v, want %v", i, got[i], many[i])
+		}
+	}
+}
+
+// TestEncodeUpdatesBoundary pins the exact 4096-byte boundary: an update that
+// fills the maximum message exactly stays one message, and one more prefix
+// spills into a second.
+func TestEncodeUpdatesBoundary(t *testing.T) {
+	attrs := &PathAttrs{NextHop: addr("1.1.1.1"), ASPath: []uint32{65001, 65002}}
+	attrLen := len(encodeAttrs(attrs))
+	avail := MaxMessageLen - headerLen - 4 - attrLen
+
+	var ps []netip.Prefix
+	if rem := avail % 5; rem > 0 {
+		// A prefix of (rem-1)*8 bits occupies exactly rem wire bytes, making
+		// the /32 fill below land exactly on the boundary.
+		ps = append(ps, netip.PrefixFrom(netip.AddrFrom4([4]byte{192, 168, 0, 0}), (rem-1)*8).Masked())
+		avail -= rem
+	}
+	for i := 0; i < avail/5; i++ {
+		ps = append(ps, netip.PrefixFrom(netip.AddrFrom4([4]byte{10, byte(i >> 8), byte(i), 1}), 32))
+	}
+
+	msgs, err := EncodeUpdates(Update{NLRI: ps, Attrs: attrs})
+	if err != nil {
+		t.Fatalf("EncodeUpdates: %v", err)
+	}
+	if len(msgs) != 1 {
+		t.Fatalf("exact-fit update produced %d messages, want 1", len(msgs))
+	}
+	if len(msgs[0]) != MaxMessageLen {
+		t.Fatalf("exact-fit message is %d bytes, want %d", len(msgs[0]), MaxMessageLen)
+	}
+
+	over := append(append([]netip.Prefix{}, ps...),
+		netip.PrefixFrom(netip.AddrFrom4([4]byte{172, 16, 0, 1}), 32))
+	msgs, err = EncodeUpdates(Update{NLRI: over, Attrs: attrs})
+	if err != nil {
+		t.Fatalf("EncodeUpdates over boundary: %v", err)
+	}
+	if len(msgs) != 2 {
+		t.Fatalf("one-over update produced %d messages, want 2", len(msgs))
+	}
+	total := 0
+	for _, m := range msgs {
+		total += len(mustDecodeUpdate(t, m).NLRI)
+	}
+	if total != len(over) {
+		t.Fatalf("boundary split lost prefixes: %d != %d", total, len(over))
+	}
+}
+
+func TestEncodeUpdatesWithdrawnChunking(t *testing.T) {
+	var many []netip.Prefix
+	for i := 0; i < 2000; i++ {
+		many = append(many, netip.PrefixFrom(netip.AddrFrom4([4]byte{10, byte(i >> 8), byte(i), 1}), 32))
+	}
+	msgs, err := EncodeUpdates(Update{Withdrawn: many})
+	if err != nil {
+		t.Fatalf("EncodeUpdates: %v", err)
+	}
+	if len(msgs) < 2 {
+		t.Fatalf("oversized withdraw produced %d messages, want chunking", len(msgs))
+	}
+	total := 0
+	for _, m := range msgs {
+		total += len(mustDecodeUpdate(t, m).Withdrawn)
+	}
+	if total != len(many) {
+		t.Fatalf("withdraw chunking lost prefixes: %d != %d", total, len(many))
+	}
+}
+
+func TestEncodeUpdatesAttrsTooLarge(t *testing.T) {
+	attrs := &PathAttrs{NextHop: addr("1.1.1.1")}
+	for i := 0; i < 2000; i++ {
+		attrs.ASPath = append(attrs.ASPath, uint32(i+1))
+	}
+	if _, err := EncodeUpdates(Update{Attrs: attrs, NLRI: []netip.Prefix{pfx("10.0.0.0/8")}}); err == nil {
+		t.Error("oversized attributes with NLRI: want error, got nil")
+	}
+	if _, err := EncodeUpdates(Update{Attrs: attrs}); err == nil {
+		t.Error("oversized attributes without NLRI: want error, got nil")
+	}
+}
+
+// A path longer than one AS_SEQUENCE segment's 255-ASN capacity must split
+// across segments and round-trip intact.
+func TestLongASPathRoundTrip(t *testing.T) {
+	attrs := &PathAttrs{NextHop: addr("1.1.1.1")}
+	for i := 0; i < 300; i++ {
+		attrs.ASPath = append(attrs.ASPath, uint32(64512+i))
+	}
+	msg := EncodeUpdate(Update{Attrs: attrs, NLRI: []netip.Prefix{pfx("10.0.0.0/8")}})
+	u := mustDecodeUpdate(t, msg)
+	if u.Attrs == nil || len(u.Attrs.ASPath) != 300 {
+		t.Fatalf("AS path length after round-trip = %d, want 300", len(u.Attrs.ASPath))
+	}
+	for i, as := range u.Attrs.ASPath {
+		if as != uint32(64512+i) {
+			t.Fatalf("ASPath[%d] = %d, want %d", i, as, 64512+i)
+		}
+	}
+}
+
+// Hostile inputs that used to panic the encoder now degrade gracefully.
+func TestEncodeHostileInputsNoPanic(t *testing.T) {
+	v6 := netip.MustParsePrefix("2001:db8::/32")
+	msgs, err := EncodeUpdates(Update{
+		NLRI:  []netip.Prefix{v6, pfx("10.0.0.0/8")},
+		Attrs: &PathAttrs{NextHop: netip.MustParseAddr("2001:db8::1")},
+	})
+	if err != nil {
+		t.Fatalf("EncodeUpdates with hostile prefixes: %v", err)
+	}
+	total := 0
+	for _, m := range msgs {
+		total += len(mustDecodeUpdate(t, m).NLRI)
+	}
+	if total != 1 {
+		t.Fatalf("NLRI after dropping unencodable prefixes = %d, want 1", total)
+	}
+	// Invalid (zero) addresses encode as 0.0.0.0 rather than panicking.
+	EncodeOpen(Open{ASN: 65001, HoldTime: 90})
 }
 
 // Property: any syntactically valid Update round-trips exactly.

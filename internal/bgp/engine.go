@@ -1,6 +1,7 @@
 package bgp
 
 import (
+	"errors"
 	"fmt"
 	"net/netip"
 	"sort"
@@ -442,7 +443,8 @@ func (s *Speaker) HandleMessage(from netip.Addr, data []byte) {
 	s.cMsgsIn.Inc()
 	decoded, err := Decode(data)
 	if err != nil {
-		if n, ok := err.(Notification); ok {
+		var n Notification
+		if errors.As(err, &n) {
 			p.transmit(EncodeNotification(n))
 		} else {
 			p.transmit(EncodeNotification(Notification{Code: NotifUpdateMessageError}))
@@ -808,8 +810,10 @@ func (p *Peer) flushNow() {
 		}
 	}
 
-	for _, chunk := range ChunkPrefixes(withdraw) {
-		p.transmit(EncodeUpdate(Update{Withdrawn: chunk}))
+	if msgs, err := EncodeUpdates(Update{Withdrawn: withdraw}); err == nil {
+		for _, m := range msgs {
+			p.transmit(m)
+		}
 	}
 	// Deterministic group order.
 	keys := make([]string, 0, len(groups))
@@ -819,9 +823,15 @@ func (p *Peer) flushNow() {
 	sort.Strings(keys)
 	for _, k := range keys {
 		g := groups[k]
-		for _, chunk := range ChunkPrefixes(g.prefixes) {
-			attrs := g.attrs
-			p.transmit(EncodeUpdate(Update{Attrs: &attrs, NLRI: chunk}))
+		attrs := g.attrs
+		// An attribute set too large to leave room for NLRI is dropped rather
+		// than advertised truncated; the codec reports it as an error.
+		msgs, err := EncodeUpdates(Update{Attrs: &attrs, NLRI: g.prefixes})
+		if err != nil {
+			continue
+		}
+		for _, m := range msgs {
+			p.transmit(m)
 		}
 	}
 }
@@ -832,8 +842,7 @@ type advGroup struct {
 }
 
 func attrsKey(a PathAttrs) string {
-	u := Update{Attrs: &a, NLRI: nil}
-	return string(EncodeUpdate(u))
+	return string(encodeAttrs(&a))
 }
 
 // exportDecision decides whether (and with what attributes) the current best

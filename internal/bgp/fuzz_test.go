@@ -1,0 +1,96 @@
+package bgp
+
+import (
+	"bytes"
+	"errors"
+	"net/netip"
+	"testing"
+
+	"mfv/internal/diag"
+	"mfv/internal/policy"
+)
+
+// FuzzDecode throws arbitrary bytes at the BGP message decoder. Properties:
+// decoding never panics, every rejection is a typed *diag.Error, and any
+// message the decoder accepts re-encodes canonically — once through the
+// encoder, decode∘encode is a byte-identical fixed point.
+func FuzzDecode(f *testing.F) {
+	f.Add(EncodeKeepalive())
+	f.Add(EncodeOpen(Open{Version: 4, ASN: 4200000001, HoldTime: 90,
+		RouterID: netip.MustParseAddr("2.2.2.1")}))
+	f.Add(EncodeNotification(Notification{Code: NotifCease, Subcode: 2, Data: []byte("bye")}))
+	u := Update{
+		Withdrawn: []netip.Prefix{netip.MustParsePrefix("10.9.0.0/16")},
+		Attrs: &PathAttrs{
+			Origin:      OriginIGP,
+			ASPath:      []uint32{65001, 4200000001},
+			NextHop:     netip.MustParseAddr("10.0.0.1"),
+			MED:         50,
+			HasMED:      true,
+			LocalPref:   200,
+			HasLocal:    true,
+			Communities: []policy.Community{0x0001000a},
+		},
+		NLRI: []netip.Prefix{
+			netip.MustParsePrefix("192.0.2.0/24"),
+			netip.MustParsePrefix("2.2.2.4/32"),
+			netip.MustParsePrefix("0.0.0.0/0"),
+		},
+	}
+	msgs, err := EncodeUpdates(u)
+	if err != nil {
+		f.Fatal(err)
+	}
+	for _, m := range msgs {
+		f.Add(m)
+	}
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		v, err := Decode(data)
+		if err != nil {
+			var de *diag.Error
+			if !errors.As(err, &de) {
+				t.Fatalf("decode error is not a *diag.Error: %v", err)
+			}
+			return
+		}
+		switch m := v.(type) {
+		case Open:
+			enc := EncodeOpen(m)
+			v2, err := Decode(enc)
+			if err != nil {
+				t.Fatalf("re-decoding encoded OPEN: %v", err)
+			}
+			if v2.(Open) != m {
+				t.Fatalf("OPEN round trip: %+v != %+v", v2, m)
+			}
+		case Update:
+			// An accepted update may carry an attribute bundle too large to
+			// re-emit (EncodeUpdates reports it); that is not a round-trip
+			// failure.
+			msgs, err := EncodeUpdates(m)
+			if err != nil {
+				return
+			}
+			for _, enc := range msgs {
+				v2, err := Decode(enc)
+				if err != nil {
+					t.Fatalf("re-decoding encoded UPDATE: %v", err)
+				}
+				msgs2, err := EncodeUpdates(v2.(Update))
+				if err != nil || len(msgs2) != 1 || !bytes.Equal(msgs2[0], enc) {
+					t.Fatalf("canonical UPDATE encoding is not a fixed point (err=%v)", err)
+				}
+			}
+		case Notification:
+			v2, err := Decode(EncodeNotification(m))
+			if err != nil {
+				t.Fatalf("re-decoding encoded NOTIFICATION: %v", err)
+			}
+			n2 := v2.(Notification)
+			if n2.Code != m.Code || n2.Subcode != m.Subcode || !bytes.Equal(n2.Data, m.Data) {
+				t.Fatalf("NOTIFICATION round trip: %+v != %+v", n2, m)
+			}
+		}
+	})
+}

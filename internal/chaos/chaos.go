@@ -40,6 +40,10 @@ const (
 	// KindLinkDegrade imposes probabilistic loss and extra delay on a link
 	// for Duration, then clears it.
 	KindLinkDegrade Kind = "link-degrade"
+	// KindCorruptConfig pushes a corrupted configuration onto a router past
+	// the parse-first fail-safe; an unparseable config quarantines the
+	// router permanently (shut down, never rescheduled).
+	KindCorruptConfig Kind = "corrupt-config"
 )
 
 // Fault is one timed fault specification. After is the virtual delay from
@@ -62,6 +66,9 @@ type Fault struct {
 	// LossPct and ExtraDelay parameterize link-degrade.
 	LossPct    int           `json:"loss_pct,omitempty"`
 	ExtraDelay time.Duration `json:"extra_delay_ns,omitempty"`
+	// Config is the corrupted configuration text for corrupt-config; empty
+	// selects a deterministic built-in garbage payload.
+	Config string `json:"config,omitempty"`
 }
 
 // Describe renders the fault for traces and reports: "pod-crash r3",
@@ -90,7 +97,7 @@ func (f Fault) validate() error {
 		if f.Link == "" {
 			return fmt.Errorf("chaos: %s fault needs a link target", f.Kind)
 		}
-	case KindPodCrash, KindNodeFail, KindBGPReset:
+	case KindPodCrash, KindNodeFail, KindBGPReset, KindCorruptConfig:
 		if f.Node == "" {
 			return fmt.Errorf("chaos: %s fault needs a node target", f.Kind)
 		}
@@ -179,6 +186,11 @@ type Verdict struct {
 	// Degraded lists routers that had not settled when the post-fault wait
 	// timed out.
 	Degraded []string `json:"degraded,omitempty"`
+	// Quarantined lists routers contained after hostile input (corrupted
+	// config, escaped handler panic) as of this fault's settle point. A
+	// quarantined router is permanently down, so its flow loss is expected
+	// and the verdict still reports NOT RECOVERED.
+	Quarantined []string `json:"quarantined,omitempty"`
 	// Diffs are the surviving per-flow outcome changes vs the pre-fault
 	// baseline ("r5 -> 2.2.2.1: Delivered@r2 => NoRoute@r5").
 	Diffs []string `json:"diffs,omitempty"`
@@ -212,6 +224,9 @@ func (r *Report) String() string {
 		}
 		if len(v.Degraded) > 0 {
 			status += " (degraded: " + strings.Join(v.Degraded, ",") + ")"
+		}
+		if len(v.Quarantined) > 0 {
+			status += " (quarantined: " + strings.Join(v.Quarantined, ",") + ")"
 		}
 		fmt.Fprintf(&b, "%-32s %12v %12v %10d %8d %8d  %s\n",
 			v.Fault.Describe(), v.InjectedAt, v.ReconvergedIn,
@@ -283,6 +298,12 @@ var builtins = []*Scenario{
 			Kind: KindLinkDegrade, Link: "r1:Ethernet1", After: 10 * time.Second,
 			Duration: time.Minute, LossPct: 30, ExtraDelay: 10 * time.Millisecond,
 		}},
+	},
+	{
+		Name:        "corrupt-config",
+		Description: "push a corrupted config to r4; the parser rejects it, the router is quarantined (shut down, never rescheduled), and the run completes with a degraded verdict",
+		Seed:        42,
+		Faults:      []Fault{{Kind: KindCorruptConfig, Node: "r4", After: 10 * time.Second}},
 	},
 	{
 		Name:        "node-outage",

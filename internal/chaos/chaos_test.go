@@ -233,6 +233,46 @@ func TestNodeOutageRecovers(t *testing.T) {
 	}
 }
 
+// TestCorruptConfigQuarantines pushes garbage configuration at r4: the
+// vendor parser rejects it, the router is quarantined (shut down, pod NOT
+// rescheduled), neighbors withdraw its routes, and the run completes with
+// a degraded verdict naming the quarantined router.
+func TestCorruptConfigQuarantines(t *testing.T) {
+	em := startFig2(t, 42, 0)
+	sc, _ := Builtin("corrupt-config")
+	rep := run(t, em, sc)
+
+	v := rep.Verdicts[0]
+	if v.FlowsLost == 0 || v.Recovered {
+		t.Errorf("quarantine lost no flows: %+v", v)
+	}
+	if len(v.Quarantined) != 1 || v.Quarantined[0] != "r4" {
+		t.Errorf("verdict quarantined = %v, want [r4]", v.Quarantined)
+	}
+	if got := em.QuarantinedRouters(); len(got) != 1 || got[0] != "r4" {
+		t.Fatalf("QuarantinedRouters = %v", got)
+	}
+	reason, ok := em.QuarantineReason("r4")
+	if !ok || reason == "" {
+		t.Errorf("no quarantine reason recorded: %q %v", reason, ok)
+	}
+	r4, ok := em.Router("r4")
+	if !ok {
+		t.Fatal("r4 gone")
+	}
+	if !r4.Quarantined() || !r4.Crashed() {
+		t.Error("r4 not quarantined/shut down")
+	}
+	// Unlike pod-crash, quarantine must not reschedule: the pod object is
+	// left in place and the router is never rebuilt.
+	if em.RouterDown("r4") {
+		t.Error("quarantined router marked as crash-rebooting")
+	}
+	if !strings.Contains(rep.String(), "quarantined: r4") {
+		t.Errorf("report rendering misses quarantine:\n%s", rep.String())
+	}
+}
+
 // TestDeterministicTimeline runs an identical scenario twice from the same
 // seed and requires byte-identical reports — fault timeline, flow counts,
 // reconvergence times.

@@ -12,6 +12,15 @@ import (
 	"mfv/internal/verify"
 )
 
+// defaultCorruptConfig is the deterministic garbage payload corrupt-config
+// faults push when the scenario supplies no Config of its own: no vendor
+// parser accepts it, so the target router is always quarantined.
+const defaultCorruptConfig = "!! flash corruption artifact\n" +
+	"interface Ethernet999\n" +
+	"   ip address 999.999.999.999/99\n" +
+	"florble gork\n" +
+	"\x00\x01\x7f garbled trailer\n"
+
 // Engine executes scenarios against a running emulation. The emulator must
 // already be started and converged; Execute advances virtual time itself.
 type Engine struct {
@@ -331,6 +340,22 @@ func (en *Engine) runFault(f Fault, baseline snap) (*Verdict, snap, error) {
 		clear()
 		conv = em.Settle(en.hold, en.timeout)
 
+	case KindCorruptConfig:
+		cfg := f.Config
+		if cfg == "" {
+			cfg = defaultCorruptConfig
+		}
+		if err = em.CorruptConfig(f.Node, cfg); err != nil {
+			return fail(err)
+		}
+		// Quarantine is permanent — the router never reboots, so like
+		// link-cut the settled impact state is the final state. The hold
+		// window lets neighbors withdraw through hold-timer expiry.
+		conv = em.Settle(en.hold, en.timeout)
+		if impact, err = en.snapshot(); err != nil {
+			return fail(err)
+		}
+
 	default:
 		return fail(fmt.Errorf("chaos: unknown fault kind %q", f.Kind))
 	}
@@ -345,6 +370,7 @@ func (en *Engine) runFault(f Fault, baseline snap) (*Verdict, snap, error) {
 	}
 	v.ReconvergedIn = v.SettledAt - v.InjectedAt
 	v.Degraded = conv.Stragglers
+	v.Quarantined = conv.Quarantined
 
 	impactLost := lostFlows(en.differential(baseline, impact))
 	finalDiffs := en.differential(baseline, final)

@@ -1,0 +1,79 @@
+package chaos
+
+import (
+	"encoding/json"
+	"sort"
+	"strings"
+	"testing"
+	"time"
+
+	"mfv/internal/kne"
+	"mfv/internal/testnet"
+)
+
+// aftSnapshot renders every router's forwarding-table fingerprint as one
+// deterministic string — the byte-identity witness for equivalence checks.
+func aftSnapshot(em *kne.Emulator) string {
+	var lines []string
+	for _, r := range em.Routers() {
+		lines = append(lines, r.Name+" "+r.ExportAFT().Fingerprint())
+	}
+	sort.Strings(lines)
+	return strings.Join(lines, "\n")
+}
+
+// TestQuarantineEquivalentToShutdown is the quickcheck for the containment
+// contract: a quarantined router must be protocol-indistinguishable from one
+// whose control plane simply shut down — neighbors converge to byte-identical
+// forwarding state — and the chaos engine must produce byte-identical
+// snapshots and verdicts at any worker count, with incremental verification
+// on or off.
+func TestQuarantineEquivalentToShutdown(t *testing.T) {
+	// Reference: same network, same seed, r4's control plane shut down
+	// directly (the state a dead pod leaves behind), no engine involved.
+	ref := startFig2(t, 42, 0)
+	r4, ok := ref.Router("r4")
+	if !ok {
+		t.Fatal("r4 missing")
+	}
+	r4.Shutdown()
+	ref.Settle(2*time.Minute, 30*time.Minute)
+	want := aftSnapshot(ref)
+	if !strings.Contains(want, "r4") {
+		t.Fatalf("reference snapshot misses r4:\n%s", want)
+	}
+
+	sc, ok := Builtin("corrupt-config")
+	if !ok {
+		t.Fatal("corrupt-config builtin missing")
+	}
+	var verdicts []string
+	for _, workers := range []int{1, 2, 8} {
+		for _, incremental := range []bool{true, false} {
+			em := startFig2(t, 42, 0)
+			en := NewEngine(em, testnet.Fig2(), nil).WithWorkers(workers).WithIncremental(incremental)
+			rep, err := en.Execute(sc)
+			if err != nil {
+				t.Fatalf("workers=%d incremental=%v: %v", workers, incremental, err)
+			}
+			if got := em.QuarantinedRouters(); len(got) != 1 || got[0] != "r4" {
+				t.Fatalf("workers=%d incremental=%v: quarantined = %v, want [r4]", workers, incremental, got)
+			}
+			if got := aftSnapshot(em); got != want {
+				t.Errorf("workers=%d incremental=%v: quarantined snapshot differs from the shutdown reference\n got:\n%s\nwant:\n%s",
+					workers, incremental, got, want)
+			}
+			v, err := json.Marshal(rep.Verdicts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			verdicts = append(verdicts, string(v))
+		}
+	}
+	for i := 1; i < len(verdicts); i++ {
+		if verdicts[i] != verdicts[0] {
+			t.Errorf("verdict %d differs across the workers x incremental matrix:\n%s\nvs\n%s",
+				i, verdicts[i], verdicts[0])
+		}
+	}
+}

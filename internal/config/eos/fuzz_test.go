@@ -1,0 +1,57 @@
+package eos
+
+import (
+	"reflect"
+	"testing"
+)
+
+// fuzzSeedConfig exercises every block the dialect defines: interfaces,
+// BGP with neighbors, IS-IS, traffic engineering, and statics.
+const fuzzSeedConfig = `hostname r1
+!
+interface Loopback0
+   ip address 2.2.2.1/32
+interface Ethernet1
+   ip address 10.0.0.0/31
+   no switchport
+!
+router bgp 65001
+   router-id 2.2.2.1
+   neighbor 10.0.0.1 remote-as 65002
+!
+router isis core
+   net 49.0001.1010.1040.1010.00
+!
+router traffic-engineering
+   tunnel T1
+      destination 2.2.2.2
+!
+ip route 9.9.9.0/24 10.0.0.1
+`
+
+// FuzzParse throws arbitrary text at the strict and lenient EOS parsers.
+// Properties: parsing never panics (a config is hostile input — one bad
+// device file must not kill the pipeline), an accepted device survives
+// Validate without panicking, and parsing is deterministic.
+func FuzzParse(f *testing.F) {
+	f.Add(fuzzSeedConfig)
+	f.Add("florble gork\n")
+	f.Add("interface Ethernet999\n   ip address 999.999.999.999/99\n")
+	f.Add("router bgp 4294967296\n")
+	f.Add("\x00\x01\x7f garbled\n")
+	f.Fuzz(func(t *testing.T, src string) {
+		dev, _, err := Parse(src)
+		if err == nil {
+			if dev == nil {
+				t.Fatal("nil device with nil error")
+			}
+			dev2, _, err2 := Parse(src)
+			if err2 != nil || !reflect.DeepEqual(dev, dev2) {
+				t.Fatalf("parse is not deterministic (err2=%v)", err2)
+			}
+		}
+		if dev, _, err := ParseLenient(src); err == nil && dev == nil {
+			t.Fatal("lenient: nil device with nil error")
+		}
+	})
+}

@@ -39,10 +39,17 @@ func lex(src string) []line {
 				continue
 			}
 		}
+		words := strings.Fields(trimmed)
+		if len(words) == 0 {
+			// Exotic whitespace (form feed, vertical tab) survives the cutset
+			// trims above but still splits to nothing; treat it as blank
+			// rather than hand the parser a zero-word line.
+			continue
+		}
 		out = append(out, line{
 			num:    i + 1,
 			indent: indent,
-			words:  strings.Fields(trimmed),
+			words:  words,
 			raw:    raw,
 		})
 	}

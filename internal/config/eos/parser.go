@@ -7,6 +7,7 @@ import (
 	"strings"
 
 	"mfv/internal/config/ir"
+	"mfv/internal/diag"
 	"mfv/internal/policy"
 )
 
@@ -59,8 +60,12 @@ func parse(src string, strict bool) (*ir.Device, *Diagnostics, error) {
 	return p.dev, p.diags, nil
 }
 
+// errf builds a parse diagnostic: *diag.Error with the line number as the
+// offset, so callers can attribute the rejection to a device and location
+// without string matching.
 func (p *parser) errf(l line, format string, args ...any) error {
-	return fmt.Errorf("eos: line %d: %s: %s", l.num, fmt.Sprintf(format, args...), strings.TrimSpace(l.raw))
+	return diag.Newf(diag.SevError, "config", "",
+		"%s: %s", fmt.Sprintf(format, args...), strings.TrimSpace(l.raw)).WithOffset(l.num)
 }
 
 // unknown handles an unrecognized line per the strictness mode.

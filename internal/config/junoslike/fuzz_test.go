@@ -1,0 +1,74 @@
+package junoslike
+
+import (
+	"reflect"
+	"testing"
+)
+
+// fuzzSeedConfig exercises the whole dialect: system, interfaces with inet
+// units, protocols (isis/bgp/mpls), and routing-options with statics.
+const fuzzSeedConfig = `system {
+    host-name r1;
+}
+interfaces {
+    lo0 {
+        unit 0 {
+            family inet {
+                address 2.2.2.1/32;
+            }
+        }
+    }
+    et-0/0/1 {
+        unit 0 {
+            family inet {
+                address 10.0.0.0/31;
+            }
+        }
+    }
+}
+protocols {
+    isis {
+        net 49.0001.1010.1040.1010.00;
+        interface et-0/0/1.0;
+    }
+    bgp {
+        group ebgp {
+            peer-as 65002;
+            neighbor 10.0.0.1;
+        }
+    }
+    mpls {
+        interface et-0/0/1.0;
+    }
+}
+routing-options {
+    autonomous-system 65001;
+    router-id 2.2.2.1;
+    static {
+        route 9.9.9.0/24 next-hop 10.0.0.1;
+    }
+}
+`
+
+// FuzzParse throws arbitrary text at the brace-structured parser.
+// Properties: parsing never panics (configs are hostile input), and an
+// accepted parse is deterministic.
+func FuzzParse(f *testing.F) {
+	f.Add(fuzzSeedConfig)
+	f.Add("protocols { bgp { group g { neighbor 10.0.0.1 { } } } }")
+	f.Add(`system { host-name "unterminated`)
+	f.Add("}{;;/* dangling */ #\n\x00\x7f")
+	f.Fuzz(func(t *testing.T, src string) {
+		dev, err := Parse(src)
+		if err != nil {
+			return
+		}
+		if dev == nil {
+			t.Fatal("nil device with nil error")
+		}
+		dev2, err2 := Parse(src)
+		if err2 != nil || !reflect.DeepEqual(dev, dev2) {
+			t.Fatalf("parse is not deterministic (err2=%v)", err2)
+		}
+	})
+}

@@ -12,6 +12,7 @@ import (
 	"strings"
 
 	"mfv/internal/config/ir"
+	"mfv/internal/diag"
 )
 
 // node is one statement in the configuration tree: a list of words plus
@@ -182,8 +183,10 @@ func Parse(src string) (*ir.Device, error) {
 
 type interp struct{ dev *ir.Device }
 
+// errf builds a parse diagnostic: *diag.Error with the line number as the
+// offset, matching the eos parser's structured errors.
 func (p *interp) errf(n *node, format string, args ...any) error {
-	return fmt.Errorf("junoslike: line %d: %s", n.line, fmt.Sprintf(format, args...))
+	return diag.Newf(diag.SevError, "config", "", format, args...).WithOffset(n.line)
 }
 
 func (p *interp) top(n *node) error {

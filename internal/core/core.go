@@ -15,6 +15,7 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"net"
 	"net/netip"
@@ -22,6 +23,7 @@ import (
 
 	"mfv/internal/aft"
 	"mfv/internal/chaos"
+	"mfv/internal/diag"
 	"mfv/internal/gnmi"
 	"mfv/internal/kne"
 	"mfv/internal/model"
@@ -148,6 +150,11 @@ type Result struct {
 	// DegradedRouters lists devices that had not settled when a degraded
 	// run's timeout expired; their AFTs may be mid-churn.
 	DegradedRouters []string
+	// QuarantinedRouters lists devices contained after hostile input — a
+	// corrupted config, an undecodable AFT, or a handler panic caught by the
+	// per-router recover boundary. A quarantined router contributes an empty
+	// AFT; the rest of the network is verified around it.
+	QuarantinedRouters []string
 }
 
 // Run executes the pipeline on a snapshot.
@@ -280,14 +287,15 @@ func runEmulation(snap Snapshot, opts Options) (*Result, error) {
 		network.EquivalenceClasses()
 	}
 	return &Result{
-		Backend:         BackendEmulation,
-		AFTs:            afts,
-		Network:         network,
-		StartupAt:       em.StartupDone(),
-		ConvergedAt:     convergedAt,
-		Emulator:        em,
-		Chaos:           chaosRep,
-		DegradedRouters: stragglers,
+		Backend:            BackendEmulation,
+		AFTs:               afts,
+		Network:            network,
+		StartupAt:          em.StartupDone(),
+		ConvergedAt:        convergedAt,
+		Emulator:           em,
+		Chaos:              chaosRep,
+		DegradedRouters:    stragglers,
+		QuarantinedRouters: em.QuarantinedRouters(),
 	}, nil
 }
 
@@ -329,10 +337,27 @@ func extractViaGNMI(em *kne.Emulator, retry gnmi.RetryPolicy, o *obs.Observer) (
 	if retry.Attempts == 0 {
 		retry = gnmi.DefaultRetry
 	}
+	return pullAFTs(em, func(name string) (*aft.AFT, error) {
+		return retry.GetAFT(client, name)
+	})
+}
+
+// pullAFTs drains every router's table through pull. A payload that arrives
+// but fails to decode or validate (a *diag.Error) is hostile output from
+// one device, not a broken extraction path: the device is quarantined and
+// contributes an empty AFT so the rest of the network still gets verified.
+// Transport errors abort the extraction as before.
+func pullAFTs(em *kne.Emulator, pull func(name string) (*aft.AFT, error)) (map[string]*aft.AFT, error) {
 	out := map[string]*aft.AFT{}
 	for _, r := range em.Routers() {
-		a, err := retry.GetAFT(client, r.Name)
+		a, err := pull(r.Name)
 		if err != nil {
+			var de *diag.Error
+			if errors.As(err, &de) {
+				_ = em.QuarantineRouter(r.Name, de.Error())
+				out[r.Name] = &aft.AFT{Device: r.Name}
+				continue
+			}
 			return nil, fmt.Errorf("core: pulling AFT for %s: %w", r.Name, err)
 		}
 		out[r.Name] = a

@@ -7,8 +7,10 @@ import (
 	"testing"
 	"time"
 
+	"mfv/internal/aft"
 	"mfv/internal/chaos"
 	"mfv/internal/config/eos"
+	"mfv/internal/diag"
 	"mfv/internal/routegen"
 	"mfv/internal/testnet"
 	"mfv/internal/topology"
@@ -273,6 +275,78 @@ func TestChaosThroughPipeline(t *testing.T) {
 	// The post-chaos network is what gets verified: still fully meshed.
 	if !res.Network.Reachable("r1", testnet.Fig2Loopback("r4")) {
 		t.Error("post-chaos network lost reachability")
+	}
+}
+
+// TestQuarantineThroughPipeline runs the corrupt-config builtin end to end:
+// the quarantined router must land on both the chaos verdict and the
+// Result, and the run must complete with the rest of the network verified
+// around the contained device's empty table.
+func TestQuarantineThroughPipeline(t *testing.T) {
+	sc, ok := chaos.Builtin("corrupt-config")
+	if !ok {
+		t.Fatal("no corrupt-config builtin")
+	}
+	res, err := Run(Snapshot{Topology: testnet.Fig2()}, Options{
+		Backend: BackendEmulation,
+		Chaos:   sc,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.QuarantinedRouters) != 1 || res.QuarantinedRouters[0] != "r4" {
+		t.Fatalf("QuarantinedRouters = %v, want [r4]", res.QuarantinedRouters)
+	}
+	v := res.Chaos.Verdicts[0]
+	if len(v.Quarantined) != 1 || v.Quarantined[0] != "r4" {
+		t.Errorf("verdict quarantined = %v", v.Quarantined)
+	}
+	// The contained router contributes an empty table; everyone else still
+	// forwards among themselves.
+	if a := res.AFTs["r4"]; a == nil || len(a.IPv4Entries) != 0 {
+		t.Errorf("quarantined r4 AFT not empty: %v", a)
+	}
+	if !res.Network.Reachable("r1", testnet.Fig2Loopback("r2")) {
+		t.Error("healthy routers lost reachability after quarantine")
+	}
+	if res.Network.Reachable("r1", testnet.Fig2Loopback("r4")) {
+		t.Error("quarantined router still reachable")
+	}
+}
+
+// TestPullAFTsQuarantinesHostilePayload exercises the extraction containment
+// boundary directly: a device whose AFT payload fails to decode (a
+// *diag.Error) is quarantined and replaced by an empty table, while a
+// transport error still aborts the extraction.
+func TestPullAFTsQuarantinesHostilePayload(t *testing.T) {
+	res := runEmu(t, Snapshot{Topology: testnet.Fig3()})
+	em := res.Emulator
+
+	hostile := func(name string) (*aft.AFT, error) {
+		if name == "r2" {
+			return nil, diag.Wrap(fmt.Errorf("invalid character 'x'"), diag.SevFatal, "gnmi", name)
+		}
+		return &aft.AFT{Device: name}, nil
+	}
+	afts, err := pullAFTs(em, hostile)
+	if err != nil {
+		t.Fatalf("hostile payload aborted extraction: %v", err)
+	}
+	if got := em.QuarantinedRouters(); len(got) != 1 || got[0] != "r2" {
+		t.Fatalf("QuarantinedRouters = %v, want [r2]", got)
+	}
+	if a := afts["r2"]; a == nil || len(a.IPv4Entries) != 0 {
+		t.Errorf("hostile device's AFT not replaced by empty table: %v", afts["r2"])
+	}
+	if reason, ok := em.QuarantineReason("r2"); !ok || !strings.Contains(reason, "gnmi") {
+		t.Errorf("quarantine reason = %q, %v", reason, ok)
+	}
+
+	transport := func(name string) (*aft.AFT, error) {
+		return nil, fmt.Errorf("gnmi: recv: connection reset")
+	}
+	if _, err := pullAFTs(em, transport); err == nil {
+		t.Error("transport error did not abort extraction")
 	}
 }
 

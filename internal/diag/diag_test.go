@@ -1,0 +1,93 @@
+package diag
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+)
+
+func TestErrorRendering(t *testing.T) {
+	e := Newf(SevError, "bgp", "r1", "truncated NLRI at %d bytes", 12)
+	want := "error bgp r1: truncated NLRI at 12 bytes"
+	if e.Error() != want {
+		t.Errorf("Error() = %q, want %q", e.Error(), want)
+	}
+	withLoc := e.WithPath("node/r1/config").WithOffset(7)
+	want = "error bgp r1 node/r1/config:7: truncated NLRI at 12 bytes"
+	if withLoc.Error() != want {
+		t.Errorf("Error() = %q, want %q", withLoc.Error(), want)
+	}
+	// The original is unchanged (With* return copies).
+	if e.Path != "" || e.Offset != -1 {
+		t.Errorf("With* mutated the receiver: %+v", e)
+	}
+}
+
+func TestWrapPreservesInnerContext(t *testing.T) {
+	inner := Decodef("isis", 9, "bad prefix length 40")
+	wrapped := Wrap(fmt.Errorf("handling PDU: %w", inner), SevFatal, "vrouter", "r2")
+	if wrapped.Source != "isis" {
+		t.Errorf("Source = %q, want inner source preserved", wrapped.Source)
+	}
+	if wrapped.Device != "r2" {
+		t.Errorf("Device = %q, want filled from wrapper", wrapped.Device)
+	}
+	if wrapped.Sev != SevFatal {
+		t.Errorf("Sev = %v, want escalated to fatal", wrapped.Sev)
+	}
+	if wrapped.Offset != 9 {
+		t.Errorf("Offset = %d, want inner offset preserved", wrapped.Offset)
+	}
+}
+
+func TestWrapNilAndPlain(t *testing.T) {
+	if Wrap(nil, SevError, "aft", "r1") != nil {
+		t.Error("Wrap(nil) != nil")
+	}
+	plain := errors.New("unexpected EOF")
+	w := Wrap(plain, SevFatal, "gnmi", "r3")
+	if !errors.Is(w, plain) {
+		t.Error("wrapped chain lost the cause")
+	}
+	if !IsFatal(w) {
+		t.Error("IsFatal(fatal wrap) = false")
+	}
+	if SeverityOf(plain) != SevError {
+		t.Errorf("SeverityOf(plain) = %v, want default SevError", SeverityOf(plain))
+	}
+}
+
+func TestListSortAndMax(t *testing.T) {
+	l := List{
+		New(SevWarning, "lint", "r2", "b"),
+		New(SevFatal, "config", "r9", "x"),
+		New(SevWarning, "lint", "r1", "a"),
+		New(SevError, "lint", "r1", "c"),
+	}
+	l.Sort()
+	if l[0].Sev != SevFatal {
+		t.Errorf("first after sort = %v, want fatal", l[0])
+	}
+	if l[1].Sev != SevError || l[1].Device != "r1" {
+		t.Errorf("second after sort = %v", l[1])
+	}
+	if l[2].Device != "r1" || l[3].Device != "r2" {
+		t.Errorf("warnings not ordered by device: %v, %v", l[2], l[3])
+	}
+	if l.Max() != SevFatal {
+		t.Errorf("Max = %v, want fatal", l.Max())
+	}
+	if (List{}).Max() != SevInfo {
+		t.Errorf("empty Max = %v, want info", (List{}).Max())
+	}
+}
+
+func TestSeverityString(t *testing.T) {
+	for sev, want := range map[Severity]string{
+		SevInfo: "info", SevWarning: "warning", SevError: "error", SevFatal: "fatal",
+	} {
+		if sev.String() != want {
+			t.Errorf("%d.String() = %q, want %q", sev, sev.String(), want)
+		}
+	}
+}

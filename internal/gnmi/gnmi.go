@@ -18,6 +18,7 @@ import (
 	"time"
 
 	"mfv/internal/aft"
+	"mfv/internal/diag"
 	"mfv/internal/obs"
 )
 
@@ -316,13 +317,21 @@ func (c *Client) Capabilities() (map[string]any, error) {
 	return out, nil
 }
 
-// GetAFT pulls the target's abstract forwarding table.
+// GetAFT pulls the target's abstract forwarding table. Transport failures
+// come back as plain errors; a payload that arrives intact but fails to
+// decode or validate is a *diag.Error attributed to the target — the caller
+// can distinguish "extraction broke" from "this device produced hostile
+// data" and contain the latter per device.
 func (c *Client) GetAFT(target string) (*aft.AFT, error) {
 	payload, err := c.call("Get", target, PathAFT)
 	if err != nil {
 		return nil, err
 	}
-	return aft.Unmarshal(payload)
+	a, err := aft.Unmarshal(payload)
+	if err != nil {
+		return nil, diag.Wrap(err, diag.SevFatal, "gnmi", target).WithPath(PathAFT)
+	}
+	return a, nil
 }
 
 // GetHostname fetches the device hostname.

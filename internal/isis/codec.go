@@ -10,6 +10,8 @@ import (
 	"fmt"
 	"net/netip"
 	"strings"
+
+	"mfv/internal/diag"
 )
 
 // SystemID is the 6-byte IS-IS system identifier.
@@ -82,34 +84,63 @@ type LSP struct {
 	Hostname  string
 }
 
-// EncodeHello marshals a hello PDU.
+// addr4 renders an address as 4 wire bytes; invalid or non-IPv4 addresses
+// (hostile or unset input) become 0.0.0.0 instead of panicking in As4.
+func addr4(a netip.Addr) [4]byte {
+	if !a.Is4() && !a.Is4In6() {
+		return [4]byte{}
+	}
+	return a.As4()
+}
+
+// EncodeHello marshals a hello PDU. The seen-neighbor count travels in one
+// byte, so a list longer than 255 (only reachable with hostile input) is
+// truncated deterministically rather than letting the count wrap and desync
+// the wire layout.
 func EncodeHello(h Hello) []byte {
-	buf := make([]byte, 0, 16+6*len(h.Seen))
+	seen := h.Seen
+	if len(seen) > 255 {
+		seen = seen[:255]
+	}
+	buf := make([]byte, 0, 16+6*len(seen))
 	buf = append(buf, protoDiscriminator, pduHello)
 	buf = append(buf, h.Source[:]...)
-	ip := h.SourceIP.As4()
+	ip := addr4(h.SourceIP)
 	buf = append(buf, ip[:]...)
 	buf = binary.BigEndian.AppendUint16(buf, h.HoldingTime)
-	buf = append(buf, byte(len(h.Seen)))
-	for _, s := range h.Seen {
+	buf = append(buf, byte(len(seen)))
+	for _, s := range seen {
 		buf = append(buf, s[:]...)
 	}
 	return buf
 }
 
-// EncodeLSP marshals an LSP.
+// EncodeLSP marshals an LSP. Counts travel as uint16 (neighbors, prefixes)
+// and uint8 (hostname length); oversized lists are truncated rather than
+// wrapped, and non-IPv4 prefixes — unencodable in this PDU format — are
+// dropped.
 func EncodeLSP(l LSP) []byte {
+	neighbors := l.Neighbors
+	if len(neighbors) > 65535 {
+		neighbors = neighbors[:65535]
+	}
+	prefixes := make([]PrefixReach, 0, len(l.Prefixes))
+	for _, p := range l.Prefixes {
+		if p.Prefix.IsValid() && p.Prefix.Addr().Is4() && len(prefixes) < 65535 {
+			prefixes = append(prefixes, p)
+		}
+	}
 	buf := make([]byte, 0, 64)
 	buf = append(buf, protoDiscriminator, pduLSP)
 	buf = append(buf, l.Origin[:]...)
 	buf = binary.BigEndian.AppendUint32(buf, l.Seq)
-	buf = binary.BigEndian.AppendUint16(buf, uint16(len(l.Neighbors)))
-	for _, n := range l.Neighbors {
+	buf = binary.BigEndian.AppendUint16(buf, uint16(len(neighbors)))
+	for _, n := range neighbors {
 		buf = append(buf, n.ID[:]...)
 		buf = binary.BigEndian.AppendUint32(buf, n.Metric)
 	}
-	buf = binary.BigEndian.AppendUint16(buf, uint16(len(l.Prefixes)))
-	for _, p := range l.Prefixes {
+	buf = binary.BigEndian.AppendUint16(buf, uint16(len(prefixes)))
+	for _, p := range prefixes {
 		a := p.Prefix.Addr().As4()
 		buf = append(buf, a[:]...)
 		buf = append(buf, byte(p.Prefix.Bits()))
@@ -123,18 +154,27 @@ func EncodeLSP(l LSP) []byte {
 	return buf
 }
 
-// Decode parses a PDU, returning Hello or LSP.
+// Decode parses a PDU, returning Hello or LSP. Errors are *diag.Error
+// (source "isis") carrying the byte offset where decoding failed.
 func Decode(b []byte) (any, error) {
 	if len(b) < 2 || b[0] != protoDiscriminator {
-		return nil, fmt.Errorf("isis: bad PDU header")
+		return nil, diag.Decodef("isis", 0, "bad PDU header")
 	}
 	switch b[1] {
 	case pduHello:
-		return decodeHello(b[2:])
+		v, err := decodeHello(b[2:])
+		if err != nil {
+			return nil, diag.Wrap(err, diag.SevError, "isis", "")
+		}
+		return v, nil
 	case pduLSP:
-		return decodeLSP(b[2:])
+		v, err := decodeLSP(b[2:])
+		if err != nil {
+			return nil, diag.Wrap(err, diag.SevError, "isis", "")
+		}
+		return v, nil
 	default:
-		return nil, fmt.Errorf("isis: unknown PDU type %d", b[1])
+		return nil, diag.Decodef("isis", 1, "unknown PDU type %d", b[1])
 	}
 }
 

@@ -1,0 +1,74 @@
+package isis
+
+import (
+	"bytes"
+	"errors"
+	"net/netip"
+	"testing"
+
+	"mfv/internal/diag"
+)
+
+// FuzzDecode throws arbitrary bytes at the IS-IS PDU decoder. Properties:
+// decoding never panics, every rejection is a typed *diag.Error, and any
+// PDU the decoder accepts re-encodes to a byte-identical fixed point.
+func FuzzDecode(f *testing.F) {
+	mustID := func(s string) SystemID {
+		id, err := ParseSystemID(s)
+		if err != nil {
+			f.Fatal(err)
+		}
+		return id
+	}
+	r1, r2 := mustID("1010.1040.1010"), mustID("1010.1040.1020")
+	f.Add(EncodeHello(Hello{
+		Source:      r1,
+		SourceIP:    netip.MustParseAddr("10.0.0.1"),
+		HoldingTime: 30,
+		Seen:        []SystemID{r2},
+	}))
+	f.Add(EncodeLSP(LSP{
+		Origin: r1,
+		Seq:    7,
+		Neighbors: []Neighbor{
+			{ID: r2, Metric: 10},
+		},
+		Prefixes: []PrefixReach{
+			{Prefix: netip.MustParsePrefix("2.2.2.1/32"), Metric: 0},
+			{Prefix: netip.MustParsePrefix("10.0.0.0/31"), Metric: 10},
+		},
+		Hostname: "r1",
+	}))
+	f.Add([]byte{protoDiscriminator, pduLSP}) // truncated
+	f.Add([]byte{protoDiscriminator, 0x7f})   // unknown PDU type
+
+	reencode := func(t *testing.T, v any) []byte {
+		switch m := v.(type) {
+		case Hello:
+			return EncodeHello(m)
+		case LSP:
+			return EncodeLSP(m)
+		default:
+			t.Fatalf("decoder returned unexpected type %T", v)
+			return nil
+		}
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		v, err := Decode(data)
+		if err != nil {
+			var de *diag.Error
+			if !errors.As(err, &de) {
+				t.Fatalf("decode error is not a *diag.Error: %v", err)
+			}
+			return
+		}
+		enc := reencode(t, v)
+		v2, err := Decode(enc)
+		if err != nil {
+			t.Fatalf("re-decoding encoded PDU: %v", err)
+		}
+		if enc2 := reencode(t, v2); !bytes.Equal(enc, enc2) {
+			t.Fatalf("canonical PDU encoding is not a fixed point:\n% x\n% x", enc, enc2)
+		}
+	})
+}

@@ -2,6 +2,7 @@ package kne
 
 import (
 	"fmt"
+	"sort"
 
 	"mfv/internal/kube"
 	"mfv/internal/obs"
@@ -46,6 +47,77 @@ func (e *Emulator) CrashRouter(name string) error {
 	}
 	e.lastActivity = e.sim.Now()
 	return nil
+}
+
+// QuarantineRouter contains a router whose control plane received hostile
+// input (corrupted config, an undecodable AFT, a PDU that panicked a
+// handler). The router is shut down exactly like a crashed pod — neighbors
+// see the session drop via hold-timer expiry, its AFT goes empty, and the
+// epoch is bumped so incremental verification treats the next snapshot as a
+// new incarnation — but, unlike CrashRouter, the pod is NOT rescheduled:
+// rebooting it would replay the same hostile input. The run completes with a
+// degraded verdict naming the quarantined routers.
+func (e *Emulator) QuarantineRouter(name, reason string) error {
+	if !e.started {
+		return fmt.Errorf("kne: QuarantineRouter before Start")
+	}
+	r, ok := e.routers[name]
+	if !ok {
+		return fmt.Errorf("kne: no router %q", name)
+	}
+	if _, done := e.quarantined[name]; done {
+		return nil // already contained
+	}
+	e.quarantined[name] = reason
+	e.ready[name] = false
+	e.epoch[name]++
+	// Quarantine (not Shutdown) so the router-level counter and trace event
+	// fire exactly once; it is a no-op if the router already quarantined
+	// itself via its panic guard and this call is only the orchestrator-side
+	// bookkeeping.
+	r.Quarantine(reason)
+	e.lastActivity = e.sim.Now()
+	return nil
+}
+
+// CorruptConfig models a corrupted configuration reaching a running router
+// — flash corruption, a truncated push — past the parse-first fail-safe
+// that ApplyConfig provides. The corrupted text becomes the node's stored
+// config. If the vendor parser rejects it, the device's config subsystem
+// would crash-loop on every reload, so the router is quarantined: shut
+// down, never rescheduled, reported in the run's degraded verdict. Text
+// that still parses is applied like any ordinary config change.
+func (e *Emulator) CorruptConfig(name, config string) error {
+	if !e.started {
+		return fmt.Errorf("kne: CorruptConfig before Start")
+	}
+	node, ok := e.topo.Node(name)
+	if !ok {
+		return fmt.Errorf("kne: no node %q", name)
+	}
+	tmp := *node
+	tmp.Config = config
+	if _, err := parseConfig(&tmp); err != nil {
+		node.Config = config
+		return e.QuarantineRouter(name, err.Error())
+	}
+	return e.ApplyConfig(name, config)
+}
+
+// QuarantinedRouters returns the names of quarantined routers, sorted.
+func (e *Emulator) QuarantinedRouters() []string {
+	out := make([]string, 0, len(e.quarantined))
+	for name := range e.quarantined {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// QuarantineReason returns why a router was quarantined.
+func (e *Emulator) QuarantineReason(name string) (string, bool) {
+	reason, ok := e.quarantined[name]
+	return reason, ok
 }
 
 // FailKubeNode fails a worker machine: every resident router goes through

@@ -21,6 +21,7 @@ import (
 	"mfv/internal/config/eos"
 	"mfv/internal/config/ir"
 	"mfv/internal/config/junoslike"
+	"mfv/internal/diag"
 	"mfv/internal/kube"
 	"mfv/internal/obs"
 	"mfv/internal/sim"
@@ -91,6 +92,11 @@ type Emulator struct {
 	// routerDown marks routers whose pod crashed; the router object is an
 	// inert husk until the replacement pod boots and podReady rebuilds it.
 	routerDown map[string]bool
+	// quarantined marks routers whose control plane was contained after
+	// hostile input: shut down like a crash, but never rescheduled —
+	// rebooting would just replay the hostile input. Keyed by router name,
+	// valued with the quarantine reason.
+	quarantined map[string]string
 	// epoch counts router rebuilds by name. A rebooted pod gets a freshly
 	// built Router whose FIB generation restarts from zero; bumping the
 	// epoch keeps GenStamp comparisons sound across incarnations.
@@ -149,21 +155,22 @@ func New(cfg Config) (*Emulator, error) {
 		cfg.InfraInit = 11*time.Minute + perNode
 	}
 	e := &Emulator{
-		cfg:        cfg,
-		sim:        cfg.Sim,
-		topo:       cfg.Topology,
-		routers:    map[string]*vrouter.Router{},
-		peer:       map[topology.Endpoint]topology.Endpoint{},
-		linkDown:   map[string]bool{},
-		impair:     map[string]Impairment{},
-		ready:      map[string]bool{},
-		routerDown: map[string]bool{},
-		epoch:      map[string]uint64{},
-		addrOwner:  map[netip.Addr]string{},
-		injectors:  map[netip.Addr]*Injector{},
-		lastChange: map[string]time.Duration{},
-		stuck:      map[*bgp.Peer]int{},
-		obs:        cfg.Obs,
+		cfg:         cfg,
+		sim:         cfg.Sim,
+		topo:        cfg.Topology,
+		routers:     map[string]*vrouter.Router{},
+		peer:        map[topology.Endpoint]topology.Endpoint{},
+		linkDown:    map[string]bool{},
+		impair:      map[string]Impairment{},
+		ready:       map[string]bool{},
+		routerDown:  map[string]bool{},
+		quarantined: map[string]string{},
+		epoch:       map[string]uint64{},
+		addrOwner:   map[netip.Addr]string{},
+		injectors:   map[netip.Addr]*Injector{},
+		lastChange:  map[string]time.Duration{},
+		stuck:       map[*bgp.Peer]int{},
+		obs:         cfg.Obs,
 	}
 	e.obs.SetClock(e.sim)
 	if cfg.Cluster == nil {
@@ -227,6 +234,13 @@ func (e *Emulator) wireRouter(r *vrouter.Router) {
 	}
 	r.SetObserver(e.obs)
 	name := r.Name
+	r.OnQuarantine = func(reason string) {
+		// Self-quarantine (escaped handler panic): record the containment so
+		// convergence reports the run degraded and the pod is not rebuilt.
+		if e.started {
+			_ = e.QuarantineRouter(name, reason)
+		}
+	}
 	r.OnStateChange(func() {
 		e.lastActivity = e.sim.Now()
 		e.lastChange[name] = e.sim.Now()
@@ -237,15 +251,24 @@ func (e *Emulator) wireRouter(r *vrouter.Router) {
 }
 
 func parseConfig(n *topology.Node) (*ir.Device, error) {
+	var (
+		dev *ir.Device
+		err error
+	)
 	switch n.Vendor {
 	case topology.VendorEOS:
-		dev, _, err := eos.Parse(n.Config)
-		return dev, err
+		dev, _, err = eos.Parse(n.Config)
 	case topology.VendorJunosLike:
-		return junoslike.Parse(n.Config)
+		dev, err = junoslike.Parse(n.Config)
 	default:
-		return nil, fmt.Errorf("unknown vendor %q", n.Vendor)
+		err = fmt.Errorf("unknown vendor %q", n.Vendor)
 	}
+	if err != nil {
+		// A config a device's own front end rejects makes the device
+		// unbootable: fatal for this router, attributed to it.
+		return nil, diag.Wrap(err, diag.SevFatal, "config", n.Name).WithPath("node/" + n.Name + "/config")
+	}
+	return dev, nil
 }
 
 // Sim returns the emulator's simulator, for advancing virtual time.
@@ -311,6 +334,12 @@ func (e *Emulator) podReady(p *kube.Pod) {
 	name := p.Spec.Name
 	r := e.routers[name]
 	if r == nil {
+		return
+	}
+	if _, contained := e.quarantined[name]; contained {
+		// A quarantined router stays down even if its pod comes around again
+		// (e.g. rescheduled by a node failure): restarting the control plane
+		// would replay the hostile input that got it contained.
 		return
 	}
 	if e.routerDown[name] {
@@ -596,11 +625,15 @@ type Convergence struct {
 	// the network went quiet (the convergence point).
 	ConvergedAt time.Duration
 	// Degraded is set when the wait timed out and partial results were
-	// accepted instead of failing the run.
+	// accepted instead of failing the run, or when any router was
+	// quarantined: its forwarding state is absent, so the verdict covers
+	// only the surviving routers.
 	Degraded bool
 	// Stragglers lists (sorted) the routers that never settled: pod not
 	// Running, or RIB still churning inside the hold window.
 	Stragglers []string
+	// Quarantined lists (sorted) the routers contained after hostile input.
+	Quarantined []string
 }
 
 // RunUntilConverged advances virtual time until the dataplane has been
@@ -648,8 +681,9 @@ func (e *Emulator) converge(hold, timeout time.Duration, needAllRunning, degrade
 		e.sim.RunFor(poll)
 		// All pods must exist and be Running before quiet counts as
 		// convergence — before infra init completes the network is silent
-		// but certainly not converged.
-		booted := e.startupDone > 0 && e.cluster.AllRunning()
+		// but certainly not converged. A quarantined router's pod may have
+		// been deliberately left dead; it must not block convergence.
+		booted := e.startupDone > 0 && (e.cluster.AllRunning() || e.allRunningExceptQuarantined())
 		if booted && !e.bootRecorded {
 			e.bootRecorded = true
 			bootWall = time.Since(wallStart)
@@ -673,12 +707,22 @@ func (e *Emulator) converge(hold, timeout time.Duration, needAllRunning, degrade
 			if e.obs.Enabled() {
 				e.obs.Emit(obs.Event{At: lastChange, Type: obs.EvConverged, Value: int64(len(e.routers))})
 			}
-			return Convergence{ConvergedAt: lastChange}, nil
+			c := Convergence{ConvergedAt: lastChange, Quarantined: e.QuarantinedRouters()}
+			if len(c.Quarantined) > 0 {
+				// The network settled, but quarantined routers contribute no
+				// forwarding state: the verdict is degraded, same as a
+				// timeout with stragglers.
+				c.Degraded = true
+				if e.obs.Enabled() {
+					e.obs.Emit(obs.Event{Type: obs.EvDegraded, Detail: strings.Join(c.Quarantined, ","), Value: int64(len(c.Quarantined))})
+				}
+			}
+			return c, nil
 		}
 	}
 	e.recordSimMetrics()
 	if degradeOK {
-		c := Convergence{ConvergedAt: lastChange, Degraded: true, Stragglers: e.stragglers(hold)}
+		c := Convergence{ConvergedAt: lastChange, Degraded: true, Stragglers: e.stragglers(hold), Quarantined: e.QuarantinedRouters()}
 		if e.obs.Enabled() {
 			e.obs.Emit(obs.Event{Type: obs.EvDegraded, Detail: strings.Join(c.Stragglers, ","), Value: int64(len(c.Stragglers))})
 		}
@@ -693,6 +737,9 @@ func (e *Emulator) stragglers(hold time.Duration) []string {
 	now := e.sim.Now()
 	var out []string
 	for _, r := range e.Routers() {
+		if _, contained := e.quarantined[r.Name]; contained {
+			continue // reported separately via Convergence.Quarantined
+		}
 		pod, ok := e.cluster.Pod(r.Name)
 		if !ok || pod.Phase != kube.PodRunning {
 			out = append(out, r.Name)
@@ -703,6 +750,25 @@ func (e *Emulator) stragglers(hold time.Duration) []string {
 		}
 	}
 	return out
+}
+
+// allRunningExceptQuarantined reports whether every non-quarantined router's
+// pod is Running — the boot criterion once containment has taken a router
+// permanently out of service.
+func (e *Emulator) allRunningExceptQuarantined() bool {
+	if len(e.quarantined) == 0 {
+		return false
+	}
+	for name := range e.routers {
+		if _, contained := e.quarantined[name]; contained {
+			continue
+		}
+		pod, ok := e.cluster.Pod(name)
+		if !ok || pod.Phase != kube.PodRunning {
+			return false
+		}
+	}
+	return true
 }
 
 // recordSimMetrics publishes simulation-effort and table-size gauges.

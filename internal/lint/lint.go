@@ -1,0 +1,345 @@
+// Package lint is the preflight snapshot validator behind `mfv lint`. It
+// parses every device configuration and cross-checks the snapshot before
+// the expensive emulation boots: topology referential integrity, duplicate
+// router IDs, addresses claimed by two devices, unresolvable static next
+// hops, and MPLS LSP consistency. A second pass (ValidateAFTs) audits
+// extracted forwarding state: per-device AFT integrity plus cross-device
+// label-table consistency — a label pushed toward a neighbor must have a
+// matching incoming label entry there.
+//
+// Findings are diag.List entries, never errors that abort the walk: lint's
+// job is to report everything wrong at once, attributed per device, so a
+// hostile or sloppy snapshot is diagnosed in one pass instead of one crash
+// at a time.
+package lint
+
+import (
+	"fmt"
+	"net/netip"
+
+	"mfv/internal/aft"
+	"mfv/internal/config/eos"
+	"mfv/internal/config/ir"
+	"mfv/internal/config/junoslike"
+	"mfv/internal/diag"
+	"mfv/internal/topology"
+)
+
+// maxLSPNameLen is the wire codec's cap: RSVP-TE messages carry the session
+// name in a single length byte.
+const maxLSPNameLen = 255
+
+// ValidateSnapshot lints a snapshot's static inputs. The returned list is
+// sorted (severity descending, then device); an empty list means clean.
+func ValidateSnapshot(topo *topology.Topology) diag.List {
+	var out diag.List
+	if topo == nil {
+		return diag.List{diag.New(diag.SevFatal, "lint", "", "no topology")}
+	}
+	if err := topo.Validate(); err != nil {
+		// Structural breakage (duplicate nodes, dangling link endpoints)
+		// makes per-device attribution unreliable; report and stop.
+		out = append(out, diag.Wrap(err, diag.SevFatal, "topology", ""))
+		out.Sort()
+		return out
+	}
+
+	devs := map[string]*ir.Device{}
+	for i := range topo.Nodes {
+		n := &topo.Nodes[i]
+		dev, err := parseNode(n)
+		if err != nil {
+			out = append(out, diag.Wrap(err, diag.SevFatal, "config", n.Name).
+				WithPath("node/"+n.Name+"/config"))
+			continue
+		}
+		if err := dev.Validate(); err != nil {
+			out = append(out, diag.Wrap(err, diag.SevError, "config", n.Name))
+		}
+		devs[n.Name] = dev
+	}
+
+	out = append(out, checkLinks(topo, devs)...)
+	out = append(out, checkRouterIDs(topo, devs)...)
+	out = append(out, checkAddresses(topo, devs)...)
+	out = append(out, checkStatics(topo, devs)...)
+	out = append(out, checkMPLS(topo, devs)...)
+	out = append(out, checkNeighbors(topo, devs)...)
+	out.Sort()
+	return out
+}
+
+// parseNode dispatches to the node's vendor dialect parser.
+func parseNode(n *topology.Node) (*ir.Device, error) {
+	switch n.Vendor {
+	case topology.VendorEOS:
+		dev, _, err := eos.Parse(n.Config)
+		return dev, err
+	case topology.VendorJunosLike:
+		return junoslike.Parse(n.Config)
+	default:
+		return nil, fmt.Errorf("unknown vendor %q", n.Vendor)
+	}
+}
+
+// checkLinks verifies every link endpoint names an interface the device
+// actually configures — a wired-but-unconfigured port carries no adjacency
+// and is almost always a typo in the topology file.
+func checkLinks(topo *topology.Topology, devs map[string]*ir.Device) diag.List {
+	var out diag.List
+	for _, l := range topo.Links {
+		for _, ep := range []topology.Endpoint{l.A, l.Z} {
+			dev, ok := devs[ep.Node]
+			if !ok {
+				continue // config already failed to parse; reported there
+			}
+			if !hasInterface(dev, ep.Interface) {
+				out = append(out, diag.Newf(diag.SevWarning, "lint", ep.Node,
+					"link endpoint %s:%s names an interface the config never defines",
+					ep.Node, ep.Interface))
+			}
+		}
+	}
+	return out
+}
+
+func hasInterface(dev *ir.Device, name string) bool {
+	for _, intf := range dev.Interfaces {
+		if intf.Name == name {
+			return true
+		}
+	}
+	return false
+}
+
+// checkRouterIDs flags BGP router IDs claimed by more than one device:
+// duplicate IDs wedge session establishment in ways that look like
+// convergence failures.
+func checkRouterIDs(topo *topology.Topology, devs map[string]*ir.Device) diag.List {
+	var out diag.List
+	owner := map[netip.Addr]string{}
+	for _, n := range topo.Nodes {
+		dev, ok := devs[n.Name]
+		if !ok || dev.BGP == nil || !dev.BGP.RouterID.IsValid() {
+			continue
+		}
+		id := dev.BGP.RouterID
+		if first, dup := owner[id]; dup {
+			out = append(out, diag.Newf(diag.SevError, "lint", n.Name,
+				"router-id %v already used by %s", id, first))
+			continue
+		}
+		owner[id] = n.Name
+	}
+	return out
+}
+
+// checkAddresses flags interface addresses configured on two devices — an
+// address clash the emulator would also reject, caught here before boot.
+func checkAddresses(topo *topology.Topology, devs map[string]*ir.Device) diag.List {
+	var out diag.List
+	owner := map[netip.Addr]string{}
+	for _, n := range topo.Nodes {
+		dev, ok := devs[n.Name]
+		if !ok {
+			continue
+		}
+		for _, intf := range dev.Interfaces {
+			for _, p := range intf.Addresses {
+				a := p.Addr()
+				if first, dup := owner[a]; dup && first != n.Name {
+					out = append(out, diag.Newf(diag.SevError, "lint", n.Name,
+						"interface %s address %v already owned by %s", intf.Name, a, first))
+					continue
+				}
+				owner[a] = n.Name
+			}
+		}
+	}
+	return out
+}
+
+// checkStatics flags static routes whose next hop no connected subnet of the
+// device covers: the route can never resolve and silently blackholes.
+func checkStatics(topo *topology.Topology, devs map[string]*ir.Device) diag.List {
+	var out diag.List
+	for _, n := range topo.Nodes {
+		dev, ok := devs[n.Name]
+		if !ok {
+			continue
+		}
+		connected := dev.ConnectedPrefixes()
+		for _, s := range dev.Statics {
+			if s.Drop || s.Interface != "" || !s.NextHop.IsValid() {
+				continue
+			}
+			resolved := false
+			for _, c := range connected {
+				if c.Contains(s.NextHop) {
+					resolved = true
+					break
+				}
+			}
+			if !resolved {
+				out = append(out, diag.Newf(diag.SevError, "lint", n.Name,
+					"static route %v: next hop %v is on no connected subnet",
+					s.Prefix, s.NextHop))
+			}
+		}
+	}
+	return out
+}
+
+// checkMPLS lints LSP intent: names must fit the wire codec's single length
+// byte, be unique per device, and point at an address some device owns.
+func checkMPLS(topo *topology.Topology, devs map[string]*ir.Device) diag.List {
+	var out diag.List
+	owner := addrOwners(topo, devs)
+	for _, n := range topo.Nodes {
+		dev, ok := devs[n.Name]
+		if !ok || dev.MPLS == nil {
+			continue
+		}
+		seen := map[string]bool{}
+		for _, lsp := range dev.MPLS.LSPs {
+			if len(lsp.Name) > maxLSPNameLen {
+				out = append(out, diag.Newf(diag.SevError, "lint", n.Name,
+					"LSP name %q is %d bytes; the RSVP codec caps names at %d",
+					lsp.Name[:16]+"…", len(lsp.Name), maxLSPNameLen))
+			}
+			if seen[lsp.Name] {
+				out = append(out, diag.Newf(diag.SevError, "lint", n.Name,
+					"duplicate LSP name %q", lsp.Name))
+			}
+			seen[lsp.Name] = true
+			if lsp.To.IsValid() {
+				if _, ok := owner[lsp.To]; !ok {
+					out = append(out, diag.Newf(diag.SevWarning, "lint", n.Name,
+						"LSP %q tail %v is owned by no device", lsp.Name, lsp.To))
+				}
+			}
+		}
+	}
+	return out
+}
+
+// checkNeighbors flags BGP neighbor addresses no device in the snapshot
+// owns. A warning, not an error: external injectors legitimately peer from
+// addresses outside the topology.
+func checkNeighbors(topo *topology.Topology, devs map[string]*ir.Device) diag.List {
+	var out diag.List
+	owner := addrOwners(topo, devs)
+	for _, n := range topo.Nodes {
+		dev, ok := devs[n.Name]
+		if !ok || dev.BGP == nil {
+			continue
+		}
+		for _, nb := range dev.BGP.Neighbors {
+			if nb.Shutdown || !nb.Addr.IsValid() {
+				continue
+			}
+			if _, ok := owner[nb.Addr]; !ok {
+				out = append(out, diag.Newf(diag.SevWarning, "lint", n.Name,
+					"bgp neighbor %v is owned by no device (external feed?)", nb.Addr))
+			}
+		}
+	}
+	return out
+}
+
+// addrOwners maps every configured interface address to its device.
+func addrOwners(topo *topology.Topology, devs map[string]*ir.Device) map[netip.Addr]string {
+	owner := map[netip.Addr]string{}
+	if topo == nil {
+		return owner
+	}
+	for _, n := range topo.Nodes {
+		dev, ok := devs[n.Name]
+		if !ok {
+			continue
+		}
+		for _, intf := range dev.Interfaces {
+			for _, p := range intf.Addresses {
+				owner[p.Addr()] = n.Name
+			}
+		}
+	}
+	return owner
+}
+
+// ValidateAFTs audits extracted forwarding state: per-device AFT integrity
+// (aft.Validate), devices that appear in the AFT set but not the topology,
+// and cross-device MPLS label-table consistency — every label a device
+// pushes toward a neighbor must have a matching incoming label entry on
+// that neighbor, or labeled traffic dies mid-LSP.
+func ValidateAFTs(topo *topology.Topology, afts map[string]*aft.AFT) diag.List {
+	var out diag.List
+	devs := map[string]*ir.Device{}
+	if topo != nil {
+		for i := range topo.Nodes {
+			if dev, err := parseNode(&topo.Nodes[i]); err == nil {
+				devs[topo.Nodes[i].Name] = dev
+			}
+		}
+	}
+	owner := addrOwners(topo, devs)
+
+	for name, a := range afts {
+		if a == nil {
+			out = append(out, diag.Newf(diag.SevError, "lint", name, "nil AFT"))
+			continue
+		}
+		if topo != nil {
+			if _, ok := topo.Node(name); !ok {
+				out = append(out, diag.Newf(diag.SevWarning, "lint", name,
+					"AFT for a device the topology does not declare"))
+			}
+		}
+		if err := a.Validate(); err != nil {
+			out = append(out, diag.Wrap(err, diag.SevError, "aft", name))
+			continue
+		}
+		out = append(out, checkLabelConsistency(name, a, afts, owner)...)
+	}
+	out.Sort()
+	return out
+}
+
+// checkLabelConsistency verifies the labels a device pushes resolve on the
+// neighbor that will receive them.
+func checkLabelConsistency(name string, a *aft.AFT, afts map[string]*aft.AFT, owner map[netip.Addr]string) diag.List {
+	var out diag.List
+	for _, nh := range a.NextHops {
+		if len(nh.PushedLabels) == 0 || nh.IPAddress == "" {
+			continue
+		}
+		ip, err := netip.ParseAddr(nh.IPAddress)
+		if err != nil {
+			continue // aft.Validate already flagged it
+		}
+		peer, ok := owner[ip.Unmap()]
+		if !ok {
+			continue // next hop outside the snapshot; nothing to check
+		}
+		peerAFT, ok := afts[peer]
+		if !ok || peerAFT == nil {
+			continue
+		}
+		outermost := nh.PushedLabels[0]
+		if !hasLabelEntry(peerAFT, outermost) {
+			out = append(out, diag.Newf(diag.SevError, "lint", name,
+				"pushes label %d toward %s (%s), which has no matching label entry",
+				outermost, peer, nh.IPAddress))
+		}
+	}
+	return out
+}
+
+func hasLabelEntry(a *aft.AFT, label uint32) bool {
+	for _, e := range a.LabelEntries {
+		if e.Label == label {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,285 @@
+package lint
+
+import (
+	"net/netip"
+	"strings"
+	"testing"
+	"time"
+
+	"mfv/internal/aft"
+	"mfv/internal/diag"
+	"mfv/internal/kne"
+	"mfv/internal/sim"
+	"mfv/internal/testnet"
+	"mfv/internal/topology"
+)
+
+// cfgA/cfgB are a minimal healthy two-router snapshot: a /31 between them,
+// loopbacks, and an eBGP session across the wire.
+const cfgA = `hostname a
+interface Loopback0
+   ip address 2.2.2.1/32
+interface Ethernet1
+   ip address 10.0.0.0/31
+   no switchport
+!
+router bgp 65001
+   router-id 2.2.2.1
+   neighbor 10.0.0.1 remote-as 65002
+!
+`
+
+const cfgB = `hostname b
+interface Loopback0
+   ip address 2.2.2.2/32
+interface Ethernet1
+   ip address 10.0.0.1/31
+   no switchport
+!
+router bgp 65002
+   router-id 2.2.2.2
+   neighbor 10.0.0.0 remote-as 65001
+!
+`
+
+func pair(cfgA, cfgB string) *topology.Topology {
+	return &topology.Topology{
+		Name: "pair",
+		Nodes: []topology.Node{
+			{Name: "a", Vendor: topology.VendorEOS, Config: cfgA},
+			{Name: "b", Vendor: topology.VendorEOS, Config: cfgB},
+		},
+		Links: []topology.Link{{
+			A: topology.Endpoint{Node: "a", Interface: "Ethernet1"},
+			Z: topology.Endpoint{Node: "b", Interface: "Ethernet1"},
+		}},
+	}
+}
+
+// errorsOnly filters findings at SevError and above.
+func errorsOnly(l diag.List) diag.List {
+	var out diag.List
+	for _, d := range l {
+		if d.Sev >= diag.SevError {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+func TestHealthySnapshotsClean(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		topo *topology.Topology
+	}{
+		{"pair", pair(cfgA, cfgB)},
+		{"fig2", testnet.Fig2()},
+		{"fig3", testnet.Fig3()},
+	} {
+		if findings := ValidateSnapshot(tc.topo); len(findings) != 0 {
+			t.Errorf("%s: healthy snapshot has findings:\n%s", tc.name, findings.Error())
+		}
+	}
+}
+
+func TestNilTopologyFatal(t *testing.T) {
+	findings := ValidateSnapshot(nil)
+	if len(findings) != 1 || findings[0].Sev != diag.SevFatal {
+		t.Fatalf("findings = %v", findings)
+	}
+}
+
+func TestBrokenTopologyFatal(t *testing.T) {
+	topo := pair(cfgA, cfgB)
+	topo.Links[0].Z.Node = "ghost"
+	findings := ValidateSnapshot(topo)
+	if len(findings) != 1 || findings[0].Sev != diag.SevFatal || findings[0].Source != "topology" {
+		t.Fatalf("findings = %v", findings)
+	}
+}
+
+func TestUnparseableConfigFatalAndContained(t *testing.T) {
+	findings := ValidateSnapshot(pair(cfgA, "florble gork\n"))
+	// The broken config is fatal for b; a still gets linted (its neighbor
+	// 10.0.0.1 now resolves to no device — a warning, not a casualty of b's
+	// parse failure).
+	var fatal, warn bool
+	for _, d := range findings {
+		if d.Sev == diag.SevFatal && d.Device == "b" {
+			fatal = true
+		}
+		if d.Sev == diag.SevWarning && d.Device == "a" {
+			warn = true
+		}
+	}
+	if !fatal || !warn {
+		t.Fatalf("findings = \n%s", findings.Error())
+	}
+}
+
+func TestDuplicateRouterID(t *testing.T) {
+	dup := strings.Replace(cfgB, "router-id 2.2.2.2", "router-id 2.2.2.1", 1)
+	findings := errorsOnly(ValidateSnapshot(pair(cfgA, dup)))
+	if len(findings) != 1 || !strings.Contains(findings[0].Msg, "router-id") {
+		t.Fatalf("findings = %v", findings)
+	}
+}
+
+func TestDuplicateAddress(t *testing.T) {
+	clash := strings.Replace(cfgB, "2.2.2.2/32", "2.2.2.1/32", 1)
+	findings := errorsOnly(ValidateSnapshot(pair(cfgA, clash)))
+	found := false
+	for _, d := range findings {
+		if strings.Contains(d.Msg, "already owned by") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("address clash not reported:\n%s", findings.Error())
+	}
+}
+
+func TestUnresolvableStaticNextHop(t *testing.T) {
+	cfg := cfgA + "ip route 9.9.9.0/24 172.16.0.1\n"
+	findings := errorsOnly(ValidateSnapshot(pair(cfg, cfgB)))
+	if len(findings) != 1 || !strings.Contains(findings[0].Msg, "no connected subnet") {
+		t.Fatalf("findings = %v", findings)
+	}
+	// A resolvable next hop (on the /31) is clean.
+	ok := cfgA + "ip route 9.9.9.0/24 10.0.0.1\n"
+	if findings := ValidateSnapshot(pair(ok, cfgB)); len(findings) != 0 {
+		t.Errorf("resolvable static flagged:\n%s", findings.Error())
+	}
+}
+
+func TestLinkNamesUndefinedInterface(t *testing.T) {
+	topo := pair(cfgA, cfgB)
+	topo.Links[0].A.Interface = "Ethernet9"
+	findings := ValidateSnapshot(topo)
+	found := false
+	for _, d := range findings {
+		if d.Sev == diag.SevWarning && strings.Contains(d.Msg, "never defines") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("undefined link interface not reported:\n%s", findings.Error())
+	}
+}
+
+func TestMPLSLSPChecks(t *testing.T) {
+	long := strings.Repeat("x", 300)
+	cfg := cfgA + `router traffic-engineering
+   tunnel T1
+      destination 2.2.2.2
+   tunnel T1
+      destination 2.2.2.2
+   tunnel ` + long + `
+      destination 2.2.2.2
+   tunnel T2
+      destination 192.0.2.77
+!
+`
+	findings := ValidateSnapshot(pair(cfg, cfgB))
+	var dup, toolong, orphanTail bool
+	for _, d := range findings {
+		switch {
+		case strings.Contains(d.Msg, "duplicate LSP"):
+			dup = true
+		case strings.Contains(d.Msg, "caps names"):
+			toolong = true
+		case strings.Contains(d.Msg, "owned by no device"):
+			orphanTail = true
+		}
+	}
+	if !dup || !toolong || !orphanTail {
+		t.Fatalf("dup=%v long=%v orphan=%v:\n%s", dup, toolong, orphanTail, findings.Error())
+	}
+}
+
+func TestExternalNeighborWarning(t *testing.T) {
+	cfg := strings.Replace(cfgA, "neighbor 10.0.0.1 remote-as 65002",
+		"neighbor 10.0.0.1 remote-as 65002\n   neighbor 192.0.2.99 remote-as 64999", 1)
+	findings := ValidateSnapshot(pair(cfg, cfgB))
+	if len(findings) != 1 || findings[0].Sev != diag.SevWarning ||
+		!strings.Contains(findings[0].Msg, "external feed") {
+		t.Fatalf("findings = %v", findings)
+	}
+}
+
+func TestValidateAFTsLabelConsistency(t *testing.T) {
+	topo := pair(cfgA, cfgB)
+	build := func(device string, push []uint32, inLabel uint32) *aft.AFT {
+		b := aft.NewBuilder(device)
+		nh := b.AddNextHop(aft.NextHop{IPAddress: "10.0.0.1", Interface: "Ethernet1", PushedLabels: push})
+		b.AddIPv4(netip.MustParsePrefix("2.2.2.2/32"), b.AddGroup([]uint64{nh}), "te", 0)
+		if inLabel != 0 {
+			pop := b.AddNextHop(aft.NextHop{Receive: true})
+			b.AddLabel(inLabel, b.AddGroup([]uint64{pop}), true)
+		}
+		return b.Build()
+	}
+	// a pushes label 500 toward b (10.0.0.1), but b has no entry for 500.
+	afts := map[string]*aft.AFT{
+		"a": build("a", []uint32{500}, 0),
+		"b": build("b", nil, 0),
+	}
+	findings := errorsOnly(ValidateAFTs(topo, afts))
+	if len(findings) != 1 || !strings.Contains(findings[0].Msg, "pushes label 500") {
+		t.Fatalf("findings = %v", findings)
+	}
+	// With the matching incoming entry on b, the snapshot is clean.
+	afts["b"] = build("b", nil, 500)
+	if findings := ValidateAFTs(topo, afts); len(findings) != 0 {
+		t.Errorf("consistent labels flagged:\n%s", findings.Error())
+	}
+}
+
+func TestValidateAFTsIntegrity(t *testing.T) {
+	topo := pair(cfgA, cfgB)
+	bad := &aft.AFT{Device: "a", IPv4Entries: []aft.IPv4Entry{{Prefix: "2.2.2.2/32", NextHopGroup: 7}}}
+	findings := ValidateAFTs(topo, map[string]*aft.AFT{"a": bad, "ghost": nil})
+	var integrity, nilAFT, undeclared bool
+	for _, d := range findings {
+		switch {
+		case d.Device == "a" && strings.Contains(d.Msg, "missing group"):
+			integrity = true
+		case d.Device == "ghost" && d.Msg == "nil AFT":
+			nilAFT = true
+		case d.Device == "ghost" && strings.Contains(d.Msg, "does not declare"):
+			undeclared = true
+		}
+	}
+	if !integrity || !nilAFT {
+		t.Fatalf("integrity=%v nil=%v undeclared=%v:\n%s", integrity, nilAFT, undeclared, findings.Error())
+	}
+}
+
+// TestValidateLiveFig2 boots the Fig. 2 network to convergence and expects
+// the AFT/RIB cross-check to come back clean — and to stay quiet about a
+// quarantined router's deliberately empty table.
+func TestValidateLiveFig2(t *testing.T) {
+	em, err := kne.New(kne.Config{Topology: testnet.Fig2(), Sim: sim.New(42)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := em.Start(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := em.RunUntilConverged(30*time.Second, time.Hour); err != nil {
+		t.Fatal(err)
+	}
+	if findings := ValidateLive(em); len(findings) != 0 {
+		t.Errorf("converged network has findings:\n%s", findings.Error())
+	}
+	if err := em.QuarantineRouter("r4", "test"); err != nil {
+		t.Fatal(err)
+	}
+	em.Settle(2*time.Minute, 30*time.Minute)
+	if findings := ValidateLive(em); len(findings) != 0 {
+		t.Errorf("quarantined router produced findings:\n%s", findings.Error())
+	}
+	if findings := ValidateLive(nil); len(findings) != 1 || findings[0].Sev != diag.SevFatal {
+		t.Error("nil emulator not fatal")
+	}
+}

@@ -1,0 +1,51 @@
+package lint
+
+import (
+	"mfv/internal/diag"
+	"mfv/internal/kne"
+)
+
+// ValidateLive cross-checks each running router's exported AFT against its
+// RIB — the forwarding table is derived state, so disagreement means either
+// a stale export or an elected route the dataplane cannot resolve:
+//
+//   - an AFT entry with no elected RIB route is an error (forwarding state
+//     that nothing elected — a stale or corrupted export);
+//   - an elected RIB route missing from the AFT is a warning (the exporter
+//     drops routes whose next hop does not resolve, which is exactly the
+//     silent blackhole an operator wants surfaced).
+//
+// Crashed or quarantined routers are skipped: their empty table is the
+// containment contract, not an inconsistency.
+func ValidateLive(em *kne.Emulator) diag.List {
+	var out diag.List
+	if em == nil {
+		return diag.List{diag.New(diag.SevFatal, "lint", "", "no emulator")}
+	}
+	for _, r := range em.Routers() {
+		if r.Crashed() {
+			continue
+		}
+		a := r.ExportAFT()
+		elected := map[string]bool{}
+		for _, rt := range r.RIB().Routes() {
+			elected[rt.Prefix.String()] = true
+		}
+		exported := map[string]bool{}
+		for _, e := range a.IPv4Entries {
+			exported[e.Prefix] = true
+			if !elected[e.Prefix] {
+				out = append(out, diag.Newf(diag.SevError, "lint", r.Name,
+					"forwarding entry %s has no elected RIB route", e.Prefix))
+			}
+		}
+		for p := range elected {
+			if !exported[p] {
+				out = append(out, diag.Newf(diag.SevWarning, "lint", r.Name,
+					"elected route %s missing from the forwarding table (unresolvable next hop?)", p))
+			}
+		}
+	}
+	out.Sort()
+	return out
+}

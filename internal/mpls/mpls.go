@@ -18,6 +18,8 @@ import (
 	"sort"
 	"time"
 
+	"mfv/internal/diag"
+
 	"mfv/internal/sim"
 )
 
@@ -172,7 +174,10 @@ func (e *Engine) sendPath(name string, to netip.Addr) {
 	if !ok {
 		return // no route toward tail yet; the refresh timer retries
 	}
-	msg := encodeMsg(msgPath, name, e.cfg.RouterID, to, 0, []netip.Addr{e.cfg.RouterID})
+	msg, err := encodeMsg(msgPath, name, e.cfg.RouterID, to, 0, []netip.Addr{e.cfg.RouterID})
+	if err != nil {
+		return // unencodable LSP (e.g. hostile name); config lint flags these
+	}
 	st, ok := e.sessions[name]
 	if !ok {
 		// lastResv tracks confirmations: a head end that stops hearing
@@ -223,7 +228,9 @@ func (e *Engine) handlePath(name string, from, to netip.Addr, hops []netip.Addr)
 		}
 		st.resvSent = true
 		st.lastResv = now
-		e.cfg.Forward(st.prevHop, encodeMsg(msgResv, name, from, to, st.inLabel, recorded))
+		if m, err := encodeMsg(msgResv, name, from, to, st.inLabel, recorded); err == nil {
+			e.cfg.Forward(st.prevHop, m)
+		}
 		return
 	}
 	// Soft-state confirmation: while our stored reservation is within OUR
@@ -233,7 +240,9 @@ func (e *Engine) handlePath(name string, from, to netip.Addr, hops []netip.Addr)
 	// reservation that is already dead downstream.
 	lifetime := e.cfg.Timers.Refresh * time.Duration(e.cfg.Timers.CleanupMultiplier)
 	if st.resvSent && now-st.lastResv <= lifetime {
-		e.cfg.Forward(st.prevHop, encodeMsg(msgResv, name, from, to, st.inLabel, recorded))
+		if m, err := encodeMsg(msgResv, name, from, to, st.inLabel, recorded); err == nil {
+			e.cfg.Forward(st.prevHop, m)
+		}
 	}
 	nh, ok := e.cfg.Resolver.NextHopToward(to)
 	if !ok {
@@ -243,7 +252,9 @@ func (e *Engine) handlePath(name string, from, to netip.Addr, hops []netip.Addr)
 		e.version++
 	}
 	st.nextHop = nh
-	e.cfg.Forward(nh, encodeMsg(msgPath, name, from, to, 0, recorded))
+	if m, err := encodeMsg(msgPath, name, from, to, 0, recorded); err == nil {
+		e.cfg.Forward(nh, m)
+	}
 }
 
 func (e *Engine) handleResv(name string, from, to netip.Addr, label uint32, hops []netip.Addr) {
@@ -279,7 +290,9 @@ func (e *Engine) handleResv(name string, from, to netip.Addr, label uint32, hops
 		e.version++
 	}
 	st.resvSent = true
-	e.cfg.Forward(st.prevHop, encodeMsg(msgResv, name, from, to, st.inLabel, hops))
+	if m, err := encodeMsg(msgResv, name, from, to, st.inLabel, hops); err == nil {
+		e.cfg.Forward(st.prevHop, m)
+	}
 }
 
 func (e *Engine) allocLabel() uint32 {
@@ -383,37 +396,54 @@ func (e *Engine) LSPs() []LSPState {
 	return out
 }
 
+// wire4 renders an address as 4 wire bytes; invalid or non-IPv4 addresses
+// (possible on hostile input paths) become 0.0.0.0 instead of panicking.
+func wire4(a netip.Addr) [4]byte {
+	if !a.Is4() && !a.Is4In6() {
+		return [4]byte{}
+	}
+	return a.As4()
+}
+
 // Message layout: type(1) nameLen(1) name from(4) to(4) label(4) nHops(1)
-// hops(4 each).
-func encodeMsg(typ uint8, name string, from, to netip.Addr, label uint32, hops []netip.Addr) []byte {
-	if len(name) > 255 || len(hops) > 255 {
-		panic("mpls: message field overflow")
+// hops(4 each). Both the name length and the hop count ride in single bytes,
+// so oversized fields — a hostile LSP name, or a recorded route grown past
+// 255 hops by a forwarding loop — are reported as errors rather than
+// panicking or silently truncating on the wire.
+func encodeMsg(typ uint8, name string, from, to netip.Addr, label uint32, hops []netip.Addr) ([]byte, error) {
+	if len(name) > 255 {
+		return nil, fmt.Errorf("mpls: LSP name is %d bytes, max 255", len(name))
+	}
+	if len(hops) > 255 {
+		return nil, fmt.Errorf("mpls: recorded route has %d hops, max 255", len(hops))
 	}
 	buf := make([]byte, 0, 16+len(name)+4*len(hops))
 	buf = append(buf, typ, byte(len(name)))
 	buf = append(buf, name...)
-	f, t := from.As4(), to.As4()
+	f, t := wire4(from), wire4(to)
 	buf = append(buf, f[:]...)
 	buf = append(buf, t[:]...)
 	buf = binary.BigEndian.AppendUint32(buf, label)
 	buf = append(buf, byte(len(hops)))
 	for _, h := range hops {
-		a := h.As4()
+		a := wire4(h)
 		buf = append(buf, a[:]...)
 	}
-	return buf
+	return buf, nil
 }
 
+// decodeMsg parses an RSVP message; errors are *diag.Error (source "mpls")
+// carrying the byte offset where decoding failed.
 func decodeMsg(b []byte) (typ uint8, name string, from, to netip.Addr, label uint32, hops []netip.Addr, err error) {
 	if len(b) < 2 {
-		err = fmt.Errorf("mpls: short message")
+		err = diag.Decodef("mpls", 0, "short message (%d bytes)", len(b))
 		return
 	}
 	typ = b[0]
 	nameLen := int(b[1])
 	b = b[2:]
 	if len(b) < nameLen+13 {
-		err = fmt.Errorf("mpls: truncated message")
+		err = diag.Decodef("mpls", 2, "truncated message: %d bytes after header, need %d", len(b), nameLen+13)
 		return
 	}
 	name = string(b[:nameLen])
@@ -426,7 +456,7 @@ func decodeMsg(b []byte) (typ uint8, name string, from, to netip.Addr, label uin
 	n := int(b[12])
 	b = b[13:]
 	if len(b) != 4*n {
-		err = fmt.Errorf("mpls: bad hop list")
+		err = diag.Decodef("mpls", 15+nameLen, "hop list length %d does not match count %d", len(b), n)
 		return
 	}
 	for i := 0; i < n; i++ {

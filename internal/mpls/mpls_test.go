@@ -200,13 +200,39 @@ func TestCodecErrors(t *testing.T) {
 	e.HandleMessage(nil)
 	e.HandleMessage([]byte{1})
 	e.HandleMessage([]byte{msgPath, 200, 'x'})
-	msg := encodeMsg(msgResv, "GHOST", addr("9.9.9.9"), addr("8.8.8.8"), 99, nil)
+	msg, err := encodeMsg(msgResv, "GHOST", addr("9.9.9.9"), addr("8.8.8.8"), 99, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
 	e.HandleMessage(msg) // RESV for unknown session
+
+	// Oversized fields are encode errors, not panics.
+	longName := make([]byte, 300)
+	for i := range longName {
+		longName[i] = 'a'
+	}
+	if _, err := encodeMsg(msgPath, string(longName), addr("1.1.1.1"), addr("2.2.2.2"), 0, nil); err == nil {
+		t.Error("300-byte LSP name: want error, got nil")
+	}
+	manyHops := make([]netip.Addr, 300)
+	for i := range manyHops {
+		manyHops[i] = addr("10.0.0.1")
+	}
+	if _, err := encodeMsg(msgPath, "T1", addr("1.1.1.1"), addr("2.2.2.2"), 0, manyHops); err == nil {
+		t.Error("300-hop recorded route: want error, got nil")
+	}
+	// Invalid addresses encode as 0.0.0.0 rather than panicking.
+	if _, err := encodeMsg(msgPath, "T1", netip.Addr{}, netip.MustParseAddr("2001:db8::1"), 0, nil); err != nil {
+		t.Errorf("invalid addrs: %v", err)
+	}
 }
 
 func TestMessageRoundTrip(t *testing.T) {
 	hops := []netip.Addr{addr("1.1.1.1"), addr("2.2.2.2")}
-	msg := encodeMsg(msgPath, "TUN-A", addr("1.1.1.1"), addr("3.3.3.3"), 77, hops)
+	msg, err := encodeMsg(msgPath, "TUN-A", addr("1.1.1.1"), addr("3.3.3.3"), 77, hops)
+	if err != nil {
+		t.Fatal(err)
+	}
 	typ, name, from, to, label, gotHops, err := decodeMsg(msg)
 	if err != nil {
 		t.Fatal(err)

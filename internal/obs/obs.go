@@ -86,6 +86,9 @@ const (
 	// EvChaosVerdict: per-fault differential verification verdict
 	// (Detail=fault, Value=permanently lost flows).
 	EvChaosVerdict = "chaos_verdict"
+	// EvQuarantine: a router's control plane was quarantined after hostile
+	// input or an escaped handler panic (Device=router, Detail=reason).
+	EvQuarantine = "router_quarantine"
 )
 
 // Event is one trace record. At is virtual time; the remaining fields are a

@@ -45,8 +45,14 @@ func (r *RIB) OnChange(fn func(p netip.Prefix, best *Route)) { r.onChange = fn }
 func (r *RIB) Version() uint64 { return r.version }
 
 // Install inserts or replaces proto's candidate for route.Prefix and reports
-// whether the elected route for that prefix changed.
+// whether the elected route for that prefix changed. Invalid or non-IPv4
+// prefixes are rejected as a no-op: protocols screen their inputs (decode
+// errors, config validation) before installing, so this guard only stops
+// hostile input that slipped past them from corrupting the RIB.
 func (r *RIB) Install(route Route) bool {
+	if !route.Prefix.IsValid() || !route.Prefix.Addr().Is4() {
+		return false
+	}
 	route.Prefix = route.Prefix.Masked()
 	route.SortNextHops()
 	e, ok := r.trie.Get(route.Prefix)

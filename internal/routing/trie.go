@@ -5,7 +5,6 @@
 package routing
 
 import (
-	"fmt"
 	"net/netip"
 )
 
@@ -36,17 +35,27 @@ func bitAt(a netip.Addr, i int) int {
 	return int(b[i/8]>>(7-i%8)) & 1
 }
 
-func checkPrefix(p netip.Prefix) netip.Prefix {
+// checkPrefix canonicalizes p and reports whether it is a usable IPv4
+// prefix. The trie stores only IPv4; invalid or non-IPv4 prefixes are
+// rejected (ok=false) rather than panicking — snapshot ingestion
+// (aft.Validate, the config parsers) screens them out with a structured
+// error long before they reach a forwarding structure, so a rejection here
+// is pure defense in depth against hostile input that slipped through.
+func checkPrefix(p netip.Prefix) (netip.Prefix, bool) {
 	if !p.IsValid() || !p.Addr().Is4() {
-		panic(fmt.Sprintf("routing: invalid or non-IPv4 prefix %v", p))
+		return netip.Prefix{}, false
 	}
-	return p.Masked()
+	return p.Masked(), true
 }
 
 // Insert stores val under p, replacing any existing value. It reports whether
-// the prefix was newly added.
+// the prefix was newly added; invalid or non-IPv4 prefixes are rejected as a
+// no-op (false).
 func (t *Trie[V]) Insert(p netip.Prefix, val V) bool {
-	p = checkPrefix(p)
+	p, ok := checkPrefix(p)
+	if !ok {
+		return false
+	}
 	n := t.root
 	for i := 0; i < p.Bits(); i++ {
 		b := bitAt(p.Addr(), i)
@@ -63,9 +72,14 @@ func (t *Trie[V]) Insert(p netip.Prefix, val V) bool {
 	return added
 }
 
-// Get returns the value stored at exactly p.
+// Get returns the value stored at exactly p. Invalid or non-IPv4 prefixes
+// match nothing.
 func (t *Trie[V]) Get(p netip.Prefix) (V, bool) {
-	p = checkPrefix(p)
+	p, ok := checkPrefix(p)
+	if !ok {
+		var zero V
+		return zero, false
+	}
 	n := t.root
 	for i := 0; i < p.Bits(); i++ {
 		n = n.child[bitAt(p.Addr(), i)]
@@ -79,9 +93,12 @@ func (t *Trie[V]) Get(p netip.Prefix) (V, bool) {
 
 // Delete removes the value stored at exactly p and reports whether a value
 // was present. Interior nodes are pruned lazily: unreferenced branches are
-// trimmed on the way back up.
+// trimmed on the way back up. Invalid or non-IPv4 prefixes match nothing.
 func (t *Trie[V]) Delete(p netip.Prefix) bool {
-	p = checkPrefix(p)
+	p, ok := checkPrefix(p)
+	if !ok {
+		return false
+	}
 	path := make([]*trieNode[V], 0, p.Bits()+1)
 	n := t.root
 	path = append(path, n)

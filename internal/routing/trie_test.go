@@ -213,13 +213,49 @@ func TestTrieUnmaskedInsert(t *testing.T) {
 	}
 }
 
-func TestTriePanicsOnIPv6(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Error("IPv6 insert did not panic")
+func TestTrieRejectsInvalidPrefixes(t *testing.T) {
+	// Hostile input must never panic deep in the trie: invalid and non-IPv4
+	// prefixes are rejected as no-ops at every operation.
+	bad := []netip.Prefix{
+		netip.MustParsePrefix("2001:db8::/32"),
+		{}, // zero value
+		netip.PrefixFrom(mustAddr("10.0.0.1"), 40), // bits out of range
+	}
+	tr := NewTrie[int]()
+	tr.Insert(mustPrefix("10.0.0.0/8"), 1)
+	for _, p := range bad {
+		if tr.Insert(p, 9) {
+			t.Errorf("Insert(%v) accepted invalid prefix", p)
 		}
-	}()
-	NewTrie[int]().Insert(netip.MustParsePrefix("2001:db8::/32"), 1)
+		if _, ok := tr.Get(p); ok {
+			t.Errorf("Get(%v) matched invalid prefix", p)
+		}
+		if tr.Delete(p) {
+			t.Errorf("Delete(%v) removed something for invalid prefix", p)
+		}
+	}
+	if tr.Len() != 1 {
+		t.Errorf("Len = %d after invalid operations, want 1", tr.Len())
+	}
+	if _, ok := NewTrie[int]().Get(netip.MustParsePrefix("2001:db8::/32")); ok {
+		t.Error("IPv6 Get on empty trie returned ok")
+	}
+}
+
+func TestRIBRejectsInvalidPrefixes(t *testing.T) {
+	r := NewRIB()
+	v := r.Version()
+	for _, p := range []netip.Prefix{{}, netip.MustParsePrefix("2001:db8::/32")} {
+		if r.Install(Route{Prefix: p, Protocol: ProtoStatic}) {
+			t.Errorf("Install(%v) reported a change", p)
+		}
+	}
+	if r.Version() != v {
+		t.Errorf("invalid installs moved RIB version %d -> %d", v, r.Version())
+	}
+	if r.Len() != 0 {
+		t.Errorf("Len = %d, want 0", r.Len())
+	}
 }
 
 // linearLPM is the obviously-correct reference: scan all prefixes, pick the

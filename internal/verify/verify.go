@@ -285,7 +285,12 @@ func buildDevice(name string, a *aft.AFT) (*device, error) {
 	}
 	d := &device{name: name, fib: routing.NewTrie[*fibEntry]()}
 	for _, e := range a.IPv4Entries {
-		p := netip.MustParsePrefix(e.Prefix)
+		// Validate above guarantees well-formed IPv4 prefixes; parse
+		// defensively anyway so a hostile AFT can never panic the verifier.
+		p, err := netip.ParsePrefix(e.Prefix)
+		if err != nil {
+			return nil, fmt.Errorf("verify: device %s: bad prefix %q", name, e.Prefix)
+		}
 		hops := a.GroupHops(e.NextHopGroup)
 		d.fib.Insert(p, &fibEntry{prefix: e.Prefix, hops: hops})
 		start := addrU32(p.Addr())

@@ -113,10 +113,16 @@ type Router struct {
 	// the orchestrator uses it for convergence tracking.
 	onStateChange func()
 
-	ribDirty   *sim.Event
-	crashed    bool
-	down       bool
-	CrashCount int
+	// OnQuarantine, when set, is invoked after the router quarantines
+	// itself (hostile input or an escaped handler panic); the orchestrator
+	// uses it to mark the pod contained without rescheduling it.
+	OnQuarantine func(reason string)
+
+	ribDirty    *sim.Event
+	crashed     bool
+	down        bool
+	quarantined bool
+	CrashCount  int
 	// busyUntil is the virtual time the BGP process finishes its queued
 	// work; inbound updates are paced behind it.
 	busyUntil time.Duration
@@ -130,9 +136,10 @@ type Router struct {
 	aftGen   uint64
 
 	// Observability (nil handles are no-ops).
-	obs       *obs.Observer
-	hFIBNanos *obs.Histogram
-	cCrashes  *obs.Counter
+	obs          *obs.Observer
+	hFIBNanos    *obs.Histogram
+	cCrashes     *obs.Counter
+	cQuarantined *obs.Counter
 }
 
 type nhResolution struct {
@@ -168,6 +175,7 @@ func (r *Router) SetObserver(o *obs.Observer) {
 	r.obs = o
 	r.hFIBNanos = o.Histogram("fib_recompute_ns")
 	r.cCrashes = o.Counter("bgp_crashes_total")
+	r.cQuarantined = o.Counter("vrouter_quarantined_total")
 	if r.BGP != nil {
 		r.BGP.SetObserver(o)
 	}
@@ -516,6 +524,40 @@ func (r *Router) Shutdown() {
 	}
 }
 
+// Quarantine permanently contains the router's control plane: hostile input
+// (corrupted config, an undecodable AFT, a handler panic) made this router
+// untrustworthy, so it is shut down exactly like a dead pod — neighbors see
+// the session drop, its AFT goes empty — but, unlike a crash, it is NOT
+// rescheduled: restarting it would just replay the hostile input. The
+// containment boundary is one router; the run completes degraded.
+func (r *Router) Quarantine(reason string) {
+	if r.quarantined || r.down {
+		return
+	}
+	r.quarantined = true
+	r.cQuarantined.Inc()
+	if r.obs.Enabled() {
+		r.obs.Emit(obs.Event{Type: obs.EvQuarantine, Device: r.Name, Detail: reason})
+	}
+	cb := r.OnQuarantine
+	r.Shutdown()
+	if cb != nil {
+		cb(reason)
+	}
+}
+
+// Quarantined reports whether the router has been quarantined.
+func (r *Router) Quarantined() bool { return r.quarantined }
+
+// guard is the per-router crash containment boundary: a panic escaping an
+// input handler quarantines this one router instead of unwinding the whole
+// simulation. Deferred at every entry point that processes external input.
+func (r *Router) guard(source string) {
+	if p := recover(); p != nil {
+		r.Quarantine(fmt.Sprintf("panic in %s handler: %v", source, p))
+	}
+}
+
 func (r *Router) installConnected() {
 	for _, intf := range r.dev.Interfaces {
 		iface := r.ifaces[intf.Name]
@@ -773,6 +815,7 @@ func (r *Router) HandleLinkFrame(intfName string, data []byte) {
 	if r.Crashed() {
 		return
 	}
+	defer r.guard("isis")
 	if r.ISIS != nil {
 		r.ISIS.HandlePDU(intfName, data)
 	}
@@ -828,6 +871,7 @@ func (r *Router) processBGP(from netip.Addr, data []byte) {
 	if r.Crashed() {
 		return
 	}
+	defer r.guard("bgp")
 	if r.Profile.MaxCommunities > 0 {
 		if decoded, err := bgp.Decode(data); err == nil {
 			if u, ok := decoded.(bgp.Update); ok && u.Attrs != nil &&
@@ -870,6 +914,7 @@ func (r *Router) DeliverRSVP(data []byte) {
 	if r.Crashed() {
 		return
 	}
+	defer r.guard("rsvp")
 	if r.MPLS != nil {
 		r.MPLS.HandleMessage(data)
 	}

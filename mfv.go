@@ -23,9 +23,12 @@
 package mfv
 
 import (
+	"mfv/internal/aft"
 	"mfv/internal/chaos"
 	"mfv/internal/core"
+	"mfv/internal/diag"
 	"mfv/internal/kne"
+	"mfv/internal/lint"
 	"mfv/internal/obs"
 	"mfv/internal/routegen"
 	"mfv/internal/testnet"
@@ -225,6 +228,7 @@ const (
 	EvFaultInject   = obs.EvFaultInject
 	EvFaultClear    = obs.EvFaultClear
 	EvChaosVerdict  = obs.EvChaosVerdict
+	EvQuarantine    = obs.EvQuarantine
 )
 
 // NewObserver returns an observer collecting the full trace, metrics, and
@@ -252,6 +256,46 @@ type (
 	// Convergence is the outcome of a degraded or post-fault settle wait.
 	Convergence = kne.Convergence
 )
+
+// Hardening & input validation: typed diagnostics and the preflight linter
+// behind `mfv lint`.
+type (
+	// Diagnostic is one structured finding: severity, producing subsystem,
+	// device, source path, input offset, and message. It implements error.
+	Diagnostic = diag.Error
+	// DiagnosticList is a sorted lint report; empty means clean.
+	DiagnosticList = diag.List
+	// Severity classifies a diagnostic (ordered: Info < Warning < Error <
+	// Fatal, so comparisons like sev >= SevError are meaningful).
+	Severity = diag.Severity
+	// AFT is one device's extracted forwarding table (Result.AFTs values).
+	AFT = aft.AFT
+)
+
+// Severities.
+const (
+	SevInfo    = diag.SevInfo
+	SevWarning = diag.SevWarning
+	SevError   = diag.SevError
+	SevFatal   = diag.SevFatal
+)
+
+// LintSnapshot validates a snapshot before the expensive emulation boots:
+// topology referential integrity, per-device config parses, duplicate
+// router IDs and addresses, unresolvable static next hops, and MPLS LSP
+// consistency. Findings are collected per device, never aborting the walk.
+func LintSnapshot(topo *Topology) DiagnosticList { return lint.ValidateSnapshot(topo) }
+
+// LintAFTs audits extracted forwarding state: per-device AFT integrity and
+// cross-device MPLS label-table consistency.
+func LintAFTs(topo *Topology, afts map[string]*AFT) DiagnosticList {
+	return lint.ValidateAFTs(topo, afts)
+}
+
+// LintLive cross-checks each running router's exported AFT against its RIB
+// on a completed run's emulator (Result.Emulator). Quarantined routers are
+// skipped: their empty table is the containment contract.
+func LintLive(em *kne.Emulator) DiagnosticList { return lint.ValidateLive(em) }
 
 // ParseChaosScenario decodes and validates a scenario JSON file.
 func ParseChaosScenario(data []byte) (*ChaosScenario, error) { return chaos.Parse(data) }

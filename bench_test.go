@@ -483,4 +483,19 @@ func BenchmarkObsOverhead(b *testing.B) {
 	b.Run("disabled", func(b *testing.B) { body(b, nil) })
 	b.Run("metrics", func(b *testing.B) { body(b, NewMetricsObserver) })
 	b.Run("trace", func(b *testing.B) { body(b, NewObserver) })
+	// E11: the live-telemetry case — a metrics-only sink with one attached
+	// subscriber, as `mfv run -listen` configures it. Measures the event-bus
+	// fan-out (wall stamping + buffered send) on top of the metrics cost.
+	b.Run("live", func(b *testing.B) {
+		body(b, func() *Observer {
+			o := NewMetricsObserver()
+			sub := o.Subscribe(256)
+			go func() {
+				for range sub.Events() {
+				}
+			}()
+			b.Cleanup(sub.Close)
+			return o
+		})
+	})
 }

@@ -13,6 +13,8 @@
 //	mfv loops     -topo net.json
 //	mfv scenarios -out DIR        (write the paper's Fig2/Fig3 topologies)
 //	mfv chaos     [-write DIR]    (list built-in fault scenarios)
+//	mfv chaos     -topo net.json [-scenario NAME|FILE] [-listen ADDR]
+//	              (execute a fault scenario, optionally watched live)
 //
 // The run command also takes -chaos NAME|FILE to inject a deterministic
 // fault scenario after convergence and -degraded to accept partial
@@ -20,12 +22,20 @@
 // verification worker pool (default NumCPU; results are byte-identical at
 // any worker count).
 //
+// run, diff, and chaos take -listen ADDR to serve live telemetry over HTTP
+// while the run is in flight: /metrics (Prometheus text), /metrics.json,
+// /events (SSE trace stream), /phases, /healthz, /readyz (ready once
+// converged), and an embedded dashboard at /. -hold-open DUR keeps the
+// endpoint up after the run completes; -json emits the -metrics/-timeline
+// report as one JSON document.
+//
 // Exit codes: 0 success, 1 operational error, 2 usage error, 3 verification
 // violation (unreachable flows, differential changes, loops, critical links),
 // 4 degraded run (quarantined or never-settled routers taint the result).
 package main
 
 import (
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
@@ -35,6 +45,7 @@ import (
 	"runtime"
 	"runtime/pprof"
 	"sort"
+	"time"
 
 	"mfv"
 )
@@ -132,14 +143,18 @@ func usage() {
   show      operator-style router inspection (route|isis|bgp|mpls|interfaces)
   whatif    single-link-cut exploration with per-cut differentials
   scenarios write the paper's evaluation topologies to a directory
-  chaos     list built-in fault scenarios (-write DIR emits them as JSON)
+  chaos     list built-in fault scenarios (-write DIR emits them as JSON);
+            with -topo, execute -scenario NAME|FILE against the topology
 
 robustness flags (run): -chaos NAME|FILE (inject a fault scenario after
   convergence and verify across it), -degraded (accept partial convergence
   on timeout; stragglers are reported, not fatal)
-observability flags (run): -trace FILE (JSONL event trace, virtual time),
-  -metrics (phase timings + metrics registry), -timeline (per-router
-  convergence report)
+observability flags (run/diff/chaos): -trace FILE (JSONL event trace,
+  virtual time), -metrics (phase timings + metrics registry), -timeline
+  (per-router convergence report), -json (machine-readable report instead
+  of tables), -listen ADDR (live HTTP telemetry: /metrics Prometheus text,
+  /metrics.json, /events SSE stream, /phases, /healthz, /readyz, dashboard
+  at /), -hold-open DUR (keep -listen serving after the run completes)
 performance flags: -workers N (verification worker-pool size, default
   NumCPU; query results are byte-identical at any worker count);
   run and diff also take -cpuprofile FILE / -memprofile FILE (pprof)
@@ -163,13 +178,17 @@ type runFlags struct {
 	trace    string
 	metrics  bool
 	timeline bool
+	jsonOut  bool
+	listen   string
+	holdOpen time.Duration
 	chaos    string
 	degraded bool
 	workers  int
 	cpuprof  string
 	memprof  string
 
-	obs *mfv.Observer
+	obs    *mfv.Observer
+	server *mfv.ObsServer
 }
 
 func newFlags(name string) *runFlags {
@@ -186,6 +205,9 @@ func newFlags(name string) *runFlags {
 	f.fs.StringVar(&f.trace, "trace", "", "write the virtual-time trace as JSONL to this file")
 	f.fs.BoolVar(&f.metrics, "metrics", false, "print phase timings and the metrics registry")
 	f.fs.BoolVar(&f.timeline, "timeline", false, "print the per-router convergence timeline")
+	f.fs.BoolVar(&f.jsonOut, "json", false, "emit the -metrics/-timeline report as one JSON document instead of tables")
+	f.fs.StringVar(&f.listen, "listen", "", "serve live telemetry over HTTP on this address (/metrics, /events, /healthz, dashboard at /)")
+	f.fs.DurationVar(&f.holdOpen, "hold-open", 0, "keep the -listen endpoint serving this long after the run completes")
 	f.fs.StringVar(&f.chaos, "chaos", "", "fault scenario: builtin name or JSON file (run)")
 	f.fs.BoolVar(&f.degraded, "degraded", false, "accept partial convergence on timeout, report stragglers")
 	f.fs.IntVar(&f.workers, "workers", 0, "verification worker-pool size (0 = NumCPU; results identical at any setting)")
@@ -251,23 +273,92 @@ func (f *runFlags) loadChaos() (*mfv.ChaosScenario, error) {
 
 // observer lazily builds the observer implied by the observability flags
 // (nil when none are set). Trace collection is enabled only when a trace
-// file is requested; -metrics/-timeline alone use the cheaper metrics-only
-// sink.
+// file is requested; -metrics/-timeline/-json/-listen use the cheaper
+// metrics-only sink — the live event bus streams to HTTP subscribers even
+// without trace retention.
 func (f *runFlags) observer() *mfv.Observer {
 	if f.obs == nil {
 		switch {
 		case f.trace != "":
 			f.obs = mfv.NewObserver()
-		case f.metrics || f.timeline:
+		case f.metrics || f.timeline || f.jsonOut || f.listen != "":
 			f.obs = mfv.NewMetricsObserver()
 		}
 	}
 	return f.obs
 }
 
+// withServe brackets a command body with the -listen observability
+// endpoint: start before the run so in-flight progress is visible, keep
+// serving -hold-open afterwards (scrape windows, post-mortem browsing),
+// and tear down on exit. The body's error survives, so violation and
+// degraded exit codes are unaffected.
+func (f *runFlags) withServe(body func() error) error {
+	if f.listen == "" {
+		return body()
+	}
+	f.server = mfv.NewObsServer(f.observer())
+	addr, err := f.server.Start(f.listen)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "mfv: live telemetry on http://%s/\n", addr)
+	bodyErr := body()
+	f.server.SetReady(true) // the run is over; nothing left to converge
+	if f.holdOpen > 0 {
+		fmt.Fprintf(os.Stderr, "mfv: holding telemetry endpoint open for %v\n", f.holdOpen)
+		time.Sleep(f.holdOpen)
+	}
+	if cerr := f.server.Close(); cerr != nil && bodyErr == nil {
+		return cerr
+	}
+	return bodyErr
+}
+
+// timelineRow is the JSON form of one convergence-timeline entry.
+type timelineRow struct {
+	Router       string `json:"router"`
+	LastChangeNS int64  `json:"last_change_ns"`
+	Routes       int    `json:"routes"`
+}
+
+// reportJSON writes the -json machine-readable report: the shared snapshot
+// codec (metrics + phases) plus the convergence timeline when requested.
+func (f *runFlags) reportJSON(res *mfv.Result) error {
+	snap := f.obs.SnapshotJSON()
+	doc := struct {
+		Backend  string        `json:"backend"`
+		Metrics  any           `json:"metrics"`
+		Phases   any           `json:"phases,omitempty"`
+		Timeline []timelineRow `json:"timeline,omitempty"`
+		Chaos    any           `json:"chaos,omitempty"`
+	}{Backend: res.Backend.String(), Metrics: snap.Metrics, Phases: snap.Phases}
+	if res.Chaos != nil {
+		doc.Chaos = res.Chaos
+	}
+	if f.timeline {
+		if res.Emulator == nil {
+			return fmt.Errorf("-timeline requires the emulation backend")
+		}
+		for _, t := range res.Emulator.ConvergenceTimeline() {
+			doc.Timeline = append(doc.Timeline, timelineRow{
+				Router: t.Router, LastChangeNS: int64(t.LastChange), Routes: t.Routes,
+			})
+		}
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	return enc.Encode(doc)
+}
+
 // report writes the requested observability outputs for a completed run.
 func (f *runFlags) report(res *mfv.Result) error {
-	if f.timeline {
+	if f.jsonOut {
+		if err := f.reportJSON(res); err != nil {
+			return err
+		}
+	}
+	if f.timeline && !f.jsonOut {
 		if res.Emulator == nil {
 			return fmt.Errorf("-timeline requires the emulation backend")
 		}
@@ -276,7 +367,7 @@ func (f *runFlags) report(res *mfv.Result) error {
 			fmt.Printf("%-12s %16v %10d\n", t.Router, t.LastChange.Round(1e6), t.Routes)
 		}
 	}
-	if f.metrics {
+	if f.metrics && !f.jsonOut {
 		if pt := f.obs.PhaseTable(); pt != "" {
 			fmt.Print(pt)
 		}
@@ -355,7 +446,9 @@ func (f *runFlags) withProfiles(body func() error) error {
 func cmdRun(args []string) error {
 	f := newFlags("run")
 	f.fs.Parse(args)
-	return f.withProfiles(func() error { return runBody(f) })
+	return f.withProfiles(func() error {
+		return f.withServe(func() error { return runBody(f) })
+	})
 }
 
 func runBody(f *runFlags) error {
@@ -363,20 +456,26 @@ func runBody(f *runFlags) error {
 	if err != nil {
 		return err
 	}
-	fmt.Printf("backend: %s\n", res.Backend)
+	// With -json, stdout is reserved for the JSON document — the human
+	// summary moves to stderr so the output stays pipeable.
+	out := os.Stdout
+	if f.jsonOut {
+		out = os.Stderr
+	}
+	fmt.Fprintf(out, "backend: %s\n", res.Backend)
 	if res.Backend == mfv.BackendEmulation {
-		fmt.Printf("startup: %v (virtual)\nconverged at: %v (virtual)\n",
+		fmt.Fprintf(out, "startup: %v (virtual)\nconverged at: %v (virtual)\n",
 			res.StartupAt.Round(1e9), res.ConvergedAt.Round(1e9))
 	}
 	if len(res.DegradedRouters) > 0 {
-		fmt.Printf("DEGRADED: %d routers never settled: %v\n", len(res.DegradedRouters), res.DegradedRouters)
+		fmt.Fprintf(out, "DEGRADED: %d routers never settled: %v\n", len(res.DegradedRouters), res.DegradedRouters)
 	}
 	if len(res.QuarantinedRouters) > 0 {
-		fmt.Printf("QUARANTINED: %d routers contained after hostile input: %v\n",
+		fmt.Fprintf(out, "QUARANTINED: %d routers contained after hostile input: %v\n",
 			len(res.QuarantinedRouters), res.QuarantinedRouters)
 		for _, name := range res.QuarantinedRouters {
 			if reason, ok := res.Emulator.QuarantineReason(name); ok {
-				fmt.Printf("  %s: %s\n", name, reason)
+				fmt.Fprintf(out, "  %s: %s\n", name, reason)
 			}
 		}
 	}
@@ -386,13 +485,13 @@ func runBody(f *runFlags) error {
 		protos = append(protos, p)
 	}
 	sort.Strings(protos)
-	fmt.Println("routes by protocol:")
+	fmt.Fprintln(out, "routes by protocol:")
 	for _, p := range protos {
-		fmt.Printf("  %-10s %d\n", p, counts[p])
+		fmt.Fprintf(out, "  %-10s %d\n", p, counts[p])
 	}
-	fmt.Printf("devices with forwarding state: %d\n", len(res.Network.Devices()))
+	fmt.Fprintf(out, "devices with forwarding state: %d\n", len(res.Network.Devices()))
 	if res.Chaos != nil {
-		fmt.Print(res.Chaos)
+		fmt.Fprint(out, res.Chaos)
 	}
 	if err := f.report(res); err != nil {
 		return err
@@ -514,7 +613,9 @@ func cmdTrace(args []string) error {
 func cmdDiff(args []string) error {
 	f := newFlags("diff")
 	f.fs.Parse(args)
-	return f.withProfiles(func() error { return diffBody(f) })
+	return f.withProfiles(func() error {
+		return f.withServe(func() error { return diffBody(f) })
+	})
 }
 
 func diffBody(f *runFlags) error {
@@ -679,10 +780,22 @@ func cmdScenarios(args []string) error {
 	return write("wan30.json", mfv.WAN(30, true))
 }
 
+// cmdChaos has two modes. Without -topo it lists (and optionally writes)
+// the built-in scenarios. With -topo it *runs* the scenario named by
+// -scenario against the topology — `mfv run -chaos` with chaos-first
+// ergonomics, and the natural host for -listen: a long fault timeline is
+// exactly the run an operator wants to watch live.
 func cmdChaos(args []string) error {
-	fs := flag.NewFlagSet("chaos", flag.ExitOnError)
-	write := fs.String("write", "", "also write each scenario as <name>.json into this directory")
-	fs.Parse(args)
+	f := newFlags("chaos")
+	write := f.fs.String("write", "", "also write each scenario as <name>.json into this directory (list mode)")
+	scenario := f.fs.String("scenario", "crash-reboot", "builtin scenario name or JSON file to execute (with -topo)")
+	f.fs.Parse(args)
+	if f.topo != "" {
+		f.chaos = *scenario
+		return f.withProfiles(func() error {
+			return f.withServe(func() error { return runBody(f) })
+		})
+	}
 	for _, sc := range mfv.ChaosBuiltins() {
 		fmt.Printf("%-14s seed=%-4d faults=%d  %s\n", sc.Name, sc.Seed, len(sc.Faults), sc.Description)
 		for _, f := range sc.Faults {

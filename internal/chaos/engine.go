@@ -194,6 +194,9 @@ func (en *Engine) runFault(f Fault, baseline snap) (*Verdict, snap, error) {
 	em, clk := en.em, en.em.Sim()
 	v := &Verdict{Fault: f, InjectedAt: clk.Now()}
 	en.emit(obs.EvFaultInject, f)
+	m := en.obs.Metrics()
+	m.Gauge("chaos_faults_inflight").Add(1)
+	defer m.Gauge("chaos_faults_inflight").Add(-1)
 
 	fail := func(e error) (*Verdict, snap, error) { return nil, snap{}, e }
 	clear := func() {
@@ -396,6 +399,14 @@ func (en *Engine) runFault(f Fault, baseline snap) (*Verdict, snap, error) {
 	for _, d := range finalDiffs {
 		v.Diffs = append(v.Diffs, d.String())
 	}
+	// Per-verdict metrics, labeled by fault kind so a mixed scenario's
+	// verdicts stay separable on the live endpoint (PR 2 left this gap).
+	m.Counter("chaos_faults_total", "kind", string(f.Kind)).Inc()
+	m.Counter("chaos_faults_completed_total").Inc()
+	m.Counter("chaos_flows_lost_total").Add(uint64(v.FlowsLost))
+	m.Counter("chaos_flows_transient_total").Add(uint64(v.FlowsLostTransient))
+	m.Counter("chaos_flows_recovered_total").Add(uint64(v.FlowsRecovered))
+	m.Histogram("chaos_reconverge_ns", "kind", string(f.Kind)).Observe(int64(v.ReconvergedIn))
 	if en.obs.Enabled() {
 		en.obs.Emit(obs.Event{Type: obs.EvChaosVerdict, Detail: f.Describe(), Value: int64(v.FlowsLost)})
 	}

@@ -788,7 +788,7 @@ func (e *Emulator) recordSimMetrics() {
 	}
 	m.Gauge("pods_running").Set(running)
 	for _, r := range e.Routers() {
-		m.Gauge("rib_routes." + r.Name).Set(int64(r.RIB().Len()))
+		m.Gauge("rib_routes", "router", r.Name).Set(int64(r.RIB().Len()))
 	}
 }
 

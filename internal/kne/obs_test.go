@@ -62,8 +62,8 @@ func TestObservedConvergence(t *testing.T) {
 	if v := o.Counter("spf_runs_total").Value(); v == 0 {
 		t.Error("spf_runs_total = 0")
 	}
-	if v := o.Gauge("rib_routes.r1").Value(); v <= 0 {
-		t.Errorf("rib_routes.r1 = %d", v)
+	if v := o.Gauge("rib_routes", "router", "r1").Value(); v <= 0 {
+		t.Errorf(`rib_routes{router="r1"} = %d`, v)
 	}
 
 	// AFT extraction emits one sorted event per device.

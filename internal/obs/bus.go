@@ -1,0 +1,119 @@
+// The live event bus: subscriptions turn the snapshot-only Events() model
+// into a stream that can be consumed while a run is in flight (the SSE
+// endpoint, live dashboards, tail -f style tools).
+//
+// Delivery contract: each subscriber owns a bounded buffer. Emit never
+// blocks — a full buffer drops the event for that subscriber only, counts
+// it on the subscription, and increments the shared
+// obs_dropped_events_total counter. A slow dashboard can therefore lose
+// events (it is a tail, not the trace); the retained trace buffer and the
+// determinism contract are unaffected.
+package obs
+
+import "sync/atomic"
+
+// DefaultSubscriptionBuffer is the per-subscriber ring size used when
+// Subscribe is called with a non-positive buffer.
+const DefaultSubscriptionBuffer = 256
+
+// Subscription is one live event consumer. Receive from Events(); call
+// Close when done (Close is idempotent and safe concurrently with Emit).
+type Subscription struct {
+	o       *Observer
+	id      int
+	ch      chan Event
+	keep    func(Event) bool // nil = keep everything; immutable after Subscribe
+	dropped atomic.Uint64
+	closed  bool // guarded by o.subMu
+}
+
+// Subscribe attaches a live event consumer with the given buffer size
+// (non-positive selects DefaultSubscriptionBuffer). Events emitted from now
+// on are delivered in emission order; events that arrive while the buffer
+// is full are dropped and counted. Returns nil on a nil observer.
+func (o *Observer) Subscribe(buf int) *Subscription {
+	return o.SubscribeFiltered(buf, nil)
+}
+
+// SubscribeFiltered is Subscribe with a server-side filter: only events for
+// which keep returns true are delivered (or counted as drops). The right
+// tool for watchers that care about one event type — a filtered subscriber
+// never backs up on traffic it would discard anyway. keep runs on the
+// emitting goroutine under the bus lock, so it must be fast and pure.
+func (o *Observer) SubscribeFiltered(buf int, keep func(Event) bool) *Subscription {
+	if o == nil {
+		return nil
+	}
+	if buf <= 0 {
+		buf = DefaultSubscriptionBuffer
+	}
+	s := &Subscription{o: o, ch: make(chan Event, buf), keep: keep}
+	o.subMu.Lock()
+	if o.subs == nil {
+		o.subs = map[int]*Subscription{}
+		o.cDropped = o.reg.Counter("obs_dropped_events_total")
+	}
+	s.id = o.nextSub
+	o.nextSub++
+	o.subs[s.id] = s
+	o.nSubs.Store(int32(len(o.subs)))
+	o.subMu.Unlock()
+	return s
+}
+
+// publish fans one event out to every subscriber, dropping per-subscriber
+// on full buffers. Called by Emit off the o.mu critical section.
+func (o *Observer) publish(e Event) {
+	o.subMu.Lock()
+	for _, s := range o.subs {
+		if s.keep != nil && !s.keep(e) {
+			continue
+		}
+		select {
+		case s.ch <- e:
+		default:
+			s.dropped.Add(1)
+			o.cDropped.Inc()
+		}
+	}
+	o.subMu.Unlock()
+}
+
+// Events returns the subscription's receive channel. The channel is closed
+// by Close. Nil-safe (returns a nil channel that blocks forever — pair it
+// with a context/done select).
+func (s *Subscription) Events() <-chan Event {
+	if s == nil {
+		return nil
+	}
+	return s.ch
+}
+
+// Dropped returns how many events this subscriber missed to back-pressure.
+func (s *Subscription) Dropped() uint64 {
+	if s == nil {
+		return 0
+	}
+	return s.dropped.Load()
+}
+
+// Close detaches the subscription and closes its channel. Idempotent; safe
+// to call while the observer is emitting.
+func (s *Subscription) Close() {
+	if s == nil {
+		return
+	}
+	o := s.o
+	o.subMu.Lock()
+	if s.closed {
+		o.subMu.Unlock()
+		return
+	}
+	s.closed = true
+	delete(o.subs, s.id)
+	o.nSubs.Store(int32(len(o.subs)))
+	// Closing under subMu is what makes Emit safe: publish sends only
+	// while holding the same lock, so no send can race the close.
+	close(s.ch)
+	o.subMu.Unlock()
+}

@@ -1,0 +1,115 @@
+// JSON snapshot codec — the one serialization of the registry + phase state
+// shared by the CLI's -json mode and the HTTP endpoint's /metrics.json and
+// /phases, so scripts parse a single stable schema instead of ASCII tables.
+package obs
+
+import (
+	"encoding/json"
+	"io"
+)
+
+// BucketJSON is one cumulative histogram bucket: the count of observations
+// ≤ LE (matching Prometheus le semantics).
+type BucketJSON struct {
+	LE    int64  `json:"le"`
+	Count uint64 `json:"count"`
+}
+
+// MetricJSON is one metric series in the JSON snapshot.
+type MetricJSON struct {
+	Name   string            `json:"name"`
+	Kind   string            `json:"kind"`
+	Labels map[string]string `json:"labels,omitempty"`
+	// Value is the counter/gauge value; for histograms it is the
+	// observation count (duplicated in Count for clarity).
+	Value   int64        `json:"value"`
+	Count   uint64       `json:"count,omitempty"`
+	Sum     uint64       `json:"sum,omitempty"`
+	P50     int64        `json:"p50,omitempty"`
+	P99     int64        `json:"p99,omitempty"`
+	Buckets []BucketJSON `json:"buckets,omitempty"`
+}
+
+// PhaseJSON is one completed pipeline phase.
+type PhaseJSON struct {
+	Name     string `json:"name"`
+	VStartNS int64  `json:"vstart_ns"`
+	VEndNS   int64  `json:"vend_ns"`
+	VDurNS   int64  `json:"vdur_ns"`
+	WallNS   int64  `json:"wall_ns"`
+}
+
+// SnapshotJSON is a point-in-time view of the observer: every metric series
+// plus the completed phases.
+type SnapshotJSON struct {
+	Metrics []MetricJSON `json:"metrics"`
+	Phases  []PhaseJSON  `json:"phases,omitempty"`
+}
+
+// metricJSON converts one snapshot entry.
+func metricJSON(m Metric) MetricJSON {
+	out := MetricJSON{
+		Name:   m.Name,
+		Kind:   m.Kind.String(),
+		Labels: m.Labels.Map(),
+		Value:  m.Value,
+	}
+	if m.Kind == KindHistogram {
+		out.Count = uint64(m.Value)
+		out.Sum = m.Sum
+		out.P50 = m.P50
+		out.P99 = m.P99
+		var cum uint64
+		for i, upper := range m.BucketUppers {
+			cum += m.BucketCounts[i]
+			out.Buckets = append(out.Buckets, BucketJSON{LE: upper, Count: cum})
+		}
+	}
+	return out
+}
+
+// MetricsJSON converts the registry snapshot into its JSON form.
+func (r *Registry) MetricsJSON() []MetricJSON {
+	snap := r.Snapshot()
+	out := make([]MetricJSON, 0, len(snap))
+	for _, m := range snap {
+		out = append(out, metricJSON(m))
+	}
+	return out
+}
+
+// PhasesJSON converts the completed phase records into their JSON form.
+func (o *Observer) PhasesJSON() []PhaseJSON {
+	phases := o.Phases()
+	out := make([]PhaseJSON, 0, len(phases))
+	for _, p := range phases {
+		out = append(out, PhaseJSON{
+			Name:     p.Name,
+			VStartNS: int64(p.VStart),
+			VEndNS:   int64(p.VEnd),
+			VDurNS:   int64(p.VDur()),
+			WallNS:   int64(p.Wall),
+		})
+	}
+	return out
+}
+
+// SnapshotJSON captures the observer's metrics and phases. Nil-safe: a nil
+// observer yields an empty (but valid) snapshot.
+func (o *Observer) SnapshotJSON() *SnapshotJSON {
+	s := &SnapshotJSON{}
+	if o == nil {
+		s.Metrics = []MetricJSON{}
+		return s
+	}
+	s.Metrics = o.Metrics().MetricsJSON()
+	s.Phases = o.PhasesJSON()
+	return s
+}
+
+// WriteJSON serializes the snapshot to w (indented, trailing newline).
+func (o *Observer) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(o.SnapshotJSON())
+}

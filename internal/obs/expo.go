@@ -1,0 +1,163 @@
+// Prometheus text exposition (version 0.0.4). The format is plain text, so
+// the writer stays stdlib-only: one # TYPE line per family, one sample line
+// per series, histograms expanded into cumulative le-labeled buckets.
+package obs
+
+import (
+	"bufio"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// PromContentType is the Content-Type HTTP servers should send with
+// WritePrometheus output.
+const PromContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// promName sanitizes a metric family name into the Prometheus grammar
+// [a-zA-Z_:][a-zA-Z0-9_:]* — dots and any other foreign byte become '_'.
+func promName(name string) string {
+	ok := func(i int, c byte) bool {
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_', c == ':':
+			return true
+		case c >= '0' && c <= '9':
+			return i > 0
+		}
+		return false
+	}
+	clean := true
+	for i := 0; i < len(name); i++ {
+		if !ok(i, name[i]) {
+			clean = false
+			break
+		}
+	}
+	if clean && name != "" {
+		return name
+	}
+	var b strings.Builder
+	b.Grow(len(name) + 1)
+	for i := 0; i < len(name); i++ {
+		if ok(i, name[i]) {
+			b.WriteByte(name[i])
+		} else if i == 0 && name[i] >= '0' && name[i] <= '9' {
+			b.WriteByte('_')
+			b.WriteByte(name[i])
+		} else {
+			b.WriteByte('_')
+		}
+	}
+	if b.Len() == 0 {
+		return "_"
+	}
+	return b.String()
+}
+
+// promLabelName sanitizes a label name ([a-zA-Z_][a-zA-Z0-9_]*).
+func promLabelName(name string) string {
+	s := promName(name)
+	return strings.ReplaceAll(s, ":", "_")
+}
+
+// promEscape escapes a label value for the exposition format: backslash,
+// double quote, and newline.
+func promEscape(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	v = strings.ReplaceAll(v, "\n", `\n`)
+	return strings.ReplaceAll(v, `"`, `\"`)
+}
+
+// promLabels renders a label set (plus optional extra pairs appended in
+// order) as the {k="v",...} sample suffix; empty sets render empty.
+func promLabels(ls Labels, extra ...LabelPair) string {
+	if len(ls)+len(extra) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	n := 0
+	write := func(p LabelPair) {
+		if n > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(promLabelName(p.Key))
+		b.WriteString(`="`)
+		b.WriteString(promEscape(p.Value))
+		b.WriteByte('"')
+		n++
+	}
+	for _, p := range ls {
+		write(p)
+	}
+	for _, p := range extra {
+		write(p)
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// WritePrometheus writes every metric in the registry in the Prometheus
+// text exposition format. Counters render as counters, gauges as gauges,
+// and histograms as cumulative le-bucketed histogram families with _sum and
+// _count samples. Output order is deterministic: families sorted by name,
+// series by canonical labels.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	snap := r.Snapshot()
+	bw := bufio.NewWriter(w)
+	var lastFamily string
+	for _, m := range snap {
+		name := promName(m.Name)
+		if name != lastFamily {
+			bw.WriteString("# TYPE ")
+			bw.WriteString(name)
+			switch m.Kind {
+			case KindCounter:
+				bw.WriteString(" counter\n")
+			case KindGauge:
+				bw.WriteString(" gauge\n")
+			case KindHistogram:
+				bw.WriteString(" histogram\n")
+			}
+			lastFamily = name
+		}
+		switch m.Kind {
+		case KindCounter, KindGauge:
+			bw.WriteString(name)
+			bw.WriteString(promLabels(m.Labels))
+			bw.WriteByte(' ')
+			bw.WriteString(strconv.FormatInt(m.Value, 10))
+			bw.WriteByte('\n')
+		case KindHistogram:
+			var cum uint64
+			for i, upper := range m.BucketUppers {
+				cum += m.BucketCounts[i]
+				bw.WriteString(name)
+				bw.WriteString("_bucket")
+				bw.WriteString(promLabels(m.Labels, LabelPair{Key: "le", Value: strconv.FormatInt(upper, 10)}))
+				bw.WriteByte(' ')
+				bw.WriteString(strconv.FormatUint(cum, 10))
+				bw.WriteByte('\n')
+			}
+			bw.WriteString(name)
+			bw.WriteString("_bucket")
+			bw.WriteString(promLabels(m.Labels, LabelPair{Key: "le", Value: "+Inf"}))
+			bw.WriteByte(' ')
+			bw.WriteString(strconv.FormatInt(m.Value, 10))
+			bw.WriteByte('\n')
+			bw.WriteString(name)
+			bw.WriteString("_sum")
+			bw.WriteString(promLabels(m.Labels))
+			bw.WriteByte(' ')
+			bw.WriteString(strconv.FormatUint(m.Sum, 10))
+			bw.WriteByte('\n')
+			bw.WriteString(name)
+			bw.WriteString("_count")
+			bw.WriteString(promLabels(m.Labels))
+			bw.WriteByte(' ')
+			bw.WriteString(strconv.FormatInt(m.Value, 10))
+			bw.WriteByte('\n')
+		}
+	}
+	return bw.Flush()
+}

@@ -1,0 +1,229 @@
+package obs
+
+// Exposition contracts: labeled series identity, Prometheus text golden
+// output (including cumulative le-bucket semantics), and the shared JSON
+// snapshot codec.
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestLabeledSeriesIdentity(t *testing.T) {
+	var r Registry
+	// Label order at the call site never matters.
+	a := r.Counter("chaos_faults_total", "kind", "link-cut", "zone", "a")
+	b := r.Counter("chaos_faults_total", "zone", "a", "kind", "link-cut")
+	if a != b {
+		t.Error("same label set in different order produced different series")
+	}
+	// A different value is a different series; so is the unlabeled family.
+	if a == r.Counter("chaos_faults_total", "kind", "pod-crash", "zone", "a") {
+		t.Error("different label values aliased")
+	}
+	if a == r.Counter("chaos_faults_total") {
+		t.Error("labeled series aliased the unlabeled one")
+	}
+	// An odd trailing key still yields a distinct, visible series.
+	odd := r.Counter("chaos_faults_total", "kind")
+	if odd == r.Counter("chaos_faults_total") {
+		t.Error("odd trailing key aliased the unlabeled series")
+	}
+}
+
+func TestSnapshotDeterministicOrder(t *testing.T) {
+	var r Registry
+	// Register out of order; snapshot must sort by (name, labels).
+	r.Counter("z_total").Inc()
+	r.Counter("a_total", "k", "2").Inc()
+	r.Counter("a_total", "k", "1").Inc()
+	r.Gauge("m_gauge").Set(3)
+	snap := r.Snapshot()
+	var got []string
+	for _, m := range snap {
+		got = append(got, m.FullName())
+	}
+	want := []string{`a_total{k="1"}`, `a_total{k="2"}`, `m_gauge`, `z_total`}
+	if strings.Join(got, "|") != strings.Join(want, "|") {
+		t.Errorf("snapshot order = %v, want %v", got, want)
+	}
+	// Names() reports each family once.
+	names := r.Names()
+	if strings.Join(names, "|") != "a_total|m_gauge|z_total" {
+		t.Errorf("Names() = %v", names)
+	}
+}
+
+// TestWritePrometheusGolden pins the full exposition output for a registry
+// exercising every kind, labels, and the cumulative le-bucket expansion.
+func TestWritePrometheusGolden(t *testing.T) {
+	var r Registry
+	r.Counter("faults_total", "kind", "link-cut").Add(3)
+	r.Counter("faults_total", "kind", "pod-crash").Add(1)
+	r.Gauge("inflight").Set(2)
+	h := r.Histogram("reconverge_ns", "kind", "link-cut")
+	// Observations 1, 2, 3 land in buckets le=1 (count 1) and le=3 (count 2):
+	// cumulative 1, 3.
+	h.Observe(1)
+	h.Observe(2)
+	h.Observe(3)
+
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	want := strings.Join([]string{
+		`# TYPE faults_total counter`,
+		`faults_total{kind="link-cut"} 3`,
+		`faults_total{kind="pod-crash"} 1`,
+		`# TYPE inflight gauge`,
+		`inflight 2`,
+		`# TYPE reconverge_ns histogram`,
+		`reconverge_ns_bucket{kind="link-cut",le="1"} 1`,
+		`reconverge_ns_bucket{kind="link-cut",le="3"} 3`,
+		`reconverge_ns_bucket{kind="link-cut",le="+Inf"} 3`,
+		`reconverge_ns_sum{kind="link-cut"} 6`,
+		`reconverge_ns_count{kind="link-cut"} 3`,
+	}, "\n") + "\n"
+	if got := buf.String(); got != want {
+		t.Errorf("exposition mismatch:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}
+
+// TestPrometheusBucketsCumulative checks the le invariants on a wider value
+// spread: bucket counts never decrease, and the +Inf bucket equals _count.
+func TestPrometheusBucketsCumulative(t *testing.T) {
+	var r Registry
+	h := r.Histogram("wide_ns")
+	for _, v := range []int64{0, 1, 5, 5, 130, 4096, 1 << 40} {
+		h.Observe(v)
+	}
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var prev int64 = -1
+	var lastCum, infCum, count int64
+	for _, line := range strings.Split(buf.String(), "\n") {
+		switch {
+		case strings.HasPrefix(line, "wide_ns_bucket{le=\"+Inf\"}"):
+			if _, err := parseSample(line, &infCum); err != nil {
+				t.Fatal(err)
+			}
+		case strings.HasPrefix(line, "wide_ns_bucket{"):
+			var cum int64
+			if _, err := parseSample(line, &cum); err != nil {
+				t.Fatal(err)
+			}
+			if cum < lastCum {
+				t.Errorf("bucket counts not cumulative: %d after %d (%s)", cum, lastCum, line)
+			}
+			lastCum = cum
+			le := line[strings.Index(line, `le="`)+4 : strings.LastIndex(line, `"`)]
+			var edge int64
+			if _, err := parseSample("x "+le, &edge); err != nil {
+				t.Fatalf("bad le %q: %v", le, err)
+			}
+			if edge <= prev {
+				t.Errorf("le edges not ascending: %d after %d", edge, prev)
+			}
+			prev = edge
+		case strings.HasPrefix(line, "wide_ns_count"):
+			if _, err := parseSample(line, &count); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if count != 7 || infCum != count || lastCum > infCum {
+		t.Errorf("count=%d +Inf=%d lastFinite=%d", count, infCum, lastCum)
+	}
+}
+
+// parseSample reads the trailing integer of a "name value" sample line.
+func parseSample(line string, out *int64) (string, error) {
+	i := strings.LastIndexByte(line, ' ')
+	name := line[:i]
+	v, err := json.Number(line[i+1:]).Int64()
+	*out = v
+	return name, err
+}
+
+func TestPromNameSanitization(t *testing.T) {
+	cases := map[string]string{
+		"spf_ns":       "spf_ns",
+		"rib.routes":   "rib_routes",
+		"9lives":       "_9lives",
+		"weird métric": "weird_m__tric",
+		"":             "_",
+		"a:b":          "a:b",
+	}
+	for in, want := range cases {
+		if got := promName(in); got != want {
+			t.Errorf("promName(%q) = %q, want %q", in, got, want)
+		}
+	}
+	if got := promLabelName("a:b"); got != "a_b" {
+		t.Errorf("promLabelName(a:b) = %q (colons are metric-only)", got)
+	}
+	if got := promEscape("a\"b\\c\nd"); got != `a\"b\\c\nd` {
+		t.Errorf("promEscape = %q", got)
+	}
+}
+
+func TestMetricsJSONCodec(t *testing.T) {
+	o := New()
+	o.SetClock(&fakeClock{now: time.Second})
+	o.Counter("c_total", "kind", "x").Add(2)
+	o.Gauge("g").Set(-4)
+	h := o.Histogram("h_ns")
+	h.Observe(1)
+	h.Observe(3)
+	o.RecordPhase("verify", time.Second, 3*time.Second, 5*time.Millisecond)
+
+	var buf bytes.Buffer
+	if err := o.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var snap SnapshotJSON
+	if err := json.Unmarshal(buf.Bytes(), &snap); err != nil {
+		t.Fatalf("invalid snapshot JSON: %v\n%s", err, buf.String())
+	}
+	byName := map[string]MetricJSON{}
+	for _, m := range snap.Metrics {
+		byName[m.Name] = m
+	}
+	c := byName["c_total"]
+	if c.Kind != "counter" || c.Value != 2 || c.Labels["kind"] != "x" {
+		t.Errorf("counter = %+v", c)
+	}
+	if g := byName["g"]; g.Kind != "gauge" || g.Value != -4 {
+		t.Errorf("gauge = %+v", g)
+	}
+	hj := byName["h_ns"]
+	if hj.Kind != "histogram" || hj.Count != 2 || hj.Sum != 4 {
+		t.Errorf("histogram = %+v", hj)
+	}
+	// Buckets are cumulative: le=1 count 1, le=3 count 2.
+	if len(hj.Buckets) != 2 || hj.Buckets[0] != (BucketJSON{LE: 1, Count: 1}) ||
+		hj.Buckets[1] != (BucketJSON{LE: 3, Count: 2}) {
+		t.Errorf("buckets = %+v", hj.Buckets)
+	}
+	if len(snap.Phases) != 1 || snap.Phases[0] != (PhaseJSON{
+		Name: "verify", VStartNS: 1e9, VEndNS: 3e9, VDurNS: 2e9, WallNS: 5e6,
+	}) {
+		t.Errorf("phases = %+v", snap.Phases)
+	}
+
+	// Nil observer still yields a valid, empty snapshot.
+	var nilObs *Observer
+	var nb bytes.Buffer
+	if err := nilObs.WriteJSON(&nb); err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(nb.Bytes(), &snap); err != nil {
+		t.Errorf("nil-observer snapshot invalid: %v", err)
+	}
+}

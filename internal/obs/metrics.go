@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"math/bits"
 	"sort"
+	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 )
@@ -86,6 +88,19 @@ func BucketLow(i int) int64 {
 	return 1 << (i - 1)
 }
 
+// BucketHigh returns the inclusive upper bound of bucket i — the `le` edge
+// the Prometheus exposition uses. Integer observations make the exclusive
+// 2^i edge and the inclusive 2^i-1 edge equivalent.
+func BucketHigh(i int) int64 {
+	if i <= 0 {
+		return 0
+	}
+	if i >= 63 {
+		return 1<<63 - 1
+	}
+	return 1<<i - 1
+}
+
 // Observe records one value.
 func (h *Histogram) Observe(v int64) {
 	if h == nil {
@@ -159,66 +174,176 @@ func (h *Histogram) Buckets() (lows []int64, counts []uint64) {
 	return lows, counts
 }
 
-// Registry holds named metrics. The zero value is ready to use; a nil
-// *Registry hands out nil (no-op) handles, so a disabled observer costs
-// nothing down the whole chain.
-type Registry struct {
-	mu         sync.Mutex
-	counters   map[string]*Counter
-	gauges     map[string]*Gauge
-	histograms map[string]*Histogram
+// bucketEdges returns the non-empty buckets as (inclusive upper `le` edge,
+// per-bucket count) pairs in ascending order — the exposition-facing view.
+func (h *Histogram) bucketEdges() (uppers []int64, counts []uint64) {
+	if h == nil {
+		return nil, nil
+	}
+	for i := 0; i < histBuckets; i++ {
+		if c := h.counts[i].Load(); c > 0 {
+			uppers = append(uppers, BucketHigh(i))
+			counts = append(counts, c)
+		}
+	}
+	return uppers, counts
 }
 
-// Counter returns (creating if needed) the named counter.
-func (r *Registry) Counter(name string) *Counter {
+// LabelPair is one metric dimension.
+type LabelPair struct {
+	Key   string `json:"key"`
+	Value string `json:"value"`
+}
+
+// Labels is a sorted, deduplicated label set. Build one with the registry's
+// variadic accessors (key/value string pairs); series identity is the
+// canonical rendering, so label order at the call site never matters.
+type Labels []LabelPair
+
+// makeLabels pairs up a variadic key/value list and sorts it by key. An odd
+// trailing key is paired with the empty value rather than dropped, so a
+// miscounted call site still produces a visible (if odd) series instead of
+// silently aliasing the unlabeled one.
+func makeLabels(kv []string) Labels {
+	if len(kv) == 0 {
+		return nil
+	}
+	ls := make(Labels, 0, (len(kv)+1)/2)
+	for i := 0; i < len(kv); i += 2 {
+		p := LabelPair{Key: kv[i]}
+		if i+1 < len(kv) {
+			p.Value = kv[i+1]
+		}
+		ls = append(ls, p)
+	}
+	sort.SliceStable(ls, func(i, j int) bool { return ls[i].Key < ls[j].Key })
+	return ls
+}
+
+// canon renders the label set in its canonical `{k1="v1",k2="v2"}` form —
+// the series identity and the display suffix. Empty label sets render empty.
+func (ls Labels) canon() string {
+	if len(ls) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, p := range ls {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(p.Key)
+		b.WriteByte('=')
+		b.WriteString(strconv.Quote(p.Value))
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// Map returns the labels as a plain map (nil when empty), for JSON codecs.
+func (ls Labels) Map() map[string]string {
+	if len(ls) == 0 {
+		return nil
+	}
+	m := make(map[string]string, len(ls))
+	for _, p := range ls {
+		m[p.Key] = p.Value
+	}
+	return m
+}
+
+// seriesKey identifies one metric series: family name + canonical labels.
+type seriesKey struct {
+	name   string
+	labels string
+}
+
+// Registry holds named metrics, each optionally split into labeled series.
+// The zero value is ready to use; a nil *Registry hands out nil (no-op)
+// handles, so a disabled observer costs nothing down the whole chain.
+type Registry struct {
+	mu         sync.Mutex
+	counters   map[seriesKey]*Counter
+	gauges     map[seriesKey]*Gauge
+	histograms map[seriesKey]*Histogram
+	// labelSets maps a canonical label string back to its parsed form, so
+	// snapshots never re-parse and identical sets share one slice.
+	labelSets map[string]Labels
+}
+
+// key interns the label set and returns the series key for name.
+func (r *Registry) key(name string, kv []string) seriesKey {
+	if len(kv) == 0 {
+		return seriesKey{name: name}
+	}
+	ls := makeLabels(kv)
+	c := ls.canon()
+	if r.labelSets == nil {
+		r.labelSets = map[string]Labels{}
+	}
+	if _, ok := r.labelSets[c]; !ok {
+		r.labelSets[c] = ls
+	}
+	return seriesKey{name: name, labels: c}
+}
+
+// Counter returns (creating if needed) the named counter. Optional labels
+// are alternating key/value pairs: Counter("chaos_faults_total", "kind",
+// "link-cut") and any permutation of the same pairs address one series.
+func (r *Registry) Counter(name string, labels ...string) *Counter {
 	if r == nil {
 		return nil
 	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	if r.counters == nil {
-		r.counters = map[string]*Counter{}
+		r.counters = map[seriesKey]*Counter{}
 	}
-	c, ok := r.counters[name]
+	k := r.key(name, labels)
+	c, ok := r.counters[k]
 	if !ok {
 		c = &Counter{}
-		r.counters[name] = c
+		r.counters[k] = c
 	}
 	return c
 }
 
-// Gauge returns (creating if needed) the named gauge.
-func (r *Registry) Gauge(name string) *Gauge {
+// Gauge returns (creating if needed) the named gauge; optional labels as in
+// Counter.
+func (r *Registry) Gauge(name string, labels ...string) *Gauge {
 	if r == nil {
 		return nil
 	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	if r.gauges == nil {
-		r.gauges = map[string]*Gauge{}
+		r.gauges = map[seriesKey]*Gauge{}
 	}
-	g, ok := r.gauges[name]
+	k := r.key(name, labels)
+	g, ok := r.gauges[k]
 	if !ok {
 		g = &Gauge{}
-		r.gauges[name] = g
+		r.gauges[k] = g
 	}
 	return g
 }
 
-// Histogram returns (creating if needed) the named histogram.
-func (r *Registry) Histogram(name string) *Histogram {
+// Histogram returns (creating if needed) the named histogram; optional
+// labels as in Counter.
+func (r *Registry) Histogram(name string, labels ...string) *Histogram {
 	if r == nil {
 		return nil
 	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	if r.histograms == nil {
-		r.histograms = map[string]*Histogram{}
+		r.histograms = map[seriesKey]*Histogram{}
 	}
-	h, ok := r.histograms[name]
+	k := r.key(name, labels)
+	h, ok := r.histograms[k]
 	if !ok {
 		h = &Histogram{}
-		r.histograms[name] = h
+		r.histograms[k] = h
 	}
 	return h
 }
@@ -233,15 +358,37 @@ const (
 	KindHistogram
 )
 
-// Metric is one snapshot entry.
+// String names the kind for codecs.
+func (k MetricKind) String() string {
+	switch k {
+	case KindCounter:
+		return "counter"
+	case KindGauge:
+		return "gauge"
+	case KindHistogram:
+		return "histogram"
+	}
+	return fmt.Sprintf("kind(%d)", uint8(k))
+}
+
+// Metric is one snapshot entry: a single series of a metric family.
 type Metric struct {
-	Name  string
-	Kind  MetricKind
-	Value int64 // counter/gauge value; histogram count
+	Name   string
+	Labels Labels
+	Kind   MetricKind
+	Value  int64 // counter/gauge value; histogram count
 	// P50/P99/Sum are histogram-only.
 	P50, P99 int64
 	Sum      uint64
+	// BucketUppers/BucketCounts are the histogram's non-empty buckets as
+	// (inclusive `le` edge, per-bucket count) pairs, ascending. Exposition
+	// writers accumulate them into cumulative Prometheus buckets.
+	BucketUppers []int64
+	BucketCounts []uint64
 }
+
+// FullName renders the series name with its canonical label suffix.
+func (m Metric) FullName() string { return m.Name + m.Labels.canon() }
 
 // Render formats the metric's value column.
 func (m Metric) Render() string {
@@ -251,45 +398,64 @@ func (m Metric) Render() string {
 	return fmt.Sprintf("%d", m.Value)
 }
 
-// Snapshot returns every metric sorted by name.
+// Snapshot returns every metric series sorted by (name, labels) — a
+// deterministic order regardless of registration order.
 func (r *Registry) Snapshot() []Metric {
 	if r == nil {
 		return nil
 	}
 	r.mu.Lock()
-	counters := make(map[string]*Counter, len(r.counters))
+	counters := make(map[seriesKey]*Counter, len(r.counters))
 	for k, v := range r.counters {
 		counters[k] = v
 	}
-	gauges := make(map[string]*Gauge, len(r.gauges))
+	gauges := make(map[seriesKey]*Gauge, len(r.gauges))
 	for k, v := range r.gauges {
 		gauges[k] = v
 	}
-	hists := make(map[string]*Histogram, len(r.histograms))
+	hists := make(map[seriesKey]*Histogram, len(r.histograms))
 	for k, v := range r.histograms {
 		hists[k] = v
+	}
+	labelSets := make(map[string]Labels, len(r.labelSets))
+	for k, v := range r.labelSets {
+		labelSets[k] = v
 	}
 	r.mu.Unlock()
 
 	out := make([]Metric, 0, len(counters)+len(gauges)+len(hists))
-	for _, name := range sortedNames(counters) {
-		out = append(out, Metric{Name: name, Kind: KindCounter, Value: int64(counters[name].Value())})
-	}
-	for _, name := range sortedNames(gauges) {
-		out = append(out, Metric{Name: name, Kind: KindGauge, Value: gauges[name].Value()})
-	}
-	for _, name := range sortedNames(hists) {
-		h := hists[name]
+	for _, k := range sortedKeys(counters) {
 		out = append(out, Metric{
-			Name: name, Kind: KindHistogram,
-			Value: int64(h.Count()), P50: h.Quantile(0.50), P99: h.Quantile(0.99), Sum: h.Sum(),
+			Name: k.name, Labels: labelSets[k.labels],
+			Kind: KindCounter, Value: int64(counters[k].Value()),
 		})
 	}
-	sort.SliceStable(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	for _, k := range sortedKeys(gauges) {
+		out = append(out, Metric{
+			Name: k.name, Labels: labelSets[k.labels],
+			Kind: KindGauge, Value: gauges[k].Value(),
+		})
+	}
+	for _, k := range sortedKeys(hists) {
+		h := hists[k]
+		uppers, counts := h.bucketEdges()
+		out = append(out, Metric{
+			Name: k.name, Labels: labelSets[k.labels], Kind: KindHistogram,
+			Value: int64(h.Count()), P50: h.Quantile(0.50), P99: h.Quantile(0.99), Sum: h.Sum(),
+			BucketUppers: uppers, BucketCounts: counts,
+		})
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].Name != out[j].Name {
+			return out[i].Name < out[j].Name
+		}
+		return out[i].Labels.canon() < out[j].Labels.canon()
+	})
 	return out
 }
 
-// Names returns every registered metric name, sorted and de-duplicated.
+// Names returns every registered metric family name, sorted and
+// de-duplicated (a labeled family appears once however many series it has).
 func (r *Registry) Names() []string {
 	snap := r.Snapshot()
 	out := make([]string, 0, len(snap))
@@ -300,5 +466,20 @@ func (r *Registry) Names() []string {
 			last = m.Name
 		}
 	}
+	return out
+}
+
+// sortedKeys returns series keys sorted by (name, labels).
+func sortedKeys[T any](m map[seriesKey]T) []seriesKey {
+	out := make([]seriesKey, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].name != out[j].name {
+			return out[i].name < out[j].name
+		}
+		return out[i].labels < out[j].labels
+	})
 	return out
 }

@@ -24,9 +24,9 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
-	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -94,6 +94,11 @@ const (
 // Event is one trace record. At is virtual time; the remaining fields are a
 // fixed, flat schema so events serialize deterministically and call sites
 // never allocate a field map.
+//
+// Wall is the real time the event was published to live subscribers. It is
+// excluded from JSON so the retained trace stays byte-identical across
+// same-seed runs, and it is stamped only when at least one subscriber is
+// attached — the deterministic-trace path never reads the wall clock.
 type Event struct {
 	At     time.Duration `json:"at_ns"`
 	Type   string        `json:"type"`
@@ -101,6 +106,7 @@ type Event struct {
 	Peer   string        `json:"peer,omitempty"`
 	Detail string        `json:"detail,omitempty"`
 	Value  int64         `json:"value,omitempty"`
+	Wall   time.Time     `json:"-"`
 }
 
 // PhaseRecord is one completed pipeline phase with virtual and wall timing.
@@ -115,8 +121,9 @@ type PhaseRecord struct {
 // VDur returns the phase's virtual duration.
 func (p PhaseRecord) VDur() time.Duration { return p.VEnd - p.VStart }
 
-// Observer bundles the trace buffer, metrics registry, and phase records for
-// one pipeline run. A nil *Observer is a valid no-op sink.
+// Observer bundles the trace buffer, metrics registry, phase records, and
+// the live event bus for one pipeline run. A nil *Observer is a valid no-op
+// sink.
 type Observer struct {
 	mu      sync.Mutex
 	clock   Clock
@@ -124,6 +131,14 @@ type Observer struct {
 	phases  []PhaseRecord
 	reg     Registry
 	noTrace bool
+
+	// Live event bus (see bus.go). nSubs mirrors len(subs) so Emit can
+	// skip the fan-out path with one atomic load.
+	subMu    sync.Mutex
+	subs     map[int]*Subscription
+	nextSub  int
+	nSubs    atomic.Int32
+	cDropped *Counter
 }
 
 // New returns an observer collecting trace events, metrics, and phases. Bind
@@ -146,23 +161,38 @@ func (o *Observer) SetClock(c Clock) {
 	o.mu.Unlock()
 }
 
-// Enabled reports whether trace events are being collected. Call sites use
-// it to skip building event strings on the disabled path.
-func (o *Observer) Enabled() bool { return o != nil && !o.noTrace }
+// Enabled reports whether anyone consumes trace events — the retained
+// trace buffer or at least one live subscriber. Call sites use it to skip
+// building event strings on the disabled path, so a metrics-only observer
+// starts producing events the moment a subscriber attaches.
+func (o *Observer) Enabled() bool {
+	return o != nil && (!o.noTrace || o.nSubs.Load() > 0)
+}
 
-// Emit appends a trace event. When e.At is zero it is stamped from the
-// bound clock; a nonzero At is kept verbatim (for events describing a moment
-// other than "now", e.g. synthesized span boundaries).
+// Emit appends a trace event and fans it out to live subscribers. When e.At
+// is zero it is stamped from the bound clock; a nonzero At is kept verbatim
+// (for events describing a moment other than "now", e.g. synthesized span
+// boundaries).
 func (o *Observer) Emit(e Event) {
-	if o == nil || o.noTrace {
+	if o == nil {
+		return
+	}
+	live := o.nSubs.Load() > 0
+	if o.noTrace && !live {
 		return
 	}
 	o.mu.Lock()
 	if e.At == 0 && o.clock != nil {
 		e.At = o.clock.Now()
 	}
-	o.events = append(o.events, e)
+	if !o.noTrace {
+		o.events = append(o.events, e)
+	}
 	o.mu.Unlock()
+	if live {
+		e.Wall = time.Now()
+		o.publish(e)
+	}
 }
 
 // Events returns a copy of the collected trace.
@@ -204,14 +234,21 @@ func (o *Observer) Metrics() *Registry {
 }
 
 // Counter returns the named counter handle (nil, a no-op, on a nil
-// observer). Hot paths should resolve handles once and keep them.
-func (o *Observer) Counter(name string) *Counter { return o.Metrics().Counter(name) }
+// observer). Optional labels are alternating key/value pairs. Hot paths
+// should resolve handles once and keep them.
+func (o *Observer) Counter(name string, labels ...string) *Counter {
+	return o.Metrics().Counter(name, labels...)
+}
 
 // Gauge returns the named gauge handle.
-func (o *Observer) Gauge(name string) *Gauge { return o.Metrics().Gauge(name) }
+func (o *Observer) Gauge(name string, labels ...string) *Gauge {
+	return o.Metrics().Gauge(name, labels...)
+}
 
 // Histogram returns the named histogram handle.
-func (o *Observer) Histogram(name string) *Histogram { return o.Metrics().Histogram(name) }
+func (o *Observer) Histogram(name string, labels ...string) *Histogram {
+	return o.Metrics().Histogram(name, labels...)
+}
 
 // PhaseSpan is an in-flight pipeline phase opened by StartPhase.
 type PhaseSpan struct {
@@ -308,17 +345,7 @@ func (o *Observer) MetricsTable() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "%-36s %s\n", "metric", "value")
 	for _, m := range snap {
-		fmt.Fprintf(&b, "%-36s %s\n", m.Name, m.Render())
+		fmt.Fprintf(&b, "%-36s %s\n", m.FullName(), m.Render())
 	}
 	return b.String()
-}
-
-// sortedNames returns map keys in sorted order (shared by Registry views).
-func sortedNames[T any](m map[string]T) []string {
-	out := make([]string, 0, len(m))
-	for k := range m {
-		out = append(out, k)
-	}
-	sort.Strings(out)
-	return out
 }

@@ -1,0 +1,75 @@
+// Runtime health sampling for long-running runs: heap, goroutines, and GC
+// pauses feed the registry on a wall-clock ticker. These are operational
+// metrics (how is the process doing), not trace data — they never touch the
+// deterministic event stream.
+package obs
+
+import (
+	"runtime"
+	"sync"
+	"time"
+)
+
+// DefaultSampleInterval is the runtime sampler's default period.
+const DefaultSampleInterval = time.Second
+
+// StartRuntimeSampler begins sampling Go runtime statistics into the
+// observer's registry every interval (non-positive selects
+// DefaultSampleInterval) and returns a stop function (idempotent). Gauges:
+// runtime_heap_alloc_bytes, runtime_heap_sys_bytes, runtime_goroutines,
+// runtime_gc_runs_total, runtime_next_gc_bytes. Histogram:
+// runtime_gc_pause_ns (one observation per completed GC cycle). Nil-safe:
+// a nil observer returns a no-op stop.
+func (o *Observer) StartRuntimeSampler(interval time.Duration) (stop func()) {
+	if o == nil {
+		return func() {}
+	}
+	if interval <= 0 {
+		interval = DefaultSampleInterval
+	}
+	var (
+		heapAlloc  = o.Gauge("runtime_heap_alloc_bytes")
+		heapSys    = o.Gauge("runtime_heap_sys_bytes")
+		goroutines = o.Gauge("runtime_goroutines")
+		gcRuns     = o.Gauge("runtime_gc_runs_total")
+		nextGC     = o.Gauge("runtime_next_gc_bytes")
+		gcPause    = o.Histogram("runtime_gc_pause_ns")
+	)
+	var lastGC uint32
+	sample := func() {
+		var ms runtime.MemStats
+		runtime.ReadMemStats(&ms)
+		heapAlloc.Set(int64(ms.HeapAlloc))
+		heapSys.Set(int64(ms.HeapSys))
+		goroutines.Set(int64(runtime.NumGoroutine()))
+		gcRuns.Set(int64(ms.NumGC))
+		nextGC.Set(int64(ms.NextGC))
+		// Observe each GC pause exactly once: PauseNs is a circular buffer
+		// indexed by cycle number, so replay the cycles since last sample.
+		if n := ms.NumGC - lastGC; n > 0 {
+			if n > uint32(len(ms.PauseNs)) {
+				n = uint32(len(ms.PauseNs)) // buffer wrapped; older pauses are gone
+			}
+			for i := ms.NumGC - n; i < ms.NumGC; i++ {
+				gcPause.Observe(int64(ms.PauseNs[i%uint32(len(ms.PauseNs))]))
+			}
+			lastGC = ms.NumGC
+		}
+	}
+	sample()
+	done := make(chan struct{})
+	go func() {
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-done:
+				return
+			case <-t.C:
+				sample()
+			}
+		}
+	}()
+	var once sync.Once
+	return func() { once.Do(func() { close(done) }) }
+}

@@ -1,0 +1,305 @@
+// Package obshttp gives the observability layer an HTTP face for
+// long-running runs: Prometheus and JSON metric exposition, an SSE stream
+// of live trace events, phase timings, health/readiness probes, and a
+// single-file embedded dashboard — stdlib only, no build step.
+//
+// Endpoints:
+//
+//	/            embedded live dashboard (metrics table, phases, event tail)
+//	/metrics     Prometheus text exposition (cumulative le histograms)
+//	/metrics.json JSON snapshot (shared codec with `mfv ... -json`)
+//	/events      Server-Sent Events stream of live trace events
+//	/phases      completed pipeline phases as JSON
+//	/healthz     200 once serving
+//	/readyz      200 once the run converged (503 while booting/converging)
+//
+// Readiness flips automatically when a `converged` trace event passes the
+// bus, or explicitly via SetReady.
+package obshttp
+
+import (
+	"context"
+	_ "embed"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"mfv/internal/obs"
+)
+
+//go:embed page.html
+var pageHTML []byte
+
+// eventJSON is the wire form of one live event: the deterministic trace
+// fields plus the wall timestamp stamped at publication.
+type eventJSON struct {
+	AtNS   int64  `json:"at_ns"`
+	WallNS int64  `json:"wall_ns,omitempty"`
+	Type   string `json:"type"`
+	Device string `json:"device,omitempty"`
+	Peer   string `json:"peer,omitempty"`
+	Detail string `json:"detail,omitempty"`
+	Value  int64  `json:"value,omitempty"`
+}
+
+func toEventJSON(e obs.Event) eventJSON {
+	out := eventJSON{
+		AtNS: int64(e.At), Type: e.Type,
+		Device: e.Device, Peer: e.Peer, Detail: e.Detail, Value: e.Value,
+	}
+	if !e.Wall.IsZero() {
+		out.WallNS = e.Wall.UnixNano()
+	}
+	return out
+}
+
+// Server serves one observer over HTTP. Construct with New, then either
+// mount Handler() yourself or call Start for a managed listener.
+type Server struct {
+	obs   *obs.Observer
+	ready atomic.Bool
+
+	// EventBuffer sizes each SSE client's buffer (0 = bus default).
+	EventBuffer int
+	// Heartbeat is the SSE keep-alive comment period (0 = 15s).
+	Heartbeat time.Duration
+
+	mu          sync.Mutex
+	ln          net.Listener
+	httpSrv     *http.Server
+	stopSampler func()
+	readySub    *obs.Subscription
+}
+
+// New returns a server over the observer. The observer may be metrics-only:
+// the event bus delivers live events regardless of trace retention.
+func New(o *obs.Observer) *Server {
+	s := &Server{obs: o}
+	// Watch the bus for the convergence milestone so /readyz flips without
+	// the pipeline knowing the server exists. The filter keeps this
+	// internal subscriber from ever backing up (or counting drops) on the
+	// event firehose it doesn't care about.
+	if sub := o.SubscribeFiltered(4, func(e obs.Event) bool { return e.Type == obs.EvConverged }); sub != nil {
+		s.readySub = sub
+		go func() {
+			for range sub.Events() {
+				s.ready.Store(true)
+			}
+		}()
+	}
+	return s
+}
+
+// SetReady flips the /readyz probe (true once the run converged).
+func (s *Server) SetReady(ready bool) { s.ready.Store(ready) }
+
+// Ready reports the probe state.
+func (s *Server) Ready() bool { return s.ready.Load() }
+
+// Handler returns the route mux.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/", s.handleIndex)
+	mux.HandleFunc("/metrics", s.handleMetrics)
+	mux.HandleFunc("/metrics.json", s.handleMetricsJSON)
+	mux.HandleFunc("/events", s.handleEvents)
+	mux.HandleFunc("/phases", s.handlePhases)
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/readyz", s.handleReadyz)
+	return mux
+}
+
+// Start listens on addr (host:port; an empty port picks a free one), starts
+// the runtime sampler, and serves in the background. The returned address
+// is the bound one — useful with ":0".
+func (s *Server) Start(addr string) (net.Addr, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("obshttp: listen %s: %w", addr, err)
+	}
+	srv := &http.Server{Handler: s.Handler(), ReadHeaderTimeout: 10 * time.Second}
+	s.mu.Lock()
+	s.ln = ln
+	s.httpSrv = srv
+	s.stopSampler = s.obs.StartRuntimeSampler(0)
+	s.mu.Unlock()
+	go srv.Serve(ln) //nolint:errcheck // Serve returns ErrServerClosed on Close
+	return ln.Addr(), nil
+}
+
+// Close stops the listener, the sampler, and the readiness watcher. Safe to
+// call without Start (closes only what exists) and more than once.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	srv, stop, sub := s.httpSrv, s.stopSampler, s.readySub
+	s.httpSrv, s.stopSampler, s.readySub = nil, nil, nil
+	s.mu.Unlock()
+	if stop != nil {
+		stop()
+	}
+	if sub != nil {
+		sub.Close()
+	}
+	if srv != nil {
+		ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+		defer cancel()
+		// Shutdown waits for idle; SSE clients never go idle, so force-close
+		// after the grace period.
+		if err := srv.Shutdown(ctx); err != nil {
+			return srv.Close()
+		}
+	}
+	return nil
+}
+
+func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Path != "/" {
+		http.NotFound(w, r)
+		return
+	}
+	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	w.Write(pageHTML)
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", obs.PromContentType)
+	s.obs.Metrics().WritePrometheus(w) //nolint:errcheck // client gone
+}
+
+func (s *Server) handleMetricsJSON(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	s.obs.WriteJSON(w) //nolint:errcheck // client gone
+}
+
+func (s *Server) handlePhases(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(s.obs.PhasesJSON()) //nolint:errcheck // client gone
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(w, "ok")
+}
+
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	if !s.ready.Load() {
+		w.WriteHeader(http.StatusServiceUnavailable)
+		fmt.Fprintln(w, "not ready: converging")
+		return
+	}
+	fmt.Fprintln(w, "ready")
+}
+
+// handleEvents streams live trace events as Server-Sent Events. `?replay=N`
+// first replays up to N most recent retained trace events (trace-collecting
+// observers only; a metrics-only observer has nothing to replay).
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	flusher, ok := w.(http.Flusher)
+	if !ok {
+		http.Error(w, "streaming unsupported", http.StatusNotImplemented)
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.Header().Set("Connection", "keep-alive")
+
+	// Subscribe before replaying so no event falls between the two.
+	sub := s.obs.Subscribe(s.EventBuffer)
+	if sub == nil {
+		http.Error(w, "no observer", http.StatusServiceUnavailable)
+		return
+	}
+	defer sub.Close()
+
+	write := func(e obs.Event) bool {
+		data, err := json.Marshal(toEventJSON(e))
+		if err != nil {
+			return false
+		}
+		if _, err := fmt.Fprintf(w, "data: %s\n\n", data); err != nil {
+			return false
+		}
+		return true
+	}
+
+	// Open the stream visibly before the first event so clients (and load
+	// balancers) see bytes immediately instead of a silent connection.
+	if _, err := fmt.Fprint(w, ": stream open\n\n"); err != nil {
+		return
+	}
+
+	if n := replayCount(r); n > 0 {
+		events := s.obs.Events()
+		if len(events) > n {
+			events = events[len(events)-n:]
+		}
+		for _, e := range events {
+			if !write(e) {
+				return
+			}
+		}
+	}
+	flusher.Flush()
+
+	hb := s.Heartbeat
+	if hb <= 0 {
+		hb = 15 * time.Second
+	}
+	ticker := time.NewTicker(hb)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-r.Context().Done():
+			return
+		case <-ticker.C:
+			if _, err := fmt.Fprint(w, ": keep-alive\n\n"); err != nil {
+				return
+			}
+			flusher.Flush()
+		case e, open := <-sub.Events():
+			if !open {
+				return
+			}
+			if !write(e) {
+				return
+			}
+			// Drain whatever else is buffered before flushing once — a
+			// burst of events costs one syscall, not one per event.
+			for drained := false; !drained; {
+				select {
+				case e, open := <-sub.Events():
+					if !open {
+						flusher.Flush()
+						return
+					}
+					if !write(e) {
+						return
+					}
+				default:
+					drained = true
+				}
+			}
+			flusher.Flush()
+		}
+	}
+}
+
+// replayCount parses ?replay=N (0 on absence or garbage).
+func replayCount(r *http.Request) int {
+	v := r.URL.Query().Get("replay")
+	if v == "" {
+		return 0
+	}
+	var n int
+	if _, err := fmt.Sscanf(v, "%d", &n); err != nil || n < 0 {
+		return 0
+	}
+	return n
+}

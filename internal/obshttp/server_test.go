@@ -1,0 +1,291 @@
+package obshttp
+
+// HTTP-face contracts: probe semantics, Prometheus and JSON exposition over
+// HTTP, SSE live streaming and replay, and managed Start/Close lifecycle.
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"mfv/internal/obs"
+)
+
+func newTestServer(t *testing.T, o *obs.Observer) (*Server, *httptest.Server) {
+	t.Helper()
+	s := New(o)
+	s.Heartbeat = 50 * time.Millisecond // keep SSE tests snappy
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	t.Cleanup(func() { s.Close() })
+	return s, ts
+}
+
+func get(t *testing.T, url string) (int, string, http.Header) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, string(body), resp.Header
+}
+
+func TestHealthzAndIndex(t *testing.T) {
+	_, ts := newTestServer(t, obs.New())
+	code, body, _ := get(t, ts.URL+"/healthz")
+	if code != http.StatusOK || !strings.Contains(body, "ok") {
+		t.Errorf("/healthz = %d %q", code, body)
+	}
+	code, body, hdr := get(t, ts.URL+"/")
+	if code != http.StatusOK || !strings.Contains(body, "<html") {
+		t.Errorf("/ = %d (len %d)", code, len(body))
+	}
+	if ct := hdr.Get("Content-Type"); !strings.Contains(ct, "text/html") {
+		t.Errorf("index Content-Type = %q", ct)
+	}
+	if code, _, _ := get(t, ts.URL+"/nope"); code != http.StatusNotFound {
+		t.Errorf("/nope = %d, want 404", code)
+	}
+}
+
+func TestReadyzFlipsOnSetReady(t *testing.T) {
+	s, ts := newTestServer(t, obs.New())
+	if code, body, _ := get(t, ts.URL+"/readyz"); code != http.StatusServiceUnavailable || !strings.Contains(body, "not ready") {
+		t.Errorf("/readyz before ready = %d %q", code, body)
+	}
+	s.SetReady(true)
+	if code, body, _ := get(t, ts.URL+"/readyz"); code != http.StatusOK || !strings.Contains(body, "ready") {
+		t.Errorf("/readyz after ready = %d %q", code, body)
+	}
+}
+
+func TestReadyzAutoFlipsOnConverged(t *testing.T) {
+	o := obs.NewMetricsOnly()
+	s, ts := newTestServer(t, o)
+	o.Emit(obs.Event{Type: obs.EvRouteChurn}) // unrelated traffic is ignored
+	if s.Ready() {
+		t.Fatal("ready before convergence")
+	}
+	o.Emit(obs.Event{Type: obs.EvConverged, Value: 1})
+	deadline := time.Now().Add(2 * time.Second)
+	for !s.Ready() {
+		if time.Now().After(deadline) {
+			t.Fatal("readiness watcher never saw the converged event")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if code, _, _ := get(t, ts.URL+"/readyz"); code != http.StatusOK {
+		t.Errorf("/readyz = %d after converged", code)
+	}
+}
+
+func TestMetricsEndpoint(t *testing.T) {
+	o := obs.NewMetricsOnly()
+	_, ts := newTestServer(t, o)
+	o.Counter("chaos_faults_total", "kind", "link-cut").Add(2)
+	h := o.Histogram("chaos_reconverge_ns", "kind", "link-cut")
+	h.Observe(1)
+	h.Observe(3)
+	code, body, hdr := get(t, ts.URL+"/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("/metrics = %d", code)
+	}
+	if ct := hdr.Get("Content-Type"); ct != obs.PromContentType {
+		t.Errorf("Content-Type = %q", ct)
+	}
+	for _, want := range []string{
+		"# TYPE chaos_faults_total counter",
+		`chaos_faults_total{kind="link-cut"} 2`,
+		`chaos_reconverge_ns_bucket{kind="link-cut",le="1"} 1`,
+		`chaos_reconverge_ns_bucket{kind="link-cut",le="3"} 2`,
+		`chaos_reconverge_ns_bucket{kind="link-cut",le="+Inf"} 2`,
+		`chaos_reconverge_ns_count{kind="link-cut"} 2`,
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/metrics missing %q:\n%s", want, body)
+		}
+	}
+}
+
+func TestMetricsJSONAndPhases(t *testing.T) {
+	o := obs.New()
+	_, ts := newTestServer(t, o)
+	o.Counter("c_total").Inc()
+	o.RecordPhase("verify", 0, 2e9, 1e6)
+	code, body, hdr := get(t, ts.URL+"/metrics.json")
+	if code != http.StatusOK || !strings.Contains(hdr.Get("Content-Type"), "application/json") {
+		t.Fatalf("/metrics.json = %d %q", code, hdr.Get("Content-Type"))
+	}
+	var snap obs.SnapshotJSON
+	if err := json.Unmarshal([]byte(body), &snap); err != nil {
+		t.Fatalf("invalid JSON: %v", err)
+	}
+	found := false
+	for _, m := range snap.Metrics {
+		if m.Name == "c_total" && m.Value == 1 {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("c_total missing from %s", body)
+	}
+	code, body, _ = get(t, ts.URL+"/phases")
+	var phases []obs.PhaseJSON
+	if code != http.StatusOK {
+		t.Fatalf("/phases = %d", code)
+	}
+	if err := json.Unmarshal([]byte(body), &phases); err != nil {
+		t.Fatal(err)
+	}
+	if len(phases) != 1 || phases[0].Name != "verify" || phases[0].VDurNS != 2e9 {
+		t.Errorf("phases = %+v", phases)
+	}
+}
+
+// sseOpen issues a GET against /events and reads until the stream-open
+// comment, proving the handler has subscribed to the bus.
+func sseOpen(t *testing.T, url string) (*bufio.Reader, func()) {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodGet, url, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		resp.Body.Close()
+		t.Fatalf("/events = %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		resp.Body.Close()
+		t.Fatalf("Content-Type = %q", ct)
+	}
+	br := bufio.NewReader(resp.Body)
+	line, err := br.ReadString('\n')
+	if err != nil || !strings.HasPrefix(line, ": stream open") {
+		resp.Body.Close()
+		t.Fatalf("no stream-open preamble: %q %v", line, err)
+	}
+	return br, func() { resp.Body.Close() }
+}
+
+// readDataLine scans the stream until the next `data:` line (skipping
+// heartbeats and blanks) and decodes its JSON payload.
+func readDataLine(t *testing.T, br *bufio.Reader) eventJSON {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		line, err := br.ReadString('\n')
+		if err != nil {
+			t.Fatalf("stream read: %v", err)
+		}
+		if !strings.HasPrefix(line, "data: ") {
+			continue
+		}
+		var e eventJSON
+		if err := json.Unmarshal([]byte(strings.TrimPrefix(strings.TrimSpace(line), "data: ")), &e); err != nil {
+			t.Fatalf("bad data line %q: %v", line, err)
+		}
+		return e
+	}
+	t.Fatal("no data line before deadline")
+	return eventJSON{}
+}
+
+// TestEventsStreamLive is the acceptance check for "events stream while the
+// run is in flight": a metrics-only observer (the -listen default) delivers
+// events emitted after the client connected.
+func TestEventsStreamLive(t *testing.T) {
+	o := obs.NewMetricsOnly()
+	_, ts := newTestServer(t, o)
+	br, closeBody := sseOpen(t, ts.URL+"/events")
+	defer closeBody()
+	o.Emit(obs.Event{At: 7 * time.Second, Type: obs.EvFaultInject, Device: "r3", Detail: "pod-crash r3"})
+	e := readDataLine(t, br)
+	if e.Type != obs.EvFaultInject || e.Device != "r3" || e.AtNS != int64(7*time.Second) {
+		t.Errorf("streamed event = %+v", e)
+	}
+	if e.WallNS == 0 {
+		t.Error("live event missing wall timestamp")
+	}
+}
+
+// TestEventsReplay: a trace-collecting observer replays its retained tail to
+// late subscribers before streaming new events.
+func TestEventsReplay(t *testing.T) {
+	o := obs.New()
+	_, ts := newTestServer(t, o)
+	for i := 0; i < 5; i++ {
+		o.Emit(obs.Event{At: time.Duration(i+1) * time.Millisecond, Type: obs.EvRouteChurn, Value: int64(i)})
+	}
+	br, closeBody := sseOpen(t, ts.URL+"/events?replay=2")
+	defer closeBody()
+	// The replayed tail is the last two retained events, in order.
+	if e := readDataLine(t, br); e.Value != 3 || e.WallNS != 0 {
+		t.Errorf("first replayed = %+v (replay must be the retained trace, unstamped)", e)
+	}
+	if e := readDataLine(t, br); e.Value != 4 {
+		t.Errorf("second replayed = %+v", e)
+	}
+	// Live events follow the replay on the same stream.
+	o.Emit(obs.Event{At: time.Second, Type: obs.EvConverged, Value: 99})
+	if e := readDataLine(t, br); e.Type != obs.EvConverged || e.Value != 99 {
+		t.Errorf("live-after-replay = %+v", e)
+	}
+}
+
+func TestReplayCountParsing(t *testing.T) {
+	for q, want := range map[string]int{
+		"": 0, "replay=10": 10, "replay=-3": 0, "replay=garbage": 0,
+	} {
+		r := httptest.NewRequest(http.MethodGet, "/events?"+q, nil)
+		if got := replayCount(r); got != want {
+			t.Errorf("replayCount(%q) = %d, want %d", q, got, want)
+		}
+	}
+}
+
+// TestStartClose exercises the managed listener lifecycle end to end.
+func TestStartClose(t *testing.T) {
+	o := obs.NewMetricsOnly()
+	s := New(o)
+	addr, err := s.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	url := fmt.Sprintf("http://%s/healthz", addr)
+	code, body, _ := get(t, url)
+	if code != http.StatusOK || !strings.Contains(body, "ok") {
+		t.Fatalf("healthz over managed listener = %d %q", code, body)
+	}
+	// The runtime sampler is live: goroutine count lands in the registry.
+	deadline := time.Now().Add(2 * time.Second)
+	for o.Gauge("runtime_goroutines").Value() == 0 && time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+	}
+	if o.Gauge("runtime_goroutines").Value() == 0 {
+		t.Error("runtime sampler recorded nothing")
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil { // idempotent
+		t.Fatal(err)
+	}
+	if _, err := http.Get(url); err == nil {
+		t.Error("listener still serving after Close")
+	}
+}

@@ -288,6 +288,8 @@ func (q Queries) Differential(before, after *Network) []Diff {
 	results := make([][]Diff, len(classes))
 	q.run(len(classes), func(i int) {
 		rep := classes[i]
+		before.gInflight.Add(int64(len(sources)))
+		defer before.gInflight.Add(-int64(len(sources)))
 		ob := before.outcomesFor(rep)
 		oa := after.outcomesFor(rep)
 		var ds []Diff
@@ -326,6 +328,8 @@ func (q Queries) AllPairs(n *Network) ReachMatrix {
 	}
 	cols := make([][]bool, len(m.Dsts))
 	q.run(len(m.Dsts), func(i int) {
+		n.gInflight.Add(int64(len(m.Sources)))
+		defer n.gInflight.Add(-int64(len(m.Sources)))
 		oc := n.outcomesFor(m.Dsts[i])
 		col := make([]bool, len(m.Sources))
 		for j, src := range m.Sources {
@@ -358,6 +362,8 @@ func (q Queries) DetectLoops(n *Network) []LoopReport {
 	results := make([][]LoopReport, len(classes))
 	q.run(len(classes), func(i int) {
 		rep := classes[i]
+		n.gInflight.Add(int64(len(sources)))
+		defer n.gInflight.Add(-int64(len(sources)))
 		oc := n.outcomesFor(rep)
 		n.cFlows.Add(uint64(len(sources)))
 		var reports []LoopReport
@@ -393,6 +399,8 @@ func (q Queries) DetectBlackHoles(n *Network) []BlackHole {
 	results := make([][]BlackHole, len(classes))
 	q.run(len(classes), func(i int) {
 		rep := classes[i]
+		n.gInflight.Add(int64(len(sources)))
+		defer n.gInflight.Add(-int64(len(sources)))
 		oc := n.outcomesFor(rep)
 		n.cFlows.Add(uint64(len(sources)))
 		var holes []BlackHole

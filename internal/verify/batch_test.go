@@ -193,7 +193,7 @@ func TestMemoMetrics(t *testing.T) {
 	if v := o.Counter("verify_memo_hits_total").Value(); v == 0 {
 		t.Error("rerun recorded no memo hits")
 	}
-	if h := o.Histogram("verify_wall_ns.differential"); h.Count() != 2 {
+	if h := o.Histogram("verify_wall_ns", "query", "differential"); h.Count() != 2 {
 		t.Errorf("differential wall histogram count = %d, want 2", h.Count())
 	}
 }

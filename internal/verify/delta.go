@@ -95,6 +95,8 @@ func deltaClass(before, after *Network, rep netip.Addr, dirty, sources []string)
 	}
 	tainted := taintedSources(before, after, rep, changed)
 	before.cFlows.Add(uint64(len(tainted)))
+	before.gInflight.Add(int64(len(tainted)))
+	defer before.gInflight.Add(-int64(len(tainted)))
 
 	ob := before.partialOutcomes(rep, tainted)
 	oa := after.partialOutcomes(rep, tainted)

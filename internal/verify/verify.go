@@ -205,16 +205,18 @@ type Network struct {
 	cMemoMisses *obs.Counter
 	cTruncated  *obs.Counter
 	gECs        *obs.Gauge
+	gInflight   *obs.Gauge
 	wallHist    map[string]*obs.Histogram
 }
 
 // SetObserver enables verification metrics: verify_traces_total counts
 // forwarding walks, ec_count records the equivalence-class population,
 // verify_queries_total / verify_flows_total count batch queries and the
-// (source, class) flows they evaluate, verify_memo_{hits,misses}_total
-// expose the memoization hit rate, verify_trace_truncated_total counts
-// capped ECMP enumerations, and verify_wall_ns.<query> histograms record
-// per-query wall time.
+// (source, class) flows they evaluate, verify_inflight_flows gauges the
+// flows currently being evaluated by the worker pool (live progress),
+// verify_memo_{hits,misses}_total expose the memoization hit rate,
+// verify_trace_truncated_total counts capped ECMP enumerations, and
+// verify_wall_ns{query=...} histograms record per-query wall time.
 func (n *Network) SetObserver(o *obs.Observer) {
 	n.cTraces = o.Counter("verify_traces_total")
 	n.cQueries = o.Counter("verify_queries_total")
@@ -223,12 +225,13 @@ func (n *Network) SetObserver(o *obs.Observer) {
 	n.cMemoMisses = o.Counter("verify_memo_misses_total")
 	n.cTruncated = o.Counter("verify_trace_truncated_total")
 	n.gECs = o.Gauge("ec_count")
+	n.gInflight = o.Gauge("verify_inflight_flows")
 	if o != nil {
 		n.wallHist = map[string]*obs.Histogram{
-			"differential": o.Histogram("verify_wall_ns.differential"),
-			"allpairs":     o.Histogram("verify_wall_ns.allpairs"),
-			"loops":        o.Histogram("verify_wall_ns.loops"),
-			"blackholes":   o.Histogram("verify_wall_ns.blackholes"),
+			"differential": o.Histogram("verify_wall_ns", "query", "differential"),
+			"allpairs":     o.Histogram("verify_wall_ns", "query", "allpairs"),
+			"loops":        o.Histogram("verify_wall_ns", "query", "loops"),
+			"blackholes":   o.Histogram("verify_wall_ns", "query", "blackholes"),
 		}
 	}
 }
@@ -351,6 +354,7 @@ func (n *Network) UpdateFrom(afts map[string]*aft.AFT, dirty []string) (*Network
 		cMemoMisses: n.cMemoMisses,
 		cTruncated:  n.cTruncated,
 		gECs:        n.gECs,
+		gInflight:   n.gInflight,
 		wallHist:    n.wallHist,
 	}
 	dirtySet := make(map[string]bool, len(dirty))

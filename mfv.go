@@ -30,6 +30,7 @@ import (
 	"mfv/internal/kne"
 	"mfv/internal/lint"
 	"mfv/internal/obs"
+	"mfv/internal/obshttp"
 	"mfv/internal/routegen"
 	"mfv/internal/testnet"
 	"mfv/internal/topology"
@@ -236,8 +237,30 @@ const (
 func NewObserver() *Observer { return obs.New() }
 
 // NewMetricsObserver returns an observer recording metrics and phases but
-// discarding trace events — the right sink for large runs.
+// discarding trace events — the right sink for large runs. Live event
+// subscribers (Observer.Subscribe, the HTTP /events stream) still receive
+// events: the bus delivers without retaining.
 func NewMetricsObserver() *Observer { return obs.NewMetricsOnly() }
+
+// Live telemetry: the observer's streaming/serving face.
+type (
+	// ObsServer serves an observer over HTTP: /metrics (Prometheus text),
+	// /metrics.json, /events (SSE), /phases, /healthz, /readyz, and an
+	// embedded live dashboard at /. Readiness flips automatically when the
+	// run's `converged` event passes the bus.
+	ObsServer = obshttp.Server
+	// ObsSubscription is one live event consumer attached with
+	// Observer.Subscribe: a bounded stream with slow-client drop accounting
+	// (see Dropped and the obs_dropped_events_total counter).
+	ObsSubscription = obs.Subscription
+	// MetricSnapshot is one metric series in a registry snapshot.
+	MetricSnapshot = obs.Metric
+)
+
+// NewObsServer returns an HTTP server over the observer. Call Start(addr)
+// to listen (":0" picks a free port and returns the bound address) and
+// Close to tear down; Handler() exposes the mux for embedding.
+func NewObsServer(o *Observer) *ObsServer { return obshttp.New(o) }
 
 // Chaos engineering: deterministic fault injection with differential
 // verification after every fault (set Options.Chaos, or drive the engine

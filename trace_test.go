@@ -79,7 +79,7 @@ func TestMetricsPopulated(t *testing.T) {
 	for _, want := range []string{
 		"bgp_updates_total", "bgp_sessions_established_total", "spf_runs_total",
 		"spf_ns", "lsps_flooded_total", "fib_recompute_ns", "ec_count",
-		"sim_events_total", "sim_queue_peak", "pods_running", "rib_routes.r1",
+		"sim_events_total", "sim_queue_peak", "pods_running", "rib_routes",
 	} {
 		if !names[want] {
 			t.Errorf("metric %s not registered; have %v", want, o.Metrics().Names())

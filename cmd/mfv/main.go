@@ -31,10 +31,12 @@
 //
 // Exit codes: 0 success, 1 operational error, 2 usage error, 3 verification
 // violation (unreachable flows, differential changes, loops, critical links),
-// 4 degraded run (quarantined or never-settled routers taint the result).
+// 4 degraded run (quarantined or never-settled routers taint the result),
+// 5 wall-clock budget exhausted (-timeout expired; partial report emitted).
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"flag"
@@ -57,6 +59,7 @@ const (
 	exitUsage     = 2
 	exitViolation = 3 // the network is broken, not the tool
 	exitDegraded  = 4 // the run completed, but quarantined/unsettled routers taint the result
+	exitTimeout   = 5 // the -timeout wall-clock budget expired mid-run
 )
 
 // violationError marks a verification violation — the pipeline worked and
@@ -80,6 +83,18 @@ func (e degradedError) Error() string { return e.msg }
 
 func degradedf(format string, args ...any) error {
 	return degradedError{msg: fmt.Sprintf(format, args...)}
+}
+
+// timeoutError marks a run cut short by the -timeout wall-clock budget. It
+// outranks the other error classes in main's exit-code mapping: a violation
+// found in a partial sweep is still reported, but the exit code must say
+// "incomplete" so scripts don't trust a truncated verdict.
+type timeoutError struct{ msg string }
+
+func (e timeoutError) Error() string { return e.msg }
+
+func timeoutf(format string, args ...any) error {
+	return timeoutError{msg: fmt.Sprintf(format, args...)}
 }
 
 func main() {
@@ -112,12 +127,18 @@ func main() {
 		err = cmdScenarios(args)
 	case "chaos":
 		err = cmdChaos(args)
+	case "sweep":
+		err = cmdSweep(args)
 	default:
 		usage()
 		os.Exit(exitUsage)
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "mfv:", err)
+		var t timeoutError
+		if errors.As(err, &t) {
+			os.Exit(exitTimeout)
+		}
 		var v violationError
 		if errors.As(err, &v) {
 			os.Exit(exitViolation)
@@ -131,7 +152,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: mfv <run|lint|reach|trace|diff|coverage|loops|scenarios|chaos> [flags]
+	fmt.Fprintln(os.Stderr, `usage: mfv <run|lint|reach|trace|diff|coverage|loops|scenarios|chaos|sweep> [flags]
   run       run the pipeline, print route summary and convergence timing
   lint      preflight snapshot validation without booting the emulation
             (-live additionally runs the pipeline and audits AFTs vs RIBs)
@@ -145,10 +166,18 @@ func usage() {
   scenarios write the paper's evaluation topologies to a directory
   chaos     list built-in fault scenarios (-write DIR emits them as JSON);
             with -topo, execute -scenario NAME|FILE against the topology
+  sweep     exhaustive k-failure resilience sweep: enumerate every single
+            (-k 1) or pair (-k 2) failure of links, nodes, and BGP services,
+            verify each against the healthy baseline, and rank blast radii
+            worst-first (-kinds link,node,bgp restricts elements, -brute
+            disables the prunes, -top N truncates the table)
 
 robustness flags (run): -chaos NAME|FILE (inject a fault scenario after
   convergence and verify across it), -degraded (accept partial convergence
   on timeout; stragglers are reported, not fatal)
+budget flags (run/diff/chaos/sweep): -timeout DUR (wall-clock budget; an
+  expired budget stops the run between steps, emits the partial report, and
+  exits 5)
 observability flags (run/diff/chaos): -trace FILE (JSONL event trace,
   virtual time), -metrics (phase timings + metrics registry), -timeline
   (per-router convergence report), -json (machine-readable report instead
@@ -159,7 +188,8 @@ performance flags: -workers N (verification worker-pool size, default
   NumCPU; query results are byte-identical at any worker count);
   run and diff also take -cpuprofile FILE / -memprofile FILE (pprof)
 exit codes: 0 ok, 1 operational error, 2 usage, 3 verification violation,
-  4 degraded run (quarantined or never-settled routers)`)
+  4 degraded run (quarantined or never-settled routers), 5 wall-clock
+  budget exhausted (-timeout)`)
 }
 
 // common flags
@@ -184,11 +214,13 @@ type runFlags struct {
 	chaos    string
 	degraded bool
 	workers  int
+	budget   time.Duration
 	cpuprof  string
 	memprof  string
 
 	obs    *mfv.Observer
 	server *mfv.ObsServer
+	ctx    context.Context
 }
 
 func newFlags(name string) *runFlags {
@@ -211,6 +243,7 @@ func newFlags(name string) *runFlags {
 	f.fs.StringVar(&f.chaos, "chaos", "", "fault scenario: builtin name or JSON file (run)")
 	f.fs.BoolVar(&f.degraded, "degraded", false, "accept partial convergence on timeout, report stragglers")
 	f.fs.IntVar(&f.workers, "workers", 0, "verification worker-pool size (0 = NumCPU; results identical at any setting)")
+	f.fs.DurationVar(&f.budget, "timeout", 0, "wall-clock budget; when it expires the run stops between steps, emits its partial report, and exits 5")
 	f.fs.StringVar(&f.cpuprof, "cpuprofile", "", "write a CPU profile to this file (go tool pprof format)")
 	f.fs.StringVar(&f.memprof, "memprofile", "", "write a heap profile to this file on exit")
 	return f
@@ -404,7 +437,7 @@ func (f *runFlags) loadTopo(path string) (*mfv.Topology, error) {
 }
 
 func (f *runFlags) options() (mfv.Options, error) {
-	opts := mfv.Options{UseGNMI: f.gnmi, Obs: f.observer(), Degraded: f.degraded, Workers: f.workers}
+	opts := mfv.Options{UseGNMI: f.gnmi, Obs: f.observer(), Degraded: f.degraded, Workers: f.workers, Ctx: f.ctx}
 	if f.backend == "model" {
 		opts.Backend = mfv.BackendModel
 	}
@@ -428,6 +461,28 @@ func (f *runFlags) run(path string) (*mfv.Result, error) {
 	return mfv.Run(mfv.Snapshot{Topology: topo}, opts)
 }
 
+// withBudget brackets a command body with the -timeout wall-clock budget:
+// the context lands in f.ctx (plumbed into convergence waits, the chaos
+// engine, and the sweep loop), and an expired budget converts the body's
+// outcome into exit code 5 — after the body has emitted whatever partial
+// report it salvaged.
+func (f *runFlags) withBudget(body func() error) error {
+	if f.budget <= 0 {
+		return body()
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), f.budget)
+	defer cancel()
+	f.ctx = ctx
+	bodyErr := body()
+	if ctx.Err() != nil {
+		if bodyErr != nil {
+			return timeoutf("wall-clock budget %v exhausted: %v", f.budget, bodyErr)
+		}
+		return timeoutf("wall-clock budget %v exhausted; report is partial", f.budget)
+	}
+	return bodyErr
+}
+
 // withProfiles brackets a command body with the -cpuprofile/-memprofile
 // hooks, keeping the body's error (a violation exit code must survive
 // profile teardown).
@@ -446,8 +501,10 @@ func (f *runFlags) withProfiles(body func() error) error {
 func cmdRun(args []string) error {
 	f := newFlags("run")
 	f.fs.Parse(args)
-	return f.withProfiles(func() error {
-		return f.withServe(func() error { return runBody(f) })
+	return f.withBudget(func() error {
+		return f.withProfiles(func() error {
+			return f.withServe(func() error { return runBody(f) })
+		})
 	})
 }
 
@@ -501,7 +558,7 @@ func runBody(f *runFlags) error {
 	if len(res.QuarantinedRouters) > 0 {
 		return degradedf("%d routers quarantined: %v", len(res.QuarantinedRouters), res.QuarantinedRouters)
 	}
-	if res.Chaos != nil && !res.Chaos.Recovered {
+	if res.Chaos != nil && res.Chaos.PermanentFlowsLost > 0 {
 		return violationf("%d flows permanently lost under chaos", res.Chaos.PermanentFlowsLost)
 	}
 	if len(res.DegradedRouters) > 0 {
@@ -613,8 +670,10 @@ func cmdTrace(args []string) error {
 func cmdDiff(args []string) error {
 	f := newFlags("diff")
 	f.fs.Parse(args)
-	return f.withProfiles(func() error {
-		return f.withServe(func() error { return diffBody(f) })
+	return f.withBudget(func() error {
+		return f.withProfiles(func() error {
+			return f.withServe(func() error { return diffBody(f) })
+		})
 	})
 }
 
@@ -780,6 +839,72 @@ func cmdScenarios(args []string) error {
 	return write("wan30.json", mfv.WAN(30, true))
 }
 
+// cmdSweep runs the exhaustive k-failure resilience sweep: converge the
+// topology, enumerate every k-combination of link cuts, node failures, and
+// BGP holds, verify each candidate's blast radius against the healthy
+// baseline, and print the ranked table worst-first.
+func cmdSweep(args []string) error {
+	f := newFlags("sweep")
+	k := f.fs.Int("k", 1, "failure depth: 1 (all singles) or 2 (singles + pairs)")
+	kinds := f.fs.String("kinds", "link,node,bgp", "comma-separated failure element kinds")
+	brute := f.fs.Bool("brute", false, "disable the fingerprint and independence prunes (every candidate applied and verified)")
+	top := f.fs.Int("top", 0, "print only the worst N rows (0 = all)")
+	f.fs.Parse(args)
+	return f.withBudget(func() error {
+		return f.withProfiles(func() error {
+			return f.withServe(func() error { return sweepBody(f, *k, *kinds, *brute, *top) })
+		})
+	})
+}
+
+func sweepBody(f *runFlags, k int, kindCSV string, brute bool, top int) error {
+	kinds, err := mfv.ParseSweepKinds(kindCSV)
+	if err != nil {
+		return err
+	}
+	topo, err := f.loadTopo(f.topo)
+	if err != nil {
+		return err
+	}
+	opts, err := f.options()
+	if err != nil {
+		return err
+	}
+	res, err := mfv.Run(mfv.Snapshot{Topology: topo}, opts)
+	if err != nil {
+		return err
+	}
+	rep, err := mfv.RunSweep(res, topo, mfv.SweepOptions{
+		K: k, Kinds: kinds, Workers: f.workers, Brute: brute,
+		Ctx: f.ctx, Obs: f.observer(),
+	})
+	if err != nil {
+		return err
+	}
+	if f.jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(rep); err != nil {
+			return err
+		}
+	} else {
+		fmt.Print(rep.Render(top))
+	}
+	if rep.Violations > 0 {
+		return violationf("%d of %d failure candidates lose flows", rep.Violations, rep.Candidates)
+	}
+	degraded := 0
+	for _, row := range rep.Rows {
+		if len(row.Stragglers) > 0 || len(row.Quarantined) > 0 || row.Residue > 0 {
+			degraded++
+		}
+	}
+	if degraded > 0 {
+		return degradedf("%d candidates left stragglers, quarantined routers, or restore residue", degraded)
+	}
+	return nil
+}
+
 // cmdChaos has two modes. Without -topo it lists (and optionally writes)
 // the built-in scenarios. With -topo it *runs* the scenario named by
 // -scenario against the topology — `mfv run -chaos` with chaos-first
@@ -792,8 +917,10 @@ func cmdChaos(args []string) error {
 	f.fs.Parse(args)
 	if f.topo != "" {
 		f.chaos = *scenario
-		return f.withProfiles(func() error {
-			return f.withServe(func() error { return runBody(f) })
+		return f.withBudget(func() error {
+			return f.withProfiles(func() error {
+				return f.withServe(func() error { return runBody(f) })
+			})
 		})
 	}
 	for _, sc := range mfv.ChaosBuiltins() {

@@ -10,6 +10,7 @@ import (
 	"mfv/internal/bgp"
 	"mfv/internal/kne"
 	"mfv/internal/sim"
+	"mfv/internal/snapchain"
 	"mfv/internal/testnet"
 	"mfv/internal/topology"
 	"mfv/internal/verify"
@@ -99,7 +100,7 @@ func BenchmarkChaosFaultLoop(b *testing.B) {
 	b.Run("incremental", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
 			afts := em.AFTs()
-			dirty := stampDiff(preStamps, em.FIBGenerations())
+			dirty := snapchain.DiffStamps(preStamps, em.FIBGenerations())
 			net, err := baseIncr.UpdateFrom(afts, dirty)
 			if err != nil {
 				b.Fatal(err)
@@ -136,7 +137,7 @@ func BenchmarkIncrementalSnapshot(b *testing.B) {
 	b.Run("incremental", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
 			afts := em.AFTs()
-			dirty := stampDiff(stamps, em.FIBGenerations())
+			dirty := snapchain.DiffStamps(stamps, em.FIBGenerations())
 			if _, err := base.UpdateFrom(afts, dirty); err != nil {
 				b.Fatal(err)
 			}

@@ -51,7 +51,7 @@ const (
 // fault). Link targets use "node:interface" endpoint syntax; either end of
 // the link works.
 type Fault struct {
-	Kind  Kind   `json:"kind"`
+	Kind  Kind          `json:"kind"`
 	After time.Duration `json:"after_ns,omitempty"`
 	// Node targets a router (pod-crash, bgp-reset) or a kube worker
 	// (node-fail).
@@ -208,6 +208,9 @@ type Report struct {
 	PermanentFlowsLost int `json:"permanent_flows_lost"`
 	// Recovered is true when the network ended where it started.
 	Recovered bool `json:"recovered"`
+	// Interrupted is true when a wall-clock budget canceled the scenario
+	// before every fault ran; Verdicts then covers only the completed ones.
+	Interrupted bool `json:"interrupted,omitempty"`
 }
 
 // String renders the verdict timeline as a fixed-width table.
@@ -232,9 +235,12 @@ func (r *Report) String() string {
 			v.Fault.Describe(), v.InjectedAt, v.ReconvergedIn,
 			v.FlowsLostTransient, v.FlowsRecovered, v.FlowsLost, status)
 	}
+	if r.Interrupted {
+		fmt.Fprintf(&b, "scenario interrupted by wall-clock budget; %d fault(s) scored\n", len(r.Verdicts))
+	}
 	if r.PermanentFlowsLost > 0 {
 		fmt.Fprintf(&b, "permanent flow loss vs pre-chaos baseline: %d\n", r.PermanentFlowsLost)
-	} else {
+	} else if !r.Interrupted {
 		fmt.Fprintf(&b, "network fully recovered to pre-chaos reachability\n")
 	}
 	return b.String()

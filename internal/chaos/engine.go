@@ -1,15 +1,14 @@
 package chaos
 
 import (
+	"context"
 	"fmt"
-	"sort"
 	"time"
 
 	"mfv/internal/kne"
-	"mfv/internal/kube"
 	"mfv/internal/obs"
+	"mfv/internal/snapchain"
 	"mfv/internal/topology"
-	"mfv/internal/verify"
 )
 
 // defaultCorruptConfig is the deterministic garbage payload corrupt-config
@@ -23,33 +22,27 @@ const defaultCorruptConfig = "!! flash corruption artifact\n" +
 
 // Engine executes scenarios against a running emulation. The emulator must
 // already be started and converged; Execute advances virtual time itself.
+// Snapshotting and differential scoring run on a snapchain.Chain, the same
+// substrate the sweep engine chains candidates on.
 type Engine struct {
-	em      *kne.Emulator
-	topo    *topology.Topology
-	obs     *obs.Observer
-	workers int
-
-	// incremental (default on) chains snapshots through
-	// verify.Network.UpdateFrom and scores faults with the delta
-	// differential, so per-fault cost tracks blast radius instead of
-	// network size. Results are byte-identical either way.
-	incremental bool
-	// last is the most recent snapshot, the base the next incremental
-	// snapshot updates from.
-	last *snap
+	em    *kne.Emulator
+	topo  *topology.Topology
+	obs   *obs.Observer
+	chain *snapchain.Chain
+	ctx   context.Context
 
 	hold, timeout time.Duration
 }
 
 // NewEngine builds an engine over an emulator. The observer may be nil.
 func NewEngine(em *kne.Emulator, topo *topology.Topology, o *obs.Observer) *Engine {
-	return &Engine{em: em, topo: topo, obs: o, incremental: true}
+	return &Engine{em: em, topo: topo, obs: o, chain: snapchain.New(em, topo, o)}
 }
 
 // WithWorkers sizes the worker pool the per-fault differential queries run
 // on (0 = GOMAXPROCS) and returns the engine for chaining.
 func (en *Engine) WithWorkers(w int) *Engine {
-	en.workers = w
+	en.chain.SetWorkers(w)
 	return en
 }
 
@@ -58,88 +51,20 @@ func (en *Engine) WithWorkers(w int) *Engine {
 // differential per fault — the reference the equivalence tests and the
 // BenchmarkChaosFaultLoop comparison run against.
 func (en *Engine) WithIncremental(on bool) *Engine {
-	en.incremental = on
+	en.chain.SetIncremental(on)
 	return en
 }
 
-// snap is one dataplane snapshot: the reachability network, the total
-// forwarding-entry count across all routers, and the per-router generation
-// stamps the dirty-device computation keys on.
-type snap struct {
-	net    *verify.Network
-	routes int
-	stamps map[string]kne.GenStamp
+// WithContext bounds the scenario by a cancelable context: when it expires
+// the engine stops injecting further faults and Execute returns the partial
+// report with Interrupted set. A nil context means no bound.
+func (en *Engine) WithContext(ctx context.Context) *Engine {
+	en.ctx = ctx
+	return en
 }
 
-func (en *Engine) snapshot() (snap, error) {
-	afts := en.em.AFTs()
-	stamps := en.em.FIBGenerations()
-	var n *verify.Network
-	var err error
-	if en.incremental && en.last != nil {
-		// Routers whose stamp moved since the previous snapshot are the
-		// only ones whose AFT can differ; every other device's trie and
-		// equivalence-interval cache carries over.
-		n, err = en.last.net.UpdateFrom(afts, stampDiff(en.last.stamps, stamps))
-	} else {
-		n, err = verify.NewNetwork(en.topo, afts)
-	}
-	if err != nil {
-		return snap{}, err
-	}
-	n.SetObserver(en.obs)
-	n.SetWorkers(en.workers)
-	total := 0
-	for _, a := range afts {
-		total += len(a.IPv4Entries)
-	}
-	s := snap{net: n, routes: total, stamps: stamps}
-	en.last = &s
-	return s, nil
-}
-
-// differential compares two snapshots, delta-driven when incremental
-// verification is on and the blast radius is small enough. Past half the
-// network the per-class prune bookkeeping stops paying for itself, so wide
-// faults fall back to the full recompute.
-func (en *Engine) differential(before, after snap) []verify.Diff {
-	if en.incremental {
-		dirty := stampDiff(before.stamps, after.stamps)
-		if len(dirty)*2 <= len(before.stamps) {
-			return verify.DeltaDifferential(before.net, after.net, dirty)
-		}
-	}
-	return verify.Differential(before.net, after.net)
-}
-
-// stampDiff returns the routers whose generation stamp differs between two
-// snapshots (or that exist in only one), sorted.
-func stampDiff(a, b map[string]kne.GenStamp) []string {
-	var out []string
-	for name, sa := range a {
-		if sb, ok := b[name]; !ok || sb != sa {
-			out = append(out, name)
-		}
-	}
-	for name := range b {
-		if _, ok := a[name]; !ok {
-			out = append(out, name)
-		}
-	}
-	sort.Strings(out)
-	return out
-}
-
-// lostFlows keys the (source, class) flows that were delivered before a
-// fault but not after it.
-func lostFlows(diffs []verify.Diff) map[string]bool {
-	out := map[string]bool{}
-	for _, d := range diffs {
-		if verify.OutcomeDelivered(d.Before) && !verify.OutcomeDelivered(d.After) {
-			out[d.Src+">"+d.Dst.String()] = true
-		}
-	}
-	return out
+func (en *Engine) interrupted() bool {
+	return en.ctx != nil && en.ctx.Err() != nil
 }
 
 // Execute runs the scenario: for each fault, advance virtual time by its
@@ -165,32 +90,43 @@ func (en *Engine) Execute(sc *Scenario) (*Report, error) {
 		en.timeout = 30 * time.Minute
 	}
 	rep := &Report{Scenario: sc.Name, Seed: sc.Seed, StartedAt: en.em.Sim().Now()}
-	initial, err := en.snapshot()
+	initial, err := en.chain.Snapshot()
 	if err != nil {
 		return nil, err
 	}
 	baseline := initial
 	for _, f := range sc.Faults {
+		if en.interrupted() {
+			rep.Interrupted = true
+			break
+		}
 		if f.After > 0 {
 			en.em.Sim().RunFor(f.After)
 		}
 		v, after, err := en.runFault(f, baseline)
 		if err != nil {
+			if en.interrupted() {
+				// The budget expired mid-fault (typically inside a settle
+				// or pod wait): salvage the verdicts already scored rather
+				// than discard the run.
+				rep.Interrupted = true
+				break
+			}
 			return nil, err
 		}
 		rep.Verdicts = append(rep.Verdicts, *v)
 		baseline = after
 	}
 	rep.FinishedAt = en.em.Sim().Now()
-	rep.PermanentFlowsLost = len(lostFlows(en.differential(initial, baseline)))
-	rep.Recovered = rep.PermanentFlowsLost == 0
+	rep.PermanentFlowsLost = len(snapchain.LostFlows(en.chain.Differential(initial, baseline)))
+	rep.Recovered = rep.PermanentFlowsLost == 0 && !rep.Interrupted
 	return rep, nil
 }
 
 // runFault injects one fault, waits out its lifecycle, and scores the
 // outcome against baseline. It returns the verdict and the settled
 // post-fault snapshot, which becomes the next fault's baseline.
-func (en *Engine) runFault(f Fault, baseline snap) (*Verdict, snap, error) {
+func (en *Engine) runFault(f Fault, baseline snapchain.Snap) (*Verdict, snapchain.Snap, error) {
 	em, clk := en.em, en.em.Sim()
 	v := &Verdict{Fault: f, InjectedAt: clk.Now()}
 	en.emit(obs.EvFaultInject, f)
@@ -198,12 +134,12 @@ func (en *Engine) runFault(f Fault, baseline snap) (*Verdict, snap, error) {
 	m.Gauge("chaos_faults_inflight").Add(1)
 	defer m.Gauge("chaos_faults_inflight").Add(-1)
 
-	fail := func(e error) (*Verdict, snap, error) { return nil, snap{}, e }
+	fail := func(e error) (*Verdict, snapchain.Snap, error) { return nil, snapchain.Snap{}, e }
 	clear := func() {
 		v.ClearedAt = clk.Now()
 		en.emit(obs.EvFaultClear, f)
 	}
-	var impact snap
+	var impact snapchain.Snap
 	var conv kne.Convergence
 	var err error
 
@@ -217,7 +153,7 @@ func (en *Engine) runFault(f Fault, baseline snap) (*Verdict, snap, error) {
 			return fail(err)
 		}
 		conv = em.Settle(en.hold, en.timeout)
-		if impact, err = en.snapshot(); err != nil {
+		if impact, err = en.chain.Snapshot(); err != nil {
 			return fail(err)
 		}
 		// Permanent fault: the impact state is the final state.
@@ -239,7 +175,7 @@ func (en *Engine) runFault(f Fault, baseline snap) (*Verdict, snap, error) {
 			return fail(err)
 		}
 		em.Settle(en.hold, en.timeout)
-		if impact, err = en.snapshot(); err != nil {
+		if impact, err = en.chain.Snapshot(); err != nil {
 			return fail(err)
 		}
 		for i := 1; i < flaps; i++ {
@@ -268,10 +204,10 @@ func (en *Engine) runFault(f Fault, baseline snap) (*Verdict, snap, error) {
 		// holding expiry) ends well before the ~90s reboot, and waiting
 		// the full hold would snapshot the already-recovered network.
 		em.Settle(en.impactHold(), en.timeout)
-		if impact, err = en.snapshot(); err != nil {
+		if impact, err = en.chain.Snapshot(); err != nil {
 			return fail(err)
 		}
-		if err = en.waitRunning(f.Node); err != nil {
+		if err = em.AwaitRunning(f.Node, en.timeout); err != nil {
 			return fail(err)
 		}
 		clear()
@@ -285,7 +221,7 @@ func (en *Engine) runFault(f Fault, baseline snap) (*Verdict, snap, error) {
 		// Same short-hold reasoning as pod-crash: measure the outage
 		// before the evicted pods finish rebooting elsewhere.
 		em.Settle(en.impactHold(), en.timeout)
-		if impact, err = en.snapshot(); err != nil {
+		if impact, err = en.chain.Snapshot(); err != nil {
 			return fail(err)
 		}
 		outage := f.Duration
@@ -299,7 +235,7 @@ func (en *Engine) runFault(f Fault, baseline snap) (*Verdict, snap, error) {
 			return fail(err)
 		}
 		for _, name := range evicted {
-			if err = en.waitRunning(name); err != nil {
+			if err = em.AwaitRunning(name, en.timeout); err != nil {
 				return fail(err)
 			}
 		}
@@ -312,7 +248,7 @@ func (en *Engine) runFault(f Fault, baseline snap) (*Verdict, snap, error) {
 		}
 		// Session teardown withdraws routes synchronously; snapshot the
 		// transient hole before the prober restores the sessions.
-		if impact, err = en.snapshot(); err != nil {
+		if impact, err = en.chain.Snapshot(); err != nil {
 			return fail(err)
 		}
 		clear()
@@ -334,7 +270,7 @@ func (en *Engine) runFault(f Fault, baseline snap) (*Verdict, snap, error) {
 		clk.RunFor(window)
 		// Snapshot mid-impairment: a lossy link may never settle, so the
 		// impact view is time-bounded rather than quiescence-bounded.
-		if impact, err = en.snapshot(); err != nil {
+		if impact, err = en.chain.Snapshot(); err != nil {
 			return fail(err)
 		}
 		if err = em.ClearLinkImpairment(ep); err != nil {
@@ -355,7 +291,7 @@ func (en *Engine) runFault(f Fault, baseline snap) (*Verdict, snap, error) {
 		// link-cut the settled impact state is the final state. The hold
 		// window lets neighbors withdraw through hold-timer expiry.
 		conv = em.Settle(en.hold, en.timeout)
-		if impact, err = en.snapshot(); err != nil {
+		if impact, err = en.chain.Snapshot(); err != nil {
 			return fail(err)
 		}
 
@@ -363,7 +299,7 @@ func (en *Engine) runFault(f Fault, baseline snap) (*Verdict, snap, error) {
 		return fail(fmt.Errorf("chaos: unknown fault kind %q", f.Kind))
 	}
 
-	final, err := en.snapshot()
+	final, err := en.chain.Snapshot()
 	if err != nil {
 		return fail(err)
 	}
@@ -375,9 +311,9 @@ func (en *Engine) runFault(f Fault, baseline snap) (*Verdict, snap, error) {
 	v.Degraded = conv.Stragglers
 	v.Quarantined = conv.Quarantined
 
-	impactLost := lostFlows(en.differential(baseline, impact))
-	finalDiffs := en.differential(baseline, final)
-	finalLost := lostFlows(finalDiffs)
+	impactLost := snapchain.LostFlows(en.chain.Differential(baseline, impact))
+	finalDiffs := en.chain.Differential(baseline, final)
+	finalLost := snapchain.LostFlows(finalDiffs)
 	v.FlowsLostTransient = len(impactLost)
 	v.FlowsLost = len(finalLost)
 	for k := range impactLost {
@@ -385,9 +321,9 @@ func (en *Engine) runFault(f Fault, baseline snap) (*Verdict, snap, error) {
 			v.FlowsRecovered++
 		}
 	}
-	if lost := baseline.routes - impact.routes; lost > 0 {
+	if lost := baseline.Routes - impact.Routes; lost > 0 {
 		v.RoutesLost = lost
-		perm := baseline.routes - final.routes
+		perm := baseline.Routes - final.Routes
 		if perm < 0 {
 			perm = 0
 		}
@@ -422,20 +358,6 @@ func (en *Engine) impactHold() time.Duration {
 		return en.hold
 	}
 	return h
-}
-
-// waitRunning advances virtual time until the named pod reaches Running,
-// bounded by the settle timeout.
-func (en *Engine) waitRunning(name string) error {
-	clk := en.em.Sim()
-	deadline := clk.Now() + en.timeout
-	for clk.Now() < deadline {
-		if p, ok := en.em.Cluster().Pod(name); ok && p.Phase == kube.PodRunning {
-			return nil
-		}
-		clk.RunFor(time.Second)
-	}
-	return fmt.Errorf("chaos: pod %s not Running within %v", name, en.timeout)
 }
 
 // jitter perturbs a dwell by up to 25% drawn from the sim RNG: flap phasing

@@ -1,0 +1,49 @@
+package chaos
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzParse throws arbitrary bytes at the scenario JSON ingestion path — the
+// payload `mfv run -chaos FILE` and `mfv chaos -scenario FILE` hand to an
+// operator-supplied file. Properties: parsing never panics, and an accepted
+// scenario reaches a Marshal/Parse fixed point (the canonical encoding
+// re-parses to itself byte-for-byte, so persisted scenarios are stable).
+func FuzzParse(f *testing.F) {
+	for _, sc := range Builtins() {
+		data, err := sc.Marshal()
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(data)
+	}
+	f.Add([]byte(`{"name":"x","faults":[{"kind":"link-cut","link":"r1:Ethernet1"}]}`))
+	f.Add([]byte(`{"name":"x","faults":[{"kind":"pod-crash"}]}`))
+	f.Add([]byte(`{"name":"x","faults":[{"kind":"link-flap","link":"r1:Ethernet1","flaps":-1}]}`))
+	f.Add([]byte(`{"name":"x","faults":[]}`))
+	f.Add([]byte(`{"faults":[{"kind":"no-such-fault"}]}`))
+	f.Add([]byte(`not json`))
+	f.Add([]byte(``))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		sc, err := Parse(data)
+		if err != nil {
+			return
+		}
+		enc, err := sc.Marshal()
+		if err != nil {
+			t.Fatalf("re-marshaling accepted scenario: %v", err)
+		}
+		sc2, err := Parse(enc)
+		if err != nil {
+			t.Fatalf("re-parsing canonical encoding: %v", err)
+		}
+		enc2, err := sc2.Marshal()
+		if err != nil {
+			t.Fatalf("re-marshaling round-tripped scenario: %v", err)
+		}
+		if !bytes.Equal(enc, enc2) {
+			t.Fatalf("scenario encoding is not a fixed point:\n%s\n%s", enc, enc2)
+		}
+	})
+}

@@ -7,7 +7,10 @@ import (
 	"time"
 
 	"mfv/internal/kne"
+	"mfv/internal/snapchain"
 	"mfv/internal/testnet"
+	"mfv/internal/topology"
+	"mfv/internal/verify"
 )
 
 // reportJSON boots a fresh Fig. 2 emulation from seed, executes sc with the
@@ -92,33 +95,98 @@ func TestQuickIncrementalMatchesFullRandomFaults(t *testing.T) {
 	}
 }
 
-// TestStampDiff covers the dirty-set derivation directly: changed
-// generations, changed epochs (rebuilt router), and one-sided devices all
-// count as dirty; identical stamps do not.
-func TestStampDiff(t *testing.T) {
-	a := map[string]kne.GenStamp{
-		"r1": {Epoch: 0, Gen: 5},
-		"r2": {Epoch: 0, Gen: 7},
-		"r3": {Epoch: 1, Gen: 2},
-		"r5": {Epoch: 0, Gen: 1},
-	}
-	b := map[string]kne.GenStamp{
-		"r1": {Epoch: 0, Gen: 5}, // clean
-		"r2": {Epoch: 0, Gen: 8}, // generation moved
-		"r3": {Epoch: 2, Gen: 2}, // rebuilt: epoch moved, gen reset
-		"r4": {Epoch: 0, Gen: 1}, // new
-	}
-	got := stampDiff(a, b)
-	want := []string{"r2", "r3", "r4", "r5"}
-	if len(got) != len(want) {
-		t.Fatalf("stampDiff = %v, want %v", got, want)
-	}
-	for i := range want {
-		if got[i] != want[i] {
-			t.Fatalf("stampDiff = %v, want %v", got, want)
+// TestIncrementalSimultaneousMultiFault: the sweep engine applies a k=2
+// candidate's faults back-to-back with no settle in between, so the delta
+// path must stay byte-identical to the full recompute when two faults land
+// simultaneously and their dirty sets overlap (the case the per-fault
+// equivalence tests above never produce). Each case boots a fresh Fig. 2,
+// injects both faults on the unsettled network, settles once, and compares
+// DeltaDifferential over the combined dirty set against a full rebuild +
+// full differential, across worker counts.
+func TestIncrementalSimultaneousMultiFault(t *testing.T) {
+	cut := func(link string) func(t *testing.T, em *kne.Emulator) {
+		return func(t *testing.T, em *kne.Emulator) {
+			ep, err := topology.ParseEndpoint(link)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := em.SetLinkDown(ep); err != nil {
+				t.Fatal(err)
+			}
 		}
 	}
-	if d := stampDiff(a, a); len(d) != 0 {
-		t.Errorf("stampDiff(x, x) = %v", d)
+	cases := []struct {
+		name   string
+		faults []func(t *testing.T, em *kne.Emulator)
+	}{
+		// Both cuts force SPF recomputation across the shared core: the
+		// dirty sets intersect on every transit router.
+		{"two-link-cuts", []func(t *testing.T, em *kne.Emulator){
+			cut("r2:Ethernet2"), cut("r6:Ethernet2"),
+		}},
+		// The cut and the session teardown both dirty r2 and its peers.
+		{"link-cut-plus-bgp-reset", []func(t *testing.T, em *kne.Emulator){
+			cut("r2:Ethernet2"),
+			func(t *testing.T, em *kne.Emulator) {
+				if err := em.ResetBGP("r2"); err != nil {
+					t.Fatal(err)
+				}
+			},
+		}},
+		// The crash's withdrawal wave and the cut's reroute overlap; the
+		// reboot also exercises the epoch-bump path mid-candidate.
+		{"pod-crash-plus-link-cut", []func(t *testing.T, em *kne.Emulator){
+			func(t *testing.T, em *kne.Emulator) {
+				if err := em.CrashRouter("r3"); err != nil {
+					t.Fatal(err)
+				}
+			},
+			cut("r1:Ethernet1"),
+		}},
+	}
+	for _, tc := range cases {
+		for _, workers := range []int{1, 2} {
+			em := startFig2(t, 42, 0)
+			topo := testnet.Fig2()
+			baseNet, err := verify.NewNetwork(topo, em.AFTs())
+			if err != nil {
+				t.Fatal(err)
+			}
+			baseNet.SetWorkers(workers)
+			baseStamps := em.FIBGenerations()
+			for _, inject := range tc.faults {
+				inject(t, em)
+			}
+			em.Settle(2*time.Minute, 30*time.Minute)
+			afts := em.AFTs()
+			dirty := snapchain.DiffStamps(baseStamps, em.FIBGenerations())
+			if len(dirty) < 2 {
+				t.Fatalf("%s: want overlapping multi-router dirty set, got %v", tc.name, dirty)
+			}
+			incrNet, err := baseNet.UpdateFrom(afts, dirty)
+			if err != nil {
+				t.Fatal(err)
+			}
+			incrNet.SetWorkers(workers)
+			fullNet, err := verify.NewNetwork(topo, afts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			fullNet.SetWorkers(workers)
+			render := func(diffs []verify.Diff) string {
+				var b []byte
+				for _, d := range diffs {
+					b = append(b, d.String()...)
+					b = append(b, '\n')
+				}
+				return string(b)
+			}
+			delta := render(verify.DeltaDifferential(baseNet, incrNet, dirty))
+			full := render(verify.Differential(baseNet, fullNet))
+			if delta != full {
+				t.Errorf("%s workers=%d: delta differential diverges from full\ndirty=%v\ndelta:\n%s\nfull:\n%s",
+					tc.name, workers, dirty, delta, full)
+			}
+		}
 	}
 }

@@ -15,6 +15,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"net"
@@ -110,6 +111,10 @@ type Options struct {
 	// across. Zero selects runtime.GOMAXPROCS; one forces sequential
 	// evaluation. Output is byte-identical at any setting.
 	Workers int
+	// Ctx, when non-nil, bounds the run in wall-clock time: convergence
+	// waits stop advancing virtual time once it expires, and a chaos
+	// scenario returns a partial, Interrupted report.
+	Ctx context.Context
 }
 
 func (o *Options) fill() {
@@ -212,7 +217,7 @@ func runEmulation(snap Snapshot, opts Options) (*Result, error) {
 		spare = opts.Chaos.SpareNodes
 	}
 	sp := opts.Obs.StartPhase("parse")
-	em, err := kne.New(kne.Config{Topology: snap.Topology, Sim: sim.New(opts.Seed), Obs: opts.Obs, SpareNodes: spare})
+	em, err := kne.New(kne.Config{Topology: snap.Topology, Sim: sim.New(opts.Seed), Obs: opts.Obs, SpareNodes: spare, Ctx: opts.Ctx})
 	sp.End()
 	if err != nil {
 		return nil, err
@@ -256,7 +261,7 @@ func runEmulation(snap Snapshot, opts Options) (*Result, error) {
 	var chaosRep *chaos.Report
 	if opts.Chaos != nil {
 		sp = opts.Obs.StartPhase("chaos")
-		chaosRep, err = chaos.NewEngine(em, snap.Topology, opts.Obs).WithWorkers(opts.Workers).Execute(opts.Chaos)
+		chaosRep, err = chaos.NewEngine(em, snap.Topology, opts.Obs).WithWorkers(opts.Workers).WithContext(opts.Ctx).Execute(opts.Chaos)
 		sp.End()
 		if err != nil {
 			return nil, err

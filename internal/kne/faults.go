@@ -6,6 +6,7 @@ import (
 
 	"mfv/internal/kube"
 	"mfv/internal/obs"
+	"mfv/internal/vrouter"
 )
 
 // Fault-injection hooks for the chaos engine (internal/chaos). Each hook
@@ -179,21 +180,128 @@ func (e *Emulator) ResetBGP(name string) error {
 	if r.BGP == nil {
 		return fmt.Errorf("kne: router %q runs no BGP", name)
 	}
+	e.tearDownSessions(r)
+	if e.obs.Enabled() {
+		e.obs.Emit(obs.Event{Type: obs.EvBGPReset, Device: name})
+	}
+	e.lastActivity = e.sim.Now()
+	return nil
+}
+
+// tearDownSessions drops every BGP session on r. A TCP reset kills both
+// ends, so the remote half — router or external injector — is torn down too;
+// it must not linger Established against an Idle peer.
+func (e *Emulator) tearDownSessions(r *vrouter.Router) {
 	for _, p := range r.BGP.Peers() {
 		cfg := p.Config()
 		p.TransportDown()
-		// A TCP reset kills both ends; tear down the remote half too so it
-		// does not linger Established against an Idle peer.
 		if owner, ok := e.addrOwner[cfg.Addr]; ok {
 			if remote := e.routers[owner]; remote != nil && remote.BGP != nil {
 				if rp, ok := remote.BGP.Peer(cfg.LocalAddr); ok {
 					rp.TransportDown()
 				}
 			}
+		} else if inj, ok := e.injectors[cfg.Addr]; ok {
+			for _, ip := range inj.spk.Peers() {
+				ip.TransportDown()
+			}
 		}
 	}
+}
+
+// HoldBGP administratively holds down every BGP session on the named router
+// (the emulated "neighbor shutdown" on all peers): both session ends drop to
+// Idle with withdrawal semantics, and the reachability prober refuses to
+// re-establish any session touching the router until ReleaseBGP. Where
+// ResetBGP models a blip whose sessions return on the next probe tick,
+// HoldBGP models a persistent BGP service outage — the sweep engine's
+// per-router BGP failure element.
+func (e *Emulator) HoldBGP(name string) error {
+	r, ok := e.routers[name]
+	if !ok {
+		return fmt.Errorf("kne: no router %q", name)
+	}
+	if r.BGP == nil {
+		return fmt.Errorf("kne: router %q runs no BGP", name)
+	}
+	if e.bgpHeld[name] {
+		return fmt.Errorf("kne: BGP already held on %q", name)
+	}
+	e.bgpHeld[name] = true
+	e.tearDownSessions(r)
 	if e.obs.Enabled() {
-		e.obs.Emit(obs.Event{Type: obs.EvBGPReset, Device: name})
+		e.obs.Emit(obs.Event{Type: obs.EvBGPReset, Device: name, Detail: "hold"})
+	}
+	e.lastActivity = e.sim.Now()
+	return nil
+}
+
+// ReleaseBGP lifts a HoldBGP; the prober re-establishes the sessions on its
+// next tick.
+func (e *Emulator) ReleaseBGP(name string) error {
+	if !e.bgpHeld[name] {
+		return fmt.Errorf("kne: BGP not held on %q", name)
+	}
+	delete(e.bgpHeld, name)
+	e.lastActivity = e.sim.Now()
+	return nil
+}
+
+// BGPHeld reports whether HoldBGP is active on the named router.
+func (e *Emulator) BGPHeld(name string) bool { return e.bgpHeld[name] }
+
+// FailRouter takes a router out of service indefinitely: the router object
+// shuts down and its pod is deleted, but — unlike CrashRouter — no
+// replacement is scheduled, so the outage persists until RestoreRouter. This
+// is the sweep engine's node-failure element: the candidate loop needs the
+// network to settle into the degraded state, not race a rebooting pod.
+func (e *Emulator) FailRouter(name string) error {
+	if !e.started {
+		return fmt.Errorf("kne: FailRouter before Start")
+	}
+	r, ok := e.routers[name]
+	if !ok {
+		return fmt.Errorf("kne: no router %q", name)
+	}
+	if e.routerDown[name] {
+		return fmt.Errorf("kne: router %q already down", name)
+	}
+	if _, contained := e.quarantined[name]; contained {
+		return fmt.Errorf("kne: router %q is quarantined", name)
+	}
+	e.routerDown[name] = true
+	e.ready[name] = false
+	r.Shutdown()
+	if e.obs.Enabled() {
+		e.obs.Emit(obs.Event{Type: obs.EvPodCrash, Device: name, Detail: "fail"})
+	}
+	if _, exists := e.cluster.Pod(name); exists {
+		if err := e.cluster.Delete(name); err != nil {
+			return err
+		}
+	}
+	e.lastActivity = e.sim.Now()
+	return nil
+}
+
+// RestoreRouter schedules a replacement pod for a router taken down by
+// FailRouter. When the pod reaches Running, podReady rebuilds the router
+// from its config with a bumped epoch, exactly like a crashed pod's
+// replacement; use AwaitRunning + Settle to wait out the reboot.
+func (e *Emulator) RestoreRouter(name string) error {
+	if !e.started {
+		return fmt.Errorf("kne: RestoreRouter before Start")
+	}
+	r, ok := e.routers[name]
+	if !ok {
+		return fmt.Errorf("kne: no router %q", name)
+	}
+	if !e.routerDown[name] {
+		return fmt.Errorf("kne: router %q is not down", name)
+	}
+	spec := kube.AristaCEOSRequest(name, r.Profile.BootTime)
+	if _, err := e.cluster.ScheduleOrQueue(spec); err != nil {
+		return err
 	}
 	e.lastActivity = e.sim.Now()
 	return nil

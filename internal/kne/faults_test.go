@@ -1,6 +1,8 @@
 package kne
 
 import (
+	"context"
+	"errors"
 	"testing"
 	"time"
 
@@ -8,6 +10,7 @@ import (
 	"mfv/internal/sim"
 	"mfv/internal/testnet"
 	"mfv/internal/topology"
+	"mfv/internal/verify"
 )
 
 // TestLinkDownTearsDownSessionsAndWithdraws is the silent-failure teardown
@@ -99,5 +102,170 @@ func TestFaultAPIErrors(t *testing.T) {
 	}
 	if err := e.SetLinkImpairment(topology.Endpoint{Node: "r1", Interface: "NoIntf"}, Impairment{LossPct: 10}); err == nil {
 		t.Error("impairment on unknown link accepted")
+	}
+}
+
+// TestFailRestoreRouter: FailRouter is the sweep engine's node-failure
+// element — the outage must persist (no replacement pod is scheduled, unlike
+// CrashRouter) until RestoreRouter brings the router back, after which the
+// network must return to its exact pre-failure forwarding state.
+func TestFailRestoreRouter(t *testing.T) {
+	clk := sim.New(1)
+	e, err := New(Config{Topology: testnet.Fig2(), Sim: clk})
+	if err != nil {
+		t.Fatal(err)
+	}
+	converge(t, e)
+	baseNet, err := verify.NewNetwork(testnet.Fig2(), e.AFTs())
+	if err != nil {
+		t.Fatal(err)
+	}
+	hasPrefix := func(router, prefix string) bool {
+		for _, en := range e.AFTs()[router].IPv4Entries {
+			if en.Prefix == prefix {
+				return true
+			}
+		}
+		return false
+	}
+	if !hasPrefix("r2", "2.2.2.3/32") {
+		t.Fatal("r2 missing r3 loopback before failure")
+	}
+
+	if err := e.FailRouter("r3"); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.FailRouter("r3"); err == nil {
+		t.Error("double FailRouter accepted")
+	}
+	if !e.RouterDown("r3") {
+		t.Error("RouterDown(r3) false after FailRouter")
+	}
+	// Unlike CrashRouter there is no reboot racing the settle: even after a
+	// generous window the pod must still be gone and the withdrawal durable.
+	e.Settle(2*time.Minute, 30*time.Minute)
+	clk.RunFor(5 * time.Minute)
+	if _, ok := e.Cluster().Pod("r3"); ok {
+		t.Fatal("failed router's pod came back without RestoreRouter")
+	}
+	if hasPrefix("r2", "2.2.2.3/32") {
+		t.Error("r2 still has r3 loopback while r3 is failed")
+	}
+
+	if err := e.RestoreRouter("r3"); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.AwaitRunning("r3", 30*time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	e.Settle(2*time.Minute, 30*time.Minute)
+	if err := e.RestoreRouter("r3"); err == nil {
+		t.Error("RestoreRouter of a running router accepted")
+	}
+	// Restored state is forwarding-equivalent, not byte-identical: the
+	// rebuilt router re-signals its TE LSPs, which may draw fresh labels.
+	// What must hold is that every flow is delivered exactly as before.
+	afterNet, err := verify.NewNetwork(testnet.Fig2(), e.AFTs())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if diffs := verify.Differential(baseNet, afterNet); len(diffs) != 0 {
+		t.Errorf("post-restore reachability differs from baseline: %v", diffs)
+	}
+}
+
+// TestHoldReleaseBGP: HoldBGP must keep every session on the router down
+// across probe ticks (where ResetBGP's sessions come back on the next one),
+// and ReleaseBGP must restore the exact pre-hold forwarding state.
+func TestHoldReleaseBGP(t *testing.T) {
+	clk := sim.New(1)
+	e, err := New(Config{Topology: testnet.Fig2(), Sim: clk})
+	if err != nil {
+		t.Fatal(err)
+	}
+	converge(t, e)
+	baseline := map[string]string{}
+	for name, a := range e.AFTs() {
+		baseline[name] = a.Fingerprint()
+	}
+	hasPrefix := func(router, prefix string) bool {
+		for _, en := range e.AFTs()[router].IPv4Entries {
+			if en.Prefix == prefix {
+				return true
+			}
+		}
+		return false
+	}
+	if !hasPrefix("r2", "2.2.2.3/32") {
+		t.Fatal("r2 missing r3 loopback before hold")
+	}
+
+	if err := e.HoldBGP("r2"); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.HoldBGP("r2"); err == nil {
+		t.Error("double HoldBGP accepted")
+	}
+	if !e.BGPHeld("r2") {
+		t.Error("BGPHeld(r2) false after HoldBGP")
+	}
+	r2, _ := e.Router("r2")
+	// Many probe intervals pass; the prober must not resurrect a held
+	// session from either end.
+	clk.RunFor(3 * time.Minute)
+	for _, p := range r2.BGP.Peers() {
+		if p.State() == bgp.StateEstablished {
+			t.Fatalf("session to %v re-established while held", p.Config().Addr)
+		}
+	}
+	e.Settle(2*time.Minute, 30*time.Minute)
+	if hasPrefix("r2", "2.2.2.3/32") {
+		t.Error("r2 still has eBGP-learned loopback while held")
+	}
+
+	if err := e.ReleaseBGP("r2"); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.ReleaseBGP("r2"); err == nil {
+		t.Error("double ReleaseBGP accepted")
+	}
+	e.Settle(2*time.Minute, 30*time.Minute)
+	for name, a := range e.AFTs() {
+		if a.Fingerprint() != baseline[name] {
+			t.Errorf("%s: post-release AFT differs from baseline", name)
+		}
+	}
+	if err := e.HoldBGP("ghost"); err == nil {
+		t.Error("HoldBGP of unknown router accepted")
+	}
+}
+
+// TestConvergeInterrupted: an expired Config.Ctx must stop the convergence
+// loops from advancing virtual time — the degrading APIs return partial
+// state, the strict one a wrapped context error — instead of grinding
+// through the full virtual timeout.
+func TestConvergeInterrupted(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	e, err := New(Config{Topology: isisLineTopo(2), Ctx: ctx})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Start(); err != nil {
+		t.Fatal(err)
+	}
+	before := e.Sim().Now()
+	if _, err := e.RunUntilConverged(30*time.Second, time.Hour); !errors.Is(err, context.Canceled) {
+		t.Errorf("RunUntilConverged = %v, want wrapped context.Canceled", err)
+	}
+	c := e.Settle(30*time.Second, time.Hour)
+	if !c.Degraded {
+		t.Error("Settle under canceled context not Degraded")
+	}
+	if err := e.AwaitRunning("r1", time.Hour); !errors.Is(err, context.Canceled) {
+		t.Errorf("AwaitRunning = %v, want wrapped context.Canceled", err)
+	}
+	if moved := e.Sim().Now() - before; moved > time.Minute {
+		t.Errorf("canceled context still advanced virtual time by %v", moved)
 	}
 }

@@ -91,7 +91,7 @@ func (inj *Injector) receive(srcAddr netip.Addr, payload []byte) {
 // injector's speaker, mirroring probeRouterSession.
 func (inj *Injector) probe(r *vrouter.Router, p *bgp.Peer) {
 	cfg := p.Config()
-	up := r.CanReach(cfg.Addr) && !r.Crashed()
+	up := r.CanReach(cfg.Addr) && !r.Crashed() && !inj.em.bgpHeld[r.Name]
 	injPeers := inj.spk.Peers()
 	if len(injPeers) == 0 {
 		return

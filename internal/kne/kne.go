@@ -8,6 +8,7 @@
 package kne
 
 import (
+	"context"
 	"fmt"
 	"net/netip"
 	"runtime"
@@ -65,6 +66,11 @@ type Config struct {
 	// Obs receives trace events and metrics from the emulator and every
 	// router it builds. Nil disables observability at near-zero cost.
 	Obs *obs.Observer
+	// Ctx, when non-nil, bounds long virtual-time waits by wall-clock
+	// cancellation: convergence and settle loops stop advancing the clock
+	// once it expires, returning partial (degraded) state where the API
+	// allows it and a wrapped context error where it does not.
+	Ctx context.Context
 }
 
 type linkEnd struct {
@@ -103,6 +109,10 @@ type Emulator struct {
 	epoch map[string]uint64
 	// addrOwner maps interface addresses to router names.
 	addrOwner map[netip.Addr]string
+	// bgpHeld marks routers whose BGP sessions are administratively held
+	// down (HoldBGP): the reachability prober refuses to re-establish any
+	// session either end of which is held, until ReleaseBGP.
+	bgpHeld map[string]bool
 
 	injectors map[netip.Addr]*Injector
 
@@ -167,6 +177,7 @@ func New(cfg Config) (*Emulator, error) {
 		quarantined: map[string]string{},
 		epoch:       map[string]uint64{},
 		addrOwner:   map[netip.Addr]string{},
+		bgpHeld:     map[string]bool{},
 		injectors:   map[netip.Addr]*Injector{},
 		lastChange:  map[string]time.Duration{},
 		stuck:       map[*bgp.Peer]int{},
@@ -503,6 +514,13 @@ func (e *Emulator) SetLinkUp(ep topology.Endpoint) error {
 	return nil
 }
 
+// IsLinkDown reports whether the link containing ep is administratively
+// down. Unknown endpoints report false.
+func (e *Emulator) IsLinkDown(ep topology.Endpoint) bool {
+	other, ok := e.peer[ep]
+	return ok && e.linkDown[linkKey(ep, other)]
+}
+
 // sendRouted forwards payload hop-by-hop toward dst, starting at from. Each
 // hop consults the live FIB of the current router, so packets follow the
 // dataplane as it exists in flight.
@@ -580,7 +598,8 @@ const stuckProbeLimit = 3
 
 func (e *Emulator) probeRouterSession(r *vrouter.Router, p *bgp.Peer, remote *vrouter.Router) {
 	cfg := p.Config()
-	up := r.CanReach(cfg.Addr) && remote.CanReach(cfg.LocalAddr) && !remote.Crashed()
+	up := !e.bgpHeld[r.Name] && !e.bgpHeld[remote.Name] &&
+		r.CanReach(cfg.Addr) && remote.CanReach(cfg.LocalAddr) && !remote.Crashed()
 	st := p.State()
 	switch {
 	case up && st == bgp.StateIdle:
@@ -678,6 +697,9 @@ func (e *Emulator) converge(hold, timeout time.Duration, needAllRunning, degrade
 	stableSince := e.sim.Now()
 	lastChange := e.sim.Now()
 	for e.sim.Now() < deadline {
+		if e.interrupted() {
+			break
+		}
 		e.sim.RunFor(poll)
 		// All pods must exist and be Running before quiet counts as
 		// convergence — before infra init completes the network is silent
@@ -728,7 +750,31 @@ func (e *Emulator) converge(hold, timeout time.Duration, needAllRunning, degrade
 		}
 		return c, nil
 	}
+	if e.interrupted() {
+		return Convergence{}, fmt.Errorf("kne: convergence wait interrupted at %v: %w", e.sim.Now(), e.cfg.Ctx.Err())
+	}
 	return Convergence{}, fmt.Errorf("kne: no convergence within %v%s", timeout, e.stragglerSummary())
+}
+
+// interrupted reports whether the config context has expired.
+func (e *Emulator) interrupted() bool {
+	return e.cfg.Ctx != nil && e.cfg.Ctx.Err() != nil
+}
+
+// AwaitRunning advances virtual time until the named pod reaches Running,
+// bounded by timeout and by Config.Ctx cancellation.
+func (e *Emulator) AwaitRunning(name string, timeout time.Duration) error {
+	deadline := e.sim.Now() + timeout
+	for e.sim.Now() < deadline {
+		if e.interrupted() {
+			return fmt.Errorf("kne: wait for pod %s interrupted: %w", name, e.cfg.Ctx.Err())
+		}
+		if p, ok := e.cluster.Pod(name); ok && p.Phase == kube.PodRunning {
+			return nil
+		}
+		e.sim.RunFor(time.Second)
+	}
+	return fmt.Errorf("kne: pod %s not Running within %v", name, timeout)
 }
 
 // stragglers lists the routers that have not settled: pod missing or not

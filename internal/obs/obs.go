@@ -89,6 +89,12 @@ const (
 	// EvQuarantine: a router's control plane was quarantined after hostile
 	// input or an escaped handler panic (Device=router, Detail=reason).
 	EvQuarantine = "router_quarantine"
+	// EvSweepCandidate: the sweep engine applied one failure candidate
+	// (Detail=failure description, Value=dirty-router count).
+	EvSweepCandidate = "sweep_candidate"
+	// EvSweepVerdict: one ranked sweep result (Detail=failure description,
+	// Value=flows lost). Emitted in rank order after the merge.
+	EvSweepVerdict = "sweep_verdict"
 )
 
 // Event is one trace record. At is virtual time; the remaining fields are a

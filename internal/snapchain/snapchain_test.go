@@ -1,0 +1,38 @@
+package snapchain
+
+import (
+	"testing"
+
+	"mfv/internal/kne"
+)
+
+// TestDiffStamps covers the dirty-set derivation directly: changed
+// generations, changed epochs (rebuilt router), and one-sided devices all
+// count as dirty; identical stamps do not.
+func TestDiffStamps(t *testing.T) {
+	a := map[string]kne.GenStamp{
+		"r1": {Epoch: 0, Gen: 5},
+		"r2": {Epoch: 0, Gen: 7},
+		"r3": {Epoch: 1, Gen: 2},
+		"r5": {Epoch: 0, Gen: 1},
+	}
+	b := map[string]kne.GenStamp{
+		"r1": {Epoch: 0, Gen: 5}, // clean
+		"r2": {Epoch: 0, Gen: 8}, // generation moved
+		"r3": {Epoch: 2, Gen: 2}, // rebuilt: epoch moved, gen reset
+		"r4": {Epoch: 0, Gen: 1}, // new
+	}
+	got := DiffStamps(a, b)
+	want := []string{"r2", "r3", "r4", "r5"}
+	if len(got) != len(want) {
+		t.Fatalf("DiffStamps = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("DiffStamps = %v, want %v", got, want)
+		}
+	}
+	if d := DiffStamps(a, a); len(d) != 0 {
+		t.Errorf("DiffStamps(x, x) = %v", d)
+	}
+}

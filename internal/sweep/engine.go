@@ -1,0 +1,534 @@
+package sweep
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"mfv/internal/kne"
+	"mfv/internal/obs"
+	"mfv/internal/snapchain"
+	"mfv/internal/topology"
+	"mfv/internal/verify"
+)
+
+// Enumerate lists the failure elements of the requested kinds present in the
+// healthy emulation, in canonical order (links, then nodes, then BGP; each
+// group sorted by description). Elements that are already failed — downed
+// links, down or quarantined routers — are excluded: the sweep explores
+// failures of the healthy baseline, and "failing" them again would roll back
+// into a state the baseline never had.
+func Enumerate(em *kne.Emulator, topo *topology.Topology, kinds []Kind) []Element {
+	if len(kinds) == 0 {
+		kinds = AllKinds()
+	}
+	want := map[Kind]bool{}
+	for _, k := range kinds {
+		want[k] = true
+	}
+	unusable := func(name string) bool {
+		if em.RouterDown(name) {
+			return true
+		}
+		_, q := em.QuarantineReason(name)
+		return q
+	}
+	var out []Element
+	appendSorted := func(group []Element) {
+		sort.Slice(group, func(i, j int) bool { return group[i].Describe() < group[j].Describe() })
+		out = append(out, group...)
+	}
+	if want[KindLink] {
+		var group []Element
+		for _, l := range topo.Links {
+			if em.IsLinkDown(l.A) {
+				continue
+			}
+			group = append(group, Element{Kind: KindLink, Link: l.A.String()})
+		}
+		appendSorted(group)
+	}
+	if want[KindNode] {
+		var group []Element
+		for _, r := range em.Routers() {
+			if unusable(r.Name) {
+				continue
+			}
+			group = append(group, Element{Kind: KindNode, Node: r.Name})
+		}
+		appendSorted(group)
+	}
+	if want[KindBGP] {
+		var group []Element
+		for _, r := range em.Routers() {
+			if r.BGP == nil || unusable(r.Name) {
+				continue
+			}
+			group = append(group, Element{Kind: KindBGP, Node: r.Name})
+		}
+		appendSorted(group)
+	}
+	return out
+}
+
+// outcome carries one candidate's measurements through the two phases:
+// the sequential apply/settle/rollback loop fills everything except diffs,
+// which the parallel verification phase computes (or copies from the
+// fingerprint representative).
+type outcome struct {
+	cand        Candidate
+	base        snapchain.Snap // healthy baseline this candidate was measured against
+	impact      snapchain.Snap // settled degraded state
+	dirty       []string       // routers whose FIB the failure touched
+	fp          string         // equivalence-group fingerprint
+	reconv      time.Duration
+	stragglers  []string
+	quarantined []string
+	residue     int      // flows still diverging after rollback
+	pruned      string   // "", "fingerprint", "independent"
+	dupOf       *outcome // representative whose diffs this candidate shares
+	diffs       []verify.Diff
+}
+
+type engine struct {
+	em      *kne.Emulator
+	topo    *topology.Topology
+	obs     *obs.Observer
+	chain   *snapchain.Chain
+	opts    Options
+	hold    time.Duration
+	timeout time.Duration
+
+	// baseEpoch tags fingerprint equivalence groups with the identity of
+	// the baseline they were measured against. Rollback normally restores
+	// the exact pre-candidate forwarding state, but a rebuilt router may
+	// legitimately drift in content (a re-signaled TE LSP draws a fresh
+	// label) even when every flow outcome is intact. Any content drift
+	// bumps the epoch, so candidates measured against different baseline
+	// content can never share a verdict — that keeps fingerprint sharing
+	// sound without forbidding drift.
+	baseEpoch int
+	// repByFP maps fingerprint -> the verified representative outcome.
+	repByFP map[string]*outcome
+
+	verified int
+}
+
+// Run sweeps the emulation. The emulator must be started and converged; the
+// sweep advances virtual time itself and leaves the network restored (any
+// candidate that failed to heal is reported via Residue).
+func Run(em *kne.Emulator, topo *topology.Topology, opts Options) (*Report, error) {
+	if opts.K < 1 || opts.K > 2 {
+		return nil, fmt.Errorf("sweep: k=%d unsupported (want 1 or 2)", opts.K)
+	}
+	if len(opts.Kinds) == 0 {
+		opts.Kinds = AllKinds()
+	}
+	e := &engine{
+		em:      em,
+		topo:    topo,
+		obs:     opts.Obs,
+		chain:   snapchain.New(em, topo, opts.Obs),
+		opts:    opts,
+		hold:    opts.Hold,
+		timeout: opts.Timeout,
+		repByFP: map[string]*outcome{},
+	}
+	if e.hold == 0 {
+		// Same floor as the chaos engine: the quiet window must outlast
+		// the BGP HoldTime (90s) or silent link cuts settle "harmlessly"
+		// before their withdrawals begin.
+		e.hold = 2 * time.Minute
+	}
+	if e.timeout == 0 {
+		e.timeout = 30 * time.Minute
+	}
+	e.chain.SetWorkers(opts.Workers)
+
+	wallStart := time.Now()
+	span := e.obs.StartPhase("sweep")
+	defer span.End()
+
+	if _, err := e.chain.Snapshot(); err != nil {
+		return nil, err
+	}
+	elems := Enumerate(em, topo, opts.Kinds)
+	rep := &Report{
+		K:         opts.K,
+		Kinds:     opts.Kinds,
+		Routers:   len(em.Routers()),
+		StartedAt: em.Sim().Now(),
+	}
+
+	// Phase 1a: apply every k=1 candidate sequentially on the shared
+	// virtual clock, chaining rollbacks.
+	var all []*outcome
+	for _, el := range elems {
+		if e.interrupted() {
+			rep.Interrupted = true
+			break
+		}
+		o, err := e.evaluate(Candidate{Elements: []Element{el}})
+		if err != nil {
+			return nil, err
+		}
+		all = append(all, o)
+	}
+	// Phase 2a: verify the k=1 representatives in parallel. This must
+	// precede pair enumeration — the independence prune needs to know
+	// which singles were harmless.
+	e.verifyAll(all)
+
+	if opts.K >= 2 && !rep.Interrupted {
+		single := map[string]*outcome{}
+		for _, o := range all {
+			single[o.cand.Elements[0].Describe()] = o
+		}
+		var pairs []*outcome
+		for i := 0; i < len(elems); i++ {
+			for j := i + 1; j < len(elems); j++ {
+				if sameTarget(elems[i], elems[j]) {
+					continue
+				}
+				if e.interrupted() {
+					rep.Interrupted = true
+					break
+				}
+				cand := Candidate{Elements: []Element{elems[i], elems[j]}}
+				a, b := single[elems[i].Describe()], single[elems[j].Describe()]
+				if !opts.Brute && independentlyHarmless(a, b) {
+					pairs = append(pairs, &outcome{cand: cand, pruned: "independent"})
+					continue
+				}
+				o, err := e.evaluate(cand)
+				if err != nil {
+					return nil, err
+				}
+				pairs = append(pairs, o)
+			}
+			if rep.Interrupted {
+				break
+			}
+		}
+		e.verifyAll(pairs)
+		all = append(all, pairs...)
+	}
+
+	rep.FinishedAt = em.Sim().Now()
+	rep.Wall = time.Since(wallStart)
+	e.assemble(rep, all)
+	return rep, nil
+}
+
+// sameTarget excludes degenerate pairs: failing a node and holding the same
+// node's BGP is just the node failure.
+func sameTarget(a, b Element) bool {
+	return a.Node != "" && a.Node == b.Node
+}
+
+// independentlyHarmless is the k=2 independence prune: when both members
+// were individually harmless in every respect (no outcome changes, clean
+// rollback, no stragglers or quarantine) and their blast radii are disjoint,
+// the pair is predicted harmless without being applied. This is a
+// partial-order-reduction heuristic, not a proof — -brute re-verifies it.
+func independentlyHarmless(a, b *outcome) bool {
+	harmless := func(o *outcome) bool {
+		return o != nil && o.pruned != "independent" &&
+			len(o.diffs) == 0 && o.residue == 0 &&
+			len(o.stragglers) == 0 && len(o.quarantined) == 0
+	}
+	if !harmless(a) || !harmless(b) {
+		return false
+	}
+	seen := map[string]bool{}
+	for _, d := range a.dirty {
+		seen[d] = true
+	}
+	for _, d := range b.dirty {
+		if seen[d] {
+			return false
+		}
+	}
+	return true
+}
+
+func (e *engine) interrupted() bool {
+	return e.opts.Ctx != nil && e.opts.Ctx.Err() != nil
+}
+
+// evaluate applies one candidate, settles, snapshots the degraded state,
+// rolls the failure back, and verifies the rollback healed. The verification
+// of the impact itself is deferred to the parallel phase.
+func (e *engine) evaluate(c Candidate) (*outcome, error) {
+	clk := e.em.Sim()
+	o := &outcome{cand: c, base: *e.chain.Last()}
+	injected := clk.Now()
+	applied := 0
+	var err error
+	for _, el := range c.Elements {
+		if err = e.apply(el); err != nil {
+			break
+		}
+		applied++
+	}
+	if err != nil {
+		for i := applied - 1; i >= 0; i-- {
+			if rbErr := e.rollback(c.Elements[i]); rbErr != nil {
+				return nil, fmt.Errorf("sweep: %s failed (%v); rollback also failed: %w", c.Describe(), err, rbErr)
+			}
+		}
+		return nil, fmt.Errorf("sweep: applying %s: %w", c.Describe(), err)
+	}
+
+	conv := e.em.Settle(e.hold, e.timeout)
+	if o.impact, err = e.chain.Snapshot(); err != nil {
+		return nil, err
+	}
+	o.dirty = snapchain.DiffStamps(o.base.Stamps, o.impact.Stamps)
+	o.reconv = conv.ConvergedAt - injected
+	if o.reconv < 0 {
+		o.reconv = 0
+	}
+	o.stragglers = conv.Stragglers
+	o.quarantined = conv.Quarantined
+	o.fp = e.fingerprint(o)
+	if e.obs.Enabled() {
+		e.obs.Emit(obs.Event{Type: obs.EvSweepCandidate, Detail: c.Describe(), Value: int64(len(o.dirty))})
+	}
+
+	// Roll back in reverse order and verify the heal: the next candidate's
+	// baseline is whatever state the rollback actually reached.
+	for i := len(c.Elements) - 1; i >= 0; i-- {
+		if err := e.rollback(c.Elements[i]); err != nil {
+			return nil, fmt.Errorf("sweep: rolling back %s: %w", c.Describe(), err)
+		}
+	}
+	e.em.Settle(e.hold, e.timeout)
+	restored, err := e.chain.Snapshot()
+	if err != nil {
+		return nil, err
+	}
+	// Content check: any router whose restored AFT is not byte-identical
+	// to its baseline content invalidates fingerprint sharing across this
+	// boundary (see baseEpoch). Outcome check: flows still diverging are
+	// real residue, reported per row.
+	drifted := false
+	for _, name := range snapchain.DiffStamps(o.base.Stamps, restored.Stamps) {
+		ba, ra := o.base.AFTs[name], restored.AFTs[name]
+		if ba == nil || ra == nil || ba.Fingerprint() != ra.Fingerprint() {
+			drifted = true
+			break
+		}
+	}
+	if drifted {
+		e.baseEpoch++
+		o.residue = len(e.chain.Differential(o.base, restored))
+	}
+	return o, nil
+}
+
+func (e *engine) apply(el Element) error {
+	switch el.Kind {
+	case KindLink:
+		ep, err := topology.ParseEndpoint(el.Link)
+		if err != nil {
+			return err
+		}
+		return e.em.SetLinkDown(ep)
+	case KindNode:
+		return e.em.FailRouter(el.Node)
+	case KindBGP:
+		return e.em.HoldBGP(el.Node)
+	}
+	return fmt.Errorf("sweep: unknown element kind %q", el.Kind)
+}
+
+func (e *engine) rollback(el Element) error {
+	switch el.Kind {
+	case KindLink:
+		ep, err := topology.ParseEndpoint(el.Link)
+		if err != nil {
+			return err
+		}
+		return e.em.SetLinkUp(ep)
+	case KindNode:
+		if err := e.em.RestoreRouter(el.Node); err != nil {
+			return err
+		}
+		return e.em.AwaitRunning(el.Node, e.timeout)
+	case KindBGP:
+		return e.em.ReleaseBGP(el.Node)
+	}
+	return fmt.Errorf("sweep: unknown element kind %q", el.Kind)
+}
+
+// fingerprint keys the candidate's equivalence group: the baseline epoch
+// plus, for every dirty router, its baseline and impact forwarding
+// fingerprints. Two candidates with equal fingerprints perturb identical
+// forwarding state identically against identical baselines, so their
+// differentials are equal and one verification serves both.
+func (e *engine) fingerprint(o *outcome) string {
+	h := sha256.New()
+	fmt.Fprintf(h, "epoch=%d;", e.baseEpoch)
+	for _, name := range o.dirty {
+		var bf, impf string
+		if a := o.base.AFTs[name]; a != nil {
+			bf = a.Fingerprint()
+		}
+		if a := o.impact.AFTs[name]; a != nil {
+			impf = a.Fingerprint()
+		}
+		fmt.Fprintf(h, "%s:%s>%s;", name, bf, impf)
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// verifyAll runs the deferred differentials: fingerprint-duplicate
+// candidates adopt their representative's verdict, the representatives shard
+// across the worker pool. Each result lands in its candidate's own slot, so
+// worker count and scheduling order never affect output.
+func (e *engine) verifyAll(pend []*outcome) {
+	var reps []*outcome
+	for _, o := range pend {
+		if o.pruned == "independent" {
+			continue
+		}
+		if !e.opts.Brute {
+			if r, ok := e.repByFP[o.fp]; ok {
+				o.pruned = "fingerprint"
+				o.dupOf = r
+				continue
+			}
+			e.repByFP[o.fp] = o
+		}
+		reps = append(reps, o)
+	}
+	g := e.obs.Metrics().Gauge("sweep_inflight")
+	runParallel(len(reps), e.opts.Workers, func(i int) {
+		g.Add(1)
+		defer g.Add(-1)
+		o := reps[i]
+		// One worker per candidate; the per-query pool stays at 1 so the
+		// sharding happens across candidates, not within them.
+		o.diffs = verify.Queries{Workers: 1}.DeltaDifferential(o.base.Net, o.impact.Net, o.dirty)
+	})
+	for _, o := range pend {
+		if o.dupOf != nil {
+			o.diffs = o.dupOf.diffs
+		}
+	}
+	e.verified += len(reps)
+}
+
+// runParallel evaluates fn(i) for i in [0, n) across a bounded pool. Indexed
+// slots keep results deterministic.
+func runParallel(n, workers int, fn func(int)) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// assemble ranks the outcomes worst-first into the report and emits the
+// final metrics and verdict events in rank order.
+func (e *engine) assemble(rep *Report, all []*outcome) {
+	m := e.obs.Metrics()
+	rep.Candidates = len(all)
+	rep.Verified = e.verified
+	for _, o := range all {
+		label := "none"
+		switch o.pruned {
+		case "fingerprint":
+			label = "fingerprint"
+			rep.PrunedFingerprint++
+			rep.Applied++
+		case "independent":
+			label = "independent"
+			rep.PrunedIndependent++
+		default:
+			rep.Applied++
+		}
+		m.Counter("sweep_candidates_total", "pruned", label).Inc()
+		if o.pruned != "independent" {
+			m.Histogram("sweep_reconverge_ns", "k", fmt.Sprint(len(o.cand.Elements))).Observe(int64(o.reconv))
+		}
+		row := Row{
+			Failure:       o.cand.Describe(),
+			K:             len(o.cand.Elements),
+			FlowsLost:     len(snapchain.LostFlows(o.diffs)),
+			FlowsChanged:  len(o.diffs),
+			DirtyRouters:  len(o.dirty),
+			ReconvergedIn: o.reconv,
+			Stragglers:    o.stragglers,
+			Quarantined:   o.quarantined,
+			Residue:       o.residue,
+			Pruned:        o.pruned,
+		}
+		for i, d := range o.diffs {
+			if i == maxRowDiffs {
+				row.Diffs = append(row.Diffs, fmt.Sprintf("… (+%d more)", len(o.diffs)-maxRowDiffs))
+				break
+			}
+			row.Diffs = append(row.Diffs, d.String())
+		}
+		if row.FlowsLost > 0 {
+			rep.Violations++
+			m.Counter("sweep_violations_total").Inc()
+		}
+		if row.Residue > 0 {
+			rep.Residue++
+		}
+		rep.Rows = append(rep.Rows, row)
+	}
+	sort.SliceStable(rep.Rows, func(i, j int) bool {
+		a, b := rep.Rows[i], rep.Rows[j]
+		if a.FlowsLost != b.FlowsLost {
+			return a.FlowsLost > b.FlowsLost
+		}
+		if a.FlowsChanged != b.FlowsChanged {
+			return a.FlowsChanged > b.FlowsChanged
+		}
+		if a.DirtyRouters != b.DirtyRouters {
+			return a.DirtyRouters > b.DirtyRouters
+		}
+		if a.ReconvergedIn != b.ReconvergedIn {
+			return a.ReconvergedIn > b.ReconvergedIn
+		}
+		return a.Failure < b.Failure
+	})
+	for i := range rep.Rows {
+		rep.Rows[i].Rank = i + 1
+		if e.obs.Enabled() {
+			e.obs.Emit(obs.Event{Type: obs.EvSweepVerdict, Detail: rep.Rows[i].Failure, Value: int64(rep.Rows[i].FlowsLost)})
+		}
+	}
+}

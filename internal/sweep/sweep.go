@@ -1,0 +1,238 @@
+// Package sweep answers the exhaustive resilience question the chaos engine
+// cannot: does ANY single (k=1) or double (k=2) failure of a link, a router,
+// or a router's BGP service break reachability? It enumerates every
+// k-failure combination, applies each candidate to the live emulation via
+// the kne fault hooks, re-settles on the virtual clock, scores the blast
+// radius with the delta differential against the healthy baseline, and rolls
+// the candidate back so the next one chains off a restored snapshot.
+//
+// The combinatorial space stays tractable through two prunes, Plankton-style
+// (PAPERS.md): candidates whose dirty-set fingerprints match an already
+// verified candidate share its verdict (symmetric failures verify once), and
+// k=2 pairs whose members were independently harmless with disjoint dirty
+// sets are skipped without being applied. Verification of the surviving
+// representatives is sharded across a worker pool with a deterministic
+// merge, so the ranked table is byte-identical at any worker count — and,
+// for k=1, byte-identical with pruning disabled.
+package sweep
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"time"
+
+	"mfv/internal/obs"
+)
+
+// Kind selects a failure element class.
+type Kind string
+
+const (
+	// KindLink cuts one link (both endpoints detached).
+	KindLink Kind = "link"
+	// KindNode fails one router's pod with no replacement until rollback.
+	KindNode Kind = "node"
+	// KindBGP holds down every BGP session on one router.
+	KindBGP Kind = "bgp"
+)
+
+// AllKinds is the default element-class set, in canonical order.
+func AllKinds() []Kind { return []Kind{KindLink, KindNode, KindBGP} }
+
+// ParseKinds parses a comma-separated kind list ("link,bgp").
+func ParseKinds(csv string) ([]Kind, error) {
+	var out []Kind
+	seen := map[Kind]bool{}
+	for _, f := range strings.Split(csv, ",") {
+		k := Kind(strings.TrimSpace(f))
+		switch k {
+		case KindLink, KindNode, KindBGP:
+			if !seen[k] {
+				seen[k] = true
+				out = append(out, k)
+			}
+		case "":
+		default:
+			return nil, fmt.Errorf("sweep: unknown failure kind %q (want link, node, bgp)", k)
+		}
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("sweep: no failure kinds selected")
+	}
+	return out, nil
+}
+
+// Element is one atomic failure: a link cut, a node failure, or a BGP hold.
+type Element struct {
+	Kind Kind   `json:"kind"`
+	Link string `json:"link,omitempty"` // "node:interface", for KindLink
+	Node string `json:"node,omitempty"` // router name, for KindNode / KindBGP
+}
+
+// Describe renders the element ("link r2:Ethernet2", "node r5", "bgp r2").
+func (el Element) Describe() string {
+	if el.Kind == KindLink {
+		return "link " + el.Link
+	}
+	return string(el.Kind) + " " + el.Node
+}
+
+// Candidate is one k-failure combination, elements in canonical order.
+type Candidate struct {
+	Elements []Element `json:"elements"`
+}
+
+// Describe renders the candidate ("link r2:Ethernet2 + node r5").
+func (c Candidate) Describe() string {
+	parts := make([]string, len(c.Elements))
+	for i, el := range c.Elements {
+		parts[i] = el.Describe()
+	}
+	return strings.Join(parts, " + ")
+}
+
+// Options configures a sweep.
+type Options struct {
+	// K is the failure depth: 1 (all singles) or 2 (singles + pairs).
+	K int
+	// Kinds restricts the element classes; nil means all three.
+	Kinds []Kind
+	// Workers sizes the verification worker pool (0 = GOMAXPROCS). The
+	// ranked table is byte-identical at any value.
+	Workers int
+	// Brute disables both prunes: every candidate is applied and verified.
+	// The k=1 ranked table must be byte-identical to the pruned run's.
+	Brute bool
+	// Hold is the quiet window that counts as settled (default 2m — must
+	// exceed the BGP HoldTime so silent cuts reach withdrawal).
+	Hold time.Duration
+	// Timeout bounds each candidate's settle wait (default 30m virtual).
+	Timeout time.Duration
+	// Ctx, when non-nil, interrupts the sweep between candidates: the
+	// report comes back partial with Interrupted set.
+	Ctx context.Context
+	// Obs receives progress events and metrics. Nil disables.
+	Obs *obs.Observer
+}
+
+// Row is one ranked sweep result.
+type Row struct {
+	Rank    int    `json:"rank"`
+	Failure string `json:"failure"`
+	K       int    `json:"k"`
+	// FlowsLost counts (source, equivalence-class) flows delivered in the
+	// healthy baseline but not under the failure — the violation signal.
+	FlowsLost int `json:"flows_lost"`
+	// FlowsChanged counts all flows whose outcome changed (rerouted
+	// deliveries included).
+	FlowsChanged int `json:"flows_changed"`
+	// DirtyRouters is the blast radius in FIB terms: routers whose
+	// forwarding state the failure touched.
+	DirtyRouters int `json:"dirty_routers"`
+	// ReconvergedIn is the virtual time from injection to quiescence.
+	ReconvergedIn time.Duration `json:"reconverged_in_ns"`
+	Stragglers    []string      `json:"stragglers,omitempty"`
+	Quarantined   []string      `json:"quarantined,omitempty"`
+	// Residue counts flows still diverging from the baseline after
+	// rollback — nonzero means the candidate did not fully heal.
+	Residue int `json:"restore_residue,omitempty"`
+	// Pruned records how the verdict was obtained without a dedicated
+	// verification: "fingerprint" (shares an equivalent candidate's
+	// verdict) or "independent" (k=2 pair skipped; both members were
+	// independently harmless with disjoint dirty sets). Empty for
+	// directly verified candidates.
+	Pruned string `json:"pruned,omitempty"`
+	// Diffs samples the per-flow outcome changes (capped).
+	Diffs []string `json:"diffs,omitempty"`
+}
+
+// maxRowDiffs caps the per-row diff sample so k=2 JSON reports stay bounded.
+const maxRowDiffs = 12
+
+// Report is the full sweep outcome, rows ranked worst-first.
+type Report struct {
+	K          int    `json:"k"`
+	Kinds      []Kind `json:"kinds"`
+	Routers    int    `json:"routers"`
+	Candidates int    `json:"candidates"`
+	// Applied counts candidates actually injected (independent-pruned
+	// pairs are skipped without touching the network).
+	Applied int `json:"applied"`
+	// Verified counts differential verifications run; fingerprint-pruned
+	// candidates share a representative's and add nothing here.
+	Verified          int `json:"verified"`
+	PrunedFingerprint int `json:"pruned_fingerprint"`
+	PrunedIndependent int `json:"pruned_independent"`
+	// Violations counts candidates that lost at least one flow.
+	Violations int `json:"violations"`
+	// Residue counts candidates that did not fully heal on rollback.
+	Residue     int           `json:"restore_residue,omitempty"`
+	StartedAt   time.Duration `json:"started_at_ns"`
+	FinishedAt  time.Duration `json:"finished_at_ns"`
+	Wall        time.Duration `json:"wall_ns"`
+	Interrupted bool          `json:"interrupted,omitempty"`
+	Rows        []Row         `json:"rows"`
+}
+
+// Table renders the ranked blast-radius table (top rows only when top > 0).
+// It contains results exclusively — no prune bookkeeping, no wall times — so
+// a pruned sweep and a brute-force sweep of the same k=1 space render
+// byte-identical tables, at any worker count. (At k=2 an independent-pruned
+// pair shows predicted zeros with "-" timing, since it was never applied.)
+func (r *Report) Table(top int) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%4s  %-40s %2s %6s %8s %6s %12s  %s\n",
+		"RANK", "FAILURE", "K", "LOST", "CHANGED", "DIRTY", "RECONVERGED", "STATUS")
+	for _, row := range r.Rows {
+		if top > 0 && row.Rank > top {
+			fmt.Fprintf(&b, "… %d more row(s)\n", len(r.Rows)-top)
+			break
+		}
+		status := "ok"
+		switch {
+		case row.FlowsLost > 0:
+			status = "VIOLATION"
+		case row.FlowsChanged > 0:
+			status = "rerouted"
+		}
+		if len(row.Stragglers) > 0 {
+			status += " (stragglers: " + strings.Join(row.Stragglers, ",") + ")"
+		}
+		if len(row.Quarantined) > 0 {
+			status += " (quarantined: " + strings.Join(row.Quarantined, ",") + ")"
+		}
+		if row.Residue > 0 {
+			status += fmt.Sprintf(" (restore residue: %d)", row.Residue)
+		}
+		reconv := "-"
+		if row.Pruned != "independent" {
+			reconv = row.ReconvergedIn.String()
+		}
+		fmt.Fprintf(&b, "%4d  %-40s %2d %6d %8d %6d %12s  %s\n",
+			row.Rank, row.Failure, row.K, row.FlowsLost, row.FlowsChanged,
+			row.DirtyRouters, reconv, status)
+	}
+	return b.String()
+}
+
+// String renders the summary header plus the full table.
+func (r *Report) String() string { return r.Render(0) }
+
+// Render is String with the table truncated to the worst top rows (0 = all).
+func (r *Report) Render(top int) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "failure sweep k=%d over %d router(s): %d candidate(s), %d applied, %d verified",
+		r.K, r.Routers, r.Candidates, r.Applied, r.Verified)
+	if r.PrunedFingerprint > 0 || r.PrunedIndependent > 0 {
+		fmt.Fprintf(&b, " (pruned: %d fingerprint, %d independent)",
+			r.PrunedFingerprint, r.PrunedIndependent)
+	}
+	fmt.Fprintf(&b, ", %d violation(s), %v virtual, %v wall\n",
+		r.Violations, r.FinishedAt-r.StartedAt, r.Wall.Round(time.Millisecond))
+	if r.Interrupted {
+		fmt.Fprintf(&b, "sweep interrupted by wall-clock budget; %d candidate(s) ranked\n", len(r.Rows))
+	}
+	b.WriteString(r.Table(top))
+	return b.String()
+}

@@ -224,9 +224,9 @@ func TestOutcomeDelivered(t *testing.T) {
 		{"Delivered@r1,Dropped@r2", true},
 		{"Loop@r1,NoRoute@r2", false},
 		{"", false},
-		{"Delivered", false},            // missing device part
-		{"Undelivered@r1", false},       // disposition containing the word
-		{"NoRoute@rDelivered", false},   // device name containing the word
+		{"Delivered", false},          // missing device part
+		{"Undelivered@r1", false},     // disposition containing the word
+		{"NoRoute@rDelivered", false}, // device name containing the word
 		{"ExitsNetwork@Delivered", false},
 	}
 	for _, tc := range tests {

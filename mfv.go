@@ -23,6 +23,8 @@
 package mfv
 
 import (
+	"fmt"
+
 	"mfv/internal/aft"
 	"mfv/internal/chaos"
 	"mfv/internal/core"
@@ -32,6 +34,7 @@ import (
 	"mfv/internal/obs"
 	"mfv/internal/obshttp"
 	"mfv/internal/routegen"
+	"mfv/internal/sweep"
 	"mfv/internal/testnet"
 	"mfv/internal/topology"
 	"mfv/internal/verify"
@@ -208,28 +211,30 @@ type (
 
 // Trace event types (TraceEvent.Type values).
 const (
-	EvPodReady      = obs.EvPodReady
-	EvStartupDone   = obs.EvStartupDone
-	EvLinkUp        = obs.EvLinkUp
-	EvLinkDown      = obs.EvLinkDown
-	EvBGPSession    = obs.EvBGPSession
-	EvISISAdjacency = obs.EvISISAdjacency
-	EvLSPFlood      = obs.EvLSPFlood
-	EvRouteChurn    = obs.EvRouteChurn
-	EvCrash         = obs.EvCrash
-	EvConverged     = obs.EvConverged
-	EvAFTExport     = obs.EvAFTExport
-	EvSpanStart     = obs.EvSpanStart
-	EvSpanEnd       = obs.EvSpanEnd
-	EvPodCrash      = obs.EvPodCrash
-	EvNodeDown      = obs.EvNodeDown
-	EvNodeUp        = obs.EvNodeUp
-	EvBGPReset      = obs.EvBGPReset
-	EvDegraded      = obs.EvDegraded
-	EvFaultInject   = obs.EvFaultInject
-	EvFaultClear    = obs.EvFaultClear
-	EvChaosVerdict  = obs.EvChaosVerdict
-	EvQuarantine    = obs.EvQuarantine
+	EvPodReady       = obs.EvPodReady
+	EvStartupDone    = obs.EvStartupDone
+	EvLinkUp         = obs.EvLinkUp
+	EvLinkDown       = obs.EvLinkDown
+	EvBGPSession     = obs.EvBGPSession
+	EvISISAdjacency  = obs.EvISISAdjacency
+	EvLSPFlood       = obs.EvLSPFlood
+	EvRouteChurn     = obs.EvRouteChurn
+	EvCrash          = obs.EvCrash
+	EvConverged      = obs.EvConverged
+	EvAFTExport      = obs.EvAFTExport
+	EvSpanStart      = obs.EvSpanStart
+	EvSpanEnd        = obs.EvSpanEnd
+	EvPodCrash       = obs.EvPodCrash
+	EvNodeDown       = obs.EvNodeDown
+	EvNodeUp         = obs.EvNodeUp
+	EvBGPReset       = obs.EvBGPReset
+	EvDegraded       = obs.EvDegraded
+	EvFaultInject    = obs.EvFaultInject
+	EvFaultClear     = obs.EvFaultClear
+	EvChaosVerdict   = obs.EvChaosVerdict
+	EvQuarantine     = obs.EvQuarantine
+	EvSweepCandidate = obs.EvSweepCandidate
+	EvSweepVerdict   = obs.EvSweepVerdict
 )
 
 // NewObserver returns an observer collecting the full trace, metrics, and
@@ -319,6 +324,45 @@ func LintAFTs(topo *Topology, afts map[string]*AFT) DiagnosticList {
 // on a completed run's emulator (Result.Emulator). Quarantined routers are
 // skipped: their empty table is the containment contract.
 func LintLive(em *kne.Emulator) DiagnosticList { return lint.ValidateLive(em) }
+
+// Failure sweep: exhaustive k-failure resilience exploration with pruned
+// enumeration and ranked blast radii (run after a pipeline run, against
+// Result.Emulator).
+type (
+	// SweepOptions configures a failure sweep: depth (k=1 or 2), element
+	// kinds, worker pool, and the Brute switch disabling the prunes.
+	SweepOptions = sweep.Options
+	// SweepReport is the full sweep outcome, rows ranked worst-first.
+	SweepReport = sweep.Report
+	// SweepRow is one ranked blast-radius result.
+	SweepRow = sweep.Row
+	// SweepKind selects a failure element class.
+	SweepKind = sweep.Kind
+	// SweepElement is one atomic failure in a candidate.
+	SweepElement = sweep.Element
+)
+
+// Sweep element kinds.
+const (
+	SweepLink = sweep.KindLink
+	SweepNode = sweep.KindNode
+	SweepBGP  = sweep.KindBGP
+)
+
+// RunSweep enumerates every k-failure combination of the given kinds on a
+// completed emulation run, applies each candidate, scores its blast radius
+// against the healthy baseline with the delta differential, and rolls it
+// back — returning the ranked report. Requires an emulation-backend result
+// (Result.Emulator non-nil).
+func RunSweep(res *Result, topo *Topology, opts SweepOptions) (*SweepReport, error) {
+	if res.Emulator == nil {
+		return nil, fmt.Errorf("mfv: RunSweep needs an emulation result (BackendEmulation)")
+	}
+	return sweep.Run(res.Emulator, topo, opts)
+}
+
+// ParseSweepKinds parses a comma-separated kind list ("link,node,bgp").
+func ParseSweepKinds(csv string) ([]SweepKind, error) { return sweep.ParseKinds(csv) }
 
 // ParseChaosScenario decodes and validates a scenario JSON file.
 func ParseChaosScenario(data []byte) (*ChaosScenario, error) { return chaos.Parse(data) }

@@ -105,13 +105,20 @@ func emit(rep *Report, path string) error {
 }
 
 // compare reports warnings and hard failures of current against baseline.
-func compare(baseline, current *Report, warnPct, failPct float64, critical *regexp.Regexp) (warnings, failures []string) {
+// A non-nil only restricts the comparison (including the missing-benchmark
+// scan) to matching names, so a CI job that runs a subset of the suite —
+// the scale tier runs alone under its own timeout — doesn't drown in
+// "missing from current run" noise about benchmarks it never executed.
+func compare(baseline, current *Report, warnPct, failPct float64, critical, only *regexp.Regexp) (warnings, failures []string) {
 	base := map[string]float64{}
 	for _, r := range baseline.Results {
 		base[r.Name] = r.NsOp
 	}
 	crossCPU := baseline.CPU != "" && current.CPU != "" && baseline.CPU != current.CPU
 	for _, r := range current.Results {
+		if only != nil && !only.MatchString(r.Name) {
+			continue
+		}
 		was, ok := base[r.Name]
 		if !ok || was <= 0 {
 			continue
@@ -133,6 +140,9 @@ func compare(baseline, current *Report, warnPct, failPct float64, critical *rege
 			baseline.CPU, current.CPU))
 	}
 	for _, r := range baseline.Results {
+		if only != nil && !only.MatchString(r.Name) {
+			continue
+		}
 		if _, ok := indexOf(current.Results, r.Name); !ok {
 			warnings = append(warnings, fmt.Sprintf("%s: present in baseline, missing from current run", r.Name))
 		}
@@ -159,6 +169,7 @@ func main() {
 		warnPct  = flag.Float64("warn", 10, "warn when any benchmark regresses more than this percent")
 		failPct  = flag.Float64("fail", 30, "fail when a critical benchmark regresses more than this percent")
 		critical = flag.String("critical", "E1", "regexp selecting benchmarks whose hard regression fails the gate")
+		onlyPat  = flag.String("only", "", "regexp restricting comparison to matching benchmarks (for subset CI jobs); empty compares everything")
 	)
 	flag.Parse()
 
@@ -199,7 +210,14 @@ func main() {
 			fmt.Fprintln(os.Stderr, "benchgate: bad -critical:", err)
 			os.Exit(2)
 		}
-		warnings, failures := compare(baseline, current, *warnPct, *failPct, crit)
+		var only *regexp.Regexp
+		if *onlyPat != "" {
+			if only, err = regexp.Compile(*onlyPat); err != nil {
+				fmt.Fprintln(os.Stderr, "benchgate: bad -only:", err)
+				os.Exit(2)
+			}
+		}
+		warnings, failures := compare(baseline, current, *warnPct, *failPct, crit, only)
 		for _, w := range warnings {
 			fmt.Printf("WARN  %s\n", w)
 		}

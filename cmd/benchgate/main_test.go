@@ -61,25 +61,57 @@ func TestCompareThresholds(t *testing.T) {
 		}}
 	}
 
-	if w, f := compare(base, cur(105, 105), 10, 30, crit); len(w) != 0 || len(f) != 0 {
+	if w, f := compare(base, cur(105, 105), 10, 30, crit, nil); len(w) != 0 || len(f) != 0 {
 		t.Errorf("within noise: warnings %v failures %v", w, f)
 	}
-	if w, f := compare(base, cur(115, 115), 10, 30, crit); len(w) != 2 || len(f) != 0 {
+	if w, f := compare(base, cur(115, 115), 10, 30, crit, nil); len(w) != 2 || len(f) != 0 {
 		t.Errorf("soft regressions: warnings %v failures %v", w, f)
 	}
 	// >30% on the critical benchmark fails; the same slip elsewhere warns.
-	if w, f := compare(base, cur(140, 140), 10, 30, crit); len(f) != 1 || len(w) != 1 {
+	if w, f := compare(base, cur(140, 140), 10, 30, crit, nil); len(f) != 1 || len(w) != 1 {
 		t.Errorf("hard regression: warnings %v failures %v", w, f)
 	}
 	// Cross-CPU baselines never hard-fail.
 	far := &Report{CPU: "y", Results: cur(300, 300).Results}
-	if _, f := compare(base, far, 10, 30, crit); len(f) != 0 {
+	if _, f := compare(base, far, 10, 30, crit, nil); len(f) != 0 {
 		t.Errorf("cross-cpu must not fail: %v", f)
 	}
 	// A benchmark that disappeared from the current run is flagged.
 	missing := &Report{CPU: "x", Results: []Result{{Name: "BenchmarkOther", NsOp: 100}}}
-	w, f := compare(base, missing, 10, 30, crit)
+	w, f := compare(base, missing, 10, 30, crit, nil)
 	if len(f) != 0 || len(w) != 1 || !strings.Contains(w[0], "missing") {
 		t.Errorf("missing benchmark: warnings %v failures %v", w, f)
+	}
+}
+
+func TestCompareOnlyFilter(t *testing.T) {
+	crit := regexp.MustCompile("Scale")
+	base := &Report{CPU: "x", Results: []Result{
+		{Name: "BenchmarkScaleBoot", NsOp: 100},
+		{Name: "BenchmarkE1_Differential", NsOp: 100},
+	}}
+	// A scale-only CI job: E1 is absent from current and regressed would-be
+	// numbers outside the filter must be invisible.
+	cur := &Report{CPU: "x", Results: []Result{
+		{Name: "BenchmarkScaleBoot", NsOp: 150},
+	}}
+	only := regexp.MustCompile("^BenchmarkScale")
+	w, f := compare(base, cur, 10, 30, crit, only)
+	if len(f) != 1 || !strings.Contains(f[0], "ScaleBoot") {
+		t.Errorf("scale regression not failed under -only: %v", f)
+	}
+	for _, msg := range w {
+		if strings.Contains(msg, "missing") {
+			t.Errorf("filtered-out benchmark flagged as missing: %v", w)
+		}
+	}
+	// Without the filter, the absent E1 is flagged.
+	w, _ = compare(base, cur, 10, 30, crit, nil)
+	found := false
+	for _, msg := range w {
+		found = found || strings.Contains(msg, "missing")
+	}
+	if !found {
+		t.Errorf("unfiltered compare lost the missing-benchmark warning: %v", w)
 	}
 }

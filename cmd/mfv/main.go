@@ -186,6 +186,9 @@ observability flags (run/diff/chaos): -trace FILE (JSONL event trace,
   at /), -hold-open DUR (keep -listen serving after the run completes)
 performance flags: -workers N (verification worker-pool size, default
   NumCPU; query results are byte-identical at any worker count);
+  -shard-regions (converge disconnected topology regions in parallel
+  emulators and stream their tables into one verification snapshot — the
+  10k-router scale path; incompatible with -chaos and -gnmi);
   run and diff also take -cpuprofile FILE / -memprofile FILE (pprof)
 exit codes: 0 ok, 1 operational error, 2 usage, 3 verification violation,
   4 degraded run (quarantined or never-settled routers), 5 wall-clock
@@ -213,6 +216,7 @@ type runFlags struct {
 	holdOpen time.Duration
 	chaos    string
 	degraded bool
+	sharded  bool
 	workers  int
 	budget   time.Duration
 	cpuprof  string
@@ -242,6 +246,7 @@ func newFlags(name string) *runFlags {
 	f.fs.DurationVar(&f.holdOpen, "hold-open", 0, "keep the -listen endpoint serving this long after the run completes")
 	f.fs.StringVar(&f.chaos, "chaos", "", "fault scenario: builtin name or JSON file (run)")
 	f.fs.BoolVar(&f.degraded, "degraded", false, "accept partial convergence on timeout, report stragglers")
+	f.fs.BoolVar(&f.sharded, "shard-regions", false, "converge disconnected topology regions in parallel emulators (10k-router scale; incompatible with -chaos and -gnmi)")
 	f.fs.IntVar(&f.workers, "workers", 0, "verification worker-pool size (0 = NumCPU; results identical at any setting)")
 	f.fs.DurationVar(&f.budget, "timeout", 0, "wall-clock budget; when it expires the run stops between steps, emits its partial report, and exits 5")
 	f.fs.StringVar(&f.cpuprof, "cpuprofile", "", "write a CPU profile to this file (go tool pprof format)")
@@ -437,7 +442,7 @@ func (f *runFlags) loadTopo(path string) (*mfv.Topology, error) {
 }
 
 func (f *runFlags) options() (mfv.Options, error) {
-	opts := mfv.Options{UseGNMI: f.gnmi, Obs: f.observer(), Degraded: f.degraded, Workers: f.workers, Ctx: f.ctx}
+	opts := mfv.Options{UseGNMI: f.gnmi, Obs: f.observer(), Degraded: f.degraded, ShardRegions: f.sharded, Workers: f.workers, Ctx: f.ctx}
 	if f.backend == "model" {
 		opts.Backend = mfv.BackendModel
 	}

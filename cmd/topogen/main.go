@@ -7,27 +7,31 @@
 //	topogen -shape wan -n 30 -multivendor -out wan30.json
 //	topogen -shape clos -spines 4 -leaves 8 -out clos.json
 //	topogen -shape ring -n 6 -out ring6.json
+//	topogen -shape regions -regions 500 -n 20 -out regions10k.json
 //
 // line/ring/clos shapes get IS-IS configurations generated for every
 // router; the wan shape additionally configures an iBGP mesh and an eBGP
-// injection edge (see internal/testnet).
+// injection edge (see internal/testnet). The regions shape produces -regions
+// disconnected rings of -n routers each — the region boundaries the sharded
+// pipeline (mfv run -shard-regions) converges in parallel. Addressing is
+// derived from global node/link indices, so loopbacks and transfer networks
+// stay unique across regions.
 package main
 
 import (
 	"flag"
 	"fmt"
-	"net/netip"
 	"os"
 
-	"mfv/internal/confgen"
 	"mfv/internal/testnet"
 	"mfv/internal/topology"
 )
 
 func main() {
 	var (
-		shape       = flag.String("shape", "line", "line | ring | clos | wan")
-		n           = flag.Int("n", 5, "router count (line/ring/wan)")
+		shape       = flag.String("shape", "line", "line | ring | clos | wan | regions")
+		n           = flag.Int("n", 5, "router count (line/ring/wan; per-region for regions)")
+		regions     = flag.Int("regions", 10, "region count (regions)")
 		spines      = flag.Int("spines", 2, "spine count (clos)")
 		leaves      = flag.Int("leaves", 4, "leaf count (clos)")
 		multivendor = flag.Bool("multivendor", false, "mix vendor dialects (wan)")
@@ -49,6 +53,9 @@ func main() {
 		fillISIS(topo, *mgmt)
 	case "wan":
 		topo = testnet.WAN(*n, *multivendor)
+	case "regions":
+		topo = topology.MultiRegion(*regions, *n, topology.VendorEOS)
+		fillISIS(topo, *mgmt)
 	default:
 		fmt.Fprintf(os.Stderr, "topogen: unknown shape %q\n", *shape)
 		os.Exit(2)
@@ -76,36 +83,7 @@ func main() {
 
 // fillISIS generates an IS-IS configuration for every router of a bare
 // topology: loopback 1.1.<i/250>.<i%250>/32 plus per-link /31 transfer
-// networks.
+// networks (global-index addressing; see testnet.ISISFabric).
 func fillISIS(topo *topology.Topology, mgmt int) {
-	addrs := map[topology.Endpoint]netip.Prefix{}
-	for idx, l := range topo.Links {
-		base := netip.AddrFrom4([4]byte{10, byte(idx >> 8), byte(idx & 0xff), 0})
-		addrs[l.A] = netip.PrefixFrom(base, 31)
-		addrs[l.Z] = netip.PrefixFrom(base.Next(), 31)
-	}
-	for i := range topo.Nodes {
-		node := &topo.Nodes[i]
-		num := i + 1
-		spec := confgen.Spec{
-			Hostname:   node.Name,
-			NET:        fmt.Sprintf("49.0001.0000.0000.%04d.00", num),
-			Management: mgmt,
-			Interfaces: []confgen.Iface{{
-				Name: "Loopback0",
-				Addr: netip.PrefixFrom(netip.AddrFrom4([4]byte{1, 1, byte(num / 250), byte(num % 250)}), 32),
-				ISIS: true,
-			}},
-		}
-		for _, l := range topo.NodeLinks(node.Name) {
-			ep := l.A
-			if ep.Node != node.Name {
-				ep = l.Z
-			}
-			spec.Interfaces = append(spec.Interfaces, confgen.Iface{
-				Name: ep.Interface, Addr: addrs[ep], ISIS: true,
-			})
-		}
-		node.Config = confgen.EOS(spec)
-	}
+	testnet.ISISFabric(topo, mgmt)
 }

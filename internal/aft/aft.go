@@ -13,6 +13,7 @@ import (
 	"sort"
 
 	"mfv/internal/diag"
+	"mfv/internal/intern"
 )
 
 // NextHop is one leaf next hop.
@@ -95,6 +96,10 @@ func (b *Builder) AddNextHop(nh NextHop) uint64 {
 	if idx, ok := b.nhIndex[key]; ok {
 		return idx
 	}
+	// The same adjacent-hop address and interface name recur across every
+	// router on a segment; share one canonical copy across all 10k AFTs.
+	nh.IPAddress = intern.String(nh.IPAddress)
+	nh.Interface = intern.String(nh.Interface)
 	nh.Index = uint64(len(b.aft.NextHops) + 1)
 	b.aft.NextHops = append(b.aft.NextHops, nh)
 	b.nhIndex[key] = nh.Index
@@ -118,9 +123,9 @@ func (b *Builder) AddGroup(nhIdx []uint64) uint64 {
 // AddIPv4 appends an IPv4 entry.
 func (b *Builder) AddIPv4(prefix netip.Prefix, nhg uint64, origin string, metric uint32) {
 	b.aft.IPv4Entries = append(b.aft.IPv4Entries, IPv4Entry{
-		Prefix:       prefix.String(),
+		Prefix:       intern.String(prefix.String()),
 		NextHopGroup: nhg,
-		Origin:       origin,
+		Origin:       intern.String(origin),
 		Metric:       metric,
 	})
 }
@@ -130,7 +135,10 @@ func (b *Builder) AddLabel(label uint32, nhg uint64, pop bool) {
 	b.aft.LabelEntries = append(b.aft.LabelEntries, LabelEntry{Label: label, NextHopGroup: nhg, Pop: pop})
 }
 
-// Build finalizes the AFT with entries in canonical order.
+// Build finalizes the AFT with entries in canonical order. Slices are
+// copied down to exact capacity: built AFTs are retained for the life of a
+// verification run (10k of them at the scale tier), and append's growth
+// slack would otherwise pin up to 2x the needed memory.
 func (b *Builder) Build() *AFT {
 	sort.Slice(b.aft.IPv4Entries, func(i, j int) bool {
 		return b.aft.IPv4Entries[i].Prefix < b.aft.IPv4Entries[j].Prefix
@@ -138,7 +146,21 @@ func (b *Builder) Build() *AFT {
 	sort.Slice(b.aft.LabelEntries, func(i, j int) bool {
 		return b.aft.LabelEntries[i].Label < b.aft.LabelEntries[j].Label
 	})
+	b.aft.IPv4Entries = trim(b.aft.IPv4Entries)
+	b.aft.LabelEntries = trim(b.aft.LabelEntries)
+	b.aft.NextHopGroups = trim(b.aft.NextHopGroups)
+	b.aft.NextHops = trim(b.aft.NextHops)
 	return b.aft
+}
+
+// trim returns s backed by an exact-capacity array, freeing append slack.
+func trim[T any](s []T) []T {
+	if cap(s) == len(s) {
+		return s
+	}
+	out := make([]T, len(s))
+	copy(out, s)
+	return out
 }
 
 // Marshal encodes the AFT as JSON (the gNMI payload format).
@@ -154,6 +176,17 @@ func Unmarshal(data []byte) (*AFT, error) {
 	}
 	if err := a.Validate(); err != nil {
 		return nil, err
+	}
+	// Re-canonicalize shared strings: every device's gNMI payload spells the
+	// same prefixes and adjacent addresses, and json.Unmarshal allocated a
+	// private copy of each.
+	for i := range a.IPv4Entries {
+		a.IPv4Entries[i].Prefix = intern.String(a.IPv4Entries[i].Prefix)
+		a.IPv4Entries[i].Origin = intern.String(a.IPv4Entries[i].Origin)
+	}
+	for i := range a.NextHops {
+		a.NextHops[i].IPAddress = intern.String(a.NextHops[i].IPAddress)
+		a.NextHops[i].Interface = intern.String(a.NextHops[i].Interface)
 	}
 	return &a, nil
 }

@@ -20,6 +20,9 @@ import (
 	"fmt"
 	"net"
 	"net/netip"
+	"runtime"
+	"sort"
+	"sync"
 	"time"
 
 	"mfv/internal/aft"
@@ -115,6 +118,15 @@ type Options struct {
 	// waits stop advancing virtual time once it expires, and a chaos
 	// scenario returns a partial, Interrupted report.
 	Ctx context.Context
+	// ShardRegions runs the emulation backend region-by-region: each
+	// connected component of the topology (topology.Regions) gets its own
+	// emulator with a deterministically derived seed, the regions converge
+	// in parallel, and each finished region's AFTs stream into the
+	// accumulating verification snapshot. Because no link crosses a region,
+	// the per-region fixed points are identical to the whole-network run's.
+	// Incompatible with Chaos and UseGNMI (both need one emulator spanning
+	// the network); Result.Emulator is nil on sharded runs.
+	ShardRegions bool
 }
 
 func (o *Options) fill() {
@@ -212,6 +224,9 @@ func runModel(snap Snapshot, opts Options) (*Result, error) {
 }
 
 func runEmulation(snap Snapshot, opts Options) (*Result, error) {
+	if opts.ShardRegions {
+		return runEmulationSharded(snap, opts)
+	}
 	spare := 0
 	if opts.Chaos != nil {
 		spare = opts.Chaos.SpareNodes
@@ -301,6 +316,212 @@ func runEmulation(snap Snapshot, opts Options) (*Result, error) {
 		Chaos:              chaosRep,
 		DegradedRouters:    stragglers,
 		QuarantinedRouters: em.QuarantinedRouters(),
+	}, nil
+}
+
+// runEmulationSharded is the 10k-router path: one emulator per topology
+// region (connected component), converged in parallel across a worker pool,
+// with each finished region's AFTs streamed into a growing verify.Network
+// via UpdateFrom. Exactness: no link crosses a region, so no adjacency, RIB
+// route, or forwarding walk in the whole-network run could cross one either
+// — every region computes the same fixed point it would inside the single
+// emulator, and the merge below reassembles the same Result surface.
+// Region emulators run without the observer (it binds a single virtual
+// clock; hundreds of concurrent region clocks would interleave nonsense);
+// the sharded run records aggregate phases on opts.Obs instead, and each
+// emulator is stopped and released as soon as its tables are folded, so
+// peak memory is one region's control plane plus the shared AFTs.
+func runEmulationSharded(snap Snapshot, opts Options) (*Result, error) {
+	if opts.Chaos != nil {
+		return nil, fmt.Errorf("core: sharded runs do not support chaos scenarios (faults need one emulator spanning the network)")
+	}
+	if opts.UseGNMI {
+		return nil, fmt.Errorf("core: sharded runs extract in-process; gNMI extraction needs one management plane")
+	}
+	regions := snap.Topology.Regions()
+	if len(regions) <= 1 {
+		o := opts
+		o.ShardRegions = false
+		return runEmulation(snap, o)
+	}
+	// Route injected feeds and what-if link failures to their owning region.
+	nodeRegion := make(map[string]int, len(snap.Topology.Nodes))
+	for i, names := range regions {
+		for _, name := range names {
+			nodeRegion[name] = i
+		}
+	}
+	feeds := make([][]InjectedFeed, len(regions))
+	for _, f := range snap.Feeds {
+		i, ok := nodeRegion[f.Router]
+		if !ok {
+			return nil, fmt.Errorf("core: feed router %q not in topology", f.Router)
+		}
+		feeds[i] = append(feeds[i], f)
+	}
+	downs := make([][]topology.Endpoint, len(regions))
+	for _, ep := range snap.DownLinks {
+		i, ok := nodeRegion[ep.Node]
+		if !ok {
+			return nil, fmt.Errorf("core: down-link endpoint node %q not in topology", ep.Node)
+		}
+		downs[i] = append(downs[i], ep)
+	}
+
+	type regionOut struct {
+		startup     time.Duration
+		converged   time.Duration
+		stragglers  []string
+		quarantined []string
+	}
+	network, err := verify.NewNetwork(snap.Topology, nil)
+	if err != nil {
+		return nil, err
+	}
+	var (
+		outs    = make([]regionOut, len(regions))
+		allAFTs = map[string]*aft.AFT{}
+		foldMu  sync.Mutex // guards allAFTs and network
+		errMu   sync.Mutex
+		runErr  error
+	)
+	fail := func(err error) {
+		errMu.Lock()
+		if runErr == nil {
+			runErr = err
+		}
+		errMu.Unlock()
+	}
+	failed := func() bool {
+		errMu.Lock()
+		defer errMu.Unlock()
+		return runErr != nil
+	}
+	runRegion := func(i int) error {
+		names := regions[i]
+		em, err := kne.New(kne.Config{
+			Topology: snap.Topology.Subtopology(names),
+			// Seeds are derived, not shared: every region must draw its own
+			// deterministic stream regardless of scheduling order.
+			Sim: sim.New(opts.Seed + int64(i)),
+			Ctx: opts.Ctx,
+		})
+		if err != nil {
+			return err
+		}
+		defer em.Stop()
+		for _, f := range feeds[i] {
+			inj, err := em.AddInjector(f.Router, f.PeerAddr, f.PeerAS)
+			if err != nil {
+				return err
+			}
+			for _, feed := range f.Feeds {
+				inj.Announce(feed.Prefixes, feed.Attrs)
+			}
+		}
+		if err := em.Start(); err != nil {
+			return err
+		}
+		for _, ep := range downs[i] {
+			if err := em.SetLinkDown(ep); err != nil {
+				return err
+			}
+		}
+		out := &outs[i]
+		if opts.Degraded {
+			conv, err := em.RunUntilConvergedDegraded(opts.ConvergenceHold, opts.Timeout)
+			if err != nil {
+				return err
+			}
+			out.converged = conv.ConvergedAt
+			out.stragglers = conv.Stragglers
+		} else {
+			out.converged, err = em.RunUntilConverged(opts.ConvergenceHold, opts.Timeout)
+			if err != nil {
+				return fmt.Errorf("core: region %s: %w", names[0], err)
+			}
+		}
+		out.startup = em.StartupDone()
+		out.quarantined = em.QuarantinedRouters()
+		regionAFTs := make(map[string]*aft.AFT, len(names))
+		em.StreamAFTs(func(name string, a *aft.AFT) { regionAFTs[name] = a })
+		// Fold this region into the accumulating snapshot. UpdateFrom reuses
+		// every already-built device, so the fold costs one region's AFT
+		// indexing plus a map copy, not a rebuild of the whole network.
+		foldMu.Lock()
+		defer foldMu.Unlock()
+		for name, a := range regionAFTs {
+			allAFTs[name] = a
+		}
+		next, err := network.UpdateFrom(allAFTs, names)
+		if err != nil {
+			return err
+		}
+		network = next
+		return nil
+	}
+
+	wallStart := time.Now()
+	idx := make(chan int, len(regions))
+	for i := range regions {
+		idx <- i
+	}
+	close(idx)
+	w := runtime.GOMAXPROCS(0)
+	if w > len(regions) {
+		w = len(regions)
+	}
+	var wg sync.WaitGroup
+	wg.Add(w)
+	for g := 0; g < w; g++ {
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				if failed() {
+					continue
+				}
+				if err := runRegion(i); err != nil {
+					fail(err)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if runErr != nil {
+		return nil, runErr
+	}
+
+	var startupAt, convergedAt time.Duration
+	var stragglers, quarantined []string
+	for _, o := range outs {
+		if o.startup > startupAt {
+			startupAt = o.startup
+		}
+		if o.converged > convergedAt {
+			convergedAt = o.converged
+		}
+		stragglers = append(stragglers, o.stragglers...)
+		quarantined = append(quarantined, o.quarantined...)
+	}
+	sort.Strings(stragglers)
+	sort.Strings(quarantined)
+	opts.Obs.RecordPhase("converge", 0, convergedAt, time.Since(wallStart))
+
+	sp := opts.Obs.StartPhase("verify")
+	network.SetObserver(opts.Obs)
+	network.SetWorkers(opts.Workers)
+	if opts.Obs != nil {
+		network.EquivalenceClasses()
+	}
+	sp.End()
+	return &Result{
+		Backend:            BackendEmulation,
+		AFTs:               allAFTs,
+		Network:            network,
+		StartupAt:          startupAt,
+		ConvergedAt:        convergedAt,
+		DegradedRouters:    stragglers,
+		QuarantinedRouters: quarantined,
 	}, nil
 }
 

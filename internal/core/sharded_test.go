@@ -1,0 +1,144 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"mfv/internal/chaos"
+	"mfv/internal/topology"
+)
+
+// multiRegionFabric is a 3x4 multi-region IS-IS fabric (the scale shape at
+// test size). Regenerated per call because isisFabric mutates node configs.
+func multiRegionFabric() *topology.Topology {
+	return isisFabric(topology.MultiRegion(3, 4, topology.VendorEOS))
+}
+
+// TestShardedMatchesUnsharded: the region-sharded pipeline must produce the
+// identical dataplane and verification outcomes as the single-emulator run.
+func TestShardedMatchesUnsharded(t *testing.T) {
+	whole := runEmu(t, Snapshot{Topology: multiRegionFabric()})
+	sharded, err := Run(Snapshot{Topology: multiRegionFabric()},
+		Options{Backend: BackendEmulation, ShardRegions: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sharded.Emulator != nil {
+		t.Error("sharded run must not retain an emulator")
+	}
+	if len(sharded.AFTs) != len(whole.AFTs) {
+		t.Fatalf("sharded extracted %d AFTs, whole run %d", len(sharded.AFTs), len(whole.AFTs))
+	}
+	for name, a := range whole.AFTs {
+		b, ok := sharded.AFTs[name]
+		if !ok {
+			t.Fatalf("sharded run missing AFT for %s", name)
+		}
+		if a.Fingerprint() != b.Fingerprint() {
+			t.Errorf("AFT fingerprint mismatch for %s", name)
+		}
+	}
+	if diffs := Differential(whole, sharded); len(diffs) != 0 {
+		t.Errorf("sharded outcomes diverge on %d flows: %v", len(diffs), diffs)
+	}
+	// RouteCount must work off AFT origins when Emulator is nil.
+	counts := sharded.RouteCount()
+	if counts["isis"] == 0 || counts["connected"] == 0 {
+		t.Errorf("route counts = %v", counts)
+	}
+}
+
+// TestShardedRegionIsolation: reachability holds within a region and never
+// across regions (no link crosses the cut).
+func TestShardedRegionIsolation(t *testing.T) {
+	topo := multiRegionFabric()
+	res, err := Run(Snapshot{Topology: topo}, Options{Backend: BackendEmulation, ShardRegions: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	regions := topo.Regions()
+	loopback := map[string]int{} // node name -> index into topo.Nodes
+	for i, n := range topo.Nodes {
+		loopback[n.Name] = i
+	}
+	for ri, region := range regions {
+		for _, src := range region {
+			for rj, other := range regions {
+				for _, dstName := range other {
+					dst := loopbackOf(loopback[dstName])
+					got := res.Network.Reachable(src, dst)
+					if want := ri == rj; got != want {
+						t.Errorf("Reachable(%s, %v [%s]) = %v, want %v", src, dst, dstName, got, want)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestShardedDownLinksRouteToRegion: a what-if link failure inside one
+// region must converge around it without touching the others.
+func TestShardedDownLinksRouteToRegion(t *testing.T) {
+	res, err := Run(Snapshot{
+		Topology:  multiRegionFabric(),
+		DownLinks: []topology.Endpoint{{Node: "g2n1", Interface: "Ethernet1"}},
+	}, Options{Backend: BackendEmulation, ShardRegions: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A 4-ring absorbs a single cut: everything stays reachable.
+	whole := runEmu(t, Snapshot{Topology: multiRegionFabric()})
+	if diffs := Differential(whole, res); len(diffs) != 0 {
+		t.Errorf("single in-region cut changed outcomes: %v", diffs)
+	}
+}
+
+// TestShardedRejectsIncompatibleModes: chaos and gNMI need one emulator
+// spanning the network.
+func TestShardedRejectsIncompatibleModes(t *testing.T) {
+	snap := Snapshot{Topology: multiRegionFabric()}
+	if _, err := Run(snap, Options{Backend: BackendEmulation, ShardRegions: true,
+		Chaos: &chaos.Scenario{}}); err == nil || !strings.Contains(err.Error(), "chaos") {
+		t.Errorf("chaos + sharding not rejected: %v", err)
+	}
+	if _, err := Run(snap, Options{Backend: BackendEmulation, ShardRegions: true,
+		UseGNMI: true}); err == nil || !strings.Contains(err.Error(), "gNMI") {
+		t.Errorf("gNMI + sharding not rejected: %v", err)
+	}
+}
+
+// TestShardedSingleRegionFallsBack: a connected topology with ShardRegions
+// set runs the ordinary single-emulator path.
+func TestShardedSingleRegionFallsBack(t *testing.T) {
+	topo := isisFabric(topology.Ring(4, topology.VendorEOS))
+	res, err := Run(Snapshot{Topology: topo}, Options{Backend: BackendEmulation, ShardRegions: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Emulator == nil {
+		t.Error("single-region fallback should retain the emulator")
+	}
+	requireLoopbackMesh(t, res, topo)
+}
+
+// TestShardedDeterministic: same snapshot, same fingerprints — scheduling
+// order of the region workers must not leak into the dataplane.
+func TestShardedDeterministic(t *testing.T) {
+	fingerprint := func() string {
+		res, err := Run(Snapshot{Topology: multiRegionFabric()},
+			Options{Backend: BackendEmulation, ShardRegions: true, Workers: 4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var b strings.Builder
+		for _, name := range res.Network.Devices() {
+			fmt.Fprintf(&b, "%s=%s;", name, res.AFTs[name].Fingerprint())
+		}
+		fmt.Fprintf(&b, "conv=%v;up=%v", res.ConvergedAt, res.StartupAt)
+		return b.String()
+	}
+	if fingerprint() != fingerprint() {
+		t.Error("identical sharded snapshots produced different dataplanes or timing")
+	}
+}

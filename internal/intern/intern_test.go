@@ -1,0 +1,60 @@
+package intern
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"unsafe"
+)
+
+// dataPtr exposes the backing-array pointer of a string so tests can assert
+// two interned values actually share storage.
+func dataPtr(s string) uintptr {
+	return uintptr(unsafe.Pointer(unsafe.StringData(s)))
+}
+
+func TestStringCanonicalizes(t *testing.T) {
+	a := String(fmt.Sprintf("10.%d.0.0/16", 42))
+	b := String(fmt.Sprintf("10.%d.0.0/16", 42))
+	if a != b {
+		t.Fatalf("interned values differ: %q vs %q", a, b)
+	}
+	if dataPtr(a) != dataPtr(b) {
+		t.Fatal("interned copies do not share backing storage")
+	}
+	if String("") != "" {
+		t.Fatal("empty string must intern to itself")
+	}
+}
+
+func TestBytesMatchesString(t *testing.T) {
+	s := String("192.0.2.0/24")
+	if got := Bytes([]byte("192.0.2.0/24")); dataPtr(got) != dataPtr(s) {
+		t.Fatal("Bytes and String returned different canonical copies")
+	}
+}
+
+func TestConcurrentIntern(t *testing.T) {
+	const workers, vals = 16, 200
+	var wg sync.WaitGroup
+	got := make([][]string, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			out := make([]string, vals)
+			for i := 0; i < vals; i++ {
+				out[i] = String(fmt.Sprintf("concurrent-%d", i))
+			}
+			got[w] = out
+		}(w)
+	}
+	wg.Wait()
+	for w := 1; w < workers; w++ {
+		for i := 0; i < vals; i++ {
+			if dataPtr(got[w][i]) != dataPtr(got[0][i]) {
+				t.Fatalf("worker %d value %d not canonical", w, i)
+			}
+		}
+	}
+}

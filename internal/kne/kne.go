@@ -833,9 +833,21 @@ func (e *Emulator) recordSimMetrics() {
 		}
 	}
 	m.Gauge("pods_running").Set(running)
+	// Per-router gauges are informative at demo scale and poisonous at 10k:
+	// every label value is a distinct metric series, so a scale run would
+	// mint tens of thousands of them on each convergence poll. Above the cap
+	// only the aggregate series is published.
+	const perRouterGaugeCap = 256
+	perRouter := len(e.routers) <= perRouterGaugeCap
+	var total int64
 	for _, r := range e.Routers() {
-		m.Gauge("rib_routes", "router", r.Name).Set(int64(r.RIB().Len()))
+		n := int64(r.RIB().Len())
+		total += n
+		if perRouter {
+			m.Gauge("rib_routes", "router", r.Name).Set(n)
+		}
 	}
+	m.Gauge("rib_routes_total").Set(total)
 }
 
 // TimelineEntry describes one router's convergence state: when its RIB last
@@ -913,6 +925,18 @@ func (e *Emulator) FIBGenerations() map[string]GenStamp {
 // events are emitted afterward in sorted router order, so the event stream
 // is identical to the sequential export's.
 func (e *Emulator) AFTs() map[string]*aft.AFT {
+	out := make(map[string]*aft.AFT, len(e.routers))
+	e.StreamAFTs(func(name string, a *aft.AFT) { out[name] = a })
+	return out
+}
+
+// StreamAFTs renders every router's AFT exactly like AFTs but delivers each
+// table through fn, in sorted router order, instead of accumulating a map.
+// The region-sharded pipeline (internal/core) uses it to fold tables into
+// the growing verification snapshot without materializing a second copy of
+// the full device set. fn must not retain the emulator; the table itself is
+// the router's cached export and remains valid after Stop.
+func (e *Emulator) StreamAFTs(fn func(name string, a *aft.AFT)) {
 	routers := e.Routers()
 	var dirty []*vrouter.Router
 	for _, r := range routers {
@@ -944,15 +968,13 @@ func (e *Emulator) AFTs() map[string]*aft.AFT {
 		}
 		wg.Wait()
 	}
-	out := make(map[string]*aft.AFT, len(routers))
 	for _, r := range routers {
 		a := r.ExportAFT()
-		out[r.Name] = a
+		fn(r.Name, a)
 		if e.obs.Enabled() {
 			e.obs.Emit(obs.Event{Type: obs.EvAFTExport, Device: r.Name, Value: int64(len(a.IPv4Entries))})
 		}
 	}
-	return out
 }
 
 // Stop halts all protocol timers and the session prober.

@@ -1,6 +1,7 @@
 package routegen
 
 import (
+	"net/netip"
 	"testing"
 )
 
@@ -89,5 +90,77 @@ func TestFullTableSmall(t *testing.T) {
 	}
 	if New(5).FullTable(1, 0) != nil {
 		t.Error("zero-size table not nil")
+	}
+}
+
+// The 100k+ tests below exercise full-table scale (a realistic public table
+// is ~1M prefixes; 150k catches the failure modes — dedup-map collisions and
+// distribution drift — at a tractable runtime). They run in the nightly full
+// sweep and skip under -short.
+
+func TestFullTableScaleDedupAndDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("100k+ table: run without -short")
+	}
+	const n = 150000
+	a := New(42).FullTable(64512, n)
+	b := New(42).FullTable(64512, n)
+	if Total(a) != n || Total(b) != n {
+		t.Fatalf("Total = %d / %d, want %d", Total(a), Total(b), n)
+	}
+	if len(a) != 32 {
+		t.Fatalf("groups = %d, want 32", len(a))
+	}
+	seen := make(map[netip.Prefix]bool, n)
+	for i, f := range a {
+		for j, p := range f.Prefixes {
+			if seen[p] {
+				t.Fatalf("duplicate prefix %v across the full table", p)
+			}
+			seen[p] = true
+			if p != b[i].Prefixes[j] {
+				t.Fatalf("same seed diverged: group %d entry %d: %v vs %v", i, j, p, b[i].Prefixes[j])
+			}
+		}
+		if f.Attrs.Origin != b[i].Attrs.Origin || len(f.Attrs.ASPath) != len(b[i].Attrs.ASPath) {
+			t.Fatalf("same seed diverged on group %d attributes", i)
+		}
+	}
+}
+
+func TestPrefixDistributionStableAtScale(t *testing.T) {
+	if testing.Short() {
+		t.Skip("100k+ table: run without -short")
+	}
+	// The length distribution must hold its shape at 100k draws for any
+	// seed: the scale tier's feed realism rests on it, and a skew (e.g. a
+	// dedup retry loop eating the short-prefix tail) would silently change
+	// what the convergence experiment measures.
+	for _, seed := range []int64{1, 99, 12345} {
+		counts := map[int]int{}
+		for _, p := range New(seed).Prefixes(100000) {
+			counts[p.Bits()]++
+		}
+		total := 0
+		for bits, c := range counts {
+			if bits < 12 || bits > 24 {
+				t.Fatalf("seed %d: unexpected length /%d", seed, bits)
+			}
+			total += c
+		}
+		if total != 100000 {
+			t.Fatalf("seed %d: %d prefixes", seed, total)
+		}
+		// Expected shares from lengthDist, with generous tolerance: /24 at
+		// 55% +-3, /23 at 15% +-2, /12 at 1% +-0.5.
+		if c := counts[24]; c < 52000 || c > 58000 {
+			t.Errorf("seed %d: /24 share = %d, want ~55000", seed, c)
+		}
+		if c := counts[23]; c < 13000 || c > 17000 {
+			t.Errorf("seed %d: /23 share = %d, want ~15000", seed, c)
+		}
+		if c := counts[12]; c < 500 || c > 1500 {
+			t.Errorf("seed %d: /12 share = %d, want ~1000", seed, c)
+		}
 	}
 }

@@ -1,0 +1,373 @@
+package routing
+
+import (
+	"fmt"
+	"math/rand"
+	"net/netip"
+	"runtime"
+	"testing"
+
+	"mfv/internal/aft"
+)
+
+// refTrie is the pre-compaction binary trie — one node per bit — kept as the
+// executable reference model for the path-compressed Trie. Every quickcheck
+// below drives both structures with the same operations and demands identical
+// observable behavior.
+type refTrie[V any] struct {
+	root *refNode[V]
+	size int
+}
+
+type refNode[V any] struct {
+	child [2]*refNode[V]
+	val   V
+	set   bool
+}
+
+func newRefTrie[V any]() *refTrie[V] { return &refTrie[V]{root: &refNode[V]{}} }
+
+func refBitAt(a netip.Addr, i int) int {
+	b := a.As4()
+	return int(b[i/8]>>(7-i%8)) & 1
+}
+
+func (t *refTrie[V]) Len() int { return t.size }
+
+func (t *refTrie[V]) Insert(p netip.Prefix, val V) bool {
+	p, ok := checkPrefix(p)
+	if !ok {
+		return false
+	}
+	n := t.root
+	for i := 0; i < p.Bits(); i++ {
+		b := refBitAt(p.Addr(), i)
+		if n.child[b] == nil {
+			n.child[b] = &refNode[V]{}
+		}
+		n = n.child[b]
+	}
+	added := !n.set
+	n.val, n.set = val, true
+	if added {
+		t.size++
+	}
+	return added
+}
+
+func (t *refTrie[V]) Get(p netip.Prefix) (V, bool) {
+	p, ok := checkPrefix(p)
+	if !ok {
+		var zero V
+		return zero, false
+	}
+	n := t.root
+	for i := 0; i < p.Bits(); i++ {
+		n = n.child[refBitAt(p.Addr(), i)]
+		if n == nil {
+			var zero V
+			return zero, false
+		}
+	}
+	return n.val, n.set
+}
+
+func (t *refTrie[V]) Delete(p netip.Prefix) bool {
+	p, ok := checkPrefix(p)
+	if !ok {
+		return false
+	}
+	path := make([]*refNode[V], 0, p.Bits()+1)
+	n := t.root
+	path = append(path, n)
+	for i := 0; i < p.Bits(); i++ {
+		n = n.child[refBitAt(p.Addr(), i)]
+		if n == nil {
+			return false
+		}
+		path = append(path, n)
+	}
+	if !n.set {
+		return false
+	}
+	var zero V
+	n.val, n.set = zero, false
+	t.size--
+	for i := len(path) - 1; i > 0; i-- {
+		node := path[i]
+		if node.set || node.child[0] != nil || node.child[1] != nil {
+			break
+		}
+		parent := path[i-1]
+		b := refBitAt(p.Addr(), i-1)
+		if parent.child[b] == node {
+			parent.child[b] = nil
+		}
+	}
+	return true
+}
+
+func (t *refTrie[V]) Lookup(addr netip.Addr) (netip.Prefix, V, bool) {
+	if !addr.Is4() {
+		var zero V
+		return netip.Prefix{}, zero, false
+	}
+	n := t.root
+	var (
+		best     V
+		bestLen  = -1
+		hasMatch bool
+	)
+	for i := 0; ; i++ {
+		if n.set {
+			best, bestLen, hasMatch = n.val, i, true
+		}
+		if i == 32 {
+			break
+		}
+		n = n.child[refBitAt(addr, i)]
+		if n == nil {
+			break
+		}
+	}
+	if !hasMatch {
+		var zero V
+		return netip.Prefix{}, zero, false
+	}
+	return netip.PrefixFrom(addr, bestLen).Masked(), best, true
+}
+
+func (t *refTrie[V]) Walk(fn func(p netip.Prefix, val V) bool) {
+	var rec func(n *refNode[V], addr [4]byte, depth int) bool
+	rec = func(n *refNode[V], addr [4]byte, depth int) bool {
+		if n == nil {
+			return true
+		}
+		if n.set {
+			p := netip.PrefixFrom(netip.AddrFrom4(addr), depth)
+			if !fn(p, n.val) {
+				return false
+			}
+		}
+		if depth == 32 {
+			return true
+		}
+		if !rec(n.child[0], addr, depth+1) {
+			return false
+		}
+		addr[depth/8] |= 1 << (7 - depth%8)
+		return rec(n.child[1], addr, depth+1)
+	}
+	rec(t.root, [4]byte{}, 0)
+}
+
+func (t *refTrie[V]) Prefixes() []netip.Prefix {
+	out := make([]netip.Prefix, 0, t.size)
+	t.Walk(func(p netip.Prefix, _ V) bool {
+		out = append(out, p)
+		return true
+	})
+	return out
+}
+
+// clusteredPrefix draws a masked IPv4 prefix with length biased toward the
+// realistic /8../32 band and enough collisions to exercise replace/delete.
+func clusteredPrefix(rng *rand.Rand) netip.Prefix {
+	bits := rng.Intn(33)
+	var b [4]byte
+	// A narrow byte pool forces shared stems, splits, and exact collisions.
+	for i := range b {
+		b[i] = byte(rng.Intn(4) * 64)
+	}
+	return netip.PrefixFrom(netip.AddrFrom4(b), bits).Masked()
+}
+
+func clusteredAddr(rng *rand.Rand) netip.Addr {
+	var b [4]byte
+	for i := range b {
+		b[i] = byte(rng.Intn(4) * 64)
+	}
+	return netip.AddrFrom4(b)
+}
+
+// TestQuickCompactVsReference drives the compact trie and the binary
+// reference with identical random operation streams and checks every return
+// value, Len, Lookup results, and the full Walk order against each other.
+func TestQuickCompactVsReference(t *testing.T) {
+	for seed := int64(0); seed < 50; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		compact := NewTrie[int]()
+		ref := newRefTrie[int]()
+		for op := 0; op < 400; op++ {
+			switch rng.Intn(4) {
+			case 0, 1: // insert twice as often as the rest
+				p, v := clusteredPrefix(rng), rng.Intn(1000)
+				if got, want := compact.Insert(p, v), ref.Insert(p, v); got != want {
+					t.Fatalf("seed %d op %d: Insert(%v) = %v, reference %v", seed, op, p, got, want)
+				}
+			case 2:
+				p := clusteredPrefix(rng)
+				if got, want := compact.Delete(p), ref.Delete(p); got != want {
+					t.Fatalf("seed %d op %d: Delete(%v) = %v, reference %v", seed, op, p, got, want)
+				}
+			case 3:
+				p := clusteredPrefix(rng)
+				gv, gok := compact.Get(p)
+				wv, wok := ref.Get(p)
+				if gok != wok || gv != wv {
+					t.Fatalf("seed %d op %d: Get(%v) = %v,%v, reference %v,%v", seed, op, p, gv, gok, wv, wok)
+				}
+			}
+			if compact.Len() != ref.Len() {
+				t.Fatalf("seed %d op %d: Len = %d, reference %d", seed, op, compact.Len(), ref.Len())
+			}
+		}
+		// Longest-prefix match over a spread of addresses.
+		for i := 0; i < 200; i++ {
+			a := clusteredAddr(rng)
+			gp, gv, gok := compact.Lookup(a)
+			wp, wv, wok := ref.Lookup(a)
+			if gok != wok || gp != wp || gv != wv {
+				t.Fatalf("seed %d: Lookup(%v) = %v,%v,%v, reference %v,%v,%v", seed, a, gp, gv, gok, wp, wv, wok)
+			}
+		}
+		// Walk order must be byte-for-byte the reference's lexicographic
+		// bit order — downstream AFT rendering depends on it.
+		got, want := compact.Prefixes(), ref.Prefixes()
+		if len(got) != len(want) {
+			t.Fatalf("seed %d: Prefixes len = %d, reference %d", seed, len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("seed %d: Prefixes[%d] = %v, reference %v", seed, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// buildAFT renders a route table into an AFT the same way the dataplane
+// export does: walk order decides entry order, so a walk-order divergence
+// between tries shows up as a fingerprint difference.
+func buildAFT[T interface {
+	Walk(fn func(p netip.Prefix, val int) bool)
+}](device string, tr T) *aft.AFT {
+	b := aft.NewBuilder(device)
+	tr.Walk(func(p netip.Prefix, val int) bool {
+		nh := b.AddNextHop(aft.NextHop{
+			IPAddress: fmt.Sprintf("10.0.%d.%d", val/250, val%250+1),
+			Interface: fmt.Sprintf("eth%d", val%4),
+		})
+		b.AddIPv4(p, b.AddGroup([]uint64{nh}), "isis", uint32(val))
+		return true
+	})
+	return b.Build()
+}
+
+// TestQuickCompactAFTFingerprint checks the satellite acceptance bar
+// directly: AFTs rendered from the compact trie are byte-identical (same
+// Fingerprint) to AFTs rendered from the uncompacted reference across random
+// route tables, including tables that then suffer random deletions.
+func TestQuickCompactAFTFingerprint(t *testing.T) {
+	for seed := int64(0); seed < 30; seed++ {
+		rng := rand.New(rand.NewSource(1000 + seed))
+		compact := NewTrie[int]()
+		ref := newRefTrie[int]()
+		for i := 0; i < 300; i++ {
+			p, v := clusteredPrefix(rng), rng.Intn(1000)
+			compact.Insert(p, v)
+			ref.Insert(p, v)
+		}
+		for i := 0; i < 100; i++ {
+			p := clusteredPrefix(rng)
+			compact.Delete(p)
+			ref.Delete(p)
+		}
+		got := buildAFT("compact", compact).Fingerprint()
+		want := buildAFT("compact", ref).Fingerprint()
+		if got != want {
+			t.Fatalf("seed %d: AFT fingerprint %s from compact trie, %s from reference", seed, got, want)
+		}
+	}
+}
+
+// TestCompactNodeBound checks the structural payoff: n stored prefixes cost
+// at most 2n-1 nodes (plus the root), where the reference spends up to 32
+// interior nodes per prefix.
+func TestCompactNodeBound(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	tr := NewTrie[int]()
+	for i := 0; i < 5000; i++ {
+		var b [4]byte
+		rng.Read(b[:])
+		tr.Insert(netip.PrefixFrom(netip.AddrFrom4(b), 8+rng.Intn(25)).Masked(), i)
+	}
+	n := tr.Len()
+	count := 0
+	var rec func(*trieNode[int])
+	rec = func(nd *trieNode[int]) {
+		if nd == nil {
+			return
+		}
+		count++
+		rec(nd.child[0])
+		rec(nd.child[1])
+	}
+	rec(tr.root)
+	if count > 2*n {
+		t.Fatalf("compact trie uses %d nodes for %d prefixes; want <= %d", count, n, 2*n)
+	}
+}
+
+// trieMemBytes measures live heap bytes attributable to building count
+// route-table tries of size routes via build.
+func trieMemBytes(b *testing.B, routes int, build func(ps []netip.Prefix) any) {
+	rng := rand.New(rand.NewSource(99))
+	ps := make([]netip.Prefix, 0, routes)
+	for i := 0; i < routes; i++ {
+		var raw [4]byte
+		rng.Read(raw[:])
+		ps = append(ps, netip.PrefixFrom(netip.AddrFrom4(raw), 8+rng.Intn(25)).Masked())
+	}
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	keep := make([]any, 0, b.N)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		keep = append(keep, build(ps))
+	}
+	b.StopTimer()
+	runtime.GC()
+	runtime.ReadMemStats(&after)
+	live := float64(after.HeapAlloc) - float64(before.HeapAlloc)
+	if live < 0 {
+		live = 0
+	}
+	b.ReportMetric(live/float64(b.N)/float64(routes), "bytes/route")
+	runtime.KeepAlive(keep)
+}
+
+// BenchmarkTrieMemory compares resident bytes per route between the compact
+// trie and the uncompacted binary reference — the E13 memory-compaction
+// evidence.
+func BenchmarkTrieMemory(b *testing.B) {
+	const routes = 20000
+	b.Run("compact", func(b *testing.B) {
+		trieMemBytes(b, routes, func(ps []netip.Prefix) any {
+			tr := NewTrie[int]()
+			for i, p := range ps {
+				tr.Insert(p, i)
+			}
+			return tr
+		})
+	})
+	b.Run("reference", func(b *testing.B) {
+		trieMemBytes(b, routes, func(ps []netip.Prefix) any {
+			tr := newRefTrie[int]()
+			for i, p := range ps {
+				tr.Insert(p, i)
+			}
+			return tr
+		})
+	})
+}

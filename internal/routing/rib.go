@@ -24,11 +24,19 @@ type RIB struct {
 	// onChange, when set, is invoked after each elected-route change with
 	// the prefix affected and the new best route (nil when withdrawn).
 	onChange func(p netip.Prefix, best *Route)
+	// free pools ribEntry objects across churn: a full-table flap at 10k
+	// routers otherwise allocates a fresh entry (plus candidate slice) per
+	// prefix per cycle. Entries land here when their last candidate is
+	// withdrawn and are revived by the next Install.
+	free []*ribEntry
 }
 
 type ribEntry struct {
 	candidates []Route // at most one per Protocol, unsorted
 	best       *Route  // elected route, nil if none
+	// spare keeps the previous best's allocation while the election is
+	// empty so a route flap reuses it instead of allocating.
+	spare *Route
 }
 
 // NewRIB returns an empty RIB.
@@ -57,7 +65,12 @@ func (r *RIB) Install(route Route) bool {
 	route.SortNextHops()
 	e, ok := r.trie.Get(route.Prefix)
 	if !ok {
-		e = &ribEntry{}
+		if n := len(r.free); n > 0 {
+			e = r.free[n-1]
+			r.free = r.free[:n-1]
+		} else {
+			e = &ribEntry{}
+		}
 		r.trie.Insert(route.Prefix, e)
 	}
 	replaced := false
@@ -99,6 +112,8 @@ func (r *RIB) Withdraw(prefix netip.Prefix, proto Protocol) bool {
 	changed := r.reelect(prefix, e)
 	if len(e.candidates) == 0 {
 		r.trie.Delete(prefix)
+		e.candidates = e.candidates[:0]
+		r.free = append(r.free, e)
 	}
 	return changed
 }
@@ -141,10 +156,18 @@ func (r *RIB) reelect(prefix netip.Prefix, e *ribEntry) bool {
 		return false
 	}
 	if best == nil {
-		e.best = nil
+		e.spare, e.best = e.best, nil
 	} else {
-		cp := *best
-		e.best = &cp
+		if e.best == nil {
+			if e.spare != nil {
+				e.best, e.spare = e.spare, nil
+			} else {
+				e.best = new(Route)
+			}
+		}
+		// Callers only ever see value copies of the elected route (Get,
+		// Routes, Lookup dereference), so reusing the storage is invisible.
+		*e.best = *best
 	}
 	r.version++
 	if r.onChange != nil {

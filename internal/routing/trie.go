@@ -1,23 +1,33 @@
 // Package routing provides the route data structures shared by every control
-// plane in the repository: a binary prefix trie for longest-prefix match, a
-// RIB with administrative-distance arbitration, and the route types that
-// protocols install.
+// plane in the repository: a path-compressed prefix trie for longest-prefix
+// match, a RIB with administrative-distance arbitration, and the route types
+// that protocols install.
 package routing
 
 import (
+	"encoding/binary"
+	"math/bits"
 	"net/netip"
 )
 
-// Trie is a binary (one bit per level) prefix trie over IPv4 prefixes mapping
-// each prefix to an arbitrary value. The zero value is not usable; call
-// NewTrie.
+// Trie is a path-compressed (Patricia) prefix trie over IPv4 prefixes mapping
+// each prefix to an arbitrary value. Interior nodes exist only at branch
+// points and at stored prefixes, so a table of n prefixes costs at most 2n-1
+// nodes — against one node per bit (up to 32 per prefix) for the naive binary
+// trie, the compaction that makes 10k-router emulation fit in memory. The
+// zero value is not usable; call NewTrie.
 type Trie[V any] struct {
 	root *trieNode[V]
 	size int
 }
 
+// trieNode holds the full prefix it represents: key is the prefix's address
+// bits left-aligned in a uint32, bits its length. Children extend the parent's
+// prefix; child[b] roots the subtree whose bit at position n.bits is b.
 type trieNode[V any] struct {
 	child [2]*trieNode[V]
+	key   uint32
+	bits  uint8
 	val   V
 	set   bool
 }
@@ -30,9 +40,20 @@ func NewTrie[V any]() *Trie[V] {
 // Len returns the number of prefixes stored.
 func (t *Trie[V]) Len() int { return t.size }
 
-func bitAt(a netip.Addr, i int) int {
+func addrKey(a netip.Addr) uint32 {
 	b := a.As4()
-	return int(b[i/8]>>(7-i%8)) & 1
+	return binary.BigEndian.Uint32(b[:])
+}
+
+// keyBit returns bit i (0 = most significant) of key.
+func keyBit(key uint32, i uint8) int {
+	return int(key>>(31-i)) & 1
+}
+
+// maskKey keeps the first n bits of key. Go defines shifts >= 32 to yield 0,
+// so n==0 masks to 0 and n==32 is the identity.
+func maskKey(key uint32, n uint8) uint32 {
+	return key & (^uint32(0) << (32 - uint32(n)))
 }
 
 // checkPrefix canonicalizes p and reports whether it is a usable IPv4
@@ -56,20 +77,73 @@ func (t *Trie[V]) Insert(p netip.Prefix, val V) bool {
 	if !ok {
 		return false
 	}
+	key, plen := addrKey(p.Addr()), uint8(p.Bits())
 	n := t.root
-	for i := 0; i < p.Bits(); i++ {
-		b := bitAt(p.Addr(), i)
-		if n.child[b] == nil {
-			n.child[b] = &trieNode[V]{}
+	for {
+		// Invariant: n's prefix is a (possibly equal) prefix of (key, plen).
+		if n.bits == plen {
+			added := !n.set
+			n.val, n.set = val, true
+			if added {
+				t.size++
+			}
+			return added
 		}
-		n = n.child[b]
-	}
-	added := !n.set
-	n.val, n.set = val, true
-	if added {
+		b := keyBit(key, n.bits)
+		c := n.child[b]
+		if c == nil {
+			n.child[b] = &trieNode[V]{key: key, bits: plen, val: val, set: true}
+			t.size++
+			return true
+		}
+		// Length of the prefix shared by the target and c, never shorter
+		// than n.bits+1 (they agree through n's prefix and on bit n.bits).
+		cl := uint8(bits.LeadingZeros32(key ^ c.key))
+		if cl > plen {
+			cl = plen
+		}
+		if cl > c.bits {
+			cl = c.bits
+		}
+		if cl == c.bits {
+			n = c // c's prefix covers the target; keep descending
+			continue
+		}
+		if cl == plen {
+			// The target is a proper prefix of c: insert above it.
+			nn := &trieNode[V]{key: key, bits: plen, val: val, set: true}
+			nn.child[keyBit(c.key, plen)] = c
+			n.child[b] = nn
+			t.size++
+			return true
+		}
+		// The target and c diverge inside c's compressed edge: fork at the
+		// divergence point.
+		fork := &trieNode[V]{key: maskKey(key, cl), bits: cl}
+		fork.child[keyBit(c.key, cl)] = c
+		fork.child[keyBit(key, cl)] = &trieNode[V]{key: key, bits: plen, val: val, set: true}
+		n.child[b] = fork
 		t.size++
+		return true
 	}
-	return added
+}
+
+// find descends to the node storing exactly (key, plen), or nil.
+func (t *Trie[V]) find(key uint32, plen uint8) *trieNode[V] {
+	n := t.root
+	for {
+		if n.bits == plen {
+			if n.key != key {
+				return nil
+			}
+			return n
+		}
+		c := n.child[keyBit(key, n.bits)]
+		if c == nil || c.bits > plen || c.key != maskKey(key, c.bits) {
+			return nil
+		}
+		n = c
+	}
 }
 
 // Get returns the value stored at exactly p. Invalid or non-IPv4 prefixes
@@ -80,51 +154,65 @@ func (t *Trie[V]) Get(p netip.Prefix) (V, bool) {
 		var zero V
 		return zero, false
 	}
-	n := t.root
-	for i := 0; i < p.Bits(); i++ {
-		n = n.child[bitAt(p.Addr(), i)]
-		if n == nil {
-			var zero V
-			return zero, false
-		}
+	n := t.find(addrKey(p.Addr()), uint8(p.Bits()))
+	if n == nil || !n.set {
+		var zero V
+		return zero, false
 	}
-	return n.val, n.set
+	return n.val, true
 }
 
 // Delete removes the value stored at exactly p and reports whether a value
-// was present. Interior nodes are pruned lazily: unreferenced branches are
-// trimmed on the way back up. Invalid or non-IPv4 prefixes match nothing.
+// was present. Unreferenced branches are trimmed and single-child pass-through
+// nodes re-spliced on the way back up, restoring the path-compression
+// invariant. Invalid or non-IPv4 prefixes match nothing.
 func (t *Trie[V]) Delete(p netip.Prefix) bool {
 	p, ok := checkPrefix(p)
 	if !ok {
 		return false
 	}
-	path := make([]*trieNode[V], 0, p.Bits()+1)
+	key, plen := addrKey(p.Addr()), uint8(p.Bits())
+	path := make([]*trieNode[V], 0, 8)
 	n := t.root
-	path = append(path, n)
-	for i := 0; i < p.Bits(); i++ {
-		n = n.child[bitAt(p.Addr(), i)]
-		if n == nil {
+	for {
+		path = append(path, n)
+		if n.bits == plen {
+			if n.key != key || !n.set {
+				return false
+			}
+			break
+		}
+		c := n.child[keyBit(key, n.bits)]
+		if c == nil || c.bits > plen || c.key != maskKey(key, c.bits) {
 			return false
 		}
-		path = append(path, n)
-	}
-	if !n.set {
-		return false
+		n = c
 	}
 	var zero V
 	n.val, n.set = zero, false
 	t.size--
-	// Prune empty leaves.
+	// Restore compression bottom-up: drop empty leaves, splice out unset
+	// single-child interior nodes. The root is never removed.
 	for i := len(path) - 1; i > 0; i-- {
 		node := path[i]
-		if node.set || node.child[0] != nil || node.child[1] != nil {
+		if node.set {
 			break
 		}
 		parent := path[i-1]
-		b := bitAt(p.Addr(), i-1)
-		if parent.child[b] == node {
+		b := keyBit(node.key, parent.bits)
+		switch {
+		case node.child[0] == nil && node.child[1] == nil:
 			parent.child[b] = nil
+			// The parent may now be splice-able; keep walking up.
+		case node.child[0] != nil && node.child[1] != nil:
+			return true // still a branch point
+		default:
+			c := node.child[0]
+			if c == nil {
+				c = node.child[1]
+			}
+			parent.child[b] = c
+			return true
 		}
 	}
 	return true
@@ -136,55 +224,46 @@ func (t *Trie[V]) Lookup(addr netip.Addr) (netip.Prefix, V, bool) {
 		var zero V
 		return netip.Prefix{}, zero, false
 	}
-	n := t.root
-	var (
-		best     V
-		bestLen  = -1
-		hasMatch bool
-	)
-	for i := 0; ; i++ {
+	key := addrKey(addr)
+	var best *trieNode[V]
+	for n := t.root; n != nil; {
+		if n.key != maskKey(key, n.bits) {
+			break
+		}
 		if n.set {
-			best, bestLen, hasMatch = n.val, i, true
+			best = n
 		}
-		if i == 32 {
+		if n.bits == 32 {
 			break
 		}
-		n = n.child[bitAt(addr, i)]
-		if n == nil {
-			break
-		}
+		n = n.child[keyBit(key, n.bits)]
 	}
-	if !hasMatch {
+	if best == nil {
 		var zero V
 		return netip.Prefix{}, zero, false
 	}
-	return netip.PrefixFrom(addr, bestLen).Masked(), best, true
+	return netip.PrefixFrom(addr, int(best.bits)).Masked(), best.val, true
 }
 
-// Walk visits every stored prefix in trie (lexicographic bit) order. If fn
-// returns false the walk stops early.
+// Walk visits every stored prefix in trie (lexicographic bit) order: a prefix
+// before its extensions, 0-branches before 1-branches — the same order the
+// uncompressed binary trie produced. If fn returns false the walk stops early.
 func (t *Trie[V]) Walk(fn func(p netip.Prefix, val V) bool) {
-	var rec func(n *trieNode[V], addr [4]byte, depth int) bool
-	rec = func(n *trieNode[V], addr [4]byte, depth int) bool {
+	var rec func(n *trieNode[V]) bool
+	rec = func(n *trieNode[V]) bool {
 		if n == nil {
 			return true
 		}
 		if n.set {
-			p := netip.PrefixFrom(netip.AddrFrom4(addr), depth)
-			if !fn(p, n.val) {
+			var b [4]byte
+			binary.BigEndian.PutUint32(b[:], n.key)
+			if !fn(netip.PrefixFrom(netip.AddrFrom4(b), int(n.bits)), n.val) {
 				return false
 			}
 		}
-		if depth == 32 {
-			return true
-		}
-		if !rec(n.child[0], addr, depth+1) {
-			return false
-		}
-		addr[depth/8] |= 1 << (7 - depth%8)
-		return rec(n.child[1], addr, depth+1)
+		return rec(n.child[0]) && rec(n.child[1])
 	}
-	rec(t.root, [4]byte{}, 0)
+	rec(t.root)
 }
 
 // Prefixes returns every stored prefix in bit order.

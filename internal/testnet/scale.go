@@ -1,0 +1,67 @@
+package testnet
+
+import (
+	"fmt"
+	"net/netip"
+
+	"mfv/internal/confgen"
+	"mfv/internal/topology"
+)
+
+// ISISFabric generates an IS-IS configuration for every router of a bare
+// topology: loopback 1.1.<i/250>.<i%250>/32 plus per-link /31 transfer
+// networks, both derived from global node/link indices so addressing stays
+// unique across disconnected regions (up to 62 500 nodes and 65 536 links).
+// mgmt selects the management-config level (0–2, see confgen). The topology
+// is mutated in place and returned for chaining.
+func ISISFabric(topo *topology.Topology, mgmt int) *topology.Topology {
+	addrs := map[topology.Endpoint]netip.Prefix{}
+	// Pre-bucket link endpoints per node: NodeLinks scans every link, which
+	// turns 10k-router generation quadratic.
+	eps := make(map[string][]topology.Endpoint, len(topo.Nodes))
+	for idx, l := range topo.Links {
+		base := netip.AddrFrom4([4]byte{10, byte(idx >> 8), byte(idx & 0xff), 0})
+		addrs[l.A] = netip.PrefixFrom(base, 31)
+		addrs[l.Z] = netip.PrefixFrom(base.Next(), 31)
+		eps[l.A.Node] = append(eps[l.A.Node], l.A)
+		eps[l.Z.Node] = append(eps[l.Z.Node], l.Z)
+	}
+	for i := range topo.Nodes {
+		node := &topo.Nodes[i]
+		num := i + 1
+		spec := confgen.Spec{
+			Hostname: node.Name,
+			// Two 4-digit system-id groups keep NETs well-formed (and
+			// unique) past router 9999.
+			NET:        fmt.Sprintf("49.0001.0000.%04d.%04d.00", num/10000, num%10000),
+			Management: mgmt,
+			Interfaces: []confgen.Iface{{
+				Name: "Loopback0",
+				Addr: netip.PrefixFrom(ScaleLoopback(i), 32),
+				ISIS: true,
+			}},
+		}
+		for _, ep := range eps[node.Name] {
+			spec.Interfaces = append(spec.Interfaces, confgen.Iface{
+				Name: ep.Interface, Addr: addrs[ep], ISIS: true,
+			})
+		}
+		node.Config = confgen.EOS(spec)
+	}
+	return topo
+}
+
+// ScaleLoopback returns the loopback address ISISFabric assigns to the
+// node at index i (0-based) of the topology's node list.
+func ScaleLoopback(i int) netip.Addr {
+	num := i + 1
+	return netip.AddrFrom4([4]byte{1, 1, byte(num / 250), byte(num % 250)})
+}
+
+// MultiRegionFabric returns the region-sharded scale shape ready to run:
+// regions disconnected rings of per routers each, every router carrying a
+// generated IS-IS configuration with globally unique addressing. This is
+// the fixture behind the scale benchmark tier and `topogen -shape regions`.
+func MultiRegionFabric(regions, per int) *topology.Topology {
+	return ISISFabric(topology.MultiRegion(regions, per, topology.VendorEOS), 1)
+}

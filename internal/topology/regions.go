@@ -1,0 +1,99 @@
+package topology
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Regions returns the connected components of the link graph as sorted
+// node-name slices, ordered by each component's smallest member. A fully
+// connected topology returns one region. Isolated nodes (no links) each form
+// their own region. The region cut is what the sharded pipeline (core) and
+// the region-aware batch solver (verify) partition work along: no link
+// crosses a region, so no protocol adjacency or forwarding walk can either.
+func (t *Topology) Regions() [][]string {
+	adj := make(map[string][]string, len(t.Nodes))
+	for _, l := range t.Links {
+		adj[l.A.Node] = append(adj[l.A.Node], l.Z.Node)
+		adj[l.Z.Node] = append(adj[l.Z.Node], l.A.Node)
+	}
+	seen := make(map[string]bool, len(t.Nodes))
+	var regions [][]string
+	for _, n := range t.Nodes {
+		if seen[n.Name] {
+			continue
+		}
+		var region []string
+		stack := []string{n.Name}
+		seen[n.Name] = true
+		for len(stack) > 0 {
+			cur := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			region = append(region, cur)
+			for _, m := range adj[cur] {
+				if !seen[m] {
+					seen[m] = true
+					stack = append(stack, m)
+				}
+			}
+		}
+		sort.Strings(region)
+		regions = append(regions, region)
+	}
+	sort.Slice(regions, func(i, j int) bool { return regions[i][0] < regions[j][0] })
+	return regions
+}
+
+// Subtopology returns the topology induced by the named nodes: those nodes
+// plus every link with both endpoints among them. Node and link declaration
+// order is preserved, so per-region emulation sees the same orderings the
+// whole-topology run would.
+func (t *Topology) Subtopology(names []string) *Topology {
+	want := make(map[string]bool, len(names))
+	for _, n := range names {
+		want[n] = true
+	}
+	sub := &Topology{Name: t.Name}
+	for _, n := range t.Nodes {
+		if want[n.Name] {
+			sub.Nodes = append(sub.Nodes, n)
+		}
+	}
+	for _, l := range t.Links {
+		if want[l.A.Node] && want[l.Z.Node] {
+			sub.Links = append(sub.Links, l)
+		}
+	}
+	return sub
+}
+
+// MultiRegion returns r disconnected rings of per nodes each (per >= 3),
+// named g<region>n<index> — the region-sharded scale shape. Each region is
+// internally connected; no link crosses regions, so Regions() recovers
+// exactly the r rings and the sharded pipeline can converge them
+// independently.
+func MultiRegion(r, per int, vendor Vendor) *Topology {
+	t := &Topology{Name: fmt.Sprintf("regions-%dx%d", r, per)}
+	nm := namer{}
+	for g := 1; g <= r; g++ {
+		name := func(i int) string { return fmt.Sprintf("g%dn%d", g, i) }
+		for i := 1; i <= per; i++ {
+			t.Nodes = append(t.Nodes, Node{Name: name(i), Vendor: vendor})
+		}
+		for i := 1; i <= per; i++ {
+			z := i + 1
+			if z > per {
+				if per < 3 {
+					break // a 2-node "ring" is just one link
+				}
+				z = 1
+			}
+			a, b := name(i), name(z)
+			t.Links = append(t.Links, Link{
+				A: Endpoint{Node: a, Interface: nm.next(a)},
+				Z: Endpoint{Node: b, Interface: nm.next(b)},
+			})
+		}
+	}
+	return t
+}

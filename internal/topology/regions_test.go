@@ -1,0 +1,85 @@
+package topology
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestRegionsSingleComponent(t *testing.T) {
+	topo := Ring(5, VendorEOS)
+	regions := topo.Regions()
+	if len(regions) != 1 {
+		t.Fatalf("ring has %d regions, want 1", len(regions))
+	}
+	if len(regions[0]) != 5 {
+		t.Fatalf("region has %d nodes, want 5", len(regions[0]))
+	}
+}
+
+func TestMultiRegionRecoversRegions(t *testing.T) {
+	topo := MultiRegion(4, 3, VendorEOS)
+	if err := topo.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if topo.Connected() {
+		t.Fatal("multi-region topology must not be connected")
+	}
+	regions := topo.Regions()
+	if len(regions) != 4 {
+		t.Fatalf("got %d regions, want 4", len(regions))
+	}
+	want := [][]string{
+		{"g1n1", "g1n2", "g1n3"},
+		{"g2n1", "g2n2", "g2n3"},
+		{"g3n1", "g3n2", "g3n3"},
+		{"g4n1", "g4n2", "g4n3"},
+	}
+	if !reflect.DeepEqual(regions, want) {
+		t.Fatalf("regions = %v, want %v", regions, want)
+	}
+}
+
+func TestRegionsIsolatedNode(t *testing.T) {
+	topo := &Topology{
+		Name: "iso",
+		Nodes: []Node{
+			{Name: "a", Vendor: VendorEOS},
+			{Name: "b", Vendor: VendorEOS},
+			{Name: "lone", Vendor: VendorEOS},
+		},
+		Links: []Link{{
+			A: Endpoint{Node: "a", Interface: "Ethernet1"},
+			Z: Endpoint{Node: "b", Interface: "Ethernet1"},
+		}},
+	}
+	regions := topo.Regions()
+	if len(regions) != 2 {
+		t.Fatalf("got %d regions, want 2", len(regions))
+	}
+	if !reflect.DeepEqual(regions[1], []string{"lone"}) {
+		t.Fatalf("isolated node not its own region: %v", regions)
+	}
+}
+
+func TestSubtopology(t *testing.T) {
+	topo := MultiRegion(3, 4, VendorEOS)
+	regions := topo.Regions()
+	sub := topo.Subtopology(regions[1])
+	if err := sub.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(sub.Nodes) != 4 {
+		t.Fatalf("subtopology has %d nodes, want 4", len(sub.Nodes))
+	}
+	if len(sub.Links) != 4 {
+		t.Fatalf("subtopology has %d links, want 4 (ring of 4)", len(sub.Links))
+	}
+	for _, l := range sub.Links {
+		if _, ok := sub.Node(l.A.Node); !ok {
+			t.Fatalf("link %v references node outside subtopology", l)
+		}
+	}
+	if !sub.Connected() {
+		t.Fatal("region subtopology must be connected")
+	}
+}

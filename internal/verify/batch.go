@@ -115,7 +115,12 @@ func (n *Network) outcomesFor(dst netip.Addr) dstOutcomes {
 	n.memoMu.Unlock()
 
 	var m dstOutcomes
-	if len(n.devices) >= maxPathHops {
+	if comps := n.components(); len(comps) > 1 {
+		// Region-sharded topologies: solve component-by-component. Walks
+		// cannot cross components, so this is exact, and the maxPathHops
+		// solver cutoff applies to each piece instead of the whole network.
+		m = n.outcomesByComponent(dst, comps)
+	} else if len(n.devices) >= maxPathHops {
 		// Simple paths can reach the walk's depth cap: defer to the exact
 		// legacy enumeration per device so depth truncation semantics match.
 		m = n.outcomesByTrace(dst)
@@ -136,23 +141,59 @@ func (n *Network) outcomesFor(dst netip.Addr) dstOutcomes {
 	return m
 }
 
+// traceOutcome computes one device's canonical outcome via the exact path
+// walk (no suffix sharing).
+func (n *Network) traceOutcome(name string, dst netip.Addr) outcomeSet {
+	t := n.Trace(name, dst)
+	set := map[string]bool{}
+	for _, p := range t.Paths {
+		set[p.Disposition.String()+"@"+p.Final] = true
+	}
+	frags := make([]string, 0, len(set))
+	for f := range set {
+		frags = append(frags, f)
+	}
+	sort.Strings(frags)
+	return outcomeSet{canon: strings.Join(frags, ","), frags: frags}
+}
+
 // outcomesByTrace is the fallback for very deep networks: one full
 // enumeration per device, no suffix sharing.
 func (n *Network) outcomesByTrace(dst netip.Addr) dstOutcomes {
 	out := make(dstOutcomes, len(n.devices))
 	for name := range n.devices {
-		t := n.Trace(name, dst)
-		set := map[string]bool{}
-		for _, p := range t.Paths {
-			set[p.Disposition.String()+"@"+p.Final] = true
-		}
-		frags := make([]string, 0, len(set))
-		for f := range set {
-			frags = append(frags, f)
-		}
-		sort.Strings(frags)
-		out[name] = outcomeSet{canon: strings.Join(frags, ","), frags: frags}
+		out[name] = n.traceOutcome(name, dst)
 		n.cMemoMisses.Inc()
+	}
+	return out
+}
+
+// outcomesByComponent solves each connected component independently,
+// skipping components whose FIBs cannot match dst at all — their members'
+// outcomes are exactly the NoRoute self-fallback dstOutcomes.outcome
+// supplies, so leaving them out of the map keeps per-class memory
+// proportional to the relevant region, not the network.
+func (n *Network) outcomesByComponent(dst netip.Addr, comps []*component) dstOutcomes {
+	out := dstOutcomes{}
+	a := addrU32(dst)
+	for _, c := range comps {
+		if !c.covers(a) {
+			continue
+		}
+		if len(c.names) >= maxPathHops {
+			for _, name := range c.names {
+				out[name] = n.traceOutcome(name, dst)
+				n.cMemoMisses.Inc()
+			}
+			continue
+		}
+		s := &solver{n: n, dst: dst, frag: map[string][]string{}, stack: map[string]bool{}}
+		for _, name := range c.names {
+			f, _ := s.visit(n.devices[name])
+			out[name] = outcomeSet{canon: strings.Join(f, ","), frags: f}
+		}
+		n.cMemoHits.Add(s.hits)
+		n.cMemoMisses.Add(s.misses)
 	}
 	return out
 }
@@ -292,11 +333,23 @@ func (q Queries) Differential(before, after *Network) []Diff {
 		defer before.gInflight.Add(-int64(len(sources)))
 		ob := before.outcomesFor(rep)
 		oa := after.outcomesFor(rep)
+		// Sources absent from both outcome maps share the NoRoute
+		// self-fallback on both sides and can never differ, so the scan
+		// covers only the solved devices — at 10k region-sharded routers
+		// that is the relevant region, not the whole fleet. The final sort
+		// below restores the sequential (source, class) output order.
 		var ds []Diff
-		for _, src := range sources {
-			a, b := ob.outcome(src), oa.outcome(src)
-			if a != b {
-				ds = append(ds, Diff{Src: src, Dst: rep, Before: a, After: b})
+		for src, o := range ob {
+			if b := oa.outcome(src); o.canon != b {
+				ds = append(ds, Diff{Src: src, Dst: rep, Before: o.canon, After: b})
+			}
+		}
+		for src, o := range oa {
+			if _, ok := ob[src]; ok {
+				continue
+			}
+			if a := ob.outcome(src); a != o.canon {
+				ds = append(ds, Diff{Src: src, Dst: rep, Before: a, After: o.canon})
 			}
 		}
 		before.cFlows.Add(uint64(len(sources)))
@@ -405,7 +458,14 @@ func (q Queries) DetectBlackHoles(n *Network) []BlackHole {
 		n.cFlows.Add(uint64(len(sources)))
 		var holes []BlackHole
 		for _, src := range sources {
-			if o, ok := oc[src]; !ok || (!o.has("Dropped@") && !o.has("NoRoute@")) {
+			o, ok := oc[src]
+			if !ok {
+				// src's component has no FIB coverage for this class: the
+				// sequential walk yields NoRoute@src without tracing.
+				holes = append(holes, BlackHole{Dst: rep, Src: src, Disposition: NoRoute})
+				continue
+			}
+			if !o.has("Dropped@") && !o.has("NoRoute@") {
 				continue
 			}
 			t := n.Trace(src, rep)

@@ -17,6 +17,7 @@ import (
 	"time"
 
 	"mfv/internal/aft"
+	"mfv/internal/intern"
 	"mfv/internal/obs"
 	"mfv/internal/routing"
 	"mfv/internal/topology"
@@ -183,6 +184,9 @@ type Network struct {
 	// owners maps every Receive-delivering /32 prefix address to its device
 	// (used for all-pairs matrices).
 	owners map[netip.Addr]string
+	// known is the topology's node-name set; topology.Topology.Node is a
+	// linear scan, which turns per-AFT validation quadratic at 10k devices.
+	known map[string]bool
 
 	// workers is the default batch-query pool size (0 = GOMAXPROCS); the
 	// convenience query methods wrap it in a Queries value.
@@ -192,6 +196,14 @@ type Network struct {
 	// they are computed once per snapshot and cached.
 	ecOnce sync.Once
 	ecs    []netip.Addr
+
+	// Connected components of the device graph, cached like the classes.
+	// Per-destination outcome solving runs component-by-component (see
+	// batch.go): forwarding walks can never cross a component boundary, so
+	// a region-sharded 10k-router network solves 500 20-device pieces
+	// instead of tripping the global outcomesByTrace fallback.
+	compOnce sync.Once
+	comps    []*component
 
 	// memo caches per-class outcome maps (see batch.go).
 	memoMu sync.Mutex
@@ -266,8 +278,12 @@ func NewNetwork(topo *topology.Topology, afts map[string]*aft.AFT) (*Network, er
 		n.peerOf[l.A] = l.Z
 		n.peerOf[l.Z] = l.A
 	}
+	n.known = make(map[string]bool, len(topo.Nodes))
+	for _, node := range topo.Nodes {
+		n.known[node.Name] = true
+	}
 	for name, a := range afts {
-		if _, ok := topo.Node(name); !ok {
+		if !n.known[name] {
 			return nil, fmt.Errorf("verify: AFT for unknown device %q", name)
 		}
 		d, err := buildDevice(name, a)
@@ -280,6 +296,51 @@ func NewNetwork(topo *topology.Topology, afts map[string]*aft.AFT) (*Network, er
 	return n, nil
 }
 
+// hopGroups interns resolved next-hop slices: across 10k devices the same
+// ECMP group contents (same neighbor address, same egress interface shape)
+// recur constantly, and fibEntry.hops is the verification engine's largest
+// per-device allocation. The forwarding walks only read IPAddress, Interface,
+// PushedLabels, Drop, and Receive, so the canonical slice's Index fields are
+// irrelevant and groups are keyed on the semantic fields alone.
+var hopGroups struct {
+	sync.Mutex
+	m map[string][]aft.NextHop
+}
+
+func internHops(hops []aft.NextHop) []aft.NextHop {
+	if len(hops) == 0 {
+		return nil
+	}
+	var b strings.Builder
+	for _, h := range hops {
+		b.WriteString(h.IPAddress)
+		b.WriteByte('|')
+		b.WriteString(h.Interface)
+		for _, l := range h.PushedLabels {
+			fmt.Fprintf(&b, "|%d", l)
+		}
+		if h.Drop {
+			b.WriteString("|D")
+		}
+		if h.Receive {
+			b.WriteString("|R")
+		}
+		b.WriteByte('\n')
+	}
+	key := b.String()
+	hopGroups.Lock()
+	defer hopGroups.Unlock()
+	if c, ok := hopGroups.m[key]; ok {
+		return c
+	}
+	if hopGroups.m == nil {
+		hopGroups.m = map[string][]aft.NextHop{}
+	}
+	c := append([]aft.NextHop(nil), hops...)
+	hopGroups.m[key] = c
+	return c
+}
+
 // buildDevice validates and indexes one AFT, caching the device's
 // equivalence-class interval cuts and owned addresses alongside the trie.
 func buildDevice(name string, a *aft.AFT) (*device, error) {
@@ -287,6 +348,10 @@ func buildDevice(name string, a *aft.AFT) (*device, error) {
 		return nil, fmt.Errorf("verify: %w", err)
 	}
 	d := &device{name: name, fib: routing.NewTrie[*fibEntry]()}
+	// Bulk-allocate the entries: one backing array instead of a heap object
+	// per route keeps the retained per-router footprint flat at 10k devices.
+	entries := make([]fibEntry, 0, len(a.IPv4Entries))
+	d.bounds = make([]uint32, 0, 2*len(a.IPv4Entries))
 	for _, e := range a.IPv4Entries {
 		// Validate above guarantees well-formed IPv4 prefixes; parse
 		// defensively anyway so a hostile AFT can never panic the verifier.
@@ -294,8 +359,9 @@ func buildDevice(name string, a *aft.AFT) (*device, error) {
 		if err != nil {
 			return nil, fmt.Errorf("verify: device %s: bad prefix %q", name, e.Prefix)
 		}
-		hops := a.GroupHops(e.NextHopGroup)
-		d.fib.Insert(p, &fibEntry{prefix: e.Prefix, hops: hops})
+		hops := internHops(a.GroupHops(e.NextHopGroup))
+		entries = append(entries, fibEntry{prefix: intern.String(e.Prefix), hops: hops})
+		d.fib.Insert(p, &entries[len(entries)-1])
 		start := addrU32(p.Addr())
 		d.bounds = append(d.bounds, start)
 		size := uint64(1) << (32 - p.Bits())
@@ -333,8 +399,11 @@ func (n *Network) rebuildOwners() {
 // dirty devices changed. Clean devices — present in both snapshots and not
 // named in dirty — reuse n's indexed tries and cached equivalence-class
 // interval contributions, so the rebuild cost is proportional to the blast
-// radius rather than the network size. afts must be the complete AFT set
-// for the new snapshot, and dirty must name every device whose AFT differs
+// radius rather than the network size. afts is the device set of the new
+// snapshot — normally the complete AFT set, but a growing partial set is
+// also legal (the region-sharded pipeline streams each finished region's
+// AFTs into the accumulating network; devices absent from afts simply have
+// no forwarding state yet). dirty must name every device whose AFT differs
 // from n's (a superset is fine; the chaos engine derives it from the
 // emulator's FIB-generation stamps). Worker-pool size and observability
 // handles carry over; the memoized per-class outcomes do not, since path
@@ -345,6 +414,7 @@ func (n *Network) UpdateFrom(afts map[string]*aft.AFT, dirty []string) (*Network
 		devices: make(map[string]*device, len(afts)),
 		peerOf:  n.peerOf,
 		owners:  map[netip.Addr]string{},
+		known:   n.known,
 		workers: n.workers,
 
 		cTraces:     n.cTraces,
@@ -366,7 +436,7 @@ func (n *Network) UpdateFrom(afts map[string]*aft.AFT, dirty []string) (*Network
 			out.devices[name] = d
 			continue
 		}
-		if _, ok := n.topo.Node(name); !ok {
+		if !n.known[name] {
 			return nil, fmt.Errorf("verify: AFT for unknown device %q", name)
 		}
 		d, err := buildDevice(name, a)

@@ -130,6 +130,13 @@ type Router struct {
 	// post-RIB-change revalidation is O(distinct next hops).
 	nhState map[netip.Addr]nhResolution
 
+	// localAddrs/localSet cache the interface address set. A router's
+	// configured addresses never change over its lifetime (a config change
+	// builds a replacement Router), and OwnsAddr sits on the per-packet
+	// delivery path, so the nested interface scan is hoisted to New.
+	localAddrs []netip.Addr
+	localSet   map[netip.Addr]bool
+
 	// aftCache holds the last rendered AFT and the FIB generation it was
 	// rendered at; ExportAFT reuses it while the generation is unchanged.
 	aftCache *aft.AFT
@@ -160,6 +167,14 @@ func New(name string, dev *ir.Device, profile Profile, clock *sim.Simulator) (*R
 	}
 	for _, intf := range dev.Interfaces {
 		r.ifaces[intf.Name] = &Iface{Cfg: intf, Up: !intf.Shutdown}
+		for _, p := range intf.Addresses {
+			r.localAddrs = append(r.localAddrs, p.Addr())
+		}
+	}
+	sort.Slice(r.localAddrs, func(i, j int) bool { return r.localAddrs[i].Less(r.localAddrs[j]) })
+	r.localSet = make(map[netip.Addr]bool, len(r.localAddrs))
+	for _, a := range r.localAddrs {
+		r.localSet[a] = true
 	}
 	if err := r.buildProtocols(); err != nil {
 		return nil, err
@@ -191,29 +206,13 @@ func (r *Router) Device() *ir.Device { return r.dev }
 // route").
 func (r *Router) RIB() *routing.RIB { return r.rib }
 
-// LocalAddrs returns every configured interface address.
+// LocalAddrs returns every configured interface address, sorted.
 func (r *Router) LocalAddrs() []netip.Addr {
-	var out []netip.Addr
-	for _, intf := range r.dev.Interfaces {
-		for _, p := range intf.Addresses {
-			out = append(out, p.Addr())
-		}
-	}
-	sort.Slice(out, func(i, j int) bool { return out[i].Less(out[j]) })
-	return out
+	return append([]netip.Addr(nil), r.localAddrs...)
 }
 
 // OwnsAddr reports whether addr is one of this router's interface addresses.
-func (r *Router) OwnsAddr(a netip.Addr) bool {
-	for _, intf := range r.dev.Interfaces {
-		for _, p := range intf.Addresses {
-			if p.Addr() == a {
-				return true
-			}
-		}
-	}
-	return false
-}
+func (r *Router) OwnsAddr(a netip.Addr) bool { return r.localSet[a] }
 
 // routerID picks the BGP router ID: explicit config, else the numerically
 // highest loopback address, else the highest interface address.

@@ -24,6 +24,7 @@ package mfv
 
 import (
 	"fmt"
+	"net/netip"
 
 	"mfv/internal/aft"
 	"mfv/internal/chaos"
@@ -147,6 +148,18 @@ func Fig3() *Topology { return testnet.Fig3() }
 // WAN returns an n-router backbone replica with an eBGP injection edge on
 // its first router, used by the convergence experiment (E6).
 func WAN(n int, multiVendor bool) *Topology { return testnet.WAN(n, multiVendor) }
+
+// MultiRegionTopology returns the region-sharded scale shape: regions
+// disconnected rings of per routers each, fully configured for IS-IS with
+// globally unique addressing (the fixture behind `topogen -shape regions`).
+// Run it with Options.ShardRegions to converge the regions in parallel.
+func MultiRegionTopology(regions, per int) *Topology {
+	return testnet.MultiRegionFabric(regions, per)
+}
+
+// ScaleLoopback returns the loopback address the generated IS-IS fabrics
+// (MultiRegionTopology, topogen) assign to node index i (0-based).
+func ScaleLoopback(i int) netip.Addr { return testnet.ScaleLoopback(i) }
 
 // FeedGenerator builds synthetic BGP route feeds for injection.
 type FeedGenerator = routegen.Generator

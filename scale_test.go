@@ -1,0 +1,132 @@
+package mfv
+
+// The scale benchmark tier: boot, converge, and verify 10k+ routers through
+// the region-sharded pipeline. These run with the full suite (nightly, or
+// the dedicated CI scale job with -benchtime 1x) and are skipped under
+// -short so the per-PR bench job stays fast. Reported metrics are the
+// headline scale numbers (routers/sec, routes/sec, bytes/router) recorded
+// in EXPERIMENTS.md E13.
+
+import (
+	"fmt"
+	"runtime"
+	"testing"
+	"time"
+
+	"mfv/internal/kube"
+	"mfv/internal/sim"
+)
+
+// BenchmarkScaleBoot schedules 10,000 router pods across a 170-node cluster
+// and boots them all to Running on the virtual clock — the orchestration
+// layer alone, no protocol engines. Reported routers/sec is wall-clock
+// scheduling + boot throughput.
+func BenchmarkScaleBoot(b *testing.B) {
+	if testing.Short() {
+		b.Skip("scale tier: run without -short")
+	}
+	const pods = 10000
+	for i := 0; i < b.N; i++ {
+		start := time.Now()
+		s := sim.New(1)
+		specs := make([]kube.NodeSpec, 170)
+		for j := range specs {
+			specs[j] = kube.E2Standard32(fmt.Sprintf("n%d", j))
+		}
+		c := kube.NewCluster(s, specs...)
+		for j := 0; j < pods; j++ {
+			if _, err := c.Schedule(kube.AristaCEOSRequest(fmt.Sprintf("r%d", j), 90*time.Second)); err != nil {
+				b.Fatal(err)
+			}
+		}
+		s.Run()
+		if !c.AllRunning() {
+			b.Fatal("pods not all Running")
+		}
+		b.ReportMetric(float64(pods)/time.Since(start).Seconds(), "routers/sec")
+	}
+}
+
+// BenchmarkScaleConverge runs the full pipeline — boot, protocol
+// convergence, AFT extraction, verification indexing, and an end-to-end
+// differential-style query — over region-sharded fabrics of 1k, 5k, and
+// 10k routers (regions of 20). bytes/router is the live-heap cost of the
+// retained Result (AFTs + verification network) after the emulators are
+// released, measured across a forced GC.
+func BenchmarkScaleConverge(b *testing.B) {
+	for _, routers := range []int{1000, 5000, 10000} {
+		b.Run(fmt.Sprintf("routers=%d", routers), func(b *testing.B) {
+			if testing.Short() {
+				b.Skip("scale tier: run without -short")
+			}
+			const per = 20
+			for i := 0; i < b.N; i++ {
+				runtime.GC()
+				var m0, m1 runtime.MemStats
+				runtime.ReadMemStats(&m0)
+				start := time.Now()
+				topo := MultiRegionTopology(routers/per, per)
+				res := mustRun(b, Snapshot{Topology: topo}, Options{ShardRegions: true})
+				wall := time.Since(start).Seconds()
+				if len(res.AFTs) != routers {
+					b.Fatalf("extracted %d AFTs, want %d", len(res.AFTs), routers)
+				}
+				routes := 0
+				for _, a := range res.AFTs {
+					routes += len(a.IPv4Entries)
+				}
+				// End-to-end query answerability on the merged network: the
+				// last region's ring is internally meshed, and the region cut
+				// is airtight.
+				lastBase := routers - per // node index of the last region's first router
+				srcName := fmt.Sprintf("g%dn1", routers/per)
+				if !res.Network.Reachable(srcName, ScaleLoopback(lastBase+per-1)) {
+					b.Fatalf("%s cannot reach its region's far loopback", srcName)
+				}
+				if res.Network.Reachable(srcName, ScaleLoopback(0)) {
+					b.Fatalf("%s reaches a foreign region", srcName)
+				}
+				runtime.GC()
+				runtime.ReadMemStats(&m1)
+				perRouter := float64(m1.HeapAlloc-m0.HeapAlloc) / float64(routers)
+				b.ReportMetric(float64(routers)/wall, "routers/sec")
+				b.ReportMetric(float64(routes)/wall, "routes/sec")
+				b.ReportMetric(perRouter, "bytes/router")
+				scaleSink = res
+			}
+		})
+	}
+}
+
+// BenchmarkScaleUnsharded is the comparison point for the sharded tier: the
+// same 1k-router fabric through the single-emulator path, with the Result
+// (which retains the whole emulated control plane) measured the same way.
+// The bytes/router ratio against BenchmarkScaleConverge/routers=1000 is the
+// memory-compaction headline in EXPERIMENTS.md E13.
+func BenchmarkScaleUnsharded(b *testing.B) {
+	if testing.Short() {
+		b.Skip("scale tier: run without -short")
+	}
+	const routers, per = 1000, 20
+	for i := 0; i < b.N; i++ {
+		runtime.GC()
+		var m0, m1 runtime.MemStats
+		runtime.ReadMemStats(&m0)
+		start := time.Now()
+		topo := MultiRegionTopology(routers/per, per)
+		res := mustRun(b, Snapshot{Topology: topo}, Options{})
+		wall := time.Since(start).Seconds()
+		if len(res.AFTs) != routers {
+			b.Fatalf("extracted %d AFTs, want %d", len(res.AFTs), routers)
+		}
+		runtime.GC()
+		runtime.ReadMemStats(&m1)
+		b.ReportMetric(float64(m1.HeapAlloc-m0.HeapAlloc)/float64(routers), "bytes/router")
+		b.ReportMetric(float64(routers)/wall, "routers/sec")
+		scaleSink = res
+	}
+}
+
+// scaleSink pins each measured Result so bytes/router reflects live retained
+// state and nightly pprof heap profiles attribute it.
+var scaleSink any

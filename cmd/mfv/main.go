@@ -97,6 +97,16 @@ func timeoutf(format string, args ...any) error {
 	return timeoutError{msg: fmt.Sprintf(format, args...)}
 }
 
+// usageError marks an invalid flag value caught after parsing (exit 2, like
+// flag-package parse failures).
+type usageError struct{ msg string }
+
+func (e usageError) Error() string { return e.msg }
+
+func usagef(format string, args ...any) error {
+	return usageError{msg: fmt.Sprintf(format, args...)}
+}
+
 func main() {
 	if len(os.Args) < 2 {
 		usage()
@@ -135,6 +145,10 @@ func main() {
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "mfv:", err)
+		var u usageError
+		if errors.As(err, &u) {
+			os.Exit(exitUsage)
+		}
 		var t timeoutError
 		if errors.As(err, &t) {
 			os.Exit(exitTimeout)
@@ -184,8 +198,10 @@ observability flags (run/diff/chaos): -trace FILE (JSONL event trace,
   of tables), -listen ADDR (live HTTP telemetry: /metrics Prometheus text,
   /metrics.json, /events SSE stream, /phases, /healthz, /readyz, dashboard
   at /), -hold-open DUR (keep -listen serving after the run completes)
-performance flags: -workers N (verification worker-pool size, default
-  NumCPU; query results are byte-identical at any worker count);
+performance flags: -workers N (worker-pool size for verification and the
+  sweep's replica lanes, default GOMAXPROCS; results are byte-identical at
+  any worker count — sweep additionally takes -replicas N and -mem-budget B
+  to size the emulation replica pool);
   -shard-regions (converge disconnected topology regions in parallel
   emulators and stream their tables into one verification snapshot — the
   10k-router scale path; incompatible with -chaos and -gnmi);
@@ -247,7 +263,7 @@ func newFlags(name string) *runFlags {
 	f.fs.StringVar(&f.chaos, "chaos", "", "fault scenario: builtin name or JSON file (run)")
 	f.fs.BoolVar(&f.degraded, "degraded", false, "accept partial convergence on timeout, report stragglers")
 	f.fs.BoolVar(&f.sharded, "shard-regions", false, "converge disconnected topology regions in parallel emulators (10k-router scale; incompatible with -chaos and -gnmi)")
-	f.fs.IntVar(&f.workers, "workers", 0, "verification worker-pool size (0 = NumCPU; results identical at any setting)")
+	f.fs.IntVar(&f.workers, "workers", runtime.GOMAXPROCS(0), "worker-pool size for verification and the sweep replica lanes (results identical at any setting)")
 	f.fs.DurationVar(&f.budget, "timeout", 0, "wall-clock budget; when it expires the run stops between steps, emits its partial report, and exits 5")
 	f.fs.StringVar(&f.cpuprof, "cpuprofile", "", "write a CPU profile to this file (go tool pprof format)")
 	f.fs.StringVar(&f.memprof, "memprofile", "", "write a heap profile to this file on exit")
@@ -854,15 +870,23 @@ func cmdSweep(args []string) error {
 	kinds := f.fs.String("kinds", "link,node,bgp", "comma-separated failure element kinds")
 	brute := f.fs.Bool("brute", false, "disable the fingerprint and independence prunes (every candidate applied and verified)")
 	top := f.fs.Int("top", 0, "print only the worst N rows (0 = all)")
+	replicas := f.fs.Int("replicas", 0, "emulation replica lanes for the apply/settle/rollback chains (0 = derive from -workers; capped by the memory budget)")
+	memBudget := f.fs.Int64("mem-budget", 0, "replica-pool memory budget in bytes (0 = 8 GiB; pool capped at budget / (routers × 256 KiB))")
 	f.fs.Parse(args)
+	if f.workers <= 0 {
+		return usagef("sweep: -workers must be positive (got %d)", f.workers)
+	}
+	if *replicas < 0 {
+		return usagef("sweep: -replicas must be non-negative (got %d)", *replicas)
+	}
 	return f.withBudget(func() error {
 		return f.withProfiles(func() error {
-			return f.withServe(func() error { return sweepBody(f, *k, *kinds, *brute, *top) })
+			return f.withServe(func() error { return sweepBody(f, *k, *kinds, *brute, *top, *replicas, *memBudget) })
 		})
 	})
 }
 
-func sweepBody(f *runFlags, k int, kindCSV string, brute bool, top int) error {
+func sweepBody(f *runFlags, k int, kindCSV string, brute bool, top, replicas int, memBudget int64) error {
 	kinds, err := mfv.ParseSweepKinds(kindCSV)
 	if err != nil {
 		return err
@@ -881,6 +905,7 @@ func sweepBody(f *runFlags, k int, kindCSV string, brute bool, top int) error {
 	}
 	rep, err := mfv.RunSweep(res, topo, mfv.SweepOptions{
 		K: k, Kinds: kinds, Workers: f.workers, Brute: brute,
+		Replicas: replicas, MemoryBudget: memBudget,
 		Ctx: f.ctx, Obs: f.observer(),
 	})
 	if err != nil {

@@ -8,6 +8,7 @@
 //	topogen -shape clos -spines 4 -leaves 8 -out clos.json
 //	topogen -shape ring -n 6 -out ring6.json
 //	topogen -shape regions -regions 500 -n 20 -out regions10k.json
+//	topogen -shape regions -regions 50 -n 20 -bgpmesh -out regions1k-bgp.json
 //
 // line/ring/clos shapes get IS-IS configurations generated for every
 // router; the wan shape additionally configures an iBGP mesh and an eBGP
@@ -15,7 +16,11 @@
 // disconnected rings of -n routers each — the region boundaries the sharded
 // pipeline (mfv run -shard-regions) converges in parallel. Addressing is
 // derived from global node/link indices, so loopbacks and transfer networks
-// stay unique across regions.
+// stay unique across regions. -bgpmesh overlays the WAN-style iBGP mesh and
+// injection edge on the first four routers of a generated fabric — on the
+// regions shape the mesh stays inside the first region, which is how the
+// nightly 1k-router k=2 failure sweep gets BGP candidates without a flat
+// 1k link-state database.
 package main
 
 import (
@@ -35,6 +40,7 @@ func main() {
 		spines      = flag.Int("spines", 2, "spine count (clos)")
 		leaves      = flag.Int("leaves", 4, "leaf count (clos)")
 		multivendor = flag.Bool("multivendor", false, "mix vendor dialects (wan)")
+		bgpmesh     = flag.Bool("bgpmesh", false, "overlay a WAN-style iBGP mesh + eBGP injection edge on the first 4 routers (line/ring/clos/regions)")
 		mgmt        = flag.Int("mgmt", 1, "management config level 0-2")
 		out         = flag.String("out", "", "output file (default stdout)")
 	)
@@ -44,18 +50,18 @@ func main() {
 	switch *shape {
 	case "line":
 		topo = topology.Line(*n, topology.VendorEOS)
-		fillISIS(topo, *mgmt)
+		fill(topo, *mgmt, *bgpmesh)
 	case "ring":
 		topo = topology.Ring(*n, topology.VendorEOS)
-		fillISIS(topo, *mgmt)
+		fill(topo, *mgmt, *bgpmesh)
 	case "clos":
 		topo = topology.Clos(*spines, *leaves, topology.VendorEOS)
-		fillISIS(topo, *mgmt)
+		fill(topo, *mgmt, *bgpmesh)
 	case "wan":
 		topo = testnet.WAN(*n, *multivendor)
 	case "regions":
 		topo = topology.MultiRegion(*regions, *n, topology.VendorEOS)
-		fillISIS(topo, *mgmt)
+		fill(topo, *mgmt, *bgpmesh)
 	default:
 		fmt.Fprintf(os.Stderr, "topogen: unknown shape %q\n", *shape)
 		os.Exit(2)
@@ -81,9 +87,16 @@ func main() {
 	fmt.Printf("wrote %s: %d nodes, %d links\n", *out, len(topo.Nodes), len(topo.Links))
 }
 
-// fillISIS generates an IS-IS configuration for every router of a bare
+// fill generates an IS-IS configuration for every router of a bare
 // topology: loopback 1.1.<i/250>.<i%250>/32 plus per-link /31 transfer
-// networks (global-index addressing; see testnet.ISISFabric).
-func fillISIS(topo *topology.Topology, mgmt int) {
+// networks (global-index addressing; see testnet.ISISFabric). With bgpmesh,
+// the first 4 routers additionally form an iBGP full mesh with an eBGP
+// injection edge (testnet.BGPMeshFabric) — on the regions shape the mesh
+// stays inside the first region.
+func fill(topo *topology.Topology, mgmt int, bgpmesh bool) {
+	if bgpmesh {
+		testnet.BGPMeshFabric(topo, mgmt)
+		return
+	}
 	testnet.ISISFabric(topo, mgmt)
 }

@@ -514,7 +514,11 @@ func (p *Peer) establish() {
 	if interval <= 0 {
 		interval = 30 * time.Second
 	}
-	p.keepalive = p.spk.clock.NewTicker(interval, func() {
+	// Keepalives tick on the global interval grid (aligned), not relative to
+	// the establishment instant: a session torn down and re-established keeps
+	// the same keepalive schedule, so hold-timer-expiry detection times stay
+	// independent of the session's establishment history.
+	p.keepalive = p.spk.clock.NewAlignedTicker(interval, func() {
 		p.transmit(EncodeKeepalive())
 	})
 	// Initial full-table advertisement.

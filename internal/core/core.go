@@ -382,21 +382,7 @@ func runEmulationSharded(snap Snapshot, opts Options) (*Result, error) {
 		outs    = make([]regionOut, len(regions))
 		allAFTs = map[string]*aft.AFT{}
 		foldMu  sync.Mutex // guards allAFTs and network
-		errMu   sync.Mutex
-		runErr  error
 	)
-	fail := func(err error) {
-		errMu.Lock()
-		if runErr == nil {
-			runErr = err
-		}
-		errMu.Unlock()
-	}
-	failed := func() bool {
-		errMu.Lock()
-		defer errMu.Unlock()
-		return runErr != nil
-	}
 	runRegion := func(i int) error {
 		names := regions[i]
 		em, err := kne.New(kne.Config{
@@ -462,33 +448,8 @@ func runEmulationSharded(snap Snapshot, opts Options) (*Result, error) {
 	}
 
 	wallStart := time.Now()
-	idx := make(chan int, len(regions))
-	for i := range regions {
-		idx <- i
-	}
-	close(idx)
-	w := runtime.GOMAXPROCS(0)
-	if w > len(regions) {
-		w = len(regions)
-	}
-	var wg sync.WaitGroup
-	wg.Add(w)
-	for g := 0; g < w; g++ {
-		go func() {
-			defer wg.Done()
-			for i := range idx {
-				if failed() {
-					continue
-				}
-				if err := runRegion(i); err != nil {
-					fail(err)
-				}
-			}
-		}()
-	}
-	wg.Wait()
-	if runErr != nil {
-		return nil, runErr
+	if err := bootPool(len(regions), runRegion); err != nil {
+		return nil, err
 	}
 
 	var startupAt, convergedAt time.Duration
@@ -523,6 +484,90 @@ func runEmulationSharded(snap Snapshot, opts Options) (*Result, error) {
 		DegradedRouters:    stragglers,
 		QuarantinedRouters: quarantined,
 	}, nil
+}
+
+// bootPool runs worker(i) for i in [0, n) across a GOMAXPROCS-bounded pool,
+// stopping new work at the first error. It is the shared boot machinery of
+// the sharded-region path and the sweep replica pool: emulator construction
+// and convergence dominate both, and each index owns disjoint state.
+func bootPool(n int, worker func(i int) error) error {
+	idx := make(chan int, n)
+	for i := 0; i < n; i++ {
+		idx <- i
+	}
+	close(idx)
+	w := runtime.GOMAXPROCS(0)
+	if w > n {
+		w = n
+	}
+	var (
+		errMu  sync.Mutex
+		runErr error
+	)
+	fail := func(err error) {
+		errMu.Lock()
+		if runErr == nil {
+			runErr = err
+		}
+		errMu.Unlock()
+	}
+	failed := func() bool {
+		errMu.Lock()
+		defer errMu.Unlock()
+		return runErr != nil
+	}
+	var wg sync.WaitGroup
+	wg.Add(w)
+	for g := 0; g < w; g++ {
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				if failed() {
+					continue
+				}
+				if err := worker(i); err != nil {
+					fail(err)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	return runErr
+}
+
+// BuildReplicas boots n deterministic replicas of a converged emulation in
+// parallel on the sharded-boot worker pool. Each replica replays the
+// primary's boot (kne.Emulator.Replica) and is gated on StateFingerprint
+// equality with the primary — a replay that converges to different content
+// fails the whole build rather than silently skewing downstream verdicts.
+// The sweep engine uses this as its replica pool factory.
+func BuildReplicas(primary *kne.Emulator, n int, hold, timeout time.Duration) ([]*kne.Emulator, error) {
+	if n <= 0 {
+		return nil, nil
+	}
+	want := primary.StateFingerprint()
+	reps := make([]*kne.Emulator, n)
+	err := bootPool(n, func(i int) error {
+		rep, err := primary.Replica(hold, timeout)
+		if err != nil {
+			return err
+		}
+		if got := rep.StateFingerprint(); got != want {
+			rep.Stop()
+			return fmt.Errorf("core: replica %d replay diverged from the primary (state fingerprint mismatch)", i)
+		}
+		reps[i] = rep
+		return nil
+	})
+	if err != nil {
+		for _, r := range reps {
+			if r != nil {
+				r.Stop()
+			}
+		}
+		return nil, err
+	}
+	return reps, nil
 }
 
 // routerTarget adapts a virtual router to the gNMI Target interface.

@@ -101,6 +101,10 @@ type Engine struct {
 	seq  uint32
 
 	spfScheduled *sim.Event
+	// delivered is the last route set handed to OnRoutes; SPF results equal
+	// to it are suppressed (see RunSPF).
+	delivered    []Route
+	hasDelivered bool
 	refresh      *sim.Ticker
 
 	// Statistics.
@@ -244,7 +248,11 @@ func (e *Engine) startHellos(c *circuit) {
 		}))
 	}
 	sendHello()
-	c.hello = e.cfg.Clock.NewTicker(e.cfg.HelloInterval, sendHello)
+	// Hellos tick on the global interval grid (aligned): a router rebuilt
+	// after a crash advertises on the same schedule as its previous
+	// incarnation, so neighbor hold-expiry times do not depend on when the
+	// rebuild happened.
+	c.hello = e.cfg.Clock.NewAlignedTicker(e.cfg.HelloInterval, sendHello)
 }
 
 // HandlePDU processes one received PDU on the named circuit.
@@ -348,7 +356,34 @@ func (e *Engine) handleLSP(c *circuit, lsp LSP) {
 	cp := lsp
 	e.lsdb[lsp.Origin] = &cp
 	e.floodExcept(&cp, c)
+	if ok && lspContentEqual(have, &cp) {
+		// Pure sequence-number refresh: the topology the LSP describes did
+		// not change, so recomputing SPF would be wasted work — and a
+		// periodic refresh wave must not read as routing activity to
+		// convergence detection.
+		return
+	}
 	e.scheduleSPF()
+}
+
+// lspContentEqual reports whether two LSPs describe the same topology —
+// everything but the sequence number.
+func lspContentEqual(a, b *LSP) bool {
+	if a.Origin != b.Origin || a.Hostname != b.Hostname ||
+		len(a.Neighbors) != len(b.Neighbors) || len(a.Prefixes) != len(b.Prefixes) {
+		return false
+	}
+	for i := range a.Neighbors {
+		if a.Neighbors[i] != b.Neighbors[i] {
+			return false
+		}
+	}
+	for i := range a.Prefixes {
+		if a.Prefixes[i] != b.Prefixes[i] {
+			return false
+		}
+	}
+	return true
 }
 
 // originate regenerates our own LSP and floods it.
@@ -613,9 +648,34 @@ func (e *Engine) RunSPF() {
 		}
 		return routes[i].Prefix.Bits() < routes[j].Prefix.Bits()
 	})
-	if e.cfg.OnRoutes != nil {
+	if e.cfg.OnRoutes != nil && !(e.hasDelivered && routesEqual(e.delivered, routes)) {
+		// Deliver only on change: an SPF whose result matches the last
+		// delivery (LSP refresh waves, redundant floods) must not rewrite
+		// the RIB — a rewrite bumps the FIB generation and reads as routing
+		// activity to convergence detection.
+		e.delivered = routes
+		e.hasDelivered = true
 		e.cfg.OnRoutes(routes)
 	}
+}
+
+// routesEqual compares two canonically sorted SPF results.
+func routesEqual(a, b []Route) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i].Prefix != b[i].Prefix || a[i].Metric != b[i].Metric ||
+			len(a[i].NextHops) != len(b[i].NextHops) {
+			return false
+		}
+		for j := range a[i].NextHops {
+			if a[i].NextHops[j] != b[i].NextHops[j] {
+				return false
+			}
+		}
+	}
+	return true
 }
 
 func mergeHops(a, b []NextHop) []NextHop {

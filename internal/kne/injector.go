@@ -16,7 +16,18 @@ type Injector struct {
 	em     *Emulator
 	addr   netip.Addr // the injector's address on the shared subnet
 	target string     // router name it peers with
+	asn    uint32
 	spk    *bgp.Speaker
+	// log records announcements and withdrawals in call order, so a replica
+	// emulator can replay the feed deterministically (see Emulator.Replica).
+	log []feedOp
+}
+
+// feedOp is one recorded Announce or Withdraw call.
+type feedOp struct {
+	withdraw bool
+	prefixes []netip.Prefix
+	attrs    bgp.PathAttrs
 }
 
 // AddInjector attaches an external peer at addr to the named router. The
@@ -40,7 +51,7 @@ func (e *Emulator) AddInjector(routerName string, addr netip.Addr, asn uint32) (
 	if owner, taken := e.addrOwner[addr]; taken {
 		return nil, fmt.Errorf("kne: address %v belongs to router %s", addr, owner)
 	}
-	inj := &Injector{em: e, addr: addr, target: routerName}
+	inj := &Injector{em: e, addr: addr, target: routerName, asn: asn}
 	inj.spk = bgp.NewSpeaker(bgp.Config{
 		Hostname: "injector-" + addr.String(),
 		ASN:      asn,
@@ -55,12 +66,14 @@ func (e *Emulator) AddInjector(routerName string, addr netip.Addr, asn uint32) (
 	})
 	inj.spk.SetObserver(e.obs)
 	e.injectors[addr] = inj
+	e.injectorOrder = append(e.injectorOrder, addr)
 	return inj, nil
 }
 
 // Announce originates prefixes from the injector with the given attribute
 // template (next hop is rewritten per eBGP export rules automatically).
 func (inj *Injector) Announce(prefixes []netip.Prefix, attrs bgp.PathAttrs) {
+	inj.log = append(inj.log, feedOp{prefixes: prefixes, attrs: attrs})
 	for _, p := range prefixes {
 		inj.spk.Originate(p, attrs)
 	}
@@ -68,8 +81,21 @@ func (inj *Injector) Announce(prefixes []netip.Prefix, attrs bgp.PathAttrs) {
 
 // Withdraw retracts previously announced prefixes.
 func (inj *Injector) Withdraw(prefixes []netip.Prefix) {
+	inj.log = append(inj.log, feedOp{withdraw: true, prefixes: prefixes})
 	for _, p := range prefixes {
 		inj.spk.WithdrawLocal(p)
+	}
+}
+
+// replayInto re-issues this injector's recorded feed operations against a
+// replica's injector.
+func (inj *Injector) replayInto(dst *Injector) {
+	for _, op := range inj.log {
+		if op.withdraw {
+			dst.Withdraw(op.prefixes)
+		} else {
+			dst.Announce(op.prefixes, op.attrs)
+		}
 	}
 }
 

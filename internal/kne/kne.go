@@ -115,6 +115,9 @@ type Emulator struct {
 	bgpHeld map[string]bool
 
 	injectors map[netip.Addr]*Injector
+	// injectorOrder remembers attach order: replaying feeds in the original
+	// order keeps a replica's event sequence deterministic.
+	injectorOrder []netip.Addr
 
 	// lastActivity is the virtual time of the last dataplane-relevant
 	// change anywhere.
@@ -331,7 +334,9 @@ func (e *Emulator) Start() error {
 			}
 		}
 	})
-	e.probe = e.sim.NewTicker(e.cfg.ProbeInterval, e.probeSessions)
+	// The prober ticks on the global probe grid (aligned), so replayed
+	// replicas probe in lockstep with the primary regardless of boot skew.
+	e.probe = e.sim.NewAlignedTicker(e.cfg.ProbeInterval, e.probeSessions)
 	return nil
 }
 

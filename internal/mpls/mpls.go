@@ -111,6 +111,14 @@ type pathState struct {
 type Engine struct {
 	cfg       Config
 	nextLabel uint32
+	// labelByName pins each LSP session to the label it was first allocated,
+	// for the life of the engine. RSVP soft state expires and re-signals:
+	// without stickiness a re-signaled LSP would draw a fresh label from the
+	// monotonic allocator, so a fail-and-heal cycle would leave the ILM table
+	// content-drifted even though forwarding is equivalent. Sticky labels
+	// make heal byte-identical to the pre-fault state, which the sweep
+	// engine's fingerprint sharing and replica equivalence both rely on.
+	labelByName map[string]uint32
 	// sessions keyed by LSP name (names are globally unique per head end by
 	// convention name@head).
 	sessions map[string]*pathState
@@ -139,17 +147,20 @@ func New(cfg Config) *Engine {
 		cfg.Timers = DefaultTimers()
 	}
 	return &Engine{
-		cfg:       cfg,
-		nextLabel: 16, // labels below 16 are reserved
-		sessions:  map[string]*pathState{},
-		headLSPs:  map[string]*LSPState{},
+		cfg:         cfg,
+		nextLabel:   16, // labels below 16 are reserved
+		labelByName: map[string]uint32{},
+		sessions:    map[string]*pathState{},
+		headLSPs:    map[string]*LSPState{},
 	}
 }
 
-// Start arms the soft-state timers.
+// Start arms the soft-state timers. Refresh and cleanup tick on the global
+// refresh grid (aligned), so an engine rebuilt after a fault refreshes on the
+// same schedule as the one it replaced.
 func (e *Engine) Start() {
-	e.refresh = e.cfg.Clock.NewTicker(e.cfg.Timers.Refresh, e.refreshAll)
-	e.sweep = e.cfg.Clock.NewTicker(e.cfg.Timers.Refresh, e.cleanup)
+	e.refresh = e.cfg.Clock.NewAlignedTicker(e.cfg.Timers.Refresh, e.refreshAll)
+	e.sweep = e.cfg.Clock.NewAlignedTicker(e.cfg.Timers.Refresh, e.cleanup)
 }
 
 // Stop cancels timers.
@@ -223,7 +234,7 @@ func (e *Engine) handlePath(name string, from, to netip.Addr, hops []netip.Addr)
 		// Tail: allocate a label toward upstream and send RESV back. The
 		// tail is the RESV origin, so its reservation is always fresh.
 		if st.inLabel == 0 {
-			st.inLabel = e.allocLabel()
+			st.inLabel = e.allocLabel(name)
 			e.version++
 		}
 		st.resvSent = true
@@ -286,7 +297,7 @@ func (e *Engine) handleResv(name string, from, to netip.Addr, label uint32, hops
 	}
 	st.outLabel = label
 	if st.inLabel == 0 {
-		st.inLabel = e.allocLabel()
+		st.inLabel = e.allocLabel(name)
 		e.version++
 	}
 	st.resvSent = true
@@ -295,9 +306,13 @@ func (e *Engine) handleResv(name string, from, to netip.Addr, label uint32, hops
 	}
 }
 
-func (e *Engine) allocLabel() uint32 {
+func (e *Engine) allocLabel(name string) uint32 {
+	if l, ok := e.labelByName[name]; ok {
+		return l
+	}
 	l := e.nextLabel
 	e.nextLabel++
+	e.labelByName[name] = l
 	return l
 }
 

@@ -289,3 +289,56 @@ func TestStartClose(t *testing.T) {
 		t.Error("listener still serving after Close")
 	}
 }
+
+// TestSweepReplicaMetricsExposed pins the replica-pool observability
+// contract: the sweep_replicas gauge and the per-lane
+// sweep_replica_candidates_total counters flow through both expositions, and
+// the embedded dashboard carries the replica-lane section that renders them.
+func TestSweepReplicaMetricsExposed(t *testing.T) {
+	o := obs.NewMetricsOnly()
+	_, ts := newTestServer(t, o)
+	o.Gauge("sweep_replicas").Set(4)
+	for lane, n := range map[string]int{"0": 21, "1": 21, "2": 21, "3": 20} {
+		o.Counter("sweep_replica_candidates_total", "replica", lane).Add(uint64(n))
+	}
+
+	code, body, _ := get(t, ts.URL+"/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("/metrics = %d", code)
+	}
+	for _, want := range []string{
+		"# TYPE sweep_replicas gauge",
+		"sweep_replicas 4",
+		`sweep_replica_candidates_total{replica="0"} 21`,
+		`sweep_replica_candidates_total{replica="3"} 20`,
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+
+	code, body, _ = get(t, ts.URL+"/metrics.json")
+	if code != http.StatusOK {
+		t.Fatalf("/metrics.json = %d", code)
+	}
+	var snap obs.SnapshotJSON
+	if err := json.Unmarshal([]byte(body), &snap); err != nil {
+		t.Fatalf("invalid JSON: %v", err)
+	}
+	lanes := 0
+	for _, m := range snap.Metrics {
+		if m.Name == "sweep_replica_candidates_total" && m.Labels["replica"] != "" {
+			lanes++
+		}
+	}
+	if lanes != 4 {
+		t.Errorf("metrics.json exposes %d replica lanes, want 4", lanes)
+	}
+
+	_, page, _ := get(t, ts.URL+"/")
+	for _, want := range []string{`id="replicas-section"`, `id="replicas"`, "sweep_replica_candidates_total"} {
+		if !strings.Contains(page, want) {
+			t.Errorf("dashboard missing %q", want)
+		}
+	}
+}

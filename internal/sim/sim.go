@@ -77,6 +77,7 @@ type Simulator struct {
 	seq   uint64
 	queue eventQueue
 	rng   *rand.Rand
+	seed  int64
 
 	// Executed counts events that have fired; useful for loop detection in
 	// tests and for reporting simulation effort.
@@ -91,7 +92,7 @@ type Simulator struct {
 // New returns a simulator with the virtual clock at zero. The seed fixes all
 // randomness drawn through Rand, making runs reproducible.
 func New(seed int64) *Simulator {
-	return &Simulator{rng: rand.New(rand.NewSource(seed))}
+	return &Simulator{rng: rand.New(rand.NewSource(seed)), seed: seed}
 }
 
 // Now returns the current virtual time.
@@ -99,6 +100,18 @@ func (s *Simulator) Now() time.Duration { return s.now }
 
 // Rand returns the simulation's seeded random source.
 func (s *Simulator) Rand() *rand.Rand { return s.rng }
+
+// Seed returns the seed the simulator was created with, so a deterministic
+// replay (e.g. a sweep replica) can be built from the same randomness.
+func (s *Simulator) Seed() int64 { return s.seed }
+
+// Reseed replaces the random source with a fresh one derived from seed. The
+// sweep engine reseeds before every candidate so the jitter stream consumed
+// while evaluating a candidate is a pure function of the candidate, not of
+// how many candidates some other run evaluated first.
+func (s *Simulator) Reseed(seed int64) {
+	s.rng = rand.New(rand.NewSource(seed))
+}
 
 // Executed returns the number of events that have fired so far.
 func (s *Simulator) Executed() uint64 { return s.executed }
@@ -228,6 +241,7 @@ type Ticker struct {
 	fn      func()
 	ev      *Event
 	stopped bool
+	aligned bool
 }
 
 // NewTicker schedules fn every period, first firing one period from now.
@@ -240,8 +254,30 @@ func (s *Simulator) NewTicker(period time.Duration, fn func()) *Ticker {
 	return t
 }
 
+// NewAlignedTicker schedules fn at every multiple of period on the global
+// virtual clock, starting with the first multiple strictly after now. Unlike
+// NewTicker, whose phase is the creation instant, an aligned ticker's phase
+// is a pure function of the period — two tickers with the same period always
+// fire in lockstep no matter when each was created. Protocol keepalive,
+// hello, refresh, and probe timers use this so that a timer restarted by a
+// fault rollback lands back on the same schedule it had before the fault,
+// which is what makes replayed failure evaluations history-independent.
+func (s *Simulator) NewAlignedTicker(period time.Duration, fn func()) *Ticker {
+	if period <= 0 {
+		panic("sim: NewAlignedTicker requires a positive period")
+	}
+	t := &Ticker{s: s, period: period, fn: fn, aligned: true}
+	t.arm()
+	return t
+}
+
 func (t *Ticker) arm() {
-	t.ev = t.s.After(t.period, func() {
+	d := t.period
+	if t.aligned {
+		// Next strictly-greater multiple of the period on the global clock.
+		d = t.period - t.s.now%t.period
+	}
+	t.ev = t.s.After(d, func() {
 		if t.stopped {
 			return
 		}

@@ -56,6 +56,16 @@ func New(em *kne.Emulator, topo *topology.Topology, o *obs.Observer) *Chain {
 // run on (0 = GOMAXPROCS).
 func (c *Chain) SetWorkers(w int) { c.workers = w }
 
+// Fork returns a fresh chain over a replica emulator, inheriting this
+// chain's worker-pool size and incremental mode but none of its snapshot
+// history: FIB generation stamps are per-emulator counters, so snaps from
+// different emulators must never be diffed through the same chain. The fork
+// carries no observer — replica chains run concurrently, and the observer
+// binds a single virtual clock.
+func (c *Chain) Fork(em *kne.Emulator) *Chain {
+	return &Chain{em: em, topo: c.topo, workers: c.workers, incremental: c.incremental}
+}
+
 // SetIncremental toggles the incremental snapshot + delta-differential path
 // (on by default). Disabling forces a full network rebuild and a full
 // differential per snapshot — the reference the equivalence tests run

@@ -1,6 +1,7 @@
 package sweep
 
 import (
+	"fmt"
 	"testing"
 	"time"
 
@@ -9,33 +10,48 @@ import (
 	"mfv/internal/testnet"
 )
 
+func benchBoot(b *testing.B, n int) *kne.Emulator {
+	b.Helper()
+	topo := testnet.WAN(n, true)
+	em, err := kne.New(kne.Config{Topology: topo, Sim: sim.New(42)})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := em.Start(); err != nil {
+		b.Fatal(err)
+	}
+	if _, err := em.RunUntilConverged(30*time.Second, time.Hour); err != nil {
+		b.Fatal(err)
+	}
+	return em
+}
+
 // BenchmarkSweepSingleFailure measures the k=1 failure sweep of the 30-node
-// multi-vendor WAN: candidates verified per second, pruned versus brute
-// force. The arms must produce byte-identical ranked tables while the pruned
-// arm verifies strictly fewer candidates — the benchmark doubles as the
-// pruning acceptance check at benchmark scale.
+// multi-vendor WAN across the prune and replica-pool axes: candidates per
+// second pruned versus brute force, sequential (workers=1) versus the
+// 8-lane replica pool. Every arm must produce a byte-identical ranked table
+// — the benchmark doubles as the pruning and replica-equivalence acceptance
+// check at benchmark scale. Wall-clock scaling between the workers arms is
+// reported, not asserted: the speedup is ≈min(lanes, cores)× and so depends
+// on the host. See README "Sweep performance" for the measured numbers.
 func BenchmarkSweepSingleFailure(b *testing.B) {
 	reports := map[string]*Report{}
 	for _, arm := range []struct {
-		name  string
-		brute bool
-	}{{"pruned", false}, {"brute", true}} {
+		name    string
+		brute   bool
+		workers int
+	}{
+		{"pruned/workers=1", false, 1},
+		{"pruned/workers=8", false, 8},
+		{"brute/workers=1", true, 1},
+		{"brute/workers=8", true, 8},
+	} {
 		b.Run(arm.name, func(b *testing.B) {
-			topo := testnet.WAN(30, true)
-			em, err := kne.New(kne.Config{Topology: topo, Sim: sim.New(42)})
-			if err != nil {
-				b.Fatal(err)
-			}
-			if err := em.Start(); err != nil {
-				b.Fatal(err)
-			}
-			if _, err := em.RunUntilConverged(30*time.Second, time.Hour); err != nil {
-				b.Fatal(err)
-			}
+			em := benchBoot(b, 30)
 			b.ResetTimer()
 			var candidates int
 			for i := 0; i < b.N; i++ {
-				rep, err := Run(em, topo, Options{K: 1, Brute: arm.brute})
+				rep, err := Run(em, testnet.WAN(30, true), Options{K: 1, Brute: arm.brute, Workers: arm.workers})
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -48,16 +64,76 @@ func BenchmarkSweepSingleFailure(b *testing.B) {
 			rep := reports[arm.name]
 			b.ReportMetric(float64(candidates)/b.Elapsed().Seconds(), "failures/s")
 			b.ReportMetric(float64(rep.Verified), "verified")
+			b.ReportMetric(float64(rep.Replicas), "replicas")
+		})
+	}
+	ref := reports["pruned/workers=1"]
+	if ref == nil {
+		return
+	}
+	for name, rep := range reports {
+		if rep.Table(0) != ref.Table(0) {
+			b.Errorf("%s ranked table differs from pruned/workers=1", name)
+		}
+	}
+	if brute := reports["brute/workers=1"]; brute != nil && ref.Verified >= brute.Verified {
+		b.Errorf("pruning verified %d candidates, brute %d — want strictly fewer", ref.Verified, brute.Verified)
+	}
+}
+
+// BenchmarkSweepDoubleFailure measures the k=2 pair sweep of the 30-node
+// WAN's BGP services (30 singles + 435 pairs), pruned versus brute. The
+// pruned arm exercises the phase barrier and the independence prune — on a
+// healthy WAN most BGP pairs are independently harmless, so the gap between
+// the arms is the prune's value; the byte-identity check between them is the
+// k=2 soundness bar at benchmark scale.
+func BenchmarkSweepDoubleFailure(b *testing.B) {
+	reports := map[string]*Report{}
+	for _, arm := range []struct {
+		name  string
+		brute bool
+	}{{"pruned", false}, {"brute", true}} {
+		b.Run(arm.name, func(b *testing.B) {
+			em := benchBoot(b, 30)
+			b.ResetTimer()
+			var candidates int
+			for i := 0; i < b.N; i++ {
+				rep, err := Run(em, testnet.WAN(30, true), Options{
+					K: 2, Kinds: []Kind{KindBGP}, Brute: arm.brute, Workers: 8,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				candidates += rep.Candidates
+				if reports[arm.name] == nil {
+					reports[arm.name] = rep
+				}
+			}
+			b.StopTimer()
+			rep := reports[arm.name]
+			b.ReportMetric(float64(candidates)/b.Elapsed().Seconds(), "failures/s")
+			b.ReportMetric(float64(rep.Verified), "verified")
+			b.ReportMetric(float64(rep.Applied), "applied")
 		})
 	}
 	pruned, brute := reports["pruned"], reports["brute"]
 	if pruned == nil || brute == nil {
 		return
 	}
-	if pruned.Verified >= brute.Verified {
-		b.Errorf("pruning verified %d candidates, brute %d — want strictly fewer", pruned.Verified, brute.Verified)
+	if pruned.Applied >= brute.Applied {
+		b.Errorf("independence prune applied %d candidates, brute %d — want strictly fewer", pruned.Applied, brute.Applied)
 	}
-	if pruned.Table(0) != brute.Table(0) {
-		b.Error("pruned ranked table differs from brute force")
+	// An independent-pruned pair reports predicted zeros with "-" timing, so
+	// the k=2 tables legitimately differ per row; the verdicts must not.
+	for i := range pruned.Rows {
+		p, q := pruned.Rows[i], brute.Rows[i]
+		if p.FlowsLost != q.FlowsLost || p.Failure == "" || q.Failure == "" {
+			b.Errorf("row %d verdict mismatch: pruned %q lost %d, brute %q lost %d",
+				i, p.Failure, p.FlowsLost, q.Failure, q.FlowsLost)
+			break
+		}
+	}
+	if fmt.Sprint(pruned.Violations) != fmt.Sprint(brute.Violations) {
+		b.Errorf("violation counts differ: pruned %d, brute %d", pruned.Violations, brute.Violations)
 	}
 }

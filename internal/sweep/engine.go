@@ -4,6 +4,8 @@ import (
 	"crypto/sha256"
 	"encoding/hex"
 	"fmt"
+	"hash/fnv"
+	"io"
 	"runtime"
 	"sort"
 	"sync"
@@ -16,6 +18,26 @@ import (
 	"mfv/internal/topology"
 	"mfv/internal/verify"
 )
+
+// alignQuantum is the candidate-start alignment grid: the least common
+// multiple of every aligned periodic timer in the stack (session probe 5s,
+// ISIS hello 10s, BGP keepalive 30s, RSVP refresh 30s and 3m). Each candidate
+// is injected at a multiple of this quantum, so the phase of every periodic
+// timer relative to the injection instant is a constant — together with the
+// per-candidate RNG reseed, a candidate's settle timeline becomes a pure
+// function of (baseline content, candidate), independent of which emulator
+// lane evaluates it or what was evaluated before it. That is what makes the
+// replica-partitioned sweep byte-identical to the sequential one.
+const alignQuantum = 3 * time.Minute
+
+// replicaBytesPerRouter is the memory-budget model for one replica lane:
+// a full emulation (control-plane state, RIBs, rendered AFTs, pod bookkeeping)
+// retains roughly a quarter megabyte per router at WAN scale. The pool is
+// capped at MemoryBudget / (routers × replicaBytesPerRouter) lanes.
+const replicaBytesPerRouter = 256 << 10
+
+// defaultMemoryBudget bounds the replica pool at 8 GiB unless overridden.
+const defaultMemoryBudget int64 = 8 << 30
 
 // Enumerate lists the failure elements of the requested kinds present in the
 // healthy emulation, in canonical order (links, then nodes, then BGP; each
@@ -77,9 +99,9 @@ func Enumerate(em *kne.Emulator, topo *topology.Topology, kinds []Kind) []Elemen
 }
 
 // outcome carries one candidate's measurements through the two phases:
-// the sequential apply/settle/rollback loop fills everything except diffs,
-// which the parallel verification phase computes (or copies from the
-// fingerprint representative).
+// the apply/settle/rollback lanes fill everything except diffs, which the
+// parallel verification phase computes (or copies from the fingerprint
+// representative).
 type outcome struct {
 	cand        Candidate
 	base        snapchain.Snap // healthy baseline this candidate was measured against
@@ -95,6 +117,27 @@ type outcome struct {
 	diffs       []verify.Diff
 }
 
+// replica is one lane of the emulation pool: an emulator (the primary, or a
+// deterministic replay of it), its own snapshot chain, and its own
+// baseline-epoch counter. Lanes never share mutable state; candidates are
+// partitioned across lanes by canonical index and merged back by slot.
+type replica struct {
+	id    int
+	em    *kne.Emulator
+	chain *snapchain.Chain
+	// epoch counts baseline content drifts observed on THIS lane. While it
+	// is zero the lane's baseline is the canonical converged state shared by
+	// every lane, so fingerprint verdicts may be shared across lanes; once a
+	// lane drifts, its fingerprints are tagged with the lane identity and
+	// never shared across lanes (see engine.fingerprint).
+	epoch int
+	// label is the precomputed metric label for this lane.
+	label string
+	// candidates counts evaluations on this lane (reported via the
+	// sweep_replica_candidates_total{replica=} counter).
+	candidates atomic.Int64
+}
+
 type engine struct {
 	em      *kne.Emulator
 	topo    *topology.Topology
@@ -104,15 +147,11 @@ type engine struct {
 	hold    time.Duration
 	timeout time.Duration
 
-	// baseEpoch tags fingerprint equivalence groups with the identity of
-	// the baseline they were measured against. Rollback normally restores
-	// the exact pre-candidate forwarding state, but a rebuilt router may
-	// legitimately drift in content (a re-signaled TE LSP draws a fresh
-	// label) even when every flow outcome is intact. Any content drift
-	// bumps the epoch, so candidates measured against different baseline
-	// content can never share a verdict — that keeps fingerprint sharing
-	// sound without forbidding drift.
-	baseEpoch int
+	// pool holds the emulation lanes; pool[0] is always the primary.
+	pool []*replica
+	// failed flags a lane error so other lanes stop picking up new work.
+	failed atomic.Bool
+
 	// repByFP maps fingerprint -> the verified representative outcome.
 	repByFP map[string]*outcome
 
@@ -165,23 +204,28 @@ func Run(em *kne.Emulator, topo *topology.Topology, opts Options) (*Report, erro
 		StartedAt: em.Sim().Now(),
 	}
 
-	// Phase 1a: apply every k=1 candidate sequentially on the shared
-	// virtual clock, chaining rollbacks.
-	var all []*outcome
-	for _, el := range elems {
-		if e.interrupted() {
-			rep.Interrupted = true
-			break
-		}
-		o, err := e.evaluate(Candidate{Elements: []Element{el}})
-		if err != nil {
-			return nil, err
-		}
-		all = append(all, o)
+	e.buildPool(len(elems))
+	defer e.stopPool()
+	rep.Replicas = len(e.pool)
+	e.obs.Metrics().Gauge("sweep_replicas").Set(int64(len(e.pool)))
+
+	// Phase 1a: apply every k=1 candidate across the replica pool, each lane
+	// chaining rollbacks on its own emulator.
+	cands := make([]Candidate, len(elems))
+	for i, el := range elems {
+		cands[i] = Candidate{Elements: []Element{el}}
 	}
-	// Phase 2a: verify the k=1 representatives in parallel. This must
-	// precede pair enumeration — the independence prune needs to know
-	// which singles were harmless.
+	k1 := make([]*outcome, len(cands))
+	interrupted, err := e.runPhase(cands, k1)
+	if err != nil {
+		return nil, err
+	}
+	rep.Interrupted = interrupted
+	all := e.merge(k1)
+
+	// Phase 2a (barrier): verify the k=1 representatives in parallel. This
+	// must complete before pair enumeration — the independence prune needs
+	// to know which singles were harmless.
 	e.verifyAll(all)
 
 	if opts.K >= 2 && !rep.Interrupted {
@@ -189,32 +233,32 @@ func Run(em *kne.Emulator, topo *topology.Topology, opts Options) (*Report, erro
 		for _, o := range all {
 			single[o.cand.Elements[0].Describe()] = o
 		}
-		var pairs []*outcome
+		// Enumerate pairs in canonical order, deciding prunes up front from
+		// the merged k=1 verdicts; surviving pairs partition across lanes.
+		var pairCands []Candidate
+		var pairOut []*outcome
 		for i := 0; i < len(elems); i++ {
 			for j := i + 1; j < len(elems); j++ {
 				if sameTarget(elems[i], elems[j]) {
 					continue
 				}
-				if e.interrupted() {
-					rep.Interrupted = true
-					break
-				}
 				cand := Candidate{Elements: []Element{elems[i], elems[j]}}
 				a, b := single[elems[i].Describe()], single[elems[j].Describe()]
 				if !opts.Brute && independentlyHarmless(a, b) {
-					pairs = append(pairs, &outcome{cand: cand, pruned: "independent"})
+					pairCands = append(pairCands, cand)
+					pairOut = append(pairOut, &outcome{cand: cand, pruned: "independent"})
 					continue
 				}
-				o, err := e.evaluate(cand)
-				if err != nil {
-					return nil, err
-				}
-				pairs = append(pairs, o)
-			}
-			if rep.Interrupted {
-				break
+				pairCands = append(pairCands, cand)
+				pairOut = append(pairOut, nil)
 			}
 		}
+		interrupted, err := e.runPhase(pairCands, pairOut)
+		if err != nil {
+			return nil, err
+		}
+		rep.Interrupted = rep.Interrupted || interrupted
+		pairs := e.merge(pairOut)
 		e.verifyAll(pairs)
 		all = append(all, pairs...)
 	}
@@ -223,6 +267,199 @@ func Run(em *kne.Emulator, topo *topology.Topology, opts Options) (*Report, erro
 	rep.Wall = time.Since(wallStart)
 	e.assemble(rep, all)
 	return rep, nil
+}
+
+// buildPool sizes and constructs the emulation lanes. The desired size is
+// Replicas (or Workers when unset), capped by the candidate count and the
+// memory budget. Replica construction failure is never fatal: the sweep
+// degrades to the single-lane sequential path, which is always correct.
+func (e *engine) buildPool(nCands int) {
+	want := e.opts.Replicas
+	if want == 0 {
+		want = e.opts.Workers
+	}
+	if want <= 0 {
+		want = runtime.GOMAXPROCS(0)
+	}
+	if want > nCands {
+		want = nCands
+	}
+	budget := e.opts.MemoryBudget
+	if budget <= 0 {
+		budget = defaultMemoryBudget
+	}
+	if per := int64(len(e.em.Routers())) * replicaBytesPerRouter; per > 0 {
+		if max := int(budget / per); want > max {
+			want = max
+		}
+	}
+	if want < 1 {
+		want = 1
+	}
+	e.pool = []*replica{{id: 0, em: e.em, chain: e.chain, label: "0"}}
+	if want == 1 {
+		return
+	}
+	build := e.opts.BuildReplicas
+	if build == nil {
+		build = e.defaultBuildReplicas
+	}
+	ems, err := build(want - 1)
+	if err != nil || len(ems) == 0 {
+		e.obs.Metrics().Counter("sweep_replica_fallback_total").Inc()
+		return
+	}
+	for _, rem := range ems {
+		chain := e.chain.Fork(rem)
+		if _, err := chain.Snapshot(); err != nil {
+			e.obs.Metrics().Counter("sweep_replica_fallback_total").Inc()
+			for _, x := range ems {
+				x.Stop()
+			}
+			e.pool = e.pool[:1]
+			return
+		}
+		id := len(e.pool)
+		e.pool = append(e.pool, &replica{id: id, em: rem, chain: chain, label: fmt.Sprint(id)})
+	}
+}
+
+// defaultBuildReplicas is the generic pool factory: deterministic replay via
+// kne.Emulator.Replica on a local worker pool, each replica gated on
+// StateFingerprint equality with the primary. core.BuildReplicas replaces it
+// on the CLI path, where it shares the sharded-boot machinery.
+func (e *engine) defaultBuildReplicas(n int) ([]*kne.Emulator, error) {
+	want := e.em.StateFingerprint()
+	reps := make([]*kne.Emulator, n)
+	errs := make([]error, n)
+	runParallel(n, e.opts.Workers, func(i int) {
+		rep, err := e.em.Replica(e.hold, e.timeout)
+		if err != nil {
+			errs[i] = err
+			return
+		}
+		if got := rep.StateFingerprint(); got != want {
+			rep.Stop()
+			errs[i] = fmt.Errorf("sweep: replica %d replay diverged from the primary", i)
+			return
+		}
+		reps[i] = rep
+	})
+	for _, err := range errs {
+		if err != nil {
+			for _, r := range reps {
+				if r != nil {
+					r.Stop()
+				}
+			}
+			return nil, err
+		}
+	}
+	return reps, nil
+}
+
+// stopPool releases the replay lanes (the primary is caller-owned).
+func (e *engine) stopPool() {
+	for _, r := range e.pool[1:] {
+		r.em.Stop()
+	}
+}
+
+// runPhase evaluates the candidates whose slot in out is still nil, across
+// the replica pool: lane r owns every pending index i with i ≡ r (mod lanes),
+// evaluates its indices in increasing order chained on its own emulator, and
+// writes each outcome into the candidate's canonical slot. The slot merge
+// makes scheduling invisible: results are positionally identical to the
+// sequential engine's. Interruption (Ctx) stops every lane at its next
+// candidate boundary and leaves the remaining slots nil.
+func (e *engine) runPhase(cands []Candidate, out []*outcome) (bool, error) {
+	var todo []int
+	for i := range cands {
+		if out[i] == nil {
+			todo = append(todo, i)
+		}
+	}
+	if len(e.pool) == 1 {
+		for _, i := range todo {
+			if e.interrupted() {
+				return true, nil
+			}
+			o, err := e.evaluate(e.pool[0], cands[i])
+			if err != nil {
+				return false, err
+			}
+			out[i] = o
+		}
+		// Emit in canonical order (matching the merged slots), not apply order.
+		e.emitCandidates(out, todo)
+		return false, nil
+	}
+	lanes := len(e.pool)
+	errs := make([]error, lanes)
+	ints := make([]bool, lanes)
+	var wg sync.WaitGroup
+	for r := 0; r < lanes; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			lane := e.pool[r]
+			for j := r; j < len(todo); j += lanes {
+				if e.interrupted() {
+					ints[r] = true
+					return
+				}
+				if e.failed.Load() {
+					return
+				}
+				o, err := e.evaluate(lane, cands[todo[j]])
+				if err != nil {
+					errs[r] = err
+					e.failed.Store(true)
+					return
+				}
+				out[todo[j]] = o
+			}
+		}(r)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return false, err
+		}
+	}
+	e.emitCandidates(out, todo)
+	for _, b := range ints {
+		if b {
+			return true, nil
+		}
+	}
+	return false, nil
+}
+
+// emitCandidates publishes the per-candidate progress events for the just-
+// evaluated slots in canonical candidate order. Emission is deferred to the
+// phase barrier so the trace stays deterministic at any lane count.
+func (e *engine) emitCandidates(out []*outcome, todo []int) {
+	if !e.obs.Enabled() {
+		return
+	}
+	for _, i := range todo {
+		if o := out[i]; o != nil {
+			e.obs.Emit(obs.Event{Type: obs.EvSweepCandidate, Detail: o.cand.Describe(), Value: int64(len(o.dirty))})
+		}
+	}
+}
+
+// merge compacts a phase's outcome slots into the canonical-order outcome
+// list, dropping the slots an interruption left unevaluated.
+func (e *engine) merge(out []*outcome) []*outcome {
+	merged := make([]*outcome, 0, len(out))
+	for _, o := range out {
+		if o != nil {
+			merged = append(merged, o)
+		}
+	}
+	return merged
 }
 
 // sameTarget excludes degenerate pairs: failing a node and holding the same
@@ -261,32 +498,54 @@ func (e *engine) interrupted() bool {
 	return e.opts.Ctx != nil && e.opts.Ctx.Err() != nil
 }
 
-// evaluate applies one candidate, settles, snapshots the degraded state,
-// rolls the failure back, and verifies the rollback healed. The verification
-// of the impact itself is deferred to the parallel phase.
-func (e *engine) evaluate(c Candidate) (*outcome, error) {
-	clk := e.em.Sim()
-	o := &outcome{cand: c, base: *e.chain.Last()}
+// candSeed derives the per-candidate RNG seed: a pure function of the
+// candidate identity, so every lane (and the sequential engine) draws the
+// same jitter stream while evaluating it.
+func candSeed(c Candidate) int64 {
+	h := fnv.New64a()
+	for _, el := range c.Elements {
+		io.WriteString(h, el.Describe())
+		h.Write([]byte{0})
+	}
+	return int64(h.Sum64())
+}
+
+// evaluate applies one candidate on the given lane, settles, snapshots the
+// degraded state, rolls the failure back, and verifies the rollback healed.
+// The verification of the impact itself is deferred to the parallel phase.
+//
+// Before injection the lane's clock is advanced to the alignment grid and
+// its RNG reseeded from the candidate identity, which (together with the
+// globally aligned protocol timers) makes everything measured here a pure
+// function of (baseline, candidate) — independent of lane and history.
+func (e *engine) evaluate(r *replica, c Candidate) (*outcome, error) {
+	r.em.AlignClock(alignQuantum)
+	clk := r.em.Sim()
+	clk.Reseed(candSeed(c))
+	r.candidates.Add(1)
+	e.obs.Metrics().Counter("sweep_replica_candidates_total", "replica", r.label).Inc()
+
+	o := &outcome{cand: c, base: *r.chain.Last()}
 	injected := clk.Now()
 	applied := 0
 	var err error
 	for _, el := range c.Elements {
-		if err = e.apply(el); err != nil {
+		if err = e.apply(r, el); err != nil {
 			break
 		}
 		applied++
 	}
 	if err != nil {
 		for i := applied - 1; i >= 0; i-- {
-			if rbErr := e.rollback(c.Elements[i]); rbErr != nil {
+			if rbErr := e.rollback(r, c.Elements[i]); rbErr != nil {
 				return nil, fmt.Errorf("sweep: %s failed (%v); rollback also failed: %w", c.Describe(), err, rbErr)
 			}
 		}
 		return nil, fmt.Errorf("sweep: applying %s: %w", c.Describe(), err)
 	}
 
-	conv := e.em.Settle(e.hold, e.timeout)
-	if o.impact, err = e.chain.Snapshot(); err != nil {
+	conv := r.em.Settle(e.hold, e.timeout)
+	if o.impact, err = r.chain.Snapshot(); err != nil {
 		return nil, err
 	}
 	o.dirty = snapchain.DiffStamps(o.base.Stamps, o.impact.Stamps)
@@ -296,26 +555,23 @@ func (e *engine) evaluate(c Candidate) (*outcome, error) {
 	}
 	o.stragglers = conv.Stragglers
 	o.quarantined = conv.Quarantined
-	o.fp = e.fingerprint(o)
-	if e.obs.Enabled() {
-		e.obs.Emit(obs.Event{Type: obs.EvSweepCandidate, Detail: c.Describe(), Value: int64(len(o.dirty))})
-	}
+	o.fp = e.fingerprint(r, o)
 
-	// Roll back in reverse order and verify the heal: the next candidate's
-	// baseline is whatever state the rollback actually reached.
+	// Roll back in reverse order and verify the heal: the lane's next
+	// candidate baseline is whatever state the rollback actually reached.
 	for i := len(c.Elements) - 1; i >= 0; i-- {
-		if err := e.rollback(c.Elements[i]); err != nil {
+		if err := e.rollback(r, c.Elements[i]); err != nil {
 			return nil, fmt.Errorf("sweep: rolling back %s: %w", c.Describe(), err)
 		}
 	}
-	e.em.Settle(e.hold, e.timeout)
-	restored, err := e.chain.Snapshot()
+	r.em.Settle(e.hold, e.timeout)
+	restored, err := r.chain.Snapshot()
 	if err != nil {
 		return nil, err
 	}
 	// Content check: any router whose restored AFT is not byte-identical
 	// to its baseline content invalidates fingerprint sharing across this
-	// boundary (see baseEpoch). Outcome check: flows still diverging are
+	// boundary (see replica.epoch). Outcome check: flows still diverging are
 	// real residue, reported per row.
 	drifted := false
 	for _, name := range snapchain.DiffStamps(o.base.Stamps, restored.Stamps) {
@@ -326,55 +582,63 @@ func (e *engine) evaluate(c Candidate) (*outcome, error) {
 		}
 	}
 	if drifted {
-		e.baseEpoch++
-		o.residue = len(e.chain.Differential(o.base, restored))
+		r.epoch++
+		o.residue = len(r.chain.Differential(o.base, restored))
 	}
 	return o, nil
 }
 
-func (e *engine) apply(el Element) error {
+func (e *engine) apply(r *replica, el Element) error {
 	switch el.Kind {
 	case KindLink:
 		ep, err := topology.ParseEndpoint(el.Link)
 		if err != nil {
 			return err
 		}
-		return e.em.SetLinkDown(ep)
+		return r.em.SetLinkDown(ep)
 	case KindNode:
-		return e.em.FailRouter(el.Node)
+		return r.em.FailRouter(el.Node)
 	case KindBGP:
-		return e.em.HoldBGP(el.Node)
+		return r.em.HoldBGP(el.Node)
 	}
 	return fmt.Errorf("sweep: unknown element kind %q", el.Kind)
 }
 
-func (e *engine) rollback(el Element) error {
+func (e *engine) rollback(r *replica, el Element) error {
 	switch el.Kind {
 	case KindLink:
 		ep, err := topology.ParseEndpoint(el.Link)
 		if err != nil {
 			return err
 		}
-		return e.em.SetLinkUp(ep)
+		return r.em.SetLinkUp(ep)
 	case KindNode:
-		if err := e.em.RestoreRouter(el.Node); err != nil {
+		if err := r.em.RestoreRouter(el.Node); err != nil {
 			return err
 		}
-		return e.em.AwaitRunning(el.Node, e.timeout)
+		return r.em.AwaitRunning(el.Node, e.timeout)
 	case KindBGP:
-		return e.em.ReleaseBGP(el.Node)
+		return r.em.ReleaseBGP(el.Node)
 	}
 	return fmt.Errorf("sweep: unknown element kind %q", el.Kind)
 }
 
-// fingerprint keys the candidate's equivalence group: the baseline epoch
+// fingerprint keys the candidate's equivalence group: the baseline identity
 // plus, for every dirty router, its baseline and impact forwarding
 // fingerprints. Two candidates with equal fingerprints perturb identical
 // forwarding state identically against identical baselines, so their
-// differentials are equal and one verification serves both.
-func (e *engine) fingerprint(o *outcome) string {
+// differentials are equal and one verification serves both. While a lane's
+// epoch is zero its baseline is the canonical converged content every lane
+// shares ("epoch=0"); after a drift the group key is tagged with the lane
+// identity, so candidates measured against drifted baselines never share
+// verdicts across lanes.
+func (e *engine) fingerprint(r *replica, o *outcome) string {
 	h := sha256.New()
-	fmt.Fprintf(h, "epoch=%d;", e.baseEpoch)
+	if r.epoch == 0 {
+		fmt.Fprintf(h, "epoch=0;")
+	} else {
+		fmt.Fprintf(h, "epoch=r%d.%d;", r.id, r.epoch)
+	}
 	for _, name := range o.dirty {
 		var bf, impf string
 		if a := o.base.AFTs[name]; a != nil {

@@ -14,6 +14,18 @@
 // representatives is sharded across a worker pool with a deterministic
 // merge, so the ranked table is byte-identical at any worker count — and,
 // for k=1, byte-identical with pruning disabled.
+//
+// The apply→settle→rollback chain itself is also parallel: the engine forks
+// the converged emulation into a pool of deterministic replicas
+// (kne.Emulator.Replica) and partitions the candidate list across the lanes,
+// merging outcomes back into canonical candidate slots. Because every
+// periodic protocol timer ticks on a globally aligned grid and each
+// candidate's injection is clock-aligned and RNG-reseeded from its identity,
+// a candidate's measured timeline is a pure function of (baseline,
+// candidate) — so the partition is invisible and the ranked table stays
+// byte-identical at any replica count. The k=1 verification barrier sits
+// between the phases: all k=1 verdicts merge before k=2 pairs are
+// enumerated, because the independence prune consumes them.
 package sweep
 
 import (
@@ -22,6 +34,7 @@ import (
 	"strings"
 	"time"
 
+	"mfv/internal/kne"
 	"mfv/internal/obs"
 )
 
@@ -114,6 +127,21 @@ type Options struct {
 	Ctx context.Context
 	// Obs receives progress events and metrics. Nil disables.
 	Obs *obs.Observer
+	// Replicas sizes the emulation replica pool: the apply→settle→rollback
+	// chains run concurrently, one lane per replica. 0 derives the pool
+	// from Workers; 1 forces the single-emulator sequential path. The pool
+	// is additionally capped by the candidate count and by MemoryBudget.
+	// The ranked table is byte-identical at any replica count.
+	Replicas int
+	// MemoryBudget bounds the replica pool's estimated footprint in bytes
+	// (default 8 GiB): at most MemoryBudget / (routers × 256 KiB) lanes.
+	MemoryBudget int64
+	// BuildReplicas, when non-nil, boots n started-and-converged
+	// deterministic replicas of the primary emulator (the CLI wires
+	// core.BuildReplicas here to reuse the sharded-boot pool). Nil uses the
+	// generic kne replay. Build failure is non-fatal: the sweep degrades to
+	// the sequential path and counts sweep_replica_fallback_total.
+	BuildReplicas func(n int) ([]*kne.Emulator, error)
 }
 
 // Row is one ranked sweep result.
@@ -167,7 +195,12 @@ type Report struct {
 	// Violations counts candidates that lost at least one flow.
 	Violations int `json:"violations"`
 	// Residue counts candidates that did not fully heal on rollback.
-	Residue     int           `json:"restore_residue,omitempty"`
+	Residue int `json:"restore_residue,omitempty"`
+	// Replicas is the emulation-lane count the sweep actually ran with
+	// (after candidate-count and memory-budget caps, and after any
+	// replica-build fallback). Run-local, like Wall: two runs of the same
+	// space may differ here while their Rows are byte-identical.
+	Replicas    int           `json:"replicas"`
 	StartedAt   time.Duration `json:"started_at_ns"`
 	FinishedAt  time.Duration `json:"finished_at_ns"`
 	Wall        time.Duration `json:"wall_ns"`
@@ -228,8 +261,8 @@ func (r *Report) Render(top int) string {
 		fmt.Fprintf(&b, " (pruned: %d fingerprint, %d independent)",
 			r.PrunedFingerprint, r.PrunedIndependent)
 	}
-	fmt.Fprintf(&b, ", %d violation(s), %v virtual, %v wall\n",
-		r.Violations, r.FinishedAt-r.StartedAt, r.Wall.Round(time.Millisecond))
+	fmt.Fprintf(&b, ", %d violation(s), %d replica lane(s), %v virtual, %v wall\n",
+		r.Violations, r.Replicas, r.FinishedAt-r.StartedAt, r.Wall.Round(time.Millisecond))
 	if r.Interrupted {
 		fmt.Fprintf(&b, "sweep interrupted by wall-clock budget; %d candidate(s) ranked\n", len(r.Rows))
 	}

@@ -15,6 +15,30 @@ import (
 // mgmt selects the management-config level (0–2, see confgen). The topology
 // is mutated in place and returned for chaining.
 func ISISFabric(topo *topology.Topology, mgmt int) *topology.Topology {
+	return isisFabric(topo, mgmt, 0)
+}
+
+// BGPMeshFabric generates the same IS-IS fabric as ISISFabric and overlays
+// the WAN-style BGP service on the first min(4, routers) nodes: an iBGP
+// full mesh peered over loopbacks (update-source Loopback0, next-hop-self)
+// plus the eBGP injection edge on the first router. On a multi-region
+// topology the node order is region-major, so with ≥4 routers per region
+// the whole mesh sits inside the first region and its blast radius stays
+// region-local while the emulation spans every router — the shape behind
+// the nightly 1k-router k=2 failure sweep (`topogen -shape regions
+// -bgpmesh`). Per-region sizes below 4 shrink the mesh rather than peer
+// across disconnected regions.
+func BGPMeshFabric(topo *topology.Topology, mgmt int) *topology.Topology {
+	return isisFabric(topo, mgmt, 4)
+}
+
+func isisFabric(topo *topology.Topology, mgmt, mesh int) *topology.Topology {
+	if mesh > len(topo.Nodes) {
+		mesh = len(topo.Nodes)
+	}
+	if region := regionSize(topo); region > 0 && mesh > region {
+		mesh = region
+	}
 	addrs := map[topology.Endpoint]netip.Prefix{}
 	// Pre-bucket link endpoints per node: NodeLinks scans every link, which
 	// turns 10k-router generation quadratic.
@@ -46,9 +70,59 @@ func ISISFabric(topo *topology.Topology, mgmt int) *topology.Topology {
 				Name: ep.Interface, Addr: addrs[ep], ISIS: true,
 			})
 		}
+		if i < mesh {
+			lo := ScaleLoopback(i)
+			spec.BGP = &confgen.BGP{
+				ASN:      65000,
+				RouterID: lo,
+				Networks: []netip.Prefix{netip.PrefixFrom(lo, 32)},
+			}
+			for j := 0; j < mesh; j++ {
+				if j == i {
+					continue
+				}
+				spec.BGP.Neighbors = append(spec.BGP.Neighbors, confgen.Neighbor{
+					Addr:         ScaleLoopback(j),
+					RemoteAS:     65000,
+					UpdateSource: "Loopback0",
+					NextHopSelf:  true,
+				})
+			}
+			if i == 0 {
+				// Injection edge, addressed like testnet.WAN's.
+				spec.Interfaces = append(spec.Interfaces, confgen.Iface{
+					Name: "Ethernet99", Addr: netip.MustParsePrefix("198.51.100.0/31"),
+				})
+				spec.BGP.Neighbors = append(spec.BGP.Neighbors, confgen.Neighbor{
+					Addr: netip.MustParseAddr("198.51.100.1"), RemoteAS: 64700,
+				})
+			}
+		}
 		node.Config = confgen.EOS(spec)
 	}
 	return topo
+}
+
+// regionSize returns the per-region node count of a topology built by
+// topology.MultiRegion (node names g<region>n<index>, region-major order),
+// or 0 when the topology is not region-shaped.
+func regionSize(topo *topology.Topology) int {
+	var g, idx int
+	if len(topo.Nodes) == 0 {
+		return 0
+	}
+	if _, err := fmt.Sscanf(topo.Nodes[0].Name, "g%dn%d", &g, &idx); err != nil || g != 1 || idx != 1 {
+		return 0
+	}
+	for i, n := range topo.Nodes[1:] {
+		if _, err := fmt.Sscanf(n.Name, "g%dn%d", &g, &idx); err != nil {
+			return 0
+		}
+		if g != 1 {
+			return i + 1
+		}
+	}
+	return len(topo.Nodes)
 }
 
 // ScaleLoopback returns the loopback address ISISFabric assigns to the

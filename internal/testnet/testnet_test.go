@@ -156,3 +156,54 @@ func TestWANPanicsOnTiny(t *testing.T) {
 	}()
 	WAN(1, false)
 }
+
+func TestBGPMeshFabric(t *testing.T) {
+	topo := BGPMeshFabric(topology.MultiRegion(3, 6, topology.VendorEOS), 1)
+	if err := topo.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for i, n := range topo.Nodes {
+		if _, diags, err := eos.Parse(n.Config); err != nil || len(diags.Unknown) > 0 {
+			t.Fatalf("%s: config invalid: %v %v", n.Name, err, diags.Unknown)
+		}
+		hasBGP := strings.Contains(n.Config, "router bgp 65000")
+		if want := i < 4; hasBGP != want {
+			t.Errorf("%s: bgp config = %v, want %v", n.Name, hasBGP, want)
+		}
+	}
+	first := topo.Nodes[0]
+	if !strings.Contains(first.Config, "neighbor 198.51.100.1 remote-as 64700") {
+		t.Errorf("injection edge missing:\n%s", first.Config)
+	}
+	// Mesh peers over loopbacks: g1n1 peers with g1n2..g1n4 (1.1.0.2-4).
+	for _, peer := range []string{"1.1.0.2", "1.1.0.3", "1.1.0.4"} {
+		if !strings.Contains(first.Config, "neighbor "+peer+" remote-as 65000") {
+			t.Errorf("mesh peer %s missing from g1n1", peer)
+		}
+	}
+	// The whole mesh sits inside region 1 — regions stay disconnected.
+	for _, n := range topo.Nodes[:4] {
+		if !strings.HasPrefix(n.Name, "g1n") {
+			t.Errorf("mesh router %s outside the first region", n.Name)
+		}
+	}
+}
+
+// TestBGPMeshFabricTinyRegions pins the mesh clamp: with regions smaller
+// than the mesh, peering must shrink to the region rather than span
+// disconnected regions.
+func TestBGPMeshFabricTinyRegions(t *testing.T) {
+	topo := BGPMeshFabric(topology.MultiRegion(4, 3, topology.VendorEOS), 1)
+	meshed := 0
+	for _, n := range topo.Nodes {
+		if strings.Contains(n.Config, "router bgp 65000") {
+			meshed++
+			if !strings.HasPrefix(n.Name, "g1n") {
+				t.Errorf("mesh router %s outside the first region", n.Name)
+			}
+		}
+	}
+	if meshed != 3 {
+		t.Errorf("mesh size = %d, want 3 (clamped to the region)", meshed)
+	}
+}

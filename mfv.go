@@ -25,6 +25,7 @@ package mfv
 import (
 	"fmt"
 	"net/netip"
+	"time"
 
 	"mfv/internal/aft"
 	"mfv/internal/chaos"
@@ -366,10 +367,25 @@ const (
 // completed emulation run, applies each candidate, scores its blast radius
 // against the healthy baseline with the delta differential, and rolls it
 // back — returning the ranked report. Requires an emulation-backend result
-// (Result.Emulator non-nil).
+// (Result.Emulator non-nil). Unless the caller supplies its own
+// BuildReplicas, the replica pool boots through core.BuildReplicas, which
+// shares the sharded-boot worker machinery and gates every lane on state-
+// fingerprint equality with the primary.
 func RunSweep(res *Result, topo *Topology, opts SweepOptions) (*SweepReport, error) {
 	if res.Emulator == nil {
 		return nil, fmt.Errorf("mfv: RunSweep needs an emulation result (BackendEmulation)")
+	}
+	if opts.BuildReplicas == nil {
+		em, hold, timeout := res.Emulator, opts.Hold, opts.Timeout
+		if hold == 0 {
+			hold = 2 * time.Minute
+		}
+		if timeout == 0 {
+			timeout = 30 * time.Minute
+		}
+		opts.BuildReplicas = func(n int) ([]*kne.Emulator, error) {
+			return core.BuildReplicas(em, n, hold, timeout)
+		}
 	}
 	return sweep.Run(res.Emulator, topo, opts)
 }

@@ -15,6 +15,17 @@
 //	mfv chaos     [-write DIR]    (list built-in fault scenarios)
 //	mfv chaos     -topo net.json [-scenario NAME|FILE] [-listen ADDR]
 //	              (execute a fault scenario, optionally watched live)
+//	mfv snapshot  save -topo net.json -file snap.mfv  (converge once, persist)
+//	mfv snapshot  load -file snap.mfv                 (validate + summarize)
+//
+// Crash safety: run and diff take -from-snapshot FILE (and diff
+// -from-snapshot2) to restore converged state from a durable snapshot
+// instead of booting the emulation; sweep -from-snapshot gates its baseline
+// on the snapshot's dataplane hash. sweep -journal DIR appends each verdict
+// to a write-ahead journal and sweep -resume DIR restores completed
+// candidates after a crash, SIGINT, or -timeout expiry — the resumed report
+// is byte-identical to an uninterrupted run. SIGINT/SIGTERM cancel the run
+// context: the partial report is emitted and the exit code is 5.
 //
 // The run command also takes -chaos NAME|FILE to inject a deterministic
 // fault scenario after convergence and -degraded to accept partial
@@ -43,10 +54,12 @@ import (
 	"fmt"
 	"net/netip"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"runtime"
 	"runtime/pprof"
 	"sort"
+	"syscall"
 	"time"
 
 	"mfv"
@@ -139,34 +152,48 @@ func main() {
 		err = cmdChaos(args)
 	case "sweep":
 		err = cmdSweep(args)
+	case "snapshot":
+		err = cmdSnapshot(args)
 	default:
 		usage()
 		os.Exit(exitUsage)
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "mfv:", err)
-		var u usageError
-		if errors.As(err, &u) {
-			os.Exit(exitUsage)
-		}
-		var t timeoutError
-		if errors.As(err, &t) {
-			os.Exit(exitTimeout)
-		}
-		var v violationError
-		if errors.As(err, &v) {
-			os.Exit(exitViolation)
-		}
-		var d degradedError
-		if errors.As(err, &d) {
-			os.Exit(exitDegraded)
-		}
-		os.Exit(exitError)
+		os.Exit(exitCode(err))
 	}
 }
 
+// exitCode maps a command error to the documented exit code. The 5 > 4 > 3
+// precedence is enforced where the errors are made: withBudget wraps any
+// body error once the clock or a signal fires (a truncated run must never
+// masquerade as a trustworthy verdict), and command bodies diagnose
+// quarantine before they report mere flow violations.
+func exitCode(err error) int {
+	if err == nil {
+		return exitOK
+	}
+	var u usageError
+	if errors.As(err, &u) {
+		return exitUsage
+	}
+	var t timeoutError
+	if errors.As(err, &t) {
+		return exitTimeout
+	}
+	var v violationError
+	if errors.As(err, &v) {
+		return exitViolation
+	}
+	var d degradedError
+	if errors.As(err, &d) {
+		return exitDegraded
+	}
+	return exitError
+}
+
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: mfv <run|lint|reach|trace|diff|coverage|loops|scenarios|chaos|sweep> [flags]
+	fmt.Fprintln(os.Stderr, `usage: mfv <run|lint|reach|trace|diff|coverage|loops|scenarios|chaos|sweep|snapshot> [flags]
   run       run the pipeline, print route summary and convergence timing
   lint      preflight snapshot validation without booting the emulation
             (-live additionally runs the pipeline and audits AFTs vs RIBs)
@@ -185,13 +212,22 @@ func usage() {
             verify each against the healthy baseline, and rank blast radii
             worst-first (-kinds link,node,bgp restricts elements, -brute
             disables the prunes, -top N truncates the table)
+  snapshot  save: converge once and persist the result as a durable,
+            CRC-checksummed snapshot file; load: validate and summarize one
 
 robustness flags (run): -chaos NAME|FILE (inject a fault scenario after
   convergence and verify across it), -degraded (accept partial convergence
   on timeout; stragglers are reported, not fatal)
+crash-safety flags: -from-snapshot FILE on run/diff/sweep (restore converged
+  state instead of booting; diff also takes -from-snapshot2; sweep gates its
+  baseline on the snapshot's dataplane hash); sweep -journal DIR (write-ahead
+  journal of per-candidate verdicts), sweep -resume DIR (skip journaled
+  candidates after a crash; the resumed report is byte-identical to an
+  uninterrupted run), sweep -retry-budget N (attempts before a panicking
+  candidate is poisoned in the report, default 3)
 budget flags (run/diff/chaos/sweep): -timeout DUR (wall-clock budget; an
   expired budget stops the run between steps, emits the partial report, and
-  exits 5)
+  exits 5); SIGINT/SIGTERM cancel the same context — partial report, exit 5
 observability flags (run/diff/chaos): -trace FILE (JSONL event trace,
   virtual time), -metrics (phase timings + metrics registry), -timeline
   (per-router convergence report), -json (machine-readable report instead
@@ -214,29 +250,31 @@ exit codes: 0 ok, 1 operational error, 2 usage, 3 verification violation,
 // common flags
 
 type runFlags struct {
-	fs       *flag.FlagSet
-	topo     string
-	topo2    string
-	backend  string
-	gnmi     bool
-	src      string
-	dst      string
-	out      string
-	node     string
-	cmd      string
-	trace    string
-	metrics  bool
-	timeline bool
-	jsonOut  bool
-	listen   string
-	holdOpen time.Duration
-	chaos    string
-	degraded bool
-	sharded  bool
-	workers  int
-	budget   time.Duration
-	cpuprof  string
-	memprof  string
+	fs        *flag.FlagSet
+	topo      string
+	topo2     string
+	backend   string
+	gnmi      bool
+	src       string
+	dst       string
+	out       string
+	node      string
+	cmd       string
+	trace     string
+	metrics   bool
+	timeline  bool
+	jsonOut   bool
+	listen    string
+	holdOpen  time.Duration
+	chaos     string
+	degraded  bool
+	sharded   bool
+	workers   int
+	budget    time.Duration
+	cpuprof   string
+	memprof   string
+	fromSnap  string
+	fromSnap2 string
 
 	obs    *mfv.Observer
 	server *mfv.ObsServer
@@ -267,6 +305,8 @@ func newFlags(name string) *runFlags {
 	f.fs.DurationVar(&f.budget, "timeout", 0, "wall-clock budget; when it expires the run stops between steps, emits its partial report, and exits 5")
 	f.fs.StringVar(&f.cpuprof, "cpuprofile", "", "write a CPU profile to this file (go tool pprof format)")
 	f.fs.StringVar(&f.memprof, "memprofile", "", "write a heap profile to this file on exit")
+	f.fs.StringVar(&f.fromSnap, "from-snapshot", "", "restore converged state from this snapshot file (run/diff skip the emulation boot; sweep cross-checks its baseline against the snapshot)")
+	f.fs.StringVar(&f.fromSnap2, "from-snapshot2", "", "snapshot file for the second side of diff")
 	return f
 }
 
@@ -482,20 +522,72 @@ func (f *runFlags) run(path string) (*mfv.Result, error) {
 	return mfv.Run(mfv.Snapshot{Topology: topo}, opts)
 }
 
-// withBudget brackets a command body with the -timeout wall-clock budget:
-// the context lands in f.ctx (plumbed into convergence waits, the chaos
-// engine, and the sweep loop), and an expired budget converts the body's
-// outcome into exit code 5 — after the body has emitted whatever partial
-// report it salvaged.
-func (f *runFlags) withBudget(body func() error) error {
-	if f.budget <= 0 {
-		return body()
+// loadSnapshot reads and validates a snapshot file. When a -topo file is
+// also on the command line the two are cross-checked by topology hash: a
+// snapshot silently restored against the wrong topology would verify a
+// network nobody is running.
+func (f *runFlags) loadSnapshot(path, topoPath string) (*mfv.StoredSnapshot, error) {
+	snap, err := mfv.LoadSnapshot(path)
+	if err != nil {
+		return nil, err
 	}
-	ctx, cancel := context.WithTimeout(context.Background(), f.budget)
+	if topoPath != "" {
+		topo, err := f.loadTopo(topoPath)
+		if err != nil {
+			return nil, err
+		}
+		data, err := topo.Marshal()
+		if err != nil {
+			return nil, err
+		}
+		if got := mfv.HashBytes(data); got != snap.TopologyHash {
+			return nil, usagef("snapshot %s captures topology %.12s…, but %s hashes to %.12s…", path, snap.TopologyHash, topoPath, got)
+		}
+	}
+	return snap, nil
+}
+
+// runFrom produces a Result from either a topology file (full pipeline) or
+// a -from-snapshot file (validated restore, no emulation boot).
+func (f *runFlags) runFrom(topoPath, snapPath string) (*mfv.Result, error) {
+	if snapPath == "" {
+		return f.run(topoPath)
+	}
+	snap, err := f.loadSnapshot(snapPath, topoPath)
+	if err != nil {
+		return nil, err
+	}
+	opts, err := f.options()
+	if err != nil {
+		return nil, err
+	}
+	return mfv.RunFromSnapshot(snap, opts)
+}
+
+// withBudget brackets a command body with the -timeout wall-clock budget
+// and SIGINT/SIGTERM handling: the context lands in f.ctx (plumbed into
+// convergence waits, the chaos engine, and the sweep loop), and an expired
+// budget or a delivered signal converts the body's outcome into exit code 5
+// — after the body has emitted whatever partial report it salvaged. A
+// second signal falls through to the runtime's default handler and kills
+// the process, so a wedged run can still be interrupted.
+func (f *runFlags) withBudget(body func() error) error {
+	base, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	ctx, cancel := base, context.CancelFunc(func() {})
+	if f.budget > 0 {
+		ctx, cancel = context.WithTimeout(base, f.budget)
+	}
 	defer cancel()
 	f.ctx = ctx
 	bodyErr := body()
 	if ctx.Err() != nil {
+		if base.Err() != nil {
+			if bodyErr != nil {
+				return timeoutf("interrupted: %v", bodyErr)
+			}
+			return timeoutf("interrupted; report is partial")
+		}
 		if bodyErr != nil {
 			return timeoutf("wall-clock budget %v exhausted: %v", f.budget, bodyErr)
 		}
@@ -530,7 +622,7 @@ func cmdRun(args []string) error {
 }
 
 func runBody(f *runFlags) error {
-	res, err := f.run(f.topo)
+	res, err := f.runFrom(f.topo, f.fromSnap)
 	if err != nil {
 		return err
 	}
@@ -699,11 +791,11 @@ func cmdDiff(args []string) error {
 }
 
 func diffBody(f *runFlags) error {
-	before, err := f.run(f.topo)
+	before, err := f.runFrom(f.topo, f.fromSnap)
 	if err != nil {
 		return err
 	}
-	after, err := f.run(f.topo2)
+	after, err := f.runFrom(f.topo2, f.fromSnap2)
 	if err != nil {
 		return err
 	}
@@ -872,6 +964,9 @@ func cmdSweep(args []string) error {
 	top := f.fs.Int("top", 0, "print only the worst N rows (0 = all)")
 	replicas := f.fs.Int("replicas", 0, "emulation replica lanes for the apply/settle/rollback chains (0 = derive from -workers; capped by the memory budget)")
 	memBudget := f.fs.Int64("mem-budget", 0, "replica-pool memory budget in bytes (0 = 8 GiB; pool capped at budget / (routers × 256 KiB))")
+	journal := f.fs.String("journal", "", "append each candidate verdict to a write-ahead journal in this directory (crash insurance; pair with -resume)")
+	resume := f.fs.String("resume", "", "resume from the journal in this directory: already-completed candidates are restored, not re-verified (implies -journal DIR)")
+	retry := f.fs.Int("retry-budget", 0, "evaluation attempts per candidate before a repeatedly panicking lane poisons it in the report (0 = default 3)")
 	f.fs.Parse(args)
 	if f.workers <= 0 {
 		return usagef("sweep: -workers must be positive (got %d)", f.workers)
@@ -879,20 +974,44 @@ func cmdSweep(args []string) error {
 	if *replicas < 0 {
 		return usagef("sweep: -replicas must be non-negative (got %d)", *replicas)
 	}
+	if *retry < 0 {
+		return usagef("sweep: -retry-budget must be non-negative (got %d)", *retry)
+	}
+	journalDir, resuming := *journal, false
+	if *resume != "" {
+		if journalDir != "" && journalDir != *resume {
+			return usagef("sweep: -journal %q and -resume %q name different directories", journalDir, *resume)
+		}
+		journalDir, resuming = *resume, true
+	}
 	return f.withBudget(func() error {
 		return f.withProfiles(func() error {
-			return f.withServe(func() error { return sweepBody(f, *k, *kinds, *brute, *top, *replicas, *memBudget) })
+			return f.withServe(func() error {
+				return sweepBody(f, *k, *kinds, *brute, *top, *replicas, *memBudget, journalDir, resuming, *retry)
+			})
 		})
 	})
 }
 
-func sweepBody(f *runFlags, k int, kindCSV string, brute bool, top, replicas int, memBudget int64) error {
+func sweepBody(f *runFlags, k int, kindCSV string, brute bool, top, replicas int, memBudget int64, journalDir string, resume bool, retryBudget int) error {
 	kinds, err := mfv.ParseSweepKinds(kindCSV)
 	if err != nil {
 		return err
 	}
-	topo, err := f.loadTopo(f.topo)
-	if err != nil {
+	// -from-snapshot supplies the topology (the snapshot embeds it) and,
+	// after the baseline converges, gates the sweep on dataplane-hash
+	// equality: journaled verdicts are only comparable when the healthy
+	// baseline is the one the snapshot captured.
+	var topo *mfv.Topology
+	var snap *mfv.StoredSnapshot
+	if f.fromSnap != "" {
+		if snap, err = f.loadSnapshot(f.fromSnap, f.topo); err != nil {
+			return err
+		}
+		if topo, err = snap.Topology(); err != nil {
+			return err
+		}
+	} else if topo, err = f.loadTopo(f.topo); err != nil {
 		return err
 	}
 	opts, err := f.options()
@@ -903,9 +1022,15 @@ func sweepBody(f *runFlags, k int, kindCSV string, brute bool, top, replicas int
 	if err != nil {
 		return err
 	}
+	if snap != nil {
+		if got := mfv.DataplaneHash(res.AFTs); got != snap.DataplaneHash {
+			return fmt.Errorf("converged dataplane %.12s… does not match snapshot %.12s… — state drifted since capture, refusing to sweep against it", got, snap.DataplaneHash)
+		}
+	}
 	rep, err := mfv.RunSweep(res, topo, mfv.SweepOptions{
 		K: k, Kinds: kinds, Workers: f.workers, Brute: brute,
 		Replicas: replicas, MemoryBudget: memBudget,
+		JournalDir: journalDir, Resume: resume, RetryBudget: retryBudget,
 		Ctx: f.ctx, Obs: f.observer(),
 	})
 	if err != nil {
@@ -925,14 +1050,65 @@ func sweepBody(f *runFlags, k int, kindCSV string, brute bool, top, replicas int
 	}
 	degraded := 0
 	for _, row := range rep.Rows {
-		if len(row.Stragglers) > 0 || len(row.Quarantined) > 0 || row.Residue > 0 {
+		if len(row.Stragglers) > 0 || len(row.Quarantined) > 0 || row.Residue > 0 || row.Poisoned != "" {
 			degraded++
 		}
 	}
 	if degraded > 0 {
-		return degradedf("%d candidates left stragglers, quarantined routers, or restore residue", degraded)
+		return degradedf("%d candidates left stragglers, quarantined routers, restore residue, or were poisoned", degraded)
 	}
 	return nil
+}
+
+// cmdSnapshot persists and inspects converged-state artifacts. `save` runs
+// the full pipeline and writes the durable snapshot; `load` validates a
+// file (magic, version, CRC, embedded hashes) and prints its summary
+// without booting anything.
+func cmdSnapshot(args []string) error {
+	if len(args) == 0 {
+		return usagef("snapshot: missing subcommand (save|load)")
+	}
+	sub, rest := args[0], args[1:]
+	f := newFlags("snapshot " + sub)
+	file := f.fs.String("file", "", "snapshot file path")
+	f.fs.Parse(rest)
+	if *file == "" {
+		return usagef("snapshot %s: missing -file", sub)
+	}
+	switch sub {
+	case "save":
+		topo, err := f.loadTopo(f.topo)
+		if err != nil {
+			return err
+		}
+		opts, err := f.options()
+		if err != nil {
+			return err
+		}
+		res, err := mfv.Run(mfv.Snapshot{Topology: topo}, opts)
+		if err != nil {
+			return err
+		}
+		snap, err := mfv.CaptureSnapshot(topo, res)
+		if err != nil {
+			return err
+		}
+		if err := mfv.SaveSnapshot(snap, *file); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", *file)
+		fmt.Println(snap.Summary())
+		return nil
+	case "load":
+		snap, err := f.loadSnapshot(*file, f.topo)
+		if err != nil {
+			return err
+		}
+		fmt.Println(snap.Summary())
+		return nil
+	default:
+		return usagef("snapshot: unknown subcommand %q (want save|load)", sub)
+	}
 }
 
 // cmdChaos has two modes. Without -topo it lists (and optionally writes)

@@ -49,14 +49,23 @@ const (
 	BackendEmulation Backend = iota
 	// BackendModel is the reference-model baseline (Batfish-analogue).
 	BackendModel
+	// BackendSnapshot restores a previously captured converged dataplane
+	// from a durable store.Snapshot — no control-plane emulation, no
+	// convergence wait, just the stored AFTs rebuilt into a verification
+	// network (RunFromSnapshot).
+	BackendSnapshot
 )
 
 // String names the backend.
 func (b Backend) String() string {
-	if b == BackendModel {
+	switch b {
+	case BackendModel:
 		return "model"
+	case BackendSnapshot:
+		return "snapshot"
+	default:
+		return "emulation"
 	}
-	return "emulation"
 }
 
 // InjectedFeed attaches an external BGP peer feeding routes into the
@@ -538,14 +547,20 @@ func bootPool(n int, worker func(i int) error) error {
 // BuildReplicas boots n deterministic replicas of a converged emulation in
 // parallel on the sharded-boot worker pool. Each replica replays the
 // primary's boot (kne.Emulator.Replica) and is gated on StateFingerprint
-// equality with the primary — a replay that converges to different content
-// fails the whole build rather than silently skewing downstream verdicts.
+// equality with wantFP — a replay that converges to different content fails
+// the whole build rather than silently skewing downstream verdicts. An empty
+// wantFP gates against the primary's current state; lane supervision passes
+// the fingerprint captured while the baseline was known healthy, so a
+// rebuild mid-sweep cannot inherit drift from a since-perturbed primary.
 // The sweep engine uses this as its replica pool factory.
-func BuildReplicas(primary *kne.Emulator, n int, hold, timeout time.Duration) ([]*kne.Emulator, error) {
+func BuildReplicas(primary *kne.Emulator, n int, wantFP string, hold, timeout time.Duration) ([]*kne.Emulator, error) {
 	if n <= 0 {
 		return nil, nil
 	}
-	want := primary.StateFingerprint()
+	want := wantFP
+	if want == "" {
+		want = primary.StateFingerprint()
+	}
 	reps := make([]*kne.Emulator, n)
 	err := bootPool(n, func(i int) error {
 		rep, err := primary.Replica(hold, timeout)

@@ -291,9 +291,11 @@ func TestStartClose(t *testing.T) {
 }
 
 // TestSweepReplicaMetricsExposed pins the replica-pool observability
-// contract: the sweep_replicas gauge and the per-lane
-// sweep_replica_candidates_total counters flow through both expositions, and
-// the embedded dashboard carries the replica-lane section that renders them.
+// contract: the sweep_replicas gauge, the per-lane
+// sweep_replica_candidates_total counters, and the lane supervision
+// counters (restarts, retries, poisonings, journal restores) flow through
+// both expositions, and the embedded dashboard carries the replica-lane
+// section that renders them.
 func TestSweepReplicaMetricsExposed(t *testing.T) {
 	o := obs.NewMetricsOnly()
 	_, ts := newTestServer(t, o)
@@ -301,6 +303,11 @@ func TestSweepReplicaMetricsExposed(t *testing.T) {
 	for lane, n := range map[string]int{"0": 21, "1": 21, "2": 21, "3": 20} {
 		o.Counter("sweep_replica_candidates_total", "replica", lane).Add(uint64(n))
 	}
+	o.Counter("sweep_lane_restarts_total", "replica", "1", "cause", "panic").Inc()
+	o.Counter("sweep_lane_restarts_total", "replica", "1", "cause", "drift").Inc()
+	o.Counter("sweep_candidates_retried_total").Add(2)
+	o.Counter("sweep_candidates_poisoned_total").Inc()
+	o.Counter("sweep_candidates_restored_total").Add(40)
 
 	code, body, _ := get(t, ts.URL+"/metrics")
 	if code != http.StatusOK {
@@ -311,6 +318,11 @@ func TestSweepReplicaMetricsExposed(t *testing.T) {
 		"sweep_replicas 4",
 		`sweep_replica_candidates_total{replica="0"} 21`,
 		`sweep_replica_candidates_total{replica="3"} 20`,
+		`sweep_lane_restarts_total{cause="panic",replica="1"} 1`,
+		`sweep_lane_restarts_total{cause="drift",replica="1"} 1`,
+		"sweep_candidates_retried_total 2",
+		"sweep_candidates_poisoned_total 1",
+		"sweep_candidates_restored_total 40",
 	} {
 		if !strings.Contains(body, want) {
 			t.Errorf("/metrics missing %q", want)
@@ -336,7 +348,12 @@ func TestSweepReplicaMetricsExposed(t *testing.T) {
 	}
 
 	_, page, _ := get(t, ts.URL+"/")
-	for _, want := range []string{`id="replicas-section"`, `id="replicas"`, "sweep_replica_candidates_total"} {
+	for _, want := range []string{
+		`id="replicas-section"`, `id="replicas"`, `id="lane-health"`,
+		"sweep_replica_candidates_total", "sweep_lane_restarts_total",
+		"sweep_candidates_retried_total", "sweep_candidates_poisoned_total",
+		"sweep_candidates_restored_total", "<th>restarts</th>",
+	} {
 		if !strings.Contains(page, want) {
 			t.Errorf("dashboard missing %q", want)
 		}

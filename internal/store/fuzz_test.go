@@ -1,0 +1,45 @@
+package store_test
+
+import (
+	"testing"
+
+	"mfv/internal/store"
+)
+
+// FuzzSnapshotDecode hammers the snapshot decoder with hostile bytes:
+// truncations, flipped CRC and payload bytes, version skew, and raw garbage.
+// The decoder must return a diagnostic or a fully valid snapshot — never
+// panic (PR 5 hardening contract).
+func FuzzSnapshotDecode(f *testing.F) {
+	valid, err := buildSnapshot(f).Encode()
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(valid)
+	truncated := append([]byte(nil), valid[:len(valid)/2]...)
+	f.Add(truncated)
+	crcFlipped := append([]byte(nil), valid...)
+	crcFlipped[20] ^= 0x01
+	f.Add(crcFlipped)
+	skewed := append([]byte(nil), valid...)
+	skewed[8] = 0x7F
+	f.Add(skewed)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s, err := store.Decode(data)
+		if err != nil {
+			return
+		}
+		// Anything the decoder accepts must survive the full accessor
+		// surface and re-encode cleanly.
+		if _, err := s.Topology(); err != nil {
+			t.Fatalf("accepted snapshot with bad topology: %v", err)
+		}
+		if _, err := s.AFTs(); err != nil {
+			t.Fatalf("accepted snapshot with bad AFTs: %v", err)
+		}
+		if _, err := s.Encode(); err != nil {
+			t.Fatalf("accepted snapshot does not re-encode: %v", err)
+		}
+	})
+}

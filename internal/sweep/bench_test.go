@@ -137,3 +137,53 @@ func BenchmarkSweepDoubleFailure(b *testing.B) {
 		b.Errorf("violation counts differ: pruned %d, brute %d", pruned.Violations, brute.Violations)
 	}
 }
+
+// BenchmarkSweepResume measures what the write-ahead journal buys after a
+// crash: the cold arm runs the WAN30 BGP single-failure sweep journaling
+// every verdict; the resumed arm re-runs over the completed journal,
+// restoring every candidate instead of re-applying and re-verifying it.
+// The reports must be byte-identical — the gap between the arms is the
+// crash-recovery win recorded in EXPERIMENTS.md E15.
+func BenchmarkSweepResume(b *testing.B) {
+	reports := map[string]*Report{}
+	opts := func(dir string, resume bool) Options {
+		return Options{K: 1, Kinds: []Kind{KindBGP}, Workers: 1, JournalDir: dir, Resume: resume}
+	}
+	b.Run("cold", func(b *testing.B) {
+		em := benchBoot(b, 30)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			rep, err := Run(em, testnet.WAN(30, true), opts(b.TempDir(), false))
+			if err != nil {
+				b.Fatal(err)
+			}
+			if reports["cold"] == nil {
+				reports["cold"] = rep
+			}
+		}
+	})
+	b.Run("resumed", func(b *testing.B) {
+		em := benchBoot(b, 30)
+		dir := b.TempDir()
+		if _, err := Run(em, testnet.WAN(30, true), opts(dir, false)); err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			rep, err := Run(em, testnet.WAN(30, true), opts(dir, true))
+			if err != nil {
+				b.Fatal(err)
+			}
+			if reports["resumed"] == nil {
+				reports["resumed"] = rep
+			}
+		}
+	})
+	cold, resumed := reports["cold"], reports["resumed"]
+	if cold == nil || resumed == nil {
+		return
+	}
+	if cold.Table(0) != resumed.Table(0) {
+		b.Error("resumed ranked table differs from the cold run")
+	}
+}

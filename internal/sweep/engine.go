@@ -15,6 +15,7 @@ import (
 	"mfv/internal/kne"
 	"mfv/internal/obs"
 	"mfv/internal/snapchain"
+	"mfv/internal/store"
 	"mfv/internal/topology"
 	"mfv/internal/verify"
 )
@@ -38,6 +39,18 @@ const replicaBytesPerRouter = 256 << 10
 
 // defaultMemoryBudget bounds the replica pool at 8 GiB unless overridden.
 const defaultMemoryBudget int64 = 8 << 30
+
+// journalChunkSize is the durability granularity of a journaled sweep: each
+// phase is processed in contiguous canonical-order chunks of this many
+// candidates, with verification and an fsynced journal flush at each chunk
+// barrier. A crash loses at most one in-flight chunk. Chunks are canonical
+// prefixes, so the fingerprint-dedup walk (representative assignment) is
+// provably identical to the unjournaled single-barrier walk.
+const journalChunkSize = 32
+
+// defaultRetryBudget caps re-attempts of a candidate whose evaluation
+// panicked before the candidate is poisoned.
+const defaultRetryBudget = 3
 
 // Enumerate lists the failure elements of the requested kinds present in the
 // healthy emulation, in canonical order (links, then nodes, then BGP; each
@@ -98,10 +111,21 @@ func Enumerate(em *kne.Emulator, topo *topology.Topology, kinds []Kind) []Elemen
 	return out
 }
 
+// verdict is a candidate's verification result in self-contained, journalable
+// form: the counts the report ranks on plus the rendered (capped) diff
+// sample. Live verify.Diff values need the in-memory baseline and impact
+// networks; a verdict does not, which is what lets a resumed sweep restore
+// rows without re-running emulation or verification.
+type verdict struct {
+	Lost    int
+	Changed int
+	Diffs   []string
+}
+
 // outcome carries one candidate's measurements through the two phases:
-// the apply/settle/rollback lanes fill everything except diffs, which the
+// the apply/settle/rollback lanes fill everything except verdict, which the
 // parallel verification phase computes (or copies from the fingerprint
-// representative).
+// representative), or journal restore supplies whole.
 type outcome struct {
 	cand        Candidate
 	base        snapchain.Snap // healthy baseline this candidate was measured against
@@ -113,8 +137,17 @@ type outcome struct {
 	quarantined []string
 	residue     int      // flows still diverging after rollback
 	pruned      string   // "", "fingerprint", "independent"
-	dupOf       *outcome // representative whose diffs this candidate shares
-	diffs       []verify.Diff
+	dupOf       *outcome // representative whose verdict this candidate shares
+	verdict     *verdict
+	// restored marks an outcome rebuilt from a journal entry (not evaluated
+	// or verified in this process).
+	restored bool
+	// wasRep marks an outcome that ran (or, restored, had run) its own
+	// verification; restored reps count toward Report.Verified.
+	wasRep bool
+	// poisoned, when non-empty, records the final panic message of a
+	// candidate that exhausted the retry budget.
+	poisoned string
 }
 
 // replica is one lane of the emulation pool: an emulator (the primary, or a
@@ -136,6 +169,18 @@ type replica struct {
 	// candidates counts evaluations on this lane (reported via the
 	// sweep_replica_candidates_total{replica=} counter).
 	candidates atomic.Int64
+	// owned marks emulators the engine booted (replicas, rebuilt lanes):
+	// the engine stops them on teardown. The caller-owned primary is never
+	// stopped.
+	owned bool
+	// broken condemns the lane for the rest of the current round ("panic" or
+	// "drift"); healPool rebuilds or retires condemned lanes between rounds.
+	// Written only by the lane's own goroutine during a round and by
+	// healPool between rounds.
+	broken string
+	// dead removes the lane from service permanently (a panicked lane whose
+	// rebuild failed — its emulator may hold half-applied faults).
+	dead bool
 }
 
 type engine struct {
@@ -147,15 +192,28 @@ type engine struct {
 	hold    time.Duration
 	timeout time.Duration
 
-	// pool holds the emulation lanes; pool[0] is always the primary.
+	// pool holds the emulation lanes; pool[0] starts as the primary (it may
+	// be replaced by an owned rebuild if the primary lane fails mid-sweep).
 	pool []*replica
-	// failed flags a lane error so other lanes stop picking up new work.
+	// failed flags a fatal lane error so other lanes stop picking up work.
 	failed atomic.Bool
+	// baseFP is the primary's state fingerprint at the canonical converged
+	// baseline, captured before any candidate runs: the gate every rebuilt
+	// lane must match.
+	baseFP string
+	// mu guards the retry/poison bookkeeping lanes touch concurrently.
+	mu sync.Mutex
 
 	// repByFP maps fingerprint -> the verified representative outcome.
 	repByFP map[string]*outcome
 
 	verified int
+
+	// journal, when non-nil, receives every verdict at chunk barriers;
+	// resumed holds the journal entries of a resumed run, keyed by canonical
+	// candidate description.
+	journal *store.Journal
+	resumed map[string]store.JournalEntry
 }
 
 // Run sweeps the emulation. The emulator must be started and converged; the
@@ -196,6 +254,7 @@ func Run(em *kne.Emulator, topo *topology.Topology, opts Options) (*Report, erro
 	if _, err := e.chain.Snapshot(); err != nil {
 		return nil, err
 	}
+	e.baseFP = em.StateFingerprint()
 	elems := Enumerate(em, topo, opts.Kinds)
 	rep := &Report{
 		K:         opts.K,
@@ -204,29 +263,35 @@ func Run(em *kne.Emulator, topo *topology.Topology, opts Options) (*Report, erro
 		StartedAt: em.Sim().Now(),
 	}
 
+	if err := e.openJournal(elems); err != nil {
+		return nil, err
+	}
+	if e.journal != nil {
+		defer e.journal.Close()
+	}
+
 	e.buildPool(len(elems))
 	defer e.stopPool()
 	rep.Replicas = len(e.pool)
 	e.obs.Metrics().Gauge("sweep_replicas").Set(int64(len(e.pool)))
 
-	// Phase 1a: apply every k=1 candidate across the replica pool, each lane
-	// chaining rollbacks on its own emulator.
+	// Phase 1: apply every k=1 candidate across the replica pool, each lane
+	// chaining rollbacks on its own emulator. Verification (and journaling)
+	// happens inside the phase at chunk barriers; by the time the phase
+	// returns, every evaluated k=1 candidate carries its verdict — which the
+	// pair-enumeration independence prune consumes.
 	cands := make([]Candidate, len(elems))
 	for i, el := range elems {
 		cands[i] = Candidate{Elements: []Element{el}}
 	}
 	k1 := make([]*outcome, len(cands))
-	interrupted, err := e.runPhase(cands, k1)
+	e.restoreSlots(cands, k1)
+	interrupted, err := e.runPhase(cands, k1, 0)
 	if err != nil {
 		return nil, err
 	}
 	rep.Interrupted = interrupted
 	all := e.merge(k1)
-
-	// Phase 2a (barrier): verify the k=1 representatives in parallel. This
-	// must complete before pair enumeration — the independence prune needs
-	// to know which singles were harmless.
-	e.verifyAll(all)
 
 	if opts.K >= 2 && !rep.Interrupted {
 		single := map[string]*outcome{}
@@ -253,14 +318,13 @@ func Run(em *kne.Emulator, topo *topology.Topology, opts Options) (*Report, erro
 				pairOut = append(pairOut, nil)
 			}
 		}
-		interrupted, err := e.runPhase(pairCands, pairOut)
+		e.restoreSlots(pairCands, pairOut)
+		interrupted, err := e.runPhase(pairCands, pairOut, len(cands))
 		if err != nil {
 			return nil, err
 		}
 		rep.Interrupted = rep.Interrupted || interrupted
-		pairs := e.merge(pairOut)
-		e.verifyAll(pairs)
-		all = append(all, pairs...)
+		all = append(all, e.merge(pairOut)...)
 	}
 
 	rep.FinishedAt = em.Sim().Now()
@@ -320,16 +384,21 @@ func (e *engine) buildPool(nCands int) {
 			return
 		}
 		id := len(e.pool)
-		e.pool = append(e.pool, &replica{id: id, em: rem, chain: chain, label: fmt.Sprint(id)})
+		e.pool = append(e.pool, &replica{id: id, em: rem, chain: chain, label: fmt.Sprint(id), owned: true})
 	}
 }
 
 // defaultBuildReplicas is the generic pool factory: deterministic replay via
-// kne.Emulator.Replica on a local worker pool, each replica gated on
-// StateFingerprint equality with the primary. core.BuildReplicas replaces it
-// on the CLI path, where it shares the sharded-boot machinery.
+// kne.Emulator.Replica on a local worker pool, each replica gated on the
+// canonical converged baseline fingerprint (captured before any candidate
+// ran, so mid-sweep rebuilds cannot inherit primary drift).
+// core.BuildReplicas replaces it on the CLI path, where it shares the
+// sharded-boot machinery.
 func (e *engine) defaultBuildReplicas(n int) ([]*kne.Emulator, error) {
-	want := e.em.StateFingerprint()
+	want := e.baseFP
+	if want == "" {
+		want = e.em.StateFingerprint()
+	}
 	reps := make([]*kne.Emulator, n)
 	errs := make([]error, n)
 	runParallel(n, e.opts.Workers, func(i int) {
@@ -358,68 +427,168 @@ func (e *engine) defaultBuildReplicas(n int) ([]*kne.Emulator, error) {
 	return reps, nil
 }
 
-// stopPool releases the replay lanes (the primary is caller-owned).
+// stopPool releases every engine-owned lane emulator: the original replay
+// lanes plus any rebuilt replacements (including a rebuilt primary lane).
+// The caller-owned primary and already-retired dead lanes are left alone.
 func (e *engine) stopPool() {
-	for _, r := range e.pool[1:] {
-		r.em.Stop()
+	for _, r := range e.pool {
+		if r.owned && !r.dead {
+			r.em.Stop()
+		}
 	}
 }
 
-// runPhase evaluates the candidates whose slot in out is still nil, across
-// the replica pool: lane r owns every pending index i with i ≡ r (mod lanes),
-// evaluates its indices in increasing order chained on its own emulator, and
-// writes each outcome into the candidate's canonical slot. The slot merge
-// makes scheduling invisible: results are positionally identical to the
-// sequential engine's. Interruption (Ctx) stops every lane at its next
+// runPhase drives one phase (the k=1 singles or the k=2 pairs) through
+// evaluation, verification, and journaling. Unjournaled sweeps process the
+// whole phase as one chunk (the original single-barrier walk); journaled
+// sweeps chunk it so verdicts become durable incrementally. idxBase is the
+// phase's offset into the global canonical candidate index, recorded in
+// journal entries. Chunks are contiguous canonical-order slices processed in
+// order, so the fingerprint-dedup walk across chunk boundaries is identical
+// to the single-barrier walk.
+func (e *engine) runPhase(cands []Candidate, out []*outcome, idxBase int) (bool, error) {
+	if len(cands) == 0 {
+		return false, nil
+	}
+	chunk := len(cands)
+	if e.journal != nil && journalChunkSize < chunk {
+		chunk = journalChunkSize
+	}
+	interrupted := false
+	for lo := 0; lo < len(cands) && !interrupted; lo += chunk {
+		hi := lo + chunk
+		if hi > len(cands) {
+			hi = len(cands)
+		}
+		var err error
+		interrupted, err = e.runChunk(cands[lo:hi], out[lo:hi])
+		if err != nil {
+			return false, err
+		}
+		// Verify and journal whatever the chunk produced — on interruption
+		// that is a partial chunk, and journaling it means the resumed run
+		// starts exactly where this one stopped.
+		e.verifyChunk(out[lo:hi])
+		if err := e.journalChunk(idxBase+lo, out[lo:hi]); err != nil {
+			return false, err
+		}
+	}
+	return interrupted, nil
+}
+
+// runChunk evaluates the candidates whose slot in out is still nil, across
+// the live replica lanes: lane r owns every pending index i with i ≡ r (mod
+// lanes), evaluates its indices in increasing order chained on its own
+// emulator, and writes each outcome into the candidate's canonical slot. The
+// slot merge makes scheduling invisible: results are positionally identical
+// to the sequential engine's. Interruption (Ctx) stops every lane at its next
 // candidate boundary and leaves the remaining slots nil.
-func (e *engine) runPhase(cands []Candidate, out []*outcome) (bool, error) {
+//
+// Each round runs under lane supervision: a panic inside evaluation condemns
+// the lane (recover boundary in evaluateGuarded), a baseline drift condemns
+// it after its outcome is recorded, and healPool rebuilds condemned lanes
+// from the converged baseline between rounds. Candidates a panicked lane left
+// unfilled are requeued onto the healed pool under a per-candidate retry
+// budget; a candidate that keeps panicking is poisoned — quarantined in the
+// report with an empty verdict — instead of killing the sweep.
+func (e *engine) runChunk(cands []Candidate, out []*outcome) (bool, error) {
 	var todo []int
 	for i := range cands {
 		if out[i] == nil {
 			todo = append(todo, i)
 		}
 	}
-	if len(e.pool) == 1 {
-		for _, i := range todo {
-			if e.interrupted() {
-				return true, nil
-			}
-			o, err := e.evaluate(e.pool[0], cands[i])
-			if err != nil {
-				return false, err
-			}
-			out[i] = o
-		}
-		// Emit in canonical order (matching the merged slots), not apply order.
-		e.emitCandidates(out, todo)
+	if len(todo) == 0 {
 		return false, nil
 	}
-	lanes := len(e.pool)
-	errs := make([]error, lanes)
-	ints := make([]bool, lanes)
+	budget := e.opts.RetryBudget
+	if budget <= 0 {
+		budget = defaultRetryBudget
+	}
+	attempts := make(map[int]int)
+	// Emit in canonical order (matching the merged slots), not apply order,
+	// whether the chunk completes or is interrupted mid-round.
+	defer e.emitCandidates(out, todo)
+	for {
+		var pending []int
+		for _, i := range todo {
+			if out[i] == nil {
+				pending = append(pending, i)
+			}
+		}
+		if len(pending) == 0 {
+			return false, nil
+		}
+		if e.interrupted() {
+			return true, nil
+		}
+		lanes := e.liveLanes()
+		if len(lanes) == 0 {
+			return false, fmt.Errorf("sweep: no usable emulation lanes remain (every lane failed and none could be rebuilt)")
+		}
+		interrupted, err := e.round(cands, out, pending, lanes, attempts, budget)
+		if err != nil {
+			return false, err
+		}
+		e.healPool()
+		if interrupted {
+			return true, nil
+		}
+	}
+}
+
+// round makes one supervised pass: the pending chunk indices stride across
+// the given lanes. A lane stops early when condemned (panic or drift); its
+// remaining indices stay nil and the next round requeues them.
+func (e *engine) round(cands []Candidate, out []*outcome, pending []int, lanes []*replica, attempts map[int]int, budget int) (bool, error) {
+	n := len(lanes)
+	errs := make([]error, n)
+	ints := make([]bool, n)
 	var wg sync.WaitGroup
-	for r := 0; r < lanes; r++ {
+	for li := 0; li < n; li++ {
 		wg.Add(1)
-		go func(r int) {
+		go func(li int) {
 			defer wg.Done()
-			lane := e.pool[r]
-			for j := r; j < len(todo); j += lanes {
+			lane := lanes[li]
+			for j := li; j < len(pending); j += n {
 				if e.interrupted() {
-					ints[r] = true
+					ints[li] = true
 					return
 				}
 				if e.failed.Load() {
 					return
 				}
-				o, err := e.evaluate(lane, cands[todo[j]])
+				idx := pending[j]
+				epochBefore := lane.epoch
+				o, err := e.evaluateGuarded(lane, cands[idx])
 				if err != nil {
-					errs[r] = err
+					if pe, ok := err.(panicError); ok {
+						lane.broken = "panic"
+						e.recordPanic(cands[idx], idx, out, attempts, budget, pe)
+						return
+					}
+					if e.interrupted() {
+						// Cancellation surfaced mid-candidate as an evaluation
+						// error. The candidate's slot stays nil (it was never
+						// verified), which is exactly the interrupted-report
+						// contract: journal what finished, flag the rest.
+						ints[li] = true
+						return
+					}
+					errs[li] = err
 					e.failed.Store(true)
 					return
 				}
-				out[todo[j]] = o
+				out[idx] = o
+				if lane.epoch > epochBefore {
+					// The rollback left drifted content. The outcome stands —
+					// it was measured against the pre-drift baseline — but
+					// the lane needs a rebuild before taking more work.
+					lane.broken = "drift"
+					return
+				}
 			}
-		}(r)
+		}(li)
 	}
 	wg.Wait()
 	for _, err := range errs {
@@ -427,13 +596,124 @@ func (e *engine) runPhase(cands []Candidate, out []*outcome) (bool, error) {
 			return false, err
 		}
 	}
-	e.emitCandidates(out, todo)
 	for _, b := range ints {
 		if b {
 			return true, nil
 		}
 	}
 	return false, nil
+}
+
+// recordPanic charges one panic against a candidate's retry budget; an
+// exhausted budget poisons the candidate (an empty-verdict quarantined row)
+// so the sweep completes without it.
+func (e *engine) recordPanic(c Candidate, idx int, out []*outcome, attempts map[int]int, budget int, pe panicError) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	attempts[idx]++
+	m := e.obs.Metrics()
+	if attempts[idx] >= budget {
+		out[idx] = &outcome{cand: c, poisoned: pe.Error(), verdict: &verdict{}}
+		m.Counter("sweep_candidates_poisoned_total").Inc()
+		return
+	}
+	m.Counter("sweep_candidates_retried_total").Inc()
+}
+
+// panicError wraps a recovered panic value from a lane's evaluation.
+type panicError struct{ val any }
+
+func (p panicError) Error() string { return fmt.Sprintf("panic: %v", p.val) }
+
+// testHookEvaluate, when set (tests only), runs at the top of every guarded
+// evaluation — inside the recover boundary — so tests can inject
+// deterministic lane panics.
+var testHookEvaluate func(lane int, c Candidate)
+
+// evaluateGuarded is evaluate behind the per-lane recover boundary: a panic
+// anywhere in apply/settle/snapshot/rollback surfaces as a panicError instead
+// of killing the process, mirroring PR 5's per-router recover.
+func (e *engine) evaluateGuarded(r *replica, c Candidate) (o *outcome, err error) {
+	defer func() {
+		if rec := recover(); rec != nil {
+			o, err = nil, panicError{rec}
+		}
+	}()
+	if testHookEvaluate != nil {
+		testHookEvaluate(r.id, c)
+	}
+	return e.evaluate(r, c)
+}
+
+// liveLanes returns the lanes still in service.
+func (e *engine) liveLanes() []*replica {
+	var out []*replica
+	for _, r := range e.pool {
+		if !r.dead {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// healPool processes lanes condemned during the last round. Every condemned
+// lane gets a rebuild attempt from the converged baseline (counted in
+// sweep_lane_restarts_total). When the rebuild fails, the outcome depends on
+// why the lane was condemned: a drifted lane is still internally consistent —
+// it keeps serving with epoch-tagged fingerprints, exactly the pre-
+// supervision behavior — but a panicked lane may hold half-applied faults
+// and is retired from service.
+func (e *engine) healPool() {
+	for _, lane := range e.pool {
+		if lane.broken == "" || lane.dead {
+			lane.broken = ""
+			continue
+		}
+		cause := lane.broken
+		lane.broken = ""
+		e.obs.Metrics().Counter("sweep_lane_restarts_total", "replica", lane.label, "cause", cause).Inc()
+		if e.rebuildLane(lane) {
+			continue
+		}
+		if cause == "drift" {
+			continue
+		}
+		if lane.owned {
+			lane.em.Stop()
+		}
+		lane.dead = true
+	}
+}
+
+// rebuildLane boots a replacement emulator for the lane via the replica
+// factory, gates it on the canonical baseline fingerprint, forks it a fresh
+// snapshot chain, and swaps it in (stopping the old emulator when the engine
+// owned it). The lane's epoch resets to zero: its baseline is canonical
+// again, so its fingerprints may be shared across lanes.
+func (e *engine) rebuildLane(lane *replica) bool {
+	build := e.opts.BuildReplicas
+	if build == nil {
+		build = e.defaultBuildReplicas
+	}
+	ems, err := build(1)
+	if err != nil || len(ems) != 1 || ems[0] == nil {
+		return false
+	}
+	rem := ems[0]
+	if rem.StateFingerprint() != e.baseFP {
+		rem.Stop()
+		return false
+	}
+	chain := e.chain.Fork(rem)
+	if _, err := chain.Snapshot(); err != nil {
+		rem.Stop()
+		return false
+	}
+	if lane.owned {
+		lane.em.Stop()
+	}
+	lane.em, lane.chain, lane.epoch, lane.owned = rem, chain, 0, true
+	return true
 }
 
 // emitCandidates publishes the per-candidate progress events for the just-
@@ -475,8 +755,8 @@ func sameTarget(a, b Element) bool {
 // partial-order-reduction heuristic, not a proof — -brute re-verifies it.
 func independentlyHarmless(a, b *outcome) bool {
 	harmless := func(o *outcome) bool {
-		return o != nil && o.pruned != "independent" &&
-			len(o.diffs) == 0 && o.residue == 0 &&
+		return o != nil && o.pruned != "independent" && o.poisoned == "" &&
+			o.verdict != nil && o.verdict.Changed == 0 && o.residue == 0 &&
 			len(o.stragglers) == 0 && len(o.quarantined) == 0
 	}
 	if !harmless(a) || !harmless(b) {
@@ -652,14 +932,31 @@ func (e *engine) fingerprint(r *replica, o *outcome) string {
 	return hex.EncodeToString(h.Sum(nil))
 }
 
-// verifyAll runs the deferred differentials: fingerprint-duplicate
-// candidates adopt their representative's verdict, the representatives shard
-// across the worker pool. Each result lands in its candidate's own slot, so
-// worker count and scheduling order never affect output.
-func (e *engine) verifyAll(pend []*outcome) {
+// verifyChunk runs the deferred differentials for one canonical-order chunk:
+// fingerprint-duplicate candidates adopt their representative's verdict, the
+// representatives shard across the worker pool. Each result lands in its
+// candidate's own slot, so worker count and scheduling order never affect
+// output. Restored outcomes carry their journaled verdicts already; they only
+// re-register their representative role (so later candidates dedup against
+// them exactly as they did in the interrupted run) and re-count toward
+// Verified. Because chunks are canonical prefixes processed in order, the
+// repByFP state at every decision point is identical to the unjournaled
+// single-barrier walk's.
+func (e *engine) verifyChunk(pend []*outcome) {
 	var reps []*outcome
 	for _, o := range pend {
-		if o.pruned == "independent" {
+		if o == nil || o.pruned == "independent" || o.poisoned != "" {
+			continue
+		}
+		if o.restored {
+			if o.wasRep {
+				e.verified++
+			}
+			if !e.opts.Brute && o.pruned == "" && o.fp != "" {
+				if _, ok := e.repByFP[o.fp]; !ok {
+					e.repByFP[o.fp] = o
+				}
+			}
 			continue
 		}
 		if !e.opts.Brute {
@@ -670,6 +967,7 @@ func (e *engine) verifyAll(pend []*outcome) {
 			}
 			e.repByFP[o.fp] = o
 		}
+		o.wasRep = true
 		reps = append(reps, o)
 	}
 	g := e.obs.Metrics().Gauge("sweep_inflight")
@@ -679,14 +977,160 @@ func (e *engine) verifyAll(pend []*outcome) {
 		o := reps[i]
 		// One worker per candidate; the per-query pool stays at 1 so the
 		// sharding happens across candidates, not within them.
-		o.diffs = verify.Queries{Workers: 1}.DeltaDifferential(o.base.Net, o.impact.Net, o.dirty)
+		o.verdict = verdictFromDiffs(verify.Queries{Workers: 1}.DeltaDifferential(o.base.Net, o.impact.Net, o.dirty))
 	})
 	for _, o := range pend {
-		if o.dupOf != nil {
-			o.diffs = o.dupOf.diffs
+		if o != nil && o.dupOf != nil {
+			o.verdict = o.dupOf.verdict
 		}
 	}
 	e.verified += len(reps)
+}
+
+// verdictFromDiffs renders live diffs into the journalable verdict form (the
+// per-row diff sample capped at maxRowDiffs, as the report displays it).
+func verdictFromDiffs(diffs []verify.Diff) *verdict {
+	v := &verdict{Lost: len(snapchain.LostFlows(diffs)), Changed: len(diffs)}
+	for i, d := range diffs {
+		if i == maxRowDiffs {
+			v.Diffs = append(v.Diffs, fmt.Sprintf("… (+%d more)", len(diffs)-maxRowDiffs))
+			break
+		}
+		v.Diffs = append(v.Diffs, d.String())
+	}
+	return v
+}
+
+// openJournal wires the write-ahead journal per Options: create fresh for
+// JournalDir, replay-and-continue for Resume. The header pins the journal to
+// this exact sweep input and baseline.
+func (e *engine) openJournal(elems []Element) error {
+	if e.opts.JournalDir == "" {
+		if e.opts.Resume {
+			return fmt.Errorf("sweep: Resume requires JournalDir")
+		}
+		return nil
+	}
+	hdr := store.JournalHeader{
+		Version:  store.JournalVersion,
+		Input:    e.inputHash(elems),
+		Baseline: store.HashAFTs(e.chain.Last().AFTs),
+	}
+	path := store.SweepJournalPath(e.opts.JournalDir)
+	if !e.opts.Resume {
+		j, err := store.CreateJournal(path, hdr)
+		if err != nil {
+			return err
+		}
+		e.journal = j
+		return nil
+	}
+	j, entries, err := store.ResumeJournal(path, hdr)
+	if err != nil {
+		return err
+	}
+	e.journal = j
+	e.resumed = make(map[string]store.JournalEntry, len(entries))
+	for _, ent := range entries {
+		e.resumed[ent.Cand] = ent
+	}
+	return nil
+}
+
+// inputHash digests everything that determines the candidate set and each
+// candidate's verdict: topology, emulation seed, sweep shape, budgets, and
+// the canonical element list. Journals are only resumable under an equal
+// hash.
+func (e *engine) inputHash(elems []Element) string {
+	h := sha256.New()
+	if b, err := e.topo.Marshal(); err == nil {
+		h.Write(b)
+	}
+	fmt.Fprintf(h, ";seed=%d;k=%d;kinds=%v;brute=%v;hold=%v;timeout=%v;",
+		e.em.Sim().Seed(), e.opts.K, e.opts.Kinds, e.opts.Brute, e.hold, e.timeout)
+	for _, el := range elems {
+		fmt.Fprintf(h, "%s;", el.Describe())
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// restoreSlots pre-fills candidate slots from the resumed journal. Slots the
+// pair enumeration already decided (independent prunes) are marked restored
+// when journaled, so they are not re-journaled. Because the journal is a
+// canonical prefix, the restored set is exactly "everything the interrupted
+// run completed".
+func (e *engine) restoreSlots(cands []Candidate, out []*outcome) {
+	if len(e.resumed) == 0 {
+		return
+	}
+	m := e.obs.Metrics()
+	for i := range cands {
+		ent, ok := e.resumed[cands[i].Describe()]
+		if !ok {
+			continue
+		}
+		if out[i] != nil {
+			out[i].restored = true
+			continue
+		}
+		out[i] = &outcome{
+			cand:        cands[i],
+			fp:          ent.FP,
+			dirty:       ent.Dirty,
+			reconv:      time.Duration(ent.ReconvNS),
+			stragglers:  ent.Stragglers,
+			quarantined: ent.Quarantined,
+			residue:     ent.Residue,
+			pruned:      ent.Pruned,
+			poisoned:    ent.Poisoned,
+			restored:    true,
+			wasRep:      ent.Rep,
+			verdict:     &verdict{Lost: ent.Lost, Changed: ent.Changed, Diffs: ent.Diffs},
+		}
+		m.Counter("sweep_candidates_restored_total").Inc()
+	}
+}
+
+// journalChunk appends the chunk's newly produced verdicts (canonical order,
+// restored entries excluded) and fsyncs — the chunk's durability barrier.
+func (e *engine) journalChunk(idxBase int, pend []*outcome) error {
+	if e.journal == nil {
+		return nil
+	}
+	wrote := false
+	for i, o := range pend {
+		if o == nil || o.restored {
+			continue
+		}
+		v := o.verdict
+		if v == nil {
+			v = &verdict{}
+		}
+		ent := store.JournalEntry{
+			Index:       idxBase + i,
+			Cand:        o.cand.Describe(),
+			FP:          o.fp,
+			Rep:         o.wasRep,
+			Dirty:       o.dirty,
+			ReconvNS:    int64(o.reconv),
+			Stragglers:  o.stragglers,
+			Quarantined: o.quarantined,
+			Residue:     o.residue,
+			Pruned:      o.pruned,
+			Poisoned:    o.poisoned,
+			Lost:        v.Lost,
+			Changed:     v.Changed,
+			Diffs:       v.Diffs,
+		}
+		if err := e.journal.Append(ent); err != nil {
+			return err
+		}
+		wrote = true
+	}
+	if !wrote {
+		return nil
+	}
+	return e.journal.Sync()
 }
 
 // runParallel evaluates fn(i) for i in [0, n) across a bounded pool. Indexed
@@ -742,27 +1186,29 @@ func (e *engine) assemble(rep *Report, all []*outcome) {
 			rep.Applied++
 		}
 		m.Counter("sweep_candidates_total", "pruned", label).Inc()
-		if o.pruned != "independent" {
+		if o.pruned != "independent" && o.poisoned == "" {
 			m.Histogram("sweep_reconverge_ns", "k", fmt.Sprint(len(o.cand.Elements))).Observe(int64(o.reconv))
+		}
+		v := o.verdict
+		if v == nil {
+			v = &verdict{}
 		}
 		row := Row{
 			Failure:       o.cand.Describe(),
 			K:             len(o.cand.Elements),
-			FlowsLost:     len(snapchain.LostFlows(o.diffs)),
-			FlowsChanged:  len(o.diffs),
+			FlowsLost:     v.Lost,
+			FlowsChanged:  v.Changed,
 			DirtyRouters:  len(o.dirty),
 			ReconvergedIn: o.reconv,
 			Stragglers:    o.stragglers,
 			Quarantined:   o.quarantined,
 			Residue:       o.residue,
 			Pruned:        o.pruned,
+			Poisoned:      o.poisoned,
+			Diffs:         v.Diffs,
 		}
-		for i, d := range o.diffs {
-			if i == maxRowDiffs {
-				row.Diffs = append(row.Diffs, fmt.Sprintf("… (+%d more)", len(o.diffs)-maxRowDiffs))
-				break
-			}
-			row.Diffs = append(row.Diffs, d.String())
+		if row.Poisoned != "" {
+			rep.Poisoned++
 		}
 		if row.FlowsLost > 0 {
 			rep.Violations++

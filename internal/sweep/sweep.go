@@ -140,8 +140,27 @@ type Options struct {
 	// deterministic replicas of the primary emulator (the CLI wires
 	// core.BuildReplicas here to reuse the sharded-boot pool). Nil uses the
 	// generic kne replay. Build failure is non-fatal: the sweep degrades to
-	// the sequential path and counts sweep_replica_fallback_total.
+	// the sequential path and counts sweep_replica_fallback_total. Lane
+	// supervision also calls this factory to rebuild a panicked or drifted
+	// lane mid-sweep, so the factory must gate rebuilt lanes on the healthy
+	// baseline fingerprint, not the primary's current state.
 	BuildReplicas func(n int) ([]*kne.Emulator, error)
+	// JournalDir, when non-empty, write-ahead-journals every candidate
+	// verdict into <dir>/sweep.wal at chunk granularity (fsynced), so an
+	// interrupted sweep can be resumed. The journal is keyed by an input
+	// hash (topology, seed, k, kinds, budgets, canonical element list) and
+	// the baseline dataplane hash.
+	JournalDir string
+	// Resume replays the journal in JournalDir before evaluating: candidates
+	// with journaled verdicts are restored without touching the emulation,
+	// and the final report is byte-identical to an uninterrupted run. A
+	// missing journal file degrades to a fresh journaled run; a journal
+	// recorded under a different input or baseline is an error.
+	Resume bool
+	// RetryBudget caps how many times a candidate whose evaluation panicked
+	// is re-attempted on a rebuilt lane before being poisoned (quarantined
+	// in the report with an empty verdict). 0 means the default of 3.
+	RetryBudget int
 }
 
 // Row is one ranked sweep result.
@@ -171,6 +190,12 @@ type Row struct {
 	// independently harmless with disjoint dirty sets). Empty for
 	// directly verified candidates.
 	Pruned string `json:"pruned,omitempty"`
+	// Poisoned, when non-empty, records why this candidate has no verdict:
+	// its evaluation panicked more times than the retry budget allows, so it
+	// was quarantined (the sweep's analogue of PR 5's per-router
+	// quarantine) instead of killing the sweep. The message is the last
+	// panic value.
+	Poisoned string `json:"poisoned,omitempty"`
 	// Diffs samples the per-flow outcome changes (capped).
 	Diffs []string `json:"diffs,omitempty"`
 }
@@ -194,6 +219,9 @@ type Report struct {
 	PrunedIndependent int `json:"pruned_independent"`
 	// Violations counts candidates that lost at least one flow.
 	Violations int `json:"violations"`
+	// Poisoned counts candidates quarantined after exhausting the panic
+	// retry budget; their rows carry no verdict.
+	Poisoned int `json:"poisoned,omitempty"`
 	// Residue counts candidates that did not fully heal on rollback.
 	Residue int `json:"restore_residue,omitempty"`
 	// Replicas is the emulation-lane count the sweep actually ran with
@@ -224,6 +252,8 @@ func (r *Report) Table(top int) string {
 		}
 		status := "ok"
 		switch {
+		case row.Poisoned != "":
+			status = "POISONED (" + row.Poisoned + ")"
 		case row.FlowsLost > 0:
 			status = "VIOLATION"
 		case row.FlowsChanged > 0:
@@ -260,6 +290,9 @@ func (r *Report) Render(top int) string {
 	if r.PrunedFingerprint > 0 || r.PrunedIndependent > 0 {
 		fmt.Fprintf(&b, " (pruned: %d fingerprint, %d independent)",
 			r.PrunedFingerprint, r.PrunedIndependent)
+	}
+	if r.Poisoned > 0 {
+		fmt.Fprintf(&b, " (%d poisoned)", r.Poisoned)
 	}
 	fmt.Fprintf(&b, ", %d violation(s), %d replica lane(s), %v virtual, %v wall\n",
 		r.Violations, r.Replicas, r.FinishedAt-r.StartedAt, r.Wall.Round(time.Millisecond))

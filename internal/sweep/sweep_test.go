@@ -274,7 +274,7 @@ func TestSweepRejectsBadK(t *testing.T) {
 }
 
 func TestIndependentlyHarmless(t *testing.T) {
-	harmless := func(dirty ...string) *outcome { return &outcome{dirty: dirty} }
+	harmless := func(dirty ...string) *outcome { return &outcome{dirty: dirty, verdict: &verdict{}} }
 	cases := []struct {
 		name string
 		a, b *outcome
@@ -283,12 +283,14 @@ func TestIndependentlyHarmless(t *testing.T) {
 		{"disjoint-harmless", harmless("r1"), harmless("r2"), true},
 		{"empty-dirty", harmless(), harmless(), true},
 		{"overlapping", harmless("r1", "r2"), harmless("r2"), false},
-		{"lossy-member", &outcome{diffs: []verify.Diff{{}}}, harmless("r2"), false},
-		{"residue-member", &outcome{residue: 1}, harmless("r2"), false},
-		{"straggler-member", &outcome{stragglers: []string{"r9"}}, harmless("r2"), false},
-		{"quarantined-member", &outcome{quarantined: []string{"r9"}}, harmless("r2"), false},
+		{"lossy-member", &outcome{verdict: &verdict{Changed: 1}}, harmless("r2"), false},
+		{"unverified-member", &outcome{}, harmless("r2"), false},
+		{"residue-member", &outcome{residue: 1, verdict: &verdict{}}, harmless("r2"), false},
+		{"straggler-member", &outcome{stragglers: []string{"r9"}, verdict: &verdict{}}, harmless("r2"), false},
+		{"quarantined-member", &outcome{quarantined: []string{"r9"}, verdict: &verdict{}}, harmless("r2"), false},
 		{"missing-member", nil, harmless("r2"), false},
-		{"pruned-member", &outcome{pruned: "independent"}, harmless("r2"), false},
+		{"pruned-member", &outcome{pruned: "independent", verdict: &verdict{}}, harmless("r2"), false},
+		{"poisoned-member", &outcome{poisoned: "panic: x", verdict: &verdict{}}, harmless("r2"), false},
 	}
 	for _, c := range cases {
 		if got := independentlyHarmless(c.a, c.b); got != c.want {

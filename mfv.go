@@ -36,6 +36,7 @@ import (
 	"mfv/internal/obs"
 	"mfv/internal/obshttp"
 	"mfv/internal/routegen"
+	"mfv/internal/store"
 	"mfv/internal/sweep"
 	"mfv/internal/testnet"
 	"mfv/internal/topology"
@@ -64,6 +65,9 @@ const (
 	BackendEmulation = core.BackendEmulation
 	// BackendModel is the reference-model baseline (Batfish analogue).
 	BackendModel = core.BackendModel
+	// BackendSnapshot restores a previously saved converged dataplane from
+	// disk (RunFromSnapshot) — no emulation, no convergence wait.
+	BackendSnapshot = core.BackendSnapshot
 )
 
 // Topology types, re-exported so callers can build networks without
@@ -383,8 +387,13 @@ func RunSweep(res *Result, topo *Topology, opts SweepOptions) (*SweepReport, err
 		if timeout == 0 {
 			timeout = 30 * time.Minute
 		}
+		// Capture the healthy baseline fingerprint now: lane supervision may
+		// call this factory mid-sweep, while the primary is drifted or mid-
+		// candidate, and a rebuilt lane must match the sweep's baseline, not
+		// whatever the primary looks like at rebuild time.
+		want := em.StateFingerprint()
 		opts.BuildReplicas = func(n int) ([]*kne.Emulator, error) {
-			return core.BuildReplicas(em, n, hold, timeout)
+			return core.BuildReplicas(em, n, want, hold, timeout)
 		}
 	}
 	return sweep.Run(res.Emulator, topo, opts)
@@ -392,6 +401,46 @@ func RunSweep(res *Result, topo *Topology, opts SweepOptions) (*SweepReport, err
 
 // ParseSweepKinds parses a comma-separated kind list ("link,node,bgp").
 func ParseSweepKinds(csv string) ([]SweepKind, error) { return sweep.ParseKinds(csv) }
+
+// Crash safety: durable snapshots of converged state (internal/store).
+type (
+	// StoredSnapshot is the on-disk converged-state artifact: versioned,
+	// CRC-checksummed, atomically written. It embeds the topology and every
+	// device's AFT, so it is self-contained — restore needs no topology
+	// file, and `mfv run -from-snapshot` skips convergence entirely.
+	StoredSnapshot = store.Snapshot
+)
+
+// CaptureSnapshot packages a completed emulation run into a durable
+// snapshot (AFTs, FIB generation stamps, topology hash, seed).
+func CaptureSnapshot(topo *Topology, res *Result) (*StoredSnapshot, error) {
+	return core.CaptureSnapshot(topo, res)
+}
+
+// RunFromSnapshot rebuilds a verification-ready Result from a stored
+// snapshot without emulating: reachability, differential, and sweep-baseline
+// use are all available; chaos and gNMI need a live emulation and are
+// rejected.
+func RunFromSnapshot(s *StoredSnapshot, opts Options) (*Result, error) {
+	return core.RunFromSnapshot(s, opts)
+}
+
+// SaveSnapshot writes a snapshot atomically (temp + fsync + rename).
+func SaveSnapshot(s *StoredSnapshot, path string) error { return s.Save(path) }
+
+// LoadSnapshot reads and fully validates a snapshot file. Corruption,
+// truncation, and version skew return Diagnostics — never a panic.
+func LoadSnapshot(path string) (*StoredSnapshot, error) { return store.Load(path) }
+
+// DataplaneHash digests a set of AFTs into the content identity stored in
+// StoredSnapshot.DataplaneHash; use it to check a live run against a saved
+// snapshot before trusting resumed artifacts.
+func DataplaneHash(afts map[string]*AFT) string { return store.HashAFTs(afts) }
+
+// HashBytes digests raw bytes into the hex identity used by
+// StoredSnapshot.TopologyHash (compare against a re-marshaled topology to
+// detect drift between a snapshot and a topology file).
+func HashBytes(b []byte) string { return store.HashBytes(b) }
 
 // ParseChaosScenario decodes and validates a scenario JSON file.
 func ParseChaosScenario(data []byte) (*ChaosScenario, error) { return chaos.Parse(data) }

@@ -2,6 +2,7 @@ package mfv
 
 import (
 	"net/netip"
+	"path/filepath"
 	"testing"
 )
 
@@ -69,6 +70,49 @@ func TestPublicFeedGenerator(t *testing.T) {
 	}
 	if total != 100 {
 		t.Errorf("total = %d", total)
+	}
+}
+
+// TestPublicSnapshotRoundTrip drives the crash-safety surface through the
+// public API: converge once, capture and persist the snapshot, restore it
+// from disk, and check the restored network answers queries identically to
+// the live one without any emulator.
+func TestPublicSnapshotRoundTrip(t *testing.T) {
+	topo := Fig2()
+	live, err := Run(Snapshot{Topology: topo}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap, err := CaptureSnapshot(topo, live)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "fig2.snap")
+	if err := SaveSnapshot(snap, path); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadSnapshot(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.DataplaneHash != DataplaneHash(live.AFTs) {
+		t.Fatal("loaded snapshot's dataplane hash does not match the live AFTs")
+	}
+	restored, err := RunFromSnapshot(loaded, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if restored.Backend.String() != "snapshot" {
+		t.Errorf("restored backend = %s", restored.Backend)
+	}
+	if restored.Emulator != nil {
+		t.Error("restored result carries an emulator")
+	}
+	if diffs := DifferentialReachability(live, restored); len(diffs) != 0 {
+		t.Errorf("restored forwarding differs from live: %v", diffs)
+	}
+	if len(restored.RouteCount()) == 0 {
+		t.Error("restored result has no route counts")
 	}
 }
 

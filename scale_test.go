@@ -9,6 +9,8 @@ package mfv
 
 import (
 	"fmt"
+	"os"
+	"path/filepath"
 	"runtime"
 	"testing"
 	"time"
@@ -125,6 +127,66 @@ func BenchmarkScaleUnsharded(b *testing.B) {
 		b.ReportMetric(float64(routers)/wall, "routers/sec")
 		scaleSink = res
 	}
+}
+
+// BenchmarkSnapshotSaveLoad measures the crash-safety store at scale: a
+// converged 1k-router sharded fabric captured into the versioned,
+// CRC-checksummed snapshot format, written atomically (save), decoded and
+// fully validated off disk (load), and rebuilt into a queryable
+// verification network with no emulation (restore). bytes is the on-disk
+// artifact size. Unlike the rest of this file it runs in the per-PR bench
+// job too (no -short skip): the 1k-router setup converges in under a
+// second, and save/load is on the benchgate criticals list.
+func BenchmarkSnapshotSaveLoad(b *testing.B) {
+	const routers, per = 1000, 20
+	topo := MultiRegionTopology(routers/per, per)
+	res := mustRun(b, Snapshot{Topology: topo}, Options{ShardRegions: true})
+	snap, err := CaptureSnapshot(topo, res)
+	if err != nil {
+		b.Fatal(err)
+	}
+	path := filepath.Join(b.TempDir(), "scale.snap")
+	b.Run("save", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if err := SaveSnapshot(snap, path); err != nil {
+				b.Fatal(err)
+			}
+		}
+		fi, err := os.Stat(path)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(fi.Size()), "bytes")
+	})
+	if err := SaveSnapshot(snap, path); err != nil {
+		b.Fatal(err)
+	}
+	b.Run("load", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			loaded, err := LoadSnapshot(path)
+			if err != nil {
+				b.Fatal(err)
+			}
+			scaleSink = loaded
+		}
+	})
+	b.Run("restore", func(b *testing.B) {
+		loaded, err := LoadSnapshot(path)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			restored, err := RunFromSnapshot(loaded, Options{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if len(restored.AFTs) != routers {
+				b.Fatalf("restored %d AFTs, want %d", len(restored.AFTs), routers)
+			}
+			scaleSink = restored
+		}
+	})
 }
 
 // scaleSink pins each measured Result so bytes/router reflects live retained
